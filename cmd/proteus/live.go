@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/core"
+	"proteus/internal/dataset"
+	"proteus/internal/experiments"
+	"proteus/internal/journal"
+	"proteus/internal/ml/mf"
+	"proteus/internal/perfmodel"
+)
+
+// runLive executes the full-stack Proteus run: a real MF model trains on
+// machines BidBrain acquires from the simulated market, with eviction
+// warnings flowing through the AgileML elasticity controller.
+func runLive(cfg experiments.MarketConfig, iterations int) error {
+	env, err := experiments.NewEnv(cfg, defaultParams())
+	if err != nil {
+		return err
+	}
+	data := dataset.GenerateMF(dataset.MFConfig{
+		Users: 120, Items: 90, Rank: 5, Observed: 2000, Noise: 0.02,
+	}, cfg.Seed)
+	jl := journal.New(env.Engine.Now)
+	liveCfg := core.LiveConfig{
+		Journal:          jl,
+		App:              mf.New(mf.DefaultConfig(5), data),
+		Iterations:       iterations,
+		ReliableType:     "c4.xlarge",
+		ReliableCount:    3,
+		MaxSpotInstances: 32,
+		ChunkInstances:   8,
+		Params:           defaultParams(),
+		Workload:         perfmodel.MFNetflix(),
+		Cluster:          perfmodel.ClusterA(),
+		Staleness:        1,
+	}
+	res, err := core.RunLive(env.Engine, env.Market, env.Brain, liveCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live run: %d iterations in %v (virtual), $%.2f, %d evictions, %d recoveries\n",
+		res.Iterations, res.Runtime.Round(1e9), res.Cost, res.Evictions, res.Recoveries)
+	fmt.Printf("final MF objective (RMSE): %.4f\n\n", res.Objective)
+	fmt.Printf("%6s %10s %10s %8s\n", "iter", "time (s)", "machines", "stage")
+	for i, p := range res.Timeline {
+		if i%5 != 0 && i != len(res.Timeline)-1 {
+			continue
+		}
+		fmt.Printf("%6d %10.1f %10d %8s\n", p.Iteration, p.Seconds, p.Machines, p.Stage)
+	}
+	fmt.Println("\ndecision journal:")
+	if _, err := jl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	return nil
+}
+
+// defaultParams returns the default BidBrain parameters (helper keeps
+// market environment and the live job).
+func defaultParams() bidbrain.Params { return bidbrain.DefaultParams() }

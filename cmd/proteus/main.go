@@ -1,0 +1,79 @@
+// Command proteus runs one end-to-end simulated Proteus job: BidBrain
+// acquiring and releasing spot allocations on the synthetic market while
+// the job accrues work, with the full cost/runtime/usage accounting the
+// paper reports.
+//
+// With -live, the full Fig. 7 architecture runs instead: granted market
+// instances become AgileML machines, a real MF model trains against the
+// real parameter-server stack, and market evictions flow through the
+// elasticity controller.
+//
+// Usage:
+//
+//	proteus -hours 2 -scheme proteus
+//	proteus -hours 4 -scheme all -samples 10
+//	proteus -live -iterations 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"proteus/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("proteus: ")
+	hours := flag.Float64("hours", 2, "job size: hours on the 64-machine on-demand baseline")
+	scheme := flag.String("scheme", "all", "scheme to run: on-demand, checkpoint, agileml, proteus, all")
+	samples := flag.Int("samples", 10, "job start points to average")
+	seed := flag.Int64("seed", 1, "market seed")
+	live := flag.Bool("live", false, "run the full functional stack (market -> cluster -> AgileML -> real MF training)")
+	iterations := flag.Int("iterations", 40, "training iterations for -live")
+	flag.Parse()
+
+	cfg := experiments.DefaultMarketConfig()
+	cfg.Seed = *seed
+
+	if *live {
+		if err := runLive(cfg, *iterations); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	avgs, err := experiments.RunSchemes(cfg, *hours, *samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := strings.ToLower(*scheme)
+	fmt.Printf("Proteus job simulation: %.1fh baseline job, %d start points, seed %d\n\n",
+		*hours, *samples, *seed)
+	fmt.Printf("%-22s %12s %12s %12s %10s %10s\n",
+		"scheme", "cost ($)", "% of OD", "runtime(h)", "evict/job", "free hrs")
+	for _, a := range avgs {
+		if want != "all" && !matches(want, a.Scheme) {
+			continue
+		}
+		fmt.Printf("%-22s %12.2f %11.1f%% %12.2f %10.1f %10.1f\n",
+			a.Scheme, a.Cost, a.CostPercentOD, a.Runtime.Hours(), a.Evictions, a.Usage.FreeHours)
+	}
+}
+
+func matches(want string, kind experiments.SchemeKind) bool {
+	switch want {
+	case "on-demand", "ondemand":
+		return kind == experiments.SchemeOnDemand
+	case "checkpoint", "ckpt":
+		return kind == experiments.SchemeStandardCheckpoint
+	case "agileml":
+		return kind == experiments.SchemeStandardAgileML
+	case "proteus":
+		return kind == experiments.SchemeProteus
+	}
+	return false
+}

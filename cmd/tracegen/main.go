@@ -1,0 +1,115 @@
+// Command tracegen generates and inspects synthetic spot-price traces.
+//
+// It reproduces Fig. 3 of the paper (spot prices over six days for two
+// instance classes against the on-demand price) as a terminal plot, and
+// can emit traces as CSV for use by other tools.
+//
+// Usage:
+//
+//	tracegen -fig 3                 # print the Fig. 3 price timeline
+//	tracegen -csv -days 14 -seed 7  # emit a 14-day trace set as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"proteus/internal/experiments"
+	"proteus/internal/market"
+	"proteus/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	fig := flag.Int("fig", 3, "figure to reproduce (3)")
+	csv := flag.Bool("csv", false, "emit traces as CSV instead of a plot")
+	stats := flag.Bool("stats", false, "print market statistics instead of a plot")
+	days := flag.Int("days", 6, "trace length in days")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *csv {
+		if err := emitCSV(*days, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *stats {
+		if err := printStats(*days, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	switch *fig {
+	case 3:
+		printFig3(*seed)
+	default:
+		log.Fatalf("unknown figure %d (tracegen reproduces figure 3)", *fig)
+	}
+}
+
+func emitCSV(days int, seed int64) error {
+	prices := market.CatalogPrices(market.DefaultCatalog())
+	set := trace.GenerateSet("us-east-1a", time.Duration(days)*24*time.Hour, prices, seed)
+	for _, name := range set.Types() {
+		tr, _ := set.Get(name)
+		if err := tr.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printStats(days int, seed int64) error {
+	catalog := market.DefaultCatalog()
+	prices := market.CatalogPrices(catalog)
+	set := trace.GenerateSet("us-east-1a", time.Duration(days)*24*time.Hour, prices, seed)
+	fmt.Printf("market statistics over %d days (seed %d)\n", days, seed)
+	fmt.Printf("%-12s %10s %10s %10s %10s %8s %10s\n",
+		"type", "mean $/h", "discount", "above-OD", "spikes", "changes", "spike len")
+	for _, name := range set.Types() {
+		tr, _ := set.Get(name)
+		s, err := trace.ComputeStats(tr, prices[name])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10.4f %9.0f%% %9.1f%% %10d %8d %10s\n",
+			name, s.MeanPrice, s.MeanDiscount*100, s.TimeAboveOnDemand*100,
+			s.Spikes, s.Changes, s.MeanSpikeDuration.Round(time.Minute))
+	}
+	return nil
+}
+
+func printFig3(seed int64) {
+	series, onDemand := experiments.Fig03(seed)
+	fmt.Println("Figure 3: AWS-style spot prices over 6 days (synthetic market)")
+	fmt.Printf("on-demand reference (c4.2xlarge): $%.3f/hr\n\n", onDemand)
+
+	// Sample each series every 2 hours and render a price column chart.
+	const step = 2 * time.Hour
+	fmt.Printf("%8s", "hour")
+	for _, s := range series {
+		fmt.Printf("  %14s", s.Label)
+	}
+	fmt.Printf("  %s\n", "price vs on-demand (# = above)")
+	for at := time.Duration(0); at <= 6*24*time.Hour; at += step {
+		fmt.Printf("%8.0f", at.Hours())
+		above := false
+		for _, s := range series {
+			tr := trace.Trace{Points: s.Points}
+			p := tr.PriceAt(at) * s.Scale
+			fmt.Printf("  %14.4f", p)
+			if p > onDemand {
+				above = true
+			}
+		}
+		if above {
+			fmt.Printf("  # spike above on-demand")
+		}
+		fmt.Println()
+	}
+}

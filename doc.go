@@ -1,0 +1,11 @@
+// Package proteus is a Go reproduction of "Proteus: agile ML elasticity
+// through tiered reliability in dynamic resource markets" (EuroSys 2017).
+//
+// The system lives under internal/: AgileML (the elastic parameter-server
+// framework, internal/agileml + internal/ps) and BidBrain (the spot-market
+// allocation policy, internal/bidbrain), glued by internal/core over a
+// simulated EC2-style market (internal/market, internal/trace). The
+// benchmarks in this package regenerate every figure of the paper's
+// evaluation; see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for paper-vs-measured results.
+package proteus

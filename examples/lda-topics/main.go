@@ -1,0 +1,83 @@
+// LDA topics: discover planted topics in a synthetic corpus with the
+// collapsed-Gibbs LDA application running on the parameter server, and
+// print the top words per learned topic.
+//
+// The corpus planter assigns each topic a contiguous vocabulary slice, so
+// a well-trained model's top words per topic cluster into one slice —
+// visible directly in the output.
+//
+//	go run ./examples/lda-topics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proteus/internal/agileml"
+	"proteus/internal/cluster"
+	"proteus/internal/dataset"
+	"proteus/internal/ml/lda"
+	"proteus/internal/ps"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const topics = 4
+	corpus := dataset.GenerateLDA(dataset.LDAConfig{
+		Docs: 200, Vocab: 80, Topics: topics, WordsPerDoc: 30, Concentration: 0.96,
+	}, 21)
+	app := lda.New(lda.DefaultConfig(topics), corpus)
+
+	var seed []*cluster.Machine
+	for i := 0; i < 4; i++ {
+		seed = append(seed, &cluster.Machine{ID: cluster.MachineID(i), Tier: cluster.Reliable, Cores: 8})
+	}
+	ctrl, err := agileml.New(agileml.Config{App: app, MaxMachines: 8, Staleness: 1}, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := agileml.NewRunner(ctrl, app)
+
+	fmt.Printf("lda-topics: %d docs, %d-word vocabulary, %d topics\n",
+		len(corpus.Docs), corpus.Config.Vocab, topics)
+	for iter := 1; iter <= 30; iter++ {
+		if err := runner.RunClock(); err != nil {
+			log.Fatal(err)
+		}
+		if iter%10 == 0 {
+			obj, err := runner.Objective()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("sweep %2d: neg log-likelihood per token %.4f\n", iter, obj)
+		}
+	}
+
+	// Read the learned word-topic counts through a fresh client.
+	reader := ps.NewClient("reader", ctrl.Router(), 0)
+	defer reader.Close()
+	span := corpus.Config.Vocab / topics
+	fmt.Println("\ntop words per learned topic (w<N>; planted slices are w0-19, w20-39, ...):")
+	for topic := 0; topic < topics; topic++ {
+		top, err := app.TopWords(reader, topic, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sliceCounts := map[int]int{}
+		for _, w := range top {
+			sliceCounts[w/span]++
+		}
+		best, bestN := 0, 0
+		for s, n := range sliceCounts {
+			if n > bestN {
+				best, bestN = s, n
+			}
+		}
+		fmt.Printf("topic %d:", topic)
+		for _, w := range top {
+			fmt.Printf(" w%d", w)
+		}
+		fmt.Printf("   (%d/%d from planted slice %d)\n", bestN, len(top), best)
+	}
+}

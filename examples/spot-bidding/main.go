@@ -1,0 +1,111 @@
+// Spot bidding: BidBrain versus the standard bidding strategy on one
+// synthetic market day.
+//
+// The program trains BidBrain's eviction model on a month of price
+// history, then walks a fresh day two minutes at a time. At each decision
+// point it shows what the standard strategy would do (cheapest type,
+// on-demand bid) next to what BidBrain chooses (type and bid delta
+// minimizing expected cost per work), and summarizes the expected
+// cost-per-work gap.
+//
+//	go run ./examples/spot-bidding
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	catalog := market.DefaultCatalog()
+	prices := market.CatalogPrices(catalog)
+
+	// Train β tables on a month of history.
+	hist := trace.GenerateSet("history", 30*24*time.Hour, prices, 11)
+	betas := make(map[string]*trace.BetaTable)
+	for name := range prices {
+		tr, _ := hist.Get(name)
+		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), 400, 5)
+	}
+	brain, err := bidbrain.New(bidbrain.DefaultParams(), betas, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A fresh day to bid on.
+	eng := sim.NewEngine()
+	day := trace.GenerateSet("today", 24*time.Hour, prices, 99)
+	mkt, err := market.New(eng, market.Config{Catalog: catalog, Traces: day, Warning: 2 * time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	onDemand := bidbrain.AllocState{
+		Type: mustType(mkt, "c4.xlarge"), Count: 3, Price: 0.209,
+		Remaining: time.Hour, OnDemand: true,
+	}
+
+	fmt.Println("hour  standard: type @ bid      bidbrain: type @ bid (delta)    E[$/work]")
+	var stdSum, brainSum float64
+	decisions := 0
+	for at := time.Duration(0); at < 24*time.Hour; at += 2 * time.Hour {
+		eng.RunUntil(at)
+		cur := map[string]float64{}
+		for _, t := range mkt.Types() {
+			p, err := mkt.SpotPrice(t.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cur[t.Name] = p
+		}
+
+		stdType, stdBid, err := bidbrain.StandardBid(cur, mkt.Types())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cand, err := brain.BestAcquisition([]bidbrain.AllocState{onDemand}, cur, mkt.Types(), 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cand == nil {
+			fmt.Printf("%4.0f  %-10s @ %.3f       (bidbrain declines: market too expensive)\n",
+				at.Hours(), stdType.Name, stdBid)
+			continue
+		}
+
+		// Expected cost per work of each choice added to the footprint.
+		stdBeta, _ := brain.Beta(stdType.Name, stdBid-cur[stdType.Name])
+		stdEval := bidbrain.Evaluate(brain.Params(), []bidbrain.AllocState{onDemand, {
+			Type: stdType, Count: 16, Price: cur[stdType.Name], Beta: stdBeta,
+			Remaining: time.Hour,
+		}}, true)
+		fmt.Printf("%4.0f  %-10s @ %.3f       %-10s @ %.4f (+%.4f)   %.5f vs %.5f\n",
+			at.Hours(), stdType.Name, stdBid,
+			cand.Type.Name, cand.Bid, cand.BidDelta,
+			stdEval.CostPerWork, cand.NewCostPerWork)
+		stdSum += stdEval.CostPerWork
+		brainSum += cand.NewCostPerWork
+		decisions++
+	}
+	if decisions > 0 {
+		fmt.Printf("\nmean expected cost-per-work: standard %.5f, bidbrain %.5f (%.0f%% lower)\n",
+			stdSum/float64(decisions), brainSum/float64(decisions),
+			(1-brainSum/stdSum)*100)
+	}
+}
+
+func mustType(mkt *market.Market, name string) market.InstanceType {
+	t, ok := mkt.Type(name)
+	if !ok {
+		log.Fatalf("unknown type %s", name)
+	}
+	return t
+}

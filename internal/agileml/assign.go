@@ -1,0 +1,287 @@
+package agileml
+
+import (
+	"fmt"
+	"sort"
+
+	"proteus/internal/cluster"
+)
+
+// Range is a half-open interval [Start, End) of training-item indices.
+type Range struct {
+	Start, End int
+}
+
+// Len reports the number of items in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// assignment is one data range with its ownership history. Prev records
+// earlier owners, newest last: when the current owner is evicted, the data
+// returns to the most recent previous owner that is still alive, which —
+// because previous owners preloaded the data (§3.3 footnote 5) — avoids a
+// reload from storage.
+type assignment struct {
+	rng   Range
+	owner cluster.MachineID
+	prev  []cluster.MachineID
+}
+
+// DataMap tracks which worker machine owns which slice of the input data.
+// The invariant maintained by every operation: the owned ranges exactly
+// tile [0, NumItems) with no overlap. DataMap is not safe for concurrent
+// use; the controller serializes access.
+type DataMap struct {
+	numItems int
+	assigns  []*assignment // kept sorted by rng.Start
+}
+
+// NewDataMap assigns all numItems items to the seed machines, split
+// evenly (§3.1: "input data is partitioned evenly amongst workers").
+func NewDataMap(numItems int, seed []cluster.MachineID) (*DataMap, error) {
+	if numItems <= 0 {
+		return nil, fmt.Errorf("agileml: numItems %d must be positive", numItems)
+	}
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("agileml: data map needs at least one machine")
+	}
+	dm := &DataMap{numItems: numItems}
+	bounds := splitEven(numItems, len(seed))
+	for i, m := range seed {
+		if bounds[i][0] == bounds[i][1] {
+			continue
+		}
+		dm.assigns = append(dm.assigns, &assignment{
+			rng:   Range{bounds[i][0], bounds[i][1]},
+			owner: m,
+		})
+	}
+	return dm, nil
+}
+
+// NumItems reports the total item count.
+func (dm *DataMap) NumItems() int { return dm.numItems }
+
+// Owners returns the set of machines that currently own data, sorted.
+func (dm *DataMap) Owners() []cluster.MachineID {
+	set := make(map[cluster.MachineID]bool)
+	for _, a := range dm.assigns {
+		set[a.owner] = true
+	}
+	out := make([]cluster.MachineID, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RangesOf returns the ranges a machine currently owns, sorted by start.
+func (dm *DataMap) RangesOf(m cluster.MachineID) []Range {
+	var out []Range
+	for _, a := range dm.assigns {
+		if a.owner == m {
+			out = append(out, a.rng)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Load reports how many items a machine currently owns.
+func (dm *DataMap) Load(m cluster.MachineID) int {
+	total := 0
+	for _, a := range dm.assigns {
+		if a.owner == m {
+			total += a.rng.Len()
+		}
+	}
+	return total
+}
+
+// AddMachines rebalances by splitting the most-loaded owners' ranges and
+// handing the new halves to the newcomers, one newcomer at a time. The
+// displaced portion records the old owner as previous owner, matching the
+// paper's Fig. 5 transition where new spot instances take over half of an
+// existing worker's items while the original keeps serving the rest.
+func (dm *DataMap) AddMachines(newcomers []cluster.MachineID) error {
+	for _, m := range newcomers {
+		if dm.Load(m) > 0 {
+			return fmt.Errorf("agileml: machine %d already owns data", m)
+		}
+	}
+	for _, m := range newcomers {
+		// Target load after adding this machine.
+		owners := dm.Owners()
+		target := dm.numItems / (len(owners) + 1)
+		if target == 0 {
+			continue // more machines than items; newcomer idles
+		}
+		need := target
+		for need > 0 {
+			donor := dm.largestAssignment(m)
+			if donor == nil || donor.rng.Len() <= 1 {
+				break
+			}
+			take := donor.rng.Len() / 2
+			if take > need {
+				take = need
+			}
+			if take == 0 {
+				break
+			}
+			// Split the donor range: donor keeps the front, newcomer
+			// takes the tail.
+			cut := donor.rng.End - take
+			moved := &assignment{
+				rng:   Range{cut, donor.rng.End},
+				owner: m,
+				prev:  append(append([]cluster.MachineID(nil), donor.prev...), donor.owner),
+			}
+			donor.rng.End = cut
+			dm.assigns = append(dm.assigns, moved)
+			need -= take
+		}
+	}
+	dm.normalize()
+	return nil
+}
+
+// largestAssignment returns the largest-range assignment not owned by
+// exclude, or nil.
+func (dm *DataMap) largestAssignment(exclude cluster.MachineID) *assignment {
+	var best *assignment
+	for _, a := range dm.assigns {
+		if a.owner == exclude {
+			continue
+		}
+		if best == nil || a.rng.Len() > best.rng.Len() {
+			best = a
+		}
+	}
+	return best
+}
+
+// RemoveMachines reassigns the data owned by the departing machines. Each
+// range goes to its most recent previous owner still alive (no reload
+// needed); ranges with no surviving previous owner go to the least-loaded
+// survivor. alive lists the machines that remain available for work.
+func (dm *DataMap) RemoveMachines(departing []cluster.MachineID, alive []cluster.MachineID) error {
+	if len(alive) == 0 {
+		return fmt.Errorf("agileml: no surviving machines to take over data")
+	}
+	dead := make(map[cluster.MachineID]bool, len(departing))
+	for _, m := range departing {
+		dead[m] = true
+	}
+	aliveSet := make(map[cluster.MachineID]bool, len(alive))
+	for _, m := range alive {
+		if dead[m] {
+			return fmt.Errorf("agileml: machine %d both departing and alive", m)
+		}
+		aliveSet[m] = true
+	}
+	for _, a := range dm.assigns {
+		if !dead[a.owner] {
+			continue
+		}
+		// Walk the provenance chain newest-first.
+		newOwner := cluster.MachineID(-1)
+		for i := len(a.prev) - 1; i >= 0; i-- {
+			if aliveSet[a.prev[i]] {
+				newOwner = a.prev[i]
+				a.prev = a.prev[:i]
+				break
+			}
+		}
+		if newOwner == -1 {
+			newOwner = dm.leastLoaded(alive)
+			a.prev = nil
+		}
+		a.owner = newOwner
+	}
+	dm.normalize()
+	return nil
+}
+
+func (dm *DataMap) leastLoaded(candidates []cluster.MachineID) cluster.MachineID {
+	best := candidates[0]
+	bestLoad := dm.Load(best)
+	for _, m := range candidates[1:] {
+		if l := dm.Load(m); l < bestLoad {
+			best, bestLoad = m, l
+		}
+	}
+	return best
+}
+
+// normalize drops empty ranges, merges adjacent ranges with the same
+// owner and provenance, and keeps assignments sorted.
+func (dm *DataMap) normalize() {
+	var kept []*assignment
+	for _, a := range dm.assigns {
+		if a.rng.Len() > 0 {
+			kept = append(kept, a)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].rng.Start < kept[j].rng.Start })
+	var merged []*assignment
+	for _, a := range kept {
+		if n := len(merged); n > 0 {
+			last := merged[n-1]
+			if last.owner == a.owner && last.rng.End == a.rng.Start && samePrev(last.prev, a.prev) {
+				last.rng.End = a.rng.End
+				continue
+			}
+		}
+		merged = append(merged, a)
+	}
+	dm.assigns = merged
+}
+
+func samePrev(a, b []cluster.MachineID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the tiling invariant: ranges cover [0, NumItems)
+// contiguously without overlap.
+func (dm *DataMap) Validate() error {
+	sorted := append([]*assignment(nil), dm.assigns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].rng.Start < sorted[j].rng.Start })
+	pos := 0
+	for _, a := range sorted {
+		if a.rng.Start != pos {
+			return fmt.Errorf("agileml: gap or overlap at item %d (next range starts at %d)", pos, a.rng.Start)
+		}
+		if a.rng.Len() <= 0 {
+			return fmt.Errorf("agileml: empty range at %d", a.rng.Start)
+		}
+		pos = a.rng.End
+	}
+	if pos != dm.numItems {
+		return fmt.Errorf("agileml: coverage ends at %d, want %d", pos, dm.numItems)
+	}
+	return nil
+}
+
+func splitEven(n, parts int) [][2]int {
+	out := make([][2]int, parts)
+	base, rem := n/parts, n%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = [2]int{start, start + size}
+		start += size
+	}
+	return out
+}

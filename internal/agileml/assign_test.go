@@ -1,0 +1,185 @@
+package agileml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/cluster"
+)
+
+func mids(ids ...int) []cluster.MachineID {
+	out := make([]cluster.MachineID, len(ids))
+	for i, id := range ids {
+		out[i] = cluster.MachineID(id)
+	}
+	return out
+}
+
+func TestNewDataMapEvenSplit(t *testing.T) {
+	dm, err := NewDataMap(100, mids(1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mids(1, 2, 3, 4) {
+		if l := dm.Load(m); l != 25 {
+			t.Fatalf("machine %d load = %d, want 25", m, l)
+		}
+	}
+	if dm.NumItems() != 100 {
+		t.Fatalf("NumItems = %d", dm.NumItems())
+	}
+}
+
+func TestNewDataMapValidation(t *testing.T) {
+	if _, err := NewDataMap(0, mids(1)); err == nil {
+		t.Fatal("zero items accepted")
+	}
+	if _, err := NewDataMap(10, nil); err == nil {
+		t.Fatal("no machines accepted")
+	}
+}
+
+func TestAddMachinesRebalances(t *testing.T) {
+	dm, _ := NewDataMap(120, mids(1, 2))
+	if err := dm.AddMachines(mids(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 4 machines should own a reasonable share.
+	for _, m := range mids(1, 2, 3, 4) {
+		l := dm.Load(m)
+		if l < 15 || l > 60 {
+			t.Fatalf("machine %d load = %d after rebalance", m, l)
+		}
+	}
+	if err := dm.AddMachines(mids(3)); err == nil {
+		t.Fatal("re-adding an owner accepted")
+	}
+}
+
+func TestRemoveMachinesReturnsToPreviousOwner(t *testing.T) {
+	dm, _ := NewDataMap(100, mids(1))
+	dm.AddMachines(mids(2)) // machine 2 takes half of machine 1's data
+	l1, l2 := dm.Load(1), dm.Load(2)
+	if l2 == 0 {
+		t.Fatal("newcomer got no data")
+	}
+	// Evict machine 2: its data must return to machine 1 (the previous
+	// owner), restoring the original assignment exactly.
+	if err := dm.RemoveMachines(mids(2), mids(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Load(1) != l1+l2 {
+		t.Fatalf("load after return = %d, want %d", dm.Load(1), l1+l2)
+	}
+	if len(dm.RangesOf(1)) != 1 {
+		t.Fatalf("ranges did not merge: %v", dm.RangesOf(1))
+	}
+}
+
+func TestRemoveMachinesFallsBackToLeastLoaded(t *testing.T) {
+	dm, _ := NewDataMap(90, mids(1, 2, 3))
+	// Remove machine 1; its range has no previous owner, so it goes to the
+	// least-loaded survivor.
+	if err := dm.RemoveMachines(mids(1), mids(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Load(2)+dm.Load(3) != 90 {
+		t.Fatal("items lost on removal")
+	}
+}
+
+func TestRemoveMachinesValidation(t *testing.T) {
+	dm, _ := NewDataMap(10, mids(1, 2))
+	if err := dm.RemoveMachines(mids(1), nil); err == nil {
+		t.Fatal("no survivors accepted")
+	}
+	if err := dm.RemoveMachines(mids(1), mids(1)); err == nil {
+		t.Fatal("departing machine listed alive accepted")
+	}
+}
+
+func TestMoreMachinesThanItems(t *testing.T) {
+	dm, err := NewDataMap(2, mids(1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range mids(1, 2, 3, 4) {
+		total += dm.Load(m)
+	}
+	if total != 2 {
+		t.Fatalf("total = %d, want 2", total)
+	}
+}
+
+// Property: any interleaving of adds and removes preserves the tiling
+// invariant and total coverage.
+func TestPropertyDataMapInvariant(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dm, err := NewDataMap(200, mids(0))
+		if err != nil {
+			return false
+		}
+		alive := map[cluster.MachineID]bool{0: true}
+		nextID := cluster.MachineID(1)
+		for _, op := range opsRaw {
+			if op%2 == 0 || len(alive) == 1 {
+				// Add 1–3 machines.
+				var ms []cluster.MachineID
+				for i := 0; i < 1+rng.Intn(3); i++ {
+					ms = append(ms, nextID)
+					alive[nextID] = true
+					nextID++
+				}
+				if err := dm.AddMachines(ms); err != nil {
+					return false
+				}
+			} else {
+				// Remove one random machine (keep at least one alive).
+				var all []cluster.MachineID
+				for m := range alive {
+					all = append(all, m)
+				}
+				victim := all[rng.Intn(len(all))]
+				delete(alive, victim)
+				var surv []cluster.MachineID
+				for m := range alive {
+					surv = append(surv, m)
+				}
+				if err := dm.RemoveMachines([]cluster.MachineID{victim}, surv); err != nil {
+					return false
+				}
+			}
+			if err := dm.Validate(); err != nil {
+				return false
+			}
+			// Every owner must be alive.
+			for _, o := range dm.Owners() {
+				if !alive[o] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

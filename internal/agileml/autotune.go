@@ -1,0 +1,115 @@
+package agileml
+
+import (
+	"fmt"
+
+	"proteus/internal/perfmodel"
+)
+
+// Automated stage-threshold selection — the future work §3.3 sketches:
+// "appropriate thresholds for different compute clusters were determined
+// by measuring and comparing system performance for the three stages at
+// different ratios ... We believe that future work can automate the
+// threshold selection process for any given cluster."
+//
+// TuneThresholds runs exactly that comparison against the performance
+// model: for a footprint of n machines it sweeps the transient:reliable
+// ratio, evaluates each stage's iteration time, and returns the ratios at
+// which stage 2 starts beating stage 1 and stage 3 starts beating
+// stage 2. The paper also observes low sensitivity to the exact values;
+// SweepStages exposes the full curves so callers can see the flatness.
+
+// StagePoint is one ratio's modeled iteration time under each stage.
+type StagePoint struct {
+	Reliable  int
+	Transient int
+	Ratio     float64
+	Stage1    float64 // seconds per iteration
+	Stage2    float64
+	Stage3    float64
+}
+
+// SweepStages evaluates all three stages across every reliable-machine
+// count from n-1 down to 1 (transient = n - reliable), for a footprint of
+// n machines.
+func SweepStages(c perfmodel.Cluster, w perfmodel.Workload, n int) ([]StagePoint, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("agileml: sweep needs at least 4 machines, got %d", n)
+	}
+	iter := func(l perfmodel.Layout) (float64, error) {
+		b, err := perfmodel.IterationTime(c, w, l)
+		if err != nil {
+			return 0, err
+		}
+		return b.Total, nil
+	}
+	var out []StagePoint
+	for reliable := n / 2; reliable >= 1; reliable-- {
+		transient := n - reliable
+		actives := (transient + 1) / 2
+		s1, err := iter(perfmodel.Stage1(reliable, transient))
+		if err != nil {
+			return nil, err
+		}
+		s2, err := iter(perfmodel.Stage2(reliable, transient, actives))
+		if err != nil {
+			return nil, err
+		}
+		s3, err := iter(perfmodel.Stage3(reliable, transient, actives))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StagePoint{
+			Reliable:  reliable,
+			Transient: transient,
+			Ratio:     float64(transient) / float64(reliable),
+			Stage1:    s1,
+			Stage2:    s2,
+			Stage3:    s3,
+		})
+	}
+	return out, nil
+}
+
+// TuneThresholds derives stage-switch thresholds for a given cluster and
+// workload from the sweep: the stage-2 threshold is the last ratio at
+// which stage 1 still wins, and the stage-3 threshold the last ratio at
+// which stage 2 still wins. Sweeps where a crossover never happens fall
+// back to the paper's defaults for that threshold.
+func TuneThresholds(c perfmodel.Cluster, w perfmodel.Workload, n int) (Thresholds, []StagePoint, error) {
+	points, err := SweepStages(c, w, n)
+	if err != nil {
+		return Thresholds{}, nil, err
+	}
+	th := DefaultThresholds()
+
+	// Ratios ascend through the sweep. Find the crossovers.
+	s2Cross, s3Cross := -1.0, -1.0
+	for i, p := range points {
+		if s2Cross < 0 && p.Stage2 < p.Stage1 {
+			if i > 0 {
+				s2Cross = points[i-1].Ratio
+			} else {
+				s2Cross = p.Ratio
+			}
+		}
+		if s3Cross < 0 && p.Stage3 < p.Stage2 {
+			if i > 0 {
+				s3Cross = points[i-1].Ratio
+			} else {
+				s3Cross = p.Ratio
+			}
+		}
+	}
+	if s2Cross > 0 {
+		th.Stage2 = s2Cross
+	}
+	if s3Cross > 0 && s3Cross > th.Stage2 {
+		th.Stage3 = s3Cross
+	}
+	if err := th.Validate(); err != nil {
+		// Degenerate sweep (e.g. tiny footprints): fall back entirely.
+		return DefaultThresholds(), points, nil
+	}
+	return th, points, nil
+}

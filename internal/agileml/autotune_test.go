@@ -1,0 +1,80 @@
+package agileml
+
+import (
+	"testing"
+
+	"proteus/internal/perfmodel"
+)
+
+func TestSweepStagesShapes(t *testing.T) {
+	points, err := SweepStages(perfmodel.ClusterA(), perfmodel.MFNetflix(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// Ratios ascend; every point has positive times.
+	for i, p := range points {
+		if p.Stage1 <= 0 || p.Stage2 <= 0 || p.Stage3 <= 0 {
+			t.Fatalf("point %d has non-positive times: %+v", i, p)
+		}
+		if i > 0 && p.Ratio <= points[i-1].Ratio {
+			t.Fatal("ratios not ascending")
+		}
+	}
+	// At the lowest ratio stage 1 wins; at the highest stage 3 beats
+	// stage 2 with workers on the reliable machine — the paper's Fig. 13.
+	first, last := points[0], points[len(points)-1]
+	if first.Stage1 >= first.Stage2 {
+		t.Fatalf("stage 1 should win at ratio %.1f: s1=%.2f s2=%.2f", first.Ratio, first.Stage1, first.Stage2)
+	}
+	if last.Stage3 >= last.Stage2 {
+		t.Fatalf("stage 3 should win at ratio %.1f: s2=%.2f s3=%.2f", last.Ratio, last.Stage2, last.Stage3)
+	}
+}
+
+func TestTuneThresholdsOnClusterA(t *testing.T) {
+	th, points, err := TuneThresholds(perfmodel.ClusterA(), perfmodel.MFNetflix(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatalf("tuned thresholds invalid: %v", err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no sweep points returned")
+	}
+	// The paper's hand-tuned values for this cluster are 1:1 and 15:1 and
+	// it reports low sensitivity. The automated pass must land in the
+	// same regime: stage 2 within [1, 8], stage 3 within (stage2, 64).
+	if th.Stage2 < 1 || th.Stage2 > 8 {
+		t.Fatalf("tuned stage-2 threshold %.1f far from the paper's 1:1", th.Stage2)
+	}
+	if th.Stage3 <= th.Stage2 || th.Stage3 > 64 {
+		t.Fatalf("tuned stage-3 threshold %.1f out of range", th.Stage3)
+	}
+	t.Logf("tuned thresholds: stage2 at %.1f:1, stage3 at %.1f:1 (paper: 1:1, 15:1)", th.Stage2, th.Stage3)
+}
+
+func TestTuneThresholdsUsableByController(t *testing.T) {
+	th, _, err := TuneThresholds(perfmodel.ClusterA(), perfmodel.MFNetflix(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApp(80)
+	seed := mkMachines(0, 0 /* Reliable */, 2)
+	ctrl, err := New(Config{App: app, MaxMachines: 64, Staleness: 1, Thresholds: th}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRunner(ctrl, app).RunClocks(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepStagesValidation(t *testing.T) {
+	if _, err := SweepStages(perfmodel.ClusterA(), perfmodel.MFNetflix(), 2); err == nil {
+		t.Fatal("tiny footprint accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package agileml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"proteus/internal/cluster"
+	"proteus/internal/ps"
+)
+
+// Checkpointing of reliable resources (§3.3): "To account for the
+// infrequent failure of reliable resources, checkpointing of reliable
+// resources can be used. In stage 3 of AgileML, checkpointing of reliable
+// resources has no overhead on ML training speed because there are no
+// worker threads running on these resources."
+//
+// The checkpoint captures the reliable tier's authoritative copy of the
+// model — the ParamServ partitions in stage 1, the BackupPS partitions in
+// stages 2–3 — at its latest consistent clock. Restoring rebuilds a
+// stage-1 controller from that state, from which normal elasticity
+// resumes. The encoding is gob so a checkpoint can be persisted.
+
+// Checkpoint is a serializable snapshot of the reliable tier's state.
+type Checkpoint struct {
+	// Clock is the globally consistent clock the snapshot represents.
+	Clock int
+	// Partitions holds one snapshot per model partition.
+	Partitions []*ps.Snapshot
+}
+
+// Bytes estimates the checkpoint's size on storage.
+func (ck *Checkpoint) Bytes() int {
+	total := 0
+	for _, s := range ck.Partitions {
+		total += s.Bytes()
+	}
+	return total
+}
+
+// Encode serializes the checkpoint (for writing to stable storage).
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return nil, fmt.Errorf("agileml: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint deserializes a checkpoint produced by Encode.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("agileml: decode checkpoint: %w", err)
+	}
+	return &ck, nil
+}
+
+// CheckpointReliable snapshots the reliable tier. In stages 2–3 the
+// snapshot reads only BackupPS state (no worker or ActivePS interaction,
+// hence the paper's "no overhead" observation); in stage 1 it snapshots
+// the ParamServs at the current consistent clock.
+func (c *Controller) CheckpointReliable() (*Checkpoint, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ck := &Checkpoint{}
+	if c.stage == Stage1 {
+		ck.Clock = c.router.Clocks().Min()
+	} else {
+		ck.Clock = c.consClock
+	}
+	for p := 0; p < c.cfg.Partitions; p++ {
+		pid := ps.PartitionID(p)
+		var src *ps.Server
+		if c.stage == Stage1 {
+			owner, err := c.router.Owner(pid)
+			if err != nil {
+				return nil, err
+			}
+			src = owner
+		} else {
+			src = c.router.Backup(pid)
+			if src == nil {
+				return nil, fmt.Errorf("agileml: partition %d has no reliable copy", pid)
+			}
+		}
+		snap, err := src.SnapshotPartition(pid)
+		if err != nil {
+			return nil, err
+		}
+		// The reliable copy is authoritative as of ck.Clock; the delta
+		// log (stage-1 ParamServs do not keep one anyway) is irrelevant
+		// to a restore, and the restored state counts as fully flushed.
+		snap.Log = nil
+		snap.Clock = ck.Clock
+		snap.FlushedClock = ck.Clock
+		ck.Partitions = append(ck.Partitions, snap)
+	}
+	return ck, nil
+}
+
+// RestoreFromCheckpoint builds a fresh controller over the seed machines
+// with the checkpointed model state instead of the application's initial
+// state — the recovery path after the reliable tier itself is lost.
+// Workers restart from the checkpoint's clock. The checkpoint's partition
+// count must match cfg's.
+func RestoreFromCheckpoint(cfg Config, seed []*cluster.Machine, ck *Checkpoint) (*Controller, error) {
+	if ck == nil || len(ck.Partitions) == 0 {
+		return nil, fmt.Errorf("agileml: empty checkpoint")
+	}
+	cfg.restore = ck
+	if cfg.Partitions == 0 {
+		cfg.Partitions = len(ck.Partitions)
+	}
+	if cfg.Partitions != len(ck.Partitions) {
+		return nil, fmt.Errorf("agileml: checkpoint has %d partitions, config wants %d",
+			len(ck.Partitions), cfg.Partitions)
+	}
+	return New(cfg, seed)
+}

@@ -1,0 +1,139 @@
+package agileml
+
+import (
+	"testing"
+
+	"proteus/internal/cluster"
+)
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	app := testApp(90)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 6)...)
+	ctrl := newController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunClocks(10); err != nil {
+		t.Fatal(err)
+	}
+	objAtCkpt, _ := runner.Objective()
+
+	ck, err := ctrl.CheckpointReliable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Clock != 10 {
+		t.Fatalf("checkpoint clock = %d, want 10", ck.Clock)
+	}
+	if ck.Bytes() <= 0 {
+		t.Fatal("empty checkpoint")
+	}
+
+	// Serialize and deserialize — the checkpoint is meant for storage.
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Clock != ck.Clock || len(back.Partitions) != len(ck.Partitions) {
+		t.Fatalf("decoded checkpoint differs: %d/%d", back.Clock, len(back.Partitions))
+	}
+
+	// Total loss of the original job: restore on fresh machines.
+	fresh := mkMachines(100, cluster.Reliable, 2)
+	restored, err := RestoreFromCheckpoint(Config{App: app, MaxMachines: 64, Staleness: 1}, fresh, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner2 := NewRunner(restored, app)
+	objAfterRestore, err := runner2.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := objAfterRestore - objAtCkpt; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("restored objective %.6f != checkpointed %.6f", objAfterRestore, objAtCkpt)
+	}
+	// Training resumes and keeps converging, and new workers start at the
+	// checkpoint clock rather than zero.
+	if restored.ConsistentClock() < 10 {
+		t.Fatalf("restored consistent clock = %d, want >= 10", restored.ConsistentClock())
+	}
+	if err := runner2.RunClocks(5); err != nil {
+		t.Fatal(err)
+	}
+	objLater, _ := runner2.Objective()
+	if objLater >= objAfterRestore {
+		t.Fatalf("no progress after restore: %.4f -> %.4f", objAfterRestore, objLater)
+	}
+}
+
+func TestCheckpointStage1(t *testing.T) {
+	app := testApp(91)
+	ctrl := newController(t, app, mkMachines(0, cluster.Reliable, 3))
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunClocks(4); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ctrl.CheckpointReliable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Clock != 4 {
+		t.Fatalf("stage-1 checkpoint clock = %d", ck.Clock)
+	}
+	for _, s := range ck.Partitions {
+		if s.FlushedClock != ck.Clock {
+			t.Fatalf("partition %d flushed clock %d != %d", s.ID, s.FlushedClock, ck.Clock)
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	app := testApp(92)
+	seed := mkMachines(0, cluster.Reliable, 2)
+	if _, err := RestoreFromCheckpoint(Config{App: app, MaxMachines: 8}, seed, nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+	if _, err := RestoreFromCheckpoint(Config{App: app, MaxMachines: 8}, seed, &Checkpoint{}); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+	ctrl := newController(t, app, seed)
+	ck, err := ctrl.CheckpointReliable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition-count mismatch rejected.
+	bad := Config{App: app, MaxMachines: 8, Partitions: len(ck.Partitions) + 1}
+	if _, err := RestoreFromCheckpoint(bad, seed, ck); err == nil {
+		t.Fatal("partition mismatch accepted")
+	}
+}
+
+func TestCheckpointWhileElastic(t *testing.T) {
+	// A checkpoint taken in stage 2 captures the backup tier; evicting
+	// everything afterwards and restoring elsewhere must preserve the
+	// consistent state.
+	app := testApp(93)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 8)...)
+	ctrl := newController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunClocks(6); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ctrl.CheckpointReliable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Clock != ctrl.ConsistentClock() {
+		t.Fatalf("checkpoint clock %d != consistent clock %d", ck.Clock, ctrl.ConsistentClock())
+	}
+	restored, err := RestoreFromCheckpoint(Config{App: app, MaxMachines: 64, Staleness: 1},
+		mkMachines(200, cluster.Reliable, 2), ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRunner(restored, app).RunClocks(3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package agileml_test
+
+import (
+	"fmt"
+
+	"proteus/internal/agileml"
+	"proteus/internal/cluster"
+	"proteus/internal/dataset"
+	"proteus/internal/ml/mf"
+)
+
+// Example shows the minimal AgileML lifecycle: train on reliable machines,
+// absorb a bulk addition of transient machines (stage transition), then
+// survive their bulk eviction without losing the model.
+func Example() {
+	data := dataset.GenerateMF(dataset.MFConfig{
+		Users: 30, Items: 20, Rank: 3, Observed: 250, Noise: 0.01,
+	}, 1)
+	app := mf.New(mf.DefaultConfig(3), data)
+
+	reliable := []*cluster.Machine{
+		{ID: 0, Tier: cluster.Reliable, Cores: 8},
+		{ID: 1, Tier: cluster.Reliable, Cores: 8},
+	}
+	ctrl, err := agileml.New(agileml.Config{App: app, MaxMachines: 16, Staleness: 1}, reliable)
+	if err != nil {
+		panic(err)
+	}
+	runner := agileml.NewRunner(ctrl, app)
+	fmt.Println("start:", ctrl.Stage())
+
+	// Bulk addition: 6 spot machines arrive; the 3:1 ratio selects stage 2.
+	var spot []*cluster.Machine
+	var ids []cluster.MachineID
+	for i := 10; i < 16; i++ {
+		m := &cluster.Machine{ID: cluster.MachineID(i), Tier: cluster.Transient, Cores: 8}
+		spot = append(spot, m)
+		ids = append(ids, m.ID)
+	}
+	if err := ctrl.AddMachines(spot); err != nil {
+		panic(err)
+	}
+	fmt.Println("after scale-up:", ctrl.Stage())
+	if err := runner.RunClocks(5); err != nil {
+		panic(err)
+	}
+
+	// Bulk eviction with warning: state drains to the reliable tier.
+	if err := ctrl.HandleEvictionWarning(ids); err != nil {
+		panic(err)
+	}
+	if err := ctrl.CompleteEviction(ids); err != nil {
+		panic(err)
+	}
+	fmt.Println("after eviction:", ctrl.Stage())
+	fmt.Println("recoveries needed:", ctrl.Recoveries())
+	// Output:
+	// start: stage1
+	// after scale-up: stage2
+	// after eviction: stage1
+	// recoveries needed: 0
+}

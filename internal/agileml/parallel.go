@@ -1,0 +1,103 @@
+package agileml
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"proteus/internal/cluster"
+)
+
+// RunClockParallel executes one global iteration with every worker
+// running concurrently on its own goroutine — the deployment shape of the
+// real system, where each machine's worker threads progress
+// independently and the parameter servers serialize access internally.
+// The elasticity controller must not be mutated while a parallel clock is
+// in flight (in the real system the controller quiesces workers around
+// transitions; the synchronous RunClock interleaves them for
+// deterministic tests).
+func (r *Runner) RunClockParallel() error {
+	assigns := r.ctrl.WorkerAssignments()
+	if len(assigns) == 0 {
+		return fmt.Errorf("agileml: no workers to run")
+	}
+	errs := make([]error, len(assigns))
+	var wg sync.WaitGroup
+	for i, wa := range assigns {
+		wg.Add(1)
+		go func(i int, wa WorkerAssignment) {
+			defer wg.Done()
+			for _, rng := range wa.Ranges {
+				if err := r.app.ProcessRange(wa.Client, rng.Start, rng.End); err != nil {
+					errs[i] = fmt.Errorf("agileml: worker %d: %w", wa.Machine, err)
+					return
+				}
+			}
+			if err := wa.Client.Clock(); err != nil {
+				errs[i] = fmt.Errorf("agileml: worker %d clock: %w", wa.Machine, err)
+				return
+			}
+			wa.Client.Invalidate()
+		}(i, wa)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := r.ctrl.FlushActives(); err != nil {
+		return err
+	}
+	r.iterations++
+	return nil
+}
+
+// Watchdog turns missing heartbeats into failure handling (§3.3:
+// "failures ... are detected via heartbeat messages"). Machines beat as
+// they make progress; machines silent past the timeout are reported to
+// the controller as failed, triggering the online rollback recovery.
+// Time is supplied explicitly by the caller (virtual or wall clock).
+type Watchdog struct {
+	ctrl    *Controller
+	monitor *cluster.HeartbeatMonitor
+}
+
+// NewWatchdog creates a watchdog with the given heartbeat timeout.
+func NewWatchdog(ctrl *Controller, timeout time.Duration) *Watchdog {
+	return &Watchdog{
+		ctrl:    ctrl,
+		monitor: cluster.NewHeartbeatMonitor(timeout),
+	}
+}
+
+// Track starts monitoring a transient machine as of now. Reliable
+// machines are assumed not to fail (their rare failures are covered by
+// checkpointing per §3.3) and are ignored.
+func (w *Watchdog) Track(m *cluster.Machine, now time.Duration) {
+	if m.Tier != cluster.Transient {
+		return
+	}
+	w.monitor.Track(m.ID, now)
+}
+
+// Forget stops monitoring a machine (clean departure).
+func (w *Watchdog) Forget(id cluster.MachineID) { w.monitor.Forget(id) }
+
+// Beat records a heartbeat from a machine.
+func (w *Watchdog) Beat(id cluster.MachineID, now time.Duration) {
+	w.monitor.Beat(id, now)
+}
+
+// Check declares silent machines failed and runs the controller's
+// rollback recovery on them. It returns the failed machine IDs.
+func (w *Watchdog) Check(now time.Duration) ([]cluster.MachineID, error) {
+	expired := w.monitor.Expired(now)
+	if len(expired) == 0 {
+		return nil, nil
+	}
+	if err := w.ctrl.HandleFailure(expired); err != nil {
+		return expired, err
+	}
+	return expired, nil
+}

@@ -1,0 +1,154 @@
+package agileml
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/cluster"
+)
+
+func TestRunClockParallelConverges(t *testing.T) {
+	app := testApp(40)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 6)...)
+	ctrl := newController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+
+	before, err := runner.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := runner.RunClockParallel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runner.Iterations() != 25 {
+		t.Fatalf("iterations = %d", runner.Iterations())
+	}
+	after, err := runner.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before*0.7 {
+		t.Fatalf("parallel training did not converge: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestRunClockParallelMatchesElasticity(t *testing.T) {
+	// Parallel clocks interleaved with membership changes (changes happen
+	// between clocks, as the controller requires).
+	app := testApp(41)
+	ctrl := newController(t, app, mkMachines(0, cluster.Reliable, 2))
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunClockParallel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.AddMachines(mkMachines(10, cluster.Transient, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := runner.RunClockParallel(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := machineIDs(mkMachines(10, cluster.Transient, 8))
+	if err := ctrl.HandleEvictionWarning(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.CompleteEviction(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.RunClockParallel(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchdogDetectsSilentMachine(t *testing.T) {
+	app := testApp(42)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 8)...)
+	ctrl := newController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunClocks(4); err != nil {
+		t.Fatal(err)
+	}
+
+	wd := NewWatchdog(ctrl, 10*time.Second)
+	for _, m := range seed {
+		wd.Track(m, 0)
+	}
+	// All machines beat at t=5s except machine 3 (which hosts an
+	// ActivePS, being among the longest-running transients).
+	for _, m := range seed {
+		if m.ID != 3 {
+			wd.Beat(m.ID, 5*time.Second)
+		}
+	}
+	failed, err := wd.Check(12 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != 3 {
+		t.Fatalf("failed = %v, want [3]", failed)
+	}
+	if ctrl.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d, want 1 (machine 3 hosted an ActivePS)", ctrl.Recoveries())
+	}
+	// Training continues after the watchdog-triggered recovery.
+	if err := runner.RunClocks(3); err != nil {
+		t.Fatal(err)
+	}
+	// Survivors keep beating: the next check reports nothing new.
+	for _, m := range seed {
+		if m.ID != 3 {
+			wd.Beat(m.ID, 55*time.Second)
+		}
+	}
+	failed, err = wd.Check(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("spurious failures: %v", failed)
+	}
+}
+
+func TestWatchdogIgnoresReliableMachines(t *testing.T) {
+	app := testApp(43)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 2)...)
+	ctrl := newController(t, app, seed)
+	wd := NewWatchdog(ctrl, time.Second)
+	for _, m := range seed {
+		wd.Track(m, 0)
+	}
+	// Nobody beats; only the transients may be declared failed.
+	failed, err := wd.Check(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range failed {
+		if id == 0 || id == 1 {
+			t.Fatalf("reliable machine %d declared failed", id)
+		}
+	}
+	if len(failed) != 2 {
+		t.Fatalf("failed = %v, want both transients", failed)
+	}
+}
+
+func TestWatchdogForget(t *testing.T) {
+	app := testApp(44)
+	seed := append(mkMachines(0, cluster.Reliable, 1), mkMachines(1, cluster.Transient, 2)...)
+	ctrl := newController(t, app, seed)
+	wd := NewWatchdog(ctrl, time.Second)
+	for _, m := range seed {
+		wd.Track(m, 0)
+	}
+	wd.Forget(1) // cleanly departed
+	failed, err := wd.Check(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("failed = %v, want [2]", failed)
+	}
+}

@@ -1,0 +1,132 @@
+package agileml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"proteus/internal/cluster"
+	"proteus/internal/ps"
+)
+
+// TestPropertyElasticityInvariants drives the controller with random
+// sequences of additions, warned evictions, failures, and training clocks,
+// checking after every step that:
+//
+//  1. every partition has a serving owner of an appropriate role,
+//  2. the stage matches the machine ratio per the thresholds,
+//  3. the data map tiles the input exactly and only live workers own data,
+//  4. a training clock always succeeds and the objective stays finite.
+func TestPropertyElasticityInvariants(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7))
+		app := testApp(int64(200 + trial))
+		ctrl := newController(t, app, mkMachines(0, cluster.Reliable, 2))
+		runner := NewRunner(ctrl, app)
+
+		nextID := 100
+		var transients []cluster.MachineID
+
+		check := func(step int, op string) {
+			t.Helper()
+			router := ctrl.Router()
+			for p := 0; p < router.NumPartitions(); p++ {
+				owner, err := router.Owner(ps.PartitionID(p))
+				if err != nil {
+					t.Fatalf("trial %d step %d (%s): partition %d ownerless: %v", trial, step, op, p, err)
+				}
+				role := owner.Role()
+				if role != ps.ParamServ && role != ps.ActivePS {
+					t.Fatalf("trial %d step %d (%s): partition %d served by %v", trial, step, op, p, role)
+				}
+				backup := router.Backup(ps.PartitionID(p))
+				if ctrl.Stage() == Stage1 && backup != nil {
+					t.Fatalf("trial %d step %d (%s): stage-1 partition %d has a backup", trial, step, op, p)
+				}
+				if ctrl.Stage() != Stage1 && backup == nil {
+					t.Fatalf("trial %d step %d (%s): stage-%v partition %d lacks a backup", trial, step, op, ctrl.Stage(), p)
+				}
+			}
+			rel, trans := ctrl.NumMachines()
+			if want := DefaultThresholds().StageFor(rel, trans); ctrl.Stage() != want {
+				t.Fatalf("trial %d step %d (%s): stage %v at %d:%d, want %v", trial, step, op, ctrl.Stage(), trans, rel, want)
+			}
+			if err := ctrl.DataMapSnapshot().Validate(); err != nil {
+				t.Fatalf("trial %d step %d (%s): %v", trial, step, op, err)
+			}
+			if err := runner.RunClock(); err != nil {
+				t.Fatalf("trial %d step %d (%s): clock failed: %v", trial, step, op, err)
+			}
+			obj, err := runner.Objective()
+			if err != nil {
+				t.Fatalf("trial %d step %d (%s): objective: %v", trial, step, op, err)
+			}
+			if math.IsNaN(obj) || math.IsInf(obj, 0) {
+				t.Fatalf("trial %d step %d (%s): objective = %v", trial, step, op, obj)
+			}
+		}
+
+		for step := 0; step < 12; step++ {
+			var op string
+			switch rng.Intn(4) {
+			case 0: // add 1–10 transients (respect MaxMachines 64)
+				rel, trans := ctrl.NumMachines()
+				room := 64 - rel - trans
+				if room <= 0 {
+					op = "noop-full"
+					break
+				}
+				k := 1 + rng.Intn(10)
+				if k > room {
+					k = room
+				}
+				ms := mkMachines(nextID, cluster.Transient, k)
+				nextID += k
+				if err := ctrl.AddMachines(ms); err != nil {
+					t.Fatalf("trial %d step %d: add: %v", trial, step, err)
+				}
+				for _, m := range ms {
+					transients = append(transients, m.ID)
+				}
+				op = "add"
+			case 1: // warned eviction of a random subset
+				if len(transients) == 0 {
+					op = "noop-evict"
+					break
+				}
+				k := 1 + rng.Intn(len(transients))
+				victims := append([]cluster.MachineID(nil), transients[:k]...)
+				transients = transients[k:]
+				if err := ctrl.HandleEvictionWarning(victims); err != nil {
+					t.Fatalf("trial %d step %d: warn: %v", trial, step, err)
+				}
+				if err := ctrl.CompleteEviction(victims); err != nil {
+					t.Fatalf("trial %d step %d: evict: %v", trial, step, err)
+				}
+				op = "evict"
+			case 2: // failure of a random subset (no warning)
+				if len(transients) == 0 {
+					op = "noop-fail"
+					break
+				}
+				k := 1 + rng.Intn(minInt(3, len(transients)))
+				victims := append([]cluster.MachineID(nil), transients[len(transients)-k:]...)
+				transients = transients[:len(transients)-k]
+				if err := ctrl.HandleFailure(victims); err != nil {
+					t.Fatalf("trial %d step %d: fail: %v", trial, step, err)
+				}
+				op = "fail"
+			case 3: // just train
+				op = "train"
+			}
+			check(step, op)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package agileml
+
+import (
+	"fmt"
+
+	"proteus/internal/ps"
+)
+
+// Runner drives training iterations over the controller's current worker
+// set. The synchronous runner executes one global clock at a time —
+// every worker processes its assigned ranges, clocks, and then the
+// controller streams active→backup deltas — which makes elasticity
+// experiments deterministic. (The ml package tests exercise fully
+// concurrent workers against the same servers; the serialization here is
+// a test-determinism choice, not a framework constraint.)
+type Runner struct {
+	ctrl *Controller
+	app  App
+
+	iterations int
+}
+
+// NewRunner pairs a controller with its application.
+func NewRunner(ctrl *Controller, app App) *Runner {
+	return &Runner{ctrl: ctrl, app: app}
+}
+
+// Iterations reports how many global clocks have completed.
+func (r *Runner) Iterations() int { return r.iterations }
+
+// RunClock executes one global iteration: each worker processes its data
+// ranges and advances its clock, then the ActivePSs flush to the backups.
+func (r *Runner) RunClock() error {
+	assigns := r.ctrl.WorkerAssignments()
+	if len(assigns) == 0 {
+		return fmt.Errorf("agileml: no workers to run")
+	}
+	for _, wa := range assigns {
+		for _, rng := range wa.Ranges {
+			if err := r.app.ProcessRange(wa.Client, rng.Start, rng.End); err != nil {
+				return fmt.Errorf("agileml: worker %d: %w", wa.Machine, err)
+			}
+		}
+		if err := wa.Client.Clock(); err != nil {
+			return fmt.Errorf("agileml: worker %d clock: %w", wa.Machine, err)
+		}
+		wa.Client.Invalidate()
+	}
+	if err := r.ctrl.FlushActives(); err != nil {
+		return err
+	}
+	r.iterations++
+	return nil
+}
+
+// RunClocks executes n iterations.
+func (r *Runner) RunClocks(n int) error {
+	for i := 0; i < n; i++ {
+		if err := r.RunClock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Objective evaluates the application objective through a temporary
+// fresh-read client that does not hold back the job's clock.
+func (r *Runner) Objective() (float64, error) {
+	cl := ps.NewClient(fmt.Sprintf("eval-%d", r.iterations), r.ctrl.Router(), 0)
+	defer cl.Close()
+	return r.app.Objective(cl)
+}

@@ -1,0 +1,81 @@
+// Package agileml implements AgileML, the paper's elastic parameter-server
+// framework (§3).
+//
+// AgileML organizes resources into reliability tiers and moves between
+// three stages of functionality partitioning as the transient:reliable
+// ratio changes (§3.2):
+//
+//	Stage 1 — ParamServs only on reliable machines; transient machines run
+//	          only workers. Safe but bottlenecks the reliable tier at high
+//	          ratios.
+//	Stage 2 — ActivePSs on transient machines serve workers and stream
+//	          aggregated updates to BackupPSs on reliable machines.
+//	Stage 3 — Stage 2 plus no workers on reliable machines, removing the
+//	          straggler effect of workers that share a machine with
+//	          heavily-loaded BackupPSs.
+//
+// The elasticity controller tracks membership, assigns input data,
+// relocates partitions, and orchestrates eviction handling and rollback
+// recovery (§3.3).
+package agileml
+
+import "fmt"
+
+// Stage is an AgileML functionality-partitioning stage.
+type Stage int
+
+const (
+	// Stage1 places parameter servers only on reliable machines.
+	Stage1 Stage = 1
+	// Stage2 adds ActivePSs on transient machines backed by BackupPSs.
+	Stage2 Stage = 2
+	// Stage3 is stage 2 without workers on reliable machines.
+	Stage3 Stage = 3
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string { return fmt.Sprintf("stage%d", int(s)) }
+
+// Thresholds are the transient:reliable ratios at which AgileML switches
+// stages. The paper finds 1:1 and 15:1 effective and notes low sensitivity
+// to the exact values (§3.3).
+type Thresholds struct {
+	Stage2 float64 // switch to stage 2 above this ratio
+	Stage3 float64 // switch to stage 3 above this ratio
+}
+
+// DefaultThresholds returns the paper's settings.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Stage2: 1.0, Stage3: 15.0}
+}
+
+// Validate checks threshold ordering.
+func (t Thresholds) Validate() error {
+	if t.Stage2 <= 0 || t.Stage3 <= t.Stage2 {
+		return fmt.Errorf("agileml: thresholds must satisfy 0 < stage2 (%v) < stage3 (%v)", t.Stage2, t.Stage3)
+	}
+	return nil
+}
+
+// StageFor returns the stage for a given machine mix. With no transient
+// machines there is nothing to protect against and stage 1 (the
+// traditional layout over reliable machines) applies; with no reliable
+// machines the ratio is unbounded, which also selects stage 3 — callers
+// must guarantee at least one reliable machine for state safety.
+func (t Thresholds) StageFor(reliable, transient int) Stage {
+	if transient == 0 {
+		return Stage1
+	}
+	if reliable == 0 {
+		return Stage3
+	}
+	ratio := float64(transient) / float64(reliable)
+	switch {
+	case ratio <= t.Stage2:
+		return Stage1
+	case ratio <= t.Stage3:
+		return Stage2
+	default:
+		return Stage3
+	}
+}

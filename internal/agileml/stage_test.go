@@ -1,0 +1,50 @@
+package agileml
+
+import (
+	"testing"
+)
+
+func TestStageFor(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		reliable, transient int
+		want                Stage
+	}{
+		{4, 0, Stage1},  // all reliable: traditional layout
+		{4, 4, Stage1},  // 1:1 is still stage 1 (threshold inclusive)
+		{4, 5, Stage2},  // just past 1:1
+		{4, 60, Stage2}, // 15:1 exactly is still stage 2
+		{4, 61, Stage3}, // beyond 15:1
+		{1, 63, Stage3}, // the paper's 63:1 configuration
+		{0, 8, Stage3},  // no reliable machines: unbounded ratio
+		{2, 2, Stage1},
+		{8, 8, Stage1}, // Fig. 14's 1:1 footprint
+	}
+	for _, c := range cases {
+		if got := th.StageFor(c.reliable, c.transient); got != c.want {
+			t.Errorf("StageFor(%d, %d) = %v, want %v", c.reliable, c.transient, got, c.want)
+		}
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Thresholds{
+		{Stage2: 0, Stage3: 15},
+		{Stage2: 15, Stage3: 1},
+		{Stage2: 5, Stage3: 5},
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("case %d: invalid thresholds accepted", i)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if Stage1.String() != "stage1" || Stage3.String() != "stage3" {
+		t.Fatal("stage strings wrong")
+	}
+}

@@ -1,0 +1,162 @@
+package agileml
+
+import (
+	"fmt"
+)
+
+// Mini-batch clocks and stopping criteria (§3.1).
+//
+// "For greater flexibility, AgileML actually provides a notion of a clock
+// of work that gets executed on each iteration. It may be some number of
+// data items (a 'mini-batch' of an iteration) or some number of
+// iterations." — RunMiniBatchClock advances each worker by a fraction of
+// its data per clock, rotating through the assignment so every item is
+// still visited once per full rotation.
+//
+// "The stopping criterion may be a number of iterations, an amount of
+// time, or a determination of convergence." — StopCriterion captures
+// those three forms; Runner.RunUntil drives clocks until one fires.
+
+// RunMiniBatchClock executes one clock covering roughly 1/divisor of each
+// worker's data, starting where the previous mini-batch left off. divisor
+// = 1 degenerates to a full RunClock. Mini-batches shorten the interval
+// between consistent states, trading more clock overhead for a fresher
+// recovery point.
+func (r *Runner) RunMiniBatchClock(divisor int) error {
+	if divisor <= 0 {
+		return fmt.Errorf("agileml: mini-batch divisor %d must be positive", divisor)
+	}
+	assigns := r.ctrl.WorkerAssignments()
+	if len(assigns) == 0 {
+		return fmt.Errorf("agileml: no workers to run")
+	}
+	phase := r.iterations % divisor
+	for _, wa := range assigns {
+		for _, rng := range wa.Ranges {
+			start, end := miniBatchSlice(rng, phase, divisor)
+			if start >= end {
+				continue
+			}
+			if err := r.app.ProcessRange(wa.Client, start, end); err != nil {
+				return fmt.Errorf("agileml: worker %d: %w", wa.Machine, err)
+			}
+		}
+		if err := wa.Client.Clock(); err != nil {
+			return fmt.Errorf("agileml: worker %d clock: %w", wa.Machine, err)
+		}
+		wa.Client.Invalidate()
+	}
+	if err := r.ctrl.FlushActives(); err != nil {
+		return err
+	}
+	r.iterations++
+	return nil
+}
+
+// miniBatchSlice returns the phase-th of divisor contiguous slices of rng.
+func miniBatchSlice(rng Range, phase, divisor int) (int, int) {
+	n := rng.Len()
+	base, rem := n/divisor, n%divisor
+	start := rng.Start
+	for p := 0; p < phase; p++ {
+		size := base
+		if p < rem {
+			size++
+		}
+		start += size
+	}
+	size := base
+	if phase < rem {
+		size++
+	}
+	return start, start + size
+}
+
+// StopCriterion decides when training is done. Exactly the three forms
+// §3.1 lists; zero-valued fields are inactive. Multiple active criteria
+// stop at whichever fires first.
+type StopCriterion struct {
+	// MaxIterations stops after this many clocks.
+	MaxIterations int
+	// MaxModeledTime stops once the accumulated modeled iteration time
+	// exceeds this many seconds (callers supply per-iteration seconds).
+	MaxModeledTime float64
+	// ConvergedDelta stops when the objective improves by less than this
+	// across ConvergedWindow consecutive clocks.
+	ConvergedDelta  float64
+	ConvergedWindow int
+}
+
+// Validate rejects criteria that could never stop.
+func (s StopCriterion) Validate() error {
+	if s.MaxIterations <= 0 && s.MaxModeledTime <= 0 && s.ConvergedDelta <= 0 {
+		return fmt.Errorf("agileml: stop criterion can never fire")
+	}
+	if s.ConvergedDelta > 0 && s.ConvergedWindow <= 0 {
+		return fmt.Errorf("agileml: convergence criterion needs a window")
+	}
+	return nil
+}
+
+// StopReason reports which criterion ended a RunUntil.
+type StopReason string
+
+// The reasons RunUntil can stop.
+const (
+	StoppedIterations  StopReason = "max-iterations"
+	StoppedTime        StopReason = "max-time"
+	StoppedConvergence StopReason = "converged"
+)
+
+// RunUntil drives clocks until the criterion fires, returning why it
+// stopped and the final objective. iterSeconds supplies the modeled
+// duration of the next clock (return 0 when not tracking time).
+func (r *Runner) RunUntil(crit StopCriterion, iterSeconds func() float64) (StopReason, float64, error) {
+	if err := crit.Validate(); err != nil {
+		return "", 0, err
+	}
+	if iterSeconds == nil {
+		iterSeconds = func() float64 { return 0 }
+	}
+	var elapsed float64
+	var window []float64
+	prev, err := r.Objective()
+	if err != nil {
+		return "", 0, err
+	}
+	for n := 0; ; n++ {
+		if crit.MaxIterations > 0 && n >= crit.MaxIterations {
+			return StoppedIterations, prev, nil
+		}
+		if crit.MaxModeledTime > 0 && elapsed >= crit.MaxModeledTime {
+			return StoppedTime, prev, nil
+		}
+		elapsed += iterSeconds()
+		if err := r.RunClock(); err != nil {
+			return "", prev, err
+		}
+		obj, err := r.Objective()
+		if err != nil {
+			return "", prev, err
+		}
+		if crit.ConvergedDelta > 0 {
+			window = append(window, prev-obj)
+			if len(window) > crit.ConvergedWindow {
+				window = window[1:]
+			}
+			if len(window) == crit.ConvergedWindow {
+				converged := true
+				for _, d := range window {
+					if d >= crit.ConvergedDelta {
+						converged = false
+						break
+					}
+				}
+				if converged {
+					return StoppedConvergence, obj, nil
+				}
+			}
+		}
+		prev = obj
+	}
+}

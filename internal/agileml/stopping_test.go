@@ -1,0 +1,138 @@
+package agileml
+
+import (
+	"testing"
+	"testing/quick"
+
+	"proteus/internal/cluster"
+)
+
+func TestMiniBatchSliceCoversRange(t *testing.T) {
+	f := func(rawStart, rawLen, rawDiv uint8) bool {
+		rng := Range{Start: int(rawStart), End: int(rawStart) + int(rawLen)}
+		divisor := int(rawDiv)%7 + 1
+		pos := rng.Start
+		for phase := 0; phase < divisor; phase++ {
+			s, e := miniBatchSlice(rng, phase, divisor)
+			if s != pos || e < s {
+				return false
+			}
+			pos = e
+		}
+		return pos == rng.End
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMiniBatchClockConverges(t *testing.T) {
+	app := testApp(60)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 4)...)
+	ctrl := newController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+	before, _ := runner.Objective()
+	// 4 mini-batches per sweep × 20 sweeps.
+	for i := 0; i < 80; i++ {
+		if err := runner.RunMiniBatchClock(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := runner.Objective()
+	if after >= before*0.7 {
+		t.Fatalf("mini-batch training did not converge: %.4f -> %.4f", before, after)
+	}
+	if runner.Iterations() != 80 {
+		t.Fatalf("iterations = %d", runner.Iterations())
+	}
+	// More clocks means a fresher consistent state than full iterations
+	// would give for the same data coverage.
+	if ctrl.ConsistentClock() < 70 {
+		t.Fatalf("consistent clock = %d, want near 80", ctrl.ConsistentClock())
+	}
+}
+
+func TestRunMiniBatchClockValidation(t *testing.T) {
+	app := testApp(61)
+	ctrl := newController(t, app, mkMachines(0, cluster.Reliable, 2))
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunMiniBatchClock(0); err == nil {
+		t.Fatal("zero divisor accepted")
+	}
+	// Divisor 1 equals a full clock.
+	if err := runner.RunMiniBatchClock(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopCriterionValidate(t *testing.T) {
+	if err := (StopCriterion{}).Validate(); err == nil {
+		t.Fatal("never-firing criterion accepted")
+	}
+	if err := (StopCriterion{ConvergedDelta: 0.01}).Validate(); err == nil {
+		t.Fatal("convergence without window accepted")
+	}
+	if err := (StopCriterion{MaxIterations: 5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilMaxIterations(t *testing.T) {
+	app := testApp(62)
+	ctrl := newController(t, app, mkMachines(0, cluster.Reliable, 2))
+	runner := NewRunner(ctrl, app)
+	reason, _, err := runner.RunUntil(StopCriterion{MaxIterations: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != StoppedIterations {
+		t.Fatalf("reason = %v", reason)
+	}
+	if runner.Iterations() != 7 {
+		t.Fatalf("iterations = %d, want 7", runner.Iterations())
+	}
+}
+
+func TestRunUntilMaxTime(t *testing.T) {
+	app := testApp(63)
+	ctrl := newController(t, app, mkMachines(0, cluster.Reliable, 2))
+	runner := NewRunner(ctrl, app)
+	reason, _, err := runner.RunUntil(
+		StopCriterion{MaxIterations: 1000, MaxModeledTime: 50},
+		func() float64 { return 10 }, // each clock "takes" 10 modeled seconds
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != StoppedTime {
+		t.Fatalf("reason = %v", reason)
+	}
+	if runner.Iterations() != 5 {
+		t.Fatalf("iterations = %d, want 5 (50s / 10s)", runner.Iterations())
+	}
+}
+
+func TestRunUntilConvergence(t *testing.T) {
+	app := testApp(64)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 4)...)
+	ctrl := newController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+	reason, obj, err := runner.RunUntil(StopCriterion{
+		MaxIterations:   500,
+		ConvergedDelta:  1e-3,
+		ConvergedWindow: 3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != StoppedConvergence {
+		t.Fatalf("reason = %v after %d iterations", reason, runner.Iterations())
+	}
+	if runner.Iterations() >= 500 {
+		t.Fatal("convergence never fired")
+	}
+	// The converged objective should be much better than the start.
+	if obj > 0.2 {
+		t.Fatalf("converged at objective %.4f; training barely progressed", obj)
+	}
+}

@@ -1,0 +1,152 @@
+package agileml
+
+import (
+	"fmt"
+
+	"proteus/internal/ps"
+	"proteus/internal/transport"
+)
+
+// Flush streaming over the transport fabric.
+//
+// When a Controller is created with a transport.Network, the aggregated
+// deltas ActivePSs push to BackupPSs travel as messages through the
+// fabric instead of direct method calls — the in-process equivalent of
+// the paper's background update stream (§1: "updates are coalesced and
+// streamed from actives to backups ... at a rate that the network
+// bandwidth accommodates"). Each BackupPS gets an applier goroutine
+// draining its mailbox; the controller awaits an ack per batch so the
+// flush is complete (and the consistent clock advanced) when FlushActives
+// returns, keeping recovery semantics identical to the direct path. The
+// fabric's byte counters then expose the real flush volume, which tests
+// compare against the performance model's accounting.
+//
+// The flush stream assumes a lossless fabric (the real system runs it
+// over TCP): installing a transport drop predicate that discards flush or
+// ack messages would stall FlushActives awaiting its ack. Fault-injection
+// tests should target the data path or use HandleFailure, not the flush
+// stream.
+
+const (
+	kindFlush = "flush"
+	kindAck   = "flush-ack"
+)
+
+// backupApplier consumes flush batches for one BackupPS.
+type backupApplier struct {
+	server *ps.Server
+	ep     *transport.Endpoint
+}
+
+// streamState is the controller's transport wiring; nil when streaming
+// is disabled.
+type streamState struct {
+	net      *transport.Network
+	ctrlEP   *transport.Endpoint
+	appliers map[*ps.Server]*backupApplier
+	nextID   int
+}
+
+func newStreamState(net *transport.Network) (*streamState, error) {
+	ep, err := net.Listen("controller", 256)
+	if err != nil {
+		return nil, err
+	}
+	return &streamState{
+		net:      net,
+		ctrlEP:   ep,
+		appliers: make(map[*ps.Server]*backupApplier),
+	}, nil
+}
+
+// applierFor returns (starting if needed) the applier endpoint address
+// for a backup server.
+func (st *streamState) applierFor(backup *ps.Server) (transport.Addr, error) {
+	if a, ok := st.appliers[backup]; ok {
+		return a.ep.Addr(), nil
+	}
+	addr := transport.Addr(fmt.Sprintf("backup-%s-%d", backup.Name(), st.nextID))
+	st.nextID++
+	ep, err := st.net.Listen(addr, 64)
+	if err != nil {
+		return "", err
+	}
+	a := &backupApplier{server: backup, ep: ep}
+	st.appliers[backup] = a
+	go a.run()
+	return addr, nil
+}
+
+// run drains the applier's mailbox until its endpoint closes, applying
+// each batch and acking back to the controller.
+func (a *backupApplier) run() {
+	for msg := range a.ep.Inbox() {
+		batch, ok := msg.Payload.(*ps.FlushBatch)
+		if !ok {
+			continue
+		}
+		err := a.server.ApplyFlush(batch)
+		// Ack with the apply error (nil on success); the controller
+		// surfaces it synchronously.
+		_ = a.ep.Send(msg.From, kindAck, err, 16)
+	}
+}
+
+// stop closes every applier endpoint and the controller endpoint.
+func (st *streamState) stop() {
+	for _, a := range st.appliers {
+		a.ep.Close()
+	}
+	st.ctrlEP.Close()
+}
+
+// deliverFlush routes one batch to its backup: directly when streaming is
+// off, through the fabric with a synchronous ack when on.
+func (c *Controller) deliverFlush(backup *ps.Server, batch *ps.FlushBatch) error {
+	if c.stream == nil {
+		return backup.ApplyFlush(batch)
+	}
+	addr, err := c.stream.applierFor(backup)
+	if err != nil {
+		return err
+	}
+	if err := c.stream.ctrlEP.Send(addr, kindFlush, batch, batch.Bytes()); err != nil {
+		return err
+	}
+	// Await the ack; batches to one backup are ordered by its mailbox.
+	for msg := range c.stream.ctrlEP.Inbox() {
+		if msg.Kind != kindAck {
+			continue
+		}
+		if msg.Payload == nil {
+			return nil
+		}
+		if err, ok := msg.Payload.(error); ok {
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("agileml: controller endpoint closed awaiting flush ack")
+}
+
+// Close releases the controller's transport resources (no-op when
+// streaming is disabled). Call when the job is finished.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stream != nil {
+		c.stream.stop()
+		c.stream = nil
+	}
+}
+
+// FlushBytesStreamed reports total bytes the fabric carried for flush
+// traffic, or 0 when streaming is disabled.
+func (c *Controller) FlushBytesStreamed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stream == nil {
+		return 0
+	}
+	return c.stream.net.BytesSent()
+}

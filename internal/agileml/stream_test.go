@@ -1,0 +1,149 @@
+package agileml
+
+import (
+	"testing"
+
+	"proteus/internal/cluster"
+	"proteus/internal/transport"
+)
+
+func newStreamingController(t *testing.T, app App, seed []*cluster.Machine) (*Controller, *transport.Network) {
+	t.Helper()
+	net := transport.NewNetwork()
+	ctrl, err := New(Config{App: app, MaxMachines: 64, Staleness: 1, Network: net}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Close)
+	return ctrl, net
+}
+
+func TestStreamedFlushMatchesDirect(t *testing.T) {
+	// Train the same job twice — direct flushes vs transport-streamed —
+	// and require identical objectives: the fabric must not change
+	// semantics, only carry the bytes.
+	seed := func() []*cluster.Machine {
+		return append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 6)...)
+	}
+	run := func(streaming bool) float64 {
+		app := testApp(50)
+		var ctrl *Controller
+		if streaming {
+			ctrl, _ = newStreamingController(t, app, seed())
+		} else {
+			ctrl = newController(t, app, seed())
+		}
+		runner := NewRunner(ctrl, app)
+		if err := runner.RunClocks(10); err != nil {
+			t.Fatal(err)
+		}
+		obj, err := runner.Objective()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obj
+	}
+	direct := run(false)
+	streamed := run(true)
+	if direct != streamed {
+		t.Fatalf("objectives differ: direct=%.6f streamed=%.6f", direct, streamed)
+	}
+}
+
+func TestStreamedFlushCountsBytes(t *testing.T) {
+	app := testApp(51)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 6)...)
+	ctrl, net := newStreamingController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunClocks(5); err != nil {
+		t.Fatal(err)
+	}
+	if net.BytesSent() == 0 {
+		t.Fatal("no flush bytes crossed the fabric")
+	}
+	if ctrl.FlushBytesStreamed() != net.BytesSent() {
+		t.Fatalf("FlushBytesStreamed = %d, fabric = %d", ctrl.FlushBytesStreamed(), net.BytesSent())
+	}
+	// Flush messages and their acks both count.
+	if net.MessagesSent() < 2 {
+		t.Fatalf("messages = %d", net.MessagesSent())
+	}
+}
+
+func TestStreamedEvictionDrain(t *testing.T) {
+	// The end-of-life drain on eviction also flows through the fabric and
+	// preserves state.
+	app := testApp(52)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 6)...)
+	ctrl, _ := newStreamingController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+	if err := runner.RunClocks(6); err != nil {
+		t.Fatal(err)
+	}
+	objBefore, _ := runner.Objective()
+
+	ids := machineIDs(mkMachines(2, cluster.Transient, 6))
+	if err := ctrl.HandleEvictionWarning(ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.CompleteEviction(ids); err != nil {
+		t.Fatal(err)
+	}
+	objAfter, _ := runner.Objective()
+	if diff := objAfter - objBefore; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("objective changed across streamed drain: %.6f -> %.6f", objBefore, objAfter)
+	}
+	if err := runner.RunClocks(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotentAndDirectControllerClose(t *testing.T) {
+	app := testApp(53)
+	ctrl := newController(t, app, mkMachines(0, cluster.Reliable, 2))
+	ctrl.Close() // no stream: no-op
+	ctrl.Close()
+	if ctrl.FlushBytesStreamed() != 0 {
+		t.Fatal("direct controller reports streamed bytes")
+	}
+	ctrl2, _ := newStreamingController(t, app, mkMachines(10, cluster.Reliable, 2))
+	ctrl2.Close()
+	ctrl2.Close() // idempotent
+}
+
+func TestStreamedFlushRespectsCoalescingBound(t *testing.T) {
+	// The performance model caps per-iteration flush volume at the model
+	// size (updates to the same rows coalesce on the actives before
+	// streaming). The functional stream must obey the same bound: bytes
+	// per clock never exceed the full model plus per-batch framing.
+	app := testApp(55)
+	seed := append(mkMachines(0, cluster.Reliable, 2), mkMachines(2, cluster.Transient, 6)...)
+	ctrl, net := newStreamingController(t, app, seed)
+	runner := NewRunner(ctrl, app)
+
+	// Model size: every row the app registers, at wire size.
+	type sized interface {
+		NumModelRows() int
+		RowLen() int
+	}
+	s := app.(sized)
+	modelBytes := int64(s.NumModelRows() * (8 + 4*s.RowLen()))
+
+	var prev int64
+	for i := 0; i < 8; i++ {
+		if err := runner.RunClock(); err != nil {
+			t.Fatal(err)
+		}
+		delta := net.BytesSent() - prev
+		prev = net.BytesSent()
+		// Allow framing slack: one ack (16B) per partition per clock.
+		slack := int64(ctrl.Router().NumPartitions() * 64)
+		if delta > modelBytes+slack {
+			t.Fatalf("clock %d streamed %d bytes > model %d + slack %d: coalescing broken",
+				i, delta, modelBytes, slack)
+		}
+	}
+	if prev == 0 {
+		t.Fatal("nothing streamed")
+	}
+}

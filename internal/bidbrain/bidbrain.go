@@ -1,0 +1,346 @@
+// Package bidbrain implements BidBrain, Proteus' resource-allocation
+// component (§4).
+//
+// BidBrain tracks current and historical market prices for multiple
+// instance types and makes allocation decisions that minimize expected
+// cost per unit of work (Eq. 4). For each candidate (instance type, bid
+// delta) it combines:
+//
+//   - Expected cost (Eq. 1): an allocation either survives its billing
+//     hour and pays the market price, or is evicted first and pays
+//     nothing — the refund that makes "free computing" possible.
+//   - Expected useful time (Eq. 2): the time left in the billing hour,
+//     less the eviction overhead λ weighted by the probability any
+//     allocation is evicted, less the footprint-change overhead σ.
+//   - Expected work (Eq. 3): instances × useful time × per-instance work
+//     rate ν, scaled by the application's scalability φ.
+//
+// Eviction probabilities β come from historical traces via
+// trace.BetaTable (§4.1). The decision rule (§4.2): acquire the best
+// candidate only if it lowers the footprint's expected cost per work;
+// near each billing-hour end, renew an allocation only if keeping it
+// lowers expected cost per work.
+package bidbrain
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/market"
+	"proteus/internal/trace"
+)
+
+// Params are the application characteristics BidBrain reasons about
+// (Table 2 of the paper).
+type Params struct {
+	// Phi is how efficiently the application scales with more instances
+	// (0–1], the first-order coefficient of its scalability curve.
+	Phi float64
+	// Sigma is the overhead of adding/removing resources.
+	Sigma time.Duration
+	// Lambda is the overhead an eviction imposes on the application.
+	Lambda time.Duration
+	// NuPerCore is work produced per core-hour; ν of an instance type is
+	// NuPerCore × its core count ("work produced is proportional to the
+	// number of cores", §4.1 fn. 7).
+	NuPerCore float64
+	// OnDemandWorks marks on-demand instances as producing work. The
+	// paper's Fig. 6 models the on-demand allocation as W=0 (it hosts
+	// framework state, not workers), which is the default here.
+	OnDemandWorks bool
+	// AcquireTolerance admits acquisitions that keep expected cost per
+	// work within this fraction of the current footprint's. The paper's
+	// Fig. 6 notes that a transition may increase cost-per-work at that
+	// moment yet reduce final job cost by shortening the time the
+	// on-demand allocation is needed; a one-hour marginal evaluation
+	// cannot see that horizon effect, so a small tolerance stands in for
+	// it. Zero means strict improvement only.
+	AcquireTolerance float64
+}
+
+// DefaultParams returns parameters matching the paper's AgileML jobs:
+// near-linear scaling, ~30 s to incorporate machines, ~60 s of lost
+// progress per eviction.
+func DefaultParams() Params {
+	return Params{
+		Phi:              0.95,
+		Sigma:            30 * time.Second,
+		Lambda:           60 * time.Second,
+		NuPerCore:        1,
+		AcquireTolerance: 0.05,
+	}
+}
+
+// Validate rejects unusable parameters.
+func (p Params) Validate() error {
+	if p.Phi <= 0 || p.Phi > 1 {
+		return fmt.Errorf("bidbrain: Phi %v out of (0,1]", p.Phi)
+	}
+	if p.Sigma < 0 || p.Lambda < 0 {
+		return fmt.Errorf("bidbrain: negative overheads")
+	}
+	if p.NuPerCore <= 0 {
+		return fmt.Errorf("bidbrain: NuPerCore must be positive")
+	}
+	if p.AcquireTolerance < 0 {
+		return fmt.Errorf("bidbrain: negative AcquireTolerance")
+	}
+	return nil
+}
+
+// AllocState describes one live or candidate allocation for evaluation.
+type AllocState struct {
+	Type      market.InstanceType
+	Count     int
+	Price     float64       // $/instance-hour this allocation is billed at
+	Beta      float64       // probability of eviction before its hour ends
+	Remaining time.Duration // time left in the current billing hour (cost horizon)
+	// Omega is the expected useful compute time, ≤ Remaining: when an
+	// eviction is likely before the hour ends, BidBrain "reduces ωi
+	// accordingly" (§4.1) using the historical median time to eviction.
+	// Zero means Remaining.
+	Omega    time.Duration
+	OnDemand bool
+}
+
+// omega returns the effective useful-time horizon.
+func (a AllocState) omega() time.Duration {
+	if a.Omega > 0 {
+		return a.Omega
+	}
+	return a.Remaining
+}
+
+// nu is the allocation's work rate in work units per hour.
+func (a AllocState) nu(p Params) float64 {
+	if a.OnDemand && !p.OnDemandWorks {
+		return 0
+	}
+	return p.NuPerCore * float64(a.Type.VCPUs)
+}
+
+// Evaluation is the expected cost/work of a footprint.
+type Evaluation struct {
+	Cost float64 // CA: expected dollars over the evaluated horizon
+	Work float64 // WA: expected work units
+	// CostPerWork is Cost/Work (Eq. 4), or +Inf when no work is produced.
+	CostPerWork float64
+}
+
+// Evaluate computes expected cost and work for a set of allocations
+// (Eqs. 1–4). footprintChange marks that the evaluation includes adding
+// or removing resources, charging σ against every allocation's useful
+// time.
+func Evaluate(p Params, allocs []AllocState, footprintChange bool) Evaluation {
+	// P(any eviction) = 1 − ∏(1−βj) over the footprint.
+	probNone := 1.0
+	for _, a := range allocs {
+		probNone *= 1 - a.Beta
+	}
+	probAny := 1 - probNone
+
+	var ev Evaluation
+	for _, a := range allocs {
+		hours := a.Remaining.Hours()
+		// Eq. 1: pay for the hour only if not evicted first.
+		ev.Cost += (1 - a.Beta) * a.Price * float64(a.Count) * hours
+
+		// Eq. 2: useful time, charged for eviction and change overheads.
+		dt := a.omega() - time.Duration(probAny*float64(p.Lambda))
+		if footprintChange {
+			dt -= p.Sigma
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		// Eq. 3 summand.
+		ev.Work += float64(a.Count) * dt.Hours() * a.nu(p)
+	}
+	ev.Work *= p.Phi
+	if ev.Work > 0 {
+		ev.CostPerWork = ev.Cost / ev.Work
+	} else if ev.Cost > 0 {
+		ev.CostPerWork = inf
+	}
+	return ev
+}
+
+const inf = 1e300
+
+// Brain holds the trained eviction model and application parameters.
+type Brain struct {
+	params Params
+	betas  map[string]*trace.BetaTable
+	deltas []float64
+}
+
+// New creates a Brain from per-type β tables trained on historical
+// traces and the bid-delta grid to search.
+func New(p Params, betas map[string]*trace.BetaTable, deltas []float64) (*Brain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(betas) == 0 {
+		return nil, fmt.Errorf("bidbrain: no beta tables")
+	}
+	if len(deltas) == 0 {
+		deltas = trace.DefaultDeltas()
+	}
+	return &Brain{params: p, betas: betas, deltas: deltas}, nil
+}
+
+// Params returns the application parameters.
+func (b *Brain) Params() Params { return b.params }
+
+// Beta estimates the eviction probability within the hour for a type at
+// a bid delta, from the trained tables.
+func (b *Brain) Beta(instanceType string, delta float64) (float64, error) {
+	bt, ok := b.betas[instanceType]
+	if !ok {
+		return 0, fmt.Errorf("bidbrain: no beta table for %s", instanceType)
+	}
+	return bt.Beta(delta), nil
+}
+
+// Candidate is a possible spot acquisition.
+type Candidate struct {
+	Type     market.InstanceType
+	Count    int
+	BidDelta float64
+	Bid      float64 // market price + delta
+	Beta     float64
+	// NewCostPerWork is the footprint's expected cost per work with this
+	// candidate added.
+	NewCostPerWork float64
+}
+
+// BestAcquisition searches (type × bid-delta) candidates of the given
+// size and returns the one minimizing the footprint's expected cost per
+// work, or nil if none improves on the current footprint (§4.2).
+// prices maps type name → current spot price.
+func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64, types []market.InstanceType, count int) (*Candidate, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("bidbrain: candidate count %d must be positive", count)
+	}
+	base := Evaluate(b.params, current, false)
+
+	var best *Candidate
+	for _, t := range types {
+		price, ok := prices[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("bidbrain: no price for %s", t.Name)
+		}
+		bt, ok := b.betas[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("bidbrain: no beta table for %s", t.Name)
+		}
+		if price >= t.OnDemand {
+			// Spot billed above the on-demand price is strictly dominated
+			// by reliable capacity; wait for the spike to pass.
+			continue
+		}
+		for _, delta := range b.deltas {
+			beta := bt.Beta(delta)
+			cand := AllocState{
+				Type:      t,
+				Count:     count,
+				Price:     price,
+				Beta:      beta,
+				Remaining: trace.BillingHour,
+				Omega:     expectedOmega(beta, bt.MedianTTE(delta)),
+			}
+			ev := Evaluate(b.params, append(append([]AllocState(nil), current...), cand), true)
+			if best == nil || ev.CostPerWork < best.NewCostPerWork {
+				best = &Candidate{
+					Type:           t,
+					Count:          count,
+					BidDelta:       delta,
+					Bid:            price + delta,
+					Beta:           beta,
+					NewCostPerWork: ev.CostPerWork,
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	// Acquire only if it improves on — or stays within the tolerance of —
+	// the current footprint's cost per work. An empty footprint (only
+	// on-demand, producing no work) has infinite cost per work, so
+	// anything improves it.
+	if base.Work > 0 && best.NewCostPerWork >= base.CostPerWork*(1+b.params.AcquireTolerance) {
+		return nil, nil
+	}
+	return best, nil
+}
+
+// expectedOmega is the useful-time horizon of a fresh allocation:
+// survive the hour with probability 1−β, or work until the (median)
+// eviction time with probability β.
+func expectedOmega(beta float64, medianTTE time.Duration) time.Duration {
+	return time.Duration((1-beta)*float64(trace.BillingHour) + beta*float64(medianTTE))
+}
+
+// ExpectedUsefulTime reduces a horizon for eviction risk: with
+// probability β the allocation only works until the historical median
+// eviction time. Callers apply it to live allocations so their expected
+// work is not overstated when comparing against fresh candidates.
+func (b *Brain) ExpectedUsefulTime(instanceType string, delta float64, remaining time.Duration) (time.Duration, error) {
+	bt, ok := b.betas[instanceType]
+	if !ok {
+		return 0, fmt.Errorf("bidbrain: no beta table for %s", instanceType)
+	}
+	beta := bt.Beta(delta)
+	tte := bt.MedianTTE(delta)
+	if tte > remaining {
+		tte = remaining
+	}
+	return time.Duration((1-beta)*float64(remaining) + beta*float64(tte)), nil
+}
+
+// ShouldRenew decides, briefly before an allocation's billing hour ends,
+// whether keeping it for another hour lowers expected cost per work
+// (§4.2). rest is the footprint excluding the allocation; renewPrice is
+// the spot price the next hour would be billed at.
+func (b *Brain) ShouldRenew(rest []AllocState, alloc AllocState, renewPrice float64) bool {
+	without := Evaluate(b.params, rest, true)
+	renewed := alloc
+	renewed.Price = renewPrice
+	renewed.Remaining = trace.BillingHour
+	if bt, ok := b.betas[alloc.Type.Name]; ok {
+		renewed.Omega = expectedOmega(alloc.Beta, bt.MedianTTE(0.01))
+	}
+	with := Evaluate(b.params, append(append([]AllocState(nil), rest...), renewed), false)
+	if with.Work == 0 {
+		return false
+	}
+	if without.Work == 0 {
+		return true
+	}
+	return with.CostPerWork < without.CostPerWork
+}
+
+// StandardBid implements the oft-used baseline strategy the paper
+// compares against (§6.3): pick the instance type with the lowest
+// current market price and bid the on-demand price.
+func StandardBid(prices map[string]float64, types []market.InstanceType) (market.InstanceType, float64, error) {
+	var bestType market.InstanceType
+	bestPrice := inf
+	found := false
+	for _, t := range types {
+		p, ok := prices[t.Name]
+		if !ok {
+			return market.InstanceType{}, 0, fmt.Errorf("bidbrain: no price for %s", t.Name)
+		}
+		// Normalize by cores so "cheapest" compares like with like.
+		perCore := p / float64(t.VCPUs)
+		if perCore < bestPrice {
+			bestType, bestPrice, found = t, perCore, true
+		}
+	}
+	if !found {
+		return market.InstanceType{}, 0, fmt.Errorf("bidbrain: no types")
+	}
+	return bestType, bestType.OnDemand, nil
+}

@@ -1,0 +1,294 @@
+package bidbrain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"proteus/internal/market"
+	"proteus/internal/trace"
+)
+
+func c4xlarge() market.InstanceType {
+	return market.InstanceType{Name: "c4.xlarge", VCPUs: 4, MemoryGB: 7.5, OnDemand: 0.209}
+}
+
+func c42xlarge() market.InstanceType {
+	return market.InstanceType{Name: "c4.2xlarge", VCPUs: 8, MemoryGB: 15, OnDemand: 0.419}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Phi: 0, NuPerCore: 1},
+		{Phi: 1.5, NuPerCore: 1},
+		{Phi: 0.9, NuPerCore: 0},
+		{Phi: 0.9, NuPerCore: 1, Sigma: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestEvaluateSpotOnly(t *testing.T) {
+	p := Params{Phi: 1, NuPerCore: 1}
+	alloc := AllocState{
+		Type: c4xlarge(), Count: 2, Price: 0.05, Beta: 0, Remaining: time.Hour,
+	}
+	ev := Evaluate(p, []AllocState{alloc}, false)
+	// Cost: 2 × $0.05 × 1h = $0.10; work: 2 × 1h × 4 cores = 8.
+	if math.Abs(ev.Cost-0.10) > 1e-9 {
+		t.Fatalf("Cost = %v, want 0.10", ev.Cost)
+	}
+	if math.Abs(ev.Work-8) > 1e-9 {
+		t.Fatalf("Work = %v, want 8", ev.Work)
+	}
+	if math.Abs(ev.CostPerWork-0.0125) > 1e-9 {
+		t.Fatalf("CostPerWork = %v", ev.CostPerWork)
+	}
+}
+
+func TestEvaluateEvictionProbability(t *testing.T) {
+	p := Params{Phi: 1, NuPerCore: 1}
+	// β=0.5: expected cost halves (refund on eviction), and λ=30m of
+	// expected eviction overhead shrinks useful time by 15m.
+	p.Lambda = 30 * time.Minute
+	alloc := AllocState{Type: c4xlarge(), Count: 1, Price: 0.10, Beta: 0.5, Remaining: time.Hour}
+	ev := Evaluate(p, []AllocState{alloc}, false)
+	if math.Abs(ev.Cost-0.05) > 1e-9 {
+		t.Fatalf("Cost = %v, want 0.05", ev.Cost)
+	}
+	wantWork := (45.0 / 60.0) * 4 // (1h − 0.5×30m) × 4 cores
+	if math.Abs(ev.Work-wantWork) > 1e-9 {
+		t.Fatalf("Work = %v, want %v", ev.Work, wantWork)
+	}
+}
+
+func TestEvaluateOnDemandProducesNoWorkByDefault(t *testing.T) {
+	p := Params{Phi: 1, NuPerCore: 1}
+	od := AllocState{Type: c4xlarge(), Count: 1, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	ev := Evaluate(p, []AllocState{od}, false)
+	if ev.Work != 0 {
+		t.Fatalf("on-demand produced work %v (Fig. 6 models W=0)", ev.Work)
+	}
+	if ev.CostPerWork < 1e200 {
+		t.Fatalf("cost per work should be infinite, got %v", ev.CostPerWork)
+	}
+	p.OnDemandWorks = true
+	ev = Evaluate(p, []AllocState{od}, false)
+	if ev.Work != 4 {
+		t.Fatalf("Work = %v with OnDemandWorks", ev.Work)
+	}
+}
+
+func TestEvaluateAmortizesOnDemand(t *testing.T) {
+	// Fig. 6's point: adding a cheap spot allocation to an on-demand-only
+	// footprint lowers total expected cost per work.
+	p := Params{Phi: 1, NuPerCore: 1}
+	od := AllocState{Type: c4xlarge(), Count: 1, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	spot := AllocState{Type: c4xlarge(), Count: 2, Price: 0.05, Remaining: time.Hour}
+	small := Evaluate(p, []AllocState{od, spot}, false)
+	spot4 := spot
+	spot4.Count = 4
+	big := Evaluate(p, []AllocState{od, spot4}, false)
+	if big.CostPerWork >= small.CostPerWork {
+		t.Fatalf("more spot did not amortize on-demand: %v -> %v", small.CostPerWork, big.CostPerWork)
+	}
+}
+
+func TestEvaluateSigmaOnFootprintChange(t *testing.T) {
+	p := Params{Phi: 1, NuPerCore: 1, Sigma: 30 * time.Minute}
+	alloc := AllocState{Type: c4xlarge(), Count: 1, Price: 0.05, Remaining: time.Hour}
+	noChange := Evaluate(p, []AllocState{alloc}, false)
+	change := Evaluate(p, []AllocState{alloc}, true)
+	if change.Work >= noChange.Work {
+		t.Fatal("footprint change did not reduce useful work")
+	}
+	if math.Abs(change.Work-2) > 1e-9 { // (1h − 30m) × 4 cores
+		t.Fatalf("Work = %v, want 2", change.Work)
+	}
+}
+
+// buildBrain trains β tables on a synthetic month of history.
+func buildBrain(t *testing.T, p Params) (*Brain, *trace.Set) {
+	t.Helper()
+	catalog := map[string]float64{"c4.xlarge": 0.209, "c4.2xlarge": 0.419}
+	hist := trace.GenerateSet("z", 30*24*time.Hour, catalog, 99)
+	betas := make(map[string]*trace.BetaTable)
+	for name := range catalog {
+		tr, _ := hist.Get(name)
+		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), 400, 7)
+	}
+	b, err := New(p, betas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, hist
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{}, nil, nil); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := New(DefaultParams(), nil, nil); err == nil {
+		t.Fatal("empty beta tables accepted")
+	}
+}
+
+func TestBestAcquisitionImprovesFootprint(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	// Footprint: one on-demand (no work). Any spot candidate improves it.
+	od := AllocState{Type: c4xlarge(), Count: 1, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	prices := map[string]float64{"c4.xlarge": 0.05, "c4.2xlarge": 0.11}
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	cand, err := b.BestAcquisition([]AllocState{od}, prices, types, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand == nil {
+		t.Fatal("no candidate for an on-demand-only footprint")
+	}
+	if cand.Bid <= prices[cand.Type.Name] {
+		t.Fatalf("bid %v not above market %v", cand.Bid, prices[cand.Type.Name])
+	}
+	if cand.Count != 4 {
+		t.Fatalf("count = %d", cand.Count)
+	}
+	if cand.Beta < 0 || cand.Beta > 1 {
+		t.Fatalf("beta = %v", cand.Beta)
+	}
+}
+
+func TestBestAcquisitionPrefersCheaperPerCore(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	od := AllocState{Type: c4xlarge(), Count: 1, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	// c4.2xlarge at 0.06 for 8 cores crushes c4.xlarge at 0.06 for 4.
+	prices := map[string]float64{"c4.xlarge": 0.06, "c4.2xlarge": 0.06}
+	cand, err := b.BestAcquisition([]AllocState{od}, prices, types, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand == nil || cand.Type.Name != "c4.2xlarge" {
+		t.Fatalf("candidate = %+v, want c4.2xlarge", cand)
+	}
+}
+
+func TestBestAcquisitionDeclinesWhenNotWorthIt(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	// Footprint already has very cheap productive spot; candidates at a
+	// much higher price should be declined.
+	cheap := AllocState{Type: c42xlarge(), Count: 8, Price: 0.02, Beta: 0.01, Remaining: time.Hour}
+	prices := map[string]float64{"c4.xlarge": 5.0, "c4.2xlarge": 9.0} // spike
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	cand, err := b.BestAcquisition([]AllocState{cheap}, prices, types, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand != nil {
+		t.Fatalf("acquired during a price spike: %+v", cand)
+	}
+}
+
+func TestBestAcquisitionValidation(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	types := []market.InstanceType{c4xlarge()}
+	if _, err := b.BestAcquisition(nil, map[string]float64{}, types, 1); err == nil {
+		t.Fatal("missing price accepted")
+	}
+	if _, err := b.BestAcquisition(nil, map[string]float64{"c4.xlarge": 0.05}, types, 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	missing := []market.InstanceType{{Name: "exotic", VCPUs: 2, OnDemand: 1}}
+	if _, err := b.BestAcquisition(nil, map[string]float64{"exotic": 0.05}, missing, 1); err == nil {
+		t.Fatal("type without beta table accepted")
+	}
+}
+
+func TestShouldRenew(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	od := AllocState{Type: c4xlarge(), Count: 1, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	spot := AllocState{Type: c4xlarge(), Count: 4, Price: 0.05, Beta: 0.05, Remaining: 2 * time.Minute}
+	// Renewal at the same cheap price: keep it (it is the only work
+	// producer amortizing the on-demand cost).
+	if !b.ShouldRenew([]AllocState{od}, spot, 0.05) {
+		t.Fatal("declined to renew the footprint's only cheap work producer")
+	}
+	// Renewal during an extreme spike: let it go when another productive
+	// allocation exists.
+	other := AllocState{Type: c42xlarge(), Count: 4, Price: 0.06, Beta: 0.05, Remaining: 50 * time.Minute}
+	if b.ShouldRenew([]AllocState{od, other}, spot, 50.0) {
+		t.Fatal("renewed at an absurd spike price")
+	}
+}
+
+func TestBrainBetaLookup(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	lo, err := b.Beta("c4.xlarge", 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := b.Beta("c4.xlarge", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi > lo {
+		t.Fatalf("beta not monotone: beta(0.4)=%v > beta(0.0001)=%v", hi, lo)
+	}
+	if _, err := b.Beta("nope", 0.1); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestStandardBid(t *testing.T) {
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	// c4.2xlarge cheaper per core: 0.08/8 < 0.05/4.
+	prices := map[string]float64{"c4.xlarge": 0.05, "c4.2xlarge": 0.08}
+	tp, bid, err := StandardBid(prices, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name != "c4.2xlarge" {
+		t.Fatalf("type = %s", tp.Name)
+	}
+	if bid != 0.419 {
+		t.Fatalf("bid = %v, want the on-demand price", bid)
+	}
+	if _, _, err := StandardBid(map[string]float64{}, types); err == nil {
+		t.Fatal("missing prices accepted")
+	}
+	if _, _, err := StandardBid(prices, nil); err == nil {
+		t.Fatal("no types accepted")
+	}
+}
+
+// Property: Evaluate is monotone in β for cost (higher eviction
+// probability cannot raise expected cost) and in count for work.
+func TestPropertyEvaluateMonotonicity(t *testing.T) {
+	p := DefaultParams()
+	f := func(rawBeta uint8, rawCount uint8) bool {
+		beta := float64(rawBeta) / 255
+		count := int(rawCount)%16 + 1
+		a := AllocState{Type: c4xlarge(), Count: count, Price: 0.08, Beta: beta, Remaining: time.Hour}
+		ev := Evaluate(p, []AllocState{a}, false)
+		aMore := a
+		aMore.Beta = beta / 2
+		evSafer := Evaluate(p, []AllocState{aMore}, false)
+		if ev.Cost > evSafer.Cost+1e-12 {
+			return false // higher β must not cost more
+		}
+		aBig := a
+		aBig.Count = count + 1
+		evBig := Evaluate(p, []AllocState{aBig}, false)
+		return evBig.Work >= ev.Work-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package bidbrain
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/market"
+	"proteus/internal/trace"
+)
+
+// Deadline-aware acquisition — the §4.3 future work: "In future work, we
+// plan to explore other optimization metrics to fit other elastic
+// application types." Cost-per-work is the right objective for throughput
+// batch jobs; jobs with deadlines instead need the cheapest footprint
+// whose expected work rate still finishes on time. DeadlineAcquisition
+// searches the same (type, bid-delta) candidate space but optimizes
+// expected cost subject to an expected-completion constraint, falling
+// back to the fastest candidate when nothing meets the deadline.
+
+// DeadlineGoal describes a job with a completion constraint.
+type DeadlineGoal struct {
+	// RemainingWork is the work (in ν units, e.g. core-hours) still
+	// required.
+	RemainingWork float64
+	// Deadline is how much time remains to finish it.
+	Deadline time.Duration
+}
+
+// Validate rejects impossible goals.
+func (g DeadlineGoal) Validate() error {
+	if g.RemainingWork <= 0 {
+		return fmt.Errorf("bidbrain: non-positive remaining work")
+	}
+	if g.Deadline <= 0 {
+		return fmt.Errorf("bidbrain: non-positive deadline")
+	}
+	return nil
+}
+
+// DeadlineCandidate is a candidate evaluated against a deadline goal.
+type DeadlineCandidate struct {
+	Candidate
+	// ExpectedHours is the projected completion time with this candidate
+	// added to the footprint.
+	ExpectedHours float64
+	// MeetsDeadline reports whether the projection fits the goal.
+	MeetsDeadline bool
+}
+
+// DeadlineAcquisition returns the cheapest candidate whose projected
+// completion meets the deadline, or — when none does — the candidate with
+// the fastest projected completion (best effort). It returns nil only if
+// the current footprint already meets the deadline without additions.
+func (b *Brain) DeadlineAcquisition(current []AllocState, goal DeadlineGoal, prices map[string]float64, types []market.InstanceType, count int) (*DeadlineCandidate, error) {
+	if err := goal.Validate(); err != nil {
+		return nil, err
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("bidbrain: candidate count %d must be positive", count)
+	}
+
+	project := func(allocs []AllocState) float64 {
+		ev := Evaluate(b.params, allocs, true)
+		if ev.Work <= 0 {
+			return 1e300
+		}
+		// ev.Work is expected work over one planning hour; the sustained
+		// rate extrapolates it.
+		return goal.RemainingWork / ev.Work
+	}
+
+	// Nothing to do if the footprint already finishes in time.
+	if project(current) <= goal.Deadline.Hours() {
+		return nil, nil
+	}
+
+	var cheapest, fastest *DeadlineCandidate
+	for _, t := range types {
+		price, ok := prices[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("bidbrain: no price for %s", t.Name)
+		}
+		bt, ok := b.betas[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("bidbrain: no beta table for %s", t.Name)
+		}
+		if price >= t.OnDemand {
+			continue
+		}
+		for _, delta := range b.deltas {
+			beta := bt.Beta(delta)
+			cand := AllocState{
+				Type:      t,
+				Count:     count,
+				Price:     price,
+				Beta:      beta,
+				Remaining: trace.BillingHour,
+				Omega:     expectedOmega(beta, bt.MedianTTE(delta)),
+			}
+			withCand := append(append([]AllocState(nil), current...), cand)
+			ev := Evaluate(b.params, withCand, true)
+			hours := project(withCand)
+			dc := &DeadlineCandidate{
+				Candidate: Candidate{
+					Type:           t,
+					Count:          count,
+					BidDelta:       delta,
+					Bid:            price + delta,
+					Beta:           beta,
+					NewCostPerWork: ev.CostPerWork,
+				},
+				ExpectedHours: hours,
+				MeetsDeadline: hours <= goal.Deadline.Hours(),
+			}
+			if dc.MeetsDeadline {
+				if cheapest == nil || expectedHourlyCost(ev) < expectedHourlyCostOf(b, current, cheapest) {
+					cheapest = dc
+				}
+			}
+			if fastest == nil || dc.ExpectedHours < fastest.ExpectedHours {
+				fastest = dc
+			}
+		}
+	}
+	if cheapest != nil {
+		return cheapest, nil
+	}
+	return fastest, nil
+}
+
+// expectedHourlyCost extracts the expected dollars of an evaluation (the
+// evaluation horizon is one planning hour).
+func expectedHourlyCost(ev Evaluation) float64 { return ev.Cost }
+
+// expectedHourlyCostOf recomputes a previously chosen candidate's footprint
+// cost for comparison.
+func expectedHourlyCostOf(b *Brain, current []AllocState, dc *DeadlineCandidate) float64 {
+	cand := AllocState{
+		Type:      dc.Type,
+		Count:     dc.Count,
+		Price:     dc.Bid - dc.BidDelta,
+		Beta:      dc.Beta,
+		Remaining: trace.BillingHour,
+	}
+	ev := Evaluate(b.params, append(append([]AllocState(nil), current...), cand), true)
+	return ev.Cost
+}

@@ -1,0 +1,115 @@
+package bidbrain
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/market"
+)
+
+func TestDeadlineGoalValidate(t *testing.T) {
+	if err := (DeadlineGoal{RemainingWork: 10, Deadline: time.Hour}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (DeadlineGoal{RemainingWork: 0, Deadline: time.Hour}).Validate(); err == nil {
+		t.Fatal("zero work accepted")
+	}
+	if err := (DeadlineGoal{RemainingWork: 1, Deadline: 0}).Validate(); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+}
+
+func TestDeadlineAcquisitionNilWhenAlreadyOnTrack(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	// A big productive footprint: 32 × 8 cores ≈ 243 work/hour.
+	cur := []AllocState{{
+		Type: c42xlarge(), Count: 32, Price: 0.10, Beta: 0.02, Remaining: time.Hour,
+	}}
+	goal := DeadlineGoal{RemainingWork: 100, Deadline: 2 * time.Hour}
+	prices := map[string]float64{"c4.xlarge": 0.05, "c4.2xlarge": 0.10}
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	dc, err := b.DeadlineAcquisition(cur, goal, prices, types, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc != nil {
+		t.Fatalf("acquired despite being on track: %+v", dc)
+	}
+}
+
+func TestDeadlineAcquisitionBuysWhenBehind(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	od := AllocState{Type: c4xlarge(), Count: 3, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	goal := DeadlineGoal{RemainingWork: 200, Deadline: 3 * time.Hour}
+	prices := map[string]float64{"c4.xlarge": 0.05, "c4.2xlarge": 0.10}
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	dc, err := b.DeadlineAcquisition([]AllocState{od}, goal, prices, types, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == nil {
+		t.Fatal("no candidate despite an empty productive footprint")
+	}
+	if !dc.MeetsDeadline {
+		t.Fatalf("16 × 8-core candidates should meet a 3h/200-work goal: %+v", dc)
+	}
+	// A deadline-meeting candidate must avoid eviction-chasing: its β
+	// should be modest so the projection is trustworthy.
+	if dc.Beta > 0.6 {
+		t.Fatalf("deadline candidate chases evictions: beta=%v", dc.Beta)
+	}
+}
+
+func TestDeadlineAcquisitionBestEffortWhenImpossible(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	od := AllocState{Type: c4xlarge(), Count: 1, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	// 1M work units in one hour is impossible with 16 instances.
+	goal := DeadlineGoal{RemainingWork: 1e6, Deadline: time.Hour}
+	prices := map[string]float64{"c4.xlarge": 0.05, "c4.2xlarge": 0.10}
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	dc, err := b.DeadlineAcquisition([]AllocState{od}, goal, prices, types, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == nil {
+		t.Fatal("best-effort candidate missing")
+	}
+	if dc.MeetsDeadline {
+		t.Fatal("impossible goal reported as met")
+	}
+	// Best effort should pick the fastest (8-core) type.
+	if dc.Type.VCPUs != 8 {
+		t.Fatalf("best effort picked %s, want an 8-core type", dc.Type.Name)
+	}
+}
+
+func TestDeadlineAcquisitionSkipsSpikedMarkets(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	od := AllocState{Type: c4xlarge(), Count: 1, Price: 0.209, Remaining: time.Hour, OnDemand: true}
+	goal := DeadlineGoal{RemainingWork: 50, Deadline: 2 * time.Hour}
+	// Every market above its on-demand price: nothing rational to buy.
+	prices := map[string]float64{"c4.xlarge": 5.0, "c4.2xlarge": 9.0}
+	types := []market.InstanceType{c4xlarge(), c42xlarge()}
+	dc, err := b.DeadlineAcquisition([]AllocState{od}, goal, prices, types, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc != nil {
+		t.Fatalf("bought during a universal spike: %+v", dc)
+	}
+}
+
+func TestDeadlineAcquisitionValidation(t *testing.T) {
+	b, _ := buildBrain(t, DefaultParams())
+	goal := DeadlineGoal{RemainingWork: 1, Deadline: time.Hour}
+	types := []market.InstanceType{c4xlarge()}
+	if _, err := b.DeadlineAcquisition(nil, DeadlineGoal{}, nil, types, 1); err == nil {
+		t.Fatal("invalid goal accepted")
+	}
+	if _, err := b.DeadlineAcquisition(nil, goal, map[string]float64{}, types, 1); err == nil {
+		t.Fatal("missing prices accepted")
+	}
+	if _, err := b.DeadlineAcquisition(nil, goal, map[string]float64{"c4.xlarge": 0.05}, types, 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}

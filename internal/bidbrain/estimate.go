@@ -1,0 +1,142 @@
+package bidbrain
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Automated parameter estimation — the future work §4.1 states: "In
+// future work, we plan to automate the process of determining φ, σ, λ and
+// ν. Currently, we set φ, σ, λ empirically."
+//
+// The estimators below derive each parameter from run telemetry any
+// AgileML job produces:
+//
+//   - ν from throughput samples: work per core-hour at the smallest
+//     observed footprint, where scaling losses are negligible.
+//   - φ from the scalability curve: the first-order coefficient of
+//     normalized throughput against core count, exactly the Taylor-series
+//     framing of §4.1.
+//   - σ and λ from the observed stalls after footprint changes and
+//     evictions respectively.
+
+// ThroughputSample is one steady-state observation of the job's work rate
+// at a given footprint.
+type ThroughputSample struct {
+	Cores       int
+	WorkPerHour float64
+}
+
+// StallKind classifies an observed pause.
+type StallKind int
+
+const (
+	// StallResize follows a deliberate footprint change (σ).
+	StallResize StallKind = iota
+	// StallEviction follows a revocation (λ).
+	StallEviction
+)
+
+// StallSample is one observed no-progress interval and its cause.
+type StallSample struct {
+	Kind     StallKind
+	Duration time.Duration
+}
+
+// EstimateNu returns work per core-hour from the sample with the fewest
+// cores, where parallel inefficiency is smallest.
+func EstimateNu(samples []ThroughputSample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("bidbrain: no throughput samples")
+	}
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s.Cores < best.Cores {
+			best = s
+		}
+	}
+	if best.Cores <= 0 || best.WorkPerHour <= 0 {
+		return 0, fmt.Errorf("bidbrain: invalid sample %+v", best)
+	}
+	return best.WorkPerHour / float64(best.Cores), nil
+}
+
+// EstimatePhi fits the scalability coefficient: with perfect scaling,
+// throughput = ν·cores; the observed least-squares slope through the
+// origin, divided by ν, is φ. Values are clamped to (0, 1].
+func EstimatePhi(samples []ThroughputSample) (float64, error) {
+	nu, err := EstimateNu(samples)
+	if err != nil {
+		return 0, err
+	}
+	if len(samples) < 2 {
+		return 0, fmt.Errorf("bidbrain: phi needs at least 2 footprint sizes")
+	}
+	var sxy, sxx float64
+	for _, s := range samples {
+		x := float64(s.Cores)
+		sxy += x * s.WorkPerHour
+		sxx += x * x
+	}
+	if sxx == 0 {
+		return 0, fmt.Errorf("bidbrain: degenerate samples")
+	}
+	phi := (sxy / sxx) / nu
+	if phi <= 0 {
+		return 0, fmt.Errorf("bidbrain: non-positive phi %v", phi)
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	return phi, nil
+}
+
+// EstimateStall returns a robust (median) estimate of the stall duration
+// for one kind of event.
+func EstimateStall(samples []StallSample, kind StallKind) (time.Duration, error) {
+	var ds []time.Duration
+	for _, s := range samples {
+		if s.Kind == kind {
+			if s.Duration < 0 {
+				return 0, fmt.Errorf("bidbrain: negative stall %v", s.Duration)
+			}
+			ds = append(ds, s.Duration)
+		}
+	}
+	if len(ds) == 0 {
+		return 0, fmt.Errorf("bidbrain: no stall samples of kind %d", int(kind))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2], nil
+}
+
+// EstimateParams assembles a full parameter set from telemetry, the
+// automated replacement for §4.1's empirical settings. The returned
+// params carry the default acquire tolerance.
+func EstimateParams(throughput []ThroughputSample, stalls []StallSample) (Params, error) {
+	nu, err := EstimateNu(throughput)
+	if err != nil {
+		return Params{}, err
+	}
+	phi, err := EstimatePhi(throughput)
+	if err != nil {
+		return Params{}, err
+	}
+	sigma, err := EstimateStall(stalls, StallResize)
+	if err != nil {
+		return Params{}, err
+	}
+	lambda, err := EstimateStall(stalls, StallEviction)
+	if err != nil {
+		return Params{}, err
+	}
+	p := Params{
+		Phi:              phi,
+		Sigma:            sigma,
+		Lambda:           lambda,
+		NuPerCore:        nu,
+		AcquireTolerance: DefaultParams().AcquireTolerance,
+	}
+	return p, p.Validate()
+}

@@ -1,0 +1,135 @@
+package bidbrain
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// syntheticThroughput produces samples from a known ground truth:
+// throughput = phi·nu·cores (a linear scalability curve).
+func syntheticThroughput(nu, phi float64, cores ...int) []ThroughputSample {
+	out := make([]ThroughputSample, len(cores))
+	for i, c := range cores {
+		rate := nu * float64(c)
+		if c > cores[0] {
+			rate *= phi // scaling losses beyond the smallest footprint
+		}
+		out[i] = ThroughputSample{Cores: c, WorkPerHour: rate}
+	}
+	return out
+}
+
+func TestEstimateNuRecoversGroundTruth(t *testing.T) {
+	samples := syntheticThroughput(2.5, 0.9, 8, 64, 256)
+	nu, err := EstimateNu(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nu-2.5) > 1e-9 {
+		t.Fatalf("nu = %v, want 2.5", nu)
+	}
+}
+
+func TestEstimateNuValidation(t *testing.T) {
+	if _, err := EstimateNu(nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := EstimateNu([]ThroughputSample{{Cores: 0, WorkPerHour: 1}}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestEstimatePhiRecoversGroundTruth(t *testing.T) {
+	samples := syntheticThroughput(2.0, 0.9, 8, 64, 128, 256)
+	phi, err := EstimatePhi(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The small-footprint sample scales perfectly, so the fit lands
+	// slightly above the asymptotic 0.9 but well inside (0.85, 1).
+	if phi < 0.85 || phi > 1 {
+		t.Fatalf("phi = %v, want ≈0.9", phi)
+	}
+	// Perfect scaling clamps to 1.
+	perfect := syntheticThroughput(1.0, 1.0, 4, 8, 16)
+	phi, err = EstimatePhi(perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != 1 {
+		t.Fatalf("perfect scaling phi = %v, want 1", phi)
+	}
+}
+
+func TestEstimatePhiValidation(t *testing.T) {
+	if _, err := EstimatePhi([]ThroughputSample{{Cores: 4, WorkPerHour: 4}}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestEstimateStallMedian(t *testing.T) {
+	stalls := []StallSample{
+		{Kind: StallResize, Duration: 20 * time.Second},
+		{Kind: StallResize, Duration: 30 * time.Second},
+		{Kind: StallResize, Duration: 400 * time.Second}, // outlier
+		{Kind: StallEviction, Duration: 60 * time.Second},
+		{Kind: StallEviction, Duration: 70 * time.Second},
+		{Kind: StallEviction, Duration: 65 * time.Second},
+	}
+	sigma, err := EstimateStall(stalls, StallResize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma != 30*time.Second {
+		t.Fatalf("sigma = %v, want the 30s median (outlier-robust)", sigma)
+	}
+	lambda, err := EstimateStall(stalls, StallEviction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda != 65*time.Second {
+		t.Fatalf("lambda = %v, want 65s", lambda)
+	}
+	if _, err := EstimateStall(nil, StallResize); err == nil {
+		t.Fatal("no samples accepted")
+	}
+	if _, err := EstimateStall([]StallSample{{Kind: StallResize, Duration: -1}}, StallResize); err == nil {
+		t.Fatal("negative stall accepted")
+	}
+}
+
+func TestEstimateParamsEndToEnd(t *testing.T) {
+	throughput := syntheticThroughput(1.0, 0.95, 8, 64, 256, 512)
+	stalls := []StallSample{
+		{Kind: StallResize, Duration: 28 * time.Second},
+		{Kind: StallResize, Duration: 32 * time.Second},
+		{Kind: StallResize, Duration: 30 * time.Second},
+		{Kind: StallEviction, Duration: 55 * time.Second},
+		{Kind: StallEviction, Duration: 65 * time.Second},
+		{Kind: StallEviction, Duration: 62 * time.Second},
+	}
+	p, err := EstimateParams(throughput, stalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimated parameters land near the paper-calibrated defaults
+	// the telemetry was synthesized from.
+	def := DefaultParams()
+	if math.Abs(p.Phi-def.Phi) > 0.05 {
+		t.Fatalf("phi = %v, want ≈%v", p.Phi, def.Phi)
+	}
+	if p.Sigma != 30*time.Second {
+		t.Fatalf("sigma = %v", p.Sigma)
+	}
+	if p.Lambda != 62*time.Second {
+		t.Fatalf("lambda = %v", p.Lambda)
+	}
+	if math.Abs(p.NuPerCore-1.0) > 1e-9 {
+		t.Fatalf("nu = %v", p.NuPerCore)
+	}
+	// The estimated params drive a Brain without modification.
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

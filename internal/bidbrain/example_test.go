@@ -1,0 +1,45 @@
+package bidbrain_test
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/market"
+)
+
+// ExampleEvaluate reproduces the arithmetic of the paper's Fig. 6, phase
+// 2: an on-demand allocation that produces no work plus two spot
+// allocations, where adding the second lowers the expected cost per work.
+func ExampleEvaluate() {
+	params := bidbrain.Params{Phi: 1, NuPerCore: 1}
+	onDemand := bidbrain.AllocState{
+		Type:      market.InstanceType{Name: "c4.xlarge", VCPUs: 4, OnDemand: 0.209},
+		Count:     1,
+		Price:     0.20,
+		Remaining: time.Hour,
+		OnDemand:  true,
+	}
+	yellow := bidbrain.AllocState{
+		Type:      market.InstanceType{Name: "m4.xlarge", VCPUs: 4, OnDemand: 0.215},
+		Count:     2,
+		Price:     0.05,
+		Remaining: time.Hour,
+	}
+	green := bidbrain.AllocState{
+		Type:      market.InstanceType{Name: "c4.xlarge", VCPUs: 4, OnDemand: 0.209},
+		Count:     2,
+		Price:     0.025,
+		Remaining: time.Hour,
+	}
+
+	phase1 := bidbrain.Evaluate(params, []bidbrain.AllocState{onDemand, yellow}, false)
+	phase2 := bidbrain.Evaluate(params, []bidbrain.AllocState{onDemand, yellow, green}, false)
+	fmt.Printf("phase 1: cost $%.2f, work %.0f, cost/work %.4f\n", phase1.Cost, phase1.Work, phase1.CostPerWork)
+	fmt.Printf("phase 2: cost $%.2f, work %.0f, cost/work %.4f\n", phase2.Cost, phase2.Work, phase2.CostPerWork)
+	fmt.Printf("adding the green allocation lowers cost per work: %v\n", phase2.CostPerWork < phase1.CostPerWork)
+	// Output:
+	// phase 1: cost $0.30, work 8, cost/work 0.0375
+	// phase 2: cost $0.35, work 16, cost/work 0.0219
+	// adding the green allocation lowers cost per work: true
+}

@@ -1,0 +1,94 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Policy{WriteTime: 0}).Validate(); err == nil {
+		t.Fatal("zero WriteTime accepted")
+	}
+	if err := (Policy{WriteTime: time.Second, ReloadTime: -1}).Validate(); err == nil {
+		t.Fatal("negative ReloadTime accepted")
+	}
+}
+
+func TestIntervalYoungFormula(t *testing.T) {
+	p := Policy{WriteTime: 90 * time.Second}
+	mttf := 4 * time.Hour
+	got := p.Interval(mttf)
+	want := time.Duration(math.Sqrt(2 * float64(p.WriteTime) * float64(mttf)))
+	if got != want {
+		t.Fatalf("Interval = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalClampedToWriteTime(t *testing.T) {
+	p := Policy{WriteTime: time.Minute}
+	if got := p.Interval(time.Second); got < p.WriteTime {
+		t.Fatalf("Interval = %v below WriteTime", got)
+	}
+	if got := p.Interval(0); got != p.WriteTime {
+		t.Fatalf("Interval(0) = %v", got)
+	}
+}
+
+func TestOverheadCalibration(t *testing.T) {
+	// The paper observes ~17% checkpoint overhead when bidding the
+	// on-demand price. With the default policy and an hour-scale MTTF the
+	// model must land in that neighbourhood.
+	p := DefaultPolicy()
+	interval := p.Interval(20 * time.Minute)
+	frac := p.OverheadFraction(interval)
+	if frac < 0.10 || frac > 0.25 {
+		t.Fatalf("overhead fraction = %.3f, want ~0.17 at hour-scale MTTF", frac)
+	}
+}
+
+func TestOverheadFractionBounds(t *testing.T) {
+	p := Policy{WriteTime: time.Minute}
+	if got := p.OverheadFraction(0); got != 1 {
+		t.Fatalf("OverheadFraction(0) = %v", got)
+	}
+	if got := p.OverheadFraction(9 * time.Minute); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("OverheadFraction = %v, want 0.1", got)
+	}
+}
+
+func TestRestartDelay(t *testing.T) {
+	p := Policy{WriteTime: time.Minute, ReloadTime: 2 * time.Minute}
+	interval := 10 * time.Minute
+	if got := ExpectedLostWork(interval); got != 5*time.Minute {
+		t.Fatalf("ExpectedLostWork = %v", got)
+	}
+	if got := p.RestartDelay(interval); got != 7*time.Minute {
+		t.Fatalf("RestartDelay = %v, want 7m", got)
+	}
+}
+
+// Property: longer MTTF means longer intervals and lower overhead — the
+// whole point of MTTF-adapted checkpointing.
+func TestPropertyMonotoneInMTTF(t *testing.T) {
+	p := DefaultPolicy()
+	f := func(rawA, rawB uint16) bool {
+		a := time.Duration(rawA) * time.Minute
+		b := time.Duration(rawB) * time.Minute
+		if a > b {
+			a, b = b, a
+		}
+		ia, ib := p.Interval(a), p.Interval(b)
+		if ia > ib {
+			return false
+		}
+		return p.OverheadFraction(ia) >= p.OverheadFraction(ib)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package cluster models the dynamic machine pool an AgileML job runs on.
+//
+// Machines belong to reliability tiers (§3: "tiers of reliability"):
+// reliable machines (on-demand instances) hold solution-state backups and
+// are never revoked; transient machines (spot instances) do the bulk of
+// the work but can be evicted in bulk with little warning, or fail
+// outright. The Cluster tracks membership, publishes join/eviction/failure
+// events to subscribers (the elasticity controller), and groups machines
+// into allocations — the atomic acquisition sets of §4 that are granted
+// and revoked together.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tier is a machine reliability tier.
+type Tier int
+
+const (
+	// Reliable machines (e.g. on-demand instances) are assumed not to be
+	// revoked; AgileML keeps all state needed for continued operation here.
+	Reliable Tier = iota
+	// Transient machines (e.g. spot instances) are cheap but revocable.
+	Transient
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case Reliable:
+		return "reliable"
+	case Transient:
+		return "transient"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// MachineID identifies a machine within a cluster.
+type MachineID int
+
+// Machine is one member of the pool.
+type Machine struct {
+	ID         MachineID
+	Tier       Tier
+	Cores      int
+	Allocation string // market allocation label; machines in one allocation come and go together
+}
+
+// EventKind classifies membership events.
+type EventKind int
+
+const (
+	// Joined machines have been granted and initialized.
+	Joined EventKind = iota
+	// EvictionWarning announces machines that will be revoked after the
+	// warning period (AWS's two minutes, GCE's 30 seconds).
+	EvictionWarning
+	// Evicted machines have been revoked following a warning.
+	Evicted
+	// Failed machines disappeared without (sufficient) warning — the
+	// paper's "failure or effective failure" (§3.3).
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case Joined:
+		return "joined"
+	case EvictionWarning:
+		return "eviction-warning"
+	case Evicted:
+		return "evicted"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one membership change, delivered to subscribers in order.
+type Event struct {
+	Kind     EventKind
+	Machines []MachineID
+	// Warning is the lead time quoted with an EvictionWarning.
+	Warning time.Duration
+}
+
+// Cluster tracks the live machine pool. Safe for concurrent use.
+type Cluster struct {
+	mu       sync.Mutex
+	machines map[MachineID]*Machine
+	warned   map[MachineID]bool
+	nextID   MachineID
+	subs     []chan Event
+}
+
+// New returns an empty cluster.
+func New() *Cluster {
+	return &Cluster{
+		machines: make(map[MachineID]*Machine),
+		warned:   make(map[MachineID]bool),
+	}
+}
+
+// Subscribe registers a membership-event channel with the given buffer.
+// Events are delivered in order; a full subscriber channel blocks
+// publication (subscribers must keep draining).
+func (c *Cluster) Subscribe(buffer int) <-chan Event {
+	ch := make(chan Event, buffer)
+	c.mu.Lock()
+	c.subs = append(c.subs, ch)
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *Cluster) publish(ev Event) {
+	c.mu.Lock()
+	subs := append([]chan Event(nil), c.subs...)
+	c.mu.Unlock()
+	for _, ch := range subs {
+		ch <- ev
+	}
+}
+
+// Add joins count machines of the tier to the pool as one allocation and
+// returns them. Cores is per machine.
+func (c *Cluster) Add(tier Tier, cores, count int, allocation string) ([]*Machine, error) {
+	if cores <= 0 || count <= 0 {
+		return nil, fmt.Errorf("cluster: cores %d and count %d must be positive", cores, count)
+	}
+	c.mu.Lock()
+	added := make([]*Machine, 0, count)
+	ids := make([]MachineID, 0, count)
+	for i := 0; i < count; i++ {
+		m := &Machine{ID: c.nextID, Tier: tier, Cores: cores, Allocation: allocation}
+		c.nextID++
+		c.machines[m.ID] = m
+		added = append(added, m)
+		ids = append(ids, m.ID)
+	}
+	c.mu.Unlock()
+	c.publish(Event{Kind: Joined, Machines: ids})
+	return added, nil
+}
+
+// WarnEviction marks machines for revocation with the given lead time and
+// notifies subscribers. Unknown or reliable machines are an error:
+// reliable machines are never revoked by the resource market.
+func (c *Cluster) WarnEviction(ids []MachineID, warning time.Duration) error {
+	c.mu.Lock()
+	for _, id := range ids {
+		m, ok := c.machines[id]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: warn for unknown machine %d", id)
+		}
+		if m.Tier == Reliable {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: eviction warning for reliable machine %d", id)
+		}
+		c.warned[id] = true
+	}
+	c.mu.Unlock()
+	c.publish(Event{Kind: EvictionWarning, Machines: append([]MachineID(nil), ids...), Warning: warning})
+	return nil
+}
+
+// Evict removes machines that were previously warned. Machines evicted
+// without a prior warning should use Fail instead.
+func (c *Cluster) Evict(ids []MachineID) error {
+	if err := c.remove(ids, true); err != nil {
+		return err
+	}
+	c.publish(Event{Kind: Evicted, Machines: append([]MachineID(nil), ids...)})
+	return nil
+}
+
+// Fail removes machines without warning (failure or effective failure).
+func (c *Cluster) Fail(ids []MachineID) error {
+	if err := c.remove(ids, false); err != nil {
+		return err
+	}
+	c.publish(Event{Kind: Failed, Machines: append([]MachineID(nil), ids...)})
+	return nil
+}
+
+func (c *Cluster) remove(ids []MachineID, needWarned bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if _, ok := c.machines[id]; !ok {
+			return fmt.Errorf("cluster: remove unknown machine %d", id)
+		}
+		if needWarned && !c.warned[id] {
+			return fmt.Errorf("cluster: evict of unwarned machine %d (use Fail)", id)
+		}
+	}
+	for _, id := range ids {
+		delete(c.machines, id)
+		delete(c.warned, id)
+	}
+	return nil
+}
+
+// Get returns a machine by ID.
+func (c *Cluster) Get(id MachineID) (*Machine, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.machines[id]
+	return m, ok
+}
+
+// Machines returns all live machines sorted by ID.
+func (c *Cluster) Machines() []*Machine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Machine, 0, len(c.machines))
+	for _, m := range c.machines {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByTier returns live machines of one tier sorted by ID.
+func (c *Cluster) ByTier(t Tier) []*Machine {
+	var out []*Machine
+	for _, m := range c.Machines() {
+		if m.Tier == t {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Counts returns (reliable, transient) machine counts.
+func (c *Cluster) Counts() (reliable, transient int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.machines {
+		if m.Tier == Reliable {
+			reliable++
+		} else {
+			transient++
+		}
+	}
+	return reliable, transient
+}
+
+// Ratio returns the transient:reliable ratio that drives stage selection
+// (§3.2). With no reliable machines it returns +Inf-like math.MaxFloat64
+// semantics via a large sentinel; callers treat it as "beyond any
+// threshold".
+func (c *Cluster) Ratio() float64 {
+	r, t := c.Counts()
+	if r == 0 {
+		if t == 0 {
+			return 0
+		}
+		return 1 << 30
+	}
+	return float64(t) / float64(r)
+}
+
+// TotalCores sums cores across live machines of the tier; pass -1 for all.
+func (c *Cluster) TotalCores(t Tier) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, m := range c.machines {
+		if t < 0 || m.Tier == t {
+			total += m.Cores
+		}
+	}
+	return total
+}

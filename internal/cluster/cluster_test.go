@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func ids(ms []*Machine) []MachineID {
+	out := make([]MachineID, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	return out
+}
+
+func TestAddAndCounts(t *testing.T) {
+	c := New()
+	rel, err := c.Add(Reliable, 8, 2, "od-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 2 {
+		t.Fatalf("added %d, want 2", len(rel))
+	}
+	if _, err := c.Add(Transient, 8, 6, "spot-0"); err != nil {
+		t.Fatal(err)
+	}
+	r, tr := c.Counts()
+	if r != 2 || tr != 6 {
+		t.Fatalf("Counts = %d,%d, want 2,6", r, tr)
+	}
+	if got := c.Ratio(); got != 3 {
+		t.Fatalf("Ratio = %v, want 3", got)
+	}
+	if got := c.TotalCores(-1); got != 64 {
+		t.Fatalf("TotalCores = %d, want 64", got)
+	}
+	if got := c.TotalCores(Transient); got != 48 {
+		t.Fatalf("TotalCores(Transient) = %d, want 48", got)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := New()
+	if _, err := c.Add(Reliable, 0, 1, "a"); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := c.Add(Reliable, 1, 0, "a"); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	c := New()
+	if c.Ratio() != 0 {
+		t.Fatal("empty cluster ratio should be 0")
+	}
+	c.Add(Transient, 4, 3, "s")
+	if c.Ratio() < 1<<29 {
+		t.Fatal("no-reliable ratio should be effectively infinite")
+	}
+}
+
+func TestSubscribeReceivesLifecycle(t *testing.T) {
+	c := New()
+	events := c.Subscribe(16)
+	ms, _ := c.Add(Transient, 4, 3, "spot-1")
+	mids := ids(ms)
+
+	ev := <-events
+	if ev.Kind != Joined || len(ev.Machines) != 3 {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if err := c.WarnEviction(mids, 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-events
+	if ev.Kind != EvictionWarning || ev.Warning != 2*time.Minute {
+		t.Fatalf("warning event = %+v", ev)
+	}
+	if err := c.Evict(mids); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-events
+	if ev.Kind != Evicted {
+		t.Fatalf("evict event = %+v", ev)
+	}
+	if r, tr := c.Counts(); r != 0 || tr != 0 {
+		t.Fatalf("counts after evict = %d,%d", r, tr)
+	}
+}
+
+func TestEvictRequiresWarning(t *testing.T) {
+	c := New()
+	ms, _ := c.Add(Transient, 4, 1, "s")
+	if err := c.Evict(ids(ms)); err == nil {
+		t.Fatal("evict without warning accepted")
+	}
+	// Fail works without warning.
+	if err := c.Fail(ids(ms)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(ms[0].ID); ok {
+		t.Fatal("failed machine still present")
+	}
+}
+
+func TestWarnValidation(t *testing.T) {
+	c := New()
+	rel, _ := c.Add(Reliable, 4, 1, "od")
+	if err := c.WarnEviction(ids(rel), time.Minute); err == nil {
+		t.Fatal("warning on reliable machine accepted")
+	}
+	if err := c.WarnEviction([]MachineID{999}, time.Minute); err == nil {
+		t.Fatal("warning on unknown machine accepted")
+	}
+	if err := c.Fail([]MachineID{999}); err == nil {
+		t.Fatal("fail of unknown machine accepted")
+	}
+}
+
+func TestByTierAndMachinesSorted(t *testing.T) {
+	c := New()
+	c.Add(Transient, 4, 2, "s")
+	c.Add(Reliable, 8, 1, "od")
+	all := c.Machines()
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Fatal("Machines not sorted by ID")
+		}
+	}
+	if got := len(c.ByTier(Reliable)); got != 1 {
+		t.Fatalf("ByTier(Reliable) = %d, want 1", got)
+	}
+	if got := len(c.ByTier(Transient)); got != 2 {
+		t.Fatalf("ByTier(Transient) = %d, want 2", got)
+	}
+}
+
+func TestTierAndEventStrings(t *testing.T) {
+	if Reliable.String() != "reliable" || Transient.String() != "transient" {
+		t.Fatal("tier strings wrong")
+	}
+	for k, want := range map[EventKind]string{
+		Joined: "joined", EvictionWarning: "eviction-warning", Evicted: "evicted", Failed: "failed",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestHeartbeatMonitor(t *testing.T) {
+	h := NewHeartbeatMonitor(5 * time.Second)
+	h.Track(1, 0)
+	h.Track(2, 0)
+	if h.Tracked() != 2 {
+		t.Fatalf("Tracked = %d, want 2", h.Tracked())
+	}
+	// Machine 1 beats at t=4s; machine 2 goes silent.
+	h.Beat(1, 4*time.Second)
+	expired := h.Expired(6 * time.Second)
+	if len(expired) != 1 || expired[0] != 2 {
+		t.Fatalf("Expired = %v, want [2]", expired)
+	}
+	// Failure reported once only.
+	if got := h.Expired(20 * time.Second); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("second Expired = %v, want [1]", got)
+	}
+	if h.Tracked() != 0 {
+		t.Fatalf("Tracked = %d after expiries", h.Tracked())
+	}
+}
+
+func TestHeartbeatForgetAndLateBeat(t *testing.T) {
+	h := NewHeartbeatMonitor(time.Second)
+	h.Track(7, 0)
+	h.Forget(7)
+	h.Beat(7, time.Second) // ignored: untracked
+	if got := h.Expired(time.Hour); len(got) != 0 {
+		t.Fatalf("Expired = %v, want none", got)
+	}
+}
+
+func TestHeartbeatZeroTimeoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero timeout did not panic")
+		}
+	}()
+	NewHeartbeatMonitor(0)
+}
+
+func TestAllocationsGroupMachines(t *testing.T) {
+	c := New()
+	a, _ := c.Add(Transient, 4, 2, "alloc-A")
+	b, _ := c.Add(Transient, 4, 2, "alloc-B")
+	for _, m := range a {
+		if m.Allocation != "alloc-A" {
+			t.Fatalf("machine %d allocation = %q", m.ID, m.Allocation)
+		}
+	}
+	for _, m := range b {
+		if m.Allocation != "alloc-B" {
+			t.Fatalf("machine %d allocation = %q", m.ID, m.Allocation)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// HeartbeatMonitor detects machine failures from missing heartbeats, the
+// mechanism the paper uses to distinguish failures (no warning) from
+// evictions (warned) in §3.3. Time is supplied explicitly by the caller,
+// so functional tests and simulations stay deterministic.
+type HeartbeatMonitor struct {
+	mu       sync.Mutex
+	timeout  time.Duration
+	lastBeat map[MachineID]time.Duration
+}
+
+// NewHeartbeatMonitor returns a monitor that declares a machine failed
+// when no beat has arrived for timeout.
+func NewHeartbeatMonitor(timeout time.Duration) *HeartbeatMonitor {
+	if timeout <= 0 {
+		panic("cluster: heartbeat timeout must be positive")
+	}
+	return &HeartbeatMonitor{
+		timeout:  timeout,
+		lastBeat: make(map[MachineID]time.Duration),
+	}
+}
+
+// Track starts monitoring a machine as of now.
+func (h *HeartbeatMonitor) Track(id MachineID, now time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.lastBeat[id] = now
+}
+
+// Forget stops monitoring a machine (clean removal: eviction or
+// termination handled elsewhere).
+func (h *HeartbeatMonitor) Forget(id MachineID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.lastBeat, id)
+}
+
+// Beat records a heartbeat from the machine. Beats from untracked
+// machines are ignored (they may have just been forgotten).
+func (h *HeartbeatMonitor) Beat(id MachineID, now time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.lastBeat[id]; ok {
+		h.lastBeat[id] = now
+	}
+}
+
+// Expired returns the machines whose last beat is older than the timeout
+// as of now, sorted by ID, and stops tracking them: a failure is reported
+// once.
+func (h *HeartbeatMonitor) Expired(now time.Duration) []MachineID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []MachineID
+	for id, last := range h.lastBeat {
+		if now-last > h.timeout {
+			out = append(out, id)
+		}
+	}
+	for _, id := range out {
+		delete(h.lastBeat, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tracked reports how many machines are being monitored.
+func (h *HeartbeatMonitor) Tracked() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.lastBeat)
+}

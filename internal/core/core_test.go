@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/checkpoint"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// testHarness builds a market over a synthetic multi-day trace plus a
+// brain trained on a disjoint history window, mirroring the paper's
+// train/evaluate split (β trained on Mar–Jun, evaluated on Jun–Aug).
+func testHarness(t *testing.T, seed int64) (*sim.Engine, *market.Market, *bidbrain.Brain) {
+	t.Helper()
+	catalog := market.DefaultCatalog()
+	prices := market.CatalogPrices(catalog)
+
+	hist := trace.GenerateSet("train", 30*24*time.Hour, prices, seed+1000)
+	betas := make(map[string]*trace.BetaTable)
+	for name := range prices {
+		tr, _ := hist.Get(name)
+		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), 300, seed)
+	}
+	brain, err := bidbrain.New(bidbrain.DefaultParams(), betas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eval := trace.GenerateSet("eval", 14*24*time.Hour, prices, seed)
+	eng := sim.NewEngine()
+	mkt, err := market.New(eng, market.Config{
+		Catalog: catalog,
+		Traces:  eval,
+		Warning: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, mkt, brain
+}
+
+// spec2h sizes a job that takes 2 hours on 64 on-demand c4.2xlarge
+// machines (the paper's Fig. 8 baseline).
+func spec2h() JobSpec {
+	params := bidbrain.DefaultParams()
+	return JobSpec{
+		TargetWork:    params.Phi * 64 * 8 * 2, // rate×2h of the on-demand baseline
+		Params:        params,
+		ReliableType:  "c4.xlarge",
+		ReliableCount: 3,
+		MaxSpotCores:  64 * 8 * 3 / 2, // up to 1.5× the baseline cores, like 189 vs 128
+		ChunkCores:    128,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := spec2h().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := spec2h()
+	bad.TargetWork = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero work accepted")
+	}
+	bad = spec2h()
+	bad.ChunkCores = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+}
+
+func TestOnDemandSchemeBaseline(t *testing.T) {
+	eng, mkt, _ := testHarness(t, 1)
+	res, err := OnDemandScheme{Type: "c4.2xlarge", Count: 64}.Run(eng, mkt, spec2h())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("baseline did not complete")
+	}
+	// Rate = φ·64·8 per hour and target = that × 2h ⇒ exactly 2 hours.
+	if math.Abs(res.Runtime.Hours()-2) > 0.01 {
+		t.Fatalf("runtime = %v, want 2h", res.Runtime)
+	}
+	// Cost: 64 machines × $0.419 × 2 full hours, final hour fully used.
+	want := 64 * 0.419 * 2.0
+	if math.Abs(res.Cost-want) > 0.5 {
+		t.Fatalf("cost = %v, want ≈%v", res.Cost, want)
+	}
+	if res.Evictions != 0 {
+		t.Fatal("on-demand scheme saw evictions")
+	}
+	if res.Usage.FreeHours != 0 || res.Usage.SpotHours != 0 {
+		t.Fatalf("on-demand usage has spot hours: %+v", res.Usage)
+	}
+}
+
+func TestCheckpointSchemeCompletesCheaper(t *testing.T) {
+	eng, mkt, _ := testHarness(t, 2)
+	base, err := OnDemandScheme{Type: "c4.2xlarge", Count: 64}.Run(eng, mkt, spec2h())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh market for the competitor (same trace seed → same prices).
+	eng2, mkt2, _ := testHarness(t, 2)
+	ck, err := StandardCheckpointScheme{
+		Policy: checkpoint.DefaultPolicy(),
+		MTTF:   4 * time.Hour,
+	}.Run(eng2, mkt2, spec2h())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Completed {
+		t.Fatal("checkpoint scheme did not complete")
+	}
+	if ck.Cost >= base.Cost*0.7 {
+		t.Fatalf("checkpoint cost %.2f not clearly below on-demand %.2f", ck.Cost, base.Cost)
+	}
+	if ck.Usage.SpotHours == 0 {
+		t.Fatal("checkpoint scheme used no spot hours")
+	}
+}
+
+func TestProteusBeatsCheckpointAndOnDemand(t *testing.T) {
+	// The paper's headline (§6.3): Proteus cuts cost ~85% vs on-demand
+	// and ~50% vs standard+checkpoint while also running faster. The
+	// paper averages 1000 random day/time starting points per zone; here
+	// a smaller sample of start offsets within a two-week market keeps
+	// the test fast while smoothing per-window variance.
+	var odCost, ckCost, agCost, prCost float64
+	var ckTime, agTime, prTime float64
+	offsets := []time.Duration{
+		0, 17 * time.Hour, 41 * time.Hour, 66 * time.Hour, 90 * time.Hour,
+		123 * time.Hour, 155 * time.Hour, 188 * time.Hour, 217 * time.Hour, 250 * time.Hour,
+	}
+	run := func(offset time.Duration, mk func(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain) (Result, error)) Result {
+		t.Helper()
+		eng, mkt, brain := testHarness(t, 3)
+		eng.RunUntil(offset)
+		res, err := mk(eng, mkt, brain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("offset %v: %s did not complete", offset, res.Scheme)
+		}
+		return res
+	}
+	for _, off := range offsets {
+		od := run(off, func(eng *sim.Engine, mkt *market.Market, _ *bidbrain.Brain) (Result, error) {
+			return OnDemandScheme{Type: "c4.2xlarge", Count: 64}.Run(eng, mkt, spec2h())
+		})
+		ck := run(off, func(eng *sim.Engine, mkt *market.Market, _ *bidbrain.Brain) (Result, error) {
+			return StandardCheckpointScheme{Policy: checkpoint.DefaultPolicy(), MTTF: 4 * time.Hour}.Run(eng, mkt, spec2h())
+		})
+		ag := run(off, func(eng *sim.Engine, mkt *market.Market, _ *bidbrain.Brain) (Result, error) {
+			return StandardAgileMLScheme{}.Run(eng, mkt, spec2h())
+		})
+		pr := run(off, func(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain) (Result, error) {
+			return ProteusScheme{Brain: brain}.Run(eng, mkt, spec2h())
+		})
+		odCost += od.Cost
+		ckCost += ck.Cost
+		agCost += ag.Cost
+		prCost += pr.Cost
+		ckTime += ck.Runtime.Hours()
+		agTime += ag.Runtime.Hours()
+		prTime += pr.Runtime.Hours()
+	}
+	n := float64(len(offsets))
+	odCost, ckCost, agCost, prCost = odCost/n, ckCost/n, agCost/n, prCost/n
+	ckTime, agTime, prTime = ckTime/n, agTime/n, prTime/n
+
+	t.Logf("avg cost: on-demand=%.2f ckpt=%.2f agileml=%.2f proteus=%.2f", odCost, ckCost, agCost, prCost)
+	t.Logf("avg time: ckpt=%.2fh agileml=%.2fh proteus=%.2fh", ckTime, agTime, prTime)
+
+	if prCost > odCost*0.30 {
+		t.Fatalf("proteus cost %.1f%% of on-demand; paper reports ~15%%", prCost/odCost*100)
+	}
+	if prCost >= ckCost {
+		t.Fatalf("proteus (%.2f) not cheaper than standard+checkpoint (%.2f)", prCost, ckCost)
+	}
+	if agCost >= ckCost {
+		t.Fatalf("standard+agileml (%.2f) not cheaper than standard+checkpoint (%.2f)", agCost, ckCost)
+	}
+	if prTime >= ckTime {
+		t.Fatalf("proteus (%.2fh) not faster than standard+checkpoint (%.2fh)", prTime, ckTime)
+	}
+}
+
+func TestProteusGetsFreeCompute(t *testing.T) {
+	// §6.3: on average 32% of Proteus' computing is free. Require a
+	// visible free-compute share across seeds.
+	var free, total float64
+	for _, seed := range []int64{8, 9, 10, 11} {
+		eng, mkt, brain := testHarness(t, seed)
+		res, err := ProteusScheme{Brain: brain}.Run(eng, mkt, spec2h())
+		if err != nil {
+			t.Fatal(err)
+		}
+		free += res.Usage.FreeHours
+		total += res.Usage.SpotHours + res.Usage.FreeHours
+	}
+	if total == 0 {
+		t.Fatal("no spot usage at all")
+	}
+	frac := free / total
+	t.Logf("free compute fraction = %.2f", frac)
+	if frac <= 0.02 {
+		t.Fatalf("free compute fraction %.3f; Proteus should harvest refunded hours", frac)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range []Scheme{
+		OnDemandScheme{}, StandardCheckpointScheme{}, StandardAgileMLScheme{}, ProteusScheme{},
+	} {
+		if s.Name() == "" || names[s.Name()] {
+			t.Fatalf("bad or duplicate scheme name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}
+
+func TestProteusNeedsBrain(t *testing.T) {
+	eng, mkt, _ := testHarness(t, 12)
+	if _, err := (ProteusScheme{}).Run(eng, mkt, spec2h()); err == nil {
+		t.Fatal("nil brain accepted")
+	}
+}
+
+func TestJobSimAccrual(t *testing.T) {
+	eng, mkt, _ := testHarness(t, 13)
+	spec := spec2h()
+	j := newJobSim(eng, mkt, spec)
+	j.setRate(100)
+	eng.RunUntil(30 * time.Minute)
+	j.accrue()
+	if math.Abs(j.work-50) > 1e-9 {
+		t.Fatalf("work = %v, want 50", j.work)
+	}
+	// A pause freezes accrual.
+	j.pause(30 * time.Minute)
+	eng.RunUntil(time.Hour)
+	j.accrue()
+	if math.Abs(j.work-50) > 1e-9 {
+		t.Fatalf("work accrued during pause: %v", j.work)
+	}
+	eng.RunUntil(90 * time.Minute)
+	j.accrue()
+	if math.Abs(j.work-100) > 1e-9 {
+		t.Fatalf("work = %v, want 100", j.work)
+	}
+}
+
+func TestProRatingAtExactHourBoundary(t *testing.T) {
+	// A job finishing exactly at an hour boundary must pay exactly its
+	// full hours — neither an extra begun hour nor a refund of a used
+	// one. (Regression: HourEnd-based pro-rating refunded the fully-used
+	// final hour when completion tied with the boundary event.)
+	eng, mkt, _ := testHarness(t, 40)
+	res, err := OnDemandScheme{Type: "c4.2xlarge", Count: 64}.Run(eng, mkt, spec2h())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64 * 0.419 * 2.0
+	if math.Abs(res.Cost-want) > 0.01 {
+		t.Fatalf("cost = %v, want exactly %v", res.Cost, want)
+	}
+}
+
+func TestProRatingMidHour(t *testing.T) {
+	// A job finishing mid-hour pays the used fraction of its final hour.
+	eng, mkt, _ := testHarness(t, 41)
+	spec := spec2h()
+	spec.TargetWork = spec.Params.Phi * 64 * 8 * 1.5 // finishes at 1.5h
+	res, err := OnDemandScheme{Type: "c4.2xlarge", Count: 64}.Run(eng, mkt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Runtime.Hours()-1.5) > 0.01 {
+		t.Fatalf("runtime = %v", res.Runtime)
+	}
+	want := 64 * 0.419 * 1.5
+	if math.Abs(res.Cost-want) > 0.01 {
+		t.Fatalf("cost = %v, want %v (half the final hour refunded to the next job)", res.Cost, want)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/checkpoint"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// stormMarket builds a market whose every type spikes above its on-demand
+// price briefly every interval: any on-demand-price bid is evicted like
+// clockwork. This isolates the §6.3 attribution: with identical bidding,
+// AgileML's cheap eviction handling (λ) must beat checkpoint/restart's
+// reload-plus-lost-work, in both runtime and cost.
+func stormMarket(t *testing.T, interval, spikeLen time.Duration) (*sim.Engine, *market.Market) {
+	t.Helper()
+	catalog := market.DefaultCatalog()
+	set := trace.NewSet("storm")
+	for _, tp := range catalog {
+		base := tp.OnDemand * 0.25
+		var pts []trace.Point
+		pts = append(pts, trace.Point{At: 0, Price: base})
+		for at := interval / 2; at < 200*time.Hour; at += interval {
+			pts = append(pts, trace.Point{At: at, Price: tp.OnDemand * 3})
+			pts = append(pts, trace.Point{At: at + spikeLen, Price: base})
+		}
+		set.Add(&trace.Trace{InstanceType: tp.Name, Zone: "storm", Points: pts})
+	}
+	eng := sim.NewEngine()
+	m, err := market.New(eng, market.Config{Catalog: catalog, Traces: set, Warning: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, m
+}
+
+func TestAgileMLBeatsCheckpointUnderEvictionStorm(t *testing.T) {
+	spec := spec2h()
+
+	eng, mkt := stormMarket(t, 100*time.Minute, 4*time.Minute)
+	ck, err := StandardCheckpointScheme{Policy: checkpoint.DefaultPolicy(), MTTF: 100 * time.Minute}.Run(eng, mkt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, mkt = stormMarket(t, 100*time.Minute, 4*time.Minute)
+	ag, err := StandardAgileMLScheme{}.Run(eng, mkt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Completed || !ag.Completed {
+		t.Fatalf("completion: ckpt=%v agile=%v", ck.Completed, ag.Completed)
+	}
+	// Both schemes bid the on-demand price, so both get evicted every 40
+	// minutes. The storm makes the elasticity mechanism the only
+	// difference.
+	if ck.Evictions < 1 || ag.Evictions < 1 {
+		t.Fatalf("storm too gentle: ckpt %d, agile %d evictions", ck.Evictions, ag.Evictions)
+	}
+	t.Logf("storm: ckpt $%.2f %.2fh ev%d | agile $%.2f %.2fh ev%d",
+		ck.Cost, ck.Runtime.Hours(), ck.Evictions, ag.Cost, ag.Runtime.Hours(), ag.Evictions)
+	if ag.Runtime >= ck.Runtime {
+		t.Fatalf("agileml runtime %v not under checkpoint %v despite cheap evictions", ag.Runtime, ck.Runtime)
+	}
+	if ag.Cost >= ck.Cost {
+		t.Fatalf("agileml cost %.2f not under checkpoint %.2f", ag.Cost, ck.Cost)
+	}
+	// Both harvest lots of free compute in the storm (every 40-minute
+	// eviction refunds the hour).
+	if ag.Usage.FreeHours == 0 || ck.Usage.FreeHours == 0 {
+		t.Fatalf("no free compute in the storm: agile %v, ckpt %v", ag.Usage.FreeHours, ck.Usage.FreeHours)
+	}
+}
+
+func TestCheckpointRestartDelayScalesWithInterval(t *testing.T) {
+	// The checkpoint baseline's pain is the restart: reload plus the
+	// expected half-interval of lost work. A lazier interval (bigger
+	// MTTF estimate) must cost more runtime under the same storm.
+	spec := spec2h()
+	run := func(mttf time.Duration) Result {
+		eng, mkt := stormMarket(t, 35*time.Minute, 4*time.Minute)
+		res, err := StandardCheckpointScheme{Policy: checkpoint.DefaultPolicy(), MTTF: mttf}.Run(eng, mkt, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	tight := run(30 * time.Minute)
+	lazy := run(8 * time.Hour)
+	if tight.Evictions == 0 {
+		t.Fatal("no evictions under the storm")
+	}
+	if lazy.Runtime <= tight.Runtime {
+		t.Fatalf("lazy checkpointing (%v) should lose more work per eviction than tight (%v)",
+			lazy.Runtime, tight.Runtime)
+	}
+}

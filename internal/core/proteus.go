@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// ProteusScheme combines BidBrain's allocation policy with AgileML's
+// elasticity — the full system (§5).
+type ProteusScheme struct {
+	Brain *bidbrain.Brain
+}
+
+// Name implements Scheme.
+func (ProteusScheme) Name() string { return "proteus" }
+
+// Run implements Scheme: a single job with the footprint released at
+// completion (comparable accounting with the other schemes).
+func (s ProteusScheme) Run(eng *sim.Engine, mkt *market.Market, spec JobSpec) (Result, error) {
+	seq, err := s.RunSequence(eng, mkt, []JobSpec{spec}, false)
+	if err != nil {
+		return Result{}, err
+	}
+	return seq.Jobs[0], nil
+}
+
+// SequenceResult reports a job sequence (§5: "Proteus assumes that
+// multiple ML applications are executed in sequence").
+type SequenceResult struct {
+	Jobs []Result
+	// TotalCost is the net market charge for the whole sequence,
+	// including the final drain (refund-harvested hours cost nothing).
+	TotalCost float64
+	// HarvestedRefunds is money recovered during the final drain by
+	// leaving spot allocations alive until their billing hours ended, "in
+	// hope that they are evicted by AWS prior to the end of the billing
+	// hour" (§5).
+	HarvestedRefunds float64
+	// Makespan covers the first job's start to the last job's end
+	// (excluding the drain, which runs concurrently with nothing).
+	Makespan time.Duration
+}
+
+// RunSequence executes the jobs back to back on one persistent footprint:
+// the reliable allocation and surviving spot allocations carry over
+// between jobs, so leftover paid hours are consumed by the next job —
+// exactly the accounting §6.3 assumes. With drain=true the final job is
+// followed by §5's shutdown: the on-demand allocation terminates
+// immediately, while spot allocations run out their billing hours hoping
+// for eviction refunds.
+func (s ProteusScheme) RunSequence(eng *sim.Engine, mkt *market.Market, specs []JobSpec, drain bool) (*SequenceResult, error) {
+	if s.Brain == nil {
+		return nil, fmt.Errorf("core: ProteusScheme needs a Brain")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: empty job sequence")
+	}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("core: job %d: %w", i, err)
+		}
+	}
+
+	sess := &proteusSession{
+		eng:   eng,
+		mkt:   mkt,
+		brain: s.Brain,
+		spot:  make(map[market.AllocationID]*spotAlloc),
+	}
+	mkt.SetHandler(sess)
+	defer mkt.SetHandler(nil)
+
+	reliable, err := mkt.RequestOnDemand(specs[0].ReliableType, specs[0].ReliableCount)
+	if err != nil {
+		return nil, err
+	}
+	sess.reliable = reliable
+
+	startAt := eng.Now()
+	startCost := mkt.TotalCost()
+	out := &SequenceResult{}
+	for i, spec := range specs {
+		job := newSpotJob(eng, mkt, spec)
+		job.spot = sess.spot // the footprint persists across jobs
+		job.onEvicted = func(*market.Allocation) { sess.decide() }
+		sess.job = job
+		sess.spec = spec
+		job.recomputeRate() // surviving allocations keep working
+		sess.decide()
+		ticker := eng.Every(decisionPeriod, "proteus.decide", func() { sess.decide() })
+		job.run()
+		ticker.Stop()
+		sess.job = nil
+		res := job.result("proteus")
+		if !res.Completed {
+			return nil, fmt.Errorf("core: job %d ran out of market horizon", i)
+		}
+		out.Jobs = append(out.Jobs, res)
+	}
+	out.Makespan = eng.Now() - startAt
+
+	// Snapshot the in-progress hours at sequence completion: per the
+	// paper's accounting, minutes remaining in final billing hours are
+	// not charged to the sequence ("the left over time is used by the
+	// following job"). Allocations refunded during the drain are excluded
+	// later — their hours cost nothing anyway.
+	type pending struct {
+		alloc  *market.Allocation
+		unused float64 // dollars of the charged hour not used by the jobs
+	}
+	var pendings []pending
+	completionTime := eng.Now()
+	for _, a := range mkt.ActiveAllocations() {
+		unused := a.ChargedThrough() - completionTime
+		if unused < 0 {
+			unused = 0
+		}
+		frac := unused.Hours() / trace.BillingHour.Hours()
+		pendings = append(pendings, pending{alloc: a, unused: a.HourCharge() * frac})
+	}
+
+	if drain {
+		sess.draining = true
+		costBefore := mkt.TotalCost()
+		if err := mkt.Terminate(reliable); err != nil {
+			return nil, err
+		}
+		// Spot allocations terminate at their armed hour-end decisions or
+		// get evicted (refunded) first. Run the engine until none remain.
+		for len(sess.spot) > 0 {
+			if !eng.Step() {
+				break
+			}
+		}
+		// No new hours start during the drain, so any cost decrease is
+		// eviction refunds.
+		if got := costBefore - mkt.TotalCost(); got > 0 {
+			out.HarvestedRefunds = got
+		}
+	} else {
+		for id, sa := range sess.spot {
+			if err := mkt.Terminate(sa.alloc); err != nil {
+				return nil, err
+			}
+			delete(sess.spot, id)
+		}
+		if err := mkt.Terminate(reliable); err != nil {
+			return nil, err
+		}
+	}
+	out.TotalCost = mkt.TotalCost() - startCost
+
+	// Attribute costs to jobs pro-rata by paid machine-hours. A shared
+	// footprint makes window-delta accounting misleading (refunds for
+	// hours charged during job i can arrive during job i+1), so the
+	// sequence total — which is exact — is divided by what each job
+	// actually consumed, after deducting the unused final-hour fractions
+	// of allocations that were not refunded.
+	adjusted := out.TotalCost
+	for _, p := range pendings {
+		if p.alloc.State() != market.Evicted {
+			adjusted -= p.unused
+		}
+	}
+	var paidTotal float64
+	for _, j := range out.Jobs {
+		paidTotal += j.Usage.OnDemandHours + j.Usage.SpotHours
+	}
+	for i := range out.Jobs {
+		if paidTotal > 0 {
+			paid := out.Jobs[i].Usage.OnDemandHours + out.Jobs[i].Usage.SpotHours
+			out.Jobs[i].Cost = adjusted * paid / paidTotal
+		}
+	}
+	return out, nil
+}
+
+// proteusSession is the persistent footprint and decision machinery
+// shared by the jobs of a sequence.
+type proteusSession struct {
+	eng   *sim.Engine
+	mkt   *market.Market
+	brain *bidbrain.Brain
+
+	reliable *market.Allocation
+	spot     map[market.AllocationID]*spotAlloc
+	job      *spotJob // current job; nil between jobs and during drain
+	spec     JobSpec
+	draining bool
+}
+
+// EvictionWarning implements market.Handler.
+func (s *proteusSession) EvictionWarning(*market.Allocation, time.Duration) {}
+
+// Evicted implements market.Handler: free compute arrives as a refund; a
+// running job additionally pays the λ disruption and reconsiders the
+// market.
+func (s *proteusSession) Evicted(a *market.Allocation) {
+	if s.job != nil {
+		s.job.Evicted(a)
+		return
+	}
+	delete(s.spot, a.ID) // between jobs / draining: just bookkeeping
+}
+
+// footprint translates live allocations into BidBrain's AllocState,
+// optionally excluding one allocation (for its own renewal decision).
+func (s *proteusSession) footprint(exclude market.AllocationID) ([]bidbrain.AllocState, error) {
+	now := s.eng.Now()
+	out := []bidbrain.AllocState{{
+		Type:      s.reliable.Type,
+		Count:     s.reliable.Count,
+		Price:     s.reliable.Type.OnDemand,
+		Remaining: s.reliable.HourEnd(now) - now,
+		OnDemand:  true,
+	}}
+	for id, sa := range s.spot {
+		if id == exclude {
+			continue
+		}
+		beta, err := s.brain.Beta(sa.alloc.Type.Name, sa.bidDelta)
+		if err != nil {
+			return nil, err
+		}
+		remaining := sa.alloc.HourEnd(now) - now
+		omega, err := s.brain.ExpectedUsefulTime(sa.alloc.Type.Name, sa.bidDelta, remaining)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bidbrain.AllocState{
+			Type:      sa.alloc.Type,
+			Count:     sa.alloc.Count,
+			Price:     sa.alloc.HourCharge() / float64(sa.alloc.Count),
+			Beta:      beta,
+			Remaining: remaining,
+			Omega:     omega,
+		})
+	}
+	return out, nil
+}
+
+// scheduleHourEnd arms the pre-hour-end renewal decision for an
+// allocation (§4.2): renew if keeping it lowers expected cost per work,
+// otherwise terminate before the next hour is charged. During the final
+// drain nothing renews.
+func (s *proteusSession) scheduleHourEnd(sa *spotAlloc) {
+	now := s.eng.Now()
+	at := sa.alloc.HourEnd(now) - preHourLead
+	if at <= now {
+		at = sa.alloc.HourEnd(now) + trace.BillingHour - preHourLead
+	}
+	s.eng.At(at, "proteus.hourEnd", func() {
+		cur, ok := s.spot[sa.alloc.ID]
+		if !ok || cur != sa {
+			return // evicted or replaced meanwhile
+		}
+		if s.draining {
+			delete(s.spot, sa.alloc.ID)
+			_ = s.mkt.Terminate(sa.alloc)
+			return
+		}
+		rest, err := s.footprint(sa.alloc.ID)
+		if err != nil {
+			return
+		}
+		price, err := s.mkt.SpotPrice(sa.alloc.Type.Name)
+		if err != nil {
+			return
+		}
+		beta, _ := s.brain.Beta(sa.alloc.Type.Name, sa.bidDelta)
+		state := bidbrain.AllocState{
+			Type:      sa.alloc.Type,
+			Count:     sa.alloc.Count,
+			Price:     price,
+			Beta:      beta,
+			Remaining: trace.BillingHour,
+		}
+		if price > sa.alloc.Bid || !s.brain.ShouldRenew(rest, state, price) {
+			// Either the market moved above our immutable bid (eviction
+			// is imminent anyway) or renewal is not worth it: release
+			// before the next hour is charged.
+			delete(s.spot, sa.alloc.ID)
+			_ = s.mkt.Terminate(sa.alloc)
+			if s.job != nil {
+				s.job.recomputeRate()
+			}
+			return
+		}
+		s.scheduleHourEnd(sa)
+	})
+}
+
+// decide runs one BidBrain decision point for the current job.
+func (s *proteusSession) decide() {
+	j := s.job
+	if j == nil || j.done || j.spotCores() >= s.spec.MaxSpotCores {
+		return
+	}
+	cur, err := s.footprint(-1)
+	if err != nil {
+		return
+	}
+	prices, err := cheapestPrices(s.mkt)
+	if err != nil {
+		return
+	}
+	// Candidate size: one chunk of cores, expressed as instances of the
+	// smallest type (BestAcquisition normalizes by cores across types).
+	smallest := s.mkt.Types()[0]
+	for _, t := range s.mkt.Types() {
+		if t.VCPUs < smallest.VCPUs {
+			smallest = t
+		}
+	}
+	count := s.spec.ChunkCores / smallest.VCPUs
+	if count <= 0 {
+		count = 1
+	}
+	cand, err := s.brain.BestAcquisition(cur, prices, s.mkt.Types(), count)
+	if err != nil || cand == nil {
+		return
+	}
+	maxCount := (s.spec.MaxSpotCores - j.spotCores()) / cand.Type.VCPUs
+	n := cand.Count
+	if n > maxCount {
+		n = maxCount
+	}
+	if n <= 0 {
+		return
+	}
+	sa, err := j.acquireSpot(cand.Type.Name, n, cand.Bid, cand.BidDelta)
+	if err != nil {
+		return
+	}
+	s.scheduleHourEnd(sa)
+}

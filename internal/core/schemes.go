@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/checkpoint"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+)
+
+// spotJob is the shared machinery of the spot-market schemes: it holds
+// the reliable footprint, tracks live spot allocations, and converts the
+// footprint into a work rate.
+type spotJob struct {
+	*jobSim
+	spot map[market.AllocationID]*spotAlloc
+	// onEvicted lets the scheme react after the shared bookkeeping.
+	onEvicted func(a *market.Allocation)
+	// rateFactor scales the raw core rate (checkpoint overhead).
+	rateFactor float64
+	// evictionPause is progress lost per eviction event.
+	evictionPause func() time.Duration
+}
+
+type spotAlloc struct {
+	alloc    *market.Allocation
+	bidDelta float64
+}
+
+func newSpotJob(eng *sim.Engine, mkt *market.Market, spec JobSpec) *spotJob {
+	return &spotJob{
+		jobSim:     newJobSim(eng, mkt, spec),
+		spot:       make(map[market.AllocationID]*spotAlloc),
+		rateFactor: 1,
+		evictionPause: func() time.Duration {
+			return spec.Params.Lambda
+		},
+	}
+}
+
+// EvictionWarning implements market.Handler. AgileML drains state within
+// the warning window; the work-rate effect is captured at eviction time.
+func (s *spotJob) EvictionWarning(*market.Allocation, time.Duration) {}
+
+// Evicted implements market.Handler.
+func (s *spotJob) Evicted(a *market.Allocation) {
+	if _, ok := s.spot[a.ID]; !ok {
+		return
+	}
+	delete(s.spot, a.ID)
+	s.evictions++
+	s.recomputeRate()
+	s.pause(s.evictionPause())
+	if s.onEvicted != nil {
+		s.onEvicted(a)
+	}
+}
+
+func (s *spotJob) spotCores() int {
+	total := 0
+	for _, sa := range s.spot {
+		total += sa.alloc.Count * sa.alloc.Type.VCPUs
+	}
+	return total
+}
+
+func (s *spotJob) recomputeRate() {
+	p := s.spec.Params
+	rate := p.Phi * float64(s.spotCores()) * p.NuPerCore * s.rateFactor
+	s.setRate(rate)
+}
+
+// acquireSpot requests a spot allocation and registers it.
+func (s *spotJob) acquireSpot(typeName string, count int, bid, bidDelta float64) (*spotAlloc, error) {
+	a, err := s.mkt.RequestSpot(typeName, count, bid)
+	if err != nil {
+		return nil, err
+	}
+	sa := &spotAlloc{alloc: a, bidDelta: bidDelta}
+	s.spot[a.ID] = sa
+	s.pause(s.spec.Params.Sigma)
+	s.recomputeRate()
+	return sa, nil
+}
+
+// releaseAll terminates every live spot allocation and the reliable
+// footprint (job finished).
+func (s *spotJob) releaseAll(reliable *market.Allocation) error {
+	for id, sa := range s.spot {
+		if err := s.mkt.Terminate(sa.alloc); err != nil {
+			return err
+		}
+		delete(s.spot, id)
+	}
+	if reliable != nil {
+		if err := s.mkt.Terminate(reliable); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run drives the engine until the job completes or the market horizon is
+// exhausted.
+func (s *spotJob) run() {
+	for !s.done {
+		if !s.eng.Step() {
+			break
+		}
+	}
+}
+
+// cheapestPrices snapshots spot prices for all catalog types.
+func cheapestPrices(mkt *market.Market) (map[string]float64, error) {
+	prices := make(map[string]float64)
+	for _, t := range mkt.Types() {
+		p, err := mkt.SpotPrice(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		prices[t.Name] = p
+	}
+	return prices, nil
+}
+
+// StandardCheckpointScheme is "Standard + Checkpointing" (§6.3): bid the
+// on-demand price on the currently cheapest type for the whole footprint,
+// checkpoint periodically, and on (bulk) eviction restart from the last
+// checkpoint on whatever is cheapest then.
+type StandardCheckpointScheme struct {
+	Policy checkpoint.Policy
+	// MTTF calibrates the checkpoint interval; the paper derives it from
+	// observed eviction rates under on-demand-price bidding.
+	MTTF time.Duration
+	// Overhead is the steady-state fraction of time lost to producing and
+	// storing consistent checkpoints. Zero means the paper's measured 17%
+	// (§6.3); set explicitly (e.g. from Policy.OverheadFraction) for
+	// interval ablations.
+	Overhead float64
+}
+
+// DefaultCheckpointOverhead is the paper's measured steady-state
+// checkpointing overhead for MF when bidding the on-demand price (§6.3).
+const DefaultCheckpointOverhead = 0.17
+
+// Name implements Scheme.
+func (s StandardCheckpointScheme) Name() string { return "standard+checkpoint" }
+
+// Run implements Scheme.
+func (s StandardCheckpointScheme) Run(eng *sim.Engine, mkt *market.Market, spec JobSpec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := s.Policy.Validate(); err != nil {
+		return Result{}, err
+	}
+	interval := s.Policy.Interval(s.MTTF)
+	overhead := s.Overhead
+	if overhead == 0 {
+		overhead = DefaultCheckpointOverhead
+	}
+	if overhead < 0 || overhead >= 1 {
+		return Result{}, fmt.Errorf("core: checkpoint overhead %v out of [0,1)", overhead)
+	}
+
+	j := newSpotJob(eng, mkt, spec)
+	j.rateFactor = 1 - overhead
+	j.evictionPause = func() time.Duration { return s.Policy.RestartDelay(interval) }
+	mkt.SetHandler(j)
+	defer mkt.SetHandler(nil)
+
+	acquire := func() error {
+		prices, err := cheapestPrices(mkt)
+		if err != nil {
+			return err
+		}
+		t, bid, err := bidbrain.StandardBid(prices, mkt.Types())
+		if err != nil {
+			return err
+		}
+		if prices[t.Name] > bid {
+			return nil // even the cheapest type is above on-demand: wait
+		}
+		count := spec.MaxSpotCores / t.VCPUs
+		if count == 0 {
+			count = 1
+		}
+		_, err = j.acquireSpot(t.Name, count, bid, bid-prices[t.Name])
+		return err
+	}
+	if err := acquire(); err != nil {
+		return Result{}, err
+	}
+	// Re-acquire at the next decision point after an eviction.
+	ticker := eng.Every(decisionPeriod, "ckpt.decide", func() {
+		if j.done || len(j.spot) > 0 {
+			return
+		}
+		if err := acquire(); err != nil {
+			// Bid below market is expected during spikes; retry next tick.
+			return
+		}
+	})
+	j.run()
+	ticker.Stop()
+	res := j.result(s.Name())
+	if err := j.releaseAll(nil); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// StandardAgileMLScheme is "Standard + AgileML" (§6.3): the standard
+// bidding policy (cheapest type at the on-demand price) combined with
+// AgileML's elasticity — no checkpoint overhead, only the small eviction
+// overhead λ, plus a reliable footprint holding framework state.
+type StandardAgileMLScheme struct{}
+
+// Name implements Scheme.
+func (StandardAgileMLScheme) Name() string { return "standard+agileml" }
+
+// Run implements Scheme.
+func (s StandardAgileMLScheme) Run(eng *sim.Engine, mkt *market.Market, spec JobSpec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	j := newSpotJob(eng, mkt, spec)
+	mkt.SetHandler(j)
+	defer mkt.SetHandler(nil)
+
+	reliable, err := mkt.RequestOnDemand(spec.ReliableType, spec.ReliableCount)
+	if err != nil {
+		return Result{}, err
+	}
+	acquire := func() error {
+		prices, err := cheapestPrices(mkt)
+		if err != nil {
+			return err
+		}
+		t, bid, err := bidbrain.StandardBid(prices, mkt.Types())
+		if err != nil {
+			return err
+		}
+		if prices[t.Name] > bid {
+			return nil
+		}
+		count := (spec.MaxSpotCores - j.spotCores()) / t.VCPUs
+		if count <= 0 {
+			return nil
+		}
+		_, err = j.acquireSpot(t.Name, count, bid, bid-prices[t.Name])
+		return err
+	}
+	if err := acquire(); err != nil {
+		return Result{}, err
+	}
+	ticker := eng.Every(decisionPeriod, "agile.decide", func() {
+		if j.done {
+			return
+		}
+		_ = acquire()
+	})
+	j.run()
+	ticker.Stop()
+	res := j.result(s.Name())
+	if err := j.releaseAll(reliable); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

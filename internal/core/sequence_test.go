@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/market"
+)
+
+func TestRunSequenceJobsShareFootprint(t *testing.T) {
+	eng, mkt, brain := testHarness(t, 31)
+	specs := []JobSpec{spec2h(), spec2h(), spec2h()}
+	seq, err := ProteusScheme{Brain: brain}.RunSequence(eng, mkt, specs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(seq.Jobs))
+	}
+	for i, j := range seq.Jobs {
+		if !j.Completed {
+			t.Fatalf("job %d incomplete", i)
+		}
+		if j.Cost <= 0 || j.Runtime <= 0 {
+			t.Fatalf("job %d accounting: %+v", i, j)
+		}
+	}
+	if seq.Makespan < seq.Jobs[0].Runtime {
+		t.Fatalf("makespan %v < first job runtime %v", seq.Makespan, seq.Jobs[0].Runtime)
+	}
+	// Exactly one on-demand allocation across the whole sequence: the
+	// reliable tier persists between jobs.
+	onDemand := 0
+	for _, a := range mkt.Allocations() {
+		if a.OnDemand {
+			onDemand++
+		}
+	}
+	if onDemand != 1 {
+		t.Fatalf("on-demand allocations = %d, want 1 (persistent footprint)", onDemand)
+	}
+	// A sequence amortizes ramp-up: later jobs should not be dramatically
+	// more expensive than the first.
+	if seq.Jobs[2].Cost > seq.Jobs[0].Cost*2 {
+		t.Fatalf("job 3 cost %.2f vs job 1 %.2f", seq.Jobs[2].Cost, seq.Jobs[0].Cost)
+	}
+}
+
+func TestRunSequenceDrainHarvestsOrTerminates(t *testing.T) {
+	eng, mkt, brain := testHarness(t, 32)
+	seq, err := ProteusScheme{Brain: brain}.RunSequence(eng, mkt, []JobSpec{spec2h()}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the drain nothing is left running.
+	if n := len(mkt.ActiveAllocations()); n != 0 {
+		t.Fatalf("%d allocations still active after drain", n)
+	}
+	if seq.HarvestedRefunds < 0 {
+		t.Fatalf("negative refunds %v", seq.HarvestedRefunds)
+	}
+	// All spot allocations ended either evicted (refund) or terminated at
+	// their hour end — never by paying a fresh hour during the drain.
+	for _, a := range mkt.Allocations() {
+		if a.OnDemand {
+			continue
+		}
+		if s := a.State(); s != market.Evicted && s != market.Terminated {
+			t.Fatalf("spot allocation %d in state %v", a.ID, s)
+		}
+	}
+	if seq.TotalCost <= 0 {
+		t.Fatalf("total cost %v", seq.TotalCost)
+	}
+}
+
+func TestRunSequenceValidation(t *testing.T) {
+	eng, mkt, brain := testHarness(t, 33)
+	if _, err := (ProteusScheme{Brain: brain}).RunSequence(eng, mkt, nil, false); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	bad := spec2h()
+	bad.TargetWork = 0
+	if _, err := (ProteusScheme{Brain: brain}).RunSequence(eng, mkt, []JobSpec{bad}, false); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := (ProteusScheme{}).RunSequence(eng, mkt, []JobSpec{spec2h()}, false); err == nil {
+		t.Fatal("nil brain accepted")
+	}
+}
+
+func TestRunSequenceCheaperPerJobThanIsolatedJobs(t *testing.T) {
+	// The paper motivates sequences (hyperparameter exploration): leftover
+	// billing-hour minutes flow to the next job, so a 3-job sequence
+	// should average no more per job than isolated runs.
+	var isolated float64
+	for i := 0; i < 3; i++ {
+		eng, mkt, brain := testHarness(t, 34)
+		eng.RunUntil(time.Duration(i) * 13 * time.Hour)
+		res, err := ProteusScheme{Brain: brain}.Run(eng, mkt, spec2h())
+		if err != nil {
+			t.Fatal(err)
+		}
+		isolated += res.Cost
+	}
+	eng, mkt, brain := testHarness(t, 34)
+	seq, err := ProteusScheme{Brain: brain}.RunSequence(eng, mkt, []JobSpec{spec2h(), spec2h(), spec2h()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, j := range seq.Jobs {
+		total += j.Cost
+	}
+	// Different market windows make exact comparison noisy; require the
+	// sequence not to be dramatically worse.
+	if total > isolated*1.5 {
+		t.Fatalf("sequence total %.2f vs isolated %.2f", total, isolated)
+	}
+}

@@ -1,0 +1,245 @@
+// Package dataset generates synthetic training data with planted structure
+// for the three applications the paper evaluates (§6.2).
+//
+// The paper trains on the Netflix ratings matrix (MF), ImageNet with LLC
+// features (MLR), and the NYTimes corpus (LDA) — none of which ship with
+// this offline reproduction. Each generator below plants the structure its
+// algorithm is designed to recover (a low-rank factorization, separable
+// class weights, topic mixtures), so tests can verify end-to-end that
+// training against the parameter server actually reduces the objective and
+// recovers signal, which is the behaviour the substitution must preserve.
+// All generators are deterministic per seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rating is one observed entry of a sparse ratings matrix.
+type Rating struct {
+	User, Item int
+	Value      float32
+}
+
+// MFConfig sizes a synthetic matrix-factorization problem.
+type MFConfig struct {
+	Users    int
+	Items    int
+	Rank     int     // planted latent rank
+	Observed int     // number of observed entries
+	Noise    float64 // stddev of additive observation noise
+}
+
+// MFData is a planted low-rank ratings dataset.
+type MFData struct {
+	Config  MFConfig
+	Ratings []Rating
+}
+
+// GenerateMF plants random factors L (Users×Rank) and R (Rank×Items) and
+// observes Observed entries of L·R plus Gaussian noise.
+func GenerateMF(cfg MFConfig, seed int64) *MFData {
+	validatePositive("dataset: MF", cfg.Users, cfg.Items, cfg.Rank, cfg.Observed)
+	rng := rand.New(rand.NewSource(seed))
+	l := randomMatrix(rng, cfg.Users, cfg.Rank, 1/math.Sqrt(float64(cfg.Rank)))
+	r := randomMatrix(rng, cfg.Items, cfg.Rank, 1/math.Sqrt(float64(cfg.Rank)))
+
+	d := &MFData{Config: cfg, Ratings: make([]Rating, 0, cfg.Observed)}
+	seen := make(map[[2]int]bool, cfg.Observed)
+	for len(d.Ratings) < cfg.Observed {
+		u, it := rng.Intn(cfg.Users), rng.Intn(cfg.Items)
+		if seen[[2]int{u, it}] {
+			continue
+		}
+		seen[[2]int{u, it}] = true
+		var dot float64
+		for k := 0; k < cfg.Rank; k++ {
+			dot += float64(l[u][k] * r[it][k])
+		}
+		val := dot + rng.NormFloat64()*cfg.Noise
+		d.Ratings = append(d.Ratings, Rating{User: u, Item: it, Value: float32(val)})
+	}
+	return d
+}
+
+// Observation is one labeled feature vector for classification.
+type Observation struct {
+	Features []float32
+	Label    int
+}
+
+// MLRConfig sizes a synthetic multinomial-logistic-regression problem.
+type MLRConfig struct {
+	Classes      int
+	Dim          int
+	Observations int
+	Margin       float64 // how strongly the planted weights separate classes
+}
+
+// MLRData is a planted linearly-separable classification dataset.
+type MLRData struct {
+	Config       MLRConfig
+	Observations []Observation
+}
+
+// GenerateMLR plants per-class weight vectors and labels each random
+// feature vector by its argmax planted score, so the Bayes classifier is a
+// linear one an MLR model can recover.
+func GenerateMLR(cfg MLRConfig, seed int64) *MLRData {
+	validatePositive("dataset: MLR", cfg.Classes, cfg.Dim, cfg.Observations)
+	rng := rand.New(rand.NewSource(seed))
+	w := randomMatrix(rng, cfg.Classes, cfg.Dim, cfg.Margin)
+
+	d := &MLRData{Config: cfg, Observations: make([]Observation, cfg.Observations)}
+	for i := range d.Observations {
+		x := make([]float32, cfg.Dim)
+		for j := range x {
+			x[j] = float32(rng.NormFloat64())
+		}
+		best, bestScore := 0, math.Inf(-1)
+		for c := 0; c < cfg.Classes; c++ {
+			var s float64
+			for j := 0; j < cfg.Dim; j++ {
+				s += float64(w[c][j] * x[j])
+			}
+			if s > bestScore {
+				best, bestScore = c, s
+			}
+		}
+		d.Observations[i] = Observation{Features: x, Label: best}
+	}
+	return d
+}
+
+// Document is a bag of word ids.
+type Document []int
+
+// LDAConfig sizes a synthetic topic-modeling corpus.
+type LDAConfig struct {
+	Docs          int
+	Vocab         int
+	Topics        int     // planted topic count
+	WordsPerDoc   int     // mean document length
+	Concentration float64 // how peaked each planted topic's word distribution is (higher = peakier)
+}
+
+// LDAData is a corpus drawn from a planted topic mixture.
+type LDAData struct {
+	Config LDAConfig
+	Docs   []Document
+}
+
+// GenerateLDA plants Topics word distributions (each concentrated on a
+// disjoint slice of the vocabulary, softened by Concentration) and draws
+// each document from a sparse mixture of 1–3 topics.
+func GenerateLDA(cfg LDAConfig, seed int64) *LDAData {
+	validatePositive("dataset: LDA", cfg.Docs, cfg.Vocab, cfg.Topics, cfg.WordsPerDoc)
+	if cfg.Topics > cfg.Vocab {
+		panic("dataset: LDA needs Vocab >= Topics")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	span := cfg.Vocab / cfg.Topics
+	conc := cfg.Concentration
+	if conc <= 0 {
+		conc = 0.9
+	}
+
+	sampleWord := func(topic int) int {
+		// With probability conc the word comes from the topic's own
+		// vocabulary slice; otherwise it is uniform background noise.
+		if rng.Float64() < conc {
+			return topic*span + rng.Intn(span)
+		}
+		return rng.Intn(cfg.Vocab)
+	}
+
+	d := &LDAData{Config: cfg, Docs: make([]Document, cfg.Docs)}
+	for i := range d.Docs {
+		nTopics := 1 + rng.Intn(3)
+		topics := make([]int, nTopics)
+		for j := range topics {
+			topics[j] = rng.Intn(cfg.Topics)
+		}
+		length := cfg.WordsPerDoc/2 + rng.Intn(cfg.WordsPerDoc)
+		doc := make(Document, length)
+		for w := range doc {
+			doc[w] = sampleWord(topics[rng.Intn(nTopics)])
+		}
+		d.Docs[i] = doc
+	}
+	return d
+}
+
+// GenerateShells plants a radially-separable classification problem: each
+// observation's class is determined by which concentric shell its norm
+// falls into. No linear classifier can separate shells, so the dataset
+// distinguishes models with hidden nonlinearity (DNN) from linear ones
+// (MLR) — the former fits it, the latter stays near chance.
+func GenerateShells(classes, dim, observations int, seed int64) *MLRData {
+	validatePositive("dataset: shells", classes, dim, observations)
+	rng := rand.New(rand.NewSource(seed))
+	d := &MLRData{
+		Config:       MLRConfig{Classes: classes, Dim: dim, Observations: observations},
+		Observations: make([]Observation, observations),
+	}
+	for i := range d.Observations {
+		// Pick a shell, then sample a direction and a radius within it.
+		label := rng.Intn(classes)
+		dir := make([]float64, dim)
+		var norm float64
+		for j := range dir {
+			dir[j] = rng.NormFloat64()
+			norm += dir[j] * dir[j]
+		}
+		norm = math.Sqrt(norm)
+		radius := float64(label) + 0.2 + 0.6*rng.Float64() // shells at [k+0.2, k+0.8]
+		x := make([]float32, dim)
+		for j := range x {
+			x[j] = float32(dir[j] / norm * radius)
+		}
+		d.Observations[i] = Observation{Features: x, Label: label}
+	}
+	return d
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float32 {
+	m := make([][]float32, rows)
+	for i := range m {
+		m[i] = make([]float32, cols)
+		for j := range m[i] {
+			m[i][j] = float32(rng.NormFloat64() * scale)
+		}
+	}
+	return m
+}
+
+func validatePositive(what string, vals ...int) {
+	for _, v := range vals {
+		if v <= 0 {
+			panic(what + ": all size parameters must be positive")
+		}
+	}
+}
+
+// SplitRange partitions n items into `parts` contiguous ranges as evenly
+// as possible, returning [start, end) bounds. It is how AgileML assigns
+// input data to workers ("input data is partitioned evenly amongst
+// workers", §3.1).
+func SplitRange(n, parts int) [][2]int {
+	if parts <= 0 {
+		panic("dataset: parts must be positive")
+	}
+	out := make([][2]int, parts)
+	base, rem := n/parts, n%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = [2]int{start, start + size}
+		start += size
+	}
+	return out
+}

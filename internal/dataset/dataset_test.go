@@ -1,0 +1,238 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateMFDeterministicAndSized(t *testing.T) {
+	cfg := MFConfig{Users: 50, Items: 40, Rank: 4, Observed: 300, Noise: 0.01}
+	a := GenerateMF(cfg, 7)
+	b := GenerateMF(cfg, 7)
+	if len(a.Ratings) != 300 {
+		t.Fatalf("ratings = %d, want 300", len(a.Ratings))
+	}
+	for i := range a.Ratings {
+		if a.Ratings[i] != b.Ratings[i] {
+			t.Fatal("MF generation not deterministic")
+		}
+	}
+	c := GenerateMF(cfg, 8)
+	same := true
+	for i := range a.Ratings {
+		if a.Ratings[i] != c.Ratings[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateMFEntriesDistinctAndInRange(t *testing.T) {
+	cfg := MFConfig{Users: 20, Items: 20, Rank: 3, Observed: 150, Noise: 0}
+	d := GenerateMF(cfg, 1)
+	seen := make(map[[2]int]bool)
+	for _, r := range d.Ratings {
+		if r.User < 0 || r.User >= cfg.Users || r.Item < 0 || r.Item >= cfg.Items {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+		key := [2]int{r.User, r.Item}
+		if seen[key] {
+			t.Fatalf("duplicate observation %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGenerateMFValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero users did not panic")
+		}
+	}()
+	GenerateMF(MFConfig{Users: 0, Items: 1, Rank: 1, Observed: 1}, 1)
+}
+
+func TestGenerateMLRLabelsInRangeAndBalancedish(t *testing.T) {
+	cfg := MLRConfig{Classes: 5, Dim: 10, Observations: 1000, Margin: 1}
+	d := GenerateMLR(cfg, 3)
+	counts := make([]int, cfg.Classes)
+	for _, o := range d.Observations {
+		if o.Label < 0 || o.Label >= cfg.Classes {
+			t.Fatalf("label out of range: %d", o.Label)
+		}
+		if len(o.Features) != cfg.Dim {
+			t.Fatalf("feature dim = %d", len(o.Features))
+		}
+		counts[o.Label]++
+	}
+	// Argmax of symmetric random scores: every class should appear.
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d never appears: %v", c, counts)
+		}
+	}
+}
+
+func TestGenerateMLRDeterministic(t *testing.T) {
+	cfg := MLRConfig{Classes: 3, Dim: 4, Observations: 50, Margin: 1}
+	a := GenerateMLR(cfg, 9)
+	b := GenerateMLR(cfg, 9)
+	for i := range a.Observations {
+		if a.Observations[i].Label != b.Observations[i].Label {
+			t.Fatal("MLR not deterministic")
+		}
+	}
+}
+
+func TestGenerateLDAShapes(t *testing.T) {
+	cfg := LDAConfig{Docs: 60, Vocab: 100, Topics: 5, WordsPerDoc: 30, Concentration: 0.9}
+	d := GenerateLDA(cfg, 5)
+	if len(d.Docs) != 60 {
+		t.Fatalf("docs = %d", len(d.Docs))
+	}
+	for i, doc := range d.Docs {
+		if len(doc) == 0 {
+			t.Fatalf("doc %d empty", i)
+		}
+		for _, w := range doc {
+			if w < 0 || w >= cfg.Vocab {
+				t.Fatalf("word id %d out of range", w)
+			}
+		}
+	}
+}
+
+func TestGenerateLDAPlantedStructure(t *testing.T) {
+	// With high concentration, words co-occurring in a document should
+	// mostly come from few vocabulary slices.
+	cfg := LDAConfig{Docs: 200, Vocab: 100, Topics: 5, WordsPerDoc: 40, Concentration: 0.95}
+	d := GenerateLDA(cfg, 11)
+	span := cfg.Vocab / cfg.Topics
+	inTop3 := 0
+	total := 0
+	for _, doc := range d.Docs {
+		sliceCounts := make(map[int]int)
+		for _, w := range doc {
+			sliceCounts[w/span]++
+		}
+		// Count words in the 3 most common slices for the doc.
+		best := make([]int, 0, len(sliceCounts))
+		for _, c := range sliceCounts {
+			best = append(best, c)
+		}
+		// Simple selection of top 3.
+		for k := 0; k < 3 && len(best) > 0; k++ {
+			maxI := 0
+			for i, c := range best {
+				if c > best[maxI] {
+					maxI = i
+				}
+			}
+			inTop3 += best[maxI]
+			best = append(best[:maxI], best[maxI+1:]...)
+		}
+		total += len(doc)
+	}
+	frac := float64(inTop3) / float64(total)
+	if frac < 0.8 {
+		t.Fatalf("only %.2f of words in top-3 topic slices; planted structure too weak", frac)
+	}
+}
+
+func TestGenerateLDAValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Topics > Vocab did not panic")
+		}
+	}()
+	GenerateLDA(LDAConfig{Docs: 1, Vocab: 2, Topics: 5, WordsPerDoc: 3}, 1)
+}
+
+func TestSplitRange(t *testing.T) {
+	parts := SplitRange(10, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[0] != [2]int{0, 4} || parts[1] != [2]int{4, 7} || parts[2] != [2]int{7, 10} {
+		t.Fatalf("SplitRange = %v", parts)
+	}
+	// More parts than items: trailing empties.
+	parts = SplitRange(2, 4)
+	if parts[3][0] != parts[3][1] {
+		t.Fatalf("expected empty tail range: %v", parts)
+	}
+}
+
+// Property: SplitRange covers [0,n) exactly with contiguous,
+// non-overlapping ranges.
+func TestPropertySplitRangeCovers(t *testing.T) {
+	f := func(rawN, rawParts uint8) bool {
+		n := int(rawN)
+		parts := int(rawParts)%16 + 1
+		rs := SplitRange(n, parts)
+		if len(rs) != parts {
+			return false
+		}
+		pos := 0
+		for _, r := range rs {
+			if r[0] != pos || r[1] < r[0] {
+				return false
+			}
+			pos = r[1]
+		}
+		return pos == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRangeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero parts did not panic")
+		}
+	}()
+	SplitRange(5, 0)
+}
+
+func TestScaleMFGrid(t *testing.T) {
+	base := GenerateMF(MFConfig{Users: 10, Items: 8, Rank: 2, Observed: 40, Noise: 0}, 2)
+	big := ScaleMF(base, 4, 7)
+	if big.Config.Users != 40 || big.Config.Items != 32 {
+		t.Fatalf("scaled dims: %+v", big.Config)
+	}
+	if len(big.Ratings) != 40*16 {
+		t.Fatalf("ratings = %d, want %d", len(big.Ratings), 40*16)
+	}
+	for _, r := range big.Ratings {
+		if r.User < 0 || r.User >= 40 || r.Item < 0 || r.Item >= 32 {
+			t.Fatalf("rating out of range: %+v", r)
+		}
+	}
+	// Factor 1 returns the dataset unchanged.
+	if ScaleMF(base, 1, 7) != base {
+		t.Fatal("factor 1 should be identity")
+	}
+	// The tiles carry jitter, so values are not bit-identical but close.
+	a, b := big.Ratings[0], big.Ratings[len(base.Ratings)]
+	if a.Value == b.Value {
+		t.Fatal("tiles bit-identical; jitter missing")
+	}
+	rel := float64(a.Value-b.Value) / float64(a.Value)
+	if rel > 0.05 || rel < -0.05 {
+		t.Fatalf("tile jitter too large: %v vs %v", a.Value, b.Value)
+	}
+}
+
+func TestScaleMFValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero factor did not panic")
+		}
+	}()
+	ScaleMF(&MFData{}, 0, 1)
+}

@@ -1,0 +1,238 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6) from this repository's components. Each FigNN function returns the
+// figure's rows/series as plain data; cmd/bidsim, cmd/agilebench,
+// cmd/tracegen and the repository benchmarks print or time them.
+//
+// Cost/market figures (1, 8, 9, 10) run the core scheme simulator over
+// synthetic spot-price histories, averaging many randomly-offset job
+// starts as the paper averages 1000 start points per zone. Architecture
+// figures (11–15) come from the perfmodel iteration-time model.
+// Figure 16 runs the functional AgileML stack (real parameter servers,
+// real MF training, real bulk addition and eviction) and reports modeled
+// per-iteration times alongside the measured objective.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/checkpoint"
+	"proteus/internal/core"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// MarketConfig parameterizes the simulated market environment shared by
+// the cost experiments.
+type MarketConfig struct {
+	Seed        int64
+	EvalDays    int // evaluation window length
+	TrainDays   int // history window used to train β tables
+	BetaSamples int // samples per bid delta when training β
+	// Zones is the number of availability zones to average over, each
+	// with independently-moving prices. The paper analyzes "the US-EAST-1
+	// region (all 4 zones)" (§6.3). Zero means 1.
+	Zones int
+}
+
+// DefaultMarketConfig mirrors the paper's split: β trained on ~3 months
+// of history, evaluated on a later window (here compressed for test
+// speed; cmd/bidsim can raise the windows).
+func DefaultMarketConfig() MarketConfig {
+	return MarketConfig{Seed: 1, EvalDays: 14, TrainDays: 30, BetaSamples: 400, Zones: 4}
+}
+
+// zoneSeeds expands the base seed into one seed per availability zone.
+func (c MarketConfig) zoneSeeds() []int64 {
+	zones := c.Zones
+	if zones <= 0 {
+		zones = 1
+	}
+	out := make([]int64, zones)
+	for i := range out {
+		out[i] = c.Seed + int64(i)*1_000_003
+	}
+	return out
+}
+
+// Env bundles one ready-to-run market environment.
+type Env struct {
+	Engine *sim.Engine
+	Market *market.Market
+	Brain  *bidbrain.Brain
+}
+
+// NewEnv builds a fresh engine+market over the config's evaluation trace
+// and a Brain trained on the disjoint history window.
+func NewEnv(cfg MarketConfig, params bidbrain.Params) (*Env, error) {
+	catalog := market.DefaultCatalog()
+	prices := market.CatalogPrices(catalog)
+
+	hist := trace.GenerateSet("train", time.Duration(cfg.TrainDays)*24*time.Hour, prices, cfg.Seed+100000)
+	betas := make(map[string]*trace.BetaTable)
+	for name := range prices {
+		tr, ok := hist.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: missing history for %s", name)
+		}
+		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), cfg.BetaSamples, cfg.Seed)
+	}
+	brain, err := bidbrain.New(params, betas, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	eval := trace.GenerateSet("eval", time.Duration(cfg.EvalDays)*24*time.Hour, prices, cfg.Seed)
+	eng := sim.NewEngine()
+	mkt, err := market.New(eng, market.Config{
+		Catalog: catalog,
+		Traces:  eval,
+		Warning: 2 * time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Engine: eng, Market: mkt, Brain: brain}, nil
+}
+
+// SchemeKind selects one of the paper's four schemes.
+type SchemeKind int
+
+const (
+	// SchemeOnDemand is the traditional all-on-demand baseline.
+	SchemeOnDemand SchemeKind = iota
+	// SchemeStandardCheckpoint is the standard bidding strategy with
+	// checkpoint/restart elasticity.
+	SchemeStandardCheckpoint
+	// SchemeStandardAgileML is the standard bidding strategy with
+	// AgileML elasticity.
+	SchemeStandardAgileML
+	// SchemeProteus is BidBrain + AgileML, the full system.
+	SchemeProteus
+)
+
+// String implements fmt.Stringer.
+func (k SchemeKind) String() string {
+	switch k {
+	case SchemeOnDemand:
+		return "AllOnDemand"
+	case SchemeStandardCheckpoint:
+		return "Standard+Checkpoint"
+	case SchemeStandardAgileML:
+		return "Standard+AgileML"
+	case SchemeProteus:
+		return "Proteus"
+	}
+	return fmt.Sprintf("scheme(%d)", int(k))
+}
+
+// AllSchemes lists the paper's comparison set in presentation order.
+func AllSchemes() []SchemeKind {
+	return []SchemeKind{SchemeOnDemand, SchemeStandardCheckpoint, SchemeStandardAgileML, SchemeProteus}
+}
+
+// baselineSpec sizes a job that needs `hours` on 64 on-demand c4.2xlarge
+// machines — the Fig. 8/9 baseline (Cluster-A).
+func baselineSpec(hours float64) core.JobSpec {
+	params := bidbrain.DefaultParams()
+	return core.JobSpec{
+		TargetWork:    params.Phi * 64 * 8 * hours,
+		Params:        params,
+		ReliableType:  "c4.xlarge",
+		ReliableCount: 3,
+		MaxSpotCores:  64 * 8 * 3 / 2,
+		ChunkCores:    128,
+	}
+}
+
+// buildScheme instantiates a scheme for the environment.
+func buildScheme(kind SchemeKind, env *Env) core.Scheme {
+	switch kind {
+	case SchemeOnDemand:
+		return core.OnDemandScheme{Type: "c4.2xlarge", Count: 64}
+	case SchemeStandardCheckpoint:
+		return core.StandardCheckpointScheme{
+			Policy: checkpoint.DefaultPolicy(),
+			MTTF:   4 * time.Hour,
+		}
+	case SchemeStandardAgileML:
+		return core.StandardAgileMLScheme{}
+	case SchemeProteus:
+		return core.ProteusScheme{Brain: env.Brain}
+	}
+	panic(fmt.Sprintf("experiments: unknown scheme %d", int(kind)))
+}
+
+// SchemeAverage is one scheme's mean results across sampled job starts.
+type SchemeAverage struct {
+	Scheme        SchemeKind
+	Cost          float64 // mean dollars per job
+	CostPercentOD float64 // mean cost as % of the on-demand baseline
+	Runtime       time.Duration
+	Usage         market.Usage
+	Evictions     float64 // mean evictions per job
+	Samples       int
+}
+
+// RunSchemes runs every scheme from `samples` start offsets spread over
+// the evaluation window in each availability zone and averages, mirroring
+// §6.3's methodology ("1000 randomly chosen day/time starting points in
+// each zone"). Each (scheme, zone, offset) triple gets a fresh market
+// over the same price history, so schemes face identical conditions.
+func RunSchemes(cfg MarketConfig, jobHours float64, samples int) ([]SchemeAverage, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("experiments: samples must be positive")
+	}
+	spec := baselineSpec(jobHours)
+	horizon := time.Duration(cfg.EvalDays)*24*time.Hour - time.Duration(jobHours*3*float64(time.Hour))
+	if horizon <= 0 {
+		return nil, fmt.Errorf("experiments: evaluation window too short for %vh jobs", jobHours)
+	}
+	seeds := cfg.zoneSeeds()
+
+	out := make([]SchemeAverage, 0, 4)
+	var odCost float64
+	for _, kind := range AllSchemes() {
+		avg := SchemeAverage{Scheme: kind, Samples: samples * len(seeds)}
+		for _, zoneSeed := range seeds {
+			zoneCfg := cfg
+			zoneCfg.Seed = zoneSeed
+			for i := 0; i < samples; i++ {
+				env, err := NewEnv(zoneCfg, spec.Params)
+				if err != nil {
+					return nil, err
+				}
+				offset := time.Duration(int64(horizon) / int64(samples) * int64(i))
+				env.Engine.RunUntil(offset)
+				res, err := buildScheme(kind, env).Run(env.Engine, env.Market, spec)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %v at offset %v: %w", kind, offset, err)
+				}
+				if !res.Completed {
+					return nil, fmt.Errorf("experiments: %v at offset %v did not complete", kind, offset)
+				}
+				avg.Cost += res.Cost
+				avg.Runtime += res.Runtime
+				avg.Usage.Add(res.Usage)
+				avg.Evictions += float64(res.Evictions)
+			}
+		}
+		n := float64(avg.Samples)
+		avg.Cost /= n
+		avg.Runtime = time.Duration(float64(avg.Runtime) / n)
+		avg.Usage.OnDemandHours /= n
+		avg.Usage.SpotHours /= n
+		avg.Usage.FreeHours /= n
+		avg.Evictions /= n
+		if kind == SchemeOnDemand {
+			odCost = avg.Cost
+		}
+		if odCost > 0 {
+			avg.CostPercentOD = avg.Cost / odCost * 100
+		}
+		out = append(out, avg)
+	}
+	return out, nil
+}

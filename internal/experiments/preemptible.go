@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/core"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+)
+
+// PreemptibleResult reports one AgileML job on a GCE-style preemptible
+// market (§2.2, §7): fixed 70% discount, 30-second warnings, no
+// eviction refunds.
+type PreemptibleResult struct {
+	Cost          float64
+	CostPercentOD float64
+	Runtime       time.Duration
+	Preemptions   int
+}
+
+// RunPreemptible runs the baseline job (same sizing as the EC2
+// experiments) on a GCE-style market with AgileML elasticity: the job
+// keeps a reliable on-demand anchor and fills the rest of its footprint
+// with preemptible instances, re-acquiring after preemptions. §7 predicts
+// this environment still yields large savings, but without free compute —
+// comparing against RunSchemes' Proteus row quantifies how much of the
+// win is AWS-specific.
+func RunPreemptible(cfg MarketConfig, jobHours float64, mttp time.Duration, samples int) (PreemptibleResult, error) {
+	if samples <= 0 {
+		return PreemptibleResult{}, fmt.Errorf("experiments: samples must be positive")
+	}
+	spec := baselineSpec(jobHours)
+	onDemandCost := 64 * 0.419 * jobHours // the Fig. 8 baseline
+
+	var agg PreemptibleResult
+	for i := 0; i < samples; i++ {
+		eng := sim.NewEngine()
+		mkt, err := market.NewPreemptible(eng, market.PreemptibleConfig{
+			Catalog: market.DefaultCatalog(),
+			MTTP:    mttp,
+			Seed:    cfg.Seed + int64(i)*797,
+		})
+		if err != nil {
+			return PreemptibleResult{}, err
+		}
+		res, err := runPreemptibleJob(eng, mkt, spec)
+		if err != nil {
+			return PreemptibleResult{}, err
+		}
+		agg.Cost += res.Cost
+		agg.Runtime += res.Runtime
+		agg.Preemptions += res.Preemptions
+	}
+	n := float64(samples)
+	agg.Cost /= n
+	agg.Runtime = time.Duration(float64(agg.Runtime) / n)
+	agg.Preemptions /= samples
+	agg.CostPercentOD = agg.Cost / onDemandCost * 100
+	return agg, nil
+}
+
+// runPreemptibleJob drives one job: work accrual identical to the EC2
+// schemes, with preemptions pausing progress by λ and triggering
+// immediate re-acquisition (GCE grants are never refused — there is no
+// bidding to lose).
+func runPreemptibleJob(eng *sim.Engine, mkt *market.PreemptibleMarket, spec core.JobSpec) (PreemptibleResult, error) {
+	params := spec.Params
+
+	var (
+		work, rate  float64
+		lastAccrue  = eng.Now()
+		pausedTo    time.Duration
+		done        bool
+		doneAt      time.Duration
+		preemptions int
+		liveCores   int
+	)
+	accrue := func() {
+		now := eng.Now()
+		from := lastAccrue
+		if from < pausedTo {
+			from = pausedTo
+			if from > now {
+				from = now
+			}
+		}
+		if now > from {
+			work += rate * (now - from).Hours()
+		}
+		lastAccrue = now
+	}
+	var completion *sim.Event
+	var reschedule func()
+	reschedule = func() {
+		if completion != nil {
+			completion.Cancel()
+		}
+		if done || rate <= 0 {
+			return
+		}
+		remaining := spec.TargetWork - work
+		if remaining <= 0 {
+			done, doneAt = true, eng.Now()
+			return
+		}
+		start := eng.Now()
+		if pausedTo > start {
+			start = pausedTo
+		}
+		completion = eng.At(start+time.Duration(remaining/rate*float64(time.Hour)), "gce.done", func() {
+			accrue()
+			done, doneAt = true, eng.Now()
+		})
+	}
+	setRate := func(r float64) { accrue(); rate = r; reschedule() }
+	pause := func(d time.Duration) {
+		accrue()
+		if until := eng.Now() + d; until > pausedTo {
+			pausedTo = until
+		}
+		reschedule()
+	}
+
+	// Fill the footprint with the cheapest type per core.
+	var chosen market.InstanceType
+	first := true
+	for _, t := range market.DefaultCatalog() {
+		perCore := t.OnDemand / float64(t.VCPUs)
+		if first || perCore < chosen.OnDemand/float64(chosen.VCPUs) {
+			chosen, first = t, false
+		}
+	}
+
+	var acquire func()
+	handler := preemptibleHandler{
+		onEvicted: func(a *market.Allocation) {
+			liveCores -= a.Count * a.Type.VCPUs
+			preemptions++
+			setRate(params.Phi * float64(liveCores) * params.NuPerCore)
+			pause(params.Lambda)
+			acquire()
+		},
+	}
+	mkt.SetHandler(&handler)
+	defer mkt.SetHandler(nil)
+
+	reliable, err := mkt.RequestOnDemand(spec.ReliableType, spec.ReliableCount)
+	if err != nil {
+		return PreemptibleResult{}, err
+	}
+	startCost := 0.0 // fresh market per job
+	var live []*market.Allocation
+	acquire = func() {
+		if done {
+			return
+		}
+		want := (spec.MaxSpotCores - liveCores) / chosen.VCPUs
+		if want <= 0 {
+			return
+		}
+		a, err := mkt.RequestPreemptible(chosen.Name, want)
+		if err != nil {
+			return
+		}
+		live = append(live, a)
+		liveCores += a.Count * a.Type.VCPUs
+		pause(params.Sigma)
+		setRate(params.Phi * float64(liveCores) * params.NuPerCore)
+	}
+	acquire()
+	for !done {
+		if !eng.Step() {
+			break
+		}
+	}
+	for _, a := range live {
+		if a.State() == market.Active || a.State() == market.Warned {
+			if err := mkt.Terminate(a); err != nil {
+				return PreemptibleResult{}, err
+			}
+		}
+	}
+	if err := mkt.Terminate(reliable); err != nil {
+		return PreemptibleResult{}, err
+	}
+	if !done {
+		return PreemptibleResult{}, fmt.Errorf("experiments: preemptible job never completed")
+	}
+	// Pro-rate the final hours like the EC2 accounting.
+	cost := mkt.TotalCost() - startCost
+	for _, a := range append(live, reliable) {
+		if a.State() != market.Terminated || a.EndedAt() != eng.Now() {
+			continue
+		}
+		unused := a.ChargedThrough() - eng.Now()
+		if unused < 0 {
+			unused = 0
+		}
+		cost -= a.HourCharge() * unused.Hours()
+	}
+	return PreemptibleResult{Cost: cost, Runtime: doneAt, Preemptions: preemptions}, nil
+}
+
+type preemptibleHandler struct {
+	onEvicted func(a *market.Allocation)
+}
+
+func (h *preemptibleHandler) EvictionWarning(*market.Allocation, time.Duration) {}
+func (h *preemptibleHandler) Evicted(a *market.Allocation) {
+	if h.onEvicted != nil {
+		h.onEvicted(a)
+	}
+}

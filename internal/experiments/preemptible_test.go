@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunPreemptibleSavesWithoutFreeCompute(t *testing.T) {
+	res, err := RunPreemptible(fastCfg(), 2, 6*time.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §7: a fixed-discount environment still yields large savings — the
+	// GCE discount alone puts the job near 30% of on-demand...
+	if res.CostPercentOD > 45 {
+		t.Fatalf("preemptible cost = %.1f%% of on-demand; the 70%% discount should dominate", res.CostPercentOD)
+	}
+	if res.CostPercentOD < 15 {
+		t.Fatalf("preemptible cost = %.1f%%; too cheap for a refund-free market", res.CostPercentOD)
+	}
+	if res.Runtime <= 0 {
+		t.Fatal("no runtime")
+	}
+}
+
+func TestPreemptibleVsProteusQuantifiesAWSSpecifics(t *testing.T) {
+	// §7: "only a portion of BidBrain's wins comes from such AWS
+	// specifics". Proteus on the EC2-style market (deeper discounts plus
+	// free compute) should beat the fixed-discount GCE run, but the GCE
+	// run must remain far cheaper than on-demand.
+	gce, err := RunPreemptible(fastCfg(), 2, 6*time.Hour, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgs, err := RunSchemes(fastCfg(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proteusPct float64
+	for _, a := range avgs {
+		if a.Scheme == SchemeProteus {
+			proteusPct = a.CostPercentOD
+		}
+	}
+	t.Logf("proteus(EC2) = %.1f%% of OD, agileml(GCE) = %.1f%% of OD", proteusPct, gce.CostPercentOD)
+	if proteusPct >= gce.CostPercentOD {
+		t.Fatalf("EC2 Proteus (%.1f%%) not cheaper than GCE preemptible (%.1f%%)", proteusPct, gce.CostPercentOD)
+	}
+	if gce.CostPercentOD > 50 {
+		t.Fatalf("GCE run (%.1f%%) should still save heavily vs on-demand", gce.CostPercentOD)
+	}
+}
+
+func TestRunPreemptibleValidation(t *testing.T) {
+	if _, err := RunPreemptible(fastCfg(), 2, time.Hour, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+func TestRunPreemptiblePreemptionsHappen(t *testing.T) {
+	// Aggressive MTTP: a 2-hour job should see several preemptions yet
+	// still finish (AgileML elasticity).
+	res, err := RunPreemptible(fastCfg(), 2, 30*time.Minute, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("no preemptions at a 30-minute MTTP")
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/core"
+	"proteus/internal/market"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// Zone diversification. The paper's BidBrain monitors "multiple instance
+// types, which move relatively independently" within a zone (§1); related
+// work (Flint, §8) additionally diversifies across availability zones to
+// cut correlated-revocation risk. RunZoneDiversified evaluates that
+// extension: candidate allocations span every (zone, type) pair, each
+// zone's prices moving independently, so a spike in one zone leaves the
+// footprint's other allocations standing.
+
+// zonedTypeName composes the catalog name for a type in a zone.
+func zonedTypeName(zone, typ string) string { return zone + "/" + typ }
+
+// buildZonedEnv constructs a single market whose catalog contains each
+// instance type once per zone, with independent price traces, plus a
+// brain trained per (zone, type) market.
+func buildZonedEnv(cfg MarketConfig, params bidbrain.Params, zones int) (*Env, error) {
+	if zones <= 0 {
+		return nil, fmt.Errorf("experiments: zones must be positive")
+	}
+	base := market.DefaultCatalog()
+	var catalog []market.InstanceType
+	prices := make(map[string]float64)
+	for z := 0; z < zones; z++ {
+		zone := fmt.Sprintf("az%d", z)
+		for _, t := range base {
+			zt := t
+			zt.Name = zonedTypeName(zone, t.Name)
+			catalog = append(catalog, zt)
+			prices[zt.Name] = zt.OnDemand
+		}
+	}
+
+	hist := trace.GenerateSet("train", time.Duration(cfg.TrainDays)*24*time.Hour, prices, cfg.Seed+200000)
+	betas := make(map[string]*trace.BetaTable)
+	for name := range prices {
+		tr, _ := hist.Get(name)
+		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), cfg.BetaSamples, cfg.Seed)
+	}
+	brain, err := bidbrain.New(params, betas, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	eval := trace.GenerateSet("eval", time.Duration(cfg.EvalDays)*24*time.Hour, prices, cfg.Seed+3)
+	eng := sim.NewEngine()
+	mkt, err := market.New(eng, market.Config{
+		Catalog: catalog,
+		Traces:  eval,
+		Warning: 2 * time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Engine: eng, Market: mkt, Brain: brain}, nil
+}
+
+// ZoneStudyResult compares Proteus restricted to one zone against Proteus
+// diversifying across several.
+type ZoneStudyResult struct {
+	SingleZoneCost  float64
+	MultiZoneCost   float64
+	SingleEvictions float64
+	MultiEvictions  float64
+	Samples         int
+}
+
+// RunZoneDiversified runs the 2-hour job under Proteus with a one-zone
+// catalog and with a `zones`-zone catalog over the same number of start
+// offsets, averaging cost and evictions.
+func RunZoneDiversified(cfg MarketConfig, zones, samples int) (ZoneStudyResult, error) {
+	if samples <= 0 {
+		return ZoneStudyResult{}, fmt.Errorf("experiments: samples must be positive")
+	}
+	if zones < 2 {
+		return ZoneStudyResult{}, fmt.Errorf("experiments: diversification needs >= 2 zones")
+	}
+	spec := baselineSpec(2)
+	// The reliable anchor must exist in the zoned catalog.
+	zonedSpec := spec
+	zonedSpec.ReliableType = zonedTypeName("az0", spec.ReliableType)
+
+	horizon := time.Duration(cfg.EvalDays)*24*time.Hour - 6*time.Hour
+	out := ZoneStudyResult{Samples: samples}
+	for i := 0; i < samples; i++ {
+		offset := time.Duration(int64(horizon) / int64(samples) * int64(i))
+
+		single, err := buildZonedEnv(cfg, spec.Params, 1)
+		if err != nil {
+			return out, err
+		}
+		single.Engine.RunUntil(offset)
+		sres, err := core.ProteusScheme{Brain: single.Brain}.Run(single.Engine, single.Market, zonedSpec)
+		if err != nil {
+			return out, err
+		}
+
+		multi, err := buildZonedEnv(cfg, spec.Params, zones)
+		if err != nil {
+			return out, err
+		}
+		multi.Engine.RunUntil(offset)
+		mres, err := core.ProteusScheme{Brain: multi.Brain}.Run(multi.Engine, multi.Market, zonedSpec)
+		if err != nil {
+			return out, err
+		}
+
+		out.SingleZoneCost += sres.Cost
+		out.MultiZoneCost += mres.Cost
+		out.SingleEvictions += float64(sres.Evictions)
+		out.MultiEvictions += float64(mres.Evictions)
+	}
+	n := float64(samples)
+	out.SingleZoneCost /= n
+	out.MultiZoneCost /= n
+	out.SingleEvictions /= n
+	out.MultiEvictions /= n
+	return out, nil
+}

@@ -1,0 +1,100 @@
+// Package journal records the decision history of a Proteus run: what
+// BidBrain acquired and why, which machines AgileML incorporated or
+// drained, stage transitions, and recoveries. The paper narrates these
+// flows in Figs. 5 and 6; the journal makes the same narrative available
+// programmatically and in CLI output.
+package journal
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one recorded decision or occurrence.
+type Event struct {
+	At        time.Duration // virtual time
+	Component string        // "bidbrain", "agileml", "market", ...
+	Kind      string        // "acquire", "stage-transition", ...
+	Detail    string
+}
+
+// String formats the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%10s  %-8s  %-16s  %s",
+		e.At.Round(time.Second), e.Component, e.Kind, e.Detail)
+}
+
+// Journal is an append-only event log. Safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	now    func() time.Duration
+	events []Event
+}
+
+// New creates a journal; now supplies the timestamp for each record
+// (virtual or wall clock). A nil clock stamps everything at zero.
+func New(now func() time.Duration) *Journal {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Journal{now: now}
+}
+
+// Record appends an event. detail is a Sprintf format.
+func (j *Journal) Record(component, kind, detail string, args ...any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, Event{
+		At:        j.now(),
+		Component: component,
+		Kind:      kind,
+		Detail:    fmt.Sprintf(detail, args...),
+	})
+}
+
+// Events returns a copy of the recorded history.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Filter returns events matching the component and/or kind; empty strings
+// match everything.
+func (j *Journal) Filter(component, kind string) []Event {
+	var out []Event
+	for _, e := range j.Events() {
+		if component != "" && e.Component != component {
+			continue
+		}
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// WriteTo renders the full history, one event per line.
+func (j *Journal) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range j.Events() {
+		n, err := fmt.Fprintln(w, e.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

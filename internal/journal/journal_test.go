@@ -1,0 +1,93 @@
+package journal
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	now := time.Duration(0)
+	j := New(func() time.Duration { return now })
+	j.Record("bidbrain", "acquire", "32 x %s at $%.3f", "c4.2xlarge", 0.102)
+	now = 5 * time.Minute
+	j.Record("agileml", "stage-transition", "stage1 -> stage2")
+
+	evs := j.Events()
+	if len(evs) != 2 || j.Len() != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].At != 0 || evs[1].At != 5*time.Minute {
+		t.Fatalf("timestamps: %v, %v", evs[0].At, evs[1].At)
+	}
+	if evs[0].Detail != "32 x c4.2xlarge at $0.102" {
+		t.Fatalf("detail = %q", evs[0].Detail)
+	}
+	// Events() returns a copy.
+	evs[0].Detail = "mutated"
+	if j.Events()[0].Detail == "mutated" {
+		t.Fatal("Events aliases internal storage")
+	}
+}
+
+func TestNilClock(t *testing.T) {
+	j := New(nil)
+	j.Record("x", "y", "z")
+	if j.Events()[0].At != 0 {
+		t.Fatal("nil clock should stamp zero")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	j := New(nil)
+	j.Record("bidbrain", "acquire", "a")
+	j.Record("agileml", "acquire", "b")
+	j.Record("agileml", "evict", "c")
+	if got := len(j.Filter("agileml", "")); got != 2 {
+		t.Fatalf("component filter = %d", got)
+	}
+	if got := len(j.Filter("", "acquire")); got != 2 {
+		t.Fatalf("kind filter = %d", got)
+	}
+	if got := len(j.Filter("agileml", "evict")); got != 1 {
+		t.Fatalf("both filters = %d", got)
+	}
+	if got := len(j.Filter("", "")); got != 3 {
+		t.Fatalf("no filter = %d", got)
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	j := New(func() time.Duration { return 90 * time.Second })
+	j.Record("market", "evicted", "allocation 3")
+	var sb strings.Builder
+	n, err := j.WriteTo(&sb)
+	if err != nil || n == 0 {
+		t.Fatalf("WriteTo = %d, %v", n, err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1m30s", "market", "evicted", "allocation 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	j := New(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Record("c", "k", "event")
+			}
+		}()
+	}
+	wg.Wait()
+	if j.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", j.Len())
+	}
+}

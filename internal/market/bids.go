@@ -1,0 +1,156 @@
+package market
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/sim"
+)
+
+// Pending spot bids (§2.2): "Customers specify their bid prices for a
+// given machine class ... The bid can be canceled, if not yet granted,
+// and a new bid price submitted. But, once the resource is granted, the
+// bid price cannot be changed."
+//
+// RequestSpot grants immediately or fails; PlaceBid instead queues the
+// request until the market price falls to the bid (or the caller cancels),
+// matching how EC2 holds unfulfilled spot requests open.
+
+// BidState tracks a pending spot request's lifecycle.
+type BidState int
+
+const (
+	// BidPending requests are waiting for the price to reach the bid.
+	BidPending BidState = iota
+	// BidGranted requests have produced an allocation.
+	BidGranted
+	// BidCanceled requests were withdrawn before being granted.
+	BidCanceled
+)
+
+// String implements fmt.Stringer.
+func (s BidState) String() string {
+	switch s {
+	case BidPending:
+		return "pending"
+	case BidGranted:
+		return "granted"
+	case BidCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("bidstate(%d)", int(s))
+}
+
+// SpotRequest is a bid that may be granted later.
+type SpotRequest struct {
+	Type  InstanceType
+	Count int
+	Bid   float64
+
+	state   BidState
+	alloc   *Allocation
+	grantEv *sim.Event
+	// onGrant, when set, fires inline at grant time.
+	onGrant func(*Allocation)
+}
+
+// State reports the request's lifecycle state.
+func (r *SpotRequest) State() BidState { return r.state }
+
+// Allocation returns the granted allocation, or nil before the grant.
+func (r *SpotRequest) Allocation() *Allocation { return r.alloc }
+
+// Cancel withdraws a pending bid. Canceling a granted or already-canceled
+// request is an error: a granted bid's resources must be Terminated
+// instead ("once the resource is granted, the bid price cannot be
+// changed until the resource is terminated").
+func (r *SpotRequest) Cancel() error {
+	if r.state != BidPending {
+		return fmt.Errorf("market: cancel of %s bid", r.state)
+	}
+	r.state = BidCanceled
+	if r.grantEv != nil {
+		r.grantEv.Cancel()
+	}
+	return nil
+}
+
+// PlaceBid submits a spot request that is granted as soon as the market
+// price is at or below the bid — immediately if it already is, otherwise
+// at the first future price change that satisfies it. onGrant (optional)
+// runs when the allocation is created.
+func (m *Market) PlaceBid(typeName string, count int, bid float64, onGrant func(*Allocation)) (*SpotRequest, error) {
+	t, ok := m.catalog[typeName]
+	if !ok {
+		return nil, fmt.Errorf("market: unknown instance type %s", typeName)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("market: count %d must be positive", count)
+	}
+	if bid <= 0 {
+		return nil, fmt.Errorf("market: bid %v must be positive", bid)
+	}
+	req := &SpotRequest{Type: t, Count: count, Bid: bid, onGrant: onGrant}
+
+	tr, ok := m.traces.Get(typeName)
+	if !ok {
+		return nil, fmt.Errorf("market: no trace for %s", typeName)
+	}
+	grantAt, found := firstAtOrBelow(tr, bid, m.Engine.Now())
+	if !found {
+		// The price never reaches the bid within the trace horizon; the
+		// request stays pending forever (callers can cancel).
+		return req, nil
+	}
+	if grantAt <= m.Engine.Now() {
+		if err := m.grantBid(req); err != nil {
+			return nil, err
+		}
+		return req, nil
+	}
+	req.grantEv = m.Engine.At(grantAt, "market.bidGrant", func() {
+		if req.state != BidPending {
+			return
+		}
+		// Defensive: the scheduled time comes from the same trace the
+		// grant reads, so this cannot fail on price.
+		_ = m.grantBid(req)
+	})
+	return req, nil
+}
+
+// grantBid converts a pending request into an allocation.
+func (m *Market) grantBid(req *SpotRequest) error {
+	a, err := m.RequestSpot(req.Type.Name, req.Count, req.Bid)
+	if err != nil {
+		return err
+	}
+	req.state = BidGranted
+	req.alloc = a
+	if req.onGrant != nil {
+		req.onGrant(a)
+	}
+	return nil
+}
+
+// firstAtOrBelow finds the earliest time ≥ from at which the trace price
+// is ≤ threshold.
+func firstAtOrBelow(tr interface {
+	PriceAt(time.Duration) float64
+	NextChange(time.Duration) (time.Duration, bool)
+}, threshold float64, from time.Duration) (time.Duration, bool) {
+	if tr.PriceAt(from) <= threshold {
+		return from, true
+	}
+	t := from
+	for {
+		next, ok := tr.NextChange(t)
+		if !ok {
+			return 0, false
+		}
+		if tr.PriceAt(next) <= threshold {
+			return next, true
+		}
+		t = next
+	}
+}

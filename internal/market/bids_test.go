@@ -1,0 +1,180 @@
+package market
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+func TestPlaceBidImmediateGrant(t *testing.T) {
+	_, m := newTestMarket(t, flatSet(allPrices(), 0, 0, 0))
+	var granted *Allocation
+	req, err := m.PlaceBid("c4.xlarge", 2, 0.10, func(a *Allocation) { granted = a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.State() != BidGranted {
+		t.Fatalf("state = %v, want granted", req.State())
+	}
+	if granted == nil || req.Allocation() != granted {
+		t.Fatal("grant callback or allocation missing")
+	}
+	if granted.Bid != 0.10 || granted.Count != 2 {
+		t.Fatalf("allocation: %+v", granted)
+	}
+}
+
+func TestPlaceBidWaitsForPriceDrop(t *testing.T) {
+	// Price starts in a spike above the bid and drops at t=2h.
+	set := trace.NewSet("z")
+	for name, p := range allPrices() {
+		set.Add(&trace.Trace{InstanceType: name, Zone: "z", Points: []trace.Point{
+			{At: 0, Price: 9.0},
+			{At: 2 * time.Hour, Price: p},
+			{At: 100 * time.Hour, Price: p},
+		}})
+	}
+	eng, m := newTestMarket(t, set)
+	var grantedAt time.Duration
+	req, err := m.PlaceBid("c4.xlarge", 1, 0.10, func(*Allocation) { grantedAt = eng.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.State() != BidPending {
+		t.Fatalf("state = %v, want pending while price is spiked", req.State())
+	}
+	eng.RunUntil(3 * time.Hour)
+	if req.State() != BidGranted {
+		t.Fatalf("state = %v after price drop", req.State())
+	}
+	if grantedAt != 2*time.Hour {
+		t.Fatalf("granted at %v, want exactly the price drop", grantedAt)
+	}
+	// The granted allocation is billed at the (now low) market price.
+	if req.Allocation().HourCharge() != 0.05 {
+		t.Fatalf("hour charge = %v, want the market price", req.Allocation().HourCharge())
+	}
+}
+
+func TestPlaceBidCancel(t *testing.T) {
+	set := flatSet(allPrices(), 0, 100*time.Hour, 9.0) // permanently spiked
+	eng, m := newTestMarket(t, set)
+	req, err := m.PlaceBid("c4.xlarge", 1, 0.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if req.State() != BidCanceled {
+		t.Fatalf("state = %v", req.State())
+	}
+	eng.RunUntil(200 * time.Hour) // price eventually drops; bid must stay dead
+	if req.State() != BidCanceled || req.Allocation() != nil {
+		t.Fatal("canceled bid was granted")
+	}
+	if err := req.Cancel(); err == nil {
+		t.Fatal("double cancel accepted")
+	}
+}
+
+func TestPlaceBidCancelAfterGrantRejected(t *testing.T) {
+	_, m := newTestMarket(t, flatSet(allPrices(), 0, 0, 0))
+	req, err := m.PlaceBid("c4.xlarge", 1, 0.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Cancel(); err == nil {
+		t.Fatal("cancel of granted bid accepted (the paper: terminate instead)")
+	}
+}
+
+func TestPlaceBidNeverSatisfiable(t *testing.T) {
+	set := flatSet(allPrices(), 0, 0, 0)
+	eng := sim.NewEngine()
+	m, err := New(eng, Config{Catalog: DefaultCatalog(), Traces: set, Warning: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bid far below the flat price: pending forever.
+	req, err := m.PlaceBid("c4.xlarge", 1, 0.0001, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if req.State() != BidPending {
+		t.Fatalf("state = %v, want pending forever", req.State())
+	}
+}
+
+func TestPlaceBidValidation(t *testing.T) {
+	_, m := newTestMarket(t, flatSet(allPrices(), 0, 0, 0))
+	if _, err := m.PlaceBid("nope", 1, 1, nil); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := m.PlaceBid("c4.xlarge", 0, 1, nil); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := m.PlaceBid("c4.xlarge", 1, 0, nil); err == nil {
+		t.Fatal("zero bid accepted")
+	}
+}
+
+func TestBidStateString(t *testing.T) {
+	for s, want := range map[BidState]string{
+		BidPending: "pending", BidGranted: "granted", BidCanceled: "canceled",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+// TestMarketFromReplayedCSV exercises the real-data ingestion path: a
+// trace written to CSV (as an operator would export AWS price history) is
+// read back and drives a market, and billing over the replayed history
+// matches billing over the original.
+func TestMarketFromReplayedCSV(t *testing.T) {
+	orig := flatSet(allPrices(), 45*time.Minute, 2*time.Hour, 7.0)
+
+	var buf bytes.Buffer
+	for _, name := range orig.Types() {
+		tr, _ := orig.Get(name)
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traces, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := trace.NewSet("test-zone")
+	for _, tr := range traces {
+		replayed.Add(tr)
+	}
+
+	run := func(set *trace.Set) (float64, State) {
+		eng := sim.NewEngine()
+		m, err := New(eng, Config{Catalog: DefaultCatalog(), Traces: set, Warning: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := m.RequestSpot("c4.xlarge", 3, 0.20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.RunUntil(3 * time.Hour)
+		return m.TotalCost(), a.State()
+	}
+	costA, stateA := run(orig)
+	costB, stateB := run(replayed)
+	if costA != costB || stateA != stateB {
+		t.Fatalf("replayed market diverged: cost %v/%v state %v/%v", costA, costB, stateA, stateB)
+	}
+	if stateA != Evicted {
+		t.Fatalf("state = %v, want evicted by the 45m spike", stateA)
+	}
+}

@@ -1,0 +1,498 @@
+// Package market simulates an EC2-style dynamic resource market on a
+// discrete-event engine.
+//
+// It implements the spot-market rules the paper's BidBrain exploits (§2.2):
+//
+//   - Customers bid per instance type; a granted allocation is billed at the
+//     market price (not the bid), charged at the start of each instance-hour.
+//   - An allocation is evicted when the market price rises above its bid,
+//     with a two-minute warning first. The charge for the in-progress hour
+//     is refunded on eviction ("free compute").
+//   - Once granted, the bid price cannot be changed.
+//   - On-demand instances are always available at a fixed hourly price and
+//     are never evicted.
+//
+// Prices come from trace.Set histories (synthetic or replayed), so entire
+// multi-month studies run deterministically in virtual time.
+package market
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// InstanceType describes one machine class in the catalog.
+type InstanceType struct {
+	Name     string
+	VCPUs    int
+	MemoryGB float64
+	OnDemand float64 // dollars per instance-hour
+}
+
+// DefaultCatalog returns the instance types used throughout the paper's
+// evaluation (§6.1), with their 2016 us-east-1 on-demand prices.
+func DefaultCatalog() []InstanceType {
+	return []InstanceType{
+		{Name: "c4.xlarge", VCPUs: 4, MemoryGB: 7.5, OnDemand: 0.209},
+		{Name: "c4.2xlarge", VCPUs: 8, MemoryGB: 15, OnDemand: 0.419},
+		{Name: "m4.xlarge", VCPUs: 4, MemoryGB: 16, OnDemand: 0.215},
+		{Name: "m4.2xlarge", VCPUs: 8, MemoryGB: 32, OnDemand: 0.431},
+	}
+}
+
+// CatalogPrices extracts a name→on-demand-price map, the shape the trace
+// generator wants.
+func CatalogPrices(types []InstanceType) map[string]float64 {
+	m := make(map[string]float64, len(types))
+	for _, t := range types {
+		m[t.Name] = t.OnDemand
+	}
+	return m
+}
+
+// AllocationID identifies one allocation within a Market.
+type AllocationID int
+
+// State is the lifecycle state of an allocation.
+type State int
+
+const (
+	// Active allocations are running and accruing charges.
+	Active State = iota
+	// Warned allocations have received an eviction warning and will be
+	// evicted when the warning period lapses.
+	Warned
+	// Evicted allocations were revoked by the market (price crossed bid).
+	Evicted
+	// Terminated allocations were released by the customer.
+	Terminated
+)
+
+// String implements fmt.Stringer for logs.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Warned:
+		return "warned"
+	case Evicted:
+		return "evicted"
+	case Terminated:
+		return "terminated"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Allocation is a set of instances of one type acquired at the same time
+// and price — the paper's atomic unit of acquisition (§4).
+type Allocation struct {
+	ID        AllocationID
+	Type      InstanceType
+	Count     int
+	Bid       float64 // 0 for on-demand
+	OnDemand  bool
+	StartedAt time.Duration
+
+	state      State
+	endedAt    time.Duration
+	hourCharge float64 // charge made at the start of the current hour
+	charged    float64 // cumulative charges (before refunds)
+	refunded   float64
+	hoursBegun int
+
+	warningEv  *sim.Event
+	evictionEv *sim.Event
+	hourEv     *sim.Event
+}
+
+// State reports the lifecycle state.
+func (a *Allocation) State() State { return a.state }
+
+// EndedAt reports when the allocation stopped (eviction or termination);
+// zero while active.
+func (a *Allocation) EndedAt() time.Duration { return a.endedAt }
+
+// Cost reports net dollars billed so far (charges minus refunds).
+func (a *Allocation) Cost() float64 { return a.charged - a.refunded }
+
+// HourCharge reports the charge made at the start of the current billing
+// hour — what would be refunded if the allocation were evicted now.
+func (a *Allocation) HourCharge() float64 { return a.hourCharge }
+
+// ChargedThrough reports the end of the latest billing hour already
+// charged: usage beyond `now` up to this time is paid for but unused.
+func (a *Allocation) ChargedThrough() time.Duration {
+	return a.StartedAt + time.Duration(a.hoursBegun)*trace.BillingHour
+}
+
+// HourStart returns the start of the billing hour containing t.
+func (a *Allocation) HourStart(t time.Duration) time.Duration {
+	if t < a.StartedAt {
+		return a.StartedAt
+	}
+	elapsed := t - a.StartedAt
+	return a.StartedAt + elapsed/trace.BillingHour*trace.BillingHour
+}
+
+// HourEnd returns the end of the billing hour containing t.
+func (a *Allocation) HourEnd(t time.Duration) time.Duration {
+	return a.HourStart(t) + trace.BillingHour
+}
+
+// Usage partitions machine-hours the way Fig. 10 reports them: hours on
+// on-demand instances, paid spot hours, and free hours (spot usage inside
+// a billing hour that was refunded due to eviction).
+type Usage struct {
+	OnDemandHours float64
+	SpotHours     float64
+	FreeHours     float64
+}
+
+// Total returns all machine-hours used.
+func (u Usage) Total() float64 { return u.OnDemandHours + u.SpotHours + u.FreeHours }
+
+// Add accumulates another usage record.
+func (u *Usage) Add(v Usage) {
+	u.OnDemandHours += v.OnDemandHours
+	u.SpotHours += v.SpotHours
+	u.FreeHours += v.FreeHours
+}
+
+// Handler receives market notifications. Implementations must not block;
+// they run inline on the simulation goroutine.
+type Handler interface {
+	// EvictionWarning fires when the market decides to revoke an
+	// allocation; evictAt is the virtual time the instances disappear
+	// (warning period later).
+	EvictionWarning(a *Allocation, evictAt time.Duration)
+	// Evicted fires when the instances are revoked.
+	Evicted(a *Allocation)
+}
+
+// NopHandler ignores all notifications.
+type NopHandler struct{}
+
+// EvictionWarning implements Handler.
+func (NopHandler) EvictionWarning(*Allocation, time.Duration) {}
+
+// Evicted implements Handler.
+func (NopHandler) Evicted(*Allocation) {}
+
+// Market simulates one availability zone's spot and on-demand markets.
+type Market struct {
+	Engine  *sim.Engine
+	catalog map[string]InstanceType
+	traces  *trace.Set
+	warning time.Duration
+	handler Handler
+
+	nextID AllocationID
+	allocs map[AllocationID]*Allocation
+	usage  Usage
+	cost   float64
+}
+
+// Config parameterizes a Market.
+type Config struct {
+	Catalog []InstanceType
+	Traces  *trace.Set
+	// Warning is the eviction notice period; the paper's AWS gives two
+	// minutes (§2.2). Zero means evictions arrive with no warning
+	// (an "effective failure").
+	Warning time.Duration
+}
+
+// New creates a market over the given price traces.
+func New(engine *sim.Engine, cfg Config) (*Market, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("market: nil engine")
+	}
+	if cfg.Traces == nil {
+		return nil, fmt.Errorf("market: nil traces")
+	}
+	m := &Market{
+		Engine:  engine,
+		catalog: make(map[string]InstanceType),
+		traces:  cfg.Traces,
+		warning: cfg.Warning,
+		handler: NopHandler{},
+		allocs:  make(map[AllocationID]*Allocation),
+	}
+	for _, t := range cfg.Catalog {
+		if t.OnDemand <= 0 || t.VCPUs <= 0 {
+			return nil, fmt.Errorf("market: invalid instance type %+v", t)
+		}
+		if _, ok := cfg.Traces.Get(t.Name); !ok {
+			return nil, fmt.Errorf("market: no trace for instance type %s", t.Name)
+		}
+		m.catalog[t.Name] = t
+	}
+	if len(m.catalog) == 0 {
+		return nil, fmt.Errorf("market: empty catalog")
+	}
+	return m, nil
+}
+
+// SetHandler installs the notification handler (replacing any previous).
+func (m *Market) SetHandler(h Handler) {
+	if h == nil {
+		h = NopHandler{}
+	}
+	m.handler = h
+}
+
+// Types returns catalog types sorted by name.
+func (m *Market) Types() []InstanceType {
+	out := make([]InstanceType, 0, len(m.catalog))
+	for _, t := range m.catalog {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Type looks up an instance type by name.
+func (m *Market) Type(name string) (InstanceType, bool) {
+	t, ok := m.catalog[name]
+	return t, ok
+}
+
+// SpotPrice returns the current spot price for the type.
+func (m *Market) SpotPrice(name string) (float64, error) {
+	tr, ok := m.traces.Get(name)
+	if !ok {
+		return 0, fmt.Errorf("market: unknown instance type %s", name)
+	}
+	return tr.PriceAt(m.Engine.Now()), nil
+}
+
+// Trace exposes the underlying price history for a type (used to train β).
+func (m *Market) Trace(name string) (*trace.Trace, bool) { return m.traces.Get(name) }
+
+// TotalCost reports net dollars billed across all allocations.
+func (m *Market) TotalCost() float64 { return m.cost }
+
+// TotalUsage reports machine-hour usage across all allocations, including
+// in-progress hours of still-active allocations up to the current time.
+func (m *Market) TotalUsage() Usage {
+	u := m.usage
+	now := m.Engine.Now()
+	for _, a := range m.allocs {
+		if a.state != Active && a.state != Warned {
+			continue
+		}
+		partial := now - a.HourStart(now)
+		h := partial.Hours() * float64(a.Count)
+		if a.OnDemand {
+			u.OnDemandHours += h
+		} else {
+			u.SpotHours += h
+		}
+	}
+	return u
+}
+
+// Allocations returns all allocations ever made, sorted by ID.
+func (m *Market) Allocations() []*Allocation {
+	out := make([]*Allocation, 0, len(m.allocs))
+	for _, a := range m.allocs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ActiveAllocations returns allocations still running (active or warned).
+func (m *Market) ActiveAllocations() []*Allocation {
+	var out []*Allocation
+	for _, a := range m.Allocations() {
+		if a.state == Active || a.state == Warned {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RequestOnDemand acquires count on-demand instances. Always granted.
+func (m *Market) RequestOnDemand(typeName string, count int) (*Allocation, error) {
+	t, ok := m.catalog[typeName]
+	if !ok {
+		return nil, fmt.Errorf("market: unknown instance type %s", typeName)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("market: count %d must be positive", count)
+	}
+	a := m.newAllocation(t, count, 0, true)
+	m.chargeHour(a, t.OnDemand)
+	m.scheduleHourBoundary(a)
+	return a, nil
+}
+
+// RequestSpot bids for count spot instances of the type. The request is
+// granted only if the bid is at or above the current market price;
+// otherwise ErrBidBelowMarket is returned. Granted allocations keep their
+// bid until eviction or termination.
+func (m *Market) RequestSpot(typeName string, count int, bid float64) (*Allocation, error) {
+	t, ok := m.catalog[typeName]
+	if !ok {
+		return nil, fmt.Errorf("market: unknown instance type %s", typeName)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("market: count %d must be positive", count)
+	}
+	price, err := m.SpotPrice(typeName)
+	if err != nil {
+		return nil, err
+	}
+	if bid < price {
+		return nil, fmt.Errorf("market: %w: bid %.4f below market %.4f for %s",
+			ErrBidBelowMarket, bid, price, typeName)
+	}
+	a := m.newAllocation(t, count, bid, false)
+	m.chargeHour(a, price)
+	m.scheduleHourBoundary(a)
+	m.scheduleEviction(a)
+	return a, nil
+}
+
+// ErrBidBelowMarket reports a spot request rejected because the bid was
+// below the current market price.
+var ErrBidBelowMarket = fmt.Errorf("bid below market price")
+
+// Terminate releases an allocation at the customer's request. The current
+// billing hour has already been charged and is not refunded. Terminating a
+// non-running allocation is an error.
+func (m *Market) Terminate(a *Allocation) error {
+	if a.state != Active && a.state != Warned {
+		return fmt.Errorf("market: terminate allocation %d in state %s", a.ID, a.state)
+	}
+	m.settleUsage(a, false)
+	a.state = Terminated
+	a.endedAt = m.Engine.Now()
+	m.cancelEvents(a)
+	return nil
+}
+
+func (m *Market) newAllocation(t InstanceType, count int, bid float64, onDemand bool) *Allocation {
+	a := &Allocation{
+		ID:        m.nextID,
+		Type:      t,
+		Count:     count,
+		Bid:       bid,
+		OnDemand:  onDemand,
+		StartedAt: m.Engine.Now(),
+		state:     Active,
+	}
+	m.nextID++
+	m.allocs[a.ID] = a
+	return a
+}
+
+func (m *Market) chargeHour(a *Allocation, pricePerHour float64) {
+	charge := pricePerHour * float64(a.Count)
+	a.hourCharge = charge
+	a.charged += charge
+	a.hoursBegun++
+	m.cost += charge
+}
+
+// scheduleHourBoundary arranges the next hourly charge and rolls the
+// just-completed hour into usage accounting.
+func (m *Market) scheduleHourBoundary(a *Allocation) {
+	boundary := a.HourEnd(m.Engine.Now())
+	a.hourEv = m.Engine.At(boundary, "market.hour", func() {
+		if a.state != Active && a.state != Warned {
+			return
+		}
+		// The completed hour was paid: record its usage.
+		h := float64(a.Count)
+		if a.OnDemand {
+			m.usage.OnDemandHours += h
+		} else {
+			m.usage.SpotHours += h
+		}
+		price := a.Type.OnDemand
+		if !a.OnDemand {
+			p, err := m.SpotPrice(a.Type.Name)
+			if err == nil {
+				price = p
+			}
+		}
+		m.chargeHour(a, price)
+		m.scheduleHourBoundary(a)
+	})
+}
+
+// scheduleEviction looks ahead in the (deterministic) price trace for the
+// first crossing above the allocation's bid and schedules the warning and
+// eviction. Because traces are fixed, look-ahead scheduling is exact, not
+// an oracle advantage: the customer only hears about it via the Handler at
+// warning time.
+func (m *Market) scheduleEviction(a *Allocation) {
+	tr, ok := m.traces.Get(a.Type.Name)
+	if !ok {
+		return
+	}
+	horizon := tr.Duration()
+	cross, found := tr.FirstCrossingAbove(a.Bid, m.Engine.Now(), horizon)
+	if !found {
+		return
+	}
+	evictAt := cross + m.warning
+	if m.warning > 0 {
+		a.warningEv = m.Engine.At(cross, "market.warning", func() {
+			if a.state != Active {
+				return
+			}
+			a.state = Warned
+			m.handler.EvictionWarning(a, evictAt)
+		})
+	}
+	a.evictionEv = m.Engine.At(evictAt, "market.evict", func() {
+		if a.state != Active && a.state != Warned {
+			return
+		}
+		m.evict(a)
+	})
+}
+
+func (m *Market) evict(a *Allocation) {
+	// Refund the in-progress hour (§2.2: "the customer is not billed for
+	// the current hour").
+	a.refunded += a.hourCharge
+	m.cost -= a.hourCharge
+	m.settleUsage(a, true)
+	a.state = Evicted
+	a.endedAt = m.Engine.Now()
+	m.cancelEvents(a)
+	m.handler.Evicted(a)
+}
+
+// settleUsage records the partial in-progress hour of a stopping
+// allocation. free marks it refunded (eviction), so the time counts as
+// free compute.
+func (m *Market) settleUsage(a *Allocation, free bool) {
+	now := m.Engine.Now()
+	partial := now - a.HourStart(now)
+	h := partial.Hours() * float64(a.Count)
+	switch {
+	case free:
+		m.usage.FreeHours += h
+	case a.OnDemand:
+		m.usage.OnDemandHours += h
+	default:
+		m.usage.SpotHours += h
+	}
+}
+
+func (m *Market) cancelEvents(a *Allocation) {
+	for _, ev := range []*sim.Event{a.warningEv, a.evictionEv, a.hourEv} {
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"proteus/internal/sim"
+)
+
+func newPreemptible(t *testing.T, cfg PreemptibleConfig) (*sim.Engine, *PreemptibleMarket) {
+	t.Helper()
+	eng := sim.NewEngine()
+	if cfg.Catalog == nil {
+		cfg.Catalog = DefaultCatalog()
+	}
+	m, err := NewPreemptible(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, m
+}
+
+func TestPreemptibleValidation(t *testing.T) {
+	if _, err := NewPreemptible(nil, PreemptibleConfig{Catalog: DefaultCatalog()}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	eng := sim.NewEngine()
+	if _, err := NewPreemptible(eng, PreemptibleConfig{}); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+	if _, err := NewPreemptible(eng, PreemptibleConfig{Catalog: DefaultCatalog(), Discount: 2}); err == nil {
+		t.Fatal("discount >= 1 accepted")
+	}
+}
+
+func TestPreemptibleFixedPrice(t *testing.T) {
+	_, m := newPreemptible(t, PreemptibleConfig{})
+	p, err := m.PreemptiblePrice("c4.2xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.419*0.30) > 1e-9 {
+		t.Fatalf("price = %v, want 70%% discount", p)
+	}
+	if _, err := m.PreemptiblePrice("nope"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestPreemptibleBilling(t *testing.T) {
+	// Long MTTP so no preemption interferes with the billing check.
+	eng, m := newPreemptible(t, PreemptibleConfig{MTTP: 10000 * time.Hour, MaxLifetime: 10000 * time.Hour})
+	a, err := m.RequestPreemptible("c4.xlarge", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price, _ := m.PreemptiblePrice("c4.xlarge")
+	eng.RunUntil(90 * time.Minute)
+	want := price * 2 * 2 // two hours begun × 2 instances
+	if math.Abs(a.Cost()-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", a.Cost(), want)
+	}
+	if err := m.Terminate(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Terminate(a); err == nil {
+		t.Fatal("double terminate accepted")
+	}
+}
+
+func TestPreemptionWithWarningNoRefund(t *testing.T) {
+	eng, m := newPreemptible(t, PreemptibleConfig{MTTP: time.Hour, Seed: 7})
+	h := &recordingHandler{}
+	m.SetHandler(h)
+	a, err := m.RequestPreemptible("c4.xlarge", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(30 * 24 * time.Hour)
+	if a.State() != Evicted {
+		t.Fatalf("state = %v, want evicted", a.State())
+	}
+	if len(h.warnings) != 1 || len(h.evictions) != 1 {
+		t.Fatalf("notifications: %d warnings, %d evictions", len(h.warnings), len(h.evictions))
+	}
+	// Warning leads eviction by exactly the GCE 30 seconds.
+	if h.warnTimes[0] != a.EndedAt() {
+		t.Fatalf("quoted evictAt %v != actual %v", h.warnTimes[0], a.EndedAt())
+	}
+	// No refund: every begun hour stays charged.
+	price, _ := m.PreemptiblePrice("c4.xlarge")
+	hours := int(a.EndedAt()/time.Hour) + 1
+	want := price * float64(hours)
+	if math.Abs(a.Cost()-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v (no refunds on GCE)", a.Cost(), want)
+	}
+	// And the usage is paid, never free.
+	if u := m.TotalUsage(); u.FreeHours != 0 {
+		t.Fatalf("free hours on GCE: %v", u.FreeHours)
+	}
+}
+
+func TestPreemptionLifetimeCap(t *testing.T) {
+	// Enormous MTTP: the 24-hour cap must still preempt.
+	eng, m := newPreemptible(t, PreemptibleConfig{MTTP: 100000 * time.Hour, Seed: 1})
+	a, _ := m.RequestPreemptible("c4.xlarge", 1)
+	eng.RunUntil(48 * time.Hour)
+	if a.State() != Evicted {
+		t.Fatalf("state = %v after the 24h cap", a.State())
+	}
+	if a.EndedAt() > 24*time.Hour+time.Minute {
+		t.Fatalf("preempted at %v, cap is 24h+warning", a.EndedAt())
+	}
+}
+
+func TestPreemptibleOnDemandNeverPreempted(t *testing.T) {
+	eng, m := newPreemptible(t, PreemptibleConfig{MTTP: time.Minute, Seed: 3})
+	a, err := m.RequestOnDemand("c4.2xlarge", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(72 * time.Hour)
+	if a.State() != Active {
+		t.Fatalf("on-demand state = %v", a.State())
+	}
+	// 72 hours completed plus the 73rd begun exactly at the deadline.
+	want := 0.419 * 2 * 73
+	if math.Abs(m.TotalCost()-want) > 1e-6 {
+		t.Fatalf("cost = %v, want %v", m.TotalCost(), want)
+	}
+}
+
+func TestPreemptibleDeterministicPerSeed(t *testing.T) {
+	end := func(seed int64) time.Duration {
+		eng, m := newPreemptible(t, PreemptibleConfig{MTTP: 2 * time.Hour, Seed: seed})
+		a, _ := m.RequestPreemptible("c4.xlarge", 1)
+		eng.RunUntil(30 * 24 * time.Hour)
+		return a.EndedAt()
+	}
+	if end(5) != end(5) {
+		t.Fatal("same seed, different preemption time")
+	}
+	if end(5) == end(6) {
+		t.Fatal("different seeds, same preemption time (suspicious)")
+	}
+}
+
+func TestPreemptibleAllocationsSorted(t *testing.T) {
+	_, m := newPreemptible(t, PreemptibleConfig{})
+	m.RequestPreemptible("c4.xlarge", 1)
+	m.RequestOnDemand("c4.xlarge", 1)
+	m.RequestPreemptible("c4.2xlarge", 1)
+	all := m.Allocations()
+	if len(all) != 3 {
+		t.Fatalf("allocations = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Fatal("not sorted by ID")
+		}
+	}
+}
+
+func TestPreemptibleRequestValidation(t *testing.T) {
+	_, m := newPreemptible(t, PreemptibleConfig{})
+	if _, err := m.RequestPreemptible("nope", 1); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := m.RequestPreemptible("c4.xlarge", 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := m.RequestOnDemand("nope", 1); err == nil {
+		t.Fatal("unknown on-demand type accepted")
+	}
+	if _, err := m.RequestOnDemand("c4.xlarge", -2); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}

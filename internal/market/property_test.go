@@ -1,0 +1,118 @@
+package market
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// TestPropertyBillingInvariants drives the market with random request /
+// terminate / advance sequences over a random trace and checks the
+// invariants the paper's cost accounting relies on:
+//
+//  1. Total cost equals the sum of per-allocation costs.
+//  2. Costs are never negative (refunds never exceed charges).
+//  3. Evicted allocations were refunded their final hour: net cost is a
+//     whole number of completed-hour charges.
+//  4. Machine-hour usage never exceeds machines × wall-clock time.
+func TestPropertyBillingInvariants(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		catalog := DefaultCatalog()
+		prices := CatalogPrices(catalog)
+		set := trace.GenerateSet("z", 4*24*time.Hour, prices, int64(trial)+500)
+		eng := sim.NewEngine()
+		m, err := New(eng, Config{Catalog: catalog, Traces: set, Warning: 2 * time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var live []*Allocation
+		maxMachines := 0
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(3) {
+			case 0: // acquire something
+				tp := catalog[rng.Intn(len(catalog))]
+				count := 1 + rng.Intn(8)
+				if rng.Intn(2) == 0 {
+					a, err := m.RequestOnDemand(tp.Name, count)
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, a)
+				} else {
+					price, _ := m.SpotPrice(tp.Name)
+					bid := price * (1 + rng.Float64())
+					a, err := m.RequestSpot(tp.Name, count, bid)
+					if err == nil {
+						live = append(live, a)
+					}
+				}
+			case 1: // terminate a random live allocation
+				for i, a := range live {
+					if a.State() == Active || a.State() == Warned {
+						if err := m.Terminate(a); err != nil {
+							t.Fatal(err)
+						}
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			case 2: // advance time
+				eng.RunUntil(eng.Now() + time.Duration(rng.Intn(120))*time.Minute)
+			}
+			total := 0
+			for _, a := range m.Allocations() {
+				total += a.Count
+			}
+			if total > maxMachines {
+				maxMachines = total
+			}
+		}
+		eng.RunUntil(eng.Now() + 3*time.Hour)
+
+		// Invariant 1: totals agree.
+		var sum float64
+		for _, a := range m.Allocations() {
+			c := a.Cost()
+			if c < -1e-9 {
+				t.Fatalf("trial %d: allocation %d has negative cost %v", trial, a.ID, c)
+			}
+			sum += c
+		}
+		if math.Abs(sum-m.TotalCost()) > 1e-6 {
+			t.Fatalf("trial %d: Σ alloc costs %.6f != TotalCost %.6f", trial, sum, m.TotalCost())
+		}
+
+		// Invariant 3: evicted allocations paid only whole completed hours.
+		for _, a := range m.Allocations() {
+			if a.State() != Evicted || a.OnDemand {
+				continue
+			}
+			completedHours := int((a.EndedAt() - a.StartedAt) / trace.BillingHour)
+			// Each completed hour was billed at some market price ≤ bid;
+			// the in-progress hour was refunded. So the cost must be
+			// explained by exactly completedHours charges.
+			if completedHours == 0 && a.Cost() > 1e-9 {
+				t.Fatalf("trial %d: allocation %d evicted within its first hour but paid %v",
+					trial, a.ID, a.Cost())
+			}
+			maxCharge := a.Bid * float64(a.Count) * float64(completedHours)
+			if a.Cost() > maxCharge+1e-9 {
+				t.Fatalf("trial %d: allocation %d paid %v > max possible %v",
+					trial, a.ID, a.Cost(), maxCharge)
+			}
+		}
+
+		// Invariant 4: usage bounded by machines × time.
+		u := m.TotalUsage()
+		bound := float64(maxMachines) * eng.Now().Hours()
+		if u.Total() > bound+1e-6 {
+			t.Fatalf("trial %d: usage %.2f exceeds bound %.2f", trial, u.Total(), bound)
+		}
+	}
+}

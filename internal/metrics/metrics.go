@@ -1,0 +1,156 @@
+// Package metrics provides small statistics helpers used by the benchmark
+// harnesses: streaming summaries, percentiles, and labeled time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Summary accumulates a stream of float64 observations.
+type Summary struct {
+	n     int
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N reports the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Sum reports the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min reports the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev reports the population standard deviation.
+func (s *Summary) StdDev() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0 // guard against floating-point cancellation
+	}
+	return math.Sqrt(v)
+}
+
+// String formats the summary for experiment logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
+		s.n, s.Mean(), s.min, s.max, s.StdDev())
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of values using
+// linear interpolation between closest ranks. It does not modify values.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of values.
+func Median(values []float64) float64 { return Percentile(values, 50) }
+
+// Mean returns the arithmetic mean of values, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Point is one sample in a Series.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// Series is a labeled time series of virtual-time samples.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Record appends a sample. Samples should be appended in time order; the
+// plotting helpers assume monotone time.
+func (s *Series) Record(at time.Duration, v float64) {
+	s.Points = append(s.Points, Point{At: at, Value: v})
+}
+
+// Values returns just the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// AsciiBar renders value as a proportional bar against max, width cells
+// wide, for quick terminal-readable figures.
+func AsciiBar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(math.Round(value / max * float64(width)))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty summary: %v", s.String())
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d, want 5", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v, want 15", s.Sum())
+	}
+	want := math.Sqrt(2) // population sd of 1..5
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-10)
+	s.Add(10)
+	if s.Min() != -10 || s.Max() != 10 || s.Mean() != 0 {
+		t.Fatalf("got min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Percentile(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty slice should give 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Fatal("single value should be its own percentile")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range percentile did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestMedianAndMean(t *testing.T) {
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatalf("Median = %v, want 3", Median([]float64{5, 1, 3}))
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean([2 4]) != 3")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestSeriesRecord(t *testing.T) {
+	var s Series
+	s.Label = "iter-time"
+	s.Record(time.Second, 1.5)
+	s.Record(2*time.Second, 2.5)
+	if len(s.Points) != 2 {
+		t.Fatalf("len(Points) = %d, want 2", len(s.Points))
+	}
+	v := s.Values()
+	if v[0] != 1.5 || v[1] != 2.5 {
+		t.Fatalf("Values = %v", v)
+	}
+}
+
+func TestAsciiBar(t *testing.T) {
+	if got := AsciiBar(5, 10, 10); got != "#####" {
+		t.Fatalf("AsciiBar = %q, want #####", got)
+	}
+	if got := AsciiBar(20, 10, 10); len(got) != 10 {
+		t.Fatalf("AsciiBar should clamp, got %q", got)
+	}
+	if got := AsciiBar(1, 0, 10); got != "" {
+		t.Fatalf("AsciiBar with max=0 should be empty, got %q", got)
+	}
+}
+
+// Property: the summary mean always lies within [min, max], and the
+// percentile function is monotone in p.
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+			s.Add(float64(r))
+		}
+		if s.Mean() < s.Min()-1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			q := Percentile(vals, p)
+			if q < prev-1e-9 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

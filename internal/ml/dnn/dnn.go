@@ -1,0 +1,233 @@
+// Package dnn implements a small feed-forward neural network (one hidden
+// ReLU layer with a softmax output) trained by backpropagated SGD against
+// the parameter server. §3.2 lists DNN among the applications whose
+// workers are stateless with all solution state in the parameter server;
+// this package demonstrates the contract for a model with multiple
+// weight tables updated per observation.
+//
+// Shared state: table 0 holds the hidden layer (one row per hidden unit:
+// input weights plus a trailing bias) and table 1 the output layer (one
+// row per class: hidden weights plus bias).
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ps"
+)
+
+// Table ids for the two weight matrices.
+const (
+	TableHidden uint32 = 0
+	TableOutput uint32 = 1
+)
+
+// Config sizes the network and SGD.
+type Config struct {
+	Hidden    int
+	LearnRate float32
+	Reg       float32
+	InitSeed  int64
+}
+
+// DefaultConfig returns hyperparameters that fit the synthetic nonlinear
+// datasets used in tests.
+func DefaultConfig(hidden int) Config {
+	return Config{Hidden: hidden, LearnRate: 0.05, Reg: 1e-4, InitSeed: 1}
+}
+
+// App is the DNN application; workers are stateless.
+type App struct {
+	cfg  Config
+	data *dataset.MLRData
+}
+
+// New creates the app over a labeled dataset.
+func New(cfg Config, data *dataset.MLRData) *App {
+	if cfg.Hidden <= 0 {
+		panic("dnn: Hidden must be positive")
+	}
+	return &App{cfg: cfg, data: data}
+}
+
+// Name implements the AgileML app contract.
+func (a *App) Name() string { return "dnn" }
+
+// NumItems reports the number of training observations.
+func (a *App) NumItems() int { return len(a.data.Observations) }
+
+// RowLen reports the widest model row (hidden rows: dim+1).
+func (a *App) RowLen() int { return a.data.Config.Dim + 1 }
+
+// NumModelRows reports hidden + output rows.
+func (a *App) NumModelRows() int { return a.cfg.Hidden + a.data.Config.Classes }
+
+// InitState installs small random hidden weights (breaking symmetry) and
+// zero output weights.
+func (a *App) InitState(router *ps.Router) error {
+	rng := rand.New(rand.NewSource(a.cfg.InitSeed))
+	dim := a.data.Config.Dim
+	scale := float32(1 / math.Sqrt(float64(dim)))
+	for h := 0; h < a.cfg.Hidden; h++ {
+		row := make([]float32, dim+1)
+		for j := 0; j < dim; j++ {
+			row[j] = (rng.Float32()*2 - 1) * scale
+		}
+		if err := ps.InitRow(router, TableHidden, uint32(h), row); err != nil {
+			return fmt.Errorf("dnn: init hidden %d: %w", h, err)
+		}
+	}
+	for c := 0; c < a.data.Config.Classes; c++ {
+		if err := ps.InitRow(router, TableOutput, uint32(c), make([]float32, a.cfg.Hidden+1)); err != nil {
+			return fmt.Errorf("dnn: init output %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// weights reads the full model through the client.
+func (a *App) weights(c *ps.Client) (w1, w2 [][]float32, err error) {
+	w1 = make([][]float32, a.cfg.Hidden)
+	for h := range w1 {
+		if w1[h], err = c.Read(TableHidden, uint32(h)); err != nil {
+			return nil, nil, fmt.Errorf("dnn: read hidden %d: %w", h, err)
+		}
+	}
+	w2 = make([][]float32, a.data.Config.Classes)
+	for cl := range w2 {
+		if w2[cl], err = c.Read(TableOutput, uint32(cl)); err != nil {
+			return nil, nil, fmt.Errorf("dnn: read output %d: %w", cl, err)
+		}
+	}
+	return w1, w2, nil
+}
+
+// forward computes hidden activations and class probabilities.
+func (a *App) forward(w1, w2 [][]float32, x []float32) (hidden []float32, probs []float64) {
+	dim := len(x)
+	hidden = make([]float32, a.cfg.Hidden)
+	for h, row := range w1 {
+		s := row[dim] // bias
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		if s > 0 { // ReLU
+			hidden[h] = s
+		}
+	}
+	scores := make([]float64, len(w2))
+	maxScore := math.Inf(-1)
+	for cl, row := range w2 {
+		s := float64(row[a.cfg.Hidden]) // bias
+		for h, hv := range hidden {
+			s += float64(row[h] * hv)
+		}
+		scores[cl] = s
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	var z float64
+	for cl := range scores {
+		scores[cl] = math.Exp(scores[cl] - maxScore)
+		z += scores[cl]
+	}
+	for cl := range scores {
+		scores[cl] /= z
+	}
+	return hidden, scores
+}
+
+// ProcessRange runs one backprop-SGD pass over observations [start, end).
+func (a *App) ProcessRange(c *ps.Client, start, end int) error {
+	lr, reg := a.cfg.LearnRate, a.cfg.Reg
+	dim := a.data.Config.Dim
+	for idx := start; idx < end; idx++ {
+		obs := a.data.Observations[idx]
+		w1, w2, err := a.weights(c)
+		if err != nil {
+			return err
+		}
+		hidden, probs := a.forward(w1, w2, obs.Features)
+
+		// Output layer gradient: dL/dscore_c = p_c − 1{c==label}.
+		dscore := make([]float32, len(w2))
+		for cl := range w2 {
+			dscore[cl] = float32(probs[cl])
+			if cl == obs.Label {
+				dscore[cl]--
+			}
+		}
+		// Backprop into hidden activations.
+		dhidden := make([]float32, a.cfg.Hidden)
+		for cl, row := range w2 {
+			g := dscore[cl]
+			delta := make([]float32, a.cfg.Hidden+1)
+			for h, hv := range hidden {
+				delta[h] = -lr * (g*hv + reg*row[h])
+				if hidden[h] > 0 {
+					dhidden[h] += g * row[h]
+				}
+			}
+			delta[a.cfg.Hidden] = -lr * g // bias
+			c.Update(TableOutput, uint32(cl), delta)
+		}
+		// Hidden layer gradient (ReLU gate already applied via dhidden).
+		for h, row := range w1 {
+			g := dhidden[h]
+			if g == 0 {
+				continue
+			}
+			delta := make([]float32, dim+1)
+			for j, xj := range obs.Features {
+				delta[j] = -lr * (g*xj + reg*row[j])
+			}
+			delta[dim] = -lr * g
+			c.Update(TableHidden, uint32(h), delta)
+		}
+	}
+	return nil
+}
+
+// Objective returns mean cross-entropy over the dataset; lower is better.
+func (a *App) Objective(c *ps.Client) (float64, error) {
+	w1, w2, err := a.weights(c)
+	if err != nil {
+		return 0, err
+	}
+	var loss float64
+	for _, obs := range a.data.Observations {
+		_, probs := a.forward(w1, w2, obs.Features)
+		q := probs[obs.Label]
+		if q < 1e-12 {
+			q = 1e-12
+		}
+		loss -= math.Log(q)
+	}
+	return loss / float64(len(a.data.Observations)), nil
+}
+
+// Accuracy returns argmax accuracy over the dataset.
+func (a *App) Accuracy(c *ps.Client) (float64, error) {
+	w1, w2, err := a.weights(c)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, obs := range a.data.Observations {
+		_, probs := a.forward(w1, w2, obs.Features)
+		best := 0
+		for cl := range probs {
+			if probs[cl] > probs[best] {
+				best = cl
+			}
+		}
+		if best == obs.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(a.data.Observations)), nil
+}

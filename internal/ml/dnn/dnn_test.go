@@ -1,0 +1,155 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ml/mlr"
+	"proteus/internal/ps"
+)
+
+func singleServerJob(t *testing.T, partitions int) *ps.Router {
+	t.Helper()
+	router := ps.NewRouter(partitions)
+	srv := ps.NewServer("srv", ps.ParamServ)
+	for p := 0; p < partitions; p++ {
+		if err := srv.AddPartition(ps.NewPartition(ps.PartitionID(p))); err != nil {
+			t.Fatal(err)
+		}
+		router.SetOwner(ps.PartitionID(p), srv)
+	}
+	return router
+}
+
+func trainDNN(t *testing.T, app *App, router *ps.Router, epochs int) *ps.Client {
+	t.Helper()
+	cl := ps.NewClient("w0", router, 0)
+	for e := 0; e < epochs; e++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+	}
+	return cl
+}
+
+func TestDNNFitsNonlinearShells(t *testing.T) {
+	data := dataset.GenerateShells(2, 2, 400, 3)
+	app := New(DefaultConfig(16), data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := trainDNN(t, app, router, 60)
+	defer cl.Close()
+	acc, err := app.Accuracy(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("DNN accuracy %.3f on radially-separable data, want >= 0.9", acc)
+	}
+}
+
+func TestDNNBeatsLinearModelOnShells(t *testing.T) {
+	// The point of the hidden layer: a linear model cannot separate
+	// concentric shells, a one-hidden-layer network can.
+	data := dataset.GenerateShells(2, 2, 400, 5)
+
+	dnnApp := New(DefaultConfig(16), data)
+	dnnRouter := singleServerJob(t, 4)
+	if err := dnnApp.InitState(dnnRouter); err != nil {
+		t.Fatal(err)
+	}
+	dnnCl := trainDNN(t, dnnApp, dnnRouter, 60)
+	defer dnnCl.Close()
+	dnnAcc, err := dnnApp.Accuracy(dnnCl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	linApp := mlr.New(mlr.DefaultConfig(), data)
+	linRouter := singleServerJob(t, 4)
+	if err := linApp.InitState(linRouter); err != nil {
+		t.Fatal(err)
+	}
+	linCl := ps.NewClient("lin", linRouter, 0)
+	defer linCl.Close()
+	for e := 0; e < 60; e++ {
+		if err := linApp.ProcessRange(linCl, 0, linApp.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := linCl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		linCl.Invalidate()
+	}
+	linAcc, err := linApp.Accuracy(linCl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("shells: dnn accuracy %.3f, linear accuracy %.3f", dnnAcc, linAcc)
+	if linAcc > 0.75 {
+		t.Fatalf("linear model fit radial shells (%.3f); dataset too easy", linAcc)
+	}
+	if dnnAcc < linAcc+0.2 {
+		t.Fatalf("dnn (%.3f) not clearly beating linear (%.3f)", dnnAcc, linAcc)
+	}
+}
+
+func TestDNNObjectiveDecreases(t *testing.T) {
+	data := dataset.GenerateShells(3, 2, 300, 7)
+	app := New(DefaultConfig(12), data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+	before, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero output weights: loss is exactly log(K).
+	if math.Abs(before-math.Log(3)) > 1e-6 {
+		t.Fatalf("initial loss = %v, want log(3)", before)
+	}
+	for e := 0; e < 40; e++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+	}
+	after, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before*0.6 {
+		t.Fatalf("loss did not drop enough: %.4f -> %.4f", before, after)
+	}
+}
+
+func TestDNNMetadataAndValidation(t *testing.T) {
+	data := dataset.GenerateShells(2, 3, 10, 1)
+	app := New(DefaultConfig(8), data)
+	if app.Name() != "dnn" || app.NumItems() != 10 {
+		t.Fatal("metadata wrong")
+	}
+	if app.RowLen() != 4 || app.NumModelRows() != 10 {
+		t.Fatalf("RowLen=%d NumModelRows=%d", app.RowLen(), app.NumModelRows())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero hidden units did not panic")
+		}
+	}()
+	New(Config{Hidden: 0}, data)
+}

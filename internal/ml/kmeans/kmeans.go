@@ -1,0 +1,250 @@
+// Package kmeans implements Lloyd's k-means clustering against the
+// parameter server. §3.2 lists K-means among the applications whose
+// workers are stateless with all solution state in the parameter server —
+// this package demonstrates that claim for an app whose "model" is count
+// accumulators rather than gradients.
+//
+// Shared state: table 0 holds one row per centroid: [count, Σx₀, … Σx_d]
+// — the running assignment counts and coordinate sums for the *next*
+// centroid update, and table 1 holds the current centroids themselves.
+// Each clock, workers assign their points to the nearest current centroid
+// and push count/sum deltas; the recompute step (run by the application
+// between clocks through any client) folds sums into new centroids and
+// resets the accumulators. Both tables migrate and recover exactly like
+// any other AgileML state.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"proteus/internal/ps"
+)
+
+// Table ids.
+const (
+	TableAccum    uint32 = 0 // per-centroid [count, sum...] accumulators
+	TableCentroid uint32 = 1 // current centroid coordinates
+)
+
+// Config sizes the clustering problem.
+type Config struct {
+	K    int // clusters
+	Dim  int
+	Seed int64 // initial centroid selection
+}
+
+// Data is the point set to cluster.
+type Data struct {
+	Points [][]float32
+}
+
+// GeneratePoints plants K gaussian clusters and samples n points.
+func GeneratePoints(k, dim, n int, spread float64, seed int64) *Data {
+	if k <= 0 || dim <= 0 || n <= 0 {
+		panic("kmeans: sizes must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * 10
+		}
+	}
+	d := &Data{Points: make([][]float32, n)}
+	for i := range d.Points {
+		c := centers[rng.Intn(k)]
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = float32(c[j] + rng.NormFloat64()*spread)
+		}
+		d.Points[i] = p
+	}
+	return d
+}
+
+// App implements the AgileML application contract for k-means.
+type App struct {
+	cfg  Config
+	data *Data
+}
+
+// New creates the app.
+func New(cfg Config, data *Data) *App {
+	if cfg.K <= 0 || cfg.Dim <= 0 {
+		panic("kmeans: K and Dim must be positive")
+	}
+	return &App{cfg: cfg, data: data}
+}
+
+// Name implements the app contract.
+func (a *App) Name() string { return "kmeans" }
+
+// NumItems reports the point count.
+func (a *App) NumItems() int { return len(a.data.Points) }
+
+// RowLen reports the accumulator row length (count + Dim sums).
+func (a *App) RowLen() int { return 1 + a.cfg.Dim }
+
+// NumModelRows reports 2·K rows (accumulators + centroids).
+func (a *App) NumModelRows() int { return 2 * a.cfg.K }
+
+// InitState seeds centroids with k-means++ (distance-weighted sampling),
+// which makes convergence far less sensitive to the seed than uniform
+// point selection, and zeroes the accumulators.
+func (a *App) InitState(router *ps.Router) error {
+	if len(a.data.Points) < a.cfg.K {
+		return fmt.Errorf("kmeans: %d points for %d clusters", len(a.data.Points), a.cfg.K)
+	}
+	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	chosen := make([][]float32, 0, a.cfg.K)
+	chosen = append(chosen, a.data.Points[rng.Intn(len(a.data.Points))])
+	dist2 := func(p, q []float32) float64 {
+		var d float64
+		for j := range p {
+			diff := float64(p[j] - q[j])
+			d += diff * diff
+		}
+		return d
+	}
+	for len(chosen) < a.cfg.K {
+		// Sample the next centroid proportional to squared distance from
+		// the nearest already-chosen one.
+		weights := make([]float64, len(a.data.Points))
+		var total float64
+		for i, p := range a.data.Points {
+			best := math.Inf(1)
+			for _, c := range chosen {
+				if d := dist2(p, c); d < best {
+					best = d
+				}
+			}
+			weights[i] = best
+			total += best
+		}
+		pick := rng.Float64() * total
+		idx := len(a.data.Points) - 1
+		for i, w := range weights {
+			pick -= w
+			if pick <= 0 {
+				idx = i
+				break
+			}
+		}
+		chosen = append(chosen, a.data.Points[idx])
+	}
+	for c := 0; c < a.cfg.K; c++ {
+		centroid := make([]float32, a.cfg.Dim)
+		copy(centroid, chosen[c])
+		if err := ps.InitRow(router, TableCentroid, uint32(c), centroid); err != nil {
+			return err
+		}
+		if err := ps.InitRow(router, TableAccum, uint32(c), make([]float32, 1+a.cfg.Dim)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessRange assigns points [start, end) to their nearest centroid and
+// accumulates count/sum deltas.
+func (a *App) ProcessRange(c *ps.Client, start, end int) error {
+	centroids := make([][]float32, a.cfg.K)
+	for k := 0; k < a.cfg.K; k++ {
+		row, err := c.Read(TableCentroid, uint32(k))
+		if err != nil {
+			return fmt.Errorf("kmeans: read centroid %d: %w", k, err)
+		}
+		centroids[k] = row
+	}
+	deltas := make([][]float32, a.cfg.K)
+	for idx := start; idx < end; idx++ {
+		p := a.data.Points[idx]
+		best, bestD := 0, math.Inf(1)
+		for k, cent := range centroids {
+			var d float64
+			for j := range p {
+				diff := float64(p[j] - cent[j])
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = k, d
+			}
+		}
+		if deltas[best] == nil {
+			deltas[best] = make([]float32, 1+a.cfg.Dim)
+		}
+		deltas[best][0]++
+		for j := range p {
+			deltas[best][1+j] += p[j]
+		}
+	}
+	for k, d := range deltas {
+		if d != nil {
+			c.Update(TableAccum, uint32(k), d)
+		}
+	}
+	return nil
+}
+
+// Recompute folds the accumulators into new centroid positions and resets
+// them: centroid_k = Σx / count when count > 0. Call between clocks (the
+// controller's consistent point); any client works.
+func (a *App) Recompute(c *ps.Client) error {
+	for k := 0; k < a.cfg.K; k++ {
+		acc, err := c.Read(TableAccum, uint32(k))
+		if err != nil {
+			return err
+		}
+		count := acc[0]
+		if count > 0 {
+			cur, err := c.Read(TableCentroid, uint32(k))
+			if err != nil {
+				return err
+			}
+			delta := make([]float32, a.cfg.Dim)
+			for j := 0; j < a.cfg.Dim; j++ {
+				delta[j] = acc[1+j]/count - cur[j]
+			}
+			c.Update(TableCentroid, uint32(k), delta)
+		}
+		// Reset the accumulator by subtracting itself.
+		neg := make([]float32, 1+a.cfg.Dim)
+		for j := range neg {
+			neg[j] = -acc[j]
+		}
+		c.Update(TableAccum, uint32(k), neg)
+	}
+	return c.Clock()
+}
+
+// Objective returns the mean squared distance of points to their nearest
+// centroid (inertia per point); lower is better.
+func (a *App) Objective(c *ps.Client) (float64, error) {
+	centroids := make([][]float32, a.cfg.K)
+	for k := 0; k < a.cfg.K; k++ {
+		row, err := c.Read(TableCentroid, uint32(k))
+		if err != nil {
+			return 0, err
+		}
+		centroids[k] = row
+	}
+	var total float64
+	for _, p := range a.data.Points {
+		best := math.Inf(1)
+		for _, cent := range centroids {
+			var d float64
+			for j := range p {
+				diff := float64(p[j] - cent[j])
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(a.data.Points)), nil
+}

@@ -1,0 +1,148 @@
+package kmeans
+
+import (
+	"testing"
+
+	"proteus/internal/ps"
+)
+
+func singleServerJob(t *testing.T, partitions int) *ps.Router {
+	t.Helper()
+	router := ps.NewRouter(partitions)
+	srv := ps.NewServer("srv", ps.ParamServ)
+	for p := 0; p < partitions; p++ {
+		if err := srv.AddPartition(ps.NewPartition(ps.PartitionID(p))); err != nil {
+			t.Fatal(err)
+		}
+		router.SetOwner(ps.PartitionID(p), srv)
+	}
+	return router
+}
+
+func TestGeneratePoints(t *testing.T) {
+	d := GeneratePoints(3, 4, 100, 0.5, 1)
+	if len(d.Points) != 100 {
+		t.Fatalf("points = %d", len(d.Points))
+	}
+	for _, p := range d.Points {
+		if len(p) != 4 {
+			t.Fatalf("dim = %d", len(p))
+		}
+	}
+	// Deterministic per seed.
+	d2 := GeneratePoints(3, 4, 100, 0.5, 1)
+	for i := range d.Points {
+		for j := range d.Points[i] {
+			if d.Points[i][j] != d2.Points[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	const k, dim = 4, 3
+	data := GeneratePoints(k, dim, 400, 0.5, 7)
+	app := New(Config{K: k, Dim: dim, Seed: 2}, data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+
+	before, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 15; iter++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+		if err := app.Recompute(cl); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+	}
+	after, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Planted clusters with spread 0.5: converged inertia ≈ dim·spread².
+	// k-means++ already starts near-optimal, so the decisive check is
+	// reaching the planted noise floor, not a large relative drop.
+	if after > before {
+		t.Fatalf("inertia increased: %.3f -> %.3f", before, after)
+	}
+	if after > 1.2*dim*0.5*0.5 {
+		t.Fatalf("inertia %.3f above the planted noise floor ≈%.3f", after, float64(dim)*0.25)
+	}
+}
+
+func TestKMeansAccumulatorReset(t *testing.T) {
+	const k, dim = 2, 2
+	data := GeneratePoints(k, dim, 50, 0.3, 3)
+	app := New(Config{K: k, Dim: dim, Seed: 1}, data)
+	router := singleServerJob(t, 2)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+	if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Clock(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Invalidate()
+	if err := app.Recompute(cl); err != nil {
+		t.Fatal(err)
+	}
+	cl.Invalidate()
+	// After recompute, accumulators must be zero.
+	for c := 0; c < k; c++ {
+		acc, err := cl.Read(TableAccum, uint32(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range acc {
+			if v != 0 {
+				t.Fatalf("accumulator %d[%d] = %v after reset", c, j, v)
+			}
+		}
+	}
+}
+
+func TestKMeansMetadata(t *testing.T) {
+	data := GeneratePoints(2, 3, 10, 0.1, 1)
+	app := New(Config{K: 2, Dim: 3, Seed: 1}, data)
+	if app.Name() != "kmeans" || app.NumItems() != 10 {
+		t.Fatal("metadata wrong")
+	}
+	if app.RowLen() != 4 || app.NumModelRows() != 4 {
+		t.Fatalf("RowLen=%d NumModelRows=%d", app.RowLen(), app.NumModelRows())
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero K did not panic")
+		}
+	}()
+	New(Config{K: 0, Dim: 1}, &Data{})
+}
+
+func TestKMeansTooFewPoints(t *testing.T) {
+	data := &Data{Points: [][]float32{{1, 2}}}
+	app := New(Config{K: 3, Dim: 2, Seed: 1}, data)
+	router := singleServerJob(t, 1)
+	if err := app.InitState(router); err == nil {
+		t.Fatal("fewer points than clusters accepted")
+	}
+}

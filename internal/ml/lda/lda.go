@@ -1,0 +1,268 @@
+// Package lda implements latent Dirichlet allocation via collapsed Gibbs
+// sampling against the parameter server, the paper's third application
+// benchmark (§6.2).
+//
+// Shared state on the parameter server: the word–topic count matrix
+// (table 0, one row per vocabulary word) and the global topic totals
+// (table 1, a single row). Per-token topic assignments and the derived
+// document–topic counts travel with the training data, as they do in
+// parameter-server LDA implementations: they are a function of the
+// immutable documents plus the sampling history and are re-derivable, so
+// the workers themselves remain stateless in the sense §7 requires.
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ps"
+)
+
+// Table ids for the shared count matrices.
+const (
+	TableWordTopic  uint32 = 0
+	TableTopicTotal uint32 = 1
+)
+
+// Config holds the Gibbs sampling hyperparameters.
+type Config struct {
+	Topics int
+	Alpha  float64 // document–topic smoothing
+	Beta   float64 // topic–word smoothing
+	Seed   int64   // seed for the initial random assignments and sampling
+}
+
+// DefaultConfig returns hyperparameters suited to the synthetic corpora
+// used in tests.
+func DefaultConfig(topics int) Config {
+	return Config{Topics: topics, Alpha: 0.1, Beta: 0.01, Seed: 1}
+}
+
+// App is the LDA application. The assignment state (z and doc–topic
+// counts) is keyed by document and guarded per document, so workers that
+// own disjoint document ranges never contend.
+type App struct {
+	cfg  Config
+	data *dataset.LDAData
+
+	mu       sync.Mutex // guards rngs map
+	rngs     map[string]*rand.Rand
+	z        [][]int // topic assignment per token, per doc
+	docTopic [][]int // doc → topic counts, derived from z
+}
+
+// New creates the app over a corpus, assigning every token topic 0; real
+// randomized initialization happens in InitState so the parameter-server
+// counts and the assignments stay consistent.
+func New(cfg Config, data *dataset.LDAData) *App {
+	if cfg.Topics <= 0 {
+		panic("lda: Topics must be positive")
+	}
+	a := &App{cfg: cfg, data: data, rngs: make(map[string]*rand.Rand)}
+	a.z = make([][]int, len(data.Docs))
+	a.docTopic = make([][]int, len(data.Docs))
+	for d, doc := range data.Docs {
+		a.z[d] = make([]int, len(doc))
+		a.docTopic[d] = make([]int, cfg.Topics)
+	}
+	return a
+}
+
+// Name implements the AgileML app contract.
+func (a *App) Name() string { return "lda" }
+
+// NumItems reports the number of training items (documents).
+func (a *App) NumItems() int { return len(a.data.Docs) }
+
+// RowLen reports the model row length (topic count).
+func (a *App) RowLen() int { return a.cfg.Topics }
+
+// NumModelRows reports total model rows (vocab words + the totals row).
+func (a *App) NumModelRows() int { return a.data.Config.Vocab + 1 }
+
+// InitState randomly assigns a topic to every token and installs the
+// implied word–topic counts and topic totals in the parameter server.
+func (a *App) InitState(router *ps.Router) error {
+	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	k := a.cfg.Topics
+	wordTopic := make([][]float32, a.data.Config.Vocab)
+	for w := range wordTopic {
+		wordTopic[w] = make([]float32, k)
+	}
+	totals := make([]float32, k)
+	for d, doc := range a.data.Docs {
+		for i, w := range doc {
+			t := rng.Intn(k)
+			a.z[d][i] = t
+			a.docTopic[d][t]++
+			wordTopic[w][t]++
+			totals[t]++
+		}
+	}
+	for w := range wordTopic {
+		if err := ps.InitRow(router, TableWordTopic, uint32(w), wordTopic[w]); err != nil {
+			return fmt.Errorf("lda: init word row %d: %w", w, err)
+		}
+	}
+	if err := ps.InitRow(router, TableTopicTotal, 0, totals); err != nil {
+		return fmt.Errorf("lda: init totals: %w", err)
+	}
+	return nil
+}
+
+// workerRNG returns a deterministic per-worker rng so sampling is
+// reproducible regardless of goroutine scheduling.
+func (a *App) workerRNG(worker string) *rand.Rand {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rng, ok := a.rngs[worker]
+	if !ok {
+		seed := a.cfg.Seed
+		for _, ch := range worker {
+			seed = seed*131 + int64(ch)
+		}
+		rng = rand.New(rand.NewSource(seed))
+		a.rngs[worker] = rng
+	}
+	return rng
+}
+
+// ProcessRange runs one collapsed-Gibbs sweep over documents
+// [start, end): for each token, decrement the counts for its current
+// assignment, sample a new topic from the collapsed conditional, and
+// increment. Count updates flow through the client as deltas.
+func (a *App) ProcessRange(c *ps.Client, start, end int) error {
+	k := a.cfg.Topics
+	vBeta := a.cfg.Beta * float64(a.data.Config.Vocab)
+	rng := a.workerRNG(c.Worker())
+	probs := make([]float64, k)
+
+	for d := start; d < end; d++ {
+		doc := a.data.Docs[d]
+		dt := a.docTopic[d]
+		for i, w := range doc {
+			old := a.z[d][i]
+
+			wt, err := c.Read(TableWordTopic, uint32(w))
+			if err != nil {
+				return fmt.Errorf("lda: read word %d: %w", w, err)
+			}
+			tot, err := c.Read(TableTopicTotal, 0)
+			if err != nil {
+				return fmt.Errorf("lda: read totals: %w", err)
+			}
+
+			// Exclude the token's own current assignment.
+			dt[old]--
+			var sum float64
+			for t := 0; t < k; t++ {
+				wc := float64(wt[t])
+				tc := float64(tot[t])
+				if t == old {
+					wc--
+					tc--
+				}
+				if wc < 0 {
+					wc = 0 // stale cached counts can briefly undershoot
+				}
+				if tc < 0 {
+					tc = 0
+				}
+				p := (float64(dt[t]) + a.cfg.Alpha) * (wc + a.cfg.Beta) / (tc + vBeta)
+				probs[t] = p
+				sum += p
+			}
+			// Sample from the conditional.
+			u := rng.Float64() * sum
+			newT := k - 1
+			for t := 0; t < k; t++ {
+				u -= probs[t]
+				if u <= 0 {
+					newT = t
+					break
+				}
+			}
+			dt[newT]++
+			a.z[d][i] = newT
+
+			if newT != old {
+				wdelta := make([]float32, k)
+				tdelta := make([]float32, k)
+				wdelta[old], wdelta[newT] = -1, 1
+				tdelta[old], tdelta[newT] = -1, 1
+				c.Update(TableWordTopic, uint32(w), wdelta)
+				c.Update(TableTopicTotal, 0, tdelta)
+			}
+		}
+	}
+	return nil
+}
+
+// Objective returns the negative mean per-token log-likelihood
+// log p(w | z) under the current counts; lower is better.
+func (a *App) Objective(c *ps.Client) (float64, error) {
+	tot, err := c.Read(TableTopicTotal, 0)
+	if err != nil {
+		return 0, err
+	}
+	vBeta := a.cfg.Beta * float64(a.data.Config.Vocab)
+	var ll float64
+	var n int
+	for d, doc := range a.data.Docs {
+		for i, w := range doc {
+			t := a.z[d][i]
+			wt, err := c.Read(TableWordTopic, uint32(w))
+			if err != nil {
+				return 0, err
+			}
+			p := (float64(wt[t]) + a.cfg.Beta) / (float64(tot[t]) + vBeta)
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			ll += math.Log(p)
+			n++
+		}
+	}
+	return -ll / float64(n), nil
+}
+
+// TopWords returns the indices of the n highest-count words for a topic,
+// read through the client (used by the example application).
+func (a *App) TopWords(c *ps.Client, topic, n int) ([]int, error) {
+	if topic < 0 || topic >= a.cfg.Topics {
+		return nil, fmt.Errorf("lda: topic %d out of range", topic)
+	}
+	type wc struct {
+		word  int
+		count float32
+	}
+	all := make([]wc, 0, a.data.Config.Vocab)
+	for w := 0; w < a.data.Config.Vocab; w++ {
+		row, err := c.Read(TableWordTopic, uint32(w))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, wc{word: w, count: row[topic]})
+	}
+	// Partial selection sort of the top n.
+	if n > len(all) {
+		n = len(all)
+	}
+	for i := 0; i < n; i++ {
+		maxJ := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].count > all[maxJ].count {
+				maxJ = j
+			}
+		}
+		all[i], all[maxJ] = all[maxJ], all[i]
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].word
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package lda
+
+import (
+	"testing"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ps"
+)
+
+func singleServerJob(t *testing.T, partitions int) *ps.Router {
+	t.Helper()
+	router := ps.NewRouter(partitions)
+	srv := ps.NewServer("srv", ps.ParamServ)
+	for p := 0; p < partitions; p++ {
+		if err := srv.AddPartition(ps.NewPartition(ps.PartitionID(p))); err != nil {
+			t.Fatal(err)
+		}
+		router.SetOwner(ps.PartitionID(p), srv)
+	}
+	return router
+}
+
+func TestLDAImprovesLikelihood(t *testing.T) {
+	data := dataset.GenerateLDA(dataset.LDAConfig{
+		Docs: 80, Vocab: 60, Topics: 4, WordsPerDoc: 25, Concentration: 0.95,
+	}, 5)
+	app := New(DefaultConfig(4), data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+
+	before, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 20; iter++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+	}
+	after, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before-0.2 {
+		t.Fatalf("negative log-likelihood did not drop: before=%.4f after=%.4f", before, after)
+	}
+}
+
+func TestLDACountInvariants(t *testing.T) {
+	// Total topic counts must always equal the number of tokens,
+	// regardless of how many sweeps run.
+	data := dataset.GenerateLDA(dataset.LDAConfig{
+		Docs: 30, Vocab: 40, Topics: 3, WordsPerDoc: 15, Concentration: 0.9,
+	}, 6)
+	app := New(DefaultConfig(3), data)
+	router := singleServerJob(t, 2)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+
+	tokens := 0
+	for _, d := range data.Docs {
+		tokens += len(d)
+	}
+	checkTotals := func(when string) {
+		t.Helper()
+		cl.Invalidate()
+		tot, err := cl.Read(TableTopicTotal, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float32
+		for _, v := range tot {
+			if v < 0 {
+				t.Fatalf("%s: negative topic total %v", when, tot)
+			}
+			sum += v
+		}
+		if int(sum) != tokens {
+			t.Fatalf("%s: totals sum to %v, want %d tokens", when, sum, tokens)
+		}
+	}
+	checkTotals("after init")
+	for iter := 0; iter < 5; iter++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkTotals("after sweeps")
+}
+
+func TestLDARecoversPlantedTopics(t *testing.T) {
+	// With strongly concentrated planted topics, each learned topic's top
+	// words should mostly come from a single planted vocabulary slice.
+	data := dataset.GenerateLDA(dataset.LDAConfig{
+		Docs: 150, Vocab: 80, Topics: 4, WordsPerDoc: 30, Concentration: 0.97,
+	}, 9)
+	app := New(DefaultConfig(4), data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+	for iter := 0; iter < 30; iter++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+	}
+	span := data.Config.Vocab / data.Config.Topics
+	pureTopics := 0
+	for topic := 0; topic < 4; topic++ {
+		top, err := app.TopWords(cl, topic, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sliceCounts := make(map[int]int)
+		for _, w := range top {
+			sliceCounts[w/span]++
+		}
+		best := 0
+		for _, c := range sliceCounts {
+			if c > best {
+				best = c
+			}
+		}
+		if best >= 7 {
+			pureTopics++
+		}
+	}
+	if pureTopics < 2 {
+		t.Fatalf("only %d of 4 topics align with planted slices", pureTopics)
+	}
+}
+
+func TestLDAMultiWorker(t *testing.T) {
+	data := dataset.GenerateLDA(dataset.LDAConfig{
+		Docs: 60, Vocab: 50, Topics: 3, WordsPerDoc: 20, Concentration: 0.9,
+	}, 12)
+	app := New(DefaultConfig(3), data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	ranges := dataset.SplitRange(app.NumItems(), workers)
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			cl := ps.NewClient(string(rune('a'+w)), router, 1)
+			defer cl.Close()
+			for iter := 0; iter < 8; iter++ {
+				if err := app.ProcessRange(cl, ranges[w][0], ranges[w][1]); err != nil {
+					done <- err
+					return
+				}
+				if err := cl.Clock(); err != nil {
+					done <- err
+					return
+				}
+				cl.Invalidate()
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invariant: totals match token count even with concurrent sweeps.
+	eval := ps.NewClient("eval", router, 0)
+	defer eval.Close()
+	tot, err := eval.Read(TableTopicTotal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := 0
+	for _, d := range data.Docs {
+		tokens += len(d)
+	}
+	var sum float32
+	for _, v := range tot {
+		sum += v
+	}
+	if int(sum) != tokens {
+		t.Fatalf("totals = %v, want %d", sum, tokens)
+	}
+}
+
+func TestLDAAppMetadata(t *testing.T) {
+	data := dataset.GenerateLDA(dataset.LDAConfig{Docs: 5, Vocab: 10, Topics: 2, WordsPerDoc: 4}, 1)
+	app := New(DefaultConfig(2), data)
+	if app.Name() != "lda" || app.NumItems() != 5 || app.RowLen() != 2 || app.NumModelRows() != 11 {
+		t.Fatalf("metadata wrong")
+	}
+	if _, err := app.TopWords(nil, 9, 3); err == nil {
+		t.Fatal("out-of-range topic accepted")
+	}
+}
+
+func TestLDAZeroTopicsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero topics did not panic")
+		}
+	}()
+	New(Config{Topics: 0}, &dataset.LDAData{})
+}

@@ -1,0 +1,145 @@
+// Package mf implements matrix factorization via stochastic gradient
+// descent against the parameter server, the first of the paper's three
+// application benchmarks (§6.2).
+//
+// Given observed entries of a sparse matrix X, MF finds factor matrices L
+// (users × rank) and R (items × rank) with X ≈ L·Rᵀ. Each worker is
+// assigned a subset of the observed entries; every iteration it processes
+// each entry in its subset and updates the corresponding row of L and
+// column of R by the gradient, exactly the per-entry SGD scheme the paper
+// describes. L and R live in the parameter server (tables 0 and 1).
+package mf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ps"
+)
+
+// Table ids for the two factor matrices.
+const (
+	TableL uint32 = 0
+	TableR uint32 = 1
+)
+
+// Config holds the SGD hyperparameters.
+type Config struct {
+	Rank      int
+	LearnRate float32
+	Reg       float32 // L2 regularization strength
+	InitSeed  int64   // seed for the random initial factors
+}
+
+// DefaultConfig returns hyperparameters that converge on the synthetic
+// planted-rank datasets used in tests.
+func DefaultConfig(rank int) Config {
+	return Config{Rank: rank, LearnRate: 0.05, Reg: 0.01, InitSeed: 1}
+}
+
+// App is the MF application. It is stateless per the AgileML worker
+// contract (§7): everything mutable lives in the parameter server, and the
+// training data is immutable.
+type App struct {
+	cfg  Config
+	data *dataset.MFData
+}
+
+// New creates the app over a dataset.
+func New(cfg Config, data *dataset.MFData) *App {
+	if cfg.Rank <= 0 {
+		panic("mf: rank must be positive")
+	}
+	return &App{cfg: cfg, data: data}
+}
+
+// Name implements the AgileML app contract.
+func (a *App) Name() string { return "mf" }
+
+// NumItems reports the number of training items (observed ratings).
+func (a *App) NumItems() int { return len(a.data.Ratings) }
+
+// RowLen reports the model row length (the factor rank).
+func (a *App) RowLen() int { return a.cfg.Rank }
+
+// NumModelRows reports the total model rows (for perfmodel sizing).
+func (a *App) NumModelRows() int { return a.data.Config.Users + a.data.Config.Items }
+
+// InitState installs small random initial factors.
+func (a *App) InitState(router *ps.Router) error {
+	rng := rand.New(rand.NewSource(a.cfg.InitSeed))
+	scale := float32(1 / math.Sqrt(float64(a.cfg.Rank)))
+	initRow := func(table uint32, row uint32) error {
+		v := make([]float32, a.cfg.Rank)
+		for i := range v {
+			v[i] = (rng.Float32()*2 - 1) * scale
+		}
+		return ps.InitRow(router, table, row, v)
+	}
+	for u := 0; u < a.data.Config.Users; u++ {
+		if err := initRow(TableL, uint32(u)); err != nil {
+			return fmt.Errorf("mf: init L[%d]: %w", u, err)
+		}
+	}
+	for i := 0; i < a.data.Config.Items; i++ {
+		if err := initRow(TableR, uint32(i)); err != nil {
+			return fmt.Errorf("mf: init R[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ProcessRange runs one SGD pass over ratings [start, end).
+func (a *App) ProcessRange(c *ps.Client, start, end int) error {
+	lr, reg := a.cfg.LearnRate, a.cfg.Reg
+	for idx := start; idx < end; idx++ {
+		r := a.data.Ratings[idx]
+		l, err := c.Read(TableL, uint32(r.User))
+		if err != nil {
+			return fmt.Errorf("mf: read L[%d]: %w", r.User, err)
+		}
+		rt, err := c.Read(TableR, uint32(r.Item))
+		if err != nil {
+			return fmt.Errorf("mf: read R[%d]: %w", r.Item, err)
+		}
+		var pred float32
+		for k := 0; k < a.cfg.Rank; k++ {
+			pred += l[k] * rt[k]
+		}
+		e := pred - r.Value
+		dl := make([]float32, a.cfg.Rank)
+		dr := make([]float32, a.cfg.Rank)
+		for k := 0; k < a.cfg.Rank; k++ {
+			dl[k] = -lr * (e*rt[k] + reg*l[k])
+			dr[k] = -lr * (e*l[k] + reg*rt[k])
+		}
+		c.Update(TableL, uint32(r.User), dl)
+		c.Update(TableR, uint32(r.Item), dr)
+	}
+	return nil
+}
+
+// Objective returns the root-mean-square reconstruction error over all
+// observed entries; lower is better.
+func (a *App) Objective(c *ps.Client) (float64, error) {
+	var sum float64
+	for _, r := range a.data.Ratings {
+		l, err := c.Read(TableL, uint32(r.User))
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.Read(TableR, uint32(r.Item))
+		if err != nil {
+			return 0, err
+		}
+		var pred float32
+		for k := 0; k < a.cfg.Rank; k++ {
+			pred += l[k] * rt[k]
+		}
+		d := float64(pred - r.Value)
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a.data.Ratings))), nil
+}

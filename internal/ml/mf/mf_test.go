@@ -1,0 +1,133 @@
+package mf
+
+import (
+	"testing"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ps"
+)
+
+// singleServerJob wires a router with one ParamServ owning all partitions.
+func singleServerJob(t *testing.T, partitions int) (*ps.Router, *ps.Server) {
+	t.Helper()
+	router := ps.NewRouter(partitions)
+	srv := ps.NewServer("srv", ps.ParamServ)
+	for p := 0; p < partitions; p++ {
+		if err := srv.AddPartition(ps.NewPartition(ps.PartitionID(p))); err != nil {
+			t.Fatal(err)
+		}
+		router.SetOwner(ps.PartitionID(p), srv)
+	}
+	return router, srv
+}
+
+func TestMFConvergesSingleWorker(t *testing.T) {
+	data := dataset.GenerateMF(dataset.MFConfig{
+		Users: 40, Items: 30, Rank: 4, Observed: 400, Noise: 0.01,
+	}, 42)
+	app := New(DefaultConfig(4), data)
+	router, _ := singleServerJob(t, 8)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+
+	before, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 40; iter++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+	}
+	after, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before*0.5 {
+		t.Fatalf("RMSE did not drop enough: before=%.4f after=%.4f", before, after)
+	}
+}
+
+func TestMFConvergesMultiWorker(t *testing.T) {
+	data := dataset.GenerateMF(dataset.MFConfig{
+		Users: 40, Items: 30, Rank: 4, Observed: 400, Noise: 0.01,
+	}, 43)
+	app := New(DefaultConfig(4), data)
+	router, _ := singleServerJob(t, 8)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	clients := make([]*ps.Client, workers)
+	for w := range clients {
+		clients[w] = ps.NewClient(string(rune('a'+w)), router, 1)
+		defer clients[w].Close()
+	}
+	ranges := dataset.SplitRange(app.NumItems(), workers)
+
+	eval := ps.NewClient("eval", router, 0)
+	defer eval.Close()
+	before, _ := app.Objective(eval)
+
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for iter := 0; iter < 30; iter++ {
+				if err := app.ProcessRange(clients[w], ranges[w][0], ranges[w][1]); err != nil {
+					done <- err
+					return
+				}
+				if err := clients[w].Clock(); err != nil {
+					done <- err
+					return
+				}
+				clients[w].Invalidate()
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval.Invalidate()
+	after, _ := app.Objective(eval)
+	if after >= before*0.65 {
+		t.Fatalf("parallel RMSE did not drop enough: before=%.4f after=%.4f", before, after)
+	}
+}
+
+func TestMFAppMetadata(t *testing.T) {
+	data := dataset.GenerateMF(dataset.MFConfig{Users: 5, Items: 4, Rank: 2, Observed: 10}, 1)
+	app := New(DefaultConfig(2), data)
+	if app.Name() != "mf" {
+		t.Fatal("name wrong")
+	}
+	if app.NumItems() != 10 {
+		t.Fatalf("NumItems = %d", app.NumItems())
+	}
+	if app.RowLen() != 2 {
+		t.Fatalf("RowLen = %d", app.RowLen())
+	}
+	if app.NumModelRows() != 9 {
+		t.Fatalf("NumModelRows = %d", app.NumModelRows())
+	}
+}
+
+func TestMFZeroRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rank did not panic")
+		}
+	}()
+	New(Config{Rank: 0}, nil)
+}

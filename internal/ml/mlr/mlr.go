@@ -1,0 +1,171 @@
+// Package mlr implements multinomial logistic regression trained with SGD
+// against the parameter server, the paper's second application benchmark
+// (§6.2).
+//
+// The model is one weight vector per class (the softmax layer used atop
+// image/text classifiers); each observation's gradient touches every class
+// row, so — as the paper notes — "each gradient updates the full model".
+// The weight rows live in parameter-server table 0.
+package mlr
+
+import (
+	"fmt"
+	"math"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ps"
+)
+
+// TableW is the weight-matrix table id.
+const TableW uint32 = 0
+
+// Config holds the SGD hyperparameters.
+type Config struct {
+	LearnRate float32
+	Reg       float32
+}
+
+// DefaultConfig returns hyperparameters that converge on the synthetic
+// separable datasets used in tests.
+func DefaultConfig() Config {
+	return Config{LearnRate: 0.1, Reg: 0.001}
+}
+
+// App is the MLR application; workers are stateless.
+type App struct {
+	cfg  Config
+	data *dataset.MLRData
+}
+
+// New creates the app over a dataset.
+func New(cfg Config, data *dataset.MLRData) *App {
+	return &App{cfg: cfg, data: data}
+}
+
+// Name implements the AgileML app contract.
+func (a *App) Name() string { return "mlr" }
+
+// NumItems reports the number of training observations.
+func (a *App) NumItems() int { return len(a.data.Observations) }
+
+// RowLen reports the model row length (feature dimension).
+func (a *App) RowLen() int { return a.data.Config.Dim }
+
+// NumModelRows reports the total model rows (one per class).
+func (a *App) NumModelRows() int { return a.data.Config.Classes }
+
+// InitState installs zero weight vectors; softmax from zeros is uniform.
+func (a *App) InitState(router *ps.Router) error {
+	dim := a.data.Config.Dim
+	for cl := 0; cl < a.data.Config.Classes; cl++ {
+		if err := ps.InitRow(router, TableW, uint32(cl), make([]float32, dim)); err != nil {
+			return fmt.Errorf("mlr: init W[%d]: %w", cl, err)
+		}
+	}
+	return nil
+}
+
+// readWeights fetches all class rows through the client.
+func (a *App) readWeights(c *ps.Client) ([][]float32, error) {
+	w := make([][]float32, a.data.Config.Classes)
+	for cl := range w {
+		row, err := c.Read(TableW, uint32(cl))
+		if err != nil {
+			return nil, fmt.Errorf("mlr: read W[%d]: %w", cl, err)
+		}
+		w[cl] = row
+	}
+	return w, nil
+}
+
+// softmax computes class probabilities for x under weights w.
+func softmax(w [][]float32, x []float32) []float64 {
+	scores := make([]float64, len(w))
+	maxScore := math.Inf(-1)
+	for c, wc := range w {
+		var s float64
+		for j, xj := range x {
+			s += float64(wc[j] * xj)
+		}
+		scores[c] = s
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	var z float64
+	for c, s := range scores {
+		scores[c] = math.Exp(s - maxScore)
+		z += scores[c]
+	}
+	for c := range scores {
+		scores[c] /= z
+	}
+	return scores
+}
+
+// ProcessRange runs one SGD pass over observations [start, end).
+func (a *App) ProcessRange(c *ps.Client, start, end int) error {
+	lr, reg := a.cfg.LearnRate, a.cfg.Reg
+	for idx := start; idx < end; idx++ {
+		obs := a.data.Observations[idx]
+		w, err := a.readWeights(c)
+		if err != nil {
+			return err
+		}
+		p := softmax(w, obs.Features)
+		for cl := range w {
+			coeff := float32(p[cl])
+			if cl == obs.Label {
+				coeff -= 1
+			}
+			delta := make([]float32, len(obs.Features))
+			for j, xj := range obs.Features {
+				delta[j] = -lr * (coeff*xj + reg*w[cl][j])
+			}
+			c.Update(TableW, uint32(cl), delta)
+		}
+	}
+	return nil
+}
+
+// Objective returns mean cross-entropy over the full dataset; lower is
+// better.
+func (a *App) Objective(c *ps.Client) (float64, error) {
+	w, err := a.readWeights(c)
+	if err != nil {
+		return 0, err
+	}
+	var loss float64
+	for _, obs := range a.data.Observations {
+		p := softmax(w, obs.Features)
+		q := p[obs.Label]
+		if q < 1e-12 {
+			q = 1e-12
+		}
+		loss -= math.Log(q)
+	}
+	return loss / float64(len(a.data.Observations)), nil
+}
+
+// Accuracy returns the fraction of observations whose argmax prediction
+// matches the label (a secondary metric for tests).
+func (a *App) Accuracy(c *ps.Client) (float64, error) {
+	w, err := a.readWeights(c)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, obs := range a.data.Observations {
+		p := softmax(w, obs.Features)
+		best := 0
+		for cl := range p {
+			if p[cl] > p[best] {
+				best = cl
+			}
+		}
+		if best == obs.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(a.data.Observations)), nil
+}

@@ -1,0 +1,145 @@
+package mlr
+
+import (
+	"math"
+	"testing"
+
+	"proteus/internal/dataset"
+	"proteus/internal/ps"
+)
+
+func singleServerJob(t *testing.T, partitions int) *ps.Router {
+	t.Helper()
+	router := ps.NewRouter(partitions)
+	srv := ps.NewServer("srv", ps.ParamServ)
+	for p := 0; p < partitions; p++ {
+		if err := srv.AddPartition(ps.NewPartition(ps.PartitionID(p))); err != nil {
+			t.Fatal(err)
+		}
+		router.SetOwner(ps.PartitionID(p), srv)
+	}
+	return router
+}
+
+func TestMLRConverges(t *testing.T) {
+	data := dataset.GenerateMLR(dataset.MLRConfig{
+		Classes: 4, Dim: 8, Observations: 400, Margin: 1.5,
+	}, 7)
+	app := New(DefaultConfig(), data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	cl := ps.NewClient("w0", router, 0)
+	defer cl.Close()
+
+	before, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero weights: cross-entropy is exactly log(K).
+	if math.Abs(before-math.Log(4)) > 1e-6 {
+		t.Fatalf("initial loss = %v, want log(4)=%v", before, math.Log(4))
+	}
+	for iter := 0; iter < 10; iter++ {
+		if err := app.ProcessRange(cl, 0, app.NumItems()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Clock(); err != nil {
+			t.Fatal(err)
+		}
+		cl.Invalidate()
+	}
+	after, err := app.Objective(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before*0.5 {
+		t.Fatalf("loss did not halve: before=%.4f after=%.4f", before, after)
+	}
+	acc, err := app.Accuracy(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("accuracy = %.3f on separable data, want >= 0.85", acc)
+	}
+}
+
+func TestMLRMultiWorkerConverges(t *testing.T) {
+	data := dataset.GenerateMLR(dataset.MLRConfig{
+		Classes: 3, Dim: 6, Observations: 300, Margin: 1.5,
+	}, 8)
+	app := New(DefaultConfig(), data)
+	router := singleServerJob(t, 4)
+	if err := app.InitState(router); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	ranges := dataset.SplitRange(app.NumItems(), workers)
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			cl := ps.NewClient(string(rune('a'+w)), router, 1)
+			defer cl.Close()
+			for iter := 0; iter < 10; iter++ {
+				if err := app.ProcessRange(cl, ranges[w][0], ranges[w][1]); err != nil {
+					done <- err
+					return
+				}
+				if err := cl.Clock(); err != nil {
+					done <- err
+					return
+				}
+				cl.Invalidate()
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval := ps.NewClient("eval", router, 0)
+	defer eval.Close()
+	acc, err := app.Accuracy(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Fatalf("parallel accuracy = %.3f, want >= 0.8", acc)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	w := [][]float32{{1, 0}, {0, 1}, {-1, -1}}
+	p := softmax(w, []float32{2, 0})
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	if !(p[0] > p[1] && p[1] > p[2]) {
+		t.Fatalf("softmax ordering wrong: %v", p)
+	}
+	// Numerically stable under large scores.
+	wBig := [][]float32{{1000}, {999}}
+	p = softmax(wBig, []float32{1})
+	if math.IsNaN(p[0]) || p[0] <= p[1] {
+		t.Fatalf("unstable softmax: %v", p)
+	}
+}
+
+func TestMLRAppMetadata(t *testing.T) {
+	data := dataset.GenerateMLR(dataset.MLRConfig{Classes: 3, Dim: 5, Observations: 10, Margin: 1}, 1)
+	app := New(DefaultConfig(), data)
+	if app.Name() != "mlr" || app.NumItems() != 10 || app.RowLen() != 5 || app.NumModelRows() != 3 {
+		t.Fatalf("metadata wrong: %s %d %d %d", app.Name(), app.NumItems(), app.RowLen(), app.NumModelRows())
+	}
+}

@@ -1,0 +1,299 @@
+// Package perfmodel computes per-iteration training time for an AgileML
+// configuration from first principles: compute throughput plus per-machine
+// NIC occupancy.
+//
+// This repository runs on one host, so the network bottlenecks that shape
+// the paper's Figures 11–16 cannot be measured directly; instead this
+// model reproduces them analytically from the same quantities the paper
+// reasons about — worker update volume, parameter-server fan-in, the
+// active→backup delta stream, and the straggler effect of colocating
+// workers with loaded BackupPSs. The functional behaviour (state safety,
+// migration, rollback) is exercised for real by the agileml package; this
+// model supplies the *timing* those experiments report.
+//
+// The model: one iteration takes
+//
+//	T = T_compute + max over machines of T_nic(machine) + T_overhead
+//
+// where T_compute = Items·WorkPerItem / (Workers·Cores·Rate), and each
+// machine's NIC time is max(bytes-in, bytes-out)/Bandwidth (full-duplex)
+// for the roles it hosts:
+//
+//	worker:   in V, out V            (reads and write-back updates)
+//	server:   in W·V/S, out W·V/S    (fan-in from W workers over S shards)
+//	backup:   in Flush/R             (aggregated deltas from the actives)
+//
+// Flush = min(κ·W·V, ModelBytes): updates to the same rows coalesce on
+// the actives before streaming (κ is the surviving fraction). Request
+// fan-out adds S·ReqOverhead per worker; each active's flush message adds
+// FlushOverhead on its backup. In stage 3 the backup stream runs in the
+// background off the critical path (that is the point of stage 3); the
+// model instead reports whether it can keep up (FlushLag).
+package perfmodel
+
+import "fmt"
+
+// Cluster describes per-machine hardware.
+type Cluster struct {
+	Cores     int
+	Bandwidth float64 // bytes/second, full duplex per direction
+	Rate      float64 // work items per core-second
+}
+
+// ClusterA matches the paper's Cluster-A (c4.2xlarge: 8 vCPUs, 1 Gbps),
+// with Rate calibrated so 64 machines sustain the paper's MF iteration
+// times.
+func ClusterA() Cluster {
+	return Cluster{Cores: 8, Bandwidth: 125e6, Rate: 1.1e5}
+}
+
+// ClusterB matches Cluster-B (c4.xlarge: 4 vCPUs, 1 Gbps).
+func ClusterB() Cluster {
+	return Cluster{Cores: 4, Bandwidth: 125e6, Rate: 1.1e5}
+}
+
+// Workload describes one application's per-iteration demands.
+type Workload struct {
+	Items         int     // training items processed per iteration
+	WorkPerItem   float64 // relative compute cost per item (1.0 baseline)
+	WorkerBytes   float64 // V: bytes each worker machine exchanges per iteration
+	ModelBytes    float64 // B: total model size
+	Coalesce      float64 // κ: fraction of worker update volume surviving aggregation
+	ReqOverhead   float64 // seconds per serving shard per worker per iteration
+	FlushOverhead float64 // seconds per active's flush message at the backup
+}
+
+// MFNetflix returns the workload parameters for MF on the Netflix dataset
+// with rank 1000 (§6.2): 100M known elements, ~2 GB of factor state.
+func MFNetflix() Workload {
+	return Workload{
+		Items:         100e6,
+		WorkPerItem:   1.0,
+		WorkerBytes:   25e6,
+		ModelBytes:    2e9,
+		Coalesce:      0.12,
+		ReqOverhead:   1e-3,
+		FlushOverhead: 8e-3,
+	}
+}
+
+// LDANytimes returns the workload parameters for LDA on the NYTimes
+// corpus with 1000 topics (§6.2): 100M tokens, word–topic state ~0.4 GB.
+func LDANytimes() Workload {
+	return Workload{
+		Items:         100e6,
+		WorkPerItem:   1.3,
+		WorkerBytes:   18e6,
+		ModelBytes:    4e8,
+		Coalesce:      0.15,
+		ReqOverhead:   1e-3,
+		FlushOverhead: 8e-3,
+	}
+}
+
+// MLRImageNet returns the workload parameters for MLR on ImageNet LLC
+// features (§6.2): 64k observations of dimension 21504 over 1000 classes,
+// dense ~86 MB model touched in full by every gradient.
+func MLRImageNet() Workload {
+	return Workload{
+		Items:         64e3,
+		WorkPerItem:   1200, // each observation touches the full model
+		WorkerBytes:   40e6,
+		ModelBytes:    86e6,
+		Coalesce:      1.0, // dense model: every row touched, no sparsity to coalesce
+		ReqOverhead:   1e-3,
+		FlushOverhead: 8e-3,
+	}
+}
+
+// Layout places functionality on machines — the subject of §3.2.
+type Layout struct {
+	// Workers is the number of machines running worker processes.
+	Workers int
+	// Servers is the number of machines hosting serving shards
+	// (ParamServs in stage 1 / traditional, ActivePSs in stages 2–3).
+	Servers int
+	// Backups is the number of reliable machines hosting BackupPSs
+	// (zero in stage 1 and traditional layouts).
+	Backups int
+	// ServersAreWorkers marks serving machines that also run workers
+	// (true everywhere except stage-1 transient-only-worker layouts where
+	// the ParamServ machines still run workers — in practice always true
+	// in the paper's configurations).
+	ServersAreWorkers bool
+	// BackupsAreWorkers marks reliable BackupPS machines that also run
+	// workers: true in stage 2, false in stage 3.
+	BackupsAreWorkers bool
+}
+
+// Traditional is the baseline: all n machines reliable, each running a
+// worker and a ParamServ shard.
+func Traditional(n int) Layout {
+	return Layout{Workers: n, Servers: n, ServersAreWorkers: true}
+}
+
+// Stage1 places ParamServs on the reliable machines only; all machines
+// run workers.
+func Stage1(reliable, transient int) Layout {
+	return Layout{
+		Workers:           reliable + transient,
+		Servers:           reliable,
+		ServersAreWorkers: true,
+	}
+}
+
+// Stage2 places ActivePSs on `actives` of the transient machines and
+// BackupPSs on the reliable machines; all machines run workers.
+func Stage2(reliable, transient, actives int) Layout {
+	return Layout{
+		Workers:           reliable + transient,
+		Servers:           actives,
+		Backups:           reliable,
+		ServersAreWorkers: true,
+		BackupsAreWorkers: true,
+	}
+}
+
+// Stage3 is stage 2 with no workers on the reliable machines.
+func Stage3(reliable, transient, actives int) Layout {
+	return Layout{
+		Workers:           transient,
+		Servers:           actives,
+		Backups:           reliable,
+		ServersAreWorkers: true,
+		BackupsAreWorkers: false,
+	}
+}
+
+// Validate rejects impossible layouts.
+func (l Layout) Validate() error {
+	if l.Workers <= 0 {
+		return fmt.Errorf("perfmodel: layout needs workers")
+	}
+	if l.Servers <= 0 {
+		return fmt.Errorf("perfmodel: layout needs serving shards")
+	}
+	if l.Backups < 0 {
+		return fmt.Errorf("perfmodel: negative backups")
+	}
+	return nil
+}
+
+// Breakdown is the modeled cost of one iteration.
+type Breakdown struct {
+	Compute    float64 // seconds of per-worker compute
+	Network    float64 // seconds of the binding NIC bottleneck
+	Overhead   float64 // request fan-out and flush message overheads on the critical path
+	Total      float64 // Compute + Network + Overhead
+	Bottleneck string  // which machine class binds the network term
+	// FlushLag reports that the background active→backup stream cannot
+	// keep up within one iteration (stage 3), so the recovery point lags
+	// behind the workers' progress.
+	FlushLag bool
+}
+
+// IterationTime models one training iteration under the layout.
+func IterationTime(c Cluster, w Workload, l Layout) (Breakdown, error) {
+	if err := l.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if c.Cores <= 0 || c.Bandwidth <= 0 || c.Rate <= 0 {
+		return Breakdown{}, fmt.Errorf("perfmodel: invalid cluster %+v", c)
+	}
+
+	var b Breakdown
+	b.Compute = float64(w.Items) * w.WorkPerItem / (float64(l.Workers) * float64(c.Cores) * c.Rate)
+
+	v := w.WorkerBytes
+	serverIn := float64(l.Workers) * v / float64(l.Servers)
+	flush := w.Coalesce * float64(l.Workers) * v
+	if flush > w.ModelBytes {
+		flush = w.ModelBytes
+	}
+
+	// Per-machine-class NIC occupancy (max of in/out — full duplex).
+	classes := []struct {
+		name     string
+		inB      float64
+		outB     float64
+		overhead float64
+		active   bool
+	}{
+		{
+			name: "worker",
+			inB:  v, outB: v,
+			overhead: float64(l.Servers) * w.ReqOverhead,
+			active:   true,
+		},
+		{
+			name: "server",
+			inB:  serverIn, outB: serverIn,
+			active: true,
+		},
+	}
+	if l.ServersAreWorkers {
+		// Serving machines carry both loads; replace the plain server
+		// class with the combined one.
+		classes[1].inB += v
+		classes[1].outB += v
+		classes[1].overhead = float64(l.Servers) * w.ReqOverhead
+		classes[1].name = "server+worker"
+	}
+	if l.Backups > 0 {
+		backupIn := flush / float64(l.Backups)
+		over := float64(l.Servers) * w.FlushOverhead / float64(l.Backups)
+		if l.BackupsAreWorkers {
+			// Stage 2: the backup stream shares the NIC with a worker —
+			// the straggler effect of §6.4.
+			classes = append(classes, struct {
+				name     string
+				inB      float64
+				outB     float64
+				overhead float64
+				active   bool
+			}{"backup+worker", backupIn + v, v, over + float64(l.Servers)*w.ReqOverhead, true})
+		} else {
+			// Stage 3: the stream is off the critical path; only check
+			// that it keeps up.
+			classes = append(classes, struct {
+				name     string
+				inB      float64
+				outB     float64
+				overhead float64
+				active   bool
+			}{"backup", backupIn, 0, over, false})
+		}
+	}
+
+	var background float64
+	for _, cl := range classes {
+		t := maxf(cl.inB, cl.outB)/c.Bandwidth + cl.overhead
+		if cl.active {
+			if t > b.Network+b.Overhead {
+				// Record split for reporting.
+				b.Network = maxf(cl.inB, cl.outB) / c.Bandwidth
+				b.Overhead = cl.overhead
+				b.Bottleneck = cl.name
+			}
+		} else if t > background {
+			background = t
+		}
+	}
+	b.Total = b.Compute + b.Network + b.Overhead
+	if background > b.Total {
+		b.FlushLag = true
+	}
+	return b, nil
+}
+
+// TransitionBlip is the fractional one-iteration slowdown observed while
+// a bulk eviction is enacted: the paper measures a 13% blip as the
+// BackupPSs are aggressively brought up to date (§6.6).
+const TransitionBlip = 0.13
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+package perfmodel
+
+import (
+	"testing"
+)
+
+func iter(t *testing.T, c Cluster, w Workload, l Layout) Breakdown {
+	t.Helper()
+	b, err := IterationTime(c, w, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestValidation(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	if _, err := IterationTime(c, w, Layout{Workers: 0, Servers: 1}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := IterationTime(c, w, Layout{Workers: 1, Servers: 0}); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+	if _, err := IterationTime(c, w, Layout{Workers: 1, Servers: 1, Backups: -1}); err == nil {
+		t.Fatal("negative backups accepted")
+	}
+	if _, err := IterationTime(Cluster{}, w, Traditional(4)); err == nil {
+		t.Fatal("zero cluster accepted")
+	}
+}
+
+func TestBreakdownComponentsPositive(t *testing.T) {
+	b := iter(t, ClusterA(), MFNetflix(), Traditional(64))
+	if b.Compute <= 0 || b.Network <= 0 || b.Total <= b.Compute {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.Total != b.Compute+b.Network+b.Overhead {
+		t.Fatalf("total mismatch: %+v", b)
+	}
+	if b.Bottleneck == "" {
+		t.Fatal("no bottleneck recorded")
+	}
+}
+
+// Fig. 11 shape: stage 1 time-per-iteration grows sharply as the number
+// of ParamServ machines shrinks; 32 ParamServs ≈ traditional (negligible
+// slowdown at 1:1); 4 ParamServs slows MF by well over 85%.
+func TestFig11Stage1Shape(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	trad := iter(t, c, w, Traditional(64)).Total
+	s4 := iter(t, c, w, Stage1(4, 60)).Total
+	s16 := iter(t, c, w, Stage1(16, 48)).Total
+	s32 := iter(t, c, w, Stage1(32, 32)).Total
+
+	if !(s4 > s16 && s16 > s32 && s32 > trad) {
+		t.Fatalf("ordering wrong: 4PS=%.2f 16PS=%.2f 32PS=%.2f trad=%.2f", s4, s16, s32, trad)
+	}
+	if s4 < trad*1.85 {
+		t.Fatalf("4 ParamServs only %.2fx traditional, paper reports >85%% slowdown", s4/trad)
+	}
+	if s32 > trad*1.15 {
+		t.Fatalf("32 ParamServs %.2fx traditional, paper reports negligible slowdown at 1:1", s32/trad)
+	}
+}
+
+// Fig. 12 shape: at 15:1 (4 reliable + 60 transient), stage 2 with 32
+// ActivePSs lands within ~25% of traditional and far below stage-1's
+// 4-ParamServ configuration.
+func TestFig12Stage2Shape(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	trad := iter(t, c, w, Traditional(64)).Total
+	stage1 := iter(t, c, w, Stage1(4, 60)).Total
+	a16 := iter(t, c, w, Stage2(4, 60, 16)).Total
+	a32 := iter(t, c, w, Stage2(4, 60, 32)).Total
+	a48 := iter(t, c, w, Stage2(4, 60, 48)).Total
+
+	if !(a32 < stage1 && a32 < a16) {
+		t.Fatalf("stage2/32 not beating stage1 and 16 actives: s1=%.2f a16=%.2f a32=%.2f", stage1, a16, a32)
+	}
+	if a32 > trad*1.30 {
+		t.Fatalf("32 ActivePSs %.2fx traditional, paper reports ≈18%%", a32/trad)
+	}
+	if a32 < trad {
+		t.Fatalf("stage 2 should not beat traditional at 15:1: a32=%.2f trad=%.2f", a32, trad)
+	}
+	// 48 actives is in the same ballpark as 32 (half is the sweet spot;
+	// more actives must not be dramatically better).
+	if a48 < a32*0.9 {
+		t.Fatalf("48 actives dramatically beats 32: a32=%.2f a48=%.2f", a32, a48)
+	}
+}
+
+// Fig. 13 shape: at 63:1, stage 2 (workers on the reliable machine)
+// suffers the straggler; stage 3 removes it and matches traditional.
+func TestFig13Stage3Shape(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	trad := iter(t, c, w, Traditional(64)).Total
+	s2 := iter(t, c, w, Stage2(1, 63, 32)).Total
+	s3 := iter(t, c, w, Stage3(1, 63, 32)).Total
+
+	if s2 < trad*1.4 {
+		t.Fatalf("stage 2 at 63:1 = %.2fx traditional; paper reports ~2x loss", s2/trad)
+	}
+	if s3 > trad*1.15 {
+		t.Fatalf("stage 3 at 63:1 = %.2fx traditional; paper reports a match", s3/trad)
+	}
+	if s3 >= s2 {
+		t.Fatal("stage 3 must beat stage 2 at 63:1")
+	}
+}
+
+// Fig. 14 shape: at 1:1 (8 reliable + 8 transient), stage 2 clearly beats
+// stage 3 — removing half the workers costs far more than the straggler.
+func TestFig14Stage2vs3At1to1(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	s2 := iter(t, c, w, Stage2(8, 8, 4)).Total
+	s3 := iter(t, c, w, Stage3(8, 8, 4)).Total
+	if s2 >= s3 {
+		t.Fatalf("stage 2 (%.2f) must beat stage 3 (%.2f) at 1:1", s2, s3)
+	}
+	if s3 < s2*1.5 {
+		t.Fatalf("stage 3 should be ~2x stage 2 at 1:1 (halved workers): s2=%.2f s3=%.2f", s2, s3)
+	}
+}
+
+// Fig. 15 shape: strong scaling of LDA from 4 to 64 machines stays close
+// to ideal (time ∝ 1/machines).
+func TestFig15ScalingShape(t *testing.T) {
+	c, w := ClusterA(), LDANytimes()
+	base := iter(t, c, w, Traditional(4)).Total
+	configs := []struct {
+		n   int
+		lay Layout
+	}{
+		{8, Stage1(4, 4)},
+		{16, Stage3(1, 15, 8)},
+		{32, Stage3(1, 31, 16)},
+		{64, Stage3(1, 63, 32)},
+	}
+	prev := base
+	for _, cfg := range configs {
+		got := iter(t, c, w, cfg.lay).Total
+		if got >= prev {
+			t.Fatalf("no speedup at %d machines: %.2f -> %.2f", cfg.n, prev, got)
+		}
+		ideal := base * 4 / float64(cfg.n)
+		if cfg.lay.Workers < cfg.n {
+			// Stage 3 gives up the reliable machine's worker.
+			ideal = base * 4 / float64(cfg.lay.Workers)
+		}
+		if got > ideal*1.6 {
+			t.Fatalf("scaling at %d machines %.2f vs ideal %.2f: >60%% off", cfg.n, got, ideal)
+		}
+		prev = got
+	}
+}
+
+// Fig. 16 shape: 4 reliable machines alone are ~an order of magnitude
+// slower per iteration than after 60 transient machines join.
+func TestFig16ElasticSpeedup(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	small := iter(t, c, w, Traditional(4)).Total
+	big := iter(t, c, w, Stage2(4, 60, 32)).Total
+	if small < big*6 {
+		t.Fatalf("adding 60 machines speeds up only %.1fx", small/big)
+	}
+	if TransitionBlip <= 0 || TransitionBlip >= 1 {
+		t.Fatal("TransitionBlip out of range")
+	}
+}
+
+// Stage 3's whole point: the backup stream leaves the critical path. The
+// model must not report a flush lag for the paper's configurations.
+func TestStage3FlushKeepsUp(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	b := iter(t, c, w, Stage3(1, 63, 32))
+	if b.FlushLag {
+		t.Fatalf("flush lag at the paper's 63:1 configuration: %+v", b)
+	}
+}
+
+func TestMoreWorkersReduceCompute(t *testing.T) {
+	c, w := ClusterA(), MFNetflix()
+	small := iter(t, c, w, Traditional(8))
+	big := iter(t, c, w, Traditional(64))
+	if big.Compute >= small.Compute {
+		t.Fatal("compute did not shrink with more workers")
+	}
+}
+
+func TestWorkloadPresetsSane(t *testing.T) {
+	for _, w := range []Workload{MFNetflix(), LDANytimes(), MLRImageNet()} {
+		if w.Items <= 0 || w.WorkerBytes <= 0 || w.ModelBytes <= 0 {
+			t.Fatalf("bad preset: %+v", w)
+		}
+		if _, err := IterationTime(ClusterA(), w, Traditional(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ClusterB().Cores >= ClusterA().Cores {
+		t.Fatal("Cluster B should have fewer cores than A")
+	}
+}

@@ -1,0 +1,97 @@
+package privcluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Advisor retargets BidBrain's reasoning to the private cluster (§7).
+// With a constant chargeback rate, cost per unit work is flat no matter
+// what is acquired — so the decision reduces to the expected-work side of
+// the ledger (Eqs. 2–3): an allocation of size k leaves headroom
+// capacity−usage−k, and the historical load dynamics determine how soon
+// the scheduler will take it back. Bigger is not always better: claiming
+// everything invites near-immediate revocation and repeated λ overheads,
+// while a slightly smaller claim can survive the day.
+type Advisor struct {
+	load     *LoadTrace
+	capacity int
+	// Horizon is the planning window (a best-effort "billing hour"
+	// equivalent; there is no billing, only planning granularity).
+	Horizon time.Duration
+	// Lambda is the application's eviction overhead (Table 2's λ).
+	Lambda time.Duration
+	// Samples controls the historical replay per size candidate.
+	Samples int
+	seed    int64
+}
+
+// NewAdvisor builds an advisor over a historical load trace.
+func NewAdvisor(load *LoadTrace, capacity int, horizon, lambda time.Duration, samples int, seed int64) (*Advisor, error) {
+	if load == nil {
+		return nil, fmt.Errorf("privcluster: nil load trace")
+	}
+	if err := load.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 || horizon <= 0 || samples <= 0 {
+		return nil, fmt.Errorf("privcluster: capacity, horizon and samples must be positive")
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("privcluster: negative lambda")
+	}
+	return &Advisor{
+		load:     load,
+		capacity: capacity,
+		Horizon:  horizon,
+		Lambda:   lambda,
+		Samples:  samples,
+		seed:     seed,
+	}, nil
+}
+
+// SizeEval is one candidate allocation size's expected outcome.
+type SizeEval struct {
+	Machines     int
+	Stats        EvictionStats
+	ExpectedWork float64 // machine-hours over the horizon, λ-adjusted
+}
+
+// Evaluate computes the expected machine-hours a k-machine allocation
+// produces over the horizon, given machines already in best-effort use:
+// it survives the horizon with probability 1−β or works until the median
+// revocation time, minus the λ disruption when revoked.
+func (ad *Advisor) Evaluate(otherBestEffort, k int) SizeEval {
+	threshold := ad.capacity - otherBestEffort - k
+	rng := rand.New(rand.NewSource(ad.seed + int64(k)*31 + int64(otherBestEffort)*1009))
+	stats := EstimateEviction(ad.load, threshold, ad.Horizon, ad.Samples, rng)
+	useful := (1-stats.Beta)*ad.Horizon.Hours() +
+		stats.Beta*(stats.MedianTTE.Hours()-ad.Lambda.Hours())
+	if useful < 0 {
+		useful = 0
+	}
+	return SizeEval{
+		Machines:     k,
+		Stats:        stats,
+		ExpectedWork: float64(k) * useful,
+	}
+}
+
+// BestSize picks the candidate maximizing expected work. Candidates
+// larger than the currently available capacity are skipped; returns nil
+// if nothing fits.
+func (ad *Advisor) BestSize(otherBestEffort, available int, candidates []int) *SizeEval {
+	var best *SizeEval
+	for _, k := range candidates {
+		if k <= 0 || k > available {
+			continue
+		}
+		ev := ad.Evaluate(otherBestEffort, k)
+		if best == nil || ev.ExpectedWork > best.ExpectedWork {
+			e := ev
+			best = &e
+		}
+	}
+	return best
+}

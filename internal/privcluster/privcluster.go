@@ -1,0 +1,427 @@
+// Package privcluster models the mixed-function corporate cluster of
+// §2.2: business-critical workloads have priority, and best-effort jobs
+// may use whatever capacity is left — until priority demand rises and the
+// scheduler takes machines back (YARN/Mesos-style revocable offers).
+//
+// It also implements §7's retargeting of BidBrain beyond AWS: "BidBrain
+// may perform reliability calculations by observing available resource
+// capacity, its dynamics over time, and the activity of higher-priority
+// jobs sharing the cluster. ... purchase cost may be the same constant
+// value for any best-effort allocation, but the expected work still
+// varies based on expected time to eviction." EstimateEviction derives β
+// and median time-to-eviction from a historical priority-load trace as a
+// function of the headroom an allocation leaves, and Advisor picks the
+// allocation size maximizing expected work per dollar of (constant-rate)
+// chargeback.
+package privcluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"proteus/internal/sim"
+)
+
+// LoadPoint is one sample of the priority workload's machine demand.
+type LoadPoint struct {
+	At       time.Duration
+	Machines int
+}
+
+// LoadTrace is the priority workload's demand over time, a step function
+// like the spot-price traces.
+type LoadTrace struct {
+	Points []LoadPoint
+}
+
+// Validate checks structural invariants.
+func (lt *LoadTrace) Validate() error {
+	if len(lt.Points) == 0 {
+		return fmt.Errorf("privcluster: empty load trace")
+	}
+	if lt.Points[0].At != 0 {
+		return fmt.Errorf("privcluster: first point at %v, want 0", lt.Points[0].At)
+	}
+	for i, p := range lt.Points {
+		if p.Machines < 0 {
+			return fmt.Errorf("privcluster: negative load at index %d", i)
+		}
+		if i > 0 && p.At <= lt.Points[i-1].At {
+			return fmt.Errorf("privcluster: non-increasing time at index %d", i)
+		}
+	}
+	return nil
+}
+
+// Duration reports the time of the last load change.
+func (lt *LoadTrace) Duration() time.Duration {
+	if len(lt.Points) == 0 {
+		return 0
+	}
+	return lt.Points[len(lt.Points)-1].At
+}
+
+// LoadAt returns the priority demand in effect at time t.
+func (lt *LoadTrace) LoadAt(t time.Duration) int {
+	i := sort.Search(len(lt.Points), func(i int) bool { return lt.Points[i].At > t })
+	if i == 0 {
+		return lt.Points[0].Machines
+	}
+	return lt.Points[i-1].Machines
+}
+
+// NextChange returns the first load change strictly after t.
+func (lt *LoadTrace) NextChange(t time.Duration) (time.Duration, bool) {
+	i := sort.Search(len(lt.Points), func(i int) bool { return lt.Points[i].At > t })
+	if i >= len(lt.Points) {
+		return 0, false
+	}
+	return lt.Points[i].At, true
+}
+
+// FirstExceeding returns the earliest time in [from, horizon] the load
+// strictly exceeds threshold, and false if it never does.
+func (lt *LoadTrace) FirstExceeding(threshold int, from, horizon time.Duration) (time.Duration, bool) {
+	if lt.LoadAt(from) > threshold {
+		return from, true
+	}
+	t := from
+	for {
+		next, ok := lt.NextChange(t)
+		if !ok || next > horizon {
+			return 0, false
+		}
+		if lt.LoadAt(next) > threshold {
+			return next, true
+		}
+		t = next
+	}
+}
+
+// GenConfig parameterizes the synthetic priority-load process: a diurnal
+// baseline (business-critical activity peaks during working hours, §2.2)
+// plus random bursts (deadline batch jobs).
+type GenConfig struct {
+	Capacity      int     // total machines in the cluster
+	BaseFraction  float64 // mean priority load as a fraction of capacity
+	DiurnalSwing  float64 // peak-to-trough swing as a fraction of capacity
+	BurstsPerDay  float64
+	BurstFraction float64       // burst height as a fraction of capacity
+	BurstDuration time.Duration // mean burst length
+	Step          time.Duration // sampling interval
+}
+
+// DefaultGenConfig returns a load pattern with clear day/night structure
+// and occasional bursts that squeeze best-effort capacity.
+func DefaultGenConfig(capacity int) GenConfig {
+	return GenConfig{
+		Capacity:      capacity,
+		BaseFraction:  0.55,
+		DiurnalSwing:  0.25,
+		BurstsPerDay:  2,
+		BurstFraction: 0.3,
+		BurstDuration: 40 * time.Minute,
+		Step:          5 * time.Minute,
+	}
+}
+
+// GenerateLoad produces a synthetic priority-load trace.
+func GenerateLoad(duration time.Duration, cfg GenConfig, rng *rand.Rand) *LoadTrace {
+	if cfg.Capacity <= 0 || cfg.Step <= 0 {
+		panic("privcluster: GenConfig needs positive Capacity and Step")
+	}
+	type burst struct {
+		start, end time.Duration
+		machines   int
+	}
+	var bursts []burst
+	days := duration.Hours() / 24
+	n := int(cfg.BurstsPerDay*days + 0.5)
+	for i := 0; i < n; i++ {
+		start := time.Duration(rng.Float64() * float64(duration))
+		length := time.Duration((0.5 + rng.ExpFloat64()) * float64(cfg.BurstDuration))
+		bursts = append(bursts, burst{
+			start:    start,
+			end:      start + length,
+			machines: int(cfg.BurstFraction * float64(cfg.Capacity) * (0.5 + rng.Float64())),
+		})
+	}
+
+	lt := &LoadTrace{}
+	prev := -1
+	for at := time.Duration(0); at <= duration; at += cfg.Step {
+		dayPhase := 2 * math.Pi * (at.Hours() / 24)
+		load := cfg.BaseFraction*float64(cfg.Capacity) +
+			cfg.DiurnalSwing*float64(cfg.Capacity)*0.5*math.Sin(dayPhase) +
+			float64(rng.Intn(3)-1)
+		for _, b := range bursts {
+			if at >= b.start && at < b.end {
+				load += float64(b.machines)
+			}
+		}
+		m := int(load)
+		if m < 0 {
+			m = 0
+		}
+		if m > cfg.Capacity {
+			m = cfg.Capacity
+		}
+		if m != prev {
+			lt.Points = append(lt.Points, LoadPoint{At: at, Machines: m})
+			prev = m
+		}
+	}
+	if len(lt.Points) == 0 || lt.Points[0].At != 0 {
+		lt.Points = append([]LoadPoint{{At: 0, Machines: int(cfg.BaseFraction * float64(cfg.Capacity))}}, lt.Points...)
+	}
+	return lt
+}
+
+// EvictionStats mirrors the spot-market β estimation for best-effort
+// allocations: the probability that the priority load reclaims machines
+// from an allocation leaving `headroom` free machines within the horizon,
+// and the median time until that happens.
+type EvictionStats struct {
+	Headroom  int
+	Beta      float64
+	MedianTTE time.Duration
+	Samples   int
+	Evicted   int
+}
+
+// EstimateEviction replays the historical load: at sampled start times,
+// an allocation that squeezes best-effort usage to `capacity − headroom`
+// is evicted when load exceeds headroom… i.e. when load > capacity −
+// usage. Here the threshold is expressed directly: eviction when
+// load(t) > threshold within the horizon.
+func EstimateEviction(lt *LoadTrace, threshold int, horizon time.Duration, samples int, rng *rand.Rand) EvictionStats {
+	if samples <= 0 {
+		panic("privcluster: samples must be positive")
+	}
+	maxStart := lt.Duration() - horizon
+	if maxStart <= 0 {
+		maxStart = 1
+	}
+	stats := EvictionStats{Headroom: threshold, Samples: samples}
+	var ttes []float64
+	for i := 0; i < samples; i++ {
+		start := time.Duration(rng.Int63n(int64(maxStart)))
+		at, evicted := lt.FirstExceeding(threshold, start, start+horizon)
+		if evicted {
+			stats.Evicted++
+			ttes = append(ttes, float64(at-start))
+		}
+	}
+	stats.Beta = float64(stats.Evicted) / float64(stats.Samples)
+	if len(ttes) > 0 {
+		sort.Float64s(ttes)
+		stats.MedianTTE = time.Duration(ttes[len(ttes)/2])
+	} else {
+		stats.MedianTTE = horizon
+	}
+	return stats
+}
+
+// AllocationID identifies a best-effort allocation.
+type AllocationID int
+
+// Allocation is a set of best-effort machines granted together.
+type Allocation struct {
+	ID        AllocationID
+	Machines  int
+	StartedAt time.Duration
+
+	evicted  bool
+	released bool
+	endedAt  time.Duration
+}
+
+// Active reports whether the allocation still holds its machines.
+func (a *Allocation) Active() bool { return !a.evicted && !a.released }
+
+// Evicted reports whether the scheduler reclaimed the machines.
+func (a *Allocation) Evicted() bool { return a.evicted }
+
+// EndedAt reports when the allocation stopped; zero while active.
+func (a *Allocation) EndedAt() time.Duration { return a.endedAt }
+
+// Handler receives revocation notices.
+type Handler interface {
+	// Revoked fires when the scheduler takes the allocation back.
+	Revoked(a *Allocation)
+}
+
+type nopHandler struct{}
+
+func (nopHandler) Revoked(*Allocation) {}
+
+// Cluster simulates the best-effort side of a shared corporate cluster.
+type Cluster struct {
+	Engine   *sim.Engine
+	Capacity int
+	load     *LoadTrace
+	handler  Handler
+	// ChargeRate is the internal chargeback in dollars per machine-hour;
+	// constant for all best-effort allocations (§7).
+	ChargeRate float64
+
+	nextID  AllocationID
+	allocs  map[AllocationID]*Allocation
+	order   []AllocationID // grant order; newest evicted first
+	checkEv *sim.Event
+	usageH  float64
+}
+
+// NewCluster creates a best-effort cluster over a priority-load history.
+func NewCluster(eng *sim.Engine, capacity int, load *LoadTrace, chargeRate float64) (*Cluster, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("privcluster: nil engine")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("privcluster: capacity %d must be positive", capacity)
+	}
+	if load == nil {
+		return nil, fmt.Errorf("privcluster: nil load trace")
+	}
+	if err := load.Validate(); err != nil {
+		return nil, err
+	}
+	if chargeRate < 0 {
+		return nil, fmt.Errorf("privcluster: negative charge rate")
+	}
+	return &Cluster{
+		Engine:     eng,
+		Capacity:   capacity,
+		load:       load,
+		handler:    nopHandler{},
+		ChargeRate: chargeRate,
+		allocs:     make(map[AllocationID]*Allocation),
+	}, nil
+}
+
+// SetHandler installs the revocation handler.
+func (c *Cluster) SetHandler(h Handler) {
+	if h == nil {
+		h = nopHandler{}
+	}
+	c.handler = h
+}
+
+// BestEffortInUse reports machines currently held by best-effort
+// allocations.
+func (c *Cluster) BestEffortInUse() int {
+	total := 0
+	for _, a := range c.allocs {
+		if a.Active() {
+			total += a.Machines
+		}
+	}
+	return total
+}
+
+// Available reports machines free for new best-effort work right now.
+func (c *Cluster) Available() int {
+	return c.Capacity - c.load.LoadAt(c.Engine.Now()) - c.BestEffortInUse()
+}
+
+// Request grants a best-effort allocation if capacity allows.
+func (c *Cluster) Request(machines int) (*Allocation, error) {
+	if machines <= 0 {
+		return nil, fmt.Errorf("privcluster: machines %d must be positive", machines)
+	}
+	if machines > c.Available() {
+		return nil, fmt.Errorf("privcluster: %w: want %d, available %d", ErrNoCapacity, machines, c.Available())
+	}
+	a := &Allocation{ID: c.nextID, Machines: machines, StartedAt: c.Engine.Now()}
+	c.nextID++
+	c.allocs[a.ID] = a
+	c.order = append(c.order, a.ID)
+	c.reschedule()
+	return a, nil
+}
+
+// ErrNoCapacity reports a request exceeding free capacity.
+var ErrNoCapacity = fmt.Errorf("insufficient best-effort capacity")
+
+// Release returns an allocation's machines voluntarily.
+func (c *Cluster) Release(a *Allocation) error {
+	if !a.Active() {
+		return fmt.Errorf("privcluster: release of inactive allocation %d", a.ID)
+	}
+	c.settle(a)
+	a.released = true
+	a.endedAt = c.Engine.Now()
+	c.reschedule()
+	return nil
+}
+
+// UsageMachineHours reports total best-effort machine-hours consumed.
+func (c *Cluster) UsageMachineHours() float64 {
+	total := c.usageH
+	now := c.Engine.Now()
+	for _, a := range c.allocs {
+		if a.Active() {
+			total += (now - a.StartedAt).Hours() * float64(a.Machines)
+		}
+	}
+	return total
+}
+
+// TotalCost reports chargeback dollars for consumed machine-hours.
+func (c *Cluster) TotalCost() float64 {
+	return c.UsageMachineHours() * c.ChargeRate
+}
+
+func (c *Cluster) settle(a *Allocation) {
+	c.usageH += (c.Engine.Now() - a.StartedAt).Hours() * float64(a.Machines)
+}
+
+// reschedule arranges the next revocation check: the first future time
+// the priority load no longer fits alongside current best-effort usage.
+func (c *Cluster) reschedule() {
+	if c.checkEv != nil {
+		c.checkEv.Cancel()
+		c.checkEv = nil
+	}
+	inUse := c.BestEffortInUse()
+	if inUse == 0 {
+		return
+	}
+	threshold := c.Capacity - inUse
+	at, found := c.load.FirstExceeding(threshold, c.Engine.Now(), c.load.Duration())
+	if !found {
+		return
+	}
+	if at <= c.Engine.Now() {
+		c.revokeUntilFits()
+		return
+	}
+	c.checkEv = c.Engine.At(at, "privcluster.revoke", func() { c.revokeUntilFits() })
+}
+
+// revokeUntilFits evicts best-effort allocations, newest first, until the
+// priority load fits.
+func (c *Cluster) revokeUntilFits() {
+	load := c.load.LoadAt(c.Engine.Now())
+	for c.Capacity-load < c.BestEffortInUse() {
+		var victim *Allocation
+		for i := len(c.order) - 1; i >= 0; i-- {
+			a := c.allocs[c.order[i]]
+			if a.Active() {
+				victim = a
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		c.settle(victim)
+		victim.evicted = true
+		victim.endedAt = c.Engine.Now()
+		c.handler.Revoked(victim)
+	}
+	c.reschedule()
+}

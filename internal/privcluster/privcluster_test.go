@@ -1,0 +1,288 @@
+package privcluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"proteus/internal/sim"
+)
+
+func flatLoad(machines int, horizon time.Duration) *LoadTrace {
+	return &LoadTrace{Points: []LoadPoint{
+		{At: 0, Machines: machines},
+		{At: horizon, Machines: machines},
+	}}
+}
+
+func stepLoad(points ...LoadPoint) *LoadTrace { return &LoadTrace{Points: points} }
+
+func TestLoadTraceValidate(t *testing.T) {
+	if err := flatLoad(10, time.Hour).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*LoadTrace{
+		{},
+		stepLoad(LoadPoint{At: time.Minute, Machines: 1}),
+		stepLoad(LoadPoint{At: 0, Machines: -1}),
+		stepLoad(LoadPoint{At: 0, Machines: 1}, LoadPoint{At: 0, Machines: 2}),
+	}
+	for i, lt := range bad {
+		if err := lt.Validate(); err == nil {
+			t.Errorf("case %d: invalid trace accepted", i)
+		}
+	}
+}
+
+func TestLoadAtAndFirstExceeding(t *testing.T) {
+	lt := stepLoad(
+		LoadPoint{At: 0, Machines: 10},
+		LoadPoint{At: time.Hour, Machines: 50},
+		LoadPoint{At: 2 * time.Hour, Machines: 10},
+	)
+	if lt.LoadAt(30*time.Minute) != 10 || lt.LoadAt(90*time.Minute) != 50 {
+		t.Fatal("LoadAt wrong")
+	}
+	at, ok := lt.FirstExceeding(20, 0, 3*time.Hour)
+	if !ok || at != time.Hour {
+		t.Fatalf("FirstExceeding = %v,%v", at, ok)
+	}
+	if _, ok := lt.FirstExceeding(60, 0, 3*time.Hour); ok {
+		t.Fatal("exceeded a threshold above max load")
+	}
+	if _, ok := lt.FirstExceeding(20, 0, 30*time.Minute); ok {
+		t.Fatal("exceeded beyond horizon")
+	}
+	// Already above at start.
+	at, ok = lt.FirstExceeding(20, 90*time.Minute, 3*time.Hour)
+	if !ok || at != 90*time.Minute {
+		t.Fatalf("immediate exceed = %v,%v", at, ok)
+	}
+}
+
+func TestGenerateLoadShape(t *testing.T) {
+	cfg := DefaultGenConfig(100)
+	lt := GenerateLoad(7*24*time.Hour, cfg, rand.New(rand.NewSource(3)))
+	if err := lt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Load stays within [0, capacity] and actually varies.
+	min, max := 1<<30, -1
+	for _, p := range lt.Points {
+		if p.Machines < 0 || p.Machines > 100 {
+			t.Fatalf("load %d out of range", p.Machines)
+		}
+		if p.Machines < min {
+			min = p.Machines
+		}
+		if p.Machines > max {
+			max = p.Machines
+		}
+	}
+	if max-min < 20 {
+		t.Fatalf("load barely varies: [%d, %d]", min, max)
+	}
+}
+
+func newTestCluster(t *testing.T, capacity int, lt *LoadTrace) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := NewCluster(eng, capacity, lt, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func TestClusterValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	lt := flatLoad(1, time.Hour)
+	if _, err := NewCluster(nil, 10, lt, 0); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewCluster(eng, 0, lt, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewCluster(eng, 10, nil, 0); err == nil {
+		t.Fatal("nil load accepted")
+	}
+	if _, err := NewCluster(eng, 10, lt, -1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestRequestAndAvailability(t *testing.T) {
+	_, c := newTestCluster(t, 100, flatLoad(60, 10*time.Hour))
+	if c.Available() != 40 {
+		t.Fatalf("Available = %d, want 40", c.Available())
+	}
+	a, err := c.Request(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Available() != 10 {
+		t.Fatalf("Available = %d, want 10", c.Available())
+	}
+	if _, err := c.Request(20); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("over-request err = %v", err)
+	}
+	if err := c.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if c.Available() != 40 {
+		t.Fatalf("Available after release = %d", c.Available())
+	}
+	if err := c.Release(a); err == nil {
+		t.Fatal("double release accepted")
+	}
+	if _, err := c.Request(0); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+}
+
+type revocations struct{ ids []AllocationID }
+
+func (r *revocations) Revoked(a *Allocation) { r.ids = append(r.ids, a.ID) }
+
+func TestRevocationNewestFirst(t *testing.T) {
+	lt := stepLoad(
+		LoadPoint{At: 0, Machines: 40},
+		LoadPoint{At: time.Hour, Machines: 75}, // squeezes best effort to 25
+		LoadPoint{At: 5 * time.Hour, Machines: 40},
+	)
+	eng, c := newTestCluster(t, 100, lt)
+	rec := &revocations{}
+	c.SetHandler(rec)
+
+	oldA, _ := c.Request(25) // fits after the squeeze
+	newB, _ := c.Request(30) // must be the victim
+	eng.RunUntil(2 * time.Hour)
+
+	if len(rec.ids) != 1 || rec.ids[0] != newB.ID {
+		t.Fatalf("revoked = %v, want just the newest (%d)", rec.ids, newB.ID)
+	}
+	if !oldA.Active() || newB.Active() {
+		t.Fatalf("states: old active=%v, new active=%v", oldA.Active(), newB.Active())
+	}
+	if !newB.Evicted() || newB.EndedAt() != time.Hour {
+		t.Fatalf("victim: evicted=%v endedAt=%v", newB.Evicted(), newB.EndedAt())
+	}
+}
+
+func TestRevocationCascades(t *testing.T) {
+	lt := stepLoad(
+		LoadPoint{At: 0, Machines: 10},
+		LoadPoint{At: time.Hour, Machines: 95},
+		LoadPoint{At: 5 * time.Hour, Machines: 10},
+	)
+	eng, c := newTestCluster(t, 100, lt)
+	rec := &revocations{}
+	c.SetHandler(rec)
+	c.Request(40)
+	c.Request(40)
+	eng.RunUntil(2 * time.Hour)
+	// 95 load leaves 5: both allocations must go.
+	if len(rec.ids) != 2 {
+		t.Fatalf("revoked %d allocations, want 2", len(rec.ids))
+	}
+	if c.BestEffortInUse() != 0 {
+		t.Fatalf("in use = %d after cascade", c.BestEffortInUse())
+	}
+}
+
+func TestRequestAfterLoadDropsSucceeds(t *testing.T) {
+	lt := stepLoad(
+		LoadPoint{At: 0, Machines: 90},
+		LoadPoint{At: time.Hour, Machines: 20},
+		LoadPoint{At: 5 * time.Hour, Machines: 20},
+	)
+	eng, c := newTestCluster(t, 100, lt)
+	if _, err := c.Request(30); err == nil {
+		t.Fatal("request should fail at high load")
+	}
+	eng.RunUntil(90 * time.Minute)
+	if _, err := c.Request(30); err != nil {
+		t.Fatalf("request after load drop: %v", err)
+	}
+}
+
+func TestUsageAndCostAccounting(t *testing.T) {
+	eng, c := newTestCluster(t, 100, flatLoad(10, 24*time.Hour))
+	a, _ := c.Request(10)
+	eng.RunUntil(2 * time.Hour)
+	if got := c.UsageMachineHours(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("usage = %v, want 20", got)
+	}
+	c.Release(a)
+	eng.RunUntil(5 * time.Hour)
+	if got := c.UsageMachineHours(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("usage after release = %v", got)
+	}
+	if got := c.TotalCost(); math.Abs(got-0.4) > 1e-9 { // 20 h × $0.02
+		t.Fatalf("cost = %v, want 0.4", got)
+	}
+}
+
+func TestEstimateEvictionMonotoneInThreshold(t *testing.T) {
+	lt := GenerateLoad(14*24*time.Hour, DefaultGenConfig(100), rand.New(rand.NewSource(8)))
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(1))
+	tight := EstimateEviction(lt, 60, 4*time.Hour, 400, rngA) // load > 60 often
+	loose := EstimateEviction(lt, 95, 4*time.Hour, 400, rngB) // load > 95 rare
+	if tight.Beta <= loose.Beta {
+		t.Fatalf("beta(60)=%v <= beta(95)=%v", tight.Beta, loose.Beta)
+	}
+	if tight.Beta <= 0 {
+		t.Fatal("tight threshold never evicted over two weeks")
+	}
+}
+
+func TestAdvisorPrefersSurvivableSize(t *testing.T) {
+	// Diurnal + bursty load on 100 machines: claiming every last machine
+	// invites near-immediate revocation; the advisor should prefer a
+	// size that leaves real headroom yet still does more expected work
+	// than a tiny claim.
+	lt := GenerateLoad(14*24*time.Hour, DefaultGenConfig(100), rand.New(rand.NewSource(4)))
+	ad, err := NewAdvisor(lt, 100, 4*time.Hour, 5*time.Minute, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ~55% mean load, ~45 machines are nominally free. Candidates:
+	best := ad.BestSize(0, 45, []int{5, 15, 30, 45})
+	if best == nil {
+		t.Fatal("no candidate fits")
+	}
+	all := ad.Evaluate(0, 45)
+	tiny := ad.Evaluate(0, 5)
+	if best.ExpectedWork < all.ExpectedWork && best.ExpectedWork < tiny.ExpectedWork {
+		t.Fatalf("best (%d machines, %v work) worse than both extremes", best.Machines, best.ExpectedWork)
+	}
+	// The max-claim candidate must show materially higher revocation risk
+	// than a half-size claim — that is the dynamic §7 describes.
+	half := ad.Evaluate(0, 22)
+	if all.Stats.Beta <= half.Stats.Beta {
+		t.Fatalf("beta(all)=%v <= beta(half)=%v", all.Stats.Beta, half.Stats.Beta)
+	}
+}
+
+func TestAdvisorValidation(t *testing.T) {
+	lt := flatLoad(1, time.Hour)
+	if _, err := NewAdvisor(nil, 10, time.Hour, 0, 10, 1); err == nil {
+		t.Fatal("nil load accepted")
+	}
+	if _, err := NewAdvisor(lt, 0, time.Hour, 0, 10, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewAdvisor(lt, 10, 0, 0, 10, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := NewAdvisor(lt, 10, time.Hour, -time.Second, 10, 1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	ad, _ := NewAdvisor(lt, 10, time.Hour, 0, 10, 1)
+	if got := ad.BestSize(0, 5, []int{7, 9}); got != nil {
+		t.Fatalf("oversized candidates accepted: %+v", got)
+	}
+}

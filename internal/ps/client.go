@@ -1,0 +1,189 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Client is the worker-side library (§2.1): it caches parameter values,
+// buffers updates locally, and write-back flushes them to the owning
+// servers at each clock boundary. Reads are served from the cache when the
+// cached copy is fresh within the staleness bound; a worker always sees
+// its own buffered updates (read-my-writes).
+//
+// A Client belongs to one worker thread and is not safe for concurrent
+// use, matching the per-thread cache design of parameter-server systems.
+type Client struct {
+	worker    string
+	router    *Router
+	staleness int
+
+	clock   int
+	cache   map[Key]cachedRow
+	updates map[Key][]float32
+
+	mu       sync.Mutex // guards clock reset from the controller goroutine
+	resetTo  int
+	hasReset bool
+}
+
+type cachedRow struct {
+	value []float32
+	clock int // worker clock at fetch time
+}
+
+// NewClient registers a worker with the job's clock tracker and returns
+// its cache. Staleness is the SSP bound: cached rows fetched within that
+// many clocks are served locally without contacting the server.
+func NewClient(worker string, router *Router, staleness int) *Client {
+	return NewClientAt(worker, router, staleness, 0)
+}
+
+// NewClientAt creates a client whose clock starts at startClock — for
+// workers joining a job already in progress.
+func NewClientAt(worker string, router *Router, staleness, startClock int) *Client {
+	if staleness < 0 {
+		panic("ps: staleness must be non-negative")
+	}
+	if startClock < 0 {
+		panic("ps: startClock must be non-negative")
+	}
+	router.Clocks().RegisterAt(worker, startClock)
+	return &Client{
+		worker:    worker,
+		router:    router,
+		staleness: staleness,
+		clock:     startClock,
+		cache:     make(map[Key]cachedRow),
+		updates:   make(map[Key][]float32),
+	}
+}
+
+// Worker returns the owning worker's name.
+func (c *Client) Worker() string { return c.worker }
+
+// ClockValue returns the worker's current clock.
+func (c *Client) ClockValue() int { return c.clock }
+
+// Read returns the row value as seen by this worker: the cached or fetched
+// server value plus any updates the worker has buffered locally.
+func (c *Client) Read(table, row uint32) ([]float32, error) {
+	k := MakeKey(table, row)
+	cr, ok := c.cache[k]
+	if !ok || c.clock-cr.clock > c.staleness {
+		part := c.router.PartitionFor(k)
+		owner, err := c.router.Owner(part)
+		if err != nil {
+			return nil, err
+		}
+		val, err := owner.Read(part, k)
+		if err != nil {
+			return nil, err
+		}
+		cr = cachedRow{value: val, clock: c.clock}
+		c.cache[k] = cr
+	}
+	out := CloneRow(cr.value)
+	if pending, ok := c.updates[k]; ok {
+		AddTo(out, pending)
+	}
+	return out, nil
+}
+
+// Update buffers a delta against the row. The delta is visible to this
+// worker's subsequent reads immediately and reaches the servers at the
+// next Clock call.
+func (c *Client) Update(table, row uint32, delta []float32) {
+	k := MakeKey(table, row)
+	agg, ok := c.updates[k]
+	if !ok {
+		c.updates[k] = CloneRow(delta)
+		return
+	}
+	AddTo(agg, delta)
+}
+
+// PendingUpdates reports how many rows have buffered updates.
+func (c *Client) PendingUpdates() int { return len(c.updates) }
+
+// Clock flushes buffered updates to the partition owners, advances the
+// worker's clock, and reports it to the tracker. The flush groups updates
+// by partition so each owner receives one batch (§2.1: updates are sent
+// to the appropriate shards each iteration).
+func (c *Client) Clock() error {
+	if c.takeReset() {
+		// A rollback recovery reset this worker; buffered updates from the
+		// abandoned iteration must not reach the servers.
+		c.updates = make(map[Key][]float32)
+		c.cache = make(map[Key]cachedRow)
+	}
+	next := c.clock + 1
+	byPartition := make(map[PartitionID]map[Key][]float32)
+	for k, d := range c.updates {
+		part := c.router.PartitionFor(k)
+		batch, ok := byPartition[part]
+		if !ok {
+			batch = make(map[Key][]float32)
+			byPartition[part] = batch
+		}
+		batch[k] = d
+	}
+	for part, batch := range byPartition {
+		owner, err := c.router.Owner(part)
+		if err != nil {
+			return err
+		}
+		if err := owner.ApplyBatch(part, batch, next); err != nil {
+			return err
+		}
+	}
+	c.updates = make(map[Key][]float32)
+	c.clock = next
+	return c.router.Clocks().Advance(c.worker, next)
+}
+
+// ResetClock schedules the worker to restart from the given clock at its
+// next Clock call — the rollback-recovery path where workers "re-do the
+// work lost in the roll-back" (§3.3). Safe to call from the controller
+// goroutine while the worker runs.
+func (c *Client) ResetClock(to int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetTo = to
+	c.hasReset = true
+}
+
+func (c *Client) takeReset() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.hasReset {
+		return false
+	}
+	c.clock = c.resetTo
+	c.hasReset = false
+	return true
+}
+
+// Invalidate drops the read cache (after ownership moves the cache may
+// hold rows from a server that no longer owns them; values are still
+// correct copies, but tests use this for a clean refetch).
+func (c *Client) Invalidate() {
+	c.cache = make(map[Key]cachedRow)
+}
+
+// Close unregisters the worker from the clock tracker.
+func (c *Client) Close() {
+	c.router.Clocks().Unregister(c.worker)
+}
+
+// InitRow installs an initial row value on the owning server, routing by
+// key. Applications call this during setup, before workers start.
+func InitRow(router *Router, table, row uint32, value []float32) error {
+	k := MakeKey(table, row)
+	part := router.PartitionFor(k)
+	owner, err := router.Owner(part)
+	if err != nil {
+		return fmt.Errorf("ps: init row %d/%d: %w", table, row, err)
+	}
+	return owner.Init(part, k, value)
+}

@@ -1,0 +1,255 @@
+package ps
+
+import (
+	"testing"
+)
+
+// testJob wires a router with one ParamServ owning all partitions and
+// initializes `rows` zero rows in table 0.
+func testJob(t *testing.T, partitions int, rows uint32, staleness int) (*Router, *Server, *Client) {
+	t.Helper()
+	router := NewRouter(partitions)
+	srv := NewServer("srv", ParamServ)
+	for p := 0; p < partitions; p++ {
+		if err := srv.AddPartition(NewPartition(PartitionID(p))); err != nil {
+			t.Fatal(err)
+		}
+		router.SetOwner(PartitionID(p), srv)
+	}
+	for r := uint32(0); r < rows; r++ {
+		if err := InitRow(router, 0, r, []float32{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := NewClient("w0", router, 1)
+	_ = staleness
+	return router, srv, cl
+}
+
+func TestClientReadMyWrites(t *testing.T) {
+	_, _, cl := testJob(t, 4, 8, 1)
+	defer cl.Close()
+	cl.Update(0, 3, []float32{5, 0})
+	row, err := cl.Read(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 5 {
+		t.Fatalf("read-my-writes failed: %v", row)
+	}
+	// Buffered update not yet on the server.
+	if cl.PendingUpdates() != 1 {
+		t.Fatalf("PendingUpdates = %d", cl.PendingUpdates())
+	}
+}
+
+func TestClientClockFlushes(t *testing.T) {
+	router, srv, cl := testJob(t, 4, 8, 1)
+	defer cl.Close()
+	cl.Update(0, 1, []float32{1, 2})
+	cl.Update(0, 1, []float32{1, 0}) // aggregates locally
+	cl.Update(0, 2, []float32{7, 7})
+	if err := cl.Clock(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PendingUpdates() != 0 {
+		t.Fatal("updates not cleared after Clock")
+	}
+	if cl.ClockValue() != 1 {
+		t.Fatalf("clock = %d", cl.ClockValue())
+	}
+	// Server state reflects the aggregate.
+	k := MakeKey(0, 1)
+	part := router.PartitionFor(k)
+	row, err := srv.Read(part, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 2 || row[1] != 2 {
+		t.Fatalf("server row = %v", row)
+	}
+	if router.Clocks().Min() != 1 {
+		t.Fatalf("tracker min = %d", router.Clocks().Min())
+	}
+}
+
+func TestClientStalenessCaching(t *testing.T) {
+	router, srv, cl := testJob(t, 2, 4, 1)
+	defer cl.Close()
+	// First read populates cache.
+	if _, err := cl.Read(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Server-side change invisible while within staleness bound.
+	k := MakeKey(0, 0)
+	part := router.PartitionFor(k)
+	srv.ApplyBatch(part, map[Key][]float32{k: {9, 9}}, 1)
+	row, _ := cl.Read(0, 0)
+	if row[0] != 0 {
+		t.Fatalf("cache bypassed within staleness bound: %v", row)
+	}
+	// After advancing beyond the staleness bound, the read refetches.
+	cl.Clock()
+	cl.Clock()
+	row, _ = cl.Read(0, 0)
+	if row[0] != 9 {
+		t.Fatalf("stale row served beyond bound: %v", row)
+	}
+}
+
+func TestClientInvalidate(t *testing.T) {
+	router, srv, cl := testJob(t, 2, 4, 1)
+	defer cl.Close()
+	cl.Read(0, 0)
+	k := MakeKey(0, 0)
+	srv.ApplyBatch(router.PartitionFor(k), map[Key][]float32{k: {3, 0}}, 1)
+	cl.Invalidate()
+	row, _ := cl.Read(0, 0)
+	if row[0] != 3 {
+		t.Fatalf("invalidate did not force refetch: %v", row)
+	}
+}
+
+func TestClientResetClockDropsBufferedWork(t *testing.T) {
+	router, srv, cl := testJob(t, 2, 4, 1)
+	defer cl.Close()
+	cl.Clock()
+	cl.Clock() // clock = 2
+	cl.Update(0, 0, []float32{100, 0})
+	// Rollback recovery: the controller resets the tracker and each client.
+	router.Clocks().ResetAll(0)
+	cl.ResetClock(0)
+	if err := cl.Clock(); err != nil {
+		t.Fatal(err)
+	}
+	// The buffered update from the abandoned iteration must be gone.
+	k := MakeKey(0, 0)
+	row, _ := srv.Read(router.PartitionFor(k), k)
+	if row[0] != 0 {
+		t.Fatalf("abandoned update reached server: %v", row)
+	}
+	if cl.ClockValue() != 1 {
+		t.Fatalf("clock after reset+Clock = %d, want 1", cl.ClockValue())
+	}
+}
+
+func TestClientMultiWorkerMinClock(t *testing.T) {
+	router, _, cl := testJob(t, 2, 4, 1)
+	defer cl.Close()
+	c2 := NewClient("w1", router, 1)
+	cl.Clock()
+	cl.Clock()
+	c2.Clock()
+	if min := router.Clocks().Min(); min != 1 {
+		t.Fatalf("min = %d, want 1 (slowest worker)", min)
+	}
+	c2.Close()
+	if min := router.Clocks().Min(); min != 2 {
+		t.Fatalf("min after unregister = %d, want 2", min)
+	}
+}
+
+func TestClientReadErrorsWithoutOwner(t *testing.T) {
+	router := NewRouter(2)
+	cl := NewClient("w0", router, 0)
+	defer cl.Close()
+	if _, err := cl.Read(0, 0); err == nil {
+		t.Fatal("read with no owner accepted")
+	}
+	cl.Update(0, 0, []float32{1})
+	if err := cl.Clock(); err == nil {
+		t.Fatal("flush with no owner accepted")
+	}
+}
+
+func TestRouterOwnershipSwap(t *testing.T) {
+	router, srv, cl := testJob(t, 2, 4, 1)
+	defer cl.Close()
+	// Move partition 0 to a new server; client follows automatically.
+	newSrv := NewServer("srv2", ParamServ)
+	snap, err := srv.SnapshotPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSrv.InstallSnapshot(snap)
+	router.SetOwner(0, newSrv)
+	cl.Invalidate()
+
+	// Find a key in partition 0 and read through the new owner.
+	for r := uint32(0); r < 4; r++ {
+		if router.PartitionFor(MakeKey(0, r)) == 0 {
+			if _, err := cl.Read(0, r); err != nil {
+				t.Fatalf("read after ownership swap: %v", err)
+			}
+			return
+		}
+	}
+	t.Skip("no key landed in partition 0")
+}
+
+func TestClockTrackerBasics(t *testing.T) {
+	ct := NewClockTracker()
+	if ct.Min() != 0 || ct.NumWorkers() != 0 {
+		t.Fatal("empty tracker wrong")
+	}
+	ct.Register("a")
+	ct.Register("b")
+	if err := ct.Advance("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Min() != 0 {
+		t.Fatalf("Min = %d, want 0", ct.Min())
+	}
+	if err := ct.Advance("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Min() != 2 {
+		t.Fatalf("Min = %d, want 2", ct.Min())
+	}
+	if err := ct.Advance("a", 1); err == nil {
+		t.Fatal("clock regression accepted")
+	}
+	if err := ct.Advance("ghost", 1); err == nil {
+		t.Fatal("unregistered advance accepted")
+	}
+	ct.ResetAll(1)
+	if ct.Min() != 1 {
+		t.Fatalf("Min after ResetAll = %d", ct.Min())
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero partitions did not panic")
+		}
+	}()
+	NewRouter(0)
+}
+
+func TestNegativeStalenessPanics(t *testing.T) {
+	router := NewRouter(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative staleness did not panic")
+		}
+	}()
+	NewClient("w", router, -1)
+}
+
+func TestRouterOwnersSnapshot(t *testing.T) {
+	router := NewRouter(3)
+	s := NewServer("s", ParamServ)
+	router.SetOwner(1, s)
+	snap := router.OwnersSnapshot()
+	if snap[0] != nil || snap[1] != s || snap[2] != nil {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if _, err := router.Owner(0); err == nil {
+		t.Fatal("ownerless partition lookup accepted")
+	}
+	router.SetBackup(2, s)
+	if router.Backup(2) != s || router.Backup(0) != nil {
+		t.Fatal("backup mapping wrong")
+	}
+}

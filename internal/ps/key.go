@@ -1,0 +1,37 @@
+package ps
+
+// Key identifies one row of one table in the shared model state. The high
+// 32 bits carry the table id and the low 32 bits the row index, so one key
+// space spans every table an application registers.
+type Key uint64
+
+// MakeKey composes a key from a table id and a row index.
+func MakeKey(table, row uint32) Key {
+	return Key(uint64(table)<<32 | uint64(row))
+}
+
+// Table extracts the table id.
+func (k Key) Table() uint32 { return uint32(k >> 32) }
+
+// Row extracts the row index.
+func (k Key) Row() uint32 { return uint32(k) }
+
+// PartitionID names one partition of the model state. Partition count is
+// fixed at start-up (§3.3: N partitions, N chosen as half the maximum
+// resource count), so elasticity reassigns partitions instead of
+// re-sharding keys.
+type PartitionID int
+
+// PartitionOf maps a key to its partition among n partitions. The mapping
+// never changes during a job; only partition ownership moves.
+func PartitionOf(k Key, n int) PartitionID {
+	if n <= 0 {
+		panic("ps: partition count must be positive")
+	}
+	// Mix table and row so consecutive rows spread across partitions.
+	h := uint64(k)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return PartitionID(h % uint64(n))
+}

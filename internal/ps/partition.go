@@ -1,0 +1,248 @@
+package ps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition holds the rows of one partition of the model state plus the
+// per-clock delta log an ActivePS needs to stream updates to its BackupPS
+// and to roll back to a consistent state after failures (§3.3).
+//
+// Partitions are not safe for concurrent use on their own; the owning
+// Server serializes access.
+type Partition struct {
+	ID   PartitionID
+	rows map[Key][]float32
+
+	// clock is the latest worker clock whose updates are reflected in rows.
+	clock int
+	// flushedClock is the latest clock pushed to the backup. Deltas for
+	// clocks in (flushedClock, clock] are retained in the log.
+	flushedClock int
+	// log holds the aggregate delta applied at each clock not yet flushed.
+	log map[int]map[Key][]float32
+}
+
+// NewPartition returns an empty partition.
+func NewPartition(id PartitionID) *Partition {
+	return &Partition{
+		ID:   id,
+		rows: make(map[Key][]float32),
+		log:  make(map[int]map[Key][]float32),
+	}
+}
+
+// Clock reports the latest clock reflected in the partition's rows.
+func (p *Partition) Clock() int { return p.clock }
+
+// FlushedClock reports the latest clock pushed to the backup.
+func (p *Partition) FlushedClock() int { return p.flushedClock }
+
+// NumRows reports how many rows the partition holds.
+func (p *Partition) NumRows() int { return len(p.rows) }
+
+// Init installs an initial row value at clock 0, replacing any previous.
+func (p *Partition) Init(k Key, row []float32) {
+	p.rows[k] = CloneRow(row)
+}
+
+// Get returns a copy of the row, or nil if absent.
+func (p *Partition) Get(k Key) []float32 {
+	row, ok := p.rows[k]
+	if !ok {
+		return nil
+	}
+	return CloneRow(row)
+}
+
+// Apply adds delta to the row at the given clock, creating the row as
+// zeros if absent. When logged is true the delta is also recorded in the
+// per-clock log (ActivePS role) so it can be flushed or rolled back.
+// Clocks must not regress below the flushed clock.
+func (p *Partition) Apply(k Key, delta []float32, clock int, logged bool) error {
+	if clock <= p.flushedClock && logged {
+		return fmt.Errorf("ps: update at clock %d already flushed (flushedClock %d)", clock, p.flushedClock)
+	}
+	row, ok := p.rows[k]
+	if !ok {
+		row = make([]float32, len(delta))
+		p.rows[k] = row
+	}
+	AddTo(row, delta)
+	if clock > p.clock {
+		p.clock = clock
+	}
+	if logged {
+		bucket, ok := p.log[clock]
+		if !ok {
+			bucket = make(map[Key][]float32)
+			p.log[clock] = bucket
+		}
+		agg, ok := bucket[k]
+		if !ok {
+			bucket[k] = CloneRow(delta)
+		} else {
+			AddTo(agg, delta)
+		}
+	}
+	return nil
+}
+
+// MarkFlushed declares the current row state safe on the backup without a
+// delta transfer, advancing flushedClock to the partition clock and
+// discarding the delta log. Used when the backup copy is created from a
+// snapshot of this exact state (the stage 1→2 transition).
+func (p *Partition) MarkFlushed() {
+	p.flushedClock = p.clock
+	p.log = make(map[int]map[Key][]float32)
+}
+
+// CollectFlush aggregates and removes all logged deltas with clock ≤ upTo,
+// advancing flushedClock. The returned map is what the ActivePS streams to
+// its BackupPS. A nil map means nothing to flush.
+func (p *Partition) CollectFlush(upTo int) map[Key][]float32 {
+	if upTo <= p.flushedClock {
+		return nil
+	}
+	var out map[Key][]float32
+	var clocks []int
+	for c := range p.log {
+		if c <= upTo {
+			clocks = append(clocks, c)
+		}
+	}
+	sort.Ints(clocks)
+	for _, c := range clocks {
+		for k, d := range p.log[c] {
+			if out == nil {
+				out = make(map[Key][]float32)
+			}
+			agg, ok := out[k]
+			if !ok {
+				out[k] = CloneRow(d)
+			} else {
+				AddTo(agg, d)
+			}
+		}
+		delete(p.log, c)
+	}
+	p.flushedClock = upTo
+	return out
+}
+
+// ApplyBackup merges a flushed delta batch into a backup partition,
+// advancing both clock and flushedClock to upTo: a backup is by definition
+// flushed through everything it has applied.
+func (p *Partition) ApplyBackup(delta map[Key][]float32, upTo int) error {
+	if upTo < p.clock {
+		return fmt.Errorf("ps: backup apply at clock %d behind partition clock %d", upTo, p.clock)
+	}
+	for k, d := range delta {
+		row, ok := p.rows[k]
+		if !ok {
+			row = make([]float32, len(d))
+			p.rows[k] = row
+		}
+		AddTo(row, d)
+	}
+	p.clock = upTo
+	p.flushedClock = upTo
+	return nil
+}
+
+// Rollback undoes all logged deltas with clock > to, restoring the row
+// state as of clock `to`. It fails if `to` is older than the flushed clock
+// — those deltas are gone from the log (they are safe on the backup).
+func (p *Partition) Rollback(to int) error {
+	if to < p.flushedClock {
+		return fmt.Errorf("ps: rollback to clock %d behind flushed clock %d", to, p.flushedClock)
+	}
+	for c, bucket := range p.log {
+		if c <= to {
+			continue
+		}
+		for k, d := range bucket {
+			row, ok := p.rows[k]
+			if !ok {
+				return fmt.Errorf("ps: rollback of unknown row %v", k)
+			}
+			SubFrom(row, d)
+		}
+		delete(p.log, c)
+	}
+	if p.clock > to {
+		p.clock = to
+	}
+	return nil
+}
+
+// Snapshot captures the partition for migration to a new owner: rows,
+// clocks, and the unflushed delta log all move so the new owner can keep
+// flushing and rolling back seamlessly.
+type Snapshot struct {
+	ID           PartitionID
+	Rows         map[Key][]float32
+	Clock        int
+	FlushedClock int
+	Log          map[int]map[Key][]float32
+}
+
+// Bytes estimates the wire size of the snapshot's row state.
+func (s *Snapshot) Bytes() int {
+	total := 0
+	for _, row := range s.Rows {
+		total += RowBytes(len(row))
+	}
+	return total
+}
+
+// Snapshot deep-copies the partition.
+func (p *Partition) Snapshot() *Snapshot {
+	s := &Snapshot{
+		ID:           p.ID,
+		Rows:         make(map[Key][]float32, len(p.rows)),
+		Clock:        p.clock,
+		FlushedClock: p.flushedClock,
+		Log:          make(map[int]map[Key][]float32, len(p.log)),
+	}
+	for k, row := range p.rows {
+		s.Rows[k] = CloneRow(row)
+	}
+	for c, bucket := range p.log {
+		cp := make(map[Key][]float32, len(bucket))
+		for k, d := range bucket {
+			cp[k] = CloneRow(d)
+		}
+		s.Log[c] = cp
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a partition from a snapshot.
+func FromSnapshot(s *Snapshot) *Partition {
+	p := NewPartition(s.ID)
+	p.clock = s.Clock
+	p.flushedClock = s.FlushedClock
+	for k, row := range s.Rows {
+		p.rows[k] = CloneRow(row)
+	}
+	for c, bucket := range s.Log {
+		cp := make(map[Key][]float32, len(bucket))
+		for k, d := range bucket {
+			cp[k] = CloneRow(d)
+		}
+		p.log[c] = cp
+	}
+	return p
+}
+
+// Keys returns the partition's keys in sorted order (tests and checksums).
+func (p *Partition) Keys() []Key {
+	out := make([]Key, 0, len(p.rows))
+	for k := range p.rows {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,318 @@
+package ps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOps(t *testing.T) {
+	dst := []float32{1, 2, 3}
+	AddTo(dst, []float32{1, 1, 1})
+	if dst[0] != 2 || dst[1] != 3 || dst[2] != 4 {
+		t.Fatalf("AddTo: %v", dst)
+	}
+	SubFrom(dst, []float32{1, 1, 1})
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("SubFrom: %v", dst)
+	}
+	c := CloneRow(dst)
+	c[0] = 99
+	if dst[0] != 1 {
+		t.Fatal("CloneRow did not copy")
+	}
+	if RowBytes(10) != 48 {
+		t.Fatalf("RowBytes(10) = %d, want 48", RowBytes(10))
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	AddTo([]float32{1}, []float32{1, 2})
+}
+
+func TestKeyComposition(t *testing.T) {
+	k := MakeKey(7, 12345)
+	if k.Table() != 7 || k.Row() != 12345 {
+		t.Fatalf("key parts = %d,%d", k.Table(), k.Row())
+	}
+	// Max values survive.
+	k = MakeKey(1<<32-1, 1<<32-1)
+	if k.Table() != 1<<32-1 || k.Row() != 1<<32-1 {
+		t.Fatal("key overflow")
+	}
+}
+
+func TestPartitionOfSpreads(t *testing.T) {
+	const n = 16
+	counts := make([]int, n)
+	for row := uint32(0); row < 1600; row++ {
+		counts[PartitionOf(MakeKey(0, row), n)]++
+	}
+	for i, c := range counts {
+		if c < 50 || c > 200 {
+			t.Fatalf("partition %d has %d of 1600 keys: bad spread %v", i, c, counts)
+		}
+	}
+}
+
+func TestPartitionOfStable(t *testing.T) {
+	k := MakeKey(3, 99)
+	if PartitionOf(k, 8) != PartitionOf(k, 8) {
+		t.Fatal("PartitionOf not deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero partitions did not panic")
+		}
+	}()
+	PartitionOf(k, 0)
+}
+
+func TestPartitionApplyAndGet(t *testing.T) {
+	p := NewPartition(1)
+	k := MakeKey(0, 1)
+	p.Init(k, []float32{1, 1})
+	if err := p.Apply(k, []float32{2, 3}, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Get(k)
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Get = %v", got)
+	}
+	if p.Clock() != 1 {
+		t.Fatalf("Clock = %d, want 1", p.Clock())
+	}
+	if p.Get(MakeKey(0, 999)) != nil {
+		t.Fatal("absent key returned a row")
+	}
+	// Get returns a copy.
+	got[0] = 99
+	if p.Get(k)[0] != 3 {
+		t.Fatal("Get aliases internal storage")
+	}
+	// Apply on absent key creates zeros then adds.
+	if err := p.Apply(MakeKey(0, 5), []float32{7}, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Get(MakeKey(0, 5))[0] != 7 {
+		t.Fatal("apply-to-absent wrong")
+	}
+	if p.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", p.NumRows())
+	}
+}
+
+func TestPartitionFlushAndBackup(t *testing.T) {
+	active := NewPartition(0)
+	backup := NewPartition(0)
+	k1, k2 := MakeKey(0, 1), MakeKey(0, 2)
+	active.Init(k1, []float32{0})
+	active.Init(k2, []float32{0})
+	backup.Init(k1, []float32{0})
+	backup.Init(k2, []float32{0})
+
+	// Updates at clocks 1 and 2, logged.
+	active.Apply(k1, []float32{1}, 1, true)
+	active.Apply(k2, []float32{2}, 1, true)
+	active.Apply(k1, []float32{10}, 2, true)
+
+	// Flush through clock 1 only.
+	delta := active.CollectFlush(1)
+	if len(delta) != 2 {
+		t.Fatalf("flush rows = %d, want 2", len(delta))
+	}
+	if active.FlushedClock() != 1 {
+		t.Fatalf("FlushedClock = %d", active.FlushedClock())
+	}
+	if err := backup.ApplyBackup(delta, 1); err != nil {
+		t.Fatal(err)
+	}
+	if backup.Get(k1)[0] != 1 || backup.Get(k2)[0] != 2 {
+		t.Fatalf("backup state = %v,%v", backup.Get(k1), backup.Get(k2))
+	}
+	// Clock-2 delta still pending.
+	delta = active.CollectFlush(2)
+	if len(delta) != 1 || delta[k1][0] != 10 {
+		t.Fatalf("second flush = %v", delta)
+	}
+	// Nothing left.
+	if active.CollectFlush(2) != nil {
+		t.Fatal("empty flush should be nil")
+	}
+}
+
+func TestPartitionRollback(t *testing.T) {
+	p := NewPartition(0)
+	k := MakeKey(0, 1)
+	p.Init(k, []float32{0})
+	p.Apply(k, []float32{1}, 1, true)
+	p.CollectFlush(1) // flushed through 1
+	p.Apply(k, []float32{2}, 2, true)
+	p.Apply(k, []float32{4}, 3, true)
+	if p.Get(k)[0] != 7 {
+		t.Fatalf("state = %v", p.Get(k))
+	}
+	// Roll back to the flushed clock: undoes clocks 2 and 3.
+	if err := p.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Get(k)[0] != 1 {
+		t.Fatalf("after rollback = %v, want 1", p.Get(k))
+	}
+	if p.Clock() != 1 {
+		t.Fatalf("Clock = %d, want 1", p.Clock())
+	}
+	// Rolling back past the flush point fails: that history is gone.
+	if err := p.Rollback(0); err == nil {
+		t.Fatal("rollback past flushed clock accepted")
+	}
+}
+
+func TestPartitionApplyBehindFlushRejected(t *testing.T) {
+	p := NewPartition(0)
+	k := MakeKey(0, 1)
+	p.Init(k, []float32{0})
+	p.Apply(k, []float32{1}, 1, true)
+	p.CollectFlush(1)
+	if err := p.Apply(k, []float32{1}, 1, true); err == nil {
+		t.Fatal("logged update at flushed clock accepted")
+	}
+	// Unlogged (ParamServ) applies are not constrained by flush clock.
+	if err := p.Apply(k, []float32{1}, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackupApplyBehindClockRejected(t *testing.T) {
+	p := NewPartition(0)
+	p.ApplyBackup(map[Key][]float32{}, 5)
+	if err := p.ApplyBackup(map[Key][]float32{}, 3); err == nil {
+		t.Fatal("backup regression accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := NewPartition(3)
+	k := MakeKey(1, 2)
+	p.Init(k, []float32{5, 5})
+	p.Apply(k, []float32{1, 0}, 1, true)
+	p.CollectFlush(1)
+	p.Apply(k, []float32{0, 2}, 2, true)
+
+	snap := p.Snapshot()
+	q := FromSnapshot(snap)
+	if q.ID != 3 || q.Clock() != 2 || q.FlushedClock() != 1 {
+		t.Fatalf("restored meta: id=%d clock=%d flushed=%d", q.ID, q.Clock(), q.FlushedClock())
+	}
+	got := q.Get(k)
+	if got[0] != 6 || got[1] != 7 {
+		t.Fatalf("restored rows = %v", got)
+	}
+	// The restored log still supports rollback.
+	if err := q.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	if q.Get(k)[1] != 5 {
+		t.Fatalf("rollback after restore = %v", q.Get(k))
+	}
+	// Snapshot is a deep copy: mutating p does not affect q.
+	p.Apply(k, []float32{100, 100}, 3, true)
+	if q.Get(k)[0] != 6 {
+		t.Fatal("snapshot aliases source")
+	}
+	if snap.Bytes() <= 0 {
+		t.Fatal("snapshot bytes should be positive")
+	}
+}
+
+// Property: for any update sequence, flushing everything to a backup makes
+// the backup equal the active's state, and rolling the active back to any
+// intermediate flush point matches replaying only the prefix.
+func TestPropertyFlushEqualsDirectApply(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		active, backup, direct := NewPartition(0), NewPartition(0), NewPartition(0)
+		const rows = 8
+		for r := uint32(0); r < rows; r++ {
+			k := MakeKey(0, r)
+			active.Init(k, []float32{0})
+			backup.Init(k, []float32{0})
+			direct.Init(k, []float32{0})
+		}
+		clock := 1
+		for i := 0; i < int(nOps); i++ {
+			k := MakeKey(0, uint32(rng.Intn(rows)))
+			d := []float32{float32(rng.Intn(7) - 3)}
+			active.Apply(k, d, clock, true)
+			direct.Apply(k, d, clock, false)
+			if rng.Intn(3) == 0 {
+				clock++
+			}
+		}
+		if delta := active.CollectFlush(clock); delta != nil {
+			if err := backup.ApplyBackup(delta, clock); err != nil {
+				return false
+			}
+		} else {
+			backup.ApplyBackup(map[Key][]float32{}, clock)
+		}
+		for r := uint32(0); r < rows; r++ {
+			k := MakeKey(0, r)
+			if backup.Get(k)[0] != direct.Get(k)[0] {
+				return false
+			}
+			if active.Get(k)[0] != direct.Get(k)[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rollback(to) after updates beyond `to` restores exactly the
+// state that existed at clock `to`.
+func TestPropertyRollbackRestores(t *testing.T) {
+	f := func(seed int64, nPre, nPost uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPartition(0)
+		want := NewPartition(0)
+		const rows = 6
+		for r := uint32(0); r < rows; r++ {
+			p.Init(MakeKey(0, r), []float32{0})
+			want.Init(MakeKey(0, r), []float32{0})
+		}
+		// Prefix at clock 1 (mirrored into want).
+		for i := 0; i < int(nPre); i++ {
+			k := MakeKey(0, uint32(rng.Intn(rows)))
+			d := []float32{float32(rng.Intn(9) - 4)}
+			p.Apply(k, d, 1, true)
+			want.Apply(k, d, 1, false)
+		}
+		// Suffix at clocks 2..4 (only into p).
+		for i := 0; i < int(nPost); i++ {
+			k := MakeKey(0, uint32(rng.Intn(rows)))
+			p.Apply(k, []float32{float32(rng.Intn(9) - 4)}, 2+rng.Intn(3), true)
+		}
+		if err := p.Rollback(1); err != nil {
+			return false
+		}
+		for r := uint32(0); r < rows; r++ {
+			k := MakeKey(0, r)
+			if p.Get(k)[0] != want.Get(k)[0] {
+				return false
+			}
+		}
+		return p.Clock() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

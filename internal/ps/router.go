@@ -1,0 +1,166 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Router maps partitions to their current serving owner and their backup.
+// Clients consult the router on every remote operation, so partition
+// reassignment takes effect the moment the controller swaps an entry —
+// the in-process equivalent of the ownership-propagation message flow in
+// §3.3 (the swap happens atomically under the router lock, so no
+// forwarding window exists to handle).
+type Router struct {
+	mu            sync.RWMutex
+	numPartitions int
+	owners        []*Server // serving owner per partition (ParamServ or ActivePS)
+	backups       []*Server // BackupPS per partition; nil in stage 1
+	clocks        *ClockTracker
+}
+
+// NewRouter creates a router over a fixed partition count.
+func NewRouter(numPartitions int) *Router {
+	if numPartitions <= 0 {
+		panic("ps: router needs a positive partition count")
+	}
+	return &Router{
+		numPartitions: numPartitions,
+		owners:        make([]*Server, numPartitions),
+		backups:       make([]*Server, numPartitions),
+		clocks:        NewClockTracker(),
+	}
+}
+
+// NumPartitions reports the fixed partition count.
+func (r *Router) NumPartitions() int { return r.numPartitions }
+
+// Clocks exposes the job's worker clock tracker.
+func (r *Router) Clocks() *ClockTracker { return r.clocks }
+
+// PartitionFor maps a key to its partition.
+func (r *Router) PartitionFor(k Key) PartitionID {
+	return PartitionOf(k, r.numPartitions)
+}
+
+// Owner returns the serving owner of a partition.
+func (r *Router) Owner(id PartitionID) (*Server, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.owners[id]
+	if s == nil {
+		return nil, fmt.Errorf("ps: partition %d has no owner", id)
+	}
+	return s, nil
+}
+
+// Backup returns the backup server of a partition, or nil in stage 1.
+func (r *Router) Backup(id PartitionID) *Server {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.backups[id]
+}
+
+// SetOwner atomically points a partition at a new serving owner.
+func (r *Router) SetOwner(id PartitionID, s *Server) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.owners[id] = s
+}
+
+// SetBackup points a partition at its BackupPS (nil to clear).
+func (r *Router) SetBackup(id PartitionID, s *Server) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.backups[id] = s
+}
+
+// OwnersSnapshot returns a copy of the owner table (diagnostics, tests).
+func (r *Router) OwnersSnapshot() []*Server {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Server, len(r.owners))
+	copy(out, r.owners)
+	return out
+}
+
+// ClockTracker follows each worker's clock. The minimum across workers is
+// the latest globally consistent clock — the state a recovery rolls back
+// to (§3.3 footnote 6: "the consistent state corresponds to the latest
+// common iteration").
+type ClockTracker struct {
+	mu      sync.Mutex
+	workers map[string]int
+}
+
+// NewClockTracker returns an empty tracker.
+func NewClockTracker() *ClockTracker {
+	return &ClockTracker{workers: make(map[string]int)}
+}
+
+// Register adds a worker at clock 0. Re-registering resets its clock.
+func (c *ClockTracker) Register(worker string) { c.RegisterAt(worker, 0) }
+
+// RegisterAt adds a worker at the given clock — how workers joining a
+// running job sync to the current iteration instead of dragging the
+// global minimum back to zero.
+func (c *ClockTracker) RegisterAt(worker string, clock int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[worker] = clock
+}
+
+// Unregister removes a worker (it no longer holds back the min clock).
+func (c *ClockTracker) Unregister(worker string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.workers, worker)
+}
+
+// Advance records that the worker completed the given clock. Clocks must
+// not regress except through ResetAll during rollback recovery.
+func (c *ClockTracker) Advance(worker string, clock int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur, ok := c.workers[worker]
+	if !ok {
+		return fmt.Errorf("ps: advance of unregistered worker %s", worker)
+	}
+	if clock < cur {
+		return fmt.Errorf("ps: worker %s clock regressed %d -> %d", worker, cur, clock)
+	}
+	c.workers[worker] = clock
+	return nil
+}
+
+// Min returns the latest clock every registered worker has completed, or
+// 0 with no workers.
+func (c *ClockTracker) Min() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := true
+	min := 0
+	for _, v := range c.workers {
+		if first || v < min {
+			min, first = v, false
+		}
+	}
+	return min
+}
+
+// NumWorkers reports how many workers are registered.
+func (c *ClockTracker) NumWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// ResetAll sets every worker's clock to the given value — the restart
+// point after a rollback recovery.
+func (c *ClockTracker) ResetAll(clock int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for w := range c.workers {
+		c.workers[w] = clock
+	}
+}

@@ -1,0 +1,318 @@
+package ps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Role is the function a Server performs for the partitions it hosts
+// (Table 1 of the paper).
+type Role int
+
+const (
+	// ParamServ serves solution state for workers and always runs on
+	// reliable resources.
+	ParamServ Role = iota
+	// BackupPS is a hot backup for solution state served by ActivePSs and
+	// always runs on reliable resources.
+	BackupPS
+	// ActivePS serves solution state for workers, periodically pushing
+	// aggregated updates to BackupPSs, and runs on transient resources.
+	ActivePS
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case ParamServ:
+		return "paramserv"
+	case BackupPS:
+		return "backupps"
+	case ActivePS:
+		return "activeps"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// Server hosts a set of partitions in one role. A machine runs at most one
+// Server per role. Servers are safe for concurrent use; a mutex serializes
+// partition access the way a real server's request loop would.
+type Server struct {
+	name string
+
+	mu         sync.Mutex
+	role       Role
+	partitions map[PartitionID]*Partition
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// NewServer returns an empty server with the given role. The name is a
+// debugging label (typically the hosting machine).
+func NewServer(name string, role Role) *Server {
+	return &Server{
+		name:       name,
+		role:       role,
+		partitions: make(map[PartitionID]*Partition),
+	}
+}
+
+// Name returns the server's label.
+func (s *Server) Name() string { return s.name }
+
+// Role returns the server's current role.
+func (s *Server) Role() Role {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role
+}
+
+// SetRole changes the server's role in place. Promotion of a BackupPS to
+// ParamServ after transient machines vanish is the main use (§3.3).
+func (s *Server) SetRole(r Role) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.role = r
+}
+
+// BytesIn reports bytes received (updates, migrations).
+func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
+
+// BytesOut reports bytes sent (read replies, flushes, migrations out).
+func (s *Server) BytesOut() int64 { return s.bytesOut.Load() }
+
+// AddPartition installs a partition. Duplicate IDs are an error.
+func (s *Server) AddPartition(p *Partition) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.partitions[p.ID]; ok {
+		return fmt.Errorf("ps: server %s already hosts partition %d", s.name, p.ID)
+	}
+	s.partitions[p.ID] = p
+	return nil
+}
+
+// RemovePartition detaches and returns a partition.
+func (s *Server) RemovePartition(id PartitionID) (*Partition, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.partitions[id]
+	if !ok {
+		return nil, fmt.Errorf("ps: server %s does not host partition %d", s.name, id)
+	}
+	delete(s.partitions, id)
+	return p, nil
+}
+
+// Partition returns a hosted partition.
+func (s *Server) Partition(id PartitionID) (*Partition, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.partitions[id]
+	return p, ok
+}
+
+// PartitionIDs lists hosted partitions in sorted order.
+func (s *Server) PartitionIDs() []PartitionID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PartitionID, 0, len(s.partitions))
+	for id := range s.partitions {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumPartitions reports how many partitions the server hosts.
+func (s *Server) NumPartitions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.partitions)
+}
+
+// Init installs an initial row at clock 0 in the hosting partition.
+func (s *Server) Init(part PartitionID, k Key, row []float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.partitions[part]
+	if !ok {
+		return fmt.Errorf("ps: server %s: init on absent partition %d", s.name, part)
+	}
+	p.Init(k, row)
+	return nil
+}
+
+// Read returns a copy of the row, serving the worker read path. BackupPSs
+// refuse reads: workers must never read from a backup that may lag the
+// actives.
+func (s *Server) Read(part PartitionID, k Key) ([]float32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role == BackupPS {
+		return nil, fmt.Errorf("ps: server %s: read from BackupPS", s.name)
+	}
+	p, ok := s.partitions[part]
+	if !ok {
+		return nil, fmt.Errorf("ps: server %s: read from absent partition %d", s.name, part)
+	}
+	row := p.Get(k)
+	if row == nil {
+		return nil, fmt.Errorf("ps: server %s: unknown key %v", s.name, k)
+	}
+	s.bytesOut.Add(int64(RowBytes(len(row))))
+	return row, nil
+}
+
+// ApplyBatch applies a worker's buffered updates for one partition at the
+// given clock. ActivePSs log the deltas for later flush/rollback;
+// ParamServs apply directly (their state is authoritative and reliable).
+// BackupPSs refuse worker updates.
+func (s *Server) ApplyBatch(part PartitionID, updates map[Key][]float32, clock int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role == BackupPS {
+		return fmt.Errorf("ps: server %s: worker update to BackupPS", s.name)
+	}
+	p, ok := s.partitions[part]
+	if !ok {
+		return fmt.Errorf("ps: server %s: update to absent partition %d", s.name, part)
+	}
+	logged := s.role == ActivePS
+	bytes := 0
+	for k, d := range updates {
+		if err := p.Apply(k, d, clock, logged); err != nil {
+			return err
+		}
+		bytes += RowBytes(len(d))
+	}
+	s.bytesIn.Add(int64(bytes))
+	return nil
+}
+
+// FlushBatch is one partition's aggregated delta stream from an ActivePS
+// to its BackupPS, covering clocks up to Clock. EndOfLife marks the final
+// flush before the ActivePS ceases operation (§3.3's end-of-life flag).
+type FlushBatch struct {
+	Partition PartitionID
+	Delta     map[Key][]float32
+	Clock     int
+	EndOfLife bool
+}
+
+// Bytes estimates the wire size of the batch.
+func (b *FlushBatch) Bytes() int {
+	total := 0
+	for _, d := range b.Delta {
+		total += RowBytes(len(d))
+	}
+	return total
+}
+
+// CollectFlush gathers flush batches for every hosted partition, covering
+// clocks ≤ upTo. Only ActivePSs flush. A batch is emitted whenever a
+// partition's flushed clock advances — even with an empty delta — so the
+// backup's notion of the latest common iteration (footnote 6) stays
+// current for partitions whose rows happen not to change; otherwise a
+// later rollback would wrongly treat them as stale.
+func (s *Server) CollectFlush(upTo int, endOfLife bool) ([]*FlushBatch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role != ActivePS {
+		return nil, fmt.Errorf("ps: server %s: flush from role %s", s.name, s.role)
+	}
+	var out []*FlushBatch
+	for _, id := range sortedIDs(s.partitions) {
+		p := s.partitions[id]
+		before := p.FlushedClock()
+		delta := p.CollectFlush(upTo)
+		if p.FlushedClock() == before && !endOfLife {
+			continue // nothing new for the backup to learn
+		}
+		b := &FlushBatch{Partition: id, Delta: delta, Clock: p.FlushedClock(), EndOfLife: endOfLife}
+		s.bytesOut.Add(int64(b.Bytes()))
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ApplyFlush merges a flush batch into the hosted backup partition.
+func (s *Server) ApplyFlush(b *FlushBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.role != BackupPS {
+		return fmt.Errorf("ps: server %s: flush applied to role %s", s.name, s.role)
+	}
+	p, ok := s.partitions[b.Partition]
+	if !ok {
+		return fmt.Errorf("ps: server %s: flush for absent partition %d", s.name, b.Partition)
+	}
+	if err := p.ApplyBackup(b.Delta, b.Clock); err != nil {
+		return err
+	}
+	s.bytesIn.Add(int64(b.Bytes()))
+	return nil
+}
+
+// Rollback reverts every hosted partition to the given clock using the
+// retained delta logs (§3.3: surviving ActivePSs roll back to a state
+// consistent with the BackupPSs).
+func (s *Server) Rollback(to int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.partitions {
+		if err := p.Rollback(to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotPartition deep-copies a hosted partition for migration.
+func (s *Server) SnapshotPartition(id PartitionID) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.partitions[id]
+	if !ok {
+		return nil, fmt.Errorf("ps: server %s: snapshot of absent partition %d", s.name, id)
+	}
+	snap := p.Snapshot()
+	s.bytesOut.Add(int64(snap.Bytes()))
+	return snap, nil
+}
+
+// InstallSnapshot installs a migrated partition, replacing any existing
+// partition with the same ID.
+func (s *Server) InstallSnapshot(snap *Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partitions[snap.ID] = FromSnapshot(snap)
+	s.bytesIn.Add(int64(snap.Bytes()))
+}
+
+// MinFlushedClock reports the smallest flushed clock across hosted
+// partitions, or -1 with none hosted. For a BackupPS this is the newest
+// globally consistent state it can restore.
+func (s *Server) MinFlushedClock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min := -1
+	for _, p := range s.partitions {
+		if min == -1 || p.FlushedClock() < min {
+			min = p.FlushedClock()
+		}
+	}
+	return min
+}
+
+func sortedIDs(m map[PartitionID]*Partition) []PartitionID {
+	out := make([]PartitionID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

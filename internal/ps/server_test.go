@@ -1,0 +1,268 @@
+package ps
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newServerWithPartition(t *testing.T, role Role, part PartitionID) *Server {
+	t.Helper()
+	s := NewServer("m0", role)
+	if err := s.AddPartition(NewPartition(part)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestServerRoleStrings(t *testing.T) {
+	for r, want := range map[Role]string{
+		ParamServ: "paramserv", BackupPS: "backupps", ActivePS: "activeps",
+	} {
+		if r.String() != want {
+			t.Errorf("%d = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}
+
+func TestServerPartitionManagement(t *testing.T) {
+	s := NewServer("m1", ParamServ)
+	if err := s.AddPartition(NewPartition(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPartition(NewPartition(2)); err == nil {
+		t.Fatal("duplicate partition accepted")
+	}
+	if err := s.AddPartition(NewPartition(5)); err != nil {
+		t.Fatal(err)
+	}
+	ids := s.PartitionIDs()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
+		t.Fatalf("PartitionIDs = %v", ids)
+	}
+	p, err := s.RemovePartition(2)
+	if err != nil || p.ID != 2 {
+		t.Fatalf("RemovePartition = %v, %v", p, err)
+	}
+	if _, err := s.RemovePartition(2); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if s.NumPartitions() != 1 {
+		t.Fatalf("NumPartitions = %d", s.NumPartitions())
+	}
+	if _, ok := s.Partition(5); !ok {
+		t.Fatal("Partition(5) missing")
+	}
+}
+
+func TestServerReadAndUpdate(t *testing.T) {
+	s := newServerWithPartition(t, ParamServ, 0)
+	k := MakeKey(0, 1)
+	if err := s.Init(0, k, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := s.Read(0, k)
+	if err != nil || row[0] != 1 {
+		t.Fatalf("Read = %v, %v", row, err)
+	}
+	err = s.ApplyBatch(0, map[Key][]float32{k: {1, 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ = s.Read(0, k)
+	if row[0] != 2 || row[1] != 3 {
+		t.Fatalf("after update = %v", row)
+	}
+	if s.BytesIn() <= 0 || s.BytesOut() <= 0 {
+		t.Fatalf("byte counters: in=%d out=%d", s.BytesIn(), s.BytesOut())
+	}
+	// Errors for absent partitions and keys.
+	if _, err := s.Read(9, k); err == nil {
+		t.Fatal("read from absent partition accepted")
+	}
+	if _, err := s.Read(0, MakeKey(0, 404)); err == nil {
+		t.Fatal("read of unknown key accepted")
+	}
+	if err := s.ApplyBatch(9, nil, 1); err == nil {
+		t.Fatal("update to absent partition accepted")
+	}
+	if err := s.Init(9, k, nil); err == nil {
+		t.Fatal("init on absent partition accepted")
+	}
+}
+
+func TestBackupRefusesWorkerTraffic(t *testing.T) {
+	s := newServerWithPartition(t, BackupPS, 0)
+	k := MakeKey(0, 1)
+	s.Init(0, k, []float32{1})
+	if _, err := s.Read(0, k); err == nil || !strings.Contains(err.Error(), "BackupPS") {
+		t.Fatalf("backup read err = %v", err)
+	}
+	if err := s.ApplyBatch(0, map[Key][]float32{k: {1}}, 1); err == nil {
+		t.Fatal("backup accepted a worker update")
+	}
+}
+
+func TestActiveFlushToBackup(t *testing.T) {
+	active := newServerWithPartition(t, ActivePS, 0)
+	backup := newServerWithPartition(t, BackupPS, 0)
+	k := MakeKey(0, 1)
+	active.Init(0, k, []float32{0})
+	backup.Init(0, k, []float32{0})
+
+	active.ApplyBatch(0, map[Key][]float32{k: {3}}, 1)
+	batches, err := active.CollectFlush(1, false)
+	if err != nil || len(batches) != 1 {
+		t.Fatalf("CollectFlush = %v, %v", batches, err)
+	}
+	if batches[0].EndOfLife {
+		t.Fatal("unexpected end-of-life flag")
+	}
+	if err := backup.ApplyFlush(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Backup can't be read by workers, but its partition holds the state.
+	p, _ := backup.Partition(0)
+	if p.Get(k)[0] != 3 {
+		t.Fatalf("backup state = %v", p.Get(k))
+	}
+	if backup.MinFlushedClock() != 1 {
+		t.Fatalf("MinFlushedClock = %d", backup.MinFlushedClock())
+	}
+}
+
+func TestEndOfLifeFlushEmitsAllPartitions(t *testing.T) {
+	active := NewServer("a", ActivePS)
+	active.AddPartition(NewPartition(0))
+	active.AddPartition(NewPartition(1))
+	// No pending updates at all; end-of-life still reports every partition.
+	batches, err := active.CollectFlush(5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("end-of-life batches = %d, want 2", len(batches))
+	}
+	for _, b := range batches {
+		if !b.EndOfLife {
+			t.Fatal("missing end-of-life flag")
+		}
+		if b.Clock != 5 {
+			t.Fatalf("batch clock = %d, want 5", b.Clock)
+		}
+	}
+}
+
+func TestFlushRoleEnforcement(t *testing.T) {
+	ps := newServerWithPartition(t, ParamServ, 0)
+	if _, err := ps.CollectFlush(1, false); err == nil {
+		t.Fatal("ParamServ flush accepted")
+	}
+	active := newServerWithPartition(t, ActivePS, 0)
+	if err := active.ApplyFlush(&FlushBatch{Partition: 0}); err == nil {
+		t.Fatal("flush applied to non-backup accepted")
+	}
+	backup := newServerWithPartition(t, BackupPS, 0)
+	if err := backup.ApplyFlush(&FlushBatch{Partition: 7}); err == nil {
+		t.Fatal("flush for absent partition accepted")
+	}
+}
+
+func TestServerRollback(t *testing.T) {
+	s := newServerWithPartition(t, ActivePS, 0)
+	k := MakeKey(0, 1)
+	s.Init(0, k, []float32{0})
+	s.ApplyBatch(0, map[Key][]float32{k: {1}}, 1)
+	s.CollectFlush(1, false)
+	s.ApplyBatch(0, map[Key][]float32{k: {5}}, 2)
+	if err := s.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.Partition(0)
+	if p.Get(k)[0] != 1 {
+		t.Fatalf("after rollback = %v", p.Get(k))
+	}
+}
+
+func TestSnapshotMigrationBetweenServers(t *testing.T) {
+	src := newServerWithPartition(t, ActivePS, 4)
+	k := MakeKey(0, 9)
+	src.Init(4, k, []float32{2})
+	src.ApplyBatch(4, map[Key][]float32{k: {3}}, 1)
+
+	snap, err := src.SnapshotPartition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewServer("b", ActivePS)
+	dst.InstallSnapshot(snap)
+	row, err := dst.Read(4, k)
+	if err != nil || row[0] != 5 {
+		t.Fatalf("migrated read = %v, %v", row, err)
+	}
+	// The unflushed log migrated too: destination can still roll back.
+	if err := dst.Rollback(0); err != nil {
+		t.Fatal(err)
+	}
+	row, _ = dst.Read(4, k)
+	if row[0] != 2 {
+		t.Fatalf("rollback on migrated partition = %v", row)
+	}
+	if _, err := src.SnapshotPartition(99); err == nil {
+		t.Fatal("snapshot of absent partition accepted")
+	}
+}
+
+func TestSetRolePromotion(t *testing.T) {
+	s := newServerWithPartition(t, BackupPS, 0)
+	k := MakeKey(0, 1)
+	s.Init(0, k, []float32{7})
+	s.SetRole(ParamServ)
+	if s.Role() != ParamServ {
+		t.Fatalf("Role = %v", s.Role())
+	}
+	row, err := s.Read(0, k)
+	if err != nil || row[0] != 7 {
+		t.Fatalf("promoted read = %v, %v", row, err)
+	}
+}
+
+func TestMinFlushedClockEmpty(t *testing.T) {
+	s := NewServer("x", BackupPS)
+	if s.MinFlushedClock() != -1 {
+		t.Fatalf("MinFlushedClock = %d, want -1", s.MinFlushedClock())
+	}
+}
+
+func TestServerConcurrentAccess(t *testing.T) {
+	s := newServerWithPartition(t, ParamServ, 0)
+	const rows = 16
+	for r := uint32(0); r < rows; r++ {
+		s.Init(0, MakeKey(0, r), []float32{0})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := MakeKey(0, uint32(i%rows))
+				s.ApplyBatch(0, map[Key][]float32{k: {1}}, i)
+				s.Read(0, k)
+			}
+		}()
+	}
+	wg.Wait()
+	// 4 workers × 200 increments spread across 16 rows: totals must sum.
+	var total float32
+	for r := uint32(0); r < rows; r++ {
+		row, err := s.Read(0, MakeKey(0, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += row[0]
+	}
+	if total != 800 {
+		t.Fatalf("total = %v, want 800 (lost updates under concurrency)", total)
+	}
+}

@@ -1,0 +1,67 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Strict SSP enforcement. The Client's caching already implements the
+// read side of stale synchronous parallel execution; SSPGate adds the
+// progress side: a worker that is more than `staleness` clocks ahead of
+// the slowest worker blocks at its clock boundary until the stragglers
+// catch up — the bound parameter-server systems enforce so that "a bound
+// on the staleness is often enforced" (§3.3 fn. 6) holds by construction.
+//
+// The gate is optional: the deterministic single-threaded runner cannot
+// use it (a blocked worker would deadlock the serial loop), but the
+// parallel runner and custom drivers can.
+type SSPGate struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	staleness int
+	tracker   *ClockTracker
+	closed    bool
+}
+
+// NewSSPGate wraps a clock tracker with a staleness bound.
+func NewSSPGate(tracker *ClockTracker, staleness int) *SSPGate {
+	if staleness < 0 {
+		panic("ps: staleness must be non-negative")
+	}
+	g := &SSPGate{staleness: staleness, tracker: tracker}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// WaitToAdvance blocks until the worker may advance to `next` without
+// exceeding the staleness bound over the slowest registered worker, or
+// until the gate closes. It returns an error only if the gate closed
+// (job shutdown) while waiting.
+func (g *SSPGate) WaitToAdvance(next int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for !g.closed && next > g.tracker.Min()+g.staleness+1 {
+		g.cond.Wait()
+	}
+	if g.closed {
+		return fmt.Errorf("ps: SSP gate closed")
+	}
+	return nil
+}
+
+// Advanced must be called after a worker's Clock() so blocked workers
+// re-check the bound.
+func (g *SSPGate) Advanced() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Close releases all waiters (job shutdown or membership change that
+// removed the straggler).
+func (g *SSPGate) Close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

@@ -1,0 +1,128 @@
+package ps
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSSPGateBoundsWorkerSkew(t *testing.T) {
+	tracker := NewClockTracker()
+	tracker.Register("fast")
+	tracker.Register("slow")
+	gate := NewSSPGate(tracker, 2)
+	defer gate.Close()
+
+	var maxSkew atomic.Int64
+	var slowClock atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() { // fast worker: 50 clocks as fast as possible
+		defer wg.Done()
+		for c := 1; c <= 50; c++ {
+			if err := gate.WaitToAdvance(c); err != nil {
+				t.Error(err)
+				return
+			}
+			tracker.Advance("fast", c)
+			gate.Advanced()
+			if skew := int64(c) - slowClock.Load(); skew > maxSkew.Load() {
+				maxSkew.Store(skew)
+			}
+		}
+	}()
+	go func() { // slow worker: 50 clocks with delays
+		defer wg.Done()
+		for c := 1; c <= 50; c++ {
+			time.Sleep(200 * time.Microsecond)
+			if err := gate.WaitToAdvance(c); err != nil {
+				t.Error(err)
+				return
+			}
+			tracker.Advance("slow", c)
+			slowClock.Store(int64(c))
+			gate.Advanced()
+		}
+	}()
+	wg.Wait()
+	// Staleness 2 permits the fast worker at most slow+3 at any instant.
+	if maxSkew.Load() > 4 { // +1 slack for the racy observation itself
+		t.Fatalf("observed skew %d exceeds the SSP bound", maxSkew.Load())
+	}
+	if tracker.Min() != 50 {
+		t.Fatalf("final min clock = %d", tracker.Min())
+	}
+}
+
+func TestSSPGateZeroStalenessIsBSP(t *testing.T) {
+	tracker := NewClockTracker()
+	tracker.Register("a")
+	tracker.Register("b")
+	gate := NewSSPGate(tracker, 0)
+	defer gate.Close()
+
+	// Worker a may take clock 1 (bound: next <= min+1 = 1).
+	done := make(chan error, 1)
+	go func() { done <- gate.WaitToAdvance(1) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("first advance blocked under BSP")
+	}
+	tracker.Advance("a", 1)
+	gate.Advanced()
+
+	// Worker a must now block on clock 2 until b finishes clock 1.
+	blocked := make(chan error, 1)
+	go func() { blocked <- gate.WaitToAdvance(2) }()
+	select {
+	case <-blocked:
+		t.Fatal("worker advanced 2 clocks ahead under BSP")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tracker.Advance("b", 1)
+	gate.Advanced()
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("worker stayed blocked after the straggler caught up")
+	}
+}
+
+func TestSSPGateCloseReleasesWaiters(t *testing.T) {
+	tracker := NewClockTracker()
+	tracker.Register("a")
+	tracker.Register("b")
+	gate := NewSSPGate(tracker, 0)
+	tracker.Advance("a", 1)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- gate.WaitToAdvance(2) }()
+	time.Sleep(10 * time.Millisecond)
+	gate.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("closed gate returned nil")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not released by Close")
+	}
+}
+
+func TestSSPGateNegativeStalenessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative staleness did not panic")
+		}
+	}()
+	NewSSPGate(NewClockTracker(), -1)
+}

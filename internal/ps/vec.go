@@ -1,0 +1,58 @@
+// Package ps implements the parameter-server core AgileML builds on.
+//
+// Model state lives in tables of float32 vector rows keyed by (table, row)
+// pairs. The value aggregation function is component-wise add — commutative
+// and associative, so updates from different workers can be applied in any
+// order (§2.1). Rows are grouped into a fixed number of partitions created
+// at start-up; partitions — not individual keys — are the unit of ownership
+// and migration, which is what lets AgileML reassign state without
+// re-sharding when machines come and go (§3.3).
+//
+// Server roles (Table 1 of the paper):
+//
+//   - ParamServ:  serves solution state to workers; runs on reliable
+//     machines (stage 1).
+//   - ActivePS:   serves solution state; runs on transient machines;
+//     accumulates per-clock deltas and pushes them to its BackupPS in the
+//     background (stages 2 and 3).
+//   - BackupPS:   hot standby on reliable machines; applies streamed
+//     deltas; promoted to ParamServ when transient machines vanish.
+//
+// Workers interact through Client, a worker-side cache that batches
+// updates per clock period and write-back flushes them at clock
+// boundaries, as parameter-server implementations do to cut cross-machine
+// traffic (§2.1).
+package ps
+
+import "fmt"
+
+// AddTo adds delta into dst component-wise. Lengths must match.
+func AddTo(dst, delta []float32) {
+	if len(dst) != len(delta) {
+		panic(fmt.Sprintf("ps: vector length mismatch %d vs %d", len(dst), len(delta)))
+	}
+	for i, d := range delta {
+		dst[i] += d
+	}
+}
+
+// SubFrom subtracts delta from dst component-wise (used for rollback).
+func SubFrom(dst, delta []float32) {
+	if len(dst) != len(delta) {
+		panic(fmt.Sprintf("ps: vector length mismatch %d vs %d", len(dst), len(delta)))
+	}
+	for i, d := range delta {
+		dst[i] -= d
+	}
+}
+
+// CloneRow returns an independent copy of row.
+func CloneRow(row []float32) []float32 {
+	out := make([]float32, len(row))
+	copy(out, row)
+	return out
+}
+
+// RowBytes is the wire size of a row of length n (4 bytes per float32
+// plus an 8-byte key header), used by byte accounting.
+func RowBytes(n int) int { return 8 + 4*n }

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV encodes the trace as CSV with a header row:
+//
+//	instance_type,zone,at_ns,price
+//
+// One row per price change, in time order. Times are integer nanoseconds so
+// the round trip is exact.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"instance_type", "zone", "at_ns", "price"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, p := range tr.Points {
+		row := []string{
+			tr.InstanceType,
+			tr.Zone,
+			strconv.FormatInt(int64(p.At), 10),
+			strconv.FormatFloat(p.Price, 'f', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes traces from the CSV format produced by WriteCSV. Rows for
+// multiple instance types and zones may be interleaved; one Trace is
+// returned per (type, zone) pair in first-appearance order.
+func ReadCSV(r io.Reader) ([]*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if len(header) != 4 || header[0] != "instance_type" {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
+	}
+	byKey := make(map[string]*Trace)
+	var order []string
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read row: %w", err)
+		}
+		if len(row) != 4 {
+			return nil, fmt.Errorf("trace: row has %d fields, want 4", len(row))
+		}
+		if row[0] == "instance_type" && row[2] == "at_ns" {
+			continue // repeated header: concatenated per-trace exports
+		}
+		ns, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad at_ns %q: %w", row[2], err)
+		}
+		price, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad price %q: %w", row[3], err)
+		}
+		key := row[0] + "/" + row[1]
+		tr, ok := byKey[key]
+		if !ok {
+			tr = &Trace{InstanceType: row[0], Zone: row[1]}
+			byKey[key] = tr
+			order = append(order, key)
+		}
+		tr.Points = append(tr.Points, Point{At: time.Duration(ns), Price: price})
+	}
+	out := make([]*Trace, 0, len(order))
+	for _, key := range order {
+		tr := byKey[key]
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

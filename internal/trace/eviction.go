@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EvictionStats summarizes what happens to an allocation made at a given
+// bid delta over the market price: the probability β of being evicted
+// before the billing hour ends, and the median time to eviction among the
+// evicted samples. This mirrors §4.1: "BidBrain computes the historical
+// probability of being evicted within the hour and the median time to
+// eviction for a given bid delta."
+type EvictionStats struct {
+	BidDelta       float64
+	Beta           float64       // P(evicted within the billing hour)
+	MedianTTE      time.Duration // median time to eviction among evicted samples
+	Samples        int
+	EvictedSamples int
+}
+
+// BillingHour is the billing granularity assumed throughout: allocations
+// are paid for by the hour and refunds apply to the final partial hour on
+// eviction (§2.2).
+const BillingHour = time.Hour
+
+// EstimateEviction replays history: at sampleCount uniformly random start
+// times it bids PriceAt(start)+delta and records whether the price crosses
+// above the bid within the billing hour, and when. The rng makes sampling
+// deterministic per seed.
+func EstimateEviction(tr *Trace, delta float64, sampleCount int, rng *rand.Rand) EvictionStats {
+	if sampleCount <= 0 {
+		panic("trace: sampleCount must be positive")
+	}
+	horizonMax := tr.Duration() - BillingHour
+	if horizonMax <= 0 {
+		// Trace shorter than an hour: every sample starts at 0.
+		horizonMax = 1
+	}
+	stats := EvictionStats{BidDelta: delta, Samples: sampleCount}
+	var ttes []float64
+	for i := 0; i < sampleCount; i++ {
+		start := time.Duration(rng.Int63n(int64(horizonMax)))
+		bid := tr.PriceAt(start) + delta
+		cross, evicted := tr.FirstCrossingAbove(bid, start, start+BillingHour)
+		if evicted {
+			stats.EvictedSamples++
+			ttes = append(ttes, float64(cross-start))
+		}
+	}
+	stats.Beta = float64(stats.EvictedSamples) / float64(stats.Samples)
+	if len(ttes) > 0 {
+		sort.Float64s(ttes)
+		stats.MedianTTE = time.Duration(ttes[len(ttes)/2])
+	} else {
+		stats.MedianTTE = BillingHour
+	}
+	return stats
+}
+
+// BetaTable maps bid deltas to eviction statistics for one instance type.
+// BidBrain interpolates over the table when pricing candidate allocations.
+type BetaTable struct {
+	InstanceType string
+	Deltas       []float64 // ascending
+	Stats        []EvictionStats
+}
+
+// DefaultDeltas is the bid-delta grid the paper sweeps: a wide range from
+// effectively-at-market to far above it ([$0.0001, $0.4], §4.2).
+func DefaultDeltas() []float64 {
+	return []float64{0.0001, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
+}
+
+// BuildBetaTable estimates eviction stats for every delta in deltas against
+// the historical trace.
+func BuildBetaTable(tr *Trace, deltas []float64, samplesPerDelta int, seed int64) *BetaTable {
+	if !sort.Float64sAreSorted(deltas) {
+		panic("trace: deltas must be ascending")
+	}
+	bt := &BetaTable{InstanceType: tr.InstanceType, Deltas: append([]float64(nil), deltas...)}
+	for i, d := range deltas {
+		rng := rand.New(rand.NewSource(seed + int64(i)*104729))
+		bt.Stats = append(bt.Stats, EstimateEviction(tr, d, samplesPerDelta, rng))
+	}
+	return bt
+}
+
+// Beta returns the estimated eviction probability for a bid delta,
+// linearly interpolating between grid points and clamping outside the grid.
+func (bt *BetaTable) Beta(delta float64) float64 {
+	return bt.interp(delta, func(s EvictionStats) float64 { return s.Beta })
+}
+
+// MedianTTE returns the interpolated median time-to-eviction for a delta.
+func (bt *BetaTable) MedianTTE(delta float64) time.Duration {
+	v := bt.interp(delta, func(s EvictionStats) float64 { return float64(s.MedianTTE) })
+	return time.Duration(v)
+}
+
+func (bt *BetaTable) interp(delta float64, f func(EvictionStats) float64) float64 {
+	n := len(bt.Deltas)
+	if n == 0 {
+		panic(fmt.Sprintf("trace: empty beta table for %s", bt.InstanceType))
+	}
+	if delta <= bt.Deltas[0] {
+		return f(bt.Stats[0])
+	}
+	if delta >= bt.Deltas[n-1] {
+		return f(bt.Stats[n-1])
+	}
+	i := sort.SearchFloat64s(bt.Deltas, delta)
+	// bt.Deltas[i-1] < delta <= bt.Deltas[i]
+	lo, hi := bt.Deltas[i-1], bt.Deltas[i]
+	frac := (delta - lo) / (hi - lo)
+	return f(bt.Stats[i-1])*(1-frac) + f(bt.Stats[i])*frac
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats summarizes a price trace the way the paper characterizes markets
+// (§2.2: "machines are often available at a steep discount (e.g., 70–80%
+// lower price)" with intermittent spikes; Fig. 3).
+type Stats struct {
+	InstanceType string
+	Zone         string
+	Duration     time.Duration
+	Changes      int
+
+	MeanPrice float64
+	MinPrice  float64
+	MaxPrice  float64
+	// MeanDiscount is 1 − MeanPrice/onDemand: the paper's "70–80%
+	// discount" corresponds to values in [0.7, 0.8].
+	MeanDiscount float64
+	// TimeAboveOnDemand is the fraction of time the spot price exceeds
+	// the on-demand price (only spike periods).
+	TimeAboveOnDemand float64
+	// Spikes counts maximal intervals with price above on-demand.
+	Spikes int
+	// MeanSpikeDuration averages those intervals' lengths.
+	MeanSpikeDuration time.Duration
+}
+
+// ComputeStats analyzes a trace against the type's on-demand price.
+func ComputeStats(tr *Trace, onDemand float64) (Stats, error) {
+	if err := tr.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if onDemand <= 0 {
+		return Stats{}, fmt.Errorf("trace: on-demand price must be positive")
+	}
+	s := Stats{
+		InstanceType: tr.InstanceType,
+		Zone:         tr.Zone,
+		Duration:     tr.Duration(),
+		Changes:      len(tr.Points),
+		MinPrice:     tr.Points[0].Price,
+		MaxPrice:     tr.Points[0].Price,
+	}
+	var weighted float64
+	var aboveTime time.Duration
+	var spikeStart time.Duration
+	inSpike := false
+	for i, p := range tr.Points {
+		if p.Price < s.MinPrice {
+			s.MinPrice = p.Price
+		}
+		if p.Price > s.MaxPrice {
+			s.MaxPrice = p.Price
+		}
+		end := s.Duration
+		if i+1 < len(tr.Points) {
+			end = tr.Points[i+1].At
+		}
+		span := end - p.At
+		weighted += p.Price * float64(span)
+		above := p.Price > onDemand
+		if above {
+			aboveTime += span
+			if !inSpike {
+				inSpike = true
+				spikeStart = p.At
+			}
+		} else if inSpike {
+			inSpike = false
+			s.Spikes++
+			s.MeanSpikeDuration += p.At - spikeStart
+		}
+	}
+	if inSpike {
+		s.Spikes++
+		s.MeanSpikeDuration += s.Duration - spikeStart
+	}
+	if s.Spikes > 0 {
+		s.MeanSpikeDuration /= time.Duration(s.Spikes)
+	}
+	if s.Duration > 0 {
+		s.MeanPrice = weighted / float64(s.Duration)
+		s.TimeAboveOnDemand = float64(aboveTime) / float64(s.Duration)
+	} else {
+		s.MeanPrice = tr.Points[0].Price
+	}
+	s.MeanDiscount = 1 - s.MeanPrice/onDemand
+	return s, nil
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestComputeStatsKnownTrace(t *testing.T) {
+	tr := mkTrace(
+		Point{0, 0.05},
+		Point{time.Hour, 0.50},     // spike above OD 0.209
+		Point{2 * time.Hour, 0.05}, // back down
+		Point{4 * time.Hour, 0.05},
+	)
+	s, err := ComputeStats(tr, 0.209)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Changes != 4 || s.Duration != 4*time.Hour {
+		t.Fatalf("meta: %+v", s)
+	}
+	if s.MinPrice != 0.05 || s.MaxPrice != 0.50 {
+		t.Fatalf("min/max = %v/%v", s.MinPrice, s.MaxPrice)
+	}
+	wantMean := (0.05*1 + 0.50*1 + 0.05*2) / 4
+	if math.Abs(s.MeanPrice-wantMean) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", s.MeanPrice, wantMean)
+	}
+	if s.Spikes != 1 || s.MeanSpikeDuration != time.Hour {
+		t.Fatalf("spikes = %d / %v", s.Spikes, s.MeanSpikeDuration)
+	}
+	if math.Abs(s.TimeAboveOnDemand-0.25) > 1e-12 {
+		t.Fatalf("above fraction = %v, want 0.25", s.TimeAboveOnDemand)
+	}
+}
+
+func TestComputeStatsTrailingSpike(t *testing.T) {
+	tr := mkTrace(Point{0, 0.05}, Point{time.Hour, 0.9})
+	s, err := ComputeStats(tr, 0.209)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace ends mid-spike: the spike must still be counted, with
+	// zero measured duration (it starts at the final point).
+	if s.Spikes != 1 {
+		t.Fatalf("trailing spike not counted: %+v", s)
+	}
+}
+
+func TestComputeStatsCalibration(t *testing.T) {
+	// The default generator must land in the paper's 70–80%-discount
+	// regime with a small above-on-demand fraction.
+	onDemand := 0.419
+	tr := Generate("c4.2xlarge", "z", 14*24*time.Hour, DefaultGenConfig(onDemand), rand.New(rand.NewSource(6)))
+	s, err := ComputeStats(tr, onDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The time-weighted mean includes spike periods, so it sits below the
+	// quiet-regime 70-80% discount; the quiet regime itself shows in the
+	// minimum price.
+	if s.MeanDiscount < 0.4 || s.MeanDiscount > 0.85 {
+		t.Fatalf("mean discount = %.2f out of range", s.MeanDiscount)
+	}
+	if quiet := 1 - s.MinPrice/onDemand; quiet < 0.7 || quiet > 0.85 {
+		t.Fatalf("quiet-regime discount = %.2f, want the paper's 70-80%%", quiet)
+	}
+	if s.TimeAboveOnDemand <= 0 || s.TimeAboveOnDemand > 0.35 {
+		t.Fatalf("above-on-demand fraction = %.3f", s.TimeAboveOnDemand)
+	}
+	if s.Spikes < 10 {
+		t.Fatalf("spikes = %d over two weeks; generator too quiet", s.Spikes)
+	}
+}
+
+func TestComputeStatsValidation(t *testing.T) {
+	if _, err := ComputeStats(&Trace{}, 1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	tr := mkTrace(Point{0, 0.05})
+	if _, err := ComputeStats(tr, 0); err == nil {
+		t.Fatal("zero on-demand accepted")
+	}
+}

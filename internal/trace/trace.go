@@ -1,0 +1,317 @@
+// Package trace models spot-market price traces.
+//
+// A Trace is a right-continuous step function of price over virtual time for
+// one instance type in one availability zone, mirroring the AWS spot price
+// histories the paper analyzes (§2.2, Fig. 3). The package provides a CSV
+// codec, a calibrated synthetic generator (the repo's substitute for the
+// proprietary 2016 AWS traces), and the historical eviction-probability
+// estimation BidBrain trains on (§4.1): for a given bid delta over the
+// current market price, the probability β of being evicted within the
+// billing hour, and the median time to eviction.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Point is one price change: the trace holds Price from At until the next
+// point's At.
+type Point struct {
+	At    time.Duration
+	Price float64 // dollars per instance-hour
+}
+
+// Trace is a price history for one instance type in one zone.
+type Trace struct {
+	InstanceType string
+	Zone         string
+	Points       []Point
+}
+
+// Validate checks the structural invariants: at least one point, the first
+// at time zero, strictly increasing times, positive prices.
+func (tr *Trace) Validate() error {
+	if len(tr.Points) == 0 {
+		return fmt.Errorf("trace %s/%s: no points", tr.InstanceType, tr.Zone)
+	}
+	if tr.Points[0].At != 0 {
+		return fmt.Errorf("trace %s/%s: first point at %v, want 0", tr.InstanceType, tr.Zone, tr.Points[0].At)
+	}
+	for i, p := range tr.Points {
+		if p.Price <= 0 {
+			return fmt.Errorf("trace %s/%s: non-positive price %v at index %d", tr.InstanceType, tr.Zone, p.Price, i)
+		}
+		if i > 0 && p.At <= tr.Points[i-1].At {
+			return fmt.Errorf("trace %s/%s: non-increasing time at index %d", tr.InstanceType, tr.Zone, i)
+		}
+	}
+	return nil
+}
+
+// Duration reports the time of the last price change. Prices beyond it are
+// taken as the final price.
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Points) == 0 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].At
+}
+
+// PriceAt returns the market price in effect at time t. Times before the
+// first point return the first price.
+func (tr *Trace) PriceAt(t time.Duration) float64 {
+	// Find the last point with At <= t.
+	i := sort.Search(len(tr.Points), func(i int) bool { return tr.Points[i].At > t })
+	if i == 0 {
+		return tr.Points[0].Price
+	}
+	return tr.Points[i-1].Price
+}
+
+// NextChange returns the time of the first price change strictly after t,
+// and false if none remains.
+func (tr *Trace) NextChange(t time.Duration) (time.Duration, bool) {
+	i := sort.Search(len(tr.Points), func(i int) bool { return tr.Points[i].At > t })
+	if i >= len(tr.Points) {
+		return 0, false
+	}
+	return tr.Points[i].At, true
+}
+
+// FirstCrossingAbove returns the earliest time in (from, horizon] at which
+// the price strictly exceeds threshold, and false if it never does. This is
+// the eviction condition: a spot instance is revoked when the market price
+// rises above the customer's bid (§2.2).
+func (tr *Trace) FirstCrossingAbove(threshold float64, from, horizon time.Duration) (time.Duration, bool) {
+	if tr.PriceAt(from) > threshold {
+		return from, true
+	}
+	t := from
+	for {
+		next, ok := tr.NextChange(t)
+		if !ok || next > horizon {
+			return 0, false
+		}
+		if tr.PriceAt(next) > threshold {
+			return next, true
+		}
+		t = next
+	}
+}
+
+// MeanPrice returns the time-weighted mean price over [from, to].
+func (tr *Trace) MeanPrice(from, to time.Duration) float64 {
+	if to <= from {
+		return tr.PriceAt(from)
+	}
+	var weighted float64
+	t := from
+	for t < to {
+		next, ok := tr.NextChange(t)
+		if !ok || next > to {
+			next = to
+		}
+		weighted += tr.PriceAt(t) * float64(next-t)
+		t = next
+	}
+	return weighted / float64(to-from)
+}
+
+// Set bundles traces for several instance types in one zone, as BidBrain
+// monitors multiple markets that move relatively independently (§1).
+type Set struct {
+	Zone   string
+	Traces map[string]*Trace // keyed by instance type
+}
+
+// NewSet returns an empty trace set for the zone.
+func NewSet(zone string) *Set {
+	return &Set{Zone: zone, Traces: make(map[string]*Trace)}
+}
+
+// Add inserts a trace, replacing any previous trace for the same type.
+func (s *Set) Add(tr *Trace) { s.Traces[tr.InstanceType] = tr }
+
+// Get returns the trace for an instance type and whether it exists.
+func (s *Set) Get(instanceType string) (*Trace, bool) {
+	tr, ok := s.Traces[instanceType]
+	return tr, ok
+}
+
+// Types returns the instance types present, sorted for determinism.
+func (s *Set) Types() []string {
+	out := make([]string, 0, len(s.Traces))
+	for k := range s.Traces {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Duration reports the shortest trace duration in the set, i.e. the horizon
+// over which every market has data.
+func (s *Set) Duration() time.Duration {
+	var min time.Duration
+	first := true
+	for _, tr := range s.Traces {
+		d := tr.Duration()
+		if first || d < min {
+			min, first = d, false
+		}
+	}
+	return min
+}
+
+// GenConfig parameterizes the synthetic price process. The process is a
+// regime-switching model calibrated to the qualitative structure of Fig. 3:
+// a quiet regime where the spot price hovers at a deep discount off the
+// on-demand price with small jitter, punctuated by spike bursts that climb
+// above the on-demand price (sometimes far above) and then collapse back.
+type GenConfig struct {
+	OnDemand      float64       // on-demand $/hr for this type
+	BaseDiscount  float64       // quiet-regime mean as a fraction of on-demand (e.g. 0.25)
+	Jitter        float64       // relative jitter of quiet-regime steps (e.g. 0.08)
+	StepEvery     time.Duration // mean interval between price changes
+	SpikesPerDay  float64       // mean spike bursts per day
+	SpikeDuration time.Duration // mean spike duration
+	SpikeHeight   float64       // mean spike peak as multiple of on-demand (>1)
+}
+
+// DefaultGenConfig returns parameters matching the paper's observation that
+// spot runs at a 70–80 % discount with intermittent spikes above on-demand.
+func DefaultGenConfig(onDemand float64) GenConfig {
+	return GenConfig{
+		OnDemand:      onDemand,
+		BaseDiscount:  0.25,
+		Jitter:        0.08,
+		StepEvery:     10 * time.Minute,
+		SpikesPerDay:  5,
+		SpikeDuration: 25 * time.Minute,
+		SpikeHeight:   2.0,
+	}
+}
+
+// Generate produces a synthetic trace of the given duration using cfg and a
+// deterministic rng. The same seed always yields the same trace.
+func Generate(instanceType, zone string, duration time.Duration, cfg GenConfig, rng *rand.Rand) *Trace {
+	if cfg.OnDemand <= 0 {
+		panic("trace: GenConfig.OnDemand must be positive")
+	}
+	if cfg.StepEvery <= 0 {
+		panic("trace: GenConfig.StepEvery must be positive")
+	}
+	tr := &Trace{InstanceType: instanceType, Zone: zone}
+	base := cfg.OnDemand * cfg.BaseDiscount
+
+	// Pre-draw spike windows as (start, end, peak).
+	type spike struct {
+		start, end time.Duration
+		peak       float64
+	}
+	var spikes []spike
+	days := duration.Hours() / 24
+	nSpikes := poisson(rng, cfg.SpikesPerDay*days)
+	for i := 0; i < nSpikes; i++ {
+		start := time.Duration(rng.Float64() * float64(duration))
+		dur := time.Duration((0.5 + rng.ExpFloat64()) * float64(cfg.SpikeDuration))
+		peak := cfg.OnDemand * cfg.SpikeHeight * (0.6 + 0.8*rng.Float64())
+		spikes = append(spikes, spike{start, start + dur, peak})
+	}
+	sort.Slice(spikes, func(i, j int) bool { return spikes[i].start < spikes[j].start })
+
+	inSpike := func(t time.Duration) (float64, bool) {
+		for _, sp := range spikes {
+			if t >= sp.start && t < sp.end {
+				return sp.peak, true
+			}
+		}
+		return 0, false
+	}
+
+	price := func(t time.Duration) float64 {
+		if peak, ok := inSpike(t); ok {
+			// Within a spike, jitter around the peak.
+			p := peak * (0.9 + 0.2*rng.Float64())
+			if p < base {
+				p = base
+			}
+			return round4(p)
+		}
+		p := base * (1 + cfg.Jitter*(2*rng.Float64()-1))
+		if p <= 0 {
+			p = base
+		}
+		return round4(p)
+	}
+
+	t := time.Duration(0)
+	tr.Points = append(tr.Points, Point{At: 0, Price: price(0)})
+	for t < duration {
+		// Exponential inter-arrival of price changes; spikes force extra
+		// boundary points so crossings are sharp.
+		step := time.Duration(rng.ExpFloat64() * float64(cfg.StepEvery))
+		if step < time.Minute {
+			step = time.Minute
+		}
+		next := t + step
+		for _, sp := range spikes {
+			if sp.start > t && sp.start < next {
+				next = sp.start
+			}
+			if sp.end > t && sp.end < next {
+				next = sp.end
+			}
+		}
+		if next > duration {
+			break
+		}
+		tr.Points = append(tr.Points, Point{At: next, Price: price(next)})
+		t = next
+	}
+	return tr
+}
+
+// GenerateSet produces traces for every (type, on-demand price) pair in
+// catalog, seeding each type's rng independently so traces move
+// independently, as the paper notes real markets do.
+func GenerateSet(zone string, duration time.Duration, catalog map[string]float64, seed int64) *Set {
+	s := NewSet(zone)
+	types := make([]string, 0, len(catalog))
+	for t := range catalog {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for i, t := range types {
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		s.Add(Generate(t, zone, duration, DefaultGenConfig(catalog[t]), rng))
+	}
+	return s
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's algorithm; mean values here are small (spikes per trace).
+	l := 1.0
+	limit := math.Exp(-mean)
+	k := 0
+	for {
+		l *= rng.Float64()
+		if l <= limit {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // defensive bound
+		}
+	}
+}
+
+func round4(p float64) float64 {
+	return float64(int64(p*10000+0.5)) / 10000
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkTrace(points ...Point) *Trace {
+	return &Trace{InstanceType: "c4.xlarge", Zone: "us-east-1a", Points: points}
+}
+
+func TestValidate(t *testing.T) {
+	good := mkTrace(Point{0, 0.05}, Point{time.Hour, 0.06})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	cases := []*Trace{
+		mkTrace(),
+		mkTrace(Point{time.Minute, 0.05}),
+		mkTrace(Point{0, 0.05}, Point{0, 0.06}),
+		mkTrace(Point{0, -1}),
+	}
+	for i, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: invalid trace accepted", i)
+		}
+	}
+}
+
+func TestPriceAtStepFunction(t *testing.T) {
+	tr := mkTrace(Point{0, 0.10}, Point{time.Hour, 0.20}, Point{2 * time.Hour, 0.15})
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0.10},
+		{30 * time.Minute, 0.10},
+		{time.Hour, 0.20},
+		{90 * time.Minute, 0.20},
+		{2 * time.Hour, 0.15},
+		{100 * time.Hour, 0.15},
+	}
+	for _, c := range cases {
+		if got := tr.PriceAt(c.at); got != c.want {
+			t.Errorf("PriceAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestNextChange(t *testing.T) {
+	tr := mkTrace(Point{0, 0.1}, Point{time.Hour, 0.2})
+	if at, ok := tr.NextChange(0); !ok || at != time.Hour {
+		t.Fatalf("NextChange(0) = %v,%v", at, ok)
+	}
+	if _, ok := tr.NextChange(time.Hour); ok {
+		t.Fatal("NextChange past last point should be false")
+	}
+}
+
+func TestFirstCrossingAbove(t *testing.T) {
+	tr := mkTrace(
+		Point{0, 0.10},
+		Point{10 * time.Minute, 0.50}, // spike
+		Point{20 * time.Minute, 0.10},
+	)
+	// Bid above spike: never evicted.
+	if _, ok := tr.FirstCrossingAbove(0.60, 0, time.Hour); ok {
+		t.Fatal("crossing found above the maximum price")
+	}
+	// Bid below spike: evicted at the spike start.
+	at, ok := tr.FirstCrossingAbove(0.30, 0, time.Hour)
+	if !ok || at != 10*time.Minute {
+		t.Fatalf("crossing = %v,%v, want 10m,true", at, ok)
+	}
+	// Already above at start: immediate.
+	at, ok = tr.FirstCrossingAbove(0.05, 0, time.Hour)
+	if !ok || at != 0 {
+		t.Fatalf("immediate crossing = %v,%v, want 0,true", at, ok)
+	}
+	// Horizon excludes the spike.
+	if _, ok := tr.FirstCrossingAbove(0.30, 0, 5*time.Minute); ok {
+		t.Fatal("crossing found beyond horizon")
+	}
+}
+
+func TestMeanPrice(t *testing.T) {
+	tr := mkTrace(Point{0, 0.10}, Point{time.Hour, 0.30})
+	got := tr.MeanPrice(0, 2*time.Hour)
+	if got != 0.20 {
+		t.Fatalf("MeanPrice = %v, want 0.20", got)
+	}
+	if tr.MeanPrice(time.Hour, time.Hour) != 0.30 {
+		t.Fatal("degenerate interval should return the point price")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(0.419)
+	a := Generate("c4.2xlarge", "z", 48*time.Hour, cfg, rand.New(rand.NewSource(1)))
+	b := Generate("c4.2xlarge", "z", 48*time.Hour, cfg, rand.New(rand.NewSource(1)))
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	// The synthetic process must reproduce the paper's market structure:
+	// ~70-80% discount most of the time, with spikes above on-demand.
+	onDemand := 0.419
+	tr := Generate("c4.2xlarge", "z", 14*24*time.Hour, DefaultGenConfig(onDemand), rand.New(rand.NewSource(42)))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mean := tr.MeanPrice(0, tr.Duration())
+	if mean < 0.15*onDemand || mean > 0.55*onDemand {
+		t.Fatalf("mean price %.4f not a deep discount off on-demand %.4f", mean, onDemand)
+	}
+	sawSpike := false
+	for _, p := range tr.Points {
+		if p.Price > onDemand {
+			sawSpike = true
+			break
+		}
+	}
+	if !sawSpike {
+		t.Fatal("two weeks of trace produced no spike above on-demand")
+	}
+}
+
+func TestGenerateSetIndependence(t *testing.T) {
+	catalog := map[string]float64{"c4.xlarge": 0.209, "c4.2xlarge": 0.419}
+	s := GenerateSet("us-east-1a", 24*time.Hour, catalog, 5)
+	if len(s.Types()) != 2 {
+		t.Fatalf("Types = %v", s.Types())
+	}
+	a, _ := s.Get("c4.xlarge")
+	b, _ := s.Get("c4.2xlarge")
+	// Traces for different types must differ (independent rngs).
+	if len(a.Points) == len(b.Points) {
+		same := true
+		for i := range a.Points {
+			if a.Points[i].At != b.Points[i].At {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("traces for different types are time-identical")
+		}
+	}
+	if s.Duration() <= 0 {
+		t.Fatal("set duration should be positive")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Generate("c4.xlarge", "us-east-1b", 6*time.Hour, DefaultGenConfig(0.209), rand.New(rand.NewSource(9)))
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("got %d traces, want 1", len(back))
+	}
+	got := back[0]
+	if got.InstanceType != tr.InstanceType || got.Zone != tr.Zone {
+		t.Fatalf("identity mismatch: %s/%s", got.InstanceType, got.Zone)
+	}
+	if len(got.Points) != len(tr.Points) {
+		t.Fatalf("points: %d vs %d", len(got.Points), len(tr.Points))
+	}
+	for i := range got.Points {
+		if got.Points[i] != tr.Points[i] {
+			t.Fatalf("point %d: %v vs %v", i, got.Points[i], tr.Points[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n",
+		"instance_type,zone,at_ns,price\nc4,z,notanumber,0.1\n",
+		"instance_type,zone,at_ns,price\nc4,z,0,notanumber\n",
+		"instance_type,zone,at_ns,price\nc4,z,60,0.1\n", // first point not at 0
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestReadCSVMultipleTraces(t *testing.T) {
+	in := "instance_type,zone,at_ns,price\n" +
+		"a,z,0,0.1\n" +
+		"b,z,0,0.2\n" +
+		"a,z,60,0.15\n"
+	traces, err := ReadCSV(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	if traces[0].InstanceType != "a" || len(traces[0].Points) != 2 {
+		t.Fatalf("first trace wrong: %+v", traces[0])
+	}
+}
+
+func TestEstimateEvictionMonotone(t *testing.T) {
+	// Higher bid deltas must not increase eviction probability.
+	tr := Generate("c4.xlarge", "z", 30*24*time.Hour, DefaultGenConfig(0.209), rand.New(rand.NewSource(3)))
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(11))
+	low := EstimateEviction(tr, 0.0001, 500, rngA)
+	high := EstimateEviction(tr, 0.4, 500, rngB)
+	if high.Beta > low.Beta {
+		t.Fatalf("beta(0.4)=%v > beta(0.0001)=%v", high.Beta, low.Beta)
+	}
+	if low.Beta <= 0 {
+		t.Fatal("bidding at-market over a month should see some evictions")
+	}
+	if high.Beta > 0.3 {
+		t.Fatalf("bidding $0.40 over market evicted %v of the time", high.Beta)
+	}
+}
+
+func TestBetaTableInterpolation(t *testing.T) {
+	tr := Generate("c4.xlarge", "z", 30*24*time.Hour, DefaultGenConfig(0.209), rand.New(rand.NewSource(4)))
+	bt := BuildBetaTable(tr, DefaultDeltas(), 300, 17)
+	// Clamping at the ends.
+	if bt.Beta(-1) != bt.Stats[0].Beta {
+		t.Fatal("below-grid delta should clamp to first stat")
+	}
+	if bt.Beta(99) != bt.Stats[len(bt.Stats)-1].Beta {
+		t.Fatal("above-grid delta should clamp to last stat")
+	}
+	// Interpolated values lie between neighbors.
+	mid := bt.Beta(0.03) // between 0.02 and 0.05
+	lo, hi := bt.Stats[5].Beta, bt.Stats[4].Beta
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if mid < lo-1e-12 || mid > hi+1e-12 {
+		t.Fatalf("interpolated beta %v outside [%v, %v]", mid, lo, hi)
+	}
+	if bt.MedianTTE(0.0001) <= 0 {
+		t.Fatal("median TTE should be positive")
+	}
+}
+
+func TestBuildBetaTableRejectsUnsorted(t *testing.T) {
+	tr := mkTrace(Point{0, 0.1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted deltas did not panic")
+		}
+	}()
+	BuildBetaTable(tr, []float64{0.4, 0.1}, 10, 1)
+}
+
+// Property: PriceAt always returns one of the trace's prices, and
+// MeanPrice lies within [min, max] of the trace.
+func TestPropertyPriceBounds(t *testing.T) {
+	tr := Generate("c4.xlarge", "z", 72*time.Hour, DefaultGenConfig(0.209), rand.New(rand.NewSource(8)))
+	min, max := tr.Points[0].Price, tr.Points[0].Price
+	prices := make(map[float64]bool)
+	for _, p := range tr.Points {
+		prices[p.Price] = true
+		if p.Price < min {
+			min = p.Price
+		}
+		if p.Price > max {
+			max = p.Price
+		}
+	}
+	f := func(rawFrom, rawLen uint32) bool {
+		from := time.Duration(rawFrom) % tr.Duration()
+		length := time.Duration(rawLen) % (6 * time.Hour)
+		if !prices[tr.PriceAt(from)] {
+			return false
+		}
+		m := tr.MeanPrice(from, from+length)
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package transport provides the in-process message fabric AgileML
+// processes communicate over.
+//
+// The paper's implementation connects processes with ZMQ sockets; this
+// reproduction substitutes an in-memory fabric with the same shape: named
+// endpoints, asynchronous one-way messages, per-endpoint mailboxes, and
+// byte accounting so experiments can reason about network load. Tests can
+// inject message drops and unreachable endpoints to exercise failure
+// handling.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr names an endpoint on the fabric.
+type Addr string
+
+// Message is one delivered datagram. Payload is an application value
+// passed by reference (in-process fabric); Size is the number of bytes
+// this message would occupy on a real wire and is what the byte counters
+// accumulate.
+type Message struct {
+	From    Addr
+	To      Addr
+	Kind    string
+	Payload any
+	Size    int
+}
+
+// Network is an in-process fabric connecting endpoints. It is safe for
+// concurrent use.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[Addr]*Endpoint
+	dropFn    func(Message) bool
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewNetwork returns an empty fabric.
+func NewNetwork() *Network {
+	return &Network{endpoints: make(map[Addr]*Endpoint)}
+}
+
+// SetDropFunc installs a fault-injection predicate: messages for which fn
+// returns true are silently dropped, as a lossy or partitioned network
+// would. Pass nil to clear.
+func (n *Network) SetDropFunc(fn func(Message) bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropFn = fn
+}
+
+// BytesSent reports total payload bytes accepted for delivery.
+func (n *Network) BytesSent() int64 { return n.bytesSent.Load() }
+
+// MessagesSent reports total messages accepted for delivery.
+func (n *Network) MessagesSent() int64 { return n.msgsSent.Load() }
+
+// Dropped reports messages discarded by the drop predicate.
+func (n *Network) Dropped() int64 { return n.dropped.Load() }
+
+// Listen registers an endpoint with a mailbox of the given capacity.
+// Registering an address twice is an error.
+func (n *Network) Listen(addr Addr, mailbox int) (*Endpoint, error) {
+	if mailbox <= 0 {
+		return nil, fmt.Errorf("transport: mailbox capacity %d must be positive", mailbox)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	ep := &Endpoint{
+		addr: addr,
+		net:  n,
+		in:   make(chan Message, mailbox),
+	}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// lookup returns the endpoint for addr, or nil.
+func (n *Network) lookup(addr Addr) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.endpoints[addr]
+}
+
+// remove unregisters the endpoint if it is still the one registered.
+func (n *Network) remove(ep *Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := n.endpoints[ep.addr]; ok && cur == ep {
+		delete(n.endpoints, ep.addr)
+	}
+}
+
+// Endpoint is one party on the fabric. Receive from Inbox; send with Send.
+type Endpoint struct {
+	addr   Addr
+	net    *Network
+	in     chan Message
+	closed atomic.Bool
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Inbox returns the receive channel. It is closed when the endpoint
+// closes, so `for msg := range ep.Inbox()` is the standard receive loop.
+func (e *Endpoint) Inbox() <-chan Message { return e.in }
+
+// Send delivers a message to the endpoint at to. It blocks if the
+// destination mailbox is full (backpressure, as TCP would apply) and
+// returns an error if the destination does not exist or has closed —
+// the caller's signal that the peer is gone.
+func (e *Endpoint) Send(to Addr, kind string, payload any, size int) error {
+	if e.closed.Load() {
+		return fmt.Errorf("transport: send from closed endpoint %q", e.addr)
+	}
+	msg := Message{From: e.addr, To: to, Kind: kind, Payload: payload, Size: size}
+
+	e.net.mu.Lock()
+	dropFn := e.net.dropFn
+	dst := e.net.endpoints[to]
+	e.net.mu.Unlock()
+
+	if dropFn != nil && dropFn(msg) {
+		e.net.dropped.Add(1)
+		return nil // dropped silently, like a lossy wire
+	}
+	if dst == nil {
+		return fmt.Errorf("transport: %w: %q", ErrUnreachable, to)
+	}
+	if err := dst.deliver(msg); err != nil {
+		return err
+	}
+	e.net.bytesSent.Add(int64(size))
+	e.net.msgsSent.Add(1)
+	return nil
+}
+
+// ErrUnreachable reports a send to an address with no live endpoint.
+var ErrUnreachable = fmt.Errorf("unreachable address")
+
+func (e *Endpoint) deliver(msg Message) (err error) {
+	// A concurrent Close can close e.in while we block in the send;
+	// recover converts that race into an unreachable error instead of a
+	// crash, matching a packet arriving at a just-closed socket.
+	defer func() {
+		if recover() != nil {
+			err = fmt.Errorf("transport: %w: %q closed during delivery", ErrUnreachable, msg.To)
+		}
+	}()
+	if e.closed.Load() {
+		return fmt.Errorf("transport: %w: %q", ErrUnreachable, msg.To)
+	}
+	e.in <- msg
+	return nil
+}
+
+// Close unregisters the endpoint and closes its inbox. Idempotent.
+// Messages already queued remain readable until drained; subsequent sends
+// to this address fail with ErrUnreachable.
+func (e *Endpoint) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.net.remove(e)
+	close(e.in)
+}

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestListenAndSend(t *testing.T) {
+	n := NewNetwork()
+	a, err := n.Listen("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen("b", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "hello", 42, 100); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-b.Inbox()
+	if msg.From != "a" || msg.To != "b" || msg.Kind != "hello" || msg.Payload.(int) != 42 || msg.Size != 100 {
+		t.Fatalf("msg = %+v", msg)
+	}
+	if n.BytesSent() != 100 || n.MessagesSent() != 1 {
+		t.Fatalf("counters = %d bytes, %d msgs", n.BytesSent(), n.MessagesSent())
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Listen("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a", 1); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+}
+
+func TestZeroMailboxRejected(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Listen("a", 0); err == nil {
+		t.Fatal("zero-capacity mailbox accepted")
+	}
+}
+
+func TestSendToUnknownAddress(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Listen("a", 1)
+	err := a.Send("ghost", "k", nil, 1)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestCloseMakesUnreachable(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Listen("a", 1)
+	b, _ := n.Listen("b", 1)
+	b.Close()
+	if err := a.Send("b", "k", nil, 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	// Sending from a closed endpoint also fails.
+	a.Close()
+	if err := a.Send("b", "k", nil, 1); err == nil {
+		t.Fatal("send from closed endpoint accepted")
+	}
+	a.Close() // idempotent
+}
+
+func TestInboxClosedAfterClose(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Listen("a", 2)
+	b, _ := n.Listen("b", 2)
+	b.Send("a", "k", 1, 1)
+	a.Close()
+	// Queued message still readable, then channel closes.
+	msg, ok := <-a.Inbox()
+	if !ok || msg.Payload.(int) != 1 {
+		t.Fatalf("queued message lost: %v %v", msg, ok)
+	}
+	if _, ok := <-a.Inbox(); ok {
+		t.Fatal("inbox not closed after drain")
+	}
+}
+
+func TestAddressReuseAfterClose(t *testing.T) {
+	n := NewNetwork()
+	a1, _ := n.Listen("a", 1)
+	a1.Close()
+	a2, err := n.Listen("a", 1)
+	if err != nil {
+		t.Fatalf("address not reusable after close: %v", err)
+	}
+	b, _ := n.Listen("b", 1)
+	if err := b.Send("a", "k", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-a2.Inbox(); msg.Kind != "k" {
+		t.Fatalf("msg = %+v", msg)
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Listen("a", 4)
+	b, _ := n.Listen("b", 4)
+	n.SetDropFunc(func(m Message) bool { return m.Kind == "lossy" })
+	if err := a.Send("b", "lossy", nil, 10); err != nil {
+		t.Fatalf("dropped send errored: %v", err)
+	}
+	if err := a.Send("b", "ok", nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", n.Dropped())
+	}
+	msg := <-b.Inbox()
+	if msg.Kind != "ok" {
+		t.Fatalf("got %q, want the non-dropped message", msg.Kind)
+	}
+	// Dropped messages do not count as sent bytes.
+	if n.BytesSent() != 10 {
+		t.Fatalf("BytesSent = %d, want 10", n.BytesSent())
+	}
+	n.SetDropFunc(nil)
+	if err := a.Send("b", "lossy", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-b.Inbox(); msg.Kind != "lossy" {
+		t.Fatal("drop predicate not cleared")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	n := NewNetwork()
+	dst, _ := n.Listen("dst", 1024)
+	const senders, each = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep, err := n.Listen(Addr(fmt.Sprintf("s%d", s)), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := ep.Send("dst", "m", i, 8); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	got := 0
+	for got < senders*each {
+		select {
+		case <-dst.Inbox():
+			got++
+		case <-done:
+			for range dst.Inbox() {
+				got++
+				if got == senders*each {
+					break
+				}
+			}
+		}
+	}
+	wg.Wait()
+	if n.MessagesSent() != senders*each {
+		t.Fatalf("MessagesSent = %d, want %d", n.MessagesSent(), senders*each)
+	}
+	if n.BytesSent() != senders*each*8 {
+		t.Fatalf("BytesSent = %d", n.BytesSent())
+	}
+}
+
+func TestBackpressureBlocksThenDelivers(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Listen("a", 1)
+	b, _ := n.Listen("b", 1)
+	if err := a.Send("b", "first", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan error, 1)
+	go func() { delivered <- a.Send("b", "second", nil, 1) }()
+	// Drain one to free the mailbox slot; the blocked send completes.
+	<-b.Inbox()
+	if err := <-delivered; err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-b.Inbox(); msg.Kind != "second" {
+		t.Fatalf("got %q", msg.Kind)
+	}
+}
