@@ -16,11 +16,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"proteus/internal/agileml"
 	"proteus/internal/experiments"
 	"proteus/internal/metrics"
+	"proteus/internal/obs"
 	"proteus/internal/perfmodel"
 )
 
@@ -30,6 +33,8 @@ func main() {
 	fig := flag.Int("fig", 11, "figure to reproduce (11-16)")
 	seed := flag.Int64("seed", 3, "dataset seed for the functional run")
 	sweep := flag.Bool("sweep", false, "sweep stages across ratios and auto-tune thresholds (§3.3 future work)")
+	metricsOut := flag.String("metrics-out", "", "with -fig 16, write Prometheus text metrics to this file")
+	traceOut := flag.String("trace-out", "", "with -fig 16, write the JSONL span trace to this file")
 	flag.Parse()
 
 	if *sweep {
@@ -50,7 +55,7 @@ func main() {
 	case 15:
 		printFig15()
 	case 16:
-		if err := printFig16(*seed); err != nil {
+		if err := printFig16(*seed, *metricsOut, *traceOut); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -96,8 +101,12 @@ func printFig15() {
 	}
 }
 
-func printFig16(seed int64) error {
-	points, err := experiments.Fig16(45, seed)
+func printFig16(seed int64, metricsOut, traceOut string) error {
+	var o *obs.Observer
+	if metricsOut != "" || traceOut != "" {
+		o = obs.NewObserver(nil)
+	}
+	points, err := experiments.Fig16Observed(45, seed, o)
 	if err != nil {
 		return err
 	}
@@ -121,5 +130,27 @@ func printFig16(seed int64) error {
 			p.Iteration, p.Seconds, p.Machines, p.Stage, p.Objective,
 			metrics.AsciiBar(p.Seconds, max, 30), marker)
 	}
+	if metricsOut != "" {
+		if err := dumpTo(metricsOut, o.Reg().WritePrometheus); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	if traceOut != "" {
+		if err := dumpTo(traceOut, o.Trace().WriteJSONL); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
 	return nil
+}
+
+func dumpTo(path string, dump func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"os"
+	"time"
 
 	"proteus/internal/bidbrain"
 	"proteus/internal/core"
@@ -10,23 +12,20 @@ import (
 	"proteus/internal/experiments"
 	"proteus/internal/journal"
 	"proteus/internal/ml/mf"
+	"proteus/internal/obs"
 	"proteus/internal/perfmodel"
+	"proteus/internal/sim"
 )
 
-// runLive executes the full-stack Proteus run: a real MF model trains on
-// machines BidBrain acquires from the simulated market, with eviction
-// warnings flowing through the AgileML elasticity controller.
-func runLive(cfg experiments.MarketConfig, iterations int) error {
-	env, err := experiments.NewEnv(cfg, defaultParams())
-	if err != nil {
-		return err
-	}
+// buildLiveConfig assembles the standard full-stack job: a real MF model
+// training on machines BidBrain acquires from the simulated market.
+func buildLiveConfig(seed int64, iterations int, jl *journal.Journal, o *obs.Observer) core.LiveConfig {
 	data := dataset.GenerateMF(dataset.MFConfig{
 		Users: 120, Items: 90, Rank: 5, Observed: 2000, Noise: 0.02,
-	}, cfg.Seed)
-	jl := journal.New(env.Engine.Now)
-	liveCfg := core.LiveConfig{
+	}, seed)
+	return core.LiveConfig{
 		Journal:          jl,
+		Observer:         o,
 		App:              mf.New(mf.DefaultConfig(5), data),
 		Iterations:       iterations,
 		ReliableType:     "c4.xlarge",
@@ -38,7 +37,34 @@ func runLive(cfg experiments.MarketConfig, iterations int) error {
 		Cluster:          perfmodel.ClusterA(),
 		Staleness:        1,
 	}
-	res, err := core.RunLive(env.Engine, env.Market, env.Brain, liveCfg)
+}
+
+// instrumentEnv binds the observer to a freshly built environment: the
+// engine clock stamps metrics and spans, the engine's queue is sampled,
+// and the journal subscribes to the span stream so trace and narrative
+// stay in one-to-one agreement.
+func instrumentEnv(env *experiments.Env, o *obs.Observer, jl *journal.Journal) {
+	if o == nil {
+		return
+	}
+	o.SetClock(env.Engine.Now)
+	sim.InstrumentEngine(o.Reg(), env.Engine, time.Minute)
+	obs.BridgeJournal(o.Trace(), jl)
+}
+
+// runLive executes the full-stack Proteus run: a real MF model trains on
+// machines BidBrain acquires from the simulated market, with eviction
+// warnings flowing through the AgileML elasticity controller.
+func runLive(cfg experiments.MarketConfig, iterations int, o *obs.Observer, oo obsOutputs) error {
+	cfg.Observer = o
+	env, err := experiments.NewEnv(cfg, defaultParams())
+	if err != nil {
+		return err
+	}
+	jl := journal.New(env.Engine.Now)
+	instrumentEnv(env, o, jl)
+	oo.serve(o)
+	res, err := core.RunLive(env.Engine, env.Market, env.Brain, buildLiveConfig(cfg.Seed, iterations, jl, o))
 	if err != nil {
 		return err
 	}
@@ -56,7 +82,32 @@ func runLive(cfg experiments.MarketConfig, iterations int) error {
 	if _, err := jl.WriteTo(os.Stdout); err != nil {
 		return err
 	}
+	if o != nil {
+		if err := oo.write(o); err != nil {
+			return err
+		}
+		if oo.metricsAddr != "" {
+			log.Printf("serving /metrics and /debug/pprof on %s (ctrl-c to exit)", oo.metricsAddr)
+			select {}
+		}
+	}
 	return nil
+}
+
+// runQuietLive runs one full-stack pass purely to populate the observer:
+// the cost simulation alone never touches the AgileML or parameter-server
+// layers, so exports from a non-live run would miss those metric families
+// and the trace would carry no elasticity spans.
+func runQuietLive(cfg experiments.MarketConfig, iterations int, o *obs.Observer) error {
+	cfg.Observer = o
+	env, err := experiments.NewEnv(cfg, defaultParams())
+	if err != nil {
+		return err
+	}
+	jl := journal.New(env.Engine.Now)
+	instrumentEnv(env, o, jl)
+	_, err = core.RunLive(env.Engine, env.Market, env.Brain, buildLiveConfig(cfg.Seed, iterations, jl, o))
+	return err
 }
 
 // defaultParams returns the default BidBrain parameters (helper keeps

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"proteus/internal/experiments"
+	"proteus/internal/obs"
 )
 
 func main() {
@@ -33,13 +34,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "market seed")
 	live := flag.Bool("live", false, "run the full functional stack (market -> cluster -> AgileML -> real MF training)")
 	iterations := flag.Int("iterations", 40, "training iterations for -live")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file at exit")
+	traceOut := flag.String("trace-out", "", "write the JSONL span trace to this file at exit")
+	metricsAddr := flag.String("metrics-addr", "", "with -live, serve /metrics and /debug/pprof on this address")
 	flag.Parse()
 
 	cfg := experiments.DefaultMarketConfig()
 	cfg.Seed = *seed
 
+	oo := obsOutputs{metricsOut: *metricsOut, traceOut: *traceOut, metricsAddr: *metricsAddr}
+	var o *obs.Observer
+	if oo.enabled() {
+		o = obs.NewObserver(nil)
+	}
+	cfg.Observer = o
+
 	if *live {
-		if err := runLive(cfg, *iterations); err != nil {
+		if err := runLive(cfg, *iterations, o, oo); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -61,6 +72,18 @@ func main() {
 		}
 		fmt.Printf("%-22s %12.2f %11.1f%% %12.2f %10.1f %10.1f\n",
 			a.Scheme, a.Cost, a.CostPercentOD, a.Runtime.Hours(), a.Evictions, a.Usage.FreeHours)
+	}
+
+	if o != nil {
+		// The cost simulation exercises only the market and BidBrain; one
+		// quiet full-stack pass fills in the agileml, ps, core, and sim
+		// metric families and the elasticity span trace.
+		if err := runQuietLive(cfg, *iterations, o); err != nil {
+			log.Fatal(err)
+		}
+		if err := oo.write(o); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"proteus/internal/obs"
+)
+
+// obsOutputs carries the observability flag values shared by the live and
+// cost-simulation paths.
+type obsOutputs struct {
+	metricsOut  string // Prometheus text file written at exit
+	traceOut    string // JSONL span trace written at exit
+	metricsAddr string // live-mode HTTP address for /metrics and pprof
+}
+
+// enabled reports whether any observability output was requested.
+func (oo obsOutputs) enabled() bool {
+	return oo.metricsOut != "" || oo.traceOut != "" || oo.metricsAddr != ""
+}
+
+// write dumps the registry and trace to the configured files.
+func (oo obsOutputs) write(o *obs.Observer) error {
+	if oo.metricsOut != "" {
+		if err := writeFile(oo.metricsOut, o.Reg().WritePrometheus); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	if oo.traceOut != "" {
+		if err := writeFile(oo.traceOut, o.Trace().WriteJSONL); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, dump func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serve exposes /metrics and /debug/pprof on the configured address in
+// the background. Returns immediately; errors are logged.
+func (oo obsOutputs) serve(o *obs.Observer) {
+	if oo.metricsAddr == "" || o == nil {
+		return
+	}
+	mux := o.Reg().Mux()
+	go func() {
+		if err := http.ListenAndServe(oo.metricsAddr, mux); err != nil {
+			log.Printf("metrics server: %v", err)
+		}
+	}()
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"proteus/internal/cluster"
 	"proteus/internal/journal"
+	"proteus/internal/obs"
 	"proteus/internal/ps"
 	"proteus/internal/transport"
 )
@@ -55,6 +57,12 @@ type Config struct {
 	// Journal, when set, records the controller's elasticity decisions
 	// (stage transitions, membership changes, recoveries).
 	Journal *journal.Journal
+
+	// Observer receives AgileML metrics and elasticity spans. When its
+	// tracer is set, controller events flow through the tracer INSTEAD of
+	// the Journal; bridge the two with obs.BridgeJournal so the journal
+	// sees the same event stream (and exactly once).
+	Observer *obs.Observer
 
 	// restore carries a reliable-tier checkpoint to start from instead of
 	// the application's initial state; set via RestoreFromCheckpoint.
@@ -114,6 +122,7 @@ type machineState struct {
 type Controller struct {
 	cfg    Config
 	router *ps.Router
+	psm    *ps.Metrics
 
 	mu        sync.Mutex
 	machines  map[cluster.MachineID]*machineState
@@ -128,11 +137,25 @@ type Controller struct {
 	recoveries       int
 }
 
-// log records a controller event when a journal is configured.
+// log records a controller event. With a tracer configured the event goes
+// through it alone — the journal, if any, is expected to subscribe via
+// obs.BridgeJournal, which keeps trace spans and journal records
+// one-to-one. Without a tracer the journal is written directly.
 func (c *Controller) log(kind, detail string, args ...any) {
+	if t := c.cfg.Observer.Trace(); t != nil {
+		t.Event("agileml", kind, detail, args...)
+		return
+	}
 	if c.cfg.Journal != nil {
 		c.cfg.Journal.Record("agileml", kind, detail, args...)
 	}
+}
+
+// newServer creates a parameter server wired to the job's metric set.
+func (c *Controller) newServer(name string, role ps.Role) *ps.Server {
+	s := ps.NewServer(name, role)
+	s.SetMetrics(c.psm)
+	return s
 }
 
 // New creates a controller, lays out servers for the seed machines'
@@ -158,8 +181,10 @@ func New(cfg Config, seed []*cluster.Machine) (*Controller, error) {
 	c := &Controller{
 		cfg:      full,
 		router:   ps.NewRouter(full.Partitions),
+		psm:      ps.NewMetrics(full.Observer.Reg()),
 		machines: make(map[cluster.MachineID]*machineState),
 	}
+	c.router.SetMetrics(c.psm)
 	if full.Network != nil {
 		st, err := newStreamState(full.Network)
 		if err != nil {
@@ -207,7 +232,29 @@ func New(cfg Config, seed []*cluster.Machine) (*Controller, error) {
 	}
 	c.data = dm
 	c.ensureClients()
+	c.observeState()
 	return c, nil
+}
+
+// observeState refreshes the stage and membership gauges.
+func (c *Controller) observeState() {
+	reg := c.cfg.Observer.Reg()
+	if reg == nil {
+		return
+	}
+	rel, trans := c.counts()
+	reg.Gauge("proteus_agileml_stage", "current elasticity stage (1-3)").Set(float64(c.stage))
+	reg.Gauge("proteus_agileml_machines", "registered machines by tier",
+		obs.L("tier", "reliable")).Set(float64(rel))
+	reg.Gauge("proteus_agileml_machines", "registered machines by tier",
+		obs.L("tier", "transient")).Set(float64(trans))
+	actives := 0
+	for _, ms := range c.machines {
+		if ms.m.Tier == cluster.Transient && ms.serving != nil && ms.serving.NumPartitions() > 0 {
+			actives++
+		}
+	}
+	reg.Gauge("proteus_agileml_active_ps", "transient machines hosting an ActivePS").Set(float64(actives))
 }
 
 // Router exposes the job's partition router (examples, tests).
@@ -294,7 +341,7 @@ func (c *Controller) layoutStage1() error {
 		return fmt.Errorf("agileml: stage 1 needs reliable machines")
 	}
 	for i, ms := range rel {
-		srv := ps.NewServer(fmt.Sprintf("m%d/paramserv", ms.m.ID), ps.ParamServ)
+		srv := c.newServer(fmt.Sprintf("m%d/paramserv", ms.m.ID), ps.ParamServ)
 		ms.serving = srv
 		ms.backup = nil
 		_ = i
@@ -333,6 +380,16 @@ func (c *Controller) transitionTo(target Stage) error {
 	}
 	c.stageTransitions++
 	c.log("stage-transition", "%v -> %v", c.stage, target)
+	c.cfg.Observer.Reg().Counter("proteus_agileml_stage_transitions_total",
+		"stage transitions by direction",
+		obs.L("from", c.stage.String()), obs.L("to", target.String())).Inc()
+	start := time.Now()
+	defer func() {
+		c.cfg.Observer.Reg().Histogram("proteus_agileml_transition_seconds",
+			"wall seconds spent executing a stage transition",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1}).Observe(time.Since(start).Seconds())
+		c.observeState()
+	}()
 	switch {
 	case c.stage == Stage1 && target >= Stage2:
 		if err := c.stage1to2(); err != nil {
@@ -368,7 +425,7 @@ func (c *Controller) stage1to2() error {
 	}
 	for _, ms := range targets {
 		if ms.serving == nil {
-			ms.serving = ps.NewServer(fmt.Sprintf("m%d/activeps", ms.m.ID), ps.ActivePS)
+			ms.serving = c.newServer(fmt.Sprintf("m%d/activeps", ms.m.ID), ps.ActivePS)
 		}
 	}
 	for p := 0; p < c.cfg.Partitions; p++ {

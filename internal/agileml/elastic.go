@@ -3,8 +3,10 @@ package agileml
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"proteus/internal/cluster"
+	"proteus/internal/obs"
 	"proteus/internal/ps"
 )
 
@@ -27,9 +29,14 @@ func (c *Controller) AddMachines(ms []*cluster.Machine) error {
 			return fmt.Errorf("agileml: machine %d already registered", m.ID)
 		}
 	}
+	span := c.cfg.Observer.Trace().Start("agileml", "incorporate").
+		Detailf("%d machines joining (%v)", len(ms), ms[0].Tier)
+	start := time.Now()
 	for _, m := range ms {
 		c.machines[m.ID] = &machineState{m: m, joinOrder: c.nextJoin}
 		c.nextJoin++
+		c.cfg.Observer.Reg().Counter("proteus_agileml_machines_added_total",
+			"machines incorporated by tier", obs.L("tier", m.Tier.String())).Inc()
 	}
 	c.log("add-machines", "%d machines joined (%v)", len(ms), ms[0].Tier)
 	if err := c.transitionTo(c.cfg.Thresholds.StageFor(c.counts())); err != nil {
@@ -40,7 +47,13 @@ func (c *Controller) AddMachines(ms []*cluster.Machine) error {
 			return err
 		}
 	}
-	return c.refreshWorkers()
+	err := c.refreshWorkers()
+	c.cfg.Observer.Reg().Histogram("proteus_agileml_incorporate_seconds",
+		"wall seconds to incorporate new machines",
+		[]float64{0.0001, 0.001, 0.01, 0.1, 1}).Observe(time.Since(start).Seconds())
+	c.observeState()
+	span.End()
+	return err
 }
 
 // refreshWorkers reconciles data assignment and clients with the current
@@ -93,7 +106,7 @@ func (c *Controller) rebalanceActivePSs() error {
 	}
 	for _, ms := range targets {
 		if ms.serving == nil {
-			ms.serving = ps.NewServer(fmt.Sprintf("m%d/activeps", ms.m.ID), ps.ActivePS)
+			ms.serving = c.newServer(fmt.Sprintf("m%d/activeps", ms.m.ID), ps.ActivePS)
 		}
 	}
 	targetSet := make(map[*ps.Server]bool, len(targets))
@@ -181,6 +194,15 @@ func (c *Controller) flushActivesLocked(endOfLife bool) error {
 func (c *Controller) HandleEvictionWarning(ids []cluster.MachineID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	span := c.cfg.Observer.Trace().Start("agileml", "drain").
+		Detailf("%d machines draining", len(ids))
+	start := time.Now()
+	defer func() {
+		c.cfg.Observer.Reg().Histogram("proteus_agileml_drain_seconds",
+			"wall seconds to drain state off warned machines",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1}).Observe(time.Since(start).Seconds())
+		span.End()
+	}()
 	evicted := make(map[cluster.MachineID]bool, len(ids))
 	for _, id := range ids {
 		ms, ok := c.machines[id]
@@ -255,7 +277,7 @@ func (c *Controller) HandleEvictionWarning(ids []cluster.MachineID) error {
 			recv := receivers[next%len(receivers)]
 			next++
 			if recv.serving == nil {
-				recv.serving = ps.NewServer(fmt.Sprintf("m%d/activeps", recv.m.ID), ps.ActivePS)
+				recv.serving = c.newServer(fmt.Sprintf("m%d/activeps", recv.m.ID), ps.ActivePS)
 			}
 			recv.serving.InstallSnapshot(snap)
 			c.router.SetOwner(pid, recv.serving)
@@ -317,6 +339,9 @@ func (c *Controller) removeMachines(ids []cluster.MachineID, failure bool) error
 		delete(c.machines, id)
 	}
 
+	c.cfg.Observer.Reg().Counter("proteus_agileml_machines_removed_total",
+		"machines removed by cause",
+		obs.L("cause", removalCause(failure))).Add(float64(len(ids)))
 	if err := c.transitionTo(c.cfg.Thresholds.StageFor(c.counts())); err != nil {
 		return err
 	}
@@ -325,7 +350,17 @@ func (c *Controller) removeMachines(ids []cluster.MachineID, failure bool) error
 			return err
 		}
 	}
-	return c.refreshWorkers()
+	err := c.refreshWorkers()
+	c.observeState()
+	return err
+}
+
+// removalCause labels machine removals for metrics.
+func removalCause(failure bool) string {
+	if failure {
+		return "failure"
+	}
+	return "eviction"
 }
 
 // recoverLostPartitions performs the online rollback recovery of §3.3:
@@ -335,6 +370,8 @@ func (c *Controller) recoverLostPartitions(lost map[cluster.MachineID]bool) erro
 	c.recoveries++
 	rollbackTo := c.minBackupClock()
 	c.log("rollback-recovery", "%d machines failed, rolling back to clock %d", len(lost), rollbackTo)
+	c.cfg.Observer.Reg().Counter("proteus_agileml_recoveries_total",
+		"rollback recoveries after unwarned failures").Inc()
 
 	// Survivable transient machines, longest-running first, to host the
 	// restored partitions.
@@ -379,7 +416,7 @@ func (c *Controller) recoverLostPartitions(lost map[cluster.MachineID]bool) erro
 			recv := survivors[next%len(survivors)]
 			next++
 			if recv.serving == nil {
-				recv.serving = ps.NewServer(fmt.Sprintf("m%d/activeps", recv.m.ID), ps.ActivePS)
+				recv.serving = c.newServer(fmt.Sprintf("m%d/activeps", recv.m.ID), ps.ActivePS)
 			}
 			recv.serving.InstallSnapshot(snap)
 			c.router.SetOwner(pid, recv.serving)

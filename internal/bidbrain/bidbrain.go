@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"proteus/internal/market"
+	"proteus/internal/obs"
 	"proteus/internal/trace"
 )
 
@@ -172,6 +173,7 @@ type Brain struct {
 	params Params
 	betas  map[string]*trace.BetaTable
 	deltas []float64
+	obsv   *obs.Observer
 }
 
 // New creates a Brain from per-type β tables trained on historical
@@ -191,6 +193,10 @@ func New(p Params, betas map[string]*trace.BetaTable, deltas []float64) (*Brain,
 
 // Params returns the application parameters.
 func (b *Brain) Params() Params { return b.params }
+
+// SetObserver installs metrics/tracing for the brain's decisions. Nil
+// disables instrumentation (the default).
+func (b *Brain) SetObserver(o *obs.Observer) { b.obsv = o }
 
 // Beta estimates the eviction probability within the hour for a type at
 // a bid delta, from the trained tables.
@@ -263,6 +269,7 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 		}
 	}
 	if best == nil {
+		b.observeDecision("none", base, nil)
 		return nil, nil
 	}
 	// Acquire only if it improves on — or stays within the tolerance of —
@@ -270,9 +277,35 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 	// on-demand, producing no work) has infinite cost per work, so
 	// anything improves it.
 	if base.Work > 0 && best.NewCostPerWork >= base.CostPerWork*(1+b.params.AcquireTolerance) {
+		b.observeDecision("hold", base, best)
 		return nil, nil
 	}
+	b.observeDecision("acquire", base, best)
 	return best, nil
+}
+
+// observeDecision records a BestAcquisition outcome: "acquire" (candidate
+// returned), "hold" (best candidate did not beat the footprint), or
+// "none" (no viable candidate at all).
+func (b *Brain) observeDecision(result string, base Evaluation, best *Candidate) {
+	reg := b.obsv.Reg()
+	reg.Counter("proteus_bidbrain_decisions_total",
+		"acquisition decisions by outcome", obs.L("result", result)).Inc()
+	if base.Work > 0 {
+		reg.Histogram("proteus_bidbrain_cost_per_work_dollars",
+			"expected cost per unit work of the current footprint (Eq. 4)",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}).Observe(base.CostPerWork)
+	}
+	if best != nil {
+		reg.Histogram("proteus_bidbrain_bid_delta_dollars",
+			"bid delta of the best candidate found",
+			[]float64{0.001, 0.01, 0.05, 0.1, 0.5, 1}).Observe(best.BidDelta)
+		if result == "acquire" {
+			b.obsv.Trace().Event("bidbrain", "acquire",
+				"%dx %s bid=%.4f (delta %.4f, beta %.3f, cost/work %.5f)",
+				best.Count, best.Type.Name, best.Bid, best.BidDelta, best.Beta, best.NewCostPerWork)
+		}
+	}
 }
 
 // expectedOmega is the useful-time horizon of a fresh allocation:
@@ -312,13 +345,22 @@ func (b *Brain) ShouldRenew(rest []AllocState, alloc AllocState, renewPrice floa
 		renewed.Omega = expectedOmega(alloc.Beta, bt.MedianTTE(0.01))
 	}
 	with := Evaluate(b.params, append(append([]AllocState(nil), rest...), renewed), false)
-	if with.Work == 0 {
-		return false
+	renew := false
+	switch {
+	case with.Work == 0:
+	case without.Work == 0:
+		renew = true
+	default:
+		renew = with.CostPerWork < without.CostPerWork
 	}
-	if without.Work == 0 {
-		return true
+	result := "release"
+	if renew {
+		result = "renew"
 	}
-	return with.CostPerWork < without.CostPerWork
+	b.obsv.Reg().Counter("proteus_bidbrain_renewals_total",
+		"hour-end renewal decisions by outcome",
+		obs.L("result", result), obs.L("type", alloc.Type.Name)).Inc()
+	return renew
 }
 
 // StandardBid implements the oft-used baseline strategy the paper

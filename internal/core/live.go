@@ -9,6 +9,7 @@ import (
 	"proteus/internal/cluster"
 	"proteus/internal/journal"
 	"proteus/internal/market"
+	"proteus/internal/obs"
 	"proteus/internal/perfmodel"
 	"proteus/internal/sim"
 )
@@ -40,6 +41,12 @@ type LiveConfig struct {
 	Staleness int
 	// Journal, when set, records BidBrain and AgileML decisions.
 	Journal *journal.Journal
+	// Observer, when set, instruments the whole stack: it is installed on
+	// the Brain and the AgileML controller, and core-level iteration
+	// metrics are recorded. With a tracer configured, component events
+	// flow through the tracer alone; bridge the journal with
+	// obs.BridgeJournal so it sees the same stream.
+	Observer *obs.Observer
 }
 
 // Validate rejects unusable configurations.
@@ -138,12 +145,16 @@ func RunLive(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain, cfg Liv
 	}
 	j.machinesOf[rel.ID] = machineIDsOf(relMachines)
 
+	if cfg.Observer != nil {
+		brain.SetObserver(cfg.Observer)
+	}
 	maxMachines := cfg.ReliableCount + cfg.MaxSpotInstances
 	ctrl, err := agileml.New(agileml.Config{
 		App:         cfg.App,
 		MaxMachines: maxMachines,
 		Staleness:   cfg.Staleness,
 		Journal:     cfg.Journal,
+		Observer:    cfg.Observer,
 	}, relMachines)
 	if err != nil {
 		return LiveResult{}, err
@@ -240,6 +251,11 @@ func (j *liveJob) scheduleIteration(blip bool) {
 			j.fail(err)
 			return
 		}
+		reg := j.cfg.Observer.Reg()
+		reg.Counter("proteus_core_iterations_total", "training iterations completed").Inc()
+		reg.Histogram("proteus_core_iteration_seconds",
+			"modeled duration of each training iteration",
+			[]float64{1, 2, 5, 10, 30, 60, 120}).Observe(secs)
 		rel, trans := j.ctrl.NumMachines()
 		j.timeline = append(j.timeline, LivePoint{
 			Iteration: j.runner.Iterations(),
@@ -256,8 +272,13 @@ func (j *liveJob) scheduleIteration(blip bool) {
 	})
 }
 
-// record appends to the configured journal, if any.
+// record appends to the configured journal, if any. With a tracer
+// active the components themselves emit richer events through it (and
+// the journal is bridged), so direct records would duplicate them.
 func (j *liveJob) record(component, kind, detail string, args ...any) {
+	if j.cfg.Observer.Trace() != nil {
+		return
+	}
 	if j.cfg.Journal != nil {
 		j.cfg.Journal.Record(component, kind, detail, args...)
 	}

@@ -20,6 +20,7 @@ import (
 	"proteus/internal/checkpoint"
 	"proteus/internal/core"
 	"proteus/internal/market"
+	"proteus/internal/obs"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
 )
@@ -35,6 +36,10 @@ type MarketConfig struct {
 	// with independently-moving prices. The paper analyzes "the US-EAST-1
 	// region (all 4 zones)" (§6.3). Zero means 1.
 	Zones int
+	// Observer, when set, instruments every market and Brain the config
+	// builds. Counters aggregate across all sample runs, so the exported
+	// totals cover the whole experiment.
+	Observer *obs.Observer
 }
 
 // DefaultMarketConfig mirrors the paper's split: β trained on ~3 months
@@ -83,13 +88,17 @@ func NewEnv(cfg MarketConfig, params bidbrain.Params) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Observer != nil {
+		brain.SetObserver(cfg.Observer)
+	}
 
 	eval := trace.GenerateSet("eval", time.Duration(cfg.EvalDays)*24*time.Hour, prices, cfg.Seed)
 	eng := sim.NewEngine()
 	mkt, err := market.New(eng, market.Config{
-		Catalog: catalog,
-		Traces:  eval,
-		Warning: 2 * time.Minute,
+		Catalog:  catalog,
+		Traces:   eval,
+		Warning:  2 * time.Minute,
+		Observer: cfg.Observer,
 	})
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"proteus/internal/dataset"
 	"proteus/internal/market"
 	"proteus/internal/ml/mf"
+	"proteus/internal/obs"
 	"proteus/internal/perfmodel"
 	"proteus/internal/trace"
 )
@@ -223,6 +224,12 @@ type Fig16Point struct {
 // for real; per-iteration times come from the performance model, with the
 // paper's measured 13% blip applied to the eviction iteration.
 func Fig16(iterations int, seed int64) ([]Fig16Point, error) {
+	return Fig16Observed(iterations, seed, nil)
+}
+
+// Fig16Observed is Fig16 with the AgileML stack instrumented through the
+// given observer (nil disables instrumentation).
+func Fig16Observed(iterations int, seed int64, o *obs.Observer) ([]Fig16Point, error) {
 	if iterations < 40 {
 		iterations = 45
 	}
@@ -239,7 +246,7 @@ func Fig16(iterations int, seed int64) ([]Fig16Point, error) {
 		return out
 	}
 	reliable := mkMachines(0, cluster.Reliable, 4)
-	ctrl, err := agileml.New(agileml.Config{App: app, MaxMachines: 64, Staleness: 1}, reliable)
+	ctrl, err := agileml.New(agileml.Config{App: app, MaxMachines: 64, Staleness: 1, Observer: o}, reliable)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@
 package journal
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -26,11 +27,15 @@ func (e Event) String() string {
 		e.At.Round(time.Second), e.Component, e.Kind, e.Detail)
 }
 
-// Journal is an append-only event log. Safe for concurrent use.
+// Journal is an append-only event log. Safe for concurrent use. With a
+// capacity set (SetCapacity or NewBounded) it keeps only the most recent
+// events, ring-buffer style, so week-long simulated runs stay bounded.
 type Journal struct {
-	mu     sync.Mutex
-	now    func() time.Duration
-	events []Event
+	mu       sync.Mutex
+	now      func() time.Duration
+	events   []Event
+	capacity int
+	dropped  uint64
 }
 
 // New creates a journal; now supplies the timestamp for each record
@@ -40,6 +45,41 @@ func New(now func() time.Duration) *Journal {
 		now = func() time.Duration { return 0 }
 	}
 	return &Journal{now: now}
+}
+
+// NewBounded creates a journal that retains at most capacity events,
+// discarding the oldest when full.
+func NewBounded(now func() time.Duration, capacity int) *Journal {
+	j := New(now)
+	j.SetCapacity(capacity)
+	return j
+}
+
+// SetCapacity bounds retained events to the most recent n (0 removes the
+// bound). An over-full journal is trimmed immediately.
+func (j *Journal) SetCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.capacity = n
+	j.trimLocked()
+}
+
+func (j *Journal) trimLocked() {
+	if j.capacity > 0 && len(j.events) > j.capacity {
+		over := len(j.events) - j.capacity
+		j.dropped += uint64(over)
+		j.events = append(j.events[:0:0], j.events[over:]...)
+	}
+}
+
+// Dropped reports how many events the capacity bound has discarded.
+func (j *Journal) Dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }
 
 // Record appends an event. detail is a Sprintf format.
@@ -52,6 +92,7 @@ func (j *Journal) Record(component, kind, detail string, args ...any) {
 		Kind:      kind,
 		Detail:    fmt.Sprintf(detail, args...),
 	})
+	j.trimLocked()
 }
 
 // Events returns a copy of the recorded history.
@@ -97,4 +138,35 @@ func (j *Journal) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	return total, nil
+}
+
+// eventJSON is the JSONL wire form of one event. It mirrors the obs
+// tracer's span lines (an event is an instant span), so a journal dump
+// and a trace dump can be processed by the same tooling.
+type eventJSON struct {
+	Type         string  `json:"type"`
+	Component    string  `json:"component"`
+	Name         string  `json:"name"`
+	Detail       string  `json:"detail,omitempty"`
+	StartSeconds float64 `json:"start_seconds"`
+	EndSeconds   float64 `json:"end_seconds"`
+}
+
+// WriteJSONL writes the retained events, one JSON object per line, in
+// the obs span-trace format (type "span", start_seconds == end_seconds).
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events() {
+		if err := enc.Encode(eventJSON{
+			Type:         "span",
+			Component:    e.Component,
+			Name:         e.Kind,
+			Detail:       e.Detail,
+			StartSeconds: e.At.Seconds(),
+			EndSeconds:   e.At.Seconds(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package journal
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -71,6 +73,113 @@ func TestWriteTo(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output %q missing %q", out, want)
 		}
+	}
+}
+
+func TestBoundedDropsOldest(t *testing.T) {
+	j := NewBounded(nil, 3)
+	for i := 0; i < 5; i++ {
+		j.Record("c", "k", "event-%d", i)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", j.Len())
+	}
+	evs := j.Events()
+	for i, want := range []string{"event-2", "event-3", "event-4"} {
+		if evs[i].Detail != want {
+			t.Fatalf("events[%d] = %q, want %q", i, evs[i].Detail, want)
+		}
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", j.Dropped())
+	}
+}
+
+func TestSetCapacityTrimsAndUnbounds(t *testing.T) {
+	j := New(nil)
+	for i := 0; i < 10; i++ {
+		j.Record("c", "k", "event-%d", i)
+	}
+	j.SetCapacity(4)
+	if j.Len() != 4 || j.Dropped() != 6 {
+		t.Fatalf("after SetCapacity(4): Len=%d Dropped=%d", j.Len(), j.Dropped())
+	}
+	if j.Events()[0].Detail != "event-6" {
+		t.Fatalf("oldest surviving event = %q, want event-6", j.Events()[0].Detail)
+	}
+	j.SetCapacity(0) // remove the bound
+	for i := 10; i < 20; i++ {
+		j.Record("c", "k", "event-%d", i)
+	}
+	if j.Len() != 14 {
+		t.Fatalf("unbounded Len = %d, want 14", j.Len())
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped changed after unbound: %d", j.Dropped())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	now := 90 * time.Second
+	j := New(func() time.Duration { return now })
+	j.Record("market", "evicted", "allocation %d", 3)
+	now = 2 * time.Minute
+	j.Record("agileml", "stage-transition", "stage1 -> stage2")
+
+	var sb strings.Builder
+	if err := j.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var got struct {
+		Type         string  `json:"type"`
+		Component    string  `json:"component"`
+		Name         string  `json:"name"`
+		Detail       string  `json:"detail"`
+		StartSeconds float64 `json:"start_seconds"`
+		EndSeconds   float64 `json:"end_seconds"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if got.Type != "span" || got.Component != "market" || got.Name != "evicted" {
+		t.Fatalf("line 0 = %+v", got)
+	}
+	if got.Detail != "allocation 3" {
+		t.Fatalf("detail = %q", got.Detail)
+	}
+	if got.StartSeconds != 90 || got.EndSeconds != 90 {
+		t.Fatalf("seconds = %v/%v, want 90/90", got.StartSeconds, got.EndSeconds)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatalf("line 1 is not valid JSON: %v", err)
+	}
+	if got.Component != "agileml" || got.StartSeconds != 120 {
+		t.Fatalf("line 1 = %+v", got)
+	}
+}
+
+func TestConcurrentBoundedRecord(t *testing.T) {
+	j := NewBounded(nil, 50)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Record("c", "k", fmt.Sprintf("g%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", j.Len())
+	}
+	if j.Dropped() != 750 {
+		t.Fatalf("Dropped = %d, want 750", j.Dropped())
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"proteus/internal/obs"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
 )
@@ -107,6 +108,8 @@ type Allocation struct {
 	warningEv  *sim.Event
 	evictionEv *sim.Event
 	hourEv     *sim.Event
+
+	span *obs.Span // open lifecycle span; nil when tracing is off
 }
 
 // State reports the lifecycle state.
@@ -189,6 +192,7 @@ type Market struct {
 	traces  *trace.Set
 	warning time.Duration
 	handler Handler
+	obsv    *obs.Observer
 
 	nextID AllocationID
 	allocs map[AllocationID]*Allocation
@@ -204,6 +208,9 @@ type Config struct {
 	// minutes (§2.2). Zero means evictions arrive with no warning
 	// (an "effective failure").
 	Warning time.Duration
+	// Observer receives market metrics and allocation lifecycle spans.
+	// Nil disables instrumentation.
+	Observer *obs.Observer
 }
 
 // New creates a market over the given price traces.
@@ -220,6 +227,7 @@ func New(engine *sim.Engine, cfg Config) (*Market, error) {
 		traces:  cfg.Traces,
 		warning: cfg.Warning,
 		handler: NopHandler{},
+		obsv:    cfg.Observer,
 		allocs:  make(map[AllocationID]*Allocation),
 	}
 	for _, t := range cfg.Catalog {
@@ -267,7 +275,10 @@ func (m *Market) SpotPrice(name string) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("market: unknown instance type %s", name)
 	}
-	return tr.PriceAt(m.Engine.Now()), nil
+	price := tr.PriceAt(m.Engine.Now())
+	m.obsv.Reg().Gauge("proteus_market_spot_price_dollars",
+		"last observed spot price per instance-hour", obs.L("type", name)).Set(price)
+	return price, nil
 }
 
 // Trace exposes the underlying price history for a type (used to train β).
@@ -327,6 +338,7 @@ func (m *Market) RequestOnDemand(typeName string, count int) (*Allocation, error
 		return nil, fmt.Errorf("market: count %d must be positive", count)
 	}
 	a := m.newAllocation(t, count, 0, true)
+	m.observeGrant(a)
 	m.chargeHour(a, t.OnDemand)
 	m.scheduleHourBoundary(a)
 	return a, nil
@@ -349,10 +361,14 @@ func (m *Market) RequestSpot(typeName string, count int, bid float64) (*Allocati
 		return nil, err
 	}
 	if bid < price {
+		m.obsv.Reg().Counter("proteus_market_bid_rejections_total",
+			"spot requests rejected because the bid was below market",
+			obs.L("type", typeName)).Inc()
 		return nil, fmt.Errorf("market: %w: bid %.4f below market %.4f for %s",
 			ErrBidBelowMarket, bid, price, typeName)
 	}
 	a := m.newAllocation(t, count, bid, false)
+	m.observeGrant(a)
 	m.chargeHour(a, price)
 	m.scheduleHourBoundary(a)
 	m.scheduleEviction(a)
@@ -374,6 +390,7 @@ func (m *Market) Terminate(a *Allocation) error {
 	a.state = Terminated
 	a.endedAt = m.Engine.Now()
 	m.cancelEvents(a)
+	m.observeEnd(a, "terminated")
 	return nil
 }
 
@@ -398,6 +415,12 @@ func (m *Market) chargeHour(a *Allocation, pricePerHour float64) {
 	a.charged += charge
 	a.hoursBegun++
 	m.cost += charge
+	kind := "spot"
+	if a.OnDemand {
+		kind = "ondemand"
+	}
+	m.obsv.Reg().Counter("proteus_market_billed_dollars_total",
+		"dollars charged at billing-hour starts", obs.L("kind", kind)).Add(charge)
 }
 
 // scheduleHourBoundary arranges the next hourly charge and rolls the
@@ -449,6 +472,10 @@ func (m *Market) scheduleEviction(a *Allocation) {
 				return
 			}
 			a.state = Warned
+			m.obsv.Reg().Counter("proteus_market_eviction_warnings_total",
+				"eviction warnings issued", obs.L("type", a.Type.Name)).Inc()
+			m.obsv.Trace().Event("market", "eviction-warning",
+				"alloc %d: %dx %s evicting at %v", a.ID, a.Count, a.Type.Name, evictAt)
 			m.handler.EvictionWarning(a, evictAt)
 		})
 	}
@@ -465,10 +492,13 @@ func (m *Market) evict(a *Allocation) {
 	// the current hour").
 	a.refunded += a.hourCharge
 	m.cost -= a.hourCharge
+	m.obsv.Reg().Counter("proteus_market_refunded_dollars_total",
+		"dollars refunded for in-progress hours of evicted allocations").Add(a.hourCharge)
 	m.settleUsage(a, true)
 	a.state = Evicted
 	a.endedAt = m.Engine.Now()
 	m.cancelEvents(a)
+	m.observeEnd(a, "evicted")
 	m.handler.Evicted(a)
 }
 
@@ -495,4 +525,54 @@ func (m *Market) cancelEvents(a *Allocation) {
 			ev.Cancel()
 		}
 	}
+}
+
+// allocKind labels an allocation for metrics.
+func allocKind(a *Allocation) string {
+	if a.OnDemand {
+		return "ondemand"
+	}
+	return "spot"
+}
+
+// observeGrant records a granted allocation and opens its lifecycle span.
+func (m *Market) observeGrant(a *Allocation) {
+	m.obsv.Reg().Counter("proteus_market_grants_total", "allocations granted",
+		obs.L("kind", allocKind(a)), obs.L("type", a.Type.Name)).Inc()
+	m.updateActiveGauges()
+	a.span = m.obsv.Trace().Start("market", "allocation").
+		Detailf("alloc %d: %dx %s %s bid=%.4f", a.ID, a.Count, a.Type.Name, allocKind(a), a.Bid)
+}
+
+// observeEnd records an allocation leaving the market (outcome is
+// "evicted" or "terminated") and closes its lifecycle span.
+func (m *Market) observeEnd(a *Allocation, outcome string) {
+	m.obsv.Reg().Counter("proteus_market_allocations_ended_total", "allocations ended",
+		obs.L("outcome", outcome), obs.L("type", a.Type.Name)).Inc()
+	m.obsv.Reg().Histogram("proteus_market_allocation_lifetime_hours",
+		"allocation lifetime from grant to end",
+		[]float64{0.25, 0.5, 1, 2, 4, 8, 24, 72}).Observe((a.endedAt - a.StartedAt).Hours())
+	m.updateActiveGauges()
+	if a.span != nil {
+		a.span.Detailf("alloc %d: %dx %s %s %s after %v",
+			a.ID, a.Count, a.Type.Name, allocKind(a), outcome, a.endedAt-a.StartedAt).End()
+		a.span = nil
+	}
+}
+
+// updateActiveGauges refreshes the running allocation and instance counts.
+func (m *Market) updateActiveGauges() {
+	reg := m.obsv.Reg()
+	if reg == nil {
+		return
+	}
+	allocs, instances := 0, 0
+	for _, a := range m.allocs {
+		if a.state == Active || a.state == Warned {
+			allocs++
+			instances += a.Count
+		}
+	}
+	reg.Gauge("proteus_market_active_allocations", "allocations currently running").Set(float64(allocs))
+	reg.Gauge("proteus_market_active_instances", "instances currently running").Set(float64(instances))
 }

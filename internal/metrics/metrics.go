@@ -69,20 +69,47 @@ func (s *Summary) StdDev() float64 {
 	return math.Sqrt(v)
 }
 
+// Merge folds another summary into this one, as if every observation of
+// o had been Added here. Lets per-shard summaries combine into a global
+// one without replaying the streams.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+}
+
 // String formats the summary for experiment logs.
 func (s *Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g",
 		s.n, s.Mean(), s.min, s.max, s.StdDev())
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of values using
-// linear interpolation between closest ranks. It does not modify values.
+// Percentile returns the p-th percentile of values using linear
+// interpolation between closest ranks. p outside [0, 100] is clamped to
+// the range, so a caller computing p from noisy arithmetic gets the
+// nearest extreme instead of a panic. It does not modify values.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
 	}
 	sorted := make([]float64, len(values))
 	copy(sorted, values)

@@ -75,12 +75,48 @@ func TestPercentileEdgeCases(t *testing.T) {
 	if Percentile([]float64{7}, 99) != 7 {
 		t.Fatal("single value should be its own percentile")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range percentile did not panic")
-		}
-	}()
-	Percentile([]float64{1}, 101)
+}
+
+func TestPercentileClampsOutOfRange(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	if got := Percentile(vals, 101); got != 3 {
+		t.Fatalf("Percentile(101) = %v, want max 3", got)
+	}
+	if got := Percentile(vals, -5); got != 1 {
+		t.Fatalf("Percentile(-5) = %v, want min 1", got)
+	}
+	if got := Percentile(vals, math.Inf(1)); got != 3 {
+		t.Fatalf("Percentile(+Inf) = %v, want max 3", got)
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	for _, v := range []float64{1, 5, 3} {
+		a.Add(v)
+		all.Add(v)
+	}
+	for _, v := range []float64{-2, 8} {
+		b.Add(v)
+		all.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != all.N() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged = %v, want %v", a.String(), all.String())
+	}
+	if math.Abs(a.StdDev()-all.StdDev()) > 1e-12 {
+		t.Fatalf("merged sd = %v, want %v", a.StdDev(), all.StdDev())
+	}
+
+	var empty Summary
+	a.Merge(empty) // no-op
+	if a.N() != all.N() {
+		t.Fatal("merging an empty summary changed N")
+	}
+	empty.Merge(a) // adopt
+	if empty.N() != all.N() || empty.Min() != all.Min() {
+		t.Fatal("merging into an empty summary did not adopt the source")
+	}
 }
 
 func TestMedianAndMean(t *testing.T) {

@@ -1,0 +1,71 @@
+// Package obs is the unified observability spine of the repository: a
+// concurrency-safe metrics registry (counters, gauges, histograms) plus
+// lightweight trace spans keyed to the simulation clock, with exporters
+// for Prometheus text exposition and JSONL.
+//
+// Every subsystem — the market, BidBrain, AgileML, the parameter-server
+// stack, and the simulation engine itself — reports through the same
+// registry and tracer, so the paper's Fig. 5/6/9/11 narratives, the
+// benchmark harnesses, and the live-mode /metrics endpoint all read one
+// source of truth. The decision journal (internal/journal) consumes the
+// span stream via BridgeJournal, which is what keeps the journal's
+// narrative and the exported metrics from ever disagreeing.
+//
+// Instruments are nil-safe: methods on a nil *Registry return nil
+// instruments, and methods on nil instruments are no-ops. Components
+// therefore instrument themselves unconditionally and callers opt in by
+// passing an Observer; uninstrumented runs pay only a nil check.
+package obs
+
+import "time"
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Observer bundles the registry and tracer handed through the stack.
+// A nil *Observer (or nil fields) disables the corresponding layer.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and a tracer
+// stamped by the given clock (typically sim.Engine.Now). A nil clock
+// stamps everything at zero.
+func NewObserver(now func() time.Duration) *Observer {
+	reg := NewRegistry()
+	reg.SetClock(now)
+	return &Observer{Metrics: reg, Tracer: NewTracer(now)}
+}
+
+// Registry returns the bundled metrics registry, nil-safely.
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Trace returns the bundled tracer, nil-safely.
+func (o *Observer) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// SetClock rebinds both the registry's and the tracer's timestamp source
+// — for observers built before the simulation engine they will observe.
+func (o *Observer) SetClock(now func() time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Metrics.SetClock(now)
+	o.Tracer.SetClock(now)
+}

@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricKind distinguishes the three instrument families.
+type MetricKind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter MetricKind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution with sum and count.
+	KindHistogram
+)
+
+// String implements fmt.Stringer (Prometheus TYPE names).
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Registry is a concurrency-safe collection of metric families. The zero
+// value is not usable; create registries with NewRegistry. All methods
+// are safe for concurrent use, and all methods on a nil *Registry are
+// no-ops returning nil instruments.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	clock    func() time.Duration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// SetClock installs the virtual-time source used to stamp snapshots and
+// JSONL exports (typically sim.Engine.Now). A nil clock stamps zero.
+func (r *Registry) SetClock(now func() time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = now
+}
+
+// now reads the registry clock.
+func (r *Registry) now() time.Duration {
+	r.mu.RLock()
+	clock := r.clock
+	r.mu.RUnlock()
+	if clock == nil {
+		return 0
+	}
+	return clock()
+}
+
+// family is one named metric with a fixed kind and help string, holding
+// one child series per distinct label set.
+type family struct {
+	name    string
+	help    string
+	kind    MetricKind
+	buckets []float64 // histogram upper bounds, ascending
+
+	mu     sync.Mutex
+	series map[string]*child
+}
+
+// child is one labeled series within a family.
+type child struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// getFamily returns the named family, creating it on first use. A name
+// reused with a different kind panics: that is a programming error that
+// would silently corrupt exports if tolerated.
+func (r *Registry) getFamily(name, help string, kind MetricKind, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.families[name]
+		if !ok {
+			f = &family{name: name, help: help, kind: kind, buckets: buckets,
+				series: make(map[string]*child)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	return f
+}
+
+// labelSignature produces the canonical map key for a label set.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte('\x00')
+		sb.WriteString(l.Value)
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// sortLabels returns a copy of labels sorted by key (stable exports).
+func sortLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// getChild returns the series for the label set, creating it on first use.
+func (f *family) getChild(labels []Label) *child {
+	sorted := sortLabels(labels)
+	sig := labelSignature(sorted)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.series[sig]
+	if !ok {
+		c = &child{labels: sorted}
+		switch f.kind {
+		case KindCounter:
+			c.counter = &Counter{}
+		case KindGauge:
+			c.gauge = &Gauge{}
+		case KindHistogram:
+			c.hist = newHistogram(f.buckets)
+		}
+		f.series[sig] = c
+	}
+	return c
+}
+
+// Counter returns the counter series for the name and label set,
+// registering the family on first use. Help is taken from the first
+// registration. Nil registries return a nil (no-op) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getFamily(name, help, KindCounter, nil).getChild(labels).counter
+}
+
+// Gauge returns the gauge series for the name and label set.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getFamily(name, help, KindGauge, nil).getChild(labels).gauge
+}
+
+// Histogram returns the histogram series for the name and label set.
+// Buckets are upper bounds in ascending order; they are fixed at family
+// registration and later calls may pass nil. Nil buckets on first
+// registration use DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets()
+	}
+	return r.getFamily(name, help, KindHistogram, buckets).getChild(labels).hist
+}
+
+// DefBuckets returns the default histogram buckets: exponential from
+// 1ms-scale to hour-scale, suitable for both seconds and dollars.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000}
+}
+
+// Counter is a monotonically increasing float64. Nil counters no-op.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter. Negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is an instantaneous float64 value. Nil gauges no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the value by v (negative to decrease).
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Nil histograms no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // one per bucket
+	sum     float64
+	count   uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bs := make([]float64, len(buckets))
+	copy(bs, buckets)
+	sort.Float64s(bs)
+	return &Histogram{buckets: bs, counts: make([]uint64, len(bs))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// SeriesSnapshot is one labeled series at snapshot time.
+type SeriesSnapshot struct {
+	Labels []Label
+	// Value holds counters and gauges.
+	Value float64
+	// Histogram fields; BucketCounts is cumulative per family bucket.
+	Count        uint64
+	Sum          float64
+	BucketCounts []uint64
+}
+
+// FamilySnapshot is one metric family at snapshot time.
+type FamilySnapshot struct {
+	Name    string
+	Help    string
+	Kind    MetricKind
+	Buckets []float64
+	Series  []SeriesSnapshot
+}
+
+// Snapshot captures every family and series, sorted by family name and
+// label signature, so exports are deterministic. It is safe to call
+// concurrently with writes; each series is read atomically (counters,
+// gauges) or under its lock (histograms).
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, Buckets: f.buckets}
+		f.mu.Lock()
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			c := f.series[sig]
+			ss := SeriesSnapshot{Labels: c.labels}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = c.counter.Value()
+			case KindGauge:
+				ss.Value = c.gauge.Value()
+			case KindHistogram:
+				c.hist.mu.Lock()
+				ss.Count = c.hist.count
+				ss.Sum = c.hist.sum
+				ss.BucketCounts = append([]uint64(nil), c.hist.counts...)
+				c.hist.mu.Unlock()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		f.mu.Unlock()
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanData is one finished span (or instant event) on the trace stream.
+// Times are virtual durations since simulation start; an event has
+// Start == End.
+type SpanData struct {
+	Component string        // subsystem: "market", "bidbrain", "agileml", ...
+	Name      string        // action kind: "stage-transition", "allocation", ...
+	Detail    string        // human-readable specifics
+	Start     time.Duration // virtual start time
+	End       time.Duration // virtual end time
+	// Wall is the wall-clock cost of the spanned operation, for actions
+	// whose real latency matters (state migration, drain) even though
+	// they are instantaneous in virtual time.
+	Wall time.Duration
+}
+
+// Tracer records spans stamped by a virtual clock and fans each finished
+// span out to subscribers (the journal bridge, exporters). Safe for
+// concurrent use; all methods on a nil *Tracer are no-ops.
+type Tracer struct {
+	mu      sync.Mutex
+	now     func() time.Duration
+	spans   []SpanData
+	subs    []func(SpanData)
+	limit   int
+	dropped uint64
+}
+
+// NewTracer creates a tracer; now supplies timestamps (virtual or wall).
+// A nil clock stamps everything at zero.
+func NewTracer(now func() time.Duration) *Tracer {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Tracer{now: now}
+}
+
+// SetClock rebinds the tracer's timestamp source (nil stamps at zero).
+// Lets an observer built before the simulation engine adopt the engine's
+// clock once it exists.
+func (t *Tracer) SetClock(now func() time.Duration) {
+	if t == nil {
+		return
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// clock returns the current timestamp source under the lock.
+func (t *Tracer) clock() func() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now
+}
+
+// SetLimit bounds retained spans to the most recent n (0 = unbounded).
+// Subscribers still see every span; only retention is bounded, so long
+// live runs cannot grow memory without limit.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.limit = n
+	t.truncateLocked()
+}
+
+func (t *Tracer) truncateLocked() {
+	if t.limit > 0 && len(t.spans) > t.limit {
+		over := len(t.spans) - t.limit
+		t.dropped += uint64(over)
+		t.spans = append(t.spans[:0:0], t.spans[over:]...)
+	}
+}
+
+// Dropped reports how many spans retention discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Subscribe registers fn to receive every finished span. Subscribers run
+// on the finishing goroutine and must not call back into the tracer.
+func (t *Tracer) Subscribe(fn func(SpanData)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.subs = append(t.subs, fn)
+}
+
+// finish records the span and notifies subscribers (outside the lock).
+func (t *Tracer) finish(sp SpanData) {
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.truncateLocked()
+	subs := t.subs
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(sp)
+	}
+}
+
+// Event records an instant span (Start == End) — a decision, a warning,
+// a transition. detail is a Sprintf format.
+func (t *Tracer) Event(component, name, detail string, args ...any) {
+	if t == nil {
+		return
+	}
+	now := t.clock()()
+	t.finish(SpanData{
+		Component: component,
+		Name:      name,
+		Detail:    fmt.Sprintf(detail, args...),
+		Start:     now,
+		End:       now,
+	})
+}
+
+// Start opens a span. End (or Endf) finishes and records it. A nil
+// tracer returns a nil span whose methods no-op.
+func (t *Tracer) Start(component, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t:         t,
+		data:      SpanData{Component: component, Name: name, Start: t.clock()()},
+		wallStart: time.Now(),
+	}
+}
+
+// Span is one in-flight operation. Not safe for concurrent use.
+type Span struct {
+	t         *Tracer
+	data      SpanData
+	wallStart time.Time
+	done      bool
+}
+
+// Detailf sets the span's detail text and returns the span for chaining.
+func (s *Span) Detailf(format string, args ...any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.data.Detail = fmt.Sprintf(format, args...)
+	return s
+}
+
+// End finishes the span at the tracer's current time, recording the
+// wall-clock cost of the spanned operation. Idempotent.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.data.End = s.t.clock()()
+	s.data.Wall = time.Since(s.wallStart)
+	s.t.finish(s.data)
+}
+
+// Spans returns a copy of the retained spans in completion order.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len reports the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Filter returns retained spans matching component and/or name; empty
+// strings match everything.
+func (t *Tracer) Filter(component, name string) []SpanData {
+	var out []SpanData
+	for _, sp := range t.Spans() {
+		if component != "" && sp.Component != component {
+			continue
+		}
+		if name != "" && sp.Name != name {
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// spanJSON is the JSONL wire form of one span.
+type spanJSON struct {
+	Type         string  `json:"type"`
+	Component    string  `json:"component"`
+	Name         string  `json:"name"`
+	Detail       string  `json:"detail,omitempty"`
+	StartSeconds float64 `json:"start_seconds"`
+	EndSeconds   float64 `json:"end_seconds"`
+	WallSeconds  float64 `json:"wall_seconds,omitempty"`
+}
+
+// WriteJSONL writes the retained spans, one JSON object per line, in
+// completion order. Instant events carry start_seconds == end_seconds.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, sp := range t.Spans() {
+		if err := enc.Encode(spanJSON{
+			Type:         "span",
+			Component:    sp.Component,
+			Name:         sp.Name,
+			Detail:       sp.Detail,
+			StartSeconds: sp.Start.Seconds(),
+			EndSeconds:   sp.End.Seconds(),
+			WallSeconds:  sp.Wall.Seconds(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recorder is the subset of internal/journal.Journal the bridge needs;
+// declared here so obs stays dependency-free.
+type Recorder interface {
+	Record(component, kind, detail string, args ...any)
+}
+
+// BridgeJournal subscribes a journal to the tracer's span stream: every
+// finished span becomes one journal event with the same component, kind,
+// and detail. Components that emit through the tracer must not also
+// write to the journal directly, so the narrative and the trace stay in
+// one-to-one agreement.
+func BridgeJournal(t *Tracer, rec Recorder) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.Subscribe(func(sp SpanData) {
+		rec.Record(sp.Component, sp.Name, "%s", sp.Detail)
+	})
+}

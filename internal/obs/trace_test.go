@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerEventsAndSpans(t *testing.T) {
+	var now time.Duration
+	tr := NewTracer(func() time.Duration { return now })
+
+	tr.Event("market", "warning", "allocation %d", 3)
+	now = 2 * time.Second
+	sp := tr.Start("agileml", "incorporate")
+	now = 5 * time.Second
+	sp.Detailf("%d machines", 8).End()
+	sp.End() // idempotent
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Start != spans[0].End {
+		t.Fatalf("event not instant: %v..%v", spans[0].Start, spans[0].End)
+	}
+	if spans[0].Detail != "allocation 3" {
+		t.Fatalf("detail = %q", spans[0].Detail)
+	}
+	if spans[1].Start != 2*time.Second || spans[1].End != 5*time.Second {
+		t.Fatalf("span times = %v..%v", spans[1].Start, spans[1].End)
+	}
+	if got := tr.Filter("agileml", ""); len(got) != 1 {
+		t.Fatalf("filter agileml = %d spans", len(got))
+	}
+}
+
+func TestTracerLimitDropsOldest(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		tr.Event("x", "k", "%d", i)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+	if got := tr.Spans()[0].Detail; got != "7" {
+		t.Fatalf("oldest retained = %q, want 7", got)
+	}
+}
+
+func TestTracerSubscribeSeesEverySpan(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetLimit(1)
+	var seen []string
+	tr.Subscribe(func(sp SpanData) { seen = append(seen, sp.Detail) })
+	for i := 0; i < 5; i++ {
+		tr.Event("x", "k", "%d", i)
+	}
+	if len(seen) != 5 {
+		t.Fatalf("subscriber saw %d spans, want 5 (retention must not gate the stream)", len(seen))
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var now time.Duration
+	tr := NewTracer(func() time.Duration { return now })
+	now = 90 * time.Second
+	tr.Event("agileml", "stage-transition", "stage 1 -> stage 2")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no JSONL output")
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+		t.Fatalf("invalid JSON line: %v", err)
+	}
+	if obj["type"] != "span" || obj["component"] != "agileml" || obj["name"] != "stage-transition" {
+		t.Fatalf("unexpected line: %v", obj)
+	}
+	if obj["start_seconds"].(float64) != 90 {
+		t.Fatalf("start_seconds = %v", obj["start_seconds"])
+	}
+}
+
+type recordSink struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (r *recordSink) Record(component, kind, detail string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lines = append(r.lines, component+"/"+kind+": "+fmt.Sprintf(detail, args...))
+}
+
+func TestBridgeJournal(t *testing.T) {
+	tr := NewTracer(nil)
+	sink := &recordSink{}
+	BridgeJournal(tr, sink)
+	tr.Event("agileml", "stage-transition", "stage %d -> stage %d", 1, 2)
+	sp := tr.Start("market", "allocation")
+	sp.Detailf("4 x c4.xlarge").End()
+
+	if len(sink.lines) != 2 {
+		t.Fatalf("journal got %d records, want 2", len(sink.lines))
+	}
+	if sink.lines[0] != "agileml/stage-transition: stage 1 -> stage 2" {
+		t.Fatalf("line = %q", sink.lines[0])
+	}
+	if !strings.HasPrefix(sink.lines[1], "market/allocation:") {
+		t.Fatalf("line = %q", sink.lines[1])
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Event("a", "b", "c")
+	sp := tr.Start("a", "b")
+	sp.Detailf("x").End()
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must be empty")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentTracing exercises parallel span emission with a bounded
+// buffer and an active subscriber (run with -race).
+func TestConcurrentTracing(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetLimit(64)
+	var count sync.Map
+	tr.Subscribe(func(sp SpanData) { count.Store(sp.Detail, true) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Start("c", "op").Detailf("%d-%d", w, i).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("retained = %d, want 64", tr.Len())
+	}
+	n := 0
+	count.Range(func(_, _ any) bool { n++; return true })
+	if n != 8*500 {
+		t.Fatalf("subscriber saw %d distinct spans, want %d", n, 8*500)
+	}
+}

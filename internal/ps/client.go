@@ -71,6 +71,7 @@ func (c *Client) Read(table, row uint32) ([]float32, error) {
 	k := MakeKey(table, row)
 	cr, ok := c.cache[k]
 	if !ok || c.clock-cr.clock > c.staleness {
+		c.router.Metrics().CacheMisses.Inc()
 		part := c.router.PartitionFor(k)
 		owner, err := c.router.Owner(part)
 		if err != nil {
@@ -82,6 +83,8 @@ func (c *Client) Read(table, row uint32) ([]float32, error) {
 		}
 		cr = cachedRow{value: val, clock: c.clock}
 		c.cache[k] = cr
+	} else {
+		c.router.Metrics().CacheHits.Inc()
 	}
 	out := CloneRow(cr.value)
 	if pending, ok := c.updates[k]; ok {

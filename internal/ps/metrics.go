@@ -1,0 +1,73 @@
+package ps
+
+import "proteus/internal/obs"
+
+// Metrics is the parameter-server stack's instrument set, shared by the
+// router, servers, clients, and the SSP gate of one job. All fields are
+// obs instruments, which are nil-safe, so the zero Metrics value (and
+// NewMetrics(nil)) records nothing at zero cost beyond the calls.
+type Metrics struct {
+	// Server-side request path.
+	Reads         *obs.Counter
+	ReadBytes     *obs.Counter
+	UpdateBatches *obs.Counter
+	UpdateBytes   *obs.Counter
+
+	// Active→backup flush stream.
+	FlushBatches   *obs.Counter
+	FlushBytes     *obs.Counter
+	FlushesApplied *obs.Counter
+
+	// Partition migration (stage transitions, eviction drains, recovery).
+	SnapshotBytes *obs.Counter
+	InstallBytes  *obs.Counter
+
+	// Worker-side cache.
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
+
+	// SSP progress gate.
+	SSPWaits       *obs.Counter
+	SSPWaitSeconds *obs.Histogram
+}
+
+// nopMetrics records nothing; the default sink everywhere so call sites
+// need no nil checks.
+var nopMetrics = &Metrics{}
+
+// NewMetrics registers the parameter-server metric families in reg and
+// returns the instrument set. A nil registry returns a no-op set.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nopMetrics
+	}
+	return &Metrics{
+		Reads:          reg.Counter("proteus_ps_reads_total", "row reads served by parameter servers"),
+		ReadBytes:      reg.Counter("proteus_ps_read_bytes_total", "bytes of row data served to workers"),
+		UpdateBatches:  reg.Counter("proteus_ps_update_batches_total", "worker update batches applied"),
+		UpdateBytes:    reg.Counter("proteus_ps_update_bytes_total", "bytes of worker updates applied"),
+		FlushBatches:   reg.Counter("proteus_ps_flush_batches_total", "active-to-backup flush batches collected"),
+		FlushBytes:     reg.Counter("proteus_ps_flush_bytes_total", "bytes of flush deltas collected"),
+		FlushesApplied: reg.Counter("proteus_ps_flushes_applied_total", "flush batches merged into backups"),
+		SnapshotBytes:  reg.Counter("proteus_ps_snapshot_bytes_total", "bytes of partition snapshots taken for migration"),
+		InstallBytes:   reg.Counter("proteus_ps_install_bytes_total", "bytes of partition snapshots installed"),
+		CacheHits:      reg.Counter("proteus_ps_cache_hits_total", "worker reads served from the SSP cache"),
+		CacheMisses:    reg.Counter("proteus_ps_cache_misses_total", "worker reads that fetched from a server"),
+		SSPWaits:       reg.Counter("proteus_ps_ssp_waits_total", "clock advances that blocked on the SSP bound"),
+		SSPWaitSeconds: reg.Histogram("proteus_ps_ssp_wait_seconds", "wall seconds spent blocked at the SSP gate", []float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+	}
+}
+
+// CacheHitRate reports hits/(hits+misses), or 0 with no reads — the
+// §2.1 cache effectiveness number.
+func (m *Metrics) CacheHitRate() float64 {
+	if m == nil {
+		return 0
+	}
+	hits := m.CacheHits.Value()
+	total := hits + m.CacheMisses.Value()
+	if total == 0 {
+		return 0
+	}
+	return hits / total
+}

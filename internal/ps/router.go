@@ -17,6 +17,7 @@ type Router struct {
 	owners        []*Server // serving owner per partition (ParamServ or ActivePS)
 	backups       []*Server // BackupPS per partition; nil in stage 1
 	clocks        *ClockTracker
+	metrics       *Metrics
 }
 
 // NewRouter creates a router over a fixed partition count.
@@ -29,7 +30,26 @@ func NewRouter(numPartitions int) *Router {
 		owners:        make([]*Server, numPartitions),
 		backups:       make([]*Server, numPartitions),
 		clocks:        NewClockTracker(),
+		metrics:       nopMetrics,
 	}
+}
+
+// SetMetrics installs the job's instrument set (nil restores the no-op
+// default); clients read it for worker-side cache accounting.
+func (r *Router) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = nopMetrics
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = m
+}
+
+// Metrics returns the job's instrument set (never nil).
+func (r *Router) Metrics() *Metrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.metrics
 }
 
 // NumPartitions reports the fixed partition count.

@@ -45,6 +45,7 @@ type Server struct {
 	mu         sync.Mutex
 	role       Role
 	partitions map[PartitionID]*Partition
+	metrics    *Metrics
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -57,7 +58,20 @@ func NewServer(name string, role Role) *Server {
 		name:       name,
 		role:       role,
 		partitions: make(map[PartitionID]*Partition),
+		metrics:    nopMetrics,
 	}
+}
+
+// SetMetrics installs the job's instrument set (nil restores the no-op
+// default). The controller sets this on every server it creates so all
+// servers of a job report into one registry.
+func (s *Server) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = nopMetrics
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
 }
 
 // Name returns the server's label.
@@ -163,7 +177,10 @@ func (s *Server) Read(part PartitionID, k Key) ([]float32, error) {
 	if row == nil {
 		return nil, fmt.Errorf("ps: server %s: unknown key %v", s.name, k)
 	}
-	s.bytesOut.Add(int64(RowBytes(len(row))))
+	n := RowBytes(len(row))
+	s.bytesOut.Add(int64(n))
+	s.metrics.Reads.Inc()
+	s.metrics.ReadBytes.Add(float64(n))
 	return row, nil
 }
 
@@ -190,6 +207,8 @@ func (s *Server) ApplyBatch(part PartitionID, updates map[Key][]float32, clock i
 		bytes += RowBytes(len(d))
 	}
 	s.bytesIn.Add(int64(bytes))
+	s.metrics.UpdateBatches.Inc()
+	s.metrics.UpdateBytes.Add(float64(bytes))
 	return nil
 }
 
@@ -234,6 +253,8 @@ func (s *Server) CollectFlush(upTo int, endOfLife bool) ([]*FlushBatch, error) {
 		}
 		b := &FlushBatch{Partition: id, Delta: delta, Clock: p.FlushedClock(), EndOfLife: endOfLife}
 		s.bytesOut.Add(int64(b.Bytes()))
+		s.metrics.FlushBatches.Inc()
+		s.metrics.FlushBytes.Add(float64(b.Bytes()))
 		out = append(out, b)
 	}
 	return out, nil
@@ -254,6 +275,7 @@ func (s *Server) ApplyFlush(b *FlushBatch) error {
 		return err
 	}
 	s.bytesIn.Add(int64(b.Bytes()))
+	s.metrics.FlushesApplied.Inc()
 	return nil
 }
 
@@ -281,6 +303,7 @@ func (s *Server) SnapshotPartition(id PartitionID) (*Snapshot, error) {
 	}
 	snap := p.Snapshot()
 	s.bytesOut.Add(int64(snap.Bytes()))
+	s.metrics.SnapshotBytes.Add(float64(snap.Bytes()))
 	return snap, nil
 }
 
@@ -291,6 +314,7 @@ func (s *Server) InstallSnapshot(snap *Snapshot) {
 	defer s.mu.Unlock()
 	s.partitions[snap.ID] = FromSnapshot(snap)
 	s.bytesIn.Add(int64(snap.Bytes()))
+	s.metrics.InstallBytes.Add(float64(snap.Bytes()))
 }
 
 // MinFlushedClock reports the smallest flushed clock across hosted

@@ -3,6 +3,7 @@ package ps
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Strict SSP enforcement. The Client's caching already implements the
@@ -20,6 +21,7 @@ type SSPGate struct {
 	cond      *sync.Cond
 	staleness int
 	tracker   *ClockTracker
+	metrics   *Metrics
 	closed    bool
 }
 
@@ -28,9 +30,20 @@ func NewSSPGate(tracker *ClockTracker, staleness int) *SSPGate {
 	if staleness < 0 {
 		panic("ps: staleness must be non-negative")
 	}
-	g := &SSPGate{staleness: staleness, tracker: tracker}
+	g := &SSPGate{staleness: staleness, tracker: tracker, metrics: nopMetrics}
 	g.cond = sync.NewCond(&g.mu)
 	return g
+}
+
+// SetMetrics installs the job's instrument set (nil restores the no-op
+// default), which records how often and how long workers block here.
+func (g *SSPGate) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = nopMetrics
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.metrics = m
 }
 
 // WaitToAdvance blocks until the worker may advance to `next` without
@@ -40,8 +53,18 @@ func NewSSPGate(tracker *ClockTracker, staleness int) *SSPGate {
 func (g *SSPGate) WaitToAdvance(next int) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	waited := false
+	var start time.Time
 	for !g.closed && next > g.tracker.Min()+g.staleness+1 {
+		if !waited {
+			waited = true
+			start = time.Now()
+			g.metrics.SSPWaits.Inc()
+		}
 		g.cond.Wait()
+	}
+	if waited {
+		g.metrics.SSPWaitSeconds.Observe(time.Since(start).Seconds())
 	}
 	if g.closed {
 		return fmt.Errorf("ps: SSP gate closed")

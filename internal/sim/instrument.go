@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"time"
+
+	"proteus/internal/obs"
+)
+
+// InstrumentEngine samples engine health into the registry every virtual
+// period: event-queue depth, events fired, virtual time, and the
+// virtual-vs-wall speedup ratio (how many simulated seconds each wall
+// second buys — the number that makes multi-month market studies finish
+// in milliseconds). Sampling stops when the returned ticker is stopped
+// or the engine runs out of events.
+func InstrumentEngine(reg *obs.Registry, e *Engine, period time.Duration) *Ticker {
+	if reg == nil {
+		return nil
+	}
+	pending := reg.Gauge("proteus_sim_pending_events", "discrete-event queue depth")
+	fired := reg.Gauge("proteus_sim_fired_events_total", "events executed since engine start")
+	virtual := reg.Gauge("proteus_sim_virtual_seconds", "current virtual time in seconds")
+	ratio := reg.Gauge("proteus_sim_virtual_per_wall_ratio", "virtual seconds simulated per wall second")
+
+	wallStart := time.Now()
+	virtualStart := e.Now()
+	sample := func() {
+		pending.Set(float64(e.Pending()))
+		fired.Set(float64(e.Fired()))
+		virtual.Set(e.Now().Seconds())
+		if wall := time.Since(wallStart).Seconds(); wall > 0 {
+			ratio.Set((e.Now() - virtualStart).Seconds() / wall)
+		}
+	}
+	sample()
+	return e.Every(period, "sim.obs", sample)
+}
