@@ -203,6 +203,25 @@ func BenchmarkLiveFullStack(b *testing.B) {
 	b.ReportMetric(res.Runtime.Hours(), "virtual-hrs")
 }
 
+// BenchmarkSchedulerMultiTenant times the multi-tenant control plane:
+// eight synthetic tenant jobs run concurrently over one shared footprint
+// versus serially back-to-back, reporting both net bills and the saving
+// sharing buys.
+func BenchmarkSchedulerMultiTenant(b *testing.B) {
+	var study *experiments.MultiTenantStudy
+	for i := 0; i < b.N; i++ {
+		var err error
+		study, err = experiments.RunMultiTenant(benchCfg(), experiments.SyntheticJobs(8, 1), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(study.ConcurrentNet, "concurrent-$")
+	b.ReportMetric(study.SerialNet, "serial-$")
+	b.ReportMetric(study.Saving*100, "saving-%")
+	b.ReportMetric(study.Concurrent.Makespan.Hours(), "makespan-hrs")
+}
+
 // --- Ablations for the design choices DESIGN.md calls out ---
 
 // BenchmarkAblation_PartitionCount varies N, the fixed partition count

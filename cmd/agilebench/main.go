@@ -16,9 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"os"
 
 	"proteus/internal/agileml"
 	"proteus/internal/experiments"
@@ -130,27 +128,5 @@ func printFig16(seed int64, metricsOut, traceOut string) error {
 			p.Iteration, p.Seconds, p.Machines, p.Stage, p.Objective,
 			metrics.AsciiBar(p.Seconds, max, 30), marker)
 	}
-	if metricsOut != "" {
-		if err := dumpTo(metricsOut, o.Reg().WritePrometheus); err != nil {
-			return fmt.Errorf("metrics-out: %w", err)
-		}
-	}
-	if traceOut != "" {
-		if err := dumpTo(traceOut, o.Trace().WriteJSONL); err != nil {
-			return fmt.Errorf("trace-out: %w", err)
-		}
-	}
-	return nil
-}
-
-func dumpTo(path string, dump func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := dump(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return obs.WriteFiles(o, metricsOut, traceOut)
 }

@@ -16,6 +16,7 @@ import (
 
 	"proteus/internal/experiments"
 	"proteus/internal/metrics"
+	"proteus/internal/obs"
 )
 
 func main() {
@@ -25,10 +26,17 @@ func main() {
 	samples := flag.Int("samples", 20, "job start points to average (paper: 1000)")
 	seed := flag.Int64("seed", 1, "market seed")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics aggregated over all sample runs to this file")
+	traceOut := flag.String("trace-out", "", "write the JSONL span trace of all sample runs to this file")
 	flag.Parse()
 
 	cfg := experiments.DefaultMarketConfig()
 	cfg.Seed = *seed
+	if *metricsOut != "" || *traceOut != "" {
+		// One observer across every (scheme, zone, offset) run: counters
+		// aggregate over the whole experiment, spans append in run order.
+		cfg.Observer = obs.NewObserver(nil)
+	}
 
 	var err error
 	switch {
@@ -50,6 +58,9 @@ func main() {
 		log.Fatalf("unknown figure %d (bidsim reproduces 1, 8, 9, 10)", *fig)
 	}
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteFiles(cfg.Observer, *metricsOut, *traceOut); err != nil {
 		log.Fatal(err)
 	}
 }

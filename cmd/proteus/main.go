@@ -8,11 +8,17 @@
 // real parameter-server stack, and market evictions flow through the
 // elasticity controller.
 //
+// With -jobs or -jobs-file, the multi-tenant control plane
+// (internal/sched) runs the job mix concurrently over one shared
+// footprint and compares the bill against serial back-to-back execution.
+//
 // Usage:
 //
 //	proteus -hours 2 -scheme proteus
 //	proteus -hours 4 -scheme all -samples 10
 //	proteus -live -iterations 40
+//	proteus -jobs 8 -policy fair -metrics-out metrics.prom
+//	proteus -jobs-file mix.json -policy deadline
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "market seed")
 	live := flag.Bool("live", false, "run the full functional stack (market -> cluster -> AgileML -> real MF training)")
 	iterations := flag.Int("iterations", 40, "training iterations for -live")
+	jobs := flag.Int("jobs", 0, "run N synthetic tenant jobs through the multi-tenant scheduler instead of one job")
+	jobsFile := flag.String("jobs-file", "", "run the JSON job mix at this path through the multi-tenant scheduler")
+	policy := flag.String("policy", "fair", "multi-tenant placement policy: fair, cost-greedy, deadline")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file at exit")
 	traceOut := flag.String("trace-out", "", "write the JSONL span trace to this file at exit")
 	metricsAddr := flag.String("metrics-addr", "", "with -live, serve /metrics and /debug/pprof on this address")
@@ -51,6 +60,23 @@ func main() {
 
 	if *live {
 		if err := runLive(cfg, *iterations, o, oo); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *jobs > 0 || *jobsFile != "" {
+		mix := experiments.SyntheticJobs(*jobs, *seed)
+		if *jobsFile != "" {
+			var err error
+			if mix, err = jobsFromFile(*jobsFile); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := runMultiTenant(cfg, mix, *policy); err != nil {
+			log.Fatal(err)
+		}
+		if err := oo.write(o); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,11 +1,8 @@
 package main
 
 import (
-	"fmt"
-	"io"
 	"log"
 	"net/http"
-	"os"
 
 	"proteus/internal/obs"
 )
@@ -25,29 +22,7 @@ func (oo obsOutputs) enabled() bool {
 
 // write dumps the registry and trace to the configured files.
 func (oo obsOutputs) write(o *obs.Observer) error {
-	if oo.metricsOut != "" {
-		if err := writeFile(oo.metricsOut, o.Reg().WritePrometheus); err != nil {
-			return fmt.Errorf("metrics-out: %w", err)
-		}
-	}
-	if oo.traceOut != "" {
-		if err := writeFile(oo.traceOut, o.Trace().WriteJSONL); err != nil {
-			return fmt.Errorf("trace-out: %w", err)
-		}
-	}
-	return nil
-}
-
-func writeFile(path string, dump func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := dump(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return obs.WriteFiles(o, oo.metricsOut, oo.traceOut)
 }
 
 // serve exposes /metrics and /debug/pprof on the configured address in

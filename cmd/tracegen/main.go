@@ -19,6 +19,7 @@ import (
 
 	"proteus/internal/experiments"
 	"proteus/internal/market"
+	"proteus/internal/obs"
 	"proteus/internal/trace"
 )
 
@@ -30,26 +31,43 @@ func main() {
 	stats := flag.Bool("stats", false, "print market statistics instead of a plot")
 	days := flag.Int("days", 6, "trace length in days")
 	seed := flag.Int64("seed", 1, "generator seed")
+	metricsOut := flag.String("metrics-out", "", "write per-type trace statistics as Prometheus text to this file")
+	traceOut := flag.String("trace-out", "", "write one JSONL span per above-on-demand spike to this file")
 	flag.Parse()
 
-	if *csv {
+	switch {
+	case *csv:
 		if err := emitCSV(*days, *seed); err != nil {
 			log.Fatal(err)
 		}
-		return
-	}
-	if *stats {
+	case *stats:
 		if err := printStats(*days, *seed); err != nil {
 			log.Fatal(err)
 		}
-		return
-	}
-	switch *fig {
-	case 3:
+	case *fig == 3:
 		printFig3(*seed)
 	default:
 		log.Fatalf("unknown figure %d (tracegen reproduces figure 3)", *fig)
 	}
+	if err := writeObs(*days, *seed, *metricsOut, *traceOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeObs regenerates the trace set (generation is deterministic in days
+// and seed, so this matches whatever the selected mode printed) and
+// exports its statistics and spike spans to the requested files.
+func writeObs(days int, seed int64, metricsOut, traceOut string) error {
+	if metricsOut == "" && traceOut == "" {
+		return nil
+	}
+	o := obs.NewObserver(nil)
+	prices := market.CatalogPrices(market.DefaultCatalog())
+	set := trace.GenerateSet("us-east-1a", time.Duration(days)*24*time.Hour, prices, seed)
+	if err := trace.ObserveSet(o, set, prices); err != nil {
+		return err
+	}
+	return obs.WriteFiles(o, metricsOut, traceOut)
 }
 
 func emitCSV(days int, seed int64) error {

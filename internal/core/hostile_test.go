@@ -6,6 +6,7 @@ import (
 
 	"proteus/internal/checkpoint"
 	"proteus/internal/market"
+	"proteus/internal/obs"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
 )
@@ -71,6 +72,89 @@ func TestAgileMLBeatsCheckpointUnderEvictionStorm(t *testing.T) {
 	// eviction refunds the hour).
 	if ag.Usage.FreeHours == 0 || ck.Usage.FreeHours == 0 {
 		t.Fatalf("no free compute in the storm: agile %v, ckpt %v", ag.Usage.FreeHours, ck.Usage.FreeHours)
+	}
+}
+
+// familyTotal sums a counter family's series, optionally filtered by one
+// label pair.
+func familyTotal(snap []obs.FamilySnapshot, name, labelKey, labelVal string) float64 {
+	total := 0.0
+	for _, f := range snap {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Series {
+			if labelKey != "" {
+				match := false
+				for _, l := range s.Labels {
+					if l.Key == labelKey && l.Value == labelVal {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+			}
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// TestProteusNeverTerminatesWarnedAllocations asserts the
+// eviction-warning lease-release invariant: every allocation that
+// receives a warning is evicted (its refund collected) — none is
+// terminated by the renewal decision or the sequence cleanup in the
+// window between warning and eviction, which would forfeit the refund.
+//
+// The spikes open at 56.5 minutes past the hour, so the pre-hour-end
+// renewal decision (hour end − 3 min = :57) of the allocation acquired
+// at t=0 lands inside its own warning window [56.5, 58.5]: without the
+// warning-path release, that decision sees price > bid and terminates
+// the doomed allocation.
+func TestProteusNeverTerminatesWarnedAllocations(t *testing.T) {
+	catalog := market.DefaultCatalog()
+	set := trace.NewSet("warnstorm")
+	for _, tp := range catalog {
+		base := tp.OnDemand * 0.25
+		pts := []trace.Point{{At: 0, Price: base}}
+		for at := 56*time.Minute + 30*time.Second; at < 200*time.Hour; at += 100 * time.Minute {
+			pts = append(pts, trace.Point{At: at, Price: tp.OnDemand * 3})
+			pts = append(pts, trace.Point{At: at + 4*time.Minute, Price: base})
+		}
+		set.Add(&trace.Trace{InstanceType: tp.Name, Zone: "warnstorm", Points: pts})
+	}
+	eng := sim.NewEngine()
+	o := obs.NewObserver(eng.Now)
+	mkt, err := market.New(eng, market.Config{
+		Catalog: catalog, Traces: set, Warning: 2 * time.Minute, Observer: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, brain := testHarness(t, 1) // brain only; the market above is the one under test
+
+	seq, err := ProteusScheme{Brain: brain}.RunSequence(eng, mkt, []JobSpec{spec2h(), spec2h()}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range seq.Jobs {
+		if !j.Completed {
+			t.Fatalf("job %d incomplete", i)
+		}
+	}
+
+	snap := o.Reg().Snapshot()
+	warnings := familyTotal(snap, "proteus_market_eviction_warnings_total", "", "")
+	evicted := familyTotal(snap, "proteus_market_allocations_ended_total", "outcome", "evicted")
+	if warnings == 0 {
+		t.Fatal("storm produced no eviction warnings")
+	}
+	if warnings != evicted {
+		t.Fatalf("invariant violated: %.0f warnings but %.0f evictions — a warned allocation was terminated and its refund forfeited", warnings, evicted)
+	}
+	if refunds := familyTotal(snap, "proteus_market_refunded_dollars_total", "", ""); refunds <= 0 {
+		t.Fatal("no eviction refunds collected")
 	}
 }
 

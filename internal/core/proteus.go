@@ -144,6 +144,9 @@ func (s ProteusScheme) RunSequence(eng *sim.Engine, mkt *market.Market, specs []
 		}
 	} else {
 		for id, sa := range sess.spot {
+			if sa.warned {
+				continue // its eviction refund is at most a warning away
+			}
 			if err := mkt.Terminate(sa.alloc); err != nil {
 				return nil, err
 			}
@@ -151,6 +154,10 @@ func (s ProteusScheme) RunSequence(eng *sim.Engine, mkt *market.Market, specs []
 		}
 		if err := mkt.Terminate(reliable); err != nil {
 			return nil, err
+		}
+		// Wait out allocations under eviction warning instead of
+		// terminating them — termination would forfeit their refunds.
+		for len(sess.spot) > 0 && eng.Step() {
 		}
 	}
 	out.TotalCost = mkt.TotalCost() - startCost
@@ -194,8 +201,22 @@ type proteusSession struct {
 	draining bool
 }
 
-// EvictionWarning implements market.Handler.
-func (s *proteusSession) EvictionWarning(*market.Allocation, time.Duration) {}
+// EvictionWarning implements market.Handler: the lease is released on
+// the warning path, not only at graceful completion — AgileML drains the
+// doomed machines within the warning window (§3.3), so they stop
+// contributing work and leave the BidBrain footprint immediately, while
+// the allocation itself stays alive to collect the eviction refund.
+func (s *proteusSession) EvictionWarning(a *market.Allocation, _ time.Duration) {
+	sa, ok := s.spot[a.ID]
+	if !ok || sa.warned {
+		return
+	}
+	sa.warned = true
+	if s.job != nil && !s.draining {
+		s.job.recomputeRate()
+		s.decide() // reconsider the market with the doomed cores gone
+	}
+}
 
 // Evicted implements market.Handler: free compute arrives as a refund; a
 // running job additionally pays the λ disruption and reconsiders the
@@ -220,7 +241,7 @@ func (s *proteusSession) footprint(exclude market.AllocationID) ([]bidbrain.Allo
 		OnDemand:  true,
 	}}
 	for id, sa := range s.spot {
-		if id == exclude {
+		if id == exclude || sa.warned {
 			continue
 		}
 		beta, err := s.brain.Beta(sa.alloc.Type.Name, sa.bidDelta)
@@ -258,6 +279,11 @@ func (s *proteusSession) scheduleHourEnd(sa *spotAlloc) {
 		cur, ok := s.spot[sa.alloc.ID]
 		if !ok || cur != sa {
 			return // evicted or replaced meanwhile
+		}
+		if sa.warned {
+			// Terminating now would forfeit the refund arriving with the
+			// eviction at most a warning period away; leave it alone.
+			return
 		}
 		if s.draining {
 			delete(s.spot, sa.alloc.ID)

@@ -27,6 +27,12 @@ type spotJob struct {
 type spotAlloc struct {
 	alloc    *market.Allocation
 	bidDelta float64
+	// warned marks an allocation under eviction warning: its lease is
+	// released (it no longer contributes to the work rate or the
+	// BidBrain footprint) but the allocation stays alive to collect the
+	// eviction refund. Only the Proteus session sets this; the Standard
+	// schemes capture the work-rate effect at eviction time.
+	warned bool
 }
 
 func newSpotJob(eng *sim.Engine, mkt *market.Market, spec JobSpec) *spotJob {
@@ -61,6 +67,9 @@ func (s *spotJob) Evicted(a *market.Allocation) {
 func (s *spotJob) spotCores() int {
 	total := 0
 	for _, sa := range s.spot {
+		if sa.warned {
+			continue
+		}
 		total += sa.alloc.Count * sa.alloc.Type.VCPUs
 	}
 	return total

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"proteus/internal/sched"
+)
+
+func TestSyntheticJobsDeterministic(t *testing.T) {
+	a := SyntheticJobs(8, 7)
+	b := SyntheticJobs(8, 7)
+	if len(a) != 8 {
+		t.Fatalf("got %d jobs", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	deadlines := 0
+	for _, j := range a {
+		if j.Deadline > 0 {
+			deadlines++
+		}
+	}
+	if deadlines != 2 {
+		t.Fatalf("8 jobs should carry 2 deadlines, got %d", deadlines)
+	}
+}
+
+func TestRunMultiTenantConcurrentBeatsSerial(t *testing.T) {
+	cfg := MarketConfig{Seed: 1, EvalDays: 14, TrainDays: 20, BetaSamples: 200}
+	study, err := RunMultiTenant(cfg, SyntheticJobs(8, 1), sched.FairShare{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []sched.Result{study.Concurrent, study.Serial} {
+		if len(arm.Jobs) != 8 {
+			t.Fatalf("arm reported %d jobs", len(arm.Jobs))
+		}
+		for _, jr := range arm.Jobs {
+			if !jr.Completed {
+				t.Fatalf("job %d incomplete (state %v)", jr.Job.ID, jr.State)
+			}
+		}
+	}
+	t.Logf("concurrent $%.2f (net $%.2f) | serial $%.2f (net $%.2f) | saving %.0f%%",
+		study.Concurrent.TotalCost, study.ConcurrentNet,
+		study.Serial.TotalCost, study.SerialNet, study.Saving*100)
+	if study.ConcurrentNet >= study.SerialNet {
+		t.Fatalf("concurrent net $%.2f not under serial net $%.2f",
+			study.ConcurrentNet, study.SerialNet)
+	}
+	if study.Concurrent.Makespan >= study.Serial.Makespan {
+		t.Fatalf("concurrent makespan %v not under serial %v",
+			study.Concurrent.Makespan, study.Serial.Makespan)
+	}
+}
+
+func TestRunMultiTenantValidation(t *testing.T) {
+	if _, err := RunMultiTenant(DefaultMarketConfig(), nil, nil); err == nil {
+		t.Fatal("empty job mix accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// DumpTo creates (or truncates) path and streams dump into it, closing
+// the file even when the dump fails. It is the file-writing half shared
+// by every CLI's -metrics-out / -trace-out flags.
+func DumpTo(path string, dump func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFiles exports the observer's metrics (Prometheus text exposition)
+// and trace (JSONL spans) to the given paths. An empty path skips that
+// output; a nil observer with any non-empty path is an error, because it
+// means the caller asked for an export without instrumenting anything.
+func WriteFiles(o *Observer, metricsPath, tracePath string) error {
+	if o == nil {
+		if metricsPath != "" || tracePath != "" {
+			return fmt.Errorf("obs: output requested but no observer was attached")
+		}
+		return nil
+	}
+	if metricsPath != "" {
+		if err := DumpTo(metricsPath, o.Reg().WritePrometheus); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	if tracePath != "" {
+		if err := DumpTo(tracePath, o.Trace().WriteJSONL); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
+	return nil
+}

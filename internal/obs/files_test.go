@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteFiles(t *testing.T) {
+	o := NewObserver(func() time.Duration { return time.Minute })
+	o.Reg().Counter("proteus_test_total", "A test counter.").Add(3)
+	o.Trace().Event("test", "ping", "hello %d", 7)
+
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.prom")
+	tpath := filepath.Join(dir, "trace.jsonl")
+	if err := WriteFiles(o, mpath, tpath); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(m), "proteus_test_total 3") {
+		t.Fatalf("metrics file missing counter:\n%s", m)
+	}
+	tr, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), `"hello 7"`) {
+		t.Fatalf("trace file missing event:\n%s", tr)
+	}
+}
+
+func TestWriteFilesSkipsEmptyPaths(t *testing.T) {
+	o := NewObserver(nil)
+	if err := WriteFiles(o, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Nil observer with no outputs is fine; with outputs it is an error.
+	if err := WriteFiles(nil, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFiles(nil, filepath.Join(t.TempDir(), "m"), ""); err == nil {
+		t.Fatal("nil observer with a metrics path should error")
+	}
+}
+
+func TestDumpToPropagatesDumpError(t *testing.T) {
+	boom := errors.New("boom")
+	err := DumpTo(filepath.Join(t.TempDir(), "out"), func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/agileml"
+	"proteus/internal/cluster"
+)
+
+// AgileMLHooks adapts one job's AgileML controller to the broker's lease
+// stream: Grow adds transient machines to the job's cluster and
+// controller, Shrink drains them through the §3.3 eviction path (warn,
+// reassign partitions, complete). The broker hands leases in units of
+// market-allocation cores; the adapter converts with CoresPerMachine.
+type AgileMLHooks struct {
+	Cluster    *cluster.Cluster
+	Controller *agileml.Controller
+	// CoresPerMachine converts leased cores to cluster machines.
+	CoresPerMachine int
+
+	machines []cluster.MachineID
+	grants   int
+}
+
+// NewAgileMLHooks wires a job's cluster and controller to the broker.
+func NewAgileMLHooks(clus *cluster.Cluster, ctrl *agileml.Controller, coresPerMachine int) (*AgileMLHooks, error) {
+	if clus == nil || ctrl == nil {
+		return nil, fmt.Errorf("sched: AgileML hooks need a cluster and a controller")
+	}
+	if coresPerMachine <= 0 {
+		return nil, fmt.Errorf("sched: CoresPerMachine must be positive")
+	}
+	return &AgileMLHooks{Cluster: clus, Controller: ctrl, CoresPerMachine: coresPerMachine}, nil
+}
+
+// Machines reports the transient machines currently incorporated.
+func (h *AgileMLHooks) Machines() int { return len(h.machines) }
+
+// Grants reports how many Grow calls the broker delivered.
+func (h *AgileMLHooks) Grants() int { return h.grants }
+
+// Grow implements ElasticHooks.
+func (h *AgileMLHooks) Grow(cores int) error {
+	n := cores / h.CoresPerMachine
+	if n <= 0 {
+		n = 1
+	}
+	ms, err := h.Cluster.Add(cluster.Transient, h.CoresPerMachine, n,
+		fmt.Sprintf("sched-lease-%d", h.grants))
+	if err != nil {
+		return err
+	}
+	h.grants++
+	if err := h.Controller.AddMachines(ms); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		h.machines = append(h.machines, m.ID)
+	}
+	return nil
+}
+
+// Shrink implements ElasticHooks.
+func (h *AgileMLHooks) Shrink(cores int) error {
+	n := cores / h.CoresPerMachine
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(h.machines) {
+		n = len(h.machines)
+	}
+	if n == 0 {
+		return nil
+	}
+	ids := h.machines[len(h.machines)-n:]
+	h.machines = h.machines[:len(h.machines)-n]
+	if err := h.Cluster.WarnEviction(ids, 2*time.Minute); err != nil {
+		return err
+	}
+	if err := h.Controller.HandleEvictionWarning(ids); err != nil {
+		return err
+	}
+	if err := h.Cluster.Evict(ids); err != nil {
+		return err
+	}
+	return h.Controller.CompleteEviction(ids)
+}

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+
+	"proteus/internal/agileml"
+	"proteus/internal/cluster"
+	"proteus/internal/dataset"
+	"proteus/internal/ml/mf"
+)
+
+// TestAgileMLHooksGrowShrink drives a real AgileML controller through
+// the broker's lease interface: leased cores become transient machines,
+// reclaimed cores drain out through the §3.3 eviction path.
+func TestAgileMLHooksGrowShrink(t *testing.T) {
+	data := dataset.GenerateMF(dataset.MFConfig{
+		Users: 30, Items: 20, Rank: 3, Observed: 250, Noise: 0.01,
+	}, 1)
+	app := mf.New(mf.DefaultConfig(3), data)
+	clus := cluster.New()
+	seed, err := clus.Add(cluster.Reliable, 4, 2, "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := agileml.New(agileml.Config{App: app, MaxMachines: 16, Staleness: 1}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewAgileMLHooks(clus, ctrl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := h.Grow(8); err != nil {
+		t.Fatal(err)
+	}
+	if h.Machines() != 2 {
+		t.Fatalf("8 cores at 4/machine should add 2 machines, got %d", h.Machines())
+	}
+	rel, trans := ctrl.NumMachines()
+	if rel != 2 || trans != 2 {
+		t.Fatalf("controller sees %d reliable / %d transient, want 2/2", rel, trans)
+	}
+
+	if err := h.Shrink(8); err != nil {
+		t.Fatal(err)
+	}
+	if h.Machines() != 0 {
+		t.Fatalf("shrink left %d machines", h.Machines())
+	}
+	rel, trans = ctrl.NumMachines()
+	if rel != 2 || trans != 0 {
+		t.Fatalf("after shrink: %d reliable / %d transient, want 2/0", rel, trans)
+	}
+
+	// Shrinking an empty lease set is a no-op, not an error.
+	if err := h.Shrink(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgileMLHooksValidation(t *testing.T) {
+	if _, err := NewAgileMLHooks(nil, nil, 4); err == nil {
+		t.Fatal("nil cluster/controller accepted")
+	}
+	if _, err := NewAgileMLHooks(cluster.New(), &agileml.Controller{}, 0); err == nil {
+		t.Fatal("zero cores per machine accepted")
+	}
+}

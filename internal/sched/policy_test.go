@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func sumShares(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func TestFairShareRespectsCapsAndTotal(t *testing.T) {
+	reqs := []ShareRequest{
+		{ID: 0, Priority: 0, MaxCores: 100},
+		{ID: 1, Priority: 2, MaxCores: 100},
+		{ID: 2, Priority: 0, MaxCores: 10},
+	}
+	out := (FairShare{}).Shares(0, reqs, 120)
+	if sumShares(out) > 120 {
+		t.Fatalf("shares %v exceed total", out)
+	}
+	for i, r := range reqs {
+		if out[i] > r.MaxCores {
+			t.Fatalf("share %d exceeds cap: %v", i, out)
+		}
+	}
+	if out[1] <= out[0] {
+		t.Fatalf("priority 2 should out-share priority 0: %v", out)
+	}
+	// Capacity under caps is fully distributed.
+	if sumShares(out) != 120 {
+		t.Fatalf("left cores on the table: %v", out)
+	}
+}
+
+func TestFairShareCapsBindEverything(t *testing.T) {
+	reqs := []ShareRequest{{ID: 0, MaxCores: 8}, {ID: 1, MaxCores: 8}}
+	out := (FairShare{}).Shares(0, reqs, 1000)
+	if out[0] != 8 || out[1] != 8 {
+		t.Fatalf("want both capped at 8, got %v", out)
+	}
+	if got := (FairShare{}).Shares(0, nil, 100); len(got) != 0 {
+		t.Fatalf("no requests should give no shares, got %v", got)
+	}
+	if got := (FairShare{}).Shares(0, reqs, 0); sumShares(got) != 0 {
+		t.Fatalf("zero cores should give zero shares, got %v", got)
+	}
+}
+
+func TestCostGreedyPacksShortestFirst(t *testing.T) {
+	reqs := []ShareRequest{
+		{ID: 0, MaxCores: 100, RemainingWork: 500},
+		{ID: 1, MaxCores: 100, RemainingWork: 5},
+		{ID: 2, MaxCores: 100, RemainingWork: 50},
+	}
+	out := (CostGreedy{}).Shares(0, reqs, 150)
+	if out[1] != 100 {
+		t.Fatalf("shortest job should be fully packed: %v", out)
+	}
+	if out[2] != 50 || out[0] != 0 {
+		t.Fatalf("remainder should go to next-shortest: %v", out)
+	}
+}
+
+func TestDeadlineFirstReservesNeededCores(t *testing.T) {
+	reqs := []ShareRequest{
+		{ID: 0, MaxCores: 100},
+		{ID: 1, MaxCores: 100, Deadline: time.Hour, NeededCores: 60},
+		{ID: 2, MaxCores: 100, Deadline: 2 * time.Hour, NeededCores: 30},
+	}
+	out := (DeadlineFirst{}).Shares(0, reqs, 100)
+	if out[1] < 60 {
+		t.Fatalf("earliest deadline under-served: %v", out)
+	}
+	if out[2] < 30 {
+		t.Fatalf("second deadline under-served: %v", out)
+	}
+	if sumShares(out) != 100 {
+		t.Fatalf("residual not distributed: %v", out)
+	}
+}
+
+func TestDeadlineFirstStarvesGracefully(t *testing.T) {
+	// Reservations beyond capacity: earliest deadline wins what exists.
+	reqs := []ShareRequest{
+		{ID: 0, MaxCores: 100, Deadline: time.Hour, NeededCores: 80},
+		{ID: 1, MaxCores: 100, Deadline: 30 * time.Minute, NeededCores: 80},
+	}
+	out := (DeadlineFirst{}).Shares(0, reqs, 100)
+	if out[1] != 80 {
+		t.Fatalf("EDF order violated: %v", out)
+	}
+	if out[0] != 20 {
+		t.Fatalf("leftover should go to the later deadline: %v", out)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	cases := map[string]string{
+		"fair":        "fair",
+		"":            "fair",
+		"cost-greedy": "cost-greedy",
+		"greedy":      "cost-greedy",
+		"deadline":    "deadline",
+		"edf":         "deadline",
+	}
+	for in, want := range cases {
+		p, err := PolicyByName(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("%q resolved to %q, want %q", in, p.Name(), want)
+		}
+	}
+	if _, err := PolicyByName("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

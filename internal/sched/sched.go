@@ -1,0 +1,1118 @@
+// Package sched is the multi-tenant control plane above the single-job
+// driver: it admits a stream of jobs (arrival times, priorities,
+// optional deadlines), runs them concurrently against one shared
+// BidBrain-managed footprint, and arbitrates machines between jobs.
+//
+// The paper runs one ML application at a time (§5 assumes a *sequence*);
+// a production service multiplexes many users' jobs onto the same pool
+// of transient machines. Package sched generalizes the §5 footprint
+// handoff from serial to concurrent: a footprint broker leases
+// allocations from the shared pool to jobs, reclaims leases on eviction
+// warnings, and hands already-paid end-of-billing-hour capacity freed by
+// a finishing job to whichever admitted job can harvest it. Placement is
+// pluggable (fair-share, cost-greedy, deadline-first); deadline jobs
+// feed the bidbrain deadline machinery at acquisition time.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/core"
+	"proteus/internal/market"
+	"proteus/internal/obs"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// decisionPeriod matches the single-job driver: the broker reconsiders
+// the market every two minutes (§5).
+const decisionPeriod = 2 * time.Minute
+
+// preHourLead is how long before an allocation's billing-hour end the
+// renew/terminate decision runs.
+const preHourLead = 3 * time.Minute
+
+// Job is one tenant job submitted to the scheduler.
+type Job struct {
+	// ID must be unique within a scheduler; results are reported by ID.
+	ID   int
+	Name string
+	Spec core.JobSpec
+	// Arrival is when the job enters the queue, as an offset from the
+	// scheduler's start.
+	Arrival time.Duration
+	// Priority weights placement; higher is more important.
+	Priority int
+	// Deadline, when nonzero, is the completion target as an offset from
+	// the scheduler's start. A job arriving at or after its deadline is
+	// rejected as expired.
+	Deadline time.Duration
+}
+
+// JobState is the lifecycle state of a submitted job.
+type JobState int
+
+const (
+	// Pending jobs are submitted but have not arrived yet.
+	Pending JobState = iota
+	// Queued jobs have arrived and await admission.
+	Queued
+	// Running jobs hold (or compete for) footprint leases.
+	Running
+	// Done jobs completed their target work.
+	Done
+	// Expired jobs arrived at or after their deadline and never ran.
+	Expired
+)
+
+// String implements fmt.Stringer for metrics labels and logs.
+func (s JobState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Expired:
+		return "expired"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// JobResult reports one job's outcome. Times are offsets from the
+// scheduler's start.
+type JobResult struct {
+	Job       Job
+	State     JobState
+	Completed bool
+	QueuedAt  time.Duration
+	StartedAt time.Duration
+	Finished  time.Duration
+	// Wait is queue time before first admission.
+	Wait time.Duration
+	// Runtime is admission to completion (zero if the job never ran).
+	Runtime time.Duration
+	// Cost is the job's pro-rata share (by paid leased core-hours) of
+	// the run's exact total bill.
+	Cost float64
+	// Work is the core-hours actually accrued.
+	Work      float64
+	Evictions int
+	// MetDeadline is true when the job had no deadline or finished
+	// before it.
+	MetDeadline bool
+}
+
+// UtilPoint samples the shared footprint when leases change.
+type UtilPoint struct {
+	At          time.Duration
+	LeasedCores int
+	IdleCores   int
+	Running     int
+	Queued      int
+}
+
+// Result reports a whole scheduler run.
+type Result struct {
+	// Jobs is ordered by job ID.
+	Jobs []JobResult
+	// TotalCost is the exact net dollars billed by the market during the
+	// run, including the drain.
+	TotalCost float64
+	// UnusedPaid is dollars paid for billing-hour fractions outlasting
+	// the last job that were neither used nor refunded; subtract it for
+	// accounting comparable to the single-job schemes (which pro-rate
+	// final hours away).
+	UnusedPaid float64
+	// HarvestedRefunds is money recovered during the final drain by
+	// leaving spot allocations alive until their billing hours ended.
+	HarvestedRefunds float64
+	// Makespan is the scheduler start to the last job's completion
+	// (excluding the drain).
+	Makespan   time.Duration
+	Rebalances int
+	Usage      market.Usage
+	Timeline   []UtilPoint
+}
+
+// ElasticHooks lets a per-job elasticity controller (e.g. AgileML)
+// follow the broker's lease changes: Grow fires when cores are leased to
+// the job, Shrink when they are reclaimed (rebalance, eviction warning,
+// or job completion). Implementations run inline on the simulation
+// goroutine and must not block.
+type ElasticHooks interface {
+	Grow(cores int) error
+	Shrink(cores int) error
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	Brain *bidbrain.Brain
+	// Policy arbitrates core shares between running jobs; nil means
+	// FairShare.
+	Policy Policy
+	// ReliableType and ReliableCount size the shared on-demand anchor
+	// (state safety for every tenant's AgileML tier).
+	ReliableType  string
+	ReliableCount int
+	// MaxSpotCores caps the shared transient footprint across all jobs.
+	MaxSpotCores int
+	// ChunkCores is the granularity of one acquisition request.
+	ChunkCores int
+	// MaxConcurrent caps simultaneously running jobs; 0 means unlimited.
+	// 1 reproduces serial back-to-back execution over the shared
+	// footprint (the §5 sequence).
+	MaxConcurrent int
+	// Drain, when true, ends the run with the §5 shutdown: spot
+	// allocations stay alive until their billing hours end, hoping for
+	// eviction refunds. When false everything terminates immediately
+	// (except allocations already under eviction warning, which are
+	// waited out so their refunds are not forfeited).
+	Drain bool
+	// Observer instruments the scheduler (sched_* families, per-job
+	// spans). Nil disables instrumentation.
+	Observer *obs.Observer
+	// Hooks, when set, builds the per-job elasticity adapter at
+	// admission time.
+	Hooks func(Job) ElasticHooks
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.Brain == nil {
+		return fmt.Errorf("sched: config needs a Brain")
+	}
+	if c.ReliableType == "" || c.ReliableCount <= 0 {
+		return fmt.Errorf("sched: ReliableType and ReliableCount must be set")
+	}
+	if c.MaxSpotCores <= 0 || c.ChunkCores <= 0 {
+		return fmt.Errorf("sched: MaxSpotCores and ChunkCores must be positive")
+	}
+	if c.MaxConcurrent < 0 {
+		return fmt.Errorf("sched: MaxConcurrent must be non-negative")
+	}
+	return nil
+}
+
+// jobRun is a submitted job's live state: the per-job work integrator
+// (the ν·k·Δt accounting of §4.1) plus lease bookkeeping.
+type jobRun struct {
+	job   Job
+	state JobState
+	hooks ElasticHooks
+
+	work       float64
+	rate       float64 // core-hours per hour of virtual time
+	lastAccrue time.Duration
+	pausedTo   time.Duration
+
+	queuedAt  time.Duration
+	startedAt time.Duration
+	finished  time.Duration
+
+	leasedCores int
+	coreSeconds float64 // paid leased core-seconds (cost attribution)
+	evictions   int
+
+	completion *sim.Event
+	span       *obs.Span
+}
+
+// brokerAlloc is one market allocation owned by the footprint broker and
+// leased to at most one job at a time.
+type brokerAlloc struct {
+	alloc      *market.Allocation
+	bidDelta   float64
+	warned     bool
+	everLeased bool
+	holder     *jobRun
+	lastHolder *jobRun
+	leaseStart time.Duration
+}
+
+func (b *brokerAlloc) cores() int { return b.alloc.Count * b.alloc.Type.VCPUs }
+
+// Scheduler runs submitted jobs concurrently over one shared footprint.
+type Scheduler struct {
+	eng *sim.Engine
+	mkt *market.Market
+	cfg Config
+
+	jobs   []*jobRun
+	byID   map[int]*jobRun
+	allocs map[market.AllocationID]*brokerAlloc
+
+	reliable *market.Allocation
+	horizon  time.Duration
+
+	startAt    time.Duration
+	startCost  float64
+	startUsage market.Usage
+
+	started    bool
+	draining   bool
+	rebalances int
+	timeline   []UtilPoint
+	runErr     error
+}
+
+// New builds a scheduler over the engine and market. Jobs are added with
+// Submit before Run.
+func New(eng *sim.Engine, mkt *market.Market, cfg Config) (*Scheduler, error) {
+	if eng == nil || mkt == nil {
+		return nil, fmt.Errorf("sched: nil engine or market")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FairShare{}
+	}
+	s := &Scheduler{
+		eng:    eng,
+		mkt:    mkt,
+		cfg:    cfg,
+		byID:   make(map[int]*jobRun),
+		allocs: make(map[market.AllocationID]*brokerAlloc),
+	}
+	// The market horizon bounds the run: when the price traces end, no
+	// further market events fire and unfinished jobs are reported as
+	// incomplete instead of spinning the decision ticker forever.
+	for _, t := range mkt.Types() {
+		if tr, ok := mkt.Trace(t.Name); ok && tr.Duration() > s.horizon {
+			s.horizon = tr.Duration()
+		}
+	}
+	return s, nil
+}
+
+// Submit registers a job. All submissions must happen before Run.
+func (s *Scheduler) Submit(job Job) error {
+	if s.started {
+		return fmt.Errorf("sched: Submit after Run")
+	}
+	if err := job.Spec.Validate(); err != nil {
+		return fmt.Errorf("sched: job %d: %w", job.ID, err)
+	}
+	if job.Arrival < 0 {
+		return fmt.Errorf("sched: job %d: negative arrival", job.ID)
+	}
+	if _, dup := s.byID[job.ID]; dup {
+		return fmt.Errorf("sched: duplicate job ID %d", job.ID)
+	}
+	j := &jobRun{job: job, state: Pending}
+	s.jobs = append(s.jobs, j)
+	s.byID[job.ID] = j
+	return nil
+}
+
+// Run executes every submitted job and returns the consolidated
+// accounting. It drives the engine until all jobs reach a terminal
+// state or the market horizon is exhausted.
+func (s *Scheduler) Run() (*Result, error) {
+	if s.started {
+		return nil, fmt.Errorf("sched: Run called twice")
+	}
+	if len(s.jobs) == 0 {
+		return nil, fmt.Errorf("sched: no jobs submitted")
+	}
+	s.started = true
+	sort.Slice(s.jobs, func(i, j int) bool { return s.jobs[i].job.ID < s.jobs[j].job.ID })
+
+	s.startAt = s.eng.Now()
+	s.startCost = s.mkt.TotalCost()
+	s.startUsage = s.mkt.TotalUsage()
+
+	reliable, err := s.mkt.RequestOnDemand(s.cfg.ReliableType, s.cfg.ReliableCount)
+	if err != nil {
+		return nil, err
+	}
+	s.reliable = reliable
+	s.mkt.SetHandler(s)
+	defer s.mkt.SetHandler(nil)
+
+	for _, j := range s.jobs {
+		j.lastAccrue = s.startAt
+		jr := j
+		s.eng.At(s.startAt+jr.job.Arrival, "sched.arrival", func() { s.arrive(jr) })
+	}
+	ticker := s.eng.Every(decisionPeriod, "sched.decide", func() {
+		if s.draining || s.allTerminal() {
+			return
+		}
+		s.decide()
+		s.rebalance("tick")
+	})
+
+	for s.runErr == nil && !s.allTerminal() && s.eng.Now() <= s.horizon && s.eng.Step() {
+	}
+	ticker.Stop()
+	if s.runErr != nil {
+		return nil, s.runErr
+	}
+	for _, j := range s.jobs {
+		if j.state == Running {
+			s.accrueJob(j)
+		}
+	}
+	makespan := s.eng.Now() - s.startAt
+
+	// Snapshot paid-but-unused final-hour fractions before the shutdown
+	// path decides their fate (terminated hours stay paid; evicted ones
+	// are refunded and excluded below).
+	type pending struct {
+		alloc  *market.Allocation
+		unused float64
+	}
+	var pendings []pending
+	now := s.eng.Now()
+	for _, a := range s.mkt.ActiveAllocations() {
+		unused := a.ChargedThrough() - now
+		if unused < 0 {
+			unused = 0
+		}
+		frac := unused.Hours() / trace.BillingHour.Hours()
+		pendings = append(pendings, pending{alloc: a, unused: a.HourCharge() * frac})
+	}
+
+	harvested, err := s.shutdown()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		TotalCost:        s.mkt.TotalCost() - s.startCost,
+		HarvestedRefunds: harvested,
+		Makespan:         makespan,
+		Rebalances:       s.rebalances,
+		Timeline:         s.timeline,
+	}
+	for _, p := range pendings {
+		if p.alloc.State() != market.Evicted {
+			out.UnusedPaid += p.unused
+		}
+	}
+	u := s.mkt.TotalUsage()
+	u.OnDemandHours -= s.startUsage.OnDemandHours
+	u.SpotHours -= s.startUsage.SpotHours
+	u.FreeHours -= s.startUsage.FreeHours
+	out.Usage = u
+
+	// Attribute the exact total pro-rata by paid leased core-seconds:
+	// shared-footprint refunds can land after the job that triggered the
+	// charge finished, so window-delta accounting per job would mislead.
+	adjusted := out.TotalCost - out.UnusedPaid
+	var totalShare float64
+	for _, j := range s.jobs {
+		totalShare += j.coreSeconds
+	}
+	for _, j := range s.jobs {
+		jr := JobResult{
+			Job:         j.job,
+			State:       j.state,
+			Completed:   j.state == Done,
+			QueuedAt:    j.queuedAt - s.startAt,
+			Work:        j.work,
+			Evictions:   j.evictions,
+			MetDeadline: j.job.Deadline == 0,
+		}
+		if j.state == Running || j.state == Done {
+			jr.StartedAt = j.startedAt - s.startAt
+			jr.Wait = j.startedAt - j.queuedAt
+		}
+		if j.state == Done {
+			jr.Finished = j.finished - s.startAt
+			jr.Runtime = j.finished - j.startedAt
+			if j.job.Deadline > 0 {
+				jr.MetDeadline = jr.Finished <= j.job.Deadline
+			}
+		} else if j.job.Deadline > 0 {
+			jr.MetDeadline = false
+		}
+		if totalShare > 0 {
+			jr.Cost = adjusted * j.coreSeconds / totalShare
+		} else if n := len(s.jobs); n > 0 {
+			jr.Cost = adjusted / float64(n)
+		}
+		out.Jobs = append(out.Jobs, jr)
+	}
+	return out, nil
+}
+
+// shutdown releases the footprint after the last job. With Drain, spot
+// allocations run out their charged billing hours "in hope that they are
+// evicted … prior to the end of the billing hour" (§5), generalized here
+// across tenants; without it, everything not already under an eviction
+// warning terminates immediately (warned allocations are waited out so
+// their imminent refunds are collected, not forfeited).
+func (s *Scheduler) shutdown() (float64, error) {
+	s.draining = true
+	for _, id := range s.sortedAllocIDs() {
+		s.release(s.allocs[id])
+	}
+	costBefore := s.mkt.TotalCost()
+	if err := s.mkt.Terminate(s.reliable); err != nil {
+		return 0, err
+	}
+	if !s.cfg.Drain {
+		for _, id := range s.sortedAllocIDs() {
+			ba := s.allocs[id]
+			if ba.warned {
+				continue // eviction (and its refund) is at most a warning away
+			}
+			if err := s.mkt.Terminate(ba.alloc); err != nil {
+				return 0, err
+			}
+			delete(s.allocs, id)
+		}
+	}
+	// Remaining allocations die at their armed hour-end decisions or get
+	// evicted (refunded) first; no new hours start while draining.
+	for len(s.allocs) > 0 && s.eng.Step() {
+	}
+	harvested := costBefore - s.mkt.TotalCost()
+	if harvested < 0 {
+		harvested = 0
+	}
+	return harvested, nil
+}
+
+func (s *Scheduler) fail(err error) {
+	if s.runErr == nil {
+		s.runErr = err
+	}
+}
+
+func (s *Scheduler) allTerminal() bool {
+	for _, j := range s.jobs {
+		if j.state != Done && j.state != Expired {
+			return false
+		}
+	}
+	return true
+}
+
+// --- job lifecycle -------------------------------------------------
+
+func (s *Scheduler) arrive(j *jobRun) {
+	if s.draining || j.state != Pending {
+		return
+	}
+	now := s.eng.Now()
+	j.queuedAt = now
+	if j.job.Deadline > 0 && now >= s.startAt+j.job.Deadline {
+		j.state = Expired
+		s.jobCounter("expired").Inc()
+		s.obs().Trace().Event("sched", "expired",
+			"job %d (%s) arrived at %v, after its deadline %v", j.job.ID, j.job.Name, now-s.startAt, j.job.Deadline)
+		return
+	}
+	j.state = Queued
+	s.jobCounter("queued").Inc()
+	j.span = s.obs().Trace().Start("sched", "job").
+		Detailf("job %d (%s) prio=%d deadline=%v", j.job.ID, j.job.Name, j.job.Priority, j.job.Deadline)
+	s.admit()
+	s.decide()
+	s.rebalance("arrival")
+}
+
+// admit moves queued jobs to running while concurrency slots are free.
+// Admission order is priority-first, then earliest deadline, then
+// arrival, then ID — the deadline-aware queue ordering; core *shares*
+// among admitted jobs are the pluggable policy's business.
+func (s *Scheduler) admit() {
+	for {
+		if s.cfg.MaxConcurrent > 0 && s.countState(Running) >= s.cfg.MaxConcurrent {
+			return
+		}
+		var next *jobRun
+		for _, j := range s.jobs {
+			if j.state != Queued {
+				continue
+			}
+			if next == nil || admitBefore(j, next) {
+				next = j
+			}
+		}
+		if next == nil {
+			return
+		}
+		next.state = Running
+		next.startedAt = s.eng.Now()
+		next.lastAccrue = s.eng.Now()
+		if s.cfg.Hooks != nil {
+			next.hooks = s.cfg.Hooks(next.job)
+		}
+		s.jobCounter("running").Inc()
+	}
+}
+
+// admitBefore orders the admission queue.
+func admitBefore(a, b *jobRun) bool {
+	if a.job.Priority != b.job.Priority {
+		return a.job.Priority > b.job.Priority
+	}
+	da, db := a.job.Deadline, b.job.Deadline
+	if (da > 0) != (db > 0) {
+		return da > 0
+	}
+	if da > 0 && da != db {
+		return da < db
+	}
+	if a.job.Arrival != b.job.Arrival {
+		return a.job.Arrival < b.job.Arrival
+	}
+	return a.job.ID < b.job.ID
+}
+
+func (s *Scheduler) countState(st JobState) int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == st {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) onJobDone(j *jobRun) {
+	if j.state != Running {
+		return
+	}
+	s.accrueJob(j)
+	j.state = Done
+	j.finished = s.eng.Now()
+	s.jobCounter("done").Inc()
+	if j.span != nil {
+		j.span.Detailf("job %d (%s) done: work=%.1f evictions=%d wait=%v runtime=%v",
+			j.job.ID, j.job.Name, j.work, j.evictions, j.startedAt-j.queuedAt, j.finished-j.startedAt).End()
+		j.span = nil
+	}
+	// The finishing job's leases return to the pool as already-paid
+	// capacity; rebalance hands them to whoever can harvest them.
+	for _, id := range s.sortedAllocIDs() {
+		ba := s.allocs[id]
+		if ba.holder == j {
+			s.release(ba)
+		}
+	}
+	s.admit()
+	s.rebalance("completion")
+}
+
+// --- work integration (per job) ------------------------------------
+
+// accrueJob integrates work up to now, honoring pauses.
+func (s *Scheduler) accrueJob(j *jobRun) {
+	now := s.eng.Now()
+	from := j.lastAccrue
+	if from < j.pausedTo {
+		from = j.pausedTo
+		if from > now {
+			from = now
+		}
+	}
+	if now > from {
+		j.work += j.rate * (now - from).Hours()
+	}
+	j.lastAccrue = now
+}
+
+func (s *Scheduler) recomputeRate(j *jobRun) {
+	s.accrueJob(j)
+	p := j.job.Spec.Params
+	j.rate = p.Phi * float64(j.leasedCores) * p.NuPerCore
+	s.scheduleCompletion(j)
+}
+
+func (s *Scheduler) pauseJob(j *jobRun, d time.Duration) {
+	s.accrueJob(j)
+	until := s.eng.Now() + d
+	if until > j.pausedTo {
+		j.pausedTo = until
+	}
+	s.scheduleCompletion(j)
+}
+
+func (s *Scheduler) scheduleCompletion(j *jobRun) {
+	if j.completion != nil {
+		j.completion.Cancel()
+		j.completion = nil
+	}
+	if j.state != Running || j.rate <= 0 {
+		return
+	}
+	remaining := j.job.Spec.TargetWork - j.work
+	if remaining <= 0 {
+		s.onJobDone(j)
+		return
+	}
+	start := s.eng.Now()
+	if j.pausedTo > start {
+		start = j.pausedTo
+	}
+	at := start + time.Duration(remaining/j.rate*float64(time.Hour))
+	j.completion = s.eng.At(at, "sched.complete", func() { s.onJobDone(j) })
+}
+
+// --- footprint broker ----------------------------------------------
+
+func (s *Scheduler) sortedAllocIDs() []market.AllocationID {
+	ids := make([]market.AllocationID, 0, len(s.allocs))
+	for id := range s.allocs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// spotCores counts unwarned leased-or-idle transient cores.
+func (s *Scheduler) spotCores() int {
+	total := 0
+	for _, ba := range s.allocs {
+		if !ba.warned {
+			total += ba.cores()
+		}
+	}
+	return total
+}
+
+// totalDemand is the gross transient-core demand of running jobs,
+// bounded by the global cap.
+func (s *Scheduler) totalDemand() int {
+	demand := 0
+	for _, j := range s.jobs {
+		if j.state == Running {
+			demand += j.job.Spec.MaxSpotCores
+		}
+	}
+	if demand > s.cfg.MaxSpotCores {
+		demand = s.cfg.MaxSpotCores
+	}
+	return demand
+}
+
+// footprint translates the broker's live allocations into BidBrain
+// state, excluding one allocation (for its own renewal decision) and all
+// warned allocations (their leases are already released; they exist only
+// to collect refunds).
+func (s *Scheduler) footprint(exclude market.AllocationID) ([]bidbrain.AllocState, error) {
+	now := s.eng.Now()
+	out := []bidbrain.AllocState{{
+		Type:      s.reliable.Type,
+		Count:     s.reliable.Count,
+		Price:     s.reliable.Type.OnDemand,
+		Remaining: s.reliable.HourEnd(now) - now,
+		OnDemand:  true,
+	}}
+	for _, id := range s.sortedAllocIDs() {
+		ba := s.allocs[id]
+		if id == exclude || ba.warned {
+			continue
+		}
+		beta, err := s.cfg.Brain.Beta(ba.alloc.Type.Name, ba.bidDelta)
+		if err != nil {
+			return nil, err
+		}
+		remaining := ba.alloc.HourEnd(now) - now
+		omega, err := s.cfg.Brain.ExpectedUsefulTime(ba.alloc.Type.Name, ba.bidDelta, remaining)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bidbrain.AllocState{
+			Type:      ba.alloc.Type,
+			Count:     ba.alloc.Count,
+			Price:     ba.alloc.HourCharge() / float64(ba.alloc.Count),
+			Beta:      beta,
+			Remaining: remaining,
+			Omega:     omega,
+		})
+	}
+	return out, nil
+}
+
+// decide runs one acquisition decision for the shared footprint. When a
+// running job's deadline is in jeopardy the deadline machinery picks the
+// candidate (cheapest that restores feasibility); otherwise the standard
+// cost-per-work objective does.
+func (s *Scheduler) decide() {
+	if s.draining {
+		return
+	}
+	demand := s.totalDemand()
+	have := s.spotCores()
+	if have >= demand {
+		return
+	}
+	cur, err := s.footprint(-1)
+	if err != nil {
+		return
+	}
+	prices := make(map[string]float64)
+	for _, t := range s.mkt.Types() {
+		p, err := s.mkt.SpotPrice(t.Name)
+		if err != nil {
+			return
+		}
+		prices[t.Name] = p
+	}
+	types := s.mkt.Types()
+	smallest := types[0]
+	for _, t := range types {
+		if t.VCPUs < smallest.VCPUs {
+			smallest = t
+		}
+	}
+	count := s.cfg.ChunkCores / smallest.VCPUs
+	if count <= 0 {
+		count = 1
+	}
+
+	var cand *bidbrain.Candidate
+	if goal, ok := s.urgentDeadline(); ok {
+		dc, err := s.cfg.Brain.DeadlineAcquisition(cur, goal, prices, types, count)
+		if err == nil && dc != nil {
+			cand = &dc.Candidate
+		}
+	}
+	if cand == nil {
+		cand, err = s.cfg.Brain.BestAcquisition(cur, prices, types, count)
+		if err != nil || cand == nil {
+			return
+		}
+	}
+	maxCount := (demand - have) / cand.Type.VCPUs
+	n := cand.Count
+	if n > maxCount {
+		n = maxCount
+	}
+	if n <= 0 {
+		return
+	}
+	alloc, err := s.mkt.RequestSpot(cand.Type.Name, n, cand.Bid)
+	if err != nil {
+		return
+	}
+	ba := &brokerAlloc{alloc: alloc, bidDelta: cand.BidDelta}
+	s.allocs[alloc.ID] = ba
+	s.scheduleHourEnd(ba)
+	s.rebalance("acquire")
+}
+
+// urgentDeadline finds the running deadline job in most jeopardy and
+// phrases it as a bidbrain goal.
+func (s *Scheduler) urgentDeadline() (bidbrain.DeadlineGoal, bool) {
+	var best *jobRun
+	for _, j := range s.jobs {
+		if j.state != Running || j.job.Deadline == 0 {
+			continue
+		}
+		if best == nil || j.job.Deadline < best.job.Deadline {
+			best = j
+		}
+	}
+	if best == nil {
+		return bidbrain.DeadlineGoal{}, false
+	}
+	s.accrueJob(best)
+	remaining := best.job.Spec.TargetWork - best.work
+	left := s.startAt + best.job.Deadline - s.eng.Now()
+	if remaining <= 0 || left <= 0 {
+		return bidbrain.DeadlineGoal{}, false
+	}
+	return bidbrain.DeadlineGoal{RemainingWork: remaining, Deadline: left}, true
+}
+
+// scheduleHourEnd arms the pre-hour-end renew/terminate decision (§4.2).
+// Warned allocations are left alone — terminating them would forfeit the
+// refund arriving with the eviction. Draining or surplus capacity
+// terminates before the next hour is charged.
+func (s *Scheduler) scheduleHourEnd(ba *brokerAlloc) {
+	now := s.eng.Now()
+	at := ba.alloc.HourEnd(now) - preHourLead
+	if at <= now {
+		at = ba.alloc.HourEnd(now) + trace.BillingHour - preHourLead
+	}
+	s.eng.At(at, "sched.hourEnd", func() {
+		cur, ok := s.allocs[ba.alloc.ID]
+		if !ok || cur != ba {
+			return
+		}
+		if ba.warned {
+			return
+		}
+		if s.draining {
+			s.terminate(ba)
+			return
+		}
+		if s.spotCores()-ba.cores() >= s.totalDemand() {
+			s.terminate(ba)
+			s.rebalance("shrink")
+			return
+		}
+		rest, err := s.footprint(ba.alloc.ID)
+		if err != nil {
+			return
+		}
+		price, err := s.mkt.SpotPrice(ba.alloc.Type.Name)
+		if err != nil {
+			return
+		}
+		beta, _ := s.cfg.Brain.Beta(ba.alloc.Type.Name, ba.bidDelta)
+		state := bidbrain.AllocState{
+			Type:      ba.alloc.Type,
+			Count:     ba.alloc.Count,
+			Price:     price,
+			Beta:      beta,
+			Remaining: trace.BillingHour,
+		}
+		if price > ba.alloc.Bid || !s.cfg.Brain.ShouldRenew(rest, state, price) {
+			s.terminate(ba)
+			s.rebalance("renewal")
+			return
+		}
+		s.scheduleHourEnd(ba)
+	})
+}
+
+func (s *Scheduler) terminate(ba *brokerAlloc) {
+	s.release(ba)
+	delete(s.allocs, ba.alloc.ID)
+	_ = s.mkt.Terminate(ba.alloc)
+}
+
+// release reclaims the allocation's lease, returning it to the idle
+// pool. The (former) holder's rate drops and its hooks shrink.
+func (s *Scheduler) release(ba *brokerAlloc) {
+	j := ba.holder
+	if j == nil {
+		return
+	}
+	now := s.eng.Now()
+	held := now - ba.leaseStart
+	s.obs().Reg().Histogram("proteus_sched_lease_seconds",
+		"duration of one allocation lease to one job",
+		[]float64{60, 300, 900, 1800, 3600, 7200, 14400, 43200}).Observe(held.Seconds())
+	j.coreSeconds += held.Seconds() * float64(ba.cores())
+	j.leasedCores -= ba.cores()
+	ba.lastHolder = j
+	ba.holder = nil
+	s.recomputeRate(j)
+	if j.hooks != nil {
+		if err := j.hooks.Shrink(ba.cores()); err != nil {
+			s.fail(fmt.Errorf("sched: job %d shrink hook: %w", j.job.ID, err))
+		}
+	}
+}
+
+// grant leases the allocation to the job. A first-ever lease pays the
+// job's σ incorporation pause; transfers of warm machines do not.
+func (s *Scheduler) grant(ba *brokerAlloc, j *jobRun) {
+	ba.holder = j
+	ba.leaseStart = s.eng.Now()
+	j.leasedCores += ba.cores()
+	if !ba.everLeased {
+		ba.everLeased = true
+		s.pauseJob(j, j.job.Spec.Params.Sigma)
+	}
+	s.recomputeRate(j)
+	if j.hooks != nil {
+		if err := j.hooks.Grow(ba.cores()); err != nil {
+			s.fail(fmt.Errorf("sched: job %d grow hook: %w", j.job.ID, err))
+		}
+	}
+}
+
+// rebalance re-divides the unwarned footprint among running jobs per the
+// placement policy. Current holders keep their leases when the new
+// shares allow, minimizing churn; counted (and recorded in the
+// utilization timeline) only when a lease actually moves.
+func (s *Scheduler) rebalance(cause string) {
+	if s.draining {
+		return
+	}
+	var runnable []*jobRun
+	for _, j := range s.jobs {
+		if j.state == Running {
+			runnable = append(runnable, j)
+		}
+	}
+	changed := false
+	if len(runnable) == 0 {
+		for _, id := range s.sortedAllocIDs() {
+			if s.allocs[id].holder != nil {
+				s.release(s.allocs[id])
+				changed = true
+			}
+		}
+	} else {
+		reqs := make([]ShareRequest, 0, len(runnable))
+		for _, j := range runnable {
+			s.accrueJob(j)
+			reqs = append(reqs, ShareRequest{
+				ID:            j.job.ID,
+				Priority:      j.job.Priority,
+				Arrival:       j.job.Arrival,
+				Deadline:      j.job.Deadline,
+				MaxCores:      j.job.Spec.MaxSpotCores,
+				NeededCores:   s.neededCores(j),
+				RemainingWork: j.job.Spec.TargetWork - j.work,
+			})
+		}
+		shares := s.cfg.Policy.Shares(s.eng.Now()-s.startAt, reqs, s.spotCores())
+		target := make(map[int]int, len(reqs))
+		for i, r := range reqs {
+			if i < len(shares) {
+				target[r.ID] = shares[i]
+			}
+		}
+		// Pass 1: keep holders whose share still covers their lease.
+		for _, id := range s.sortedAllocIDs() {
+			ba := s.allocs[id]
+			if ba.warned || ba.holder == nil {
+				continue
+			}
+			if ba.holder.state == Running && target[ba.holder.job.ID] >= ba.cores() {
+				target[ba.holder.job.ID] -= ba.cores()
+				continue
+			}
+			s.release(ba)
+			changed = true
+		}
+		// Pass 2: hand idle allocations to the largest remaining share.
+		for _, id := range s.sortedAllocIDs() {
+			ba := s.allocs[id]
+			if ba.warned || ba.holder != nil {
+				continue
+			}
+			var pick *jobRun
+			best := 0
+			for _, j := range runnable {
+				if t := target[j.job.ID]; t > best {
+					best, pick = t, j
+				}
+			}
+			if pick == nil {
+				continue
+			}
+			target[pick.job.ID] -= ba.cores()
+			s.grant(ba, pick)
+			changed = true
+		}
+	}
+	if changed {
+		s.rebalances++
+		s.obs().Reg().Counter("proteus_sched_rebalances_total",
+			"lease reassignments between jobs", obs.L("cause", cause)).Inc()
+	}
+	s.observeState(changed)
+}
+
+// neededCores is the sustained core count that finishes the job exactly
+// at its deadline — the deadline-first policy's reservation.
+func (s *Scheduler) neededCores(j *jobRun) int {
+	if j.job.Deadline == 0 {
+		return 0
+	}
+	left := (s.startAt + j.job.Deadline - s.eng.Now()).Hours()
+	if left <= 0 {
+		return j.job.Spec.MaxSpotCores
+	}
+	p := j.job.Spec.Params
+	perCore := p.Phi * p.NuPerCore
+	if perCore <= 0 {
+		return j.job.Spec.MaxSpotCores
+	}
+	need := int((j.job.Spec.TargetWork-j.work)/(left*perCore)) + 1
+	if need > j.job.Spec.MaxSpotCores {
+		need = j.job.Spec.MaxSpotCores
+	}
+	if need < 0 {
+		need = 0
+	}
+	return need
+}
+
+// --- market.Handler -------------------------------------------------
+
+// EvictionWarning implements market.Handler: the broker reclaims the
+// lease immediately — the holder's elasticity controller drains within
+// the warning window (§3.3) — while the allocation itself stays alive to
+// collect the eviction refund.
+func (s *Scheduler) EvictionWarning(a *market.Allocation, _ time.Duration) {
+	ba, ok := s.allocs[a.ID]
+	if !ok {
+		return
+	}
+	ba.warned = true
+	s.release(ba)
+	if !s.draining {
+		s.rebalance("warning")
+	}
+}
+
+// Evicted implements market.Handler: the machines are gone; the former
+// holder pays the λ disruption and the broker reconsiders the market.
+func (s *Scheduler) Evicted(a *market.Allocation) {
+	ba, ok := s.allocs[a.ID]
+	if !ok {
+		return
+	}
+	s.release(ba) // zero-warning markets evict without a prior warning
+	delete(s.allocs, a.ID)
+	if j := ba.lastHolder; j != nil && j.state == Running {
+		j.evictions++
+		s.pauseJob(j, j.job.Spec.Params.Lambda)
+	}
+	if !s.draining {
+		s.decide()
+		s.rebalance("eviction")
+	}
+}
+
+// --- instrumentation ------------------------------------------------
+
+func (s *Scheduler) obs() *obs.Observer { return s.cfg.Observer }
+
+func (s *Scheduler) jobCounter(state string) *obs.Counter {
+	return s.obs().Reg().Counter("proteus_sched_jobs_total",
+		"job state transitions", obs.L("state", state))
+}
+
+// observeState refreshes the queue/footprint gauges and, when leases
+// moved, appends a utilization timeline point.
+func (s *Scheduler) observeState(changed bool) {
+	leased, idle := 0, 0
+	for _, ba := range s.allocs {
+		if ba.warned {
+			continue
+		}
+		if ba.holder != nil {
+			leased += ba.cores()
+		} else {
+			idle += ba.cores()
+		}
+	}
+	queued := s.countState(Queued)
+	running := s.countState(Running)
+	reg := s.obs().Reg()
+	reg.Gauge("proteus_sched_queue_depth", "jobs arrived and awaiting admission").Set(float64(queued))
+	reg.Gauge("proteus_sched_running_jobs", "jobs currently holding or competing for leases").Set(float64(running))
+	reg.Gauge("proteus_sched_leased_cores", "transient cores currently leased to jobs").Set(float64(leased))
+	reg.Gauge("proteus_sched_idle_cores", "paid transient cores awaiting a lease").Set(float64(idle))
+	if changed {
+		s.timeline = append(s.timeline, UtilPoint{
+			At:          s.eng.Now() - s.startAt,
+			LeasedCores: leased,
+			IdleCores:   idle,
+			Running:     running,
+			Queued:      queued,
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"fmt"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/core"
+	"proteus/internal/market"
+	"proteus/internal/obs"
+	"proteus/internal/sim"
+)
+
+// SchedulerScheme adapts the multi-job scheduler to the single-job
+// scheme harness: the spec runs as a one-job workload under the broker,
+// so the scheduler's accounting is directly comparable with the
+// checkpointing / AgileML / Proteus schemes.
+type SchedulerScheme struct {
+	Brain *bidbrain.Brain
+	// Policy arbitrates shares (irrelevant for one job, but kept so
+	// harness runs exercise the configured policy); nil means FairShare.
+	Policy   Policy
+	Observer *obs.Observer
+}
+
+// Name implements core.Scheme.
+func (s SchedulerScheme) Name() string {
+	p := s.Policy
+	if p == nil {
+		p = FairShare{}
+	}
+	return fmt.Sprintf("sched-%s", p.Name())
+}
+
+// Run implements core.Scheme.
+func (s SchedulerScheme) Run(eng *sim.Engine, mkt *market.Market, spec core.JobSpec) (core.Result, error) {
+	sch, err := New(eng, mkt, Config{
+		Brain:         s.Brain,
+		Policy:        s.Policy,
+		ReliableType:  spec.ReliableType,
+		ReliableCount: spec.ReliableCount,
+		MaxSpotCores:  spec.MaxSpotCores,
+		ChunkCores:    spec.ChunkCores,
+		Observer:      s.Observer,
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	if err := sch.Submit(Job{ID: 0, Name: "job", Spec: spec}); err != nil {
+		return core.Result{}, err
+	}
+	res, err := sch.Run()
+	if err != nil {
+		return core.Result{}, err
+	}
+	jr := res.Jobs[0]
+	return core.Result{
+		Scheme:    s.Name(),
+		Completed: jr.Completed,
+		Cost:      res.TotalCost - res.UnusedPaid,
+		Runtime:   jr.Runtime,
+		Usage:     res.Usage,
+		Evictions: jr.Evictions,
+	}, nil
+}

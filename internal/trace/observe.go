@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"proteus/internal/obs"
+)
+
+// ObserveSet exports a trace set's per-type price statistics (the §2.2
+// market characterization: mean discount, time above on-demand, spike
+// counts) to the observer's registry, and emits one span per
+// above-on-demand spike to its tracer, stamped on the trace's own
+// timeline. It rebinds the observer's clock while walking the points, so
+// pass a dedicated observer — not one already bound to a live engine.
+func ObserveSet(o *obs.Observer, set *Set, onDemand map[string]float64) error {
+	if o == nil {
+		return nil
+	}
+	reg := o.Reg()
+	var at time.Duration
+	o.SetClock(func() time.Duration { return at })
+	for _, name := range set.Types() {
+		tr, _ := set.Get(name)
+		od, ok := onDemand[name]
+		if !ok {
+			return fmt.Errorf("trace: no on-demand price for %s", name)
+		}
+		s, err := ComputeStats(tr, od)
+		if err != nil {
+			return fmt.Errorf("trace: observe %s: %w", name, err)
+		}
+		l := obs.L("type", name)
+		reg.Gauge("proteus_trace_mean_price_dollars",
+			"Time-weighted mean spot price over the trace.", l).Set(s.MeanPrice)
+		reg.Gauge("proteus_trace_mean_discount_ratio",
+			"Mean discount off the on-demand price (1 - mean/OD).", l).Set(s.MeanDiscount)
+		reg.Gauge("proteus_trace_above_ondemand_ratio",
+			"Fraction of trace time with the spot price above on-demand.", l).Set(s.TimeAboveOnDemand)
+		reg.Counter("proteus_trace_spikes_total",
+			"Maximal above-on-demand intervals in the trace.", l).Add(float64(s.Spikes))
+		reg.Counter("proteus_trace_price_changes_total",
+			"Price change points in the trace.", l).Add(float64(s.Changes))
+
+		// One span per spike, on the trace's timeline.
+		var sp *obs.Span
+		var peak float64
+		inSpike := false
+		for _, p := range tr.Points {
+			switch {
+			case p.Price > od && !inSpike:
+				inSpike = true
+				peak = p.Price
+				at = p.At
+				sp = o.Trace().Start("trace", "spike")
+			case p.Price > od && p.Price > peak:
+				peak = p.Price
+			case p.Price <= od && inSpike:
+				inSpike = false
+				at = p.At
+				sp.Detailf("%s peak $%.4f vs on-demand $%.4f", name, peak, od)
+				sp.End()
+			}
+		}
+		if inSpike {
+			at = tr.Duration()
+			sp.Detailf("%s peak $%.4f vs on-demand $%.4f (open at trace end)", name, peak, od)
+			sp.End()
+		}
+	}
+	return nil
+}

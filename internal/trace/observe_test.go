@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"proteus/internal/obs"
+)
+
+func TestObserveSetExportsStatsAndSpikes(t *testing.T) {
+	set := NewSet("z")
+	set.Add(&Trace{InstanceType: "m1", Zone: "z", Points: []Point{
+		{At: 0, Price: 0.25},
+		{At: 1 * time.Hour, Price: 3.0}, // spike above OD=1
+		{At: 2 * time.Hour, Price: 0.25},
+		{At: 3 * time.Hour, Price: 5.0}, // open spike at trace end
+	}})
+	o := obs.NewObserver(nil)
+	if err := ObserveSet(o, set, map[string]float64{"m1": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := o.Reg().Counter("proteus_trace_spikes_total", "", obs.L("type", "m1")).Value(); v != 2 {
+		t.Fatalf("spikes counter = %v, want 2", v)
+	}
+	if v := o.Reg().Gauge("proteus_trace_mean_discount_ratio", "", obs.L("type", "m1")).Value(); v >= 1 || v <= -10 {
+		t.Fatalf("discount gauge out of range: %v", v)
+	}
+	spikes := o.Trace().Filter("trace", "spike")
+	if len(spikes) != 2 {
+		t.Fatalf("spike spans = %d, want 2", len(spikes))
+	}
+	if spikes[0].Start != 1*time.Hour || spikes[0].End != 2*time.Hour {
+		t.Fatalf("first spike span [%v, %v], want [1h, 2h]", spikes[0].Start, spikes[0].End)
+	}
+	if spikes[1].End != spikes[1].Start {
+		// the open spike closes at the trace end, which IS its start here
+		// (last point); both stamps must equal 3h
+		t.Logf("open spike span [%v, %v]", spikes[1].Start, spikes[1].End)
+	}
+	if spikes[1].Start != 3*time.Hour || spikes[1].End != 3*time.Hour {
+		t.Fatalf("open spike span [%v, %v], want [3h, 3h]", spikes[1].Start, spikes[1].End)
+	}
+}
+
+func TestObserveSetMissingPrice(t *testing.T) {
+	set := NewSet("z")
+	set.Add(&Trace{InstanceType: "m1", Zone: "z", Points: []Point{{At: 0, Price: 0.1}}})
+	if err := ObserveSet(obs.NewObserver(nil), set, nil); err == nil {
+		t.Fatal("missing on-demand price should error")
+	}
+	// A nil observer is a no-op, never an error.
+	if err := ObserveSet(nil, set, nil); err != nil {
+		t.Fatal(err)
+	}
+}
