@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,7 +56,7 @@ func instrumentEnv(env *experiments.Env, o *obs.Observer, jl *journal.Journal) {
 // runLive executes the full-stack Proteus run: a real MF model trains on
 // machines BidBrain acquires from the simulated market, with eviction
 // warnings flowing through the AgileML elasticity controller.
-func runLive(cfg experiments.MarketConfig, iterations int, o *obs.Observer, oo obsOutputs) error {
+func runLive(ctx context.Context, cfg experiments.MarketConfig, iterations int, o *obs.Observer, oo obsOutputs) error {
 	cfg.Observer = o
 	env, err := experiments.NewEnv(cfg, defaultParams())
 	if err != nil {
@@ -63,7 +64,10 @@ func runLive(cfg experiments.MarketConfig, iterations int, o *obs.Observer, oo o
 	}
 	jl := journal.New(env.Engine.Now)
 	instrumentEnv(env, o, jl)
-	oo.serve(o)
+	httpDone, err := oo.serve(ctx, o)
+	if err != nil {
+		return err
+	}
 	res, err := core.RunLive(env.Engine, env.Market, env.Brain, buildLiveConfig(cfg.Seed, iterations, jl, o))
 	if err != nil {
 		return err
@@ -86,9 +90,11 @@ func runLive(cfg experiments.MarketConfig, iterations int, o *obs.Observer, oo o
 		if err := oo.write(o); err != nil {
 			return err
 		}
-		if oo.metricsAddr != "" {
-			log.Printf("serving /metrics and /debug/pprof on %s (ctrl-c to exit)", oo.metricsAddr)
-			select {}
+		if httpDone != nil {
+			log.Printf("metrics server stays up until ctrl-c")
+			if err := <-httpDone; err != nil {
+				return err
+			}
 		}
 	}
 	return nil

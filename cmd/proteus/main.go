@@ -12,6 +12,11 @@
 // (internal/sched) runs the job mix concurrently over one shared
 // footprint and compares the bill against serial back-to-back execution.
 //
+// With -serve, the scheduler becomes a long-running HTTP service: jobs
+// arrive over POST /v1/jobs, status and SSE event streams are served
+// from the same listener as /metrics and pprof, and ctrl-c drains the
+// in-flight jobs before printing the final bill.
+//
 // Usage:
 //
 //	proteus -hours 2 -scheme proteus
@@ -19,15 +24,21 @@
 //	proteus -live -iterations 40
 //	proteus -jobs 8 -policy fair -metrics-out metrics.prom
 //	proteus -jobs-file mix.json -policy deadline
+//	proteus -serve -addr :8080 -speedup 60
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"proteus/internal/experiments"
+	"proteus/internal/jobspec"
 	"proteus/internal/obs"
 )
 
@@ -43,6 +54,10 @@ func main() {
 	jobs := flag.Int("jobs", 0, "run N synthetic tenant jobs through the multi-tenant scheduler instead of one job")
 	jobsFile := flag.String("jobs-file", "", "run the JSON job mix at this path through the multi-tenant scheduler")
 	policy := flag.String("policy", "fair", "multi-tenant placement policy: fair, cost-greedy, deadline")
+	serve := flag.Bool("serve", false, "run the multi-tenant scheduler as a long-running HTTP control plane")
+	addr := flag.String("addr", ":8080", "with -serve, the listen address for the control-plane API")
+	speedup := flag.Float64("speedup", 60, "with -serve, virtual seconds per wall second while jobs run (0 = as fast as possible)")
+	days := flag.Int("days", 0, "market evaluation window in days (0 keeps the default)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file at exit")
 	traceOut := flag.String("trace-out", "", "write the JSONL span trace to this file at exit")
 	metricsAddr := flag.String("metrics-addr", "", "with -live, serve /metrics and /debug/pprof on this address")
@@ -50,16 +65,32 @@ func main() {
 
 	cfg := experiments.DefaultMarketConfig()
 	cfg.Seed = *seed
+	if *days > 0 {
+		cfg.EvalDays = *days
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	oo := obsOutputs{metricsOut: *metricsOut, traceOut: *traceOut, metricsAddr: *metricsAddr}
 	var o *obs.Observer
-	if oo.enabled() {
+	if oo.enabled() || *serve {
 		o = obs.NewObserver(nil)
 	}
 	cfg.Observer = o
 
+	if *serve {
+		if err := runServe(ctx, cfg, o, *policy, *addr, *speedup); err != nil {
+			log.Fatal(err)
+		}
+		if err := oo.write(o); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *live {
-		if err := runLive(cfg, *iterations, o, oo); err != nil {
+		if err := runLive(ctx, cfg, *iterations, o, oo); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -69,7 +100,7 @@ func main() {
 		mix := experiments.SyntheticJobs(*jobs, *seed)
 		if *jobsFile != "" {
 			var err error
-			if mix, err = jobsFromFile(*jobsFile); err != nil {
+			if mix, err = jobspec.Load(*jobsFile); err != nil {
 				log.Fatal(err)
 			}
 		}

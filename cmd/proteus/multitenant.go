@@ -1,69 +1,30 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"time"
 
-	"proteus/internal/bidbrain"
-	"proteus/internal/core"
 	"proteus/internal/experiments"
 	"proteus/internal/sched"
 )
 
-// jobFileEntry is one job in a -jobs-file JSON array.
-type jobFileEntry struct {
-	Name string `json:"name"`
-	// Hours sizes the job: hours of work for 256 transient cores.
-	Hours          float64 `json:"hours"`
-	ArrivalMinutes float64 `json:"arrival_minutes"`
-	Priority       int     `json:"priority"`
-	// DeadlineHours is the completion target as hours from scheduler
-	// start; zero means no deadline.
-	DeadlineHours float64 `json:"deadline_hours"`
-}
-
-// jobsFromFile parses a JSON job mix into scheduler jobs.
-func jobsFromFile(path string) ([]sched.Job, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var entries []jobFileEntry
-	if err := json.Unmarshal(raw, &entries); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if len(entries) == 0 {
-		return nil, fmt.Errorf("%s: no jobs", path)
-	}
-	params := bidbrain.DefaultParams()
-	jobs := make([]sched.Job, 0, len(entries))
-	for i, e := range entries {
-		if e.Hours <= 0 {
-			return nil, fmt.Errorf("%s: job %d needs positive hours", path, i)
+// printJobTable prints per-job outcomes, shared by the batch
+// multi-tenant run and the -serve final accounting.
+func printJobTable(jobs []sched.JobResult) {
+	fmt.Printf("%-4s %-12s %-8s %10s %10s %10s %10s %9s\n",
+		"id", "name", "state", "wait(m)", "run(h)", "cost($)", "work(ch)", "deadline")
+	for _, jr := range jobs {
+		deadline := "-"
+		if jr.Job.Deadline > 0 {
+			if jr.MetDeadline {
+				deadline = "met"
+			} else {
+				deadline = "MISSED"
+			}
 		}
-		name := e.Name
-		if name == "" {
-			name = fmt.Sprintf("job-%d", i)
-		}
-		jobs = append(jobs, sched.Job{
-			ID:       i,
-			Name:     name,
-			Arrival:  time.Duration(e.ArrivalMinutes * float64(time.Minute)),
-			Priority: e.Priority,
-			Deadline: time.Duration(e.DeadlineHours * float64(time.Hour)),
-			Spec: core.JobSpec{
-				TargetWork:    params.Phi * 256 * e.Hours,
-				Params:        params,
-				ReliableType:  "c4.xlarge",
-				ReliableCount: 3,
-				MaxSpotCores:  256,
-				ChunkCores:    128,
-			},
-		})
+		fmt.Printf("%-4d %-12s %-8s %10.1f %10.2f %10.2f %10.1f %9s\n",
+			jr.Job.ID, jr.Job.Name, jr.State, jr.Wait.Minutes(), jr.Runtime.Hours(),
+			jr.Cost, jr.Work, deadline)
 	}
-	return jobs, nil
 }
 
 // runMultiTenant runs the job mix through the sched control plane, both
@@ -81,21 +42,7 @@ func runMultiTenant(cfg experiments.MarketConfig, jobs []sched.Job, policyName s
 
 	fmt.Printf("Multi-tenant run: %d jobs, policy %s, shared footprint (4x c4.xlarge reliable, <=512 spot cores)\n\n",
 		len(jobs), policy.Name())
-	fmt.Printf("%-4s %-12s %-8s %10s %10s %10s %10s %9s\n",
-		"id", "name", "state", "wait(m)", "run(h)", "cost($)", "work(ch)", "deadline")
-	for _, jr := range study.Concurrent.Jobs {
-		deadline := "-"
-		if jr.Job.Deadline > 0 {
-			if jr.MetDeadline {
-				deadline = "met"
-			} else {
-				deadline = "MISSED"
-			}
-		}
-		fmt.Printf("%-4d %-12s %-8s %10.1f %10.2f %10.2f %10.1f %9s\n",
-			jr.Job.ID, jr.Job.Name, jr.State, jr.Wait.Minutes(), jr.Runtime.Hours(),
-			jr.Cost, jr.Work, deadline)
-	}
+	printJobTable(study.Concurrent.Jobs)
 	fmt.Printf("\nconcurrent: $%.2f net (makespan %.1fh, %d rebalances, %.1f free hrs)\n",
 		study.ConcurrentNet, study.Concurrent.Makespan.Hours(),
 		study.Concurrent.Rebalances, study.Concurrent.Usage.FreeHours)

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"time"
 
 	"proteus/internal/obs"
 )
@@ -25,16 +29,55 @@ func (oo obsOutputs) write(o *obs.Observer) error {
 	return obs.WriteFiles(o, oo.metricsOut, oo.traceOut)
 }
 
-// serve exposes /metrics and /debug/pprof on the configured address in
-// the background. Returns immediately; errors are logged.
-func (oo obsOutputs) serve(o *obs.Observer) {
-	if oo.metricsAddr == "" || o == nil {
-		return
+// serveHTTP binds addr and serves h until ctx is canceled, then shuts
+// the server down cleanly (5s grace, then force-close). The listen
+// happens before returning so an unusable address fails the run
+// immediately instead of logging from a goroutine after the fact. The
+// returned channel delivers the server's terminal error — nil on a
+// clean shutdown — once everything has stopped.
+func serveHTTP(ctx context.Context, addr string, h http.Handler) (<-chan error, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("listen %s: %w", addr, err)
 	}
-	mux := o.Reg().Mux()
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
 	go func() {
-		if err := http.ListenAndServe(oo.metricsAddr, mux); err != nil {
-			log.Printf("metrics server: %v", err)
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		serveErr <- err
+	}()
+	done := make(chan error, 1)
+	go func() {
+		select {
+		case <-ctx.Done():
+			grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(grace); err != nil {
+				// Streams still open past the grace period get cut.
+				_ = srv.Close()
+			}
+			done <- <-serveErr
+		case err := <-serveErr:
+			done <- err
 		}
 	}()
+	return done, ln.Addr().String(), nil
+}
+
+// serve exposes /metrics and /debug/pprof on the configured address
+// until ctx is canceled. A nil channel (with nil error) means no
+// address was configured.
+func (oo obsOutputs) serve(ctx context.Context, o *obs.Observer) (<-chan error, error) {
+	if oo.metricsAddr == "" || o == nil {
+		return nil, nil
+	}
+	done, addr, err := serveHTTP(ctx, oo.metricsAddr, o.Reg().Mux())
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("serving /metrics and /debug/pprof on %s", addr)
+	return done, nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/experiments"
+	"proteus/internal/obs"
+	"proteus/internal/sched"
+	"proteus/internal/server"
+)
+
+// runServe runs the multi-tenant scheduler as a long-running HTTP
+// service: the control-plane API (job submission, status, SSE streams,
+// stats), /metrics, and pprof all share one listener. Jobs submitted
+// over POST /v1/jobs run over the shared footprint as they arrive,
+// paced against the wall clock by -speedup. Canceling ctx (ctrl-c)
+// drains: submissions are refused, in-flight jobs fast-forward to
+// completion, and the consolidated bill prints before exit.
+func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer,
+	policyName, addr string, speedup float64) error {
+	policy, err := sched.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
+	if o == nil {
+		o = obs.NewObserver(nil)
+	}
+	cfg.Observer = o
+	env, err := experiments.NewEnv(cfg, bidbrain.DefaultParams())
+	if err != nil {
+		return err
+	}
+	o.SetClock(env.Engine.Now)
+
+	scfg := experiments.SchedConfig(env.Brain, policy)
+	scfg.Observer = o
+	sc, err := sched.New(env.Engine, env.Market, scfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Scheduler: sc, Observer: o})
+	if err != nil {
+		return err
+	}
+
+	// The API stays up through the drain so clients can watch it finish;
+	// its context closes only after the scheduler has settled.
+	httpCtx, stopHTTP := context.WithCancel(context.Background())
+	defer stopHTTP()
+	httpDone, lnAddr, err := serveHTTP(httpCtx, addr, srv)
+	if err != nil {
+		return err
+	}
+	log.Printf("control plane on http://%s — POST /v1/jobs, GET /v1/jobs, /v1/stats, /v1/timeline, /metrics (ctrl-c drains and exits)", lnAddr)
+	log.Printf("market: %d-day horizon, seed %d, policy %s, speedup %.0fx", cfg.EvalDays, cfg.Seed, policy.Name(), speedup)
+
+	res, err := sc.Serve(ctx, sched.ServeConfig{Speedup: speedup})
+	stopHTTP()
+	if herr := <-httpDone; herr != nil {
+		log.Printf("http server: %v", herr)
+	}
+	if err != nil {
+		return err
+	}
+
+	if len(res.Jobs) == 0 {
+		fmt.Println("no jobs were submitted")
+		return nil
+	}
+	fmt.Printf("\nFinal accounting: %d jobs, policy %s\n\n", len(res.Jobs), policy.Name())
+	printJobTable(res.Jobs)
+	fmt.Printf("\ntotal: $%.2f net (makespan %.1fh, %d rebalances, %.1f free hrs)\n",
+		res.TotalCost, res.Makespan.Hours(), res.Rebalances, res.Usage.FreeHours)
+	return nil
+}

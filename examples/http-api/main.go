@@ -1,0 +1,132 @@
+// HTTP API: the control plane as a walkthrough. An in-process server
+// fronts a Serve-driven scheduler on a small synthetic market; the typed
+// client attaches an SSE event stream, submits a mixed-priority job mix
+// over POST /v1/jobs, tails the lifecycle transitions as they stream
+// back, polls status to completion, and prints the scheduler stats plus
+// the final consolidated bill after the drain — everything an external
+// tenant-facing service would do, in one file.
+//
+//	go run ./examples/http-api
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/experiments"
+	"proteus/internal/jobspec"
+	"proteus/internal/obs"
+	"proteus/internal/sched"
+	"proteus/internal/server"
+	"proteus/internal/server/client"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small market keeps the walkthrough fast: 2 evaluation days,
+	// 1 zone, a lightly-sampled bid model.
+	cfg := experiments.MarketConfig{Seed: 7, EvalDays: 2, TrainDays: 7, BetaSamples: 150, Zones: 1}
+	o := obs.NewObserver(nil)
+	cfg.Observer = o
+	env, err := experiments.NewEnv(cfg, bidbrain.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	o.SetClock(env.Engine.Now)
+
+	scfg := experiments.SchedConfig(env.Brain, sched.FairShare{})
+	scfg.Observer = o
+	sc, err := sched.New(env.Engine, env.Market, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Scheduler: sc, Observer: o})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// httptest stands in for a real listener; swap in http.Server +
+	// net.Listen (or `proteus -serve`) for a deployable service.
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	fmt.Printf("control plane at %s\n\n", ts.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resCh := make(chan *sched.Result, 1)
+	go func() {
+		res, err := sc.Serve(ctx, sched.ServeConfig{}) // unpaced: fast-forward
+		if err != nil {
+			log.Fatal(err)
+		}
+		resCh <- res
+	}()
+
+	c := client.New(ts.URL, nil)
+
+	// Attach the event stream for the first job before submitting, so
+	// every transition is observed from the very first.
+	stream, err := c.JobEvents(ctx, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+
+	ids, err := c.Submit(ctx,
+		jobspec.Entry{Name: "ads-ranker", Hours: 0.5, Priority: 2},
+		jobspec.Entry{Name: "churn-model", Hours: 0.3, ArrivalMinutes: 10},
+		jobspec.Entry{Name: "nightly-etl", Hours: 0.4, ArrivalMinutes: 20, Priority: 1, DeadlineHours: 24},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted jobs %v\n\n", ids)
+
+	fmt.Println("job 0 lifecycle over SSE:")
+	for {
+		msg, err := stream.Next()
+		if err == io.EOF {
+			break // the server ends the stream after the terminal event
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := msg.AsEvent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s at %6.1f virtual min  %s\n", msg.Event, ev.AtMinutes, ev.Detail)
+	}
+
+	// Poll the rest to completion and show their final status lines.
+	fmt.Println("\nall jobs:")
+	for _, id := range ids {
+		st, err := c.WaitJob(ctx, id, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  job %d %-12s %-7s work %6.1f/%6.1f core-h, finished at %.1f min\n",
+			st.ID, st.Name, st.State, st.Work, st.TargetWork, *st.FinishedAtMinutes)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: %d done of %d, $%.2f so far, %d rebalances, %.1f virtual min elapsed\n",
+		stats.Done, stats.Jobs, stats.CostSoFar, stats.Rebalances, stats.VirtualMinutes)
+
+	// Drain: stop accepting jobs, fast-forward accounting, settle.
+	cancel()
+	res := <-resCh
+	fmt.Printf("\nfinal bill after drain: $%.2f net for %d jobs (makespan %.1fh)\n",
+		res.TotalCost, len(res.Jobs), res.Makespan.Hours())
+	for _, jr := range res.Jobs {
+		fmt.Printf("  job %d %-12s $%.2f\n", jr.Job.ID, jr.Job.Name, jr.Cost)
+	}
+}

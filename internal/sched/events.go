@@ -1,0 +1,288 @@
+package sched
+
+import "time"
+
+// Event kinds published on the scheduler's stream. Job lifecycle events
+// fire in order queued → admitted → running → done (or queued/expired);
+// timeline events fire whenever leases move.
+const (
+	// EventQueued: the job arrived and entered the admission queue.
+	EventQueued = "queued"
+	// EventAdmitted: the job won a concurrency slot and competes for
+	// leases.
+	EventAdmitted = "admitted"
+	// EventRunning: the job holds transient cores for the first time and
+	// is accruing work.
+	EventRunning = "running"
+	// EventDone: the job reached its target work.
+	EventDone = "done"
+	// EventExpired: the job arrived at or after its deadline and never
+	// ran.
+	EventExpired = "expired"
+	// EventTimeline: the shared-footprint utilization changed (leases
+	// moved); Util carries the sample.
+	EventTimeline = "timeline"
+)
+
+// Event is one scheduler state transition or utilization sample. At is
+// an offset from the scheduler's start on the virtual clock.
+type Event struct {
+	Kind    string
+	At      time.Duration
+	JobID   int // -1 for timeline events
+	JobName string
+	// State is the job's lifecycle state after the transition (zero for
+	// timeline events).
+	State  JobState
+	Detail string
+	Util   *UtilPoint // timeline events only
+}
+
+// Subscription is one consumer of the scheduler's event stream. Events
+// are delivered on C in emission order; a consumer that falls behind its
+// buffer loses the oldest pending deliveries (counted by Dropped) rather
+// than stalling the simulation. Close releases the subscription and
+// closes C.
+type Subscription struct {
+	C <-chan Event
+
+	s       *Scheduler
+	ch      chan Event
+	dropped int
+	closed  bool
+}
+
+// Subscribe registers a consumer for all scheduler events with the given
+// channel buffer (minimum 16; zero or negative selects 256, enough for a
+// busy multi-tenant day). Safe to call from any goroutine at any point
+// in the scheduler's life; events before the subscription are not
+// replayed.
+func (s *Scheduler) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 256
+	} else if buffer < 16 {
+		buffer = 16
+	}
+	sub := &Subscription{s: s, ch: make(chan Event, buffer)}
+	sub.C = sub.ch
+	s.mu.Lock()
+	s.subs[sub] = struct{}{}
+	s.mu.Unlock()
+	return sub
+}
+
+// Close unregisters the subscription and closes its channel. Idempotent
+// and safe to call concurrently with event emission.
+func (sub *Subscription) Close() {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	delete(sub.s.subs, sub)
+	close(sub.ch)
+}
+
+// Dropped reports how many events this subscription lost to a full
+// buffer.
+func (sub *Subscription) Dropped() int {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	return sub.dropped
+}
+
+// emit broadcasts to every subscriber without blocking the simulation:
+// a full buffer drops the event for that subscriber. Callers hold mu.
+func (s *Scheduler) emit(ev Event) {
+	if len(s.subs) == 0 {
+		return
+	}
+	for sub := range s.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+			s.obs().Reg().Counter("proteus_sched_events_dropped_total",
+				"scheduler events lost to a slow subscriber").Inc()
+		}
+	}
+}
+
+func (s *Scheduler) emitJob(kind string, j *jobRun, detail string) {
+	s.emit(Event{
+		Kind:    kind,
+		At:      s.eng.Now() - s.startAt,
+		JobID:   j.job.ID,
+		JobName: j.job.Name,
+		State:   j.state,
+		Detail:  detail,
+	})
+}
+
+func (s *Scheduler) emitTimeline(p UtilPoint) {
+	util := p
+	s.emit(Event{Kind: EventTimeline, At: p.At, JobID: -1, Util: &util})
+}
+
+// JobStatus is a point-in-time view of one submitted job, with work
+// accrued up to the current virtual instant. Times are offsets from the
+// scheduler's start and are meaningful only for states the job reached.
+type JobStatus struct {
+	Job         Job
+	State       JobState
+	Work        float64
+	LeasedCores int
+	Evictions   int
+	QueuedAt    time.Duration
+	StartedAt   time.Duration
+	FinishedAt  time.Duration
+}
+
+// statusLocked builds the live view of one job. Callers hold mu.
+func (s *Scheduler) statusLocked(j *jobRun) JobStatus {
+	st := JobStatus{
+		Job:         j.job,
+		State:       j.state,
+		Work:        s.liveWork(j),
+		LeasedCores: j.leasedCores,
+		Evictions:   j.evictions,
+	}
+	if j.state != Pending {
+		st.QueuedAt = j.queuedAt - s.startAt
+	}
+	if j.state == Running || j.state == Done {
+		st.StartedAt = j.startedAt - s.startAt
+	}
+	if j.state == Done {
+		st.FinishedAt = j.finished - s.startAt
+	}
+	return st
+}
+
+// liveWork integrates work up to now without mutating the accounting —
+// the read-only twin of accrueJob, for status snapshots taken between
+// accrual points.
+func (s *Scheduler) liveWork(j *jobRun) float64 {
+	now := s.eng.Now()
+	from := j.lastAccrue
+	if from < j.pausedTo {
+		from = j.pausedTo
+		if from > now {
+			from = now
+		}
+	}
+	if now > from && j.state == Running {
+		return j.work + j.rate*(now-from).Hours()
+	}
+	return j.work
+}
+
+// Snapshot returns the live status of every submitted job, ordered by
+// job ID. Safe to call from any goroutine while the scheduler runs.
+func (s *Scheduler) Snapshot() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	// Serve-injected jobs append out of order; report sorted.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Job.ID < out[k-1].Job.ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Status returns the live status of one job by ID.
+func (s *Scheduler) Status(id int) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+// Stats is a point-in-time summary of the whole scheduler: queue and
+// footprint occupancy, accumulated bill, and where the virtual clock
+// stands against the market horizon.
+type Stats struct {
+	// Now is the virtual time since the scheduler started; Horizon is
+	// where the market's price traces end.
+	Now     time.Duration
+	Horizon time.Duration
+
+	Jobs    int
+	Pending int
+	Queued  int
+	Running int
+	Done    int
+	Expired int
+
+	LeasedCores int
+	IdleCores   int
+	Rebalances  int
+
+	// CostSoFar is the net dollars billed by the market since the
+	// scheduler started (zero before the run begins).
+	CostSoFar float64
+
+	Draining    bool
+	Subscribers int
+}
+
+// Stats summarizes the scheduler's current state. Safe to call from any
+// goroutine.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Horizon:     s.horizon,
+		Jobs:        len(s.jobs),
+		Rebalances:  s.rebalances,
+		Draining:    s.closing || s.draining,
+		Subscribers: len(s.subs),
+	}
+	if s.started {
+		st.Now = s.eng.Now() - s.startAt
+		st.CostSoFar = s.mkt.TotalCost() - s.startCost
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case Pending:
+			st.Pending++
+		case Queued:
+			st.Queued++
+		case Running:
+			st.Running++
+		case Done:
+			st.Done++
+		case Expired:
+			st.Expired++
+		}
+	}
+	for _, ba := range s.allocs {
+		if ba.warned {
+			continue
+		}
+		if ba.holder != nil {
+			st.LeasedCores += ba.cores()
+		} else {
+			st.IdleCores += ba.cores()
+		}
+	}
+	return st
+}
+
+// Timeline returns a copy of the utilization timeline recorded so far.
+func (s *Scheduler) Timeline() []UtilPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]UtilPoint, len(s.timeline))
+	copy(out, s.timeline)
+	return out
+}

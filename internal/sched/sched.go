@@ -17,6 +17,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"proteus/internal/bidbrain"
@@ -211,6 +212,7 @@ type jobRun struct {
 	rate       float64 // core-hours per hour of virtual time
 	lastAccrue time.Duration
 	pausedTo   time.Duration
+	everRan    bool // first lease grant seen (the "running" event fired)
 
 	queuedAt  time.Duration
 	startedAt time.Duration
@@ -239,10 +241,24 @@ type brokerAlloc struct {
 func (b *brokerAlloc) cores() int { return b.alloc.Count * b.alloc.Type.VCPUs }
 
 // Scheduler runs submitted jobs concurrently over one shared footprint.
+//
+// Two drive modes share the same machinery: Run executes a pre-submitted
+// batch to completion on the virtual clock, and Serve turns the
+// scheduler into a long-running service that accepts Submit calls from
+// other goroutines while the engine advances (paced against the wall
+// clock). The exported methods — Submit, Subscribe, Snapshot, Status,
+// Stats, Timeline — are safe for concurrent use; everything below them
+// runs on the drive goroutine under the scheduler mutex.
 type Scheduler struct {
 	eng *sim.Engine
 	mkt *market.Market
 	cfg Config
+
+	// mu guards every field below plus the engine and market: engine
+	// callbacks run inside Step, which the drive loops call with mu held.
+	mu   sync.Mutex
+	wake chan struct{} // nudges a sleeping Serve loop after Submit
+	subs map[*Subscription]struct{}
 
 	jobs   []*jobRun
 	byID   map[int]*jobRun
@@ -256,7 +272,10 @@ type Scheduler struct {
 	startUsage market.Usage
 
 	started    bool
+	closing    bool // draining for shutdown: no new submissions
+	finished   bool // settle completed; the scheduler is spent
 	draining   bool
+	ticker     *sim.Ticker
 	rebalances int
 	timeline   []UtilPoint
 	runErr     error
@@ -278,6 +297,8 @@ func New(eng *sim.Engine, mkt *market.Market, cfg Config) (*Scheduler, error) {
 		eng:    eng,
 		mkt:    mkt,
 		cfg:    cfg,
+		wake:   make(chan struct{}, 1),
+		subs:   make(map[*Subscription]struct{}),
 		byID:   make(map[int]*jobRun),
 		allocs: make(map[market.AllocationID]*brokerAlloc),
 	}
@@ -292,10 +313,20 @@ func New(eng *sim.Engine, mkt *market.Market, cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
-// Submit registers a job. All submissions must happen before Run.
+// Submit registers a job. Before Run or Serve starts, submissions
+// simply join the batch. Once the scheduler is being driven, Submit is
+// safe to call from any goroutine: the job is injected into the live
+// timeline, its arrival clamped forward to the current virtual time if
+// the requested offset already passed. Submissions are rejected once
+// the scheduler is draining for shutdown or has finished.
 func (s *Scheduler) Submit(job Job) error {
-	if s.started {
-		return fmt.Errorf("sched: Submit after Run")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return fmt.Errorf("sched: Submit after the run finished")
+	}
+	if s.closing {
+		return fmt.Errorf("sched: scheduler is draining, not accepting jobs")
 	}
 	if err := job.Spec.Validate(); err != nil {
 		return fmt.Errorf("sched: job %d: %w", job.ID, err)
@@ -307,21 +338,54 @@ func (s *Scheduler) Submit(job Job) error {
 		return fmt.Errorf("sched: duplicate job ID %d", job.ID)
 	}
 	j := &jobRun{job: job, state: Pending}
+	if s.started {
+		now := s.eng.Now()
+		at := s.startAt + job.Arrival
+		if at < now {
+			// The requested offset is already in the virtual past; the job
+			// arrives now and its record reflects the effective arrival.
+			at = now
+			j.job.Arrival = now - s.startAt
+		}
+		j.lastAccrue = now
+		s.eng.At(at, "sched.arrival", func() { s.arrive(j) })
+	}
 	s.jobs = append(s.jobs, j)
 	s.byID[job.ID] = j
+	if s.started {
+		// Nudge a Serve loop sleeping on an idle timeline.
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
 	return nil
 }
 
-// Run executes every submitted job and returns the consolidated
-// accounting. It drives the engine until all jobs reach a terminal
-// state or the market horizon is exhausted.
-func (s *Scheduler) Run() (*Result, error) {
-	if s.started {
-		return nil, fmt.Errorf("sched: Run called twice")
+// NextJobID returns one greater than the highest submitted job ID (zero
+// when none) — a convenient unique-ID source for submitters like the
+// HTTP control plane.
+func (s *Scheduler) NextJobID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := 0
+	for id := range s.byID {
+		if id >= next {
+			next = id + 1
+		}
 	}
-	if len(s.jobs) == 0 {
-		return nil, fmt.Errorf("sched: no jobs submitted")
-	}
+	return next
+}
+
+// startJobsLocked begins the run: anchors the reliable tier, installs
+// the market handler, arms the decision ticker, and schedules the
+// arrivals of everything submitted so far. The ticker is armed before
+// the arrival events so that batch runs and live Serve submissions
+// order identically at virtual-time ties (a served job's arrival is
+// always scheduled after the ticker; the batch path must match or the
+// two drive modes would bill differently on the same seed). Callers
+// hold mu.
+func (s *Scheduler) startJobsLocked() error {
 	s.started = true
 	sort.Slice(s.jobs, func(i, j int) bool { return s.jobs[i].job.ID < s.jobs[j].job.ID })
 
@@ -331,31 +395,72 @@ func (s *Scheduler) Run() (*Result, error) {
 
 	reliable, err := s.mkt.RequestOnDemand(s.cfg.ReliableType, s.cfg.ReliableCount)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.reliable = reliable
 	s.mkt.SetHandler(s)
-	defer s.mkt.SetHandler(nil)
 
-	for _, j := range s.jobs {
-		j.lastAccrue = s.startAt
-		jr := j
-		s.eng.At(s.startAt+jr.job.Arrival, "sched.arrival", func() { s.arrive(jr) })
-	}
-	ticker := s.eng.Every(decisionPeriod, "sched.decide", func() {
+	s.ticker = s.eng.Every(decisionPeriod, "sched.decide", func() {
 		if s.draining || s.allTerminal() {
 			return
 		}
 		s.decide()
 		s.rebalance("tick")
 	})
-
-	for s.runErr == nil && !s.allTerminal() && s.eng.Now() <= s.horizon && s.eng.Step() {
+	for _, j := range s.jobs {
+		j.lastAccrue = s.startAt
+		jr := j
+		s.eng.At(s.startAt+jr.job.Arrival, "sched.arrival", func() { s.arrive(jr) })
 	}
-	ticker.Stop()
+	return nil
+}
+
+// Run executes every submitted job and returns the consolidated
+// accounting. It drives the engine until all jobs reach a terminal
+// state or the market horizon is exhausted. The mutex is released
+// between engine steps, so Submit may inject jobs while Run is driving.
+func (s *Scheduler) Run() (*Result, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: Run called twice")
+	}
+	if len(s.jobs) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: no jobs submitted")
+	}
+	if err := s.startJobsLocked(); err != nil {
+		s.mkt.SetHandler(nil)
+		s.mu.Unlock()
+		return nil, err
+	}
+	for s.runErr == nil && !s.allTerminal() && s.eng.Now() <= s.horizon {
+		stepped := s.eng.Step()
+		// Yield between steps: a concurrent Submit (the API path) takes
+		// the mutex here and injects into the live timeline.
+		s.mu.Unlock()
+		s.mu.Lock()
+		if !stepped {
+			break
+		}
+	}
+	res, err := s.settleLocked()
+	s.mu.Unlock()
+	return res, err
+}
+
+// settleLocked finalizes the run: accrues the stragglers, executes the
+// shutdown/drain, and assembles the Result. Callers hold mu.
+func (s *Scheduler) settleLocked() (*Result, error) {
+	s.ticker.Stop()
+	s.finished = true
+	defer s.mkt.SetHandler(nil)
 	if s.runErr != nil {
 		return nil, s.runErr
 	}
+	// Serve-injected jobs appended after the initial sort; restore the
+	// promised ID order before assembling results.
+	sort.Slice(s.jobs, func(i, j int) bool { return s.jobs[i].job.ID < s.jobs[j].job.ID })
 	for _, j := range s.jobs {
 		if j.state == Running {
 			s.accrueJob(j)
@@ -511,10 +616,12 @@ func (s *Scheduler) arrive(j *jobRun) {
 		s.jobCounter("expired").Inc()
 		s.obs().Trace().Event("sched", "expired",
 			"job %d (%s) arrived at %v, after its deadline %v", j.job.ID, j.job.Name, now-s.startAt, j.job.Deadline)
+		s.emitJob(EventExpired, j, fmt.Sprintf("arrived after deadline %v", j.job.Deadline))
 		return
 	}
 	j.state = Queued
 	s.jobCounter("queued").Inc()
+	s.emitJob(EventQueued, j, fmt.Sprintf("priority=%d deadline=%v", j.job.Priority, j.job.Deadline))
 	j.span = s.obs().Trace().Start("sched", "job").
 		Detailf("job %d (%s) prio=%d deadline=%v", j.job.ID, j.job.Name, j.job.Priority, j.job.Deadline)
 	s.admit()
@@ -550,6 +657,7 @@ func (s *Scheduler) admit() {
 			next.hooks = s.cfg.Hooks(next.job)
 		}
 		s.jobCounter("running").Inc()
+		s.emitJob(EventAdmitted, next, fmt.Sprintf("waited %v", next.startedAt-next.queuedAt))
 	}
 }
 
@@ -589,6 +697,7 @@ func (s *Scheduler) onJobDone(j *jobRun) {
 	j.state = Done
 	j.finished = s.eng.Now()
 	s.jobCounter("done").Inc()
+	s.emitJob(EventDone, j, fmt.Sprintf("work=%.1f evictions=%d", j.work, j.evictions))
 	if j.span != nil {
 		j.span.Detailf("job %d (%s) done: work=%.1f evictions=%d wait=%v runtime=%v",
 			j.job.ID, j.job.Name, j.work, j.evictions, j.startedAt-j.queuedAt, j.finished-j.startedAt).End()
@@ -917,6 +1026,10 @@ func (s *Scheduler) grant(ba *brokerAlloc, j *jobRun) {
 	ba.holder = j
 	ba.leaseStart = s.eng.Now()
 	j.leasedCores += ba.cores()
+	if !j.everRan && j.state == Running {
+		j.everRan = true
+		s.emitJob(EventRunning, j, fmt.Sprintf("first lease: %d cores", ba.cores()))
+	}
 	if !ba.everLeased {
 		ba.everLeased = true
 		s.pauseJob(j, j.job.Spec.Params.Sigma)
@@ -1107,12 +1220,14 @@ func (s *Scheduler) observeState(changed bool) {
 	reg.Gauge("proteus_sched_leased_cores", "transient cores currently leased to jobs").Set(float64(leased))
 	reg.Gauge("proteus_sched_idle_cores", "paid transient cores awaiting a lease").Set(float64(idle))
 	if changed {
-		s.timeline = append(s.timeline, UtilPoint{
+		p := UtilPoint{
 			At:          s.eng.Now() - s.startAt,
 			LeasedCores: leased,
 			IdleCores:   idle,
 			Running:     running,
 			Queued:      queued,
-		})
+		}
+		s.timeline = append(s.timeline, p)
+		s.emitTimeline(p)
 	}
 }

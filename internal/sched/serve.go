@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ServeConfig tunes how Serve paces the virtual clock against the wall
+// clock.
+type ServeConfig struct {
+	// Speedup is how many seconds of virtual (market) time elapse per
+	// wall-clock second while at least one job is in flight. Zero or
+	// negative steps the engine as fast as possible. Either way, virtual
+	// time never advances while the scheduler is idle, so the market
+	// horizon is consumed only by actual work — a service can sit idle
+	// for days of wall time without exhausting its price traces.
+	Speedup float64
+}
+
+// Serve turns the scheduler into a long-running service: it drives the
+// engine, paced against the wall clock, while Submit injects jobs from
+// other goroutines (the HTTP control plane). Unlike Run it may start
+// with zero jobs and keeps waiting for more after the current batch
+// drains. When ctx is canceled the scheduler stops accepting
+// submissions, fast-forwards the in-flight jobs to completion (or the
+// market horizon, whichever comes first), executes the shutdown/drain
+// accounting, and returns the consolidated Result — exactly the
+// accounting an equivalent batch Run would have produced for the same
+// submissions on the same seed.
+func (s *Scheduler) Serve(ctx context.Context, sc ServeConfig) (*Result, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sched: Serve after Run or Serve")
+	}
+	if err := s.startJobsLocked(); err != nil {
+		s.mkt.SetHandler(nil)
+		s.mu.Unlock()
+		return nil, err
+	}
+	vtarget := s.eng.Now() // virtual budget the pace has released
+	s.mu.Unlock()
+
+	lastWall := time.Now()
+	for {
+		wait := time.Duration(-1) // <0: sleep until wake or shutdown
+		s.mu.Lock()
+		if s.runErr != nil || s.eng.Now() > s.horizon {
+			break // settle with the lock held
+		}
+		active := !s.allTerminal()
+		if !active && s.closing {
+			break
+		}
+		if active {
+			next, ok := s.eng.Next()
+			if !ok {
+				// No events while jobs are outstanding: nothing can make
+				// progress (the decision ticker was stopped or the market is
+				// spent). Settle rather than spin.
+				break
+			}
+			paced := sc.Speedup > 0 && !s.closing
+			if paced {
+				wallNow := time.Now()
+				vtarget += time.Duration(float64(wallNow.Sub(lastWall)) * sc.Speedup)
+				lastWall = wallNow
+			}
+			if !paced || next <= vtarget {
+				s.eng.Step()
+				s.mu.Unlock()
+				continue
+			}
+			// Ahead of the pace: sleep on the wall clock until the next
+			// event's virtual time is released (or a submission lands).
+			wait = time.Duration(float64(next-vtarget) / sc.Speedup)
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+		}
+		s.mu.Unlock()
+
+		var timer *time.Timer
+		var fire <-chan time.Time
+		if wait >= 0 {
+			timer = time.NewTimer(wait)
+			fire = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.closing = true
+			s.mu.Unlock()
+		case <-s.wake:
+		case <-fire:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		if wait < 0 {
+			// Idle wall time never accrues virtual budget. A paced sleep
+			// (wait >= 0) keeps its base: that wall time is exactly what
+			// releases the next event.
+			lastWall = time.Now()
+		}
+	}
+	res, err := s.settleLocked()
+	s.mu.Unlock()
+	return res, err
+}

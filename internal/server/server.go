@@ -1,0 +1,402 @@
+// Package server is the HTTP control plane in front of the multi-tenant
+// scheduler: it turns the batch simulator into a long-running service.
+// Jobs arrive in the shared jobspec JSON shape over POST /v1/jobs
+// (single object or array), status is served at GET /v1/jobs and
+// GET /v1/jobs/{id}, per-job state transitions and the cluster
+// utilization timeline stream over SSE, and GET /v1/stats summarizes the
+// queue, footprint, and bill. The handlers mount on the same mux as the
+// obs registry's /metrics and pprof endpoints, so one listener carries
+// the whole operational surface.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"proteus/internal/jobspec"
+	"proteus/internal/obs"
+	"proteus/internal/sched"
+)
+
+// maxBodyBytes bounds a job submission; a full day of tenants is a few
+// KB, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Scheduler is the control plane's backend; required. The caller owns
+	// driving it (Scheduler.Serve) — the Server only submits and observes.
+	Scheduler *sched.Scheduler
+	// Observer supplies the api_* request metrics and, when Mux is nil,
+	// the /metrics + pprof mux to mount on. Nil disables instrumentation.
+	Observer *obs.Observer
+	// Mux is the base mux to mount the v1 routes on. Nil uses
+	// Observer.Reg().Mux() (the /metrics + pprof mux) or, with no
+	// Observer either, a fresh mux.
+	Mux *http.ServeMux
+	// EventBuffer is the per-SSE-connection event buffer handed to
+	// Scheduler.Subscribe; zero picks the subscription default.
+	EventBuffer int
+}
+
+// Server is the HTTP control plane. It is an http.Handler; wrap it in an
+// http.Server to listen.
+type Server struct {
+	sched   *sched.Scheduler
+	o       *obs.Observer
+	mux     *http.ServeMux
+	evBuf   int
+	started time.Time
+
+	// mu serializes ID assignment across concurrent submissions; nextID
+	// tracks the high-water mark beyond what the scheduler has seen.
+	mu     sync.Mutex
+	nextID int
+}
+
+// New builds the control plane and mounts its routes.
+func New(cfg Config) (*Server, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("server: Config.Scheduler is required")
+	}
+	mux := cfg.Mux
+	if mux == nil {
+		if cfg.Observer != nil {
+			mux = cfg.Observer.Reg().Mux()
+		} else {
+			mux = http.NewServeMux()
+		}
+	}
+	s := &Server{
+		sched:   cfg.Scheduler,
+		o:       cfg.Observer,
+		mux:     mux,
+		evBuf:   cfg.EventBuffer,
+		started: time.Now(),
+		nextID:  cfg.Scheduler.NextJobID(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.handle("POST /v1/jobs", "submit", s.handleSubmit)
+	s.handle("GET /v1/jobs", "jobs", s.handleJobs)
+	s.handle("GET /v1/jobs/{id}", "job", s.handleJob)
+	s.handle("GET /v1/jobs/{id}/events", "job_events", s.handleJobEvents)
+	s.handle("GET /v1/timeline", "timeline", s.handleTimeline)
+	s.handle("GET /v1/stats", "stats", s.handleStats)
+}
+
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.instrument(route, h))
+}
+
+func (s *Server) reg() *obs.Registry {
+	if s.o == nil {
+		return nil
+	}
+	return s.o.Reg()
+}
+
+// statusRecorder captures the response code for request metrics while
+// passing Flush through so SSE handlers still stream.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the api_* request metrics: a
+// route/method/code counter, a wall-clock latency histogram, and an
+// in-flight gauge. Latency for SSE routes measures the stream lifetime,
+// which is what an operator debugging hung streams wants.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reg := s.reg()
+		inflight := reg.Gauge("proteus_api_inflight_requests",
+			"control-plane requests currently being served")
+		inflight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			elapsed := time.Since(start).Seconds()
+			inflight.Add(-1)
+			reg.Counter("proteus_api_requests_total",
+				"control-plane requests served",
+				obs.L("route", route),
+				obs.L("method", r.Method),
+				obs.L("code", strconv.Itoa(rec.code))).Inc()
+			reg.Histogram("proteus_api_request_seconds",
+				"control-plane request latency (wall seconds)", nil,
+				obs.L("route", route)).Observe(elapsed)
+		}()
+		h(rec, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	var verr jobspec.ValidationError
+	if errors.As(err, &verr) {
+		resp.Fields = verr
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleSubmit accepts one entry or an array in the jobspec shape.
+// Responses: 202 with the accepted IDs, 400 with field-level errors on a
+// bad submission, 409 on a duplicate job ID, 503 while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	entries, err := jobspec.Decode(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Serialize ID assignment: concurrent submissions must not hand the
+	// same auto-ID to two jobs between scheduler Submit calls.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.sched.NextJobID()
+	if s.nextID > next {
+		next = s.nextID
+	}
+	jobs, err := jobspec.Jobs(entries, next)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	accepted := make([]int, 0, len(jobs))
+	for _, j := range jobs {
+		if err := s.sched.Submit(j); err != nil {
+			code := http.StatusBadRequest
+			msg := err.Error()
+			switch {
+			case strings.Contains(msg, "duplicate job ID"):
+				code = http.StatusConflict
+			case strings.Contains(msg, "draining") || strings.Contains(msg, "finished"):
+				code = http.StatusServiceUnavailable
+			}
+			writeJSON(w, code, SubmitResponse{Accepted: accepted, Error: msg})
+			return
+		}
+		accepted = append(accepted, j.ID)
+		if j.ID >= s.nextID {
+			s.nextID = j.ID + 1
+		}
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Accepted: accepted})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	snap := s.sched.Snapshot()
+	out := make([]JobStatus, 0, len(snap))
+	for _, st := range snap {
+		out = append(out, jobStatusWire(st))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func jobID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("job ID must be a non-negative integer, got %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok := s.sched.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobStatusWire(st))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsWire(s.sched.Stats(), time.Since(s.started)))
+}
+
+// sseWriter frames SSE messages over a flushing response writer.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func newSSE(w http.ResponseWriter) (*sseWriter, bool) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	return &sseWriter{w: w, f: f}, true
+}
+
+func (s *sseWriter) event(name string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+func (s *sseWriter) comment(text string) error {
+	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}
+
+// heartbeatEvery keeps idle SSE connections from being reaped by
+// intermediaries; comments are invisible to event consumers.
+const heartbeatEvery = 15 * time.Second
+
+// handleJobEvents streams one job's lifecycle over SSE: an initial
+// "status" snapshot if the job exists, then live transitions (queued,
+// admitted, running, done, expired). The stream ends after a terminal
+// event. Subscribing to a job ID that has not been submitted yet is
+// allowed — the stream waits, so a client can attach before POSTing and
+// never miss a transition.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Subscribe before snapshotting so no transition falls in between.
+	sub := s.sched.Subscribe(s.evBuf)
+	defer sub.Close()
+	sse, ok := newSSE(w)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	if st, exists := s.sched.Status(id); exists {
+		if sse.event("status", jobStatusWire(st)) != nil {
+			return
+		}
+		if st.State == sched.Done || st.State == sched.Expired {
+			return
+		}
+	}
+	heartbeat := time.NewTicker(heartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.C:
+			if !open {
+				return
+			}
+			if ev.Kind == sched.EventTimeline || ev.JobID != id {
+				continue
+			}
+			if sse.event(ev.Kind, eventWire(ev)) != nil {
+				return
+			}
+			if ev.Kind == sched.EventDone || ev.Kind == sched.EventExpired {
+				return
+			}
+		case <-heartbeat.C:
+			if sse.comment("ping") != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleTimeline streams cluster utilization samples over SSE. By
+// default the recorded timeline replays first so a late viewer gets
+// history; ?replay=0 starts from live only.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	replay := r.URL.Query().Get("replay") != "0"
+	sub := s.sched.Subscribe(s.evBuf)
+	defer sub.Close()
+	sse, ok := newSSE(w)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	// Replayed points and the live channel can overlap: the subscription
+	// opened first (no gap), so live events at or before the last
+	// replayed sample are duplicates and get skipped. Two samples at the
+	// same virtual instant are indistinguishable, so one of an
+	// exact-tie pair may be dropped — harmless for a utilization feed.
+	var lastReplayed time.Duration = -1
+	if replay {
+		for _, p := range s.sched.Timeline() {
+			if sse.event(sched.EventTimeline, utilWire(p)) != nil {
+				return
+			}
+			lastReplayed = p.At
+		}
+	}
+	heartbeat := time.NewTicker(heartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-sub.C:
+			if !open {
+				return
+			}
+			if ev.Kind != sched.EventTimeline || ev.Util == nil || ev.Util.At <= lastReplayed {
+				continue
+			}
+			if sse.event(sched.EventTimeline, utilWire(*ev.Util)) != nil {
+				return
+			}
+		case <-heartbeat.C:
+			if sse.comment("ping") != nil {
+				return
+			}
+		}
+	}
+}

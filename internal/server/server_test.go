@@ -1,0 +1,345 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/jobspec"
+	"proteus/internal/market"
+	"proteus/internal/obs"
+	"proteus/internal/sched"
+	"proteus/internal/server"
+	"proteus/internal/server/client"
+	"proteus/internal/sim"
+	"proteus/internal/trace"
+)
+
+// testHarness builds a brain trained on a synthetic window plus an
+// evaluation market on a disjoint trace — the same split the sched
+// tests use, sized down for speed. Both halves of the bills-parity test
+// call this with the same seed, so the two runs see identical markets.
+func testHarness(t testing.TB, seed int64) (*sim.Engine, *market.Market, *bidbrain.Brain) {
+	t.Helper()
+	prices := market.CatalogPrices(market.DefaultCatalog())
+	hist := trace.GenerateSet("train", 7*24*time.Hour, prices, seed+1000)
+	betas := make(map[string]*trace.BetaTable)
+	for name := range prices {
+		tr, _ := hist.Get(name)
+		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), 150, seed)
+	}
+	brain, err := bidbrain.New(bidbrain.DefaultParams(), betas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := trace.GenerateSet("eval", 7*24*time.Hour, prices, seed)
+	eng := sim.NewEngine()
+	mkt, err := market.New(eng, market.Config{
+		Catalog: market.DefaultCatalog(),
+		Traces:  eval,
+		Warning: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, mkt, brain
+}
+
+func testConfig(brain *bidbrain.Brain, o *obs.Observer) sched.Config {
+	return sched.Config{
+		Brain:         brain,
+		ReliableType:  "c4.xlarge",
+		ReliableCount: 4,
+		MaxSpotCores:  512,
+		ChunkCores:    128,
+		Observer:      o,
+	}
+}
+
+// testEntries is the shared workload: staggered arrivals, mixed
+// priorities.
+func testEntries() []jobspec.Entry {
+	return []jobspec.Entry{
+		{Name: "tenant-a", Hours: 0.5, Priority: 2},
+		{Name: "tenant-b", Hours: 0.5, ArrivalMinutes: 10},
+		{Name: "tenant-c", Hours: 0.5, ArrivalMinutes: 20, Priority: 1},
+	}
+}
+
+// TestServeMatchesBatchBills is the end-to-end acceptance path: jobs
+// submitted through the typed client against a Serve-driven scheduler
+// produce SSE transitions in lifecycle order, and the final accounting
+// is identical to a direct batch Run of the same jobs on the same seed.
+func TestServeMatchesBatchBills(t *testing.T) {
+	const seed = 412
+
+	// Direct batch run: same entries converted the same way.
+	jobs, err := jobspec.Jobs(testEntries(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA, mktA, brainA := testHarness(t, seed)
+	direct, err := sched.New(engA, mktA, testConfig(brainA, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := direct.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := direct.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Service run: same seed, jobs arrive over HTTP.
+	engB, mktB, brainB := testHarness(t, seed)
+	o := obs.NewObserver(engB.Now)
+	sc, err := sched.New(engB, mktB, testConfig(brainB, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Scheduler: sc, Observer: o, EventBuffer: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resCh := make(chan *sched.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := sc.Serve(ctx, sched.ServeConfig{}) // unpaced
+		resCh <- res
+		errCh <- err
+	}()
+
+	c := client.New(ts.URL, nil)
+
+	// Attach the event stream for job 0 before submitting, so no
+	// transition can be missed.
+	streamCtx, streamCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer streamCancel()
+	stream, err := c.JobEvents(streamCtx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	ids, err := c.Submit(context.Background(), testEntries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("accepted IDs %v, want [0 1 2]", ids)
+	}
+
+	// The stream must deliver the full lifecycle in order and then end.
+	var kinds []string
+	for {
+		msg, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream: %v (kinds so far %v)", err, kinds)
+		}
+		kinds = append(kinds, msg.Event)
+		if msg.Event != "status" {
+			ev, err := msg.AsEvent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.JobID == nil || *ev.JobID != 0 {
+				t.Fatalf("event for wrong job: %+v", ev)
+			}
+		}
+	}
+	wantKinds := []string{"queued", "admitted", "running", "done"}
+	if strings.Join(kinds, ",") != strings.Join(wantKinds, ",") {
+		t.Fatalf("SSE kinds %v, want %v", kinds, wantKinds)
+	}
+
+	// All jobs reach done; status and stats agree.
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer waitCancel()
+	for _, id := range ids {
+		st, err := c.WaitJob(waitCtx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("job %d state %q", id, st.State)
+		}
+		// Accrual is summed piecewise; allow float round-off at the target.
+		if st.Work < st.TargetWork*0.999 {
+			t.Fatalf("job %d work %.3f below target %.3f", id, st.Work, st.TargetWork)
+		}
+	}
+	all, err := c.Jobs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("%d jobs listed, want 3", len(all))
+	}
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Done != 3 || stats.Jobs != 3 {
+		t.Fatalf("stats %+v, want 3 done of 3", stats)
+	}
+	if stats.CostSoFar <= 0 {
+		t.Fatalf("stats cost %.4f, want positive", stats.CostSoFar)
+	}
+
+	// Timeline replay delivers recorded utilization history.
+	tlCtx, tlCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer tlCancel()
+	tl, err := c.Timeline(tlCtx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := tl.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Event != "timeline" {
+		t.Fatalf("timeline frame event %q", msg.Event)
+	}
+	if _, err := msg.AsUtil(); err != nil {
+		t.Fatal(err)
+	}
+	tl.Close()
+
+	// The shared mux carries /metrics with the api_* families.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{
+		"proteus_api_requests_total",
+		"proteus_api_request_seconds",
+		"proteus_api_inflight_requests",
+	} {
+		if !strings.Contains(string(body), fam) {
+			t.Fatalf("/metrics lacks %s", fam)
+		}
+	}
+
+	// Drain and compare bills with the batch run: the accounting must be
+	// identical, not merely close.
+	cancel()
+	got := <-resCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCost != want.TotalCost {
+		t.Fatalf("serve bill $%.6f != batch bill $%.6f", got.TotalCost, want.TotalCost)
+	}
+	if got.Makespan != want.Makespan {
+		t.Fatalf("serve makespan %v != batch %v", got.Makespan, want.Makespan)
+	}
+	if len(got.Jobs) != len(want.Jobs) {
+		t.Fatalf("serve %d jobs != batch %d", len(got.Jobs), len(want.Jobs))
+	}
+	for i := range got.Jobs {
+		g, w := got.Jobs[i], want.Jobs[i]
+		if g.Cost != w.Cost || g.Finished != w.Finished || g.State != w.State {
+			t.Fatalf("job %d: serve {cost %.6f finished %v %v} != batch {cost %.6f finished %v %v}",
+				g.Job.ID, g.Cost, g.Finished, g.State, w.Cost, w.Finished, w.State)
+		}
+	}
+}
+
+// TestAPIErrors exercises the failure surface without driving the
+// scheduler: field-level 400s, duplicate-ID 409s, and 404s.
+func TestAPIErrors(t *testing.T) {
+	eng, mkt, brain := testHarness(t, 97)
+	sc, err := sched.New(eng, mkt, testConfig(brain, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Scheduler: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	// Invalid submission: every bad field reported with its index.
+	_, err = c.Submit(ctx,
+		jobspec.Entry{Hours: 0},
+		jobspec.Entry{Hours: 1, Priority: 999},
+	)
+	apiErr, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("error %T (%v), want *client.APIError", err, err)
+	}
+	if apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", apiErr.Status)
+	}
+	if len(apiErr.Fields) != 2 ||
+		apiErr.Fields[0].Field != "hours" || apiErr.Fields[0].Index != 0 ||
+		apiErr.Fields[1].Field != "priority" || apiErr.Fields[1].Index != 1 {
+		t.Fatalf("fields %+v", apiErr.Fields)
+	}
+
+	// Valid submission, then a duplicate explicit ID conflicts.
+	five := 5
+	if _, err := c.Submit(ctx, jobspec.Entry{ID: &five, Hours: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, jobspec.Entry{ID: &five, Hours: 1})
+	apiErr, ok = err.(*client.APIError)
+	if !ok || apiErr.Status != http.StatusConflict {
+		t.Fatalf("duplicate ID: %v, want 409", err)
+	}
+
+	// Auto-IDs skip past explicit ones across submissions.
+	ids, err := c.Submit(ctx, jobspec.Entry{Hours: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 6 {
+		t.Fatalf("auto ID %v, want [6]", ids)
+	}
+
+	// Unknown and malformed job IDs.
+	if _, err := c.Job(ctx, 99); !client.IsNotFound(err) {
+		t.Fatalf("missing job: %v, want 404", err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad ID status %d, want 400", resp.StatusCode)
+	}
+
+	// Pre-start listing still works.
+	all, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].ID != 5 || all[1].ID != 6 {
+		t.Fatalf("jobs %+v", all)
+	}
+	if all[0].State != "pending" {
+		t.Fatalf("pre-start state %q", all[0].State)
+	}
+}

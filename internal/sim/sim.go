@@ -127,6 +127,23 @@ func (e *Engine) Every(period time.Duration, name string, fn func()) *Ticker {
 	return t
 }
 
+// Next reports the virtual time of the earliest pending non-canceled
+// event without executing it. Canceled events at the head of the queue
+// are discarded as a side effect. It reports false when nothing is
+// scheduled — a paced driver (e.g. sched.Scheduler.Serve) uses Next to
+// sleep on the wall clock until the virtual timeline is allowed to reach
+// the event.
+func (e *Engine) Next() (time.Duration, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}
+
 // Step executes the next pending event, advancing the clock to its time.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {

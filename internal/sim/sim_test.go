@@ -47,6 +47,27 @@ func TestTiesBreakBySchedulingOrder(t *testing.T) {
 	}
 }
 
+func TestNextPeeksWithoutExecuting(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.Next(); ok {
+		t.Fatal("Next() on an empty engine reported an event")
+	}
+	fired := false
+	ev := e.At(2*time.Second, "peeked", func() { fired = true })
+	e.At(5*time.Second, "later", func() {})
+	if at, ok := e.Next(); !ok || at != 2*time.Second {
+		t.Fatalf("Next() = %v, %v, want 2s, true", at, ok)
+	}
+	if fired || e.Now() != 0 {
+		t.Fatal("Next() executed the event or advanced the clock")
+	}
+	// Canceling the head exposes the next live event.
+	ev.Cancel()
+	if at, ok := e.Next(); !ok || at != 5*time.Second {
+		t.Fatalf("Next() after cancel = %v, %v, want 5s, true", at, ok)
+	}
+}
+
 func TestAfterSchedulesRelative(t *testing.T) {
 	e := NewEngine()
 	var at time.Duration
