@@ -7,6 +7,7 @@ package proteus_test
 // times the harness and reports the reproduced results.
 
 import (
+	"reflect"
 	"strconv"
 	"testing"
 	"time"
@@ -26,7 +27,9 @@ import (
 )
 
 // benchCfg keeps market experiments fast under the benchmark harness;
-// cmd/bidsim raises the sample counts for final numbers.
+// cmd/bidsim raises the sample counts for final numbers. Parallel is
+// left at zero, so every figure bench fans its (scheme, zone, sample)
+// grid out over all cores — output is bit-identical to a serial run.
 func benchCfg() experiments.MarketConfig {
 	return experiments.MarketConfig{Seed: 1, EvalDays: 14, TrainDays: 20, BetaSamples: 200}
 }
@@ -35,7 +38,7 @@ func BenchmarkFig01_MLRCostTime(b *testing.B) {
 	var rows []experiments.Fig01Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig01(benchCfg(), 3)
+		rows, err = experiments.Fig01(benchCfg(), 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +61,7 @@ func BenchmarkFig08_TwoHourJobs(b *testing.B) {
 	var avgs []experiments.SchemeAverage
 	for i := 0; i < b.N; i++ {
 		var err error
-		avgs, err = experiments.Fig08(benchCfg(), 3)
+		avgs, err = experiments.Fig08(benchCfg(), 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +73,7 @@ func BenchmarkFig09_TwentyHourJobs(b *testing.B) {
 	var avgs []experiments.SchemeAverage
 	for i := 0; i < b.N; i++ {
 		var err error
-		avgs, err = experiments.Fig09(benchCfg(), 2)
+		avgs, err = experiments.Fig09(benchCfg(), 4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +100,7 @@ func BenchmarkFig10_MachineHours(b *testing.B) {
 	var rows []experiments.Fig10Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig10(benchCfg(), 3)
+		rows, err = experiments.Fig10(benchCfg(), 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,6 +110,44 @@ func BenchmarkFig10_MachineHours(b *testing.B) {
 			total := r.OnDemand + r.Spot + r.Free
 			b.ReportMetric(r.Free/total*100, "proteus-free-%")
 		}
+	}
+}
+
+// BenchmarkRunSchemesParallel times the Fig. 8 workload with the
+// (scheme, zone, sample) grid fanned out over 8 workers and reports the
+// speedup over a fully serial run of the same grid. Every iteration also
+// asserts the engine's headline contract: the parallel tables are
+// bit-identical to the serial ones. The speedup metric approaches the
+// core count on multi-core machines and ~1x on a single core.
+func BenchmarkRunSchemesParallel(b *testing.B) {
+	serialCfg := benchCfg()
+	serialCfg.Parallel = 1
+	start := time.Now()
+	serialAvgs, err := experiments.RunSchemes(serialCfg, 2, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialSec := time.Since(start).Seconds()
+
+	parCfg := benchCfg()
+	parCfg.Parallel = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		iterStart := time.Now()
+		avgs, err := experiments.RunSchemes(parCfg, 2, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(iterStart)
+		if !reflect.DeepEqual(serialAvgs, avgs) {
+			b.Fatal("parallel output differs from serial")
+		}
+	}
+	b.StopTimer()
+	if parSec := elapsed.Seconds() / float64(b.N); parSec > 0 {
+		b.ReportMetric(serialSec/parSec, "speedup-x")
 	}
 }
 

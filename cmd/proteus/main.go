@@ -34,6 +34,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -49,6 +50,7 @@ func main() {
 	scheme := flag.String("scheme", "all", "scheme to run: on-demand, checkpoint, agileml, proteus, all")
 	samples := flag.Int("samples", 10, "job start points to average")
 	seed := flag.Int64("seed", 1, "market seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the experiment fan-out and beta training; output is identical at any setting")
 	live := flag.Bool("live", false, "run the full functional stack (market -> cluster -> AgileML -> real MF training)")
 	iterations := flag.Int("iterations", 40, "training iterations for -live")
 	jobs := flag.Int("jobs", 0, "run N synthetic tenant jobs through the multi-tenant scheduler instead of one job")
@@ -65,6 +67,7 @@ func main() {
 
 	cfg := experiments.DefaultMarketConfig()
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
 	if *days > 0 {
 		cfg.EvalDays = *days
 	}

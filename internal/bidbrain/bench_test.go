@@ -1,0 +1,69 @@
+package bidbrain
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"proteus/internal/market"
+	"proteus/internal/trace"
+)
+
+// benchBrain builds a brain over the default catalog with tables trained
+// on a month of synthetic history, plus a 4-allocation live footprint —
+// the shape of the footprint BestAcquisition evaluates on every decision
+// point of the Fig. 8/9 harness.
+func benchBrain(b *testing.B) (*Brain, []AllocState, map[string]float64, []market.InstanceType) {
+	b.Helper()
+	catalog := market.DefaultCatalog()
+	prices := market.CatalogPrices(catalog)
+	hist := trace.GenerateSet("bench", 30*24*time.Hour, prices, 11)
+	betas := make(map[string]*trace.BetaTable)
+	for name := range prices {
+		tr, _ := hist.Get(name)
+		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), 200, 11)
+	}
+	brain, err := New(DefaultParams(), betas, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	spot := make(map[string]float64, len(prices))
+	current := []AllocState{{
+		Type: catalog[0], Count: 3, Price: catalog[0].OnDemand,
+		Remaining: trace.BillingHour, OnDemand: true,
+	}}
+	for _, t := range catalog {
+		spot[t.Name] = t.OnDemand * (0.2 + 0.1*rng.Float64())
+		current = append(current, AllocState{
+			Type: t, Count: 16, Price: spot[t.Name], Beta: 0.1,
+			Remaining: 40 * time.Minute,
+		})
+	}
+	return brain, current, spot, catalog
+}
+
+// BenchmarkBestAcquisition times one full (type × bid-delta) candidate
+// search against a live footprint — the inner loop of every scheme
+// sample — and tracks its allocations, which the candidate-slice
+// hoisting keeps independent of the grid size.
+func BenchmarkBestAcquisition(b *testing.B) {
+	brain, current, spot, catalog := benchBrain(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := brain.BestAcquisition(current, spot, catalog, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate times one footprint evaluation (Eqs. 1–4).
+func BenchmarkEvaluate(b *testing.B) {
+	brain, current, _, _ := benchBrain(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(brain.params, current, true)
+	}
+}

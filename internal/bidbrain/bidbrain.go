@@ -230,7 +230,14 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 	}
 	base := Evaluate(b.params, current, false)
 
-	var best *Candidate
+	// One scratch footprint for the whole (type × delta) search: the
+	// current allocations copied once, the trailing slot rewritten per
+	// candidate. Evaluate only reads the slice, so reuse is safe, and
+	// the search allocates nothing per candidate.
+	withCand := make([]AllocState, len(current)+1)
+	copy(withCand, current)
+	var best Candidate
+	found := false
 	for _, t := range types {
 		price, ok := prices[t.Name]
 		if !ok {
@@ -247,7 +254,7 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 		}
 		for _, delta := range b.deltas {
 			beta := bt.Beta(delta)
-			cand := AllocState{
+			withCand[len(current)] = AllocState{
 				Type:      t,
 				Count:     count,
 				Price:     price,
@@ -255,9 +262,10 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 				Remaining: trace.BillingHour,
 				Omega:     expectedOmega(beta, bt.MedianTTE(delta)),
 			}
-			ev := Evaluate(b.params, append(append([]AllocState(nil), current...), cand), true)
-			if best == nil || ev.CostPerWork < best.NewCostPerWork {
-				best = &Candidate{
+			ev := Evaluate(b.params, withCand, true)
+			if !found || ev.CostPerWork < best.NewCostPerWork {
+				found = true
+				best = Candidate{
 					Type:           t,
 					Count:          count,
 					BidDelta:       delta,
@@ -268,7 +276,7 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 			}
 		}
 	}
-	if best == nil {
+	if !found {
 		b.observeDecision("none", base, nil)
 		return nil, nil
 	}
@@ -277,11 +285,11 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 	// on-demand, producing no work) has infinite cost per work, so
 	// anything improves it.
 	if base.Work > 0 && best.NewCostPerWork >= base.CostPerWork*(1+b.params.AcquireTolerance) {
-		b.observeDecision("hold", base, best)
+		b.observeDecision("hold", base, &best)
 		return nil, nil
 	}
-	b.observeDecision("acquire", base, best)
-	return best, nil
+	b.observeDecision("acquire", base, &best)
+	return &best, nil
 }
 
 // observeDecision records a BestAcquisition outcome: "acquire" (candidate
@@ -344,7 +352,10 @@ func (b *Brain) ShouldRenew(rest []AllocState, alloc AllocState, renewPrice floa
 	if bt, ok := b.betas[alloc.Type.Name]; ok {
 		renewed.Omega = expectedOmega(alloc.Beta, bt.MedianTTE(0.01))
 	}
-	with := Evaluate(b.params, append(append([]AllocState(nil), rest...), renewed), false)
+	withRenewed := make([]AllocState, len(rest)+1)
+	copy(withRenewed, rest)
+	withRenewed[len(rest)] = renewed
+	with := Evaluate(b.params, withRenewed, false)
 	renew := false
 	switch {
 	case with.Work == 0:

@@ -184,11 +184,11 @@ func RunLive(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain, cfg Liv
 	}
 
 	// Job finished: release everything.
-	for id, sa := range j.spotAllocs {
+	for _, sa := range sortedSpot(j.spotAllocs) {
 		if err := mkt.Terminate(sa.alloc); err != nil {
 			return LiveResult{}, err
 		}
-		delete(j.spotAllocs, id)
+		delete(j.spotAllocs, sa.alloc.ID)
 	}
 	if err := mkt.Terminate(rel); err != nil {
 		return LiveResult{}, err
@@ -369,7 +369,7 @@ func (j *liveJob) footprint() ([]bidbrain.AllocState, error) {
 		Remaining: j.reliable.HourEnd(now) - now,
 		OnDemand:  true,
 	}}
-	for _, sa := range j.spotAllocs {
+	for _, sa := range sortedSpot(j.spotAllocs) {
 		beta, err := j.brain.Beta(sa.alloc.Type.Name, sa.bidDelta)
 		if err != nil {
 			return nil, err

@@ -143,14 +143,14 @@ func (s ProteusScheme) RunSequence(eng *sim.Engine, mkt *market.Market, specs []
 			out.HarvestedRefunds = got
 		}
 	} else {
-		for id, sa := range sess.spot {
+		for _, sa := range sortedSpot(sess.spot) {
 			if sa.warned {
 				continue // its eviction refund is at most a warning away
 			}
 			if err := mkt.Terminate(sa.alloc); err != nil {
 				return nil, err
 			}
-			delete(sess.spot, id)
+			delete(sess.spot, sa.alloc.ID)
 		}
 		if err := mkt.Terminate(reliable); err != nil {
 			return nil, err
@@ -240,8 +240,8 @@ func (s *proteusSession) footprint(exclude market.AllocationID) ([]bidbrain.Allo
 		Remaining: s.reliable.HourEnd(now) - now,
 		OnDemand:  true,
 	}}
-	for id, sa := range s.spot {
-		if id == exclude || sa.warned {
+	for _, sa := range sortedSpot(s.spot) {
+		if sa.alloc.ID == exclude || sa.warned {
 			continue
 		}
 		beta, err := s.brain.Beta(sa.alloc.Type.Name, sa.bidDelta)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"proteus/internal/bidbrain"
@@ -64,6 +65,20 @@ func (s *spotJob) Evicted(a *market.Allocation) {
 	}
 }
 
+// sortedSpot returns the live spot allocations in allocation-ID order.
+// Every walk of the footprint that feeds float accumulation (BidBrain
+// evaluations, usage settlement) or emits spans must go through this:
+// map iteration order would reorder non-associative float sums and flip
+// marginal decisions between otherwise identical runs.
+func sortedSpot(m map[market.AllocationID]*spotAlloc) []*spotAlloc {
+	out := make([]*spotAlloc, 0, len(m))
+	for _, sa := range m {
+		out = append(out, sa)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].alloc.ID < out[j].alloc.ID })
+	return out
+}
+
 func (s *spotJob) spotCores() int {
 	total := 0
 	for _, sa := range s.spot {
@@ -97,11 +112,11 @@ func (s *spotJob) acquireSpot(typeName string, count int, bid, bidDelta float64)
 // releaseAll terminates every live spot allocation and the reliable
 // footprint (job finished).
 func (s *spotJob) releaseAll(reliable *market.Allocation) error {
-	for id, sa := range s.spot {
+	for _, sa := range sortedSpot(s.spot) {
 		if err := s.mkt.Terminate(sa.alloc); err != nil {
 			return err
 		}
-		delete(s.spot, id)
+		delete(s.spot, sa.alloc.ID)
 	}
 	if reliable != nil {
 		if err := s.mkt.Terminate(reliable); err != nil {

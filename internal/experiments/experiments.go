@@ -21,6 +21,7 @@ import (
 	"proteus/internal/core"
 	"proteus/internal/market"
 	"proteus/internal/obs"
+	"proteus/internal/par"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
 )
@@ -38,8 +39,16 @@ type MarketConfig struct {
 	Zones int
 	// Observer, when set, instruments every market and Brain the config
 	// builds. Counters aggregate across all sample runs, so the exported
-	// totals cover the whole experiment.
+	// totals cover the whole experiment. Parallel harnesses give each
+	// task a private child observer and merge them back in task order,
+	// so the aggregate is identical at every worker count.
 	Observer *obs.Observer
+	// Parallel bounds the worker fan-out of the experiment harnesses
+	// (RunSchemes and friends) and of β-table training in NewEnv: <= 0
+	// means runtime.GOMAXPROCS(0), 1 runs fully serial. Every harness
+	// seeds tasks from (seed, task index) and folds ordered per-task
+	// results, so output is bit-identical at every setting.
+	Parallel int
 }
 
 // DefaultMarketConfig mirrors the paper's split: β trained on ~3 months
@@ -82,7 +91,7 @@ func NewEnv(cfg MarketConfig, params bidbrain.Params) (*Env, error) {
 		if !ok {
 			return nil, fmt.Errorf("experiments: missing history for %s", name)
 		}
-		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), cfg.BetaSamples, cfg.Seed)
+		betas[name] = trace.BuildBetaTableParallel(tr, trace.DefaultDeltas(), cfg.BetaSamples, cfg.Seed, cfg.Parallel)
 	}
 	brain, err := bidbrain.New(params, betas, nil)
 	if err != nil {
@@ -185,11 +194,59 @@ type SchemeAverage struct {
 	Samples       int
 }
 
+// schemeTask is one (scheme, zone, sample) cell of the RunSchemes grid.
+type schemeTask struct {
+	kind     SchemeKind
+	zoneSeed int64
+	sample   int
+}
+
+// schemeTaskOut is one cell's result plus the private observer that
+// instrumented it (nil when the config is uninstrumented).
+type schemeTaskOut struct {
+	res core.Result
+	obs *obs.Observer
+}
+
+// runSchemeTask executes one grid cell on a fresh market environment.
+// Everything the cell touches — engine, market, brain, rand streams,
+// observer — is task-local, which is what lets RunSchemes fan cells out
+// across workers without changing any result bit.
+func runSchemeTask(cfg MarketConfig, tk schemeTask, spec core.JobSpec, horizon time.Duration, samples int) (schemeTaskOut, error) {
+	taskCfg := cfg
+	taskCfg.Seed = tk.zoneSeed
+	taskCfg.Parallel = 1 // fan-out happens at the task level
+	if cfg.Observer != nil {
+		taskCfg.Observer = obs.NewObserver(nil)
+	}
+	env, err := NewEnv(taskCfg, spec.Params)
+	if err != nil {
+		return schemeTaskOut{}, err
+	}
+	offset := time.Duration(int64(horizon) / int64(samples) * int64(tk.sample))
+	env.Engine.RunUntil(offset)
+	res, err := buildScheme(tk.kind, env).Run(env.Engine, env.Market, spec)
+	if err != nil {
+		return schemeTaskOut{}, fmt.Errorf("experiments: %v at offset %v: %w", tk.kind, offset, err)
+	}
+	if !res.Completed {
+		return schemeTaskOut{}, fmt.Errorf("experiments: %v at offset %v did not complete", tk.kind, offset)
+	}
+	return schemeTaskOut{res: res, obs: taskCfg.Observer}, nil
+}
+
 // RunSchemes runs every scheme from `samples` start offsets spread over
 // the evaluation window in each availability zone and averages, mirroring
 // §6.3's methodology ("1000 randomly chosen day/time starting points in
 // each zone"). Each (scheme, zone, offset) triple gets a fresh market
 // over the same price history, so schemes face identical conditions.
+//
+// The (scheme, zone, sample) cells fan out over cfg.Parallel workers.
+// Cells are enumerated scheme-major in presentation order and their
+// ordered results folded serially afterward — per-scheme sums, the
+// on-demand baseline, and observer merges all accumulate left to right
+// — so tables, bills, and exported metrics are bit-identical at every
+// worker count.
 func RunSchemes(cfg MarketConfig, jobHours float64, samples int) ([]SchemeAverage, error) {
 	if samples <= 0 {
 		return nil, fmt.Errorf("experiments: samples must be positive")
@@ -200,33 +257,34 @@ func RunSchemes(cfg MarketConfig, jobHours float64, samples int) ([]SchemeAverag
 		return nil, fmt.Errorf("experiments: evaluation window too short for %vh jobs", jobHours)
 	}
 	seeds := cfg.zoneSeeds()
+	schemes := AllSchemes()
 
-	out := make([]SchemeAverage, 0, 4)
-	var odCost float64
-	for _, kind := range AllSchemes() {
-		avg := SchemeAverage{Scheme: kind, Samples: samples * len(seeds)}
+	tasks := make([]schemeTask, 0, len(schemes)*len(seeds)*samples)
+	for _, kind := range schemes {
 		for _, zoneSeed := range seeds {
-			zoneCfg := cfg
-			zoneCfg.Seed = zoneSeed
 			for i := 0; i < samples; i++ {
-				env, err := NewEnv(zoneCfg, spec.Params)
-				if err != nil {
-					return nil, err
-				}
-				offset := time.Duration(int64(horizon) / int64(samples) * int64(i))
-				env.Engine.RunUntil(offset)
-				res, err := buildScheme(kind, env).Run(env.Engine, env.Market, spec)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %v at offset %v: %w", kind, offset, err)
-				}
-				if !res.Completed {
-					return nil, fmt.Errorf("experiments: %v at offset %v did not complete", kind, offset)
-				}
-				avg.Cost += res.Cost
-				avg.Runtime += res.Runtime
-				avg.Usage.Add(res.Usage)
-				avg.Evictions += float64(res.Evictions)
+				tasks = append(tasks, schemeTask{kind: kind, zoneSeed: zoneSeed, sample: i})
 			}
+		}
+	}
+	results, err := par.Map(len(tasks), cfg.Parallel, func(ti int) (schemeTaskOut, error) {
+		return runSchemeTask(cfg, tasks[ti], spec, horizon, samples)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SchemeAverage, 0, len(schemes))
+	var odCost float64
+	perScheme := len(seeds) * samples
+	for si, kind := range schemes {
+		avg := SchemeAverage{Scheme: kind, Samples: perScheme}
+		for _, to := range results[si*perScheme : (si+1)*perScheme] {
+			avg.Cost += to.res.Cost
+			avg.Runtime += to.res.Runtime
+			avg.Usage.Add(to.res.Usage)
+			avg.Evictions += float64(to.res.Evictions)
+			cfg.Observer.Merge(to.obs)
 		}
 		n := float64(avg.Samples)
 		avg.Cost /= n

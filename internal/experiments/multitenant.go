@@ -7,6 +7,8 @@ import (
 
 	"proteus/internal/bidbrain"
 	"proteus/internal/core"
+	"proteus/internal/obs"
+	"proteus/internal/par"
 	"proteus/internal/sched"
 )
 
@@ -76,37 +78,53 @@ func SchedConfig(brain *bidbrain.Brain, policy sched.Policy) sched.Config {
 // concurrently under the placement policy (nil means fair-share), once
 // with MaxConcurrent=1 — and reports both bills. cfg.Observer, when set,
 // instruments both arms; counters aggregate across the two runs.
+//
+// The two arms are independent simulations over the same price history,
+// so they fan out over cfg.Parallel workers, each with a private
+// observer merged back in concurrent-then-serial order; bills and
+// exported metrics are bit-identical at every worker count.
 func RunMultiTenant(cfg MarketConfig, jobs []sched.Job, policy sched.Policy) (*MultiTenantStudy, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("experiments: no jobs to run")
 	}
-	run := func(maxConcurrent int) (*sched.Result, error) {
-		env, err := NewEnv(cfg, bidbrain.DefaultParams())
+	type armOut struct {
+		res *sched.Result
+		obs *obs.Observer
+	}
+	armName := [2]string{"concurrent", "serial"}
+	arms, err := par.Map(2, cfg.Parallel, func(arm int) (armOut, error) {
+		envCfg := cfg
+		if cfg.Observer != nil {
+			envCfg.Observer = obs.NewObserver(nil)
+		}
+		env, err := NewEnv(envCfg, bidbrain.DefaultParams())
 		if err != nil {
-			return nil, err
+			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
 		}
 		scfg := SchedConfig(env.Brain, policy)
-		scfg.MaxConcurrent = maxConcurrent
-		scfg.Observer = cfg.Observer
+		scfg.MaxConcurrent = arm // 0 = unbounded concurrency, 1 = serial
+		scfg.Observer = envCfg.Observer
 		s, err := sched.New(env.Engine, env.Market, scfg)
 		if err != nil {
-			return nil, err
+			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
 		}
 		for _, j := range jobs {
 			if err := s.Submit(j); err != nil {
-				return nil, err
+				return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
 			}
 		}
-		return s.Run()
-	}
-	conc, err := run(0)
+		res, err := s.Run()
+		if err != nil {
+			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
+		}
+		return armOut{res: res, obs: envCfg.Observer}, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: concurrent arm: %w", err)
+		return nil, err
 	}
-	serial, err := run(1)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: serial arm: %w", err)
-	}
+	conc, serial := arms[0].res, arms[1].res
+	cfg.Observer.Merge(arms[0].obs)
+	cfg.Observer.Merge(arms[1].obs)
 	study := &MultiTenantStudy{
 		Concurrent:    *conc,
 		Serial:        *serial,

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"proteus/internal/obs"
+)
+
+// stripWall zeroes the one non-deterministic span field: Wall records
+// real elapsed time and varies between any two runs, serial included.
+func stripWall(spans []obs.SpanData) []obs.SpanData {
+	out := append([]obs.SpanData(nil), spans...)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
+// The engine's headline contract: RunSchemes output — tables, bills,
+// and the merged observability exports — is bit-identical at every
+// worker count. CI runs this under -race, which also proves the
+// fan-out shares no mutable state between tasks.
+func TestRunSchemesDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]SchemeAverage, string, []obs.SpanData) {
+		cfg := fastCfg()
+		cfg.Parallel = workers
+		cfg.Observer = obs.NewObserver(nil)
+		avgs, err := RunSchemes(cfg, 2, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var metrics strings.Builder
+		if err := cfg.Observer.Reg().WritePrometheus(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		return avgs, metrics.String(), stripWall(cfg.Observer.Trace().Spans())
+	}
+
+	serialAvgs, serialMetrics, serialSpans := run(1)
+	for _, workers := range []int{2, 8} {
+		avgs, metrics, spans := run(workers)
+		if !reflect.DeepEqual(serialAvgs, avgs) {
+			t.Fatalf("workers=%d: scheme averages differ from serial:\nserial: %+v\nparallel: %+v",
+				workers, serialAvgs, avgs)
+		}
+		if serialMetrics != metrics {
+			t.Fatalf("workers=%d: exported metrics differ from serial", workers)
+		}
+		if !reflect.DeepEqual(serialSpans, spans) {
+			t.Fatalf("workers=%d: span streams differ from serial", workers)
+		}
+	}
+}
+
+// The multi-tenant study's two arms fan out; bills must not move.
+func TestRunMultiTenantDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) MultiTenantStudy {
+		cfg := fastCfg()
+		cfg.Parallel = workers
+		study, err := RunMultiTenant(cfg, SyntheticJobs(4, 1), nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return *study
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("multi-tenant study differs:\nserial: %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// Zone diversification folds per-sample pairs in order; averages must
+// not move with the worker count.
+func TestRunZoneDiversifiedDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ZoneStudyResult {
+		cfg := fastCfg()
+		cfg.Parallel = workers
+		res, err := RunZoneDiversified(cfg, 2, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	if serial, parallel := run(1), run(8); serial != parallel {
+		t.Fatalf("zone study differs:\nserial: %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// An error in one task must surface exactly as in a serial run.
+func TestRunSchemesParallelErrorPropagation(t *testing.T) {
+	cfg := fastCfg()
+	cfg.EvalDays = 1 // too short for 20h jobs
+	for _, workers := range []int{1, 8} {
+		cfg.Parallel = workers
+		if _, err := RunSchemes(cfg, 20, 2); err == nil {
+			t.Fatalf("workers=%d: short window accepted", workers)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"proteus/internal/core"
 	"proteus/internal/market"
+	"proteus/internal/par"
 	"proteus/internal/sim"
 )
 
@@ -33,8 +34,9 @@ func RunPreemptible(cfg MarketConfig, jobHours float64, mttp time.Duration, samp
 	spec := baselineSpec(jobHours)
 	onDemandCost := 64 * 0.419 * jobHours // the Fig. 8 baseline
 
-	var agg PreemptibleResult
-	for i := 0; i < samples; i++ {
+	// Samples are independent single-job markets: fan out and fold in
+	// sample order, bit-identical at every worker count.
+	outs, err := par.Map(samples, cfg.Parallel, func(i int) (PreemptibleResult, error) {
 		eng := sim.NewEngine()
 		mkt, err := market.NewPreemptible(eng, market.PreemptibleConfig{
 			Catalog: market.DefaultCatalog(),
@@ -44,10 +46,13 @@ func RunPreemptible(cfg MarketConfig, jobHours float64, mttp time.Duration, samp
 		if err != nil {
 			return PreemptibleResult{}, err
 		}
-		res, err := runPreemptibleJob(eng, mkt, spec)
-		if err != nil {
-			return PreemptibleResult{}, err
-		}
+		return runPreemptibleJob(eng, mkt, spec)
+	})
+	if err != nil {
+		return PreemptibleResult{}, err
+	}
+	var agg PreemptibleResult
+	for _, res := range outs {
 		agg.Cost += res.Cost
 		agg.Runtime += res.Runtime
 		agg.Preemptions += res.Preemptions

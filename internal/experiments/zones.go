@@ -7,6 +7,7 @@ import (
 	"proteus/internal/bidbrain"
 	"proteus/internal/core"
 	"proteus/internal/market"
+	"proteus/internal/par"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
 )
@@ -46,7 +47,7 @@ func buildZonedEnv(cfg MarketConfig, params bidbrain.Params, zones int) (*Env, e
 	betas := make(map[string]*trace.BetaTable)
 	for name := range prices {
 		tr, _ := hist.Get(name)
-		betas[name] = trace.BuildBetaTable(tr, trace.DefaultDeltas(), cfg.BetaSamples, cfg.Seed)
+		betas[name] = trace.BuildBetaTableParallel(tr, trace.DefaultDeltas(), cfg.BetaSamples, cfg.Seed, cfg.Parallel)
 	}
 	brain, err := bidbrain.New(params, betas, nil)
 	if err != nil {
@@ -78,7 +79,10 @@ type ZoneStudyResult struct {
 
 // RunZoneDiversified runs the 2-hour job under Proteus with a one-zone
 // catalog and with a `zones`-zone catalog over the same number of start
-// offsets, averaging cost and evictions.
+// offsets, averaging cost and evictions. Samples fan out over
+// cfg.Parallel workers (each sample's two environments are task-local)
+// and fold in sample order, so the averages are bit-identical at every
+// worker count.
 func RunZoneDiversified(cfg MarketConfig, zones, samples int) (ZoneStudyResult, error) {
 	if samples <= 0 {
 		return ZoneStudyResult{}, fmt.Errorf("experiments: samples must be positive")
@@ -92,34 +96,44 @@ func RunZoneDiversified(cfg MarketConfig, zones, samples int) (ZoneStudyResult, 
 	zonedSpec.ReliableType = zonedTypeName("az0", spec.ReliableType)
 
 	horizon := time.Duration(cfg.EvalDays)*24*time.Hour - 6*time.Hour
-	out := ZoneStudyResult{Samples: samples}
-	for i := 0; i < samples; i++ {
+	type sampleOut struct {
+		single, multi core.Result
+	}
+	outs, err := par.Map(samples, cfg.Parallel, func(i int) (sampleOut, error) {
+		taskCfg := cfg
+		taskCfg.Parallel = 1
 		offset := time.Duration(int64(horizon) / int64(samples) * int64(i))
 
-		single, err := buildZonedEnv(cfg, spec.Params, 1)
+		single, err := buildZonedEnv(taskCfg, spec.Params, 1)
 		if err != nil {
-			return out, err
+			return sampleOut{}, err
 		}
 		single.Engine.RunUntil(offset)
 		sres, err := core.ProteusScheme{Brain: single.Brain}.Run(single.Engine, single.Market, zonedSpec)
 		if err != nil {
-			return out, err
+			return sampleOut{}, err
 		}
 
-		multi, err := buildZonedEnv(cfg, spec.Params, zones)
+		multi, err := buildZonedEnv(taskCfg, spec.Params, zones)
 		if err != nil {
-			return out, err
+			return sampleOut{}, err
 		}
 		multi.Engine.RunUntil(offset)
 		mres, err := core.ProteusScheme{Brain: multi.Brain}.Run(multi.Engine, multi.Market, zonedSpec)
 		if err != nil {
-			return out, err
+			return sampleOut{}, err
 		}
-
-		out.SingleZoneCost += sres.Cost
-		out.MultiZoneCost += mres.Cost
-		out.SingleEvictions += float64(sres.Evictions)
-		out.MultiEvictions += float64(mres.Evictions)
+		return sampleOut{single: sres, multi: mres}, nil
+	})
+	out := ZoneStudyResult{Samples: samples}
+	if err != nil {
+		return out, err
+	}
+	for _, so := range outs {
+		out.SingleZoneCost += so.single.Cost
+		out.MultiZoneCost += so.multi.Cost
+		out.SingleEvictions += float64(so.single.Evictions)
+		out.MultiEvictions += float64(so.multi.Evictions)
 	}
 	n := float64(samples)
 	out.SingleZoneCost /= n

@@ -60,6 +60,21 @@ func (o *Observer) Trace() *Tracer {
 	return o.Tracer
 }
 
+// Merge folds a child observer into this one: the child's metric
+// families merge into the registry (counters add, gauges last-write,
+// histograms add) and its spans append to the trace in completion
+// order. Parallel experiment harnesses give every task a fresh child
+// observer and merge them back in deterministic task order, so the
+// parent's exports match what one shared observer would have seen from
+// a serial run of the same tasks.
+func (o *Observer) Merge(child *Observer) {
+	if o == nil || child == nil {
+		return
+	}
+	o.Reg().Merge(child.Reg())
+	o.Trace().Absorb(child.Trace().Spans())
+}
+
 // SetClock rebinds both the registry's and the tracer's timestamp source
 // — for observers built before the simulation engine they will observe.
 func (o *Observer) SetClock(now func() time.Duration) {

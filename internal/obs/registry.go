@@ -316,6 +316,62 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// absorb folds an exported histogram state into this one. Bucket
+// layouts must match; the caller (ImportSnapshot) verifies that.
+func (h *Histogram) absorb(count uint64, sum float64, bucketCounts []uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += sum
+	h.count += count
+	for i := range bucketCounts {
+		h.counts[i] += bucketCounts[i]
+	}
+}
+
+// Merge folds every series of from into this registry: counters add,
+// gauges take from's value (last-writer-wins, matching what a serial
+// run's later tasks would have done), histograms add counts, sums, and
+// buckets. Families and series absent here are created. Merging the
+// per-task registries of a fan-out in task order therefore yields the
+// same exported values regardless of how many workers ran the tasks.
+func (r *Registry) Merge(from *Registry) {
+	if r == nil || from == nil {
+		return
+	}
+	r.ImportSnapshot(from.Snapshot())
+}
+
+// ImportSnapshot merges an exported snapshot (see Merge for the
+// per-kind semantics). A family that exists here with a different kind
+// or histogram bucket layout panics: those are programming errors that
+// would silently corrupt exports if tolerated.
+func (r *Registry) ImportSnapshot(fams []FamilySnapshot) {
+	if r == nil {
+		return
+	}
+	for _, fam := range fams {
+		f := r.getFamily(fam.Name, fam.Help, fam.Kind, fam.Buckets)
+		if fam.Kind == KindHistogram && len(f.buckets) != len(fam.Buckets) {
+			panic(fmt.Sprintf("obs: metric %q bucket layouts differ (%d vs %d)",
+				fam.Name, len(f.buckets), len(fam.Buckets)))
+		}
+		for _, s := range fam.Series {
+			c := f.getChild(s.Labels)
+			switch fam.Kind {
+			case KindCounter:
+				c.counter.Add(s.Value)
+			case KindGauge:
+				c.gauge.Set(s.Value)
+			case KindHistogram:
+				c.hist.absorb(s.Count, s.Sum, s.BucketCounts)
+			}
+		}
+	}
+}
+
 // SeriesSnapshot is one labeled series at snapshot time.
 type SeriesSnapshot struct {
 	Labels []Label

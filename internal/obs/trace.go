@@ -120,6 +120,20 @@ func (t *Tracer) finish(sp SpanData) {
 	}
 }
 
+// Absorb appends already-finished spans (typically another tracer's
+// Spans()) in order, preserving their timestamps and fanning each one
+// out to subscribers like any locally finished span. Concatenating
+// per-task tracers in task order keeps a fanned-out run's span stream
+// identical to the serial one.
+func (t *Tracer) Absorb(spans []SpanData) {
+	if t == nil {
+		return
+	}
+	for _, sp := range spans {
+		t.finish(sp)
+	}
+}
+
 // Event records an instant span (Start == End) — a decision, a warning,
 // a transition. detail is a Sprintf format.
 func (t *Tracer) Event(component, name, detail string, args ...any) {

@@ -1,0 +1,115 @@
+// Package par is the deterministic fan-out layer under the experiment
+// harnesses: a bounded worker pool with ordered result collection plus
+// SplitMix64-style per-task seed derivation.
+//
+// The package exists to make "parallel" and "serial" indistinguishable
+// from the outside. Map runs tasks on up to W goroutines but returns
+// results in task order, and SeedAt gives every task its own rand stream
+// derived only from (root seed, task index) — never from execution
+// order, worker identity, or time. A caller that seeds each task with
+// SeedAt, keeps all mutable state task-local, and folds the ordered
+// results afterward therefore produces bit-identical output at any
+// worker count. The experiment engine (internal/experiments, β-table
+// training in internal/trace) is built on exactly that contract, and
+// its determinism tests assert it at -parallel 1 versus 8.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SeedAt derives the rand seed for one task from the root seed via a
+// SplitMix64 mixing round. Unlike additive schemes (seed + i*prime),
+// every task index gets a statistically independent stream, and a
+// task's seed never changes when tasks are added before or after it —
+// so growing a delta grid or a sample count never reshuffles the
+// results of the tasks that were already there.
+func SeedAt(root int64, task uint64) int64 {
+	z := uint64(root) + (task+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Workers resolves a worker-count request: positive values pass
+// through, anything else (the "default" zero) becomes
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) on up to workers goroutines and returns the
+// results in task index order. workers <= 0 means GOMAXPROCS. fn must
+// be safe for concurrent invocation across distinct indexes.
+//
+// Error semantics match a serial loop: the returned error is the one
+// from the lowest-indexed failing task. Workers claim indexes in
+// ascending order and stop claiming after a failure, so every task
+// below the failing index has run; tasks above it may or may not have.
+func Map[T any](n, workers int, fn func(task int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map without per-task results: fn(0..n-1) on up to workers
+// goroutines, first-failing-index error semantics.
+func ForEach(n, workers int, fn func(task int) error) error {
+	_, err := Map(n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,133 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSeedAtStableAndDistinct(t *testing.T) {
+	// A task's seed depends only on (root, index): extending the task
+	// list must never change earlier seeds.
+	a := make([]int64, 8)
+	for i := range a {
+		a[i] = SeedAt(42, uint64(i))
+	}
+	b := make([]int64, 16)
+	for i := range b {
+		b[i] = SeedAt(42, uint64(i))
+	}
+	if !reflect.DeepEqual(a, b[:8]) {
+		t.Fatal("seeds changed when the task list grew")
+	}
+	seen := map[int64]bool{}
+	for i, s := range b {
+		if seen[s] {
+			t.Fatalf("duplicate seed at task %d", i)
+		}
+		seen[s] = true
+	}
+	if SeedAt(1, 0) == SeedAt(2, 0) {
+		t.Fatal("different roots produced the same task-0 seed")
+	}
+}
+
+func TestSeedAtStreamsIndependent(t *testing.T) {
+	// Adjacent task seeds must not yield correlated rand streams the way
+	// additive seeding does.
+	r0 := rand.New(rand.NewSource(SeedAt(7, 0)))
+	r1 := rand.New(rand.NewSource(SeedAt(7, 1)))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r0.Int63n(1000) == r1.Int63n(1000) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("streams agree on %d/100 draws", same)
+	}
+}
+
+func TestMapOrderedAtAnyWorkerCount(t *testing.T) {
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, w := range []int{0, 1, 2, 8, 200} {
+		got, err := Map(100, w, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results out of order", w)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Tasks 30 and 60 fail; serial semantics demand the error from 30.
+	fail := func(i int) (int, error) {
+		if i == 30 || i == 60 {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	}
+	for _, w := range []int{1, 4, 16} {
+		_, err := Map(100, w, fail)
+		if err == nil || err.Error() != "task 30 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 30's", w, err)
+		}
+	}
+}
+
+func TestMapStopsClaimingAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(10_000, 2, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("ran %d tasks after an immediate failure", n)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	hits := make([]atomic.Int64, 50)
+	if err := ForEach(50, 8, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive count not passed through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("default workers below 1")
+	}
+}

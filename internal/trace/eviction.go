@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"proteus/internal/par"
 )
 
 // EvictionStats summarizes what happens to an allocation made at a given
@@ -74,18 +76,38 @@ func DefaultDeltas() []float64 {
 	return []float64{0.0001, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
 }
 
-// BuildBetaTable estimates eviction stats for every delta in deltas against
-// the historical trace.
+// BuildBetaTable estimates eviction stats for every delta in deltas
+// against the historical trace, serially. Each delta's Monte-Carlo
+// stream is seeded by par.SeedAt(seed, i), so a delta's estimate
+// depends only on (trace, delta position, samples, seed) — growing the
+// grid never reshuffles the deltas that were already there — and
+// BuildBetaTableParallel produces the identical table at any worker
+// count.
 func BuildBetaTable(tr *Trace, deltas []float64, samplesPerDelta int, seed int64) *BetaTable {
+	return BuildBetaTableParallel(tr, deltas, samplesPerDelta, seed, 1)
+}
+
+// BuildBetaTableParallel trains the table with the per-delta estimates
+// fanned out over up to workers goroutines (<= 0 means GOMAXPROCS).
+// Output is bit-identical to BuildBetaTable: every delta owns a rand
+// stream derived from (seed, delta index) and the stats are collected
+// in grid order.
+func BuildBetaTableParallel(tr *Trace, deltas []float64, samplesPerDelta int, seed int64, workers int) *BetaTable {
 	if !sort.Float64sAreSorted(deltas) {
 		panic("trace: deltas must be ascending")
 	}
-	bt := &BetaTable{InstanceType: tr.InstanceType, Deltas: append([]float64(nil), deltas...)}
-	for i, d := range deltas {
-		rng := rand.New(rand.NewSource(seed + int64(i)*104729))
-		bt.Stats = append(bt.Stats, EstimateEviction(tr, d, samplesPerDelta, rng))
+	stats, err := par.Map(len(deltas), workers, func(i int) (EvictionStats, error) {
+		rng := rand.New(rand.NewSource(par.SeedAt(seed, uint64(i))))
+		return EstimateEviction(tr, deltas[i], samplesPerDelta, rng), nil
+	})
+	if err != nil { // fn never errors
+		panic(err)
 	}
-	return bt
+	return &BetaTable{
+		InstanceType: tr.InstanceType,
+		Deltas:       append([]float64(nil), deltas...),
+		Stats:        stats,
+	}
 }
 
 // Beta returns the estimated eviction probability for a bid delta,

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func goldenTrace() *Trace {
+	return Generate("c4.xlarge", "z", 30*24*time.Hour, DefaultGenConfig(0.209), rand.New(rand.NewSource(4)))
+}
+
+// BuildBetaTable's contract: the table is identical at every worker
+// count, so the parallel trainer can replace the serial one anywhere.
+func TestBuildBetaTableParallelDeterministic(t *testing.T) {
+	tr := goldenTrace()
+	serial := BuildBetaTable(tr, DefaultDeltas(), 300, 17)
+	for _, workers := range []int{0, 2, 8} {
+		got := BuildBetaTableParallel(tr, DefaultDeltas(), 300, 17, workers)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("workers=%d: table differs from serial", workers)
+		}
+	}
+}
+
+// Each delta's Monte-Carlo stream is seeded from (seed, delta index)
+// alone, so extending the grid must leave the original deltas' stats
+// untouched — the property the old seed+i*104729 scheme happened to
+// have and par.SeedAt keeps by construction.
+func TestBuildBetaTablePrefixStableUnderGridGrowth(t *testing.T) {
+	tr := goldenTrace()
+	base := BuildBetaTable(tr, DefaultDeltas(), 300, 17)
+	grown := BuildBetaTable(tr, append(DefaultDeltas(), 0.8, 1.6), 300, 17)
+	if !reflect.DeepEqual(base.Stats, grown.Stats[:len(base.Stats)]) {
+		t.Fatal("growing the delta grid reshuffled existing deltas' stats")
+	}
+}
+
+// Compat pin: the β values of the default grid under the par.SeedAt
+// derivation. Any change to the seeding, the sampler, or the grid walk
+// shifts these and must be a deliberate decision, not an accident.
+func TestBuildBetaTableGoldenDefaultGrid(t *testing.T) {
+	golden := []struct {
+		delta, beta float64
+		medianTTE   time.Duration
+	}{
+		{0.0001, 0.83, 725765548089},
+		{0.001, 0.71, 816284270043},
+		{0.005, 0.4, 1069683754808},
+		{0.01, 0.19666666666666666, 1544606831424},
+		{0.02, 0.21333333333333335, 1664376437163},
+		{0.05, 0.17666666666666667, 1753547785627},
+		{0.1, 0.13, 1580317501626},
+		{0.2, 0.15, 1769486588531},
+		{0.4, 0.04666666666666667, 2589087059669},
+	}
+	bt := BuildBetaTable(goldenTrace(), DefaultDeltas(), 300, 17)
+	if len(bt.Stats) != len(golden) {
+		t.Fatalf("got %d stats, want %d", len(bt.Stats), len(golden))
+	}
+	for i, g := range golden {
+		s := bt.Stats[i]
+		if bt.Deltas[i] != g.delta {
+			t.Fatalf("delta[%d] = %v, want %v", i, bt.Deltas[i], g.delta)
+		}
+		if math.Abs(s.Beta-g.beta) > 1e-15 {
+			t.Fatalf("beta[%d] = %v, want %v", i, s.Beta, g.beta)
+		}
+		if s.MedianTTE != g.medianTTE {
+			t.Fatalf("medianTTE[%d] = %v, want %v", i, s.MedianTTE, g.medianTTE)
+		}
+	}
+}
