@@ -113,6 +113,27 @@ func BenchmarkFig10_MachineHours(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSchemesSerial times one worker running the Fig. 8
+// (scheme, zone, sample) grid — the per-run hot path with no fan-out
+// hiding it. PR 4 made the grid parallel; this benchmark tracks the
+// single-run kernels (price lookups, eviction scans, β training,
+// event scheduling) that bound every cell.
+func BenchmarkRunSchemesSerial(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Parallel = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var avgs []experiments.SchemeAverage
+	for i := 0; i < b.N; i++ {
+		var err error
+		avgs, err = experiments.RunSchemes(cfg, 2, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSchemes(b, avgs)
+}
+
 // BenchmarkRunSchemesParallel times the Fig. 8 workload with the
 // (scheme, zone, sample) grid fanned out over 8 workers and reports the
 // speedup over a fully serial run of the same grid. Every iteration also

@@ -1,0 +1,160 @@
+// Command benchgate enforces the benchmark regression gate in CI: it
+// reads a `go test -json -bench` stream, extracts each benchmark's best
+// ns/op, and fails when a benchmark listed in the stored baseline file
+// has regressed beyond the threshold.
+//
+// Usage:
+//
+//	go test -json -run '^$' -bench 'BenchmarkRunSchemesSerial$' -count 3 . > bench.json
+//	benchgate -bench-json bench.json -baseline .github/bench_baseline.json
+//	benchgate -bench-json bench.json -baseline .github/bench_baseline.json -update
+//
+// The baseline file maps benchmark name (module-relative, no -N CPU
+// suffix) to ns/op. Only benchmarks present in the baseline are gated;
+// -update rewrites the baseline from the measured values instead of
+// gating, for refreshing after an intentional change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches a benchmark result line as emitted by `go test
+// -bench` (possibly wrapped in a -json Output event): name, iteration
+// count, ns/op. The -N GOMAXPROCS suffix is stripped so baselines are
+// stable across machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseBench extracts the minimum ns/op per benchmark name from a
+// `go test -json` stream (or plain -bench text; both are accepted).
+// The -json encoder fragments one benchmark result line across several
+// Output events, so events are concatenated back into a text stream
+// before line matching. Min-of-count is the standard noise filter: a
+// benchmark cannot run faster than the hardware allows, so the minimum
+// is the least noisy estimate of its true cost.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) > 0 && line[0] == '{' {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	best := make(map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := best[m[1]]; !ok || ns < cur {
+			best[m[1]] = ns
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	benchJSON := flag.String("bench-json", "", "go test -json -bench output to check")
+	baselinePath := flag.String("baseline", "", "stored baseline JSON (benchmark name -> ns/op)")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression over the baseline")
+	update := flag.Bool("update", false, "rewrite the baseline from the measured values instead of gating")
+	flag.Parse()
+	if *benchJSON == "" || *baselinePath == "" {
+		log.Fatal("both -bench-json and -baseline are required")
+	}
+
+	measured, err := parseBench(*benchJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(measured) == 0 {
+		log.Fatalf("no benchmark results found in %s", *benchJSON)
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("baseline %s updated with %d benchmarks", *baselinePath, len(measured))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := make(map[string]float64)
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		log.Fatalf("parse %s: %v", *baselinePath, err)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		got, ok := measured[name]
+		if !ok {
+			log.Printf("FAIL %s: in baseline but not measured", name)
+			failed = true
+			continue
+		}
+		ratio := got/base - 1
+		status := "ok"
+		if ratio > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)\n",
+			status, name, got, base, ratio*100, *threshold*100)
+	}
+	if failed {
+		log.Fatalf("benchmark regression gate failed (threshold %.0f%%)", *threshold*100)
+	}
+}

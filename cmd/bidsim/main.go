@@ -15,6 +15,7 @@ import (
 	"log"
 	"runtime"
 
+	"proteus/cmd/internal/prof"
 	"proteus/internal/experiments"
 	"proteus/internal/metrics"
 	"proteus/internal/obs"
@@ -30,7 +31,14 @@ func main() {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics aggregated over all sample runs to this file")
 	traceOut := flag.String("trace-out", "", "write the JSONL span trace of all sample runs to this file")
+	profiles := prof.Register()
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	cfg := experiments.DefaultMarketConfig()
 	cfg.Seed = *seed
@@ -41,7 +49,6 @@ func main() {
 		cfg.Observer = obs.NewObserver(nil)
 	}
 
-	var err error
 	switch {
 	case *csv && (*fig == 8 || *fig == 9):
 		hours := 2.0

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"syscall"
 
+	"proteus/cmd/internal/prof"
 	"proteus/internal/experiments"
 	"proteus/internal/jobspec"
 	"proteus/internal/obs"
@@ -63,7 +64,14 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file at exit")
 	traceOut := flag.String("trace-out", "", "write the JSONL span trace to this file at exit")
 	metricsAddr := flag.String("metrics-addr", "", "with -live, serve /metrics and /debug/pprof on this address")
+	profiles := prof.Register()
 	flag.Parse()
+
+	stopProfiles, err := profiles.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	cfg := experiments.DefaultMarketConfig()
 	cfg.Seed = *seed

@@ -72,6 +72,12 @@ func (s ProteusScheme) RunSequence(eng *sim.Engine, mkt *market.Market, specs []
 		brain: s.Brain,
 		spot:  make(map[market.AllocationID]*spotAlloc),
 	}
+	sess.smallest = mkt.Types()[0]
+	for _, t := range mkt.Types() {
+		if t.VCPUs < sess.smallest.VCPUs {
+			sess.smallest = t
+		}
+	}
 	mkt.SetHandler(sess)
 	defer mkt.SetHandler(nil)
 
@@ -199,6 +205,17 @@ type proteusSession struct {
 	job      *spotJob // current job; nil between jobs and during drain
 	spec     JobSpec
 	draining bool
+
+	// smallest is the catalog type with the fewest vCPUs, fixed at
+	// session start: decide() sizes candidate chunks by it every tick.
+	smallest market.InstanceType
+
+	// Scratch buffers reused across decision ticks; each is fully
+	// rewritten before use and never retained past the call that fills
+	// it (bidbrain only reads the footprint and price snapshot).
+	spotBuf  []*spotAlloc
+	fpBuf    []bidbrain.AllocState
+	priceBuf map[string]float64
 }
 
 // EvictionWarning implements market.Handler: the lease is released on
@@ -231,16 +248,19 @@ func (s *proteusSession) Evicted(a *market.Allocation) {
 
 // footprint translates live allocations into BidBrain's AllocState,
 // optionally excluding one allocation (for its own renewal decision).
+// The returned slice is session scratch, rewritten by the next call:
+// callers must finish with it before deciding again.
 func (s *proteusSession) footprint(exclude market.AllocationID) ([]bidbrain.AllocState, error) {
 	now := s.eng.Now()
-	out := []bidbrain.AllocState{{
+	out := append(s.fpBuf[:0], bidbrain.AllocState{
 		Type:      s.reliable.Type,
 		Count:     s.reliable.Count,
 		Price:     s.reliable.Type.OnDemand,
 		Remaining: s.reliable.HourEnd(now) - now,
 		OnDemand:  true,
-	}}
-	for _, sa := range sortedSpot(s.spot) {
+	})
+	s.spotBuf = sortedSpotInto(s.spotBuf, s.spot)
+	for _, sa := range s.spotBuf {
 		if sa.alloc.ID == exclude || sa.warned {
 			continue
 		}
@@ -262,6 +282,7 @@ func (s *proteusSession) footprint(exclude market.AllocationID) ([]bidbrain.Allo
 			Omega:     omega,
 		})
 	}
+	s.fpBuf = out // keep any growth for the next tick
 	return out, nil
 }
 
@@ -275,7 +296,7 @@ func (s *proteusSession) scheduleHourEnd(sa *spotAlloc) {
 	if at <= now {
 		at = sa.alloc.HourEnd(now) + trace.BillingHour - preHourLead
 	}
-	s.eng.At(at, "proteus.hourEnd", func() {
+	s.eng.AtTransient(at, "proteus.hourEnd", func() {
 		cur, ok := s.spot[sa.alloc.ID]
 		if !ok || cur != sa {
 			return // evicted or replaced meanwhile
@@ -331,19 +352,14 @@ func (s *proteusSession) decide() {
 	if err != nil {
 		return
 	}
-	prices, err := cheapestPrices(s.mkt)
+	prices, err := cheapestPricesInto(s.priceBuf, s.mkt)
 	if err != nil {
 		return
 	}
+	s.priceBuf = prices
 	// Candidate size: one chunk of cores, expressed as instances of the
 	// smallest type (BestAcquisition normalizes by cores across types).
-	smallest := s.mkt.Types()[0]
-	for _, t := range s.mkt.Types() {
-		if t.VCPUs < smallest.VCPUs {
-			smallest = t
-		}
-	}
-	count := s.spec.ChunkCores / smallest.VCPUs
+	count := s.spec.ChunkCores / s.smallest.VCPUs
 	if count <= 0 {
 		count = 1
 	}

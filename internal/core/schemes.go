@@ -71,7 +71,14 @@ func (s *spotJob) Evicted(a *market.Allocation) {
 // map iteration order would reorder non-associative float sums and flip
 // marginal decisions between otherwise identical runs.
 func sortedSpot(m map[market.AllocationID]*spotAlloc) []*spotAlloc {
-	out := make([]*spotAlloc, 0, len(m))
+	return sortedSpotInto(nil, m)
+}
+
+// sortedSpotInto is sortedSpot with a reusable backing buffer: hot
+// callers (the per-tick footprint walk) pass their scratch slice back in
+// and avoid an allocation per call. The returned slice aliases buf.
+func sortedSpotInto(buf []*spotAlloc, m map[market.AllocationID]*spotAlloc) []*spotAlloc {
+	out := buf[:0]
 	for _, sa := range m {
 		out = append(out, sa)
 	}
@@ -138,7 +145,16 @@ func (s *spotJob) run() {
 
 // cheapestPrices snapshots spot prices for all catalog types.
 func cheapestPrices(mkt *market.Market) (map[string]float64, error) {
-	prices := make(map[string]float64)
+	return cheapestPricesInto(nil, mkt)
+}
+
+// cheapestPricesInto is cheapestPrices with a reusable map: hot callers
+// (the decision tick) pass their previous snapshot back in. The catalog
+// is fixed, so overwriting the same keys fully refreshes the snapshot.
+func cheapestPricesInto(prices map[string]float64, mkt *market.Market) (map[string]float64, error) {
+	if prices == nil {
+		prices = make(map[string]float64, len(mkt.Types()))
+	}
 	for _, t := range mkt.Types() {
 		p, err := mkt.SpotPrice(t.Name)
 		if err != nil {

@@ -81,6 +81,32 @@ type Env struct {
 // NewEnv builds a fresh engine+market over the config's evaluation trace
 // and a Brain trained on the disjoint history window.
 func NewEnv(cfg MarketConfig, params bidbrain.Params) (*Env, error) {
+	z, err := buildZoneEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return z.newEnv(params, cfg.Observer)
+}
+
+// zoneEnv caches the expensive, read-only pieces of one zone's market
+// environment: the generated evaluation price traces and the β tables
+// trained on the zone's history window. Both are immutable after
+// construction (lazy trace integrals build under a sync.Once), so one
+// zoneEnv serves every (scheme, sample) cell of the zone — concurrently
+// — while each cell still gets its own engine, market, and Brain.
+// Skipping the per-cell regeneration is where the experiment harness
+// gets most of its speed: trace synthesis plus β training dominates a
+// cell's cost, and every cell of a zone was rebuilding identical copies.
+type zoneEnv struct {
+	catalog []market.InstanceType
+	eval    *trace.Set
+	betas   map[string]*trace.BetaTable
+}
+
+// buildZoneEnv generates the zone's traces and trains its β tables.
+// β training fans out over cfg.Parallel workers; the result is
+// bit-identical at every worker count.
+func buildZoneEnv(cfg MarketConfig) (*zoneEnv, error) {
 	catalog := market.DefaultCatalog()
 	prices := market.CatalogPrices(catalog)
 
@@ -93,21 +119,26 @@ func NewEnv(cfg MarketConfig, params bidbrain.Params) (*Env, error) {
 		}
 		betas[name] = trace.BuildBetaTableParallel(tr, trace.DefaultDeltas(), cfg.BetaSamples, cfg.Seed, cfg.Parallel)
 	}
-	brain, err := bidbrain.New(params, betas, nil)
+	eval := trace.GenerateSet("eval", time.Duration(cfg.EvalDays)*24*time.Hour, prices, cfg.Seed)
+	return &zoneEnv{catalog: catalog, eval: eval, betas: betas}, nil
+}
+
+// newEnv assembles a private engine+market+Brain over the shared zone
+// state. observer may be nil (uninstrumented).
+func (z *zoneEnv) newEnv(params bidbrain.Params, observer *obs.Observer) (*Env, error) {
+	brain, err := bidbrain.New(params, z.betas, nil)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Observer != nil {
-		brain.SetObserver(cfg.Observer)
+	if observer != nil {
+		brain.SetObserver(observer)
 	}
-
-	eval := trace.GenerateSet("eval", time.Duration(cfg.EvalDays)*24*time.Hour, prices, cfg.Seed)
 	eng := sim.NewEngine()
 	mkt, err := market.New(eng, market.Config{
-		Catalog:  catalog,
-		Traces:   eval,
+		Catalog:  z.catalog,
+		Traces:   z.eval,
 		Warning:  2 * time.Minute,
-		Observer: cfg.Observer,
+		Observer: observer,
 	})
 	if err != nil {
 		return nil, err
@@ -196,9 +227,9 @@ type SchemeAverage struct {
 
 // schemeTask is one (scheme, zone, sample) cell of the RunSchemes grid.
 type schemeTask struct {
-	kind     SchemeKind
-	zoneSeed int64
-	sample   int
+	kind   SchemeKind
+	zone   *zoneEnv
+	sample int
 }
 
 // schemeTaskOut is one cell's result plus the private observer that
@@ -208,18 +239,16 @@ type schemeTaskOut struct {
 	obs *obs.Observer
 }
 
-// runSchemeTask executes one grid cell on a fresh market environment.
-// Everything the cell touches — engine, market, brain, rand streams,
-// observer — is task-local, which is what lets RunSchemes fan cells out
-// across workers without changing any result bit.
+// runSchemeTask executes one grid cell. The cell's mutable state —
+// engine, market, brain, observer — is task-local, which is what lets
+// RunSchemes fan cells out across workers without changing any result
+// bit; the zone's traces and β tables are shared read-only.
 func runSchemeTask(cfg MarketConfig, tk schemeTask, spec core.JobSpec, horizon time.Duration, samples int) (schemeTaskOut, error) {
-	taskCfg := cfg
-	taskCfg.Seed = tk.zoneSeed
-	taskCfg.Parallel = 1 // fan-out happens at the task level
+	var observer *obs.Observer
 	if cfg.Observer != nil {
-		taskCfg.Observer = obs.NewObserver(nil)
+		observer = obs.NewObserver(nil)
 	}
-	env, err := NewEnv(taskCfg, spec.Params)
+	env, err := tk.zone.newEnv(spec.Params, observer)
 	if err != nil {
 		return schemeTaskOut{}, err
 	}
@@ -232,7 +261,7 @@ func runSchemeTask(cfg MarketConfig, tk schemeTask, spec core.JobSpec, horizon t
 	if !res.Completed {
 		return schemeTaskOut{}, fmt.Errorf("experiments: %v at offset %v did not complete", tk.kind, offset)
 	}
-	return schemeTaskOut{res: res, obs: taskCfg.Observer}, nil
+	return schemeTaskOut{res: res, obs: observer}, nil
 }
 
 // RunSchemes runs every scheme from `samples` start offsets spread over
@@ -259,11 +288,27 @@ func RunSchemes(cfg MarketConfig, jobHours float64, samples int) ([]SchemeAverag
 	seeds := cfg.zoneSeeds()
 	schemes := AllSchemes()
 
+	// Build each zone's shared environment once, up front: every
+	// (scheme, sample) cell of a zone reads the same traces and β
+	// tables, so the grid no longer pays trace synthesis and β training
+	// per cell. β training inside each build already fans out over
+	// cfg.Parallel workers.
+	zones := make([]*zoneEnv, len(seeds))
+	for zi, zoneSeed := range seeds {
+		zoneCfg := cfg
+		zoneCfg.Seed = zoneSeed
+		z, err := buildZoneEnv(zoneCfg)
+		if err != nil {
+			return nil, err
+		}
+		zones[zi] = z
+	}
+
 	tasks := make([]schemeTask, 0, len(schemes)*len(seeds)*samples)
 	for _, kind := range schemes {
-		for _, zoneSeed := range seeds {
+		for _, z := range zones {
 			for i := 0; i < samples; i++ {
-				tasks = append(tasks, schemeTask{kind: kind, zoneSeed: zoneSeed, sample: i})
+				tasks = append(tasks, schemeTask{kind: kind, zone: z, sample: i})
 			}
 		}
 	}

@@ -80,7 +80,7 @@ func (r *SpotRequest) Cancel() error {
 // at the first future price change that satisfies it. onGrant (optional)
 // runs when the allocation is created.
 func (m *Market) PlaceBid(typeName string, count int, bid float64, onGrant func(*Allocation)) (*SpotRequest, error) {
-	t, ok := m.catalog[typeName]
+	ts, ok := m.catalog[typeName]
 	if !ok {
 		return nil, fmt.Errorf("market: unknown instance type %s", typeName)
 	}
@@ -90,7 +90,7 @@ func (m *Market) PlaceBid(typeName string, count int, bid float64, onGrant func(
 	if bid <= 0 {
 		return nil, fmt.Errorf("market: bid %v must be positive", bid)
 	}
-	req := &SpotRequest{Type: t, Count: count, Bid: bid, onGrant: onGrant}
+	req := &SpotRequest{Type: ts.t, Count: count, Bid: bid, onGrant: onGrant}
 
 	tr, ok := m.traces.Get(typeName)
 	if !ok {

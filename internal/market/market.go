@@ -188,7 +188,8 @@ func (NopHandler) Evicted(*Allocation) {}
 // Market simulates one availability zone's spot and on-demand markets.
 type Market struct {
 	Engine  *sim.Engine
-	catalog map[string]InstanceType
+	catalog map[string]*typeState
+	types   []InstanceType // sorted by name, immutable after New
 	traces  *trace.Set
 	warning time.Duration
 	handler Handler
@@ -196,8 +197,69 @@ type Market struct {
 
 	nextID AllocationID
 	allocs map[AllocationID]*Allocation
+	// active holds running (Active or Warned) allocations in grant
+	// order, which is ID order: usage and gauge walks iterate it instead
+	// of scanning the whole allocation history, and its fixed order
+	// keeps float accumulation deterministic.
+	active []*Allocation
 	usage  Usage
 	cost   float64
+
+	// Hot obs handles resolved on first observation (see hotCounter).
+	billedSpot      hotCounter
+	billedOnDemand  hotCounter
+	refunded        hotCounter
+	lifetime        hotHistogram
+	activeAllocs    hotGauge
+	activeInstances hotGauge
+}
+
+// typeState is the per-instance-type hot state: the catalog entry, the
+// type's price trace, the two trace cursors the simulation sweeps —
+// market time only moves forward, so spot-price lookups and eviction
+// look-aheads are amortized O(1) — and the per-type obs handles.
+type typeState struct {
+	t  InstanceType
+	tr *trace.Trace
+	// price answers SpotPrice(now); evict answers scheduleEviction's
+	// FirstCrossingAbove(bid, now, ·). Separate cursors because the
+	// eviction scan seeks at allocation-grant times while price lookups
+	// seek at every decision tick, and each stream is monotone on its own.
+	price *trace.Cursor
+	evict *trace.Cursor
+
+	spotGauge      hotGauge
+	bidRejections  hotCounter
+	warnings       hotCounter
+	grantsSpot     hotCounter
+	grantsOnDemand hotCounter
+	endedEvicted   hotCounter
+	endedTerm      hotCounter
+}
+
+// hotCounter / hotGauge / hotHistogram memoize an obs instrument: the
+// registry resolves an instrument by hashing its family name and label
+// signature on every call — fine for cold paths, measurable on ones the
+// simulator hits per event. The `done` flag (rather than a nil check)
+// is what makes the caching correct when observation is off: a nil
+// registry legitimately yields nil no-op instruments, and those are
+// cached too. Resolution — and the label-slice construction feeding it
+// — happens at first *use*, exactly when the uncached code resolved it,
+// so the set and order of families a run exports is unchanged. Market
+// runs single-goroutine on the simulation thread, so no locking.
+type hotCounter struct {
+	c    *obs.Counter
+	done bool
+}
+
+type hotGauge struct {
+	g    *obs.Gauge
+	done bool
+}
+
+type hotHistogram struct {
+	h    *obs.Histogram
+	done bool
 }
 
 // Config parameterizes a Market.
@@ -223,7 +285,7 @@ func New(engine *sim.Engine, cfg Config) (*Market, error) {
 	}
 	m := &Market{
 		Engine:  engine,
-		catalog: make(map[string]InstanceType),
+		catalog: make(map[string]*typeState),
 		traces:  cfg.Traces,
 		warning: cfg.Warning,
 		handler: NopHandler{},
@@ -234,14 +296,22 @@ func New(engine *sim.Engine, cfg Config) (*Market, error) {
 		if t.OnDemand <= 0 || t.VCPUs <= 0 {
 			return nil, fmt.Errorf("market: invalid instance type %+v", t)
 		}
-		if _, ok := cfg.Traces.Get(t.Name); !ok {
+		tr, ok := cfg.Traces.Get(t.Name)
+		if !ok {
 			return nil, fmt.Errorf("market: no trace for instance type %s", t.Name)
 		}
-		m.catalog[t.Name] = t
+		m.catalog[t.Name] = &typeState{
+			t:     t,
+			tr:    tr,
+			price: trace.NewCursor(tr),
+			evict: trace.NewCursor(tr),
+		}
+		m.types = append(m.types, t)
 	}
 	if len(m.catalog) == 0 {
 		return nil, fmt.Errorf("market: empty catalog")
 	}
+	sort.Slice(m.types, func(i, j int) bool { return m.types[i].Name < m.types[j].Name })
 	return m, nil
 }
 
@@ -253,31 +323,41 @@ func (m *Market) SetHandler(h Handler) {
 	m.handler = h
 }
 
-// Types returns catalog types sorted by name.
-func (m *Market) Types() []InstanceType {
-	out := make([]InstanceType, 0, len(m.catalog))
-	for _, t := range m.catalog {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+// Types returns catalog types sorted by name. The slice is built once by
+// New and shared across calls; callers must not modify it.
+func (m *Market) Types() []InstanceType { return m.types }
 
 // Type looks up an instance type by name.
 func (m *Market) Type(name string) (InstanceType, bool) {
-	t, ok := m.catalog[name]
-	return t, ok
+	ts, ok := m.catalog[name]
+	if !ok {
+		return InstanceType{}, false
+	}
+	return ts.t, true
 }
 
 // SpotPrice returns the current spot price for the type.
 func (m *Market) SpotPrice(name string) (float64, error) {
-	tr, ok := m.traces.Get(name)
+	ts, ok := m.catalog[name]
 	if !ok {
-		return 0, fmt.Errorf("market: unknown instance type %s", name)
+		// Types with a trace but no catalog entry stay queryable (the
+		// uncached cold path).
+		tr, ok := m.traces.Get(name)
+		if !ok {
+			return 0, fmt.Errorf("market: unknown instance type %s", name)
+		}
+		price := tr.PriceAt(m.Engine.Now())
+		m.obsv.Reg().Gauge("proteus_market_spot_price_dollars",
+			"last observed spot price per instance-hour", obs.L("type", name)).Set(price)
+		return price, nil
 	}
-	price := tr.PriceAt(m.Engine.Now())
-	m.obsv.Reg().Gauge("proteus_market_spot_price_dollars",
-		"last observed spot price per instance-hour", obs.L("type", name)).Set(price)
+	price := ts.price.PriceAt(m.Engine.Now())
+	if !ts.spotGauge.done {
+		ts.spotGauge.g = m.obsv.Reg().Gauge("proteus_market_spot_price_dollars",
+			"last observed spot price per instance-hour", obs.L("type", name))
+		ts.spotGauge.done = true
+	}
+	ts.spotGauge.g.Set(price)
 	return price, nil
 }
 
@@ -292,10 +372,7 @@ func (m *Market) TotalCost() float64 { return m.cost }
 func (m *Market) TotalUsage() Usage {
 	u := m.usage
 	now := m.Engine.Now()
-	for _, a := range m.allocs {
-		if a.state != Active && a.state != Warned {
-			continue
-		}
+	for _, a := range m.active {
 		partial := now - a.HourStart(now)
 		h := partial.Hours() * float64(a.Count)
 		if a.OnDemand {
@@ -317,29 +394,30 @@ func (m *Market) Allocations() []*Allocation {
 	return out
 }
 
-// ActiveAllocations returns allocations still running (active or warned).
+// ActiveAllocations returns allocations still running (active or warned),
+// in grant (ID) order. The returned slice is the caller's: terminating
+// allocations while iterating it is safe.
 func (m *Market) ActiveAllocations() []*Allocation {
-	var out []*Allocation
-	for _, a := range m.Allocations() {
-		if a.state == Active || a.state == Warned {
-			out = append(out, a)
-		}
+	if len(m.active) == 0 {
+		return nil
 	}
+	out := make([]*Allocation, len(m.active))
+	copy(out, m.active)
 	return out
 }
 
 // RequestOnDemand acquires count on-demand instances. Always granted.
 func (m *Market) RequestOnDemand(typeName string, count int) (*Allocation, error) {
-	t, ok := m.catalog[typeName]
+	ts, ok := m.catalog[typeName]
 	if !ok {
 		return nil, fmt.Errorf("market: unknown instance type %s", typeName)
 	}
 	if count <= 0 {
 		return nil, fmt.Errorf("market: count %d must be positive", count)
 	}
-	a := m.newAllocation(t, count, 0, true)
-	m.observeGrant(a)
-	m.chargeHour(a, t.OnDemand)
+	a := m.newAllocation(ts.t, count, 0, true)
+	m.observeGrant(ts, a)
+	m.chargeHour(a, ts.t.OnDemand)
 	m.scheduleHourBoundary(a)
 	return a, nil
 }
@@ -349,7 +427,7 @@ func (m *Market) RequestOnDemand(typeName string, count int) (*Allocation, error
 // otherwise ErrBidBelowMarket is returned. Granted allocations keep their
 // bid until eviction or termination.
 func (m *Market) RequestSpot(typeName string, count int, bid float64) (*Allocation, error) {
-	t, ok := m.catalog[typeName]
+	ts, ok := m.catalog[typeName]
 	if !ok {
 		return nil, fmt.Errorf("market: unknown instance type %s", typeName)
 	}
@@ -361,17 +439,21 @@ func (m *Market) RequestSpot(typeName string, count int, bid float64) (*Allocati
 		return nil, err
 	}
 	if bid < price {
-		m.obsv.Reg().Counter("proteus_market_bid_rejections_total",
-			"spot requests rejected because the bid was below market",
-			obs.L("type", typeName)).Inc()
+		if !ts.bidRejections.done {
+			ts.bidRejections.c = m.obsv.Reg().Counter("proteus_market_bid_rejections_total",
+				"spot requests rejected because the bid was below market",
+				obs.L("type", typeName))
+			ts.bidRejections.done = true
+		}
+		ts.bidRejections.c.Inc()
 		return nil, fmt.Errorf("market: %w: bid %.4f below market %.4f for %s",
 			ErrBidBelowMarket, bid, price, typeName)
 	}
-	a := m.newAllocation(t, count, bid, false)
-	m.observeGrant(a)
+	a := m.newAllocation(ts.t, count, bid, false)
+	m.observeGrant(ts, a)
 	m.chargeHour(a, price)
 	m.scheduleHourBoundary(a)
-	m.scheduleEviction(a)
+	m.scheduleEviction(ts, a)
 	return a, nil
 }
 
@@ -389,6 +471,7 @@ func (m *Market) Terminate(a *Allocation) error {
 	m.settleUsage(a, false)
 	a.state = Terminated
 	a.endedAt = m.Engine.Now()
+	m.removeActive(a)
 	m.cancelEvents(a)
 	m.observeEnd(a, "terminated")
 	return nil
@@ -406,7 +489,19 @@ func (m *Market) newAllocation(t InstanceType, count int, bid float64, onDemand 
 	}
 	m.nextID++
 	m.allocs[a.ID] = a
+	m.active = append(m.active, a)
 	return a
+}
+
+// removeActive drops a from the running-allocation list, preserving the
+// grant order of the rest.
+func (m *Market) removeActive(a *Allocation) {
+	for i, b := range m.active {
+		if b == a {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			return
+		}
+	}
 }
 
 func (m *Market) chargeHour(a *Allocation, pricePerHour float64) {
@@ -415,12 +510,20 @@ func (m *Market) chargeHour(a *Allocation, pricePerHour float64) {
 	a.charged += charge
 	a.hoursBegun++
 	m.cost += charge
-	kind := "spot"
+	hc := &m.billedSpot
 	if a.OnDemand {
-		kind = "ondemand"
+		hc = &m.billedOnDemand
 	}
-	m.obsv.Reg().Counter("proteus_market_billed_dollars_total",
-		"dollars charged at billing-hour starts", obs.L("kind", kind)).Add(charge)
+	if !hc.done {
+		kind := "spot"
+		if a.OnDemand {
+			kind = "ondemand"
+		}
+		hc.c = m.obsv.Reg().Counter("proteus_market_billed_dollars_total",
+			"dollars charged at billing-hour starts", obs.L("kind", kind))
+		hc.done = true
+	}
+	hc.c.Add(charge)
 }
 
 // scheduleHourBoundary arranges the next hourly charge and rolls the
@@ -455,13 +558,9 @@ func (m *Market) scheduleHourBoundary(a *Allocation) {
 // eviction. Because traces are fixed, look-ahead scheduling is exact, not
 // an oracle advantage: the customer only hears about it via the Handler at
 // warning time.
-func (m *Market) scheduleEviction(a *Allocation) {
-	tr, ok := m.traces.Get(a.Type.Name)
-	if !ok {
-		return
-	}
-	horizon := tr.Duration()
-	cross, found := tr.FirstCrossingAbove(a.Bid, m.Engine.Now(), horizon)
+func (m *Market) scheduleEviction(ts *typeState, a *Allocation) {
+	horizon := ts.tr.Duration()
+	cross, found := ts.evict.FirstCrossingAbove(a.Bid, m.Engine.Now(), horizon)
 	if !found {
 		return
 	}
@@ -472,10 +571,16 @@ func (m *Market) scheduleEviction(a *Allocation) {
 				return
 			}
 			a.state = Warned
-			m.obsv.Reg().Counter("proteus_market_eviction_warnings_total",
-				"eviction warnings issued", obs.L("type", a.Type.Name)).Inc()
-			m.obsv.Trace().Event("market", "eviction-warning",
-				"alloc %d: %dx %s evicting at %v", a.ID, a.Count, a.Type.Name, evictAt)
+			if !ts.warnings.done {
+				ts.warnings.c = m.obsv.Reg().Counter("proteus_market_eviction_warnings_total",
+					"eviction warnings issued", obs.L("type", a.Type.Name))
+				ts.warnings.done = true
+			}
+			ts.warnings.c.Inc()
+			if tr := m.obsv.Trace(); tr != nil {
+				tr.Event("market", "eviction-warning",
+					"alloc %d: %dx %s evicting at %v", a.ID, a.Count, a.Type.Name, evictAt)
+			}
 			m.handler.EvictionWarning(a, evictAt)
 		})
 	}
@@ -492,11 +597,16 @@ func (m *Market) evict(a *Allocation) {
 	// the current hour").
 	a.refunded += a.hourCharge
 	m.cost -= a.hourCharge
-	m.obsv.Reg().Counter("proteus_market_refunded_dollars_total",
-		"dollars refunded for in-progress hours of evicted allocations").Add(a.hourCharge)
+	if !m.refunded.done {
+		m.refunded.c = m.obsv.Reg().Counter("proteus_market_refunded_dollars_total",
+			"dollars refunded for in-progress hours of evicted allocations")
+		m.refunded.done = true
+	}
+	m.refunded.c.Add(a.hourCharge)
 	m.settleUsage(a, true)
 	a.state = Evicted
 	a.endedAt = m.Engine.Now()
+	m.removeActive(a)
 	m.cancelEvents(a)
 	m.observeEnd(a, "evicted")
 	m.handler.Evicted(a)
@@ -520,10 +630,14 @@ func (m *Market) settleUsage(a *Allocation, free bool) {
 }
 
 func (m *Market) cancelEvents(a *Allocation) {
-	for _, ev := range []*sim.Event{a.warningEv, a.evictionEv, a.hourEv} {
-		if ev != nil {
-			ev.Cancel()
-		}
+	if a.warningEv != nil {
+		a.warningEv.Cancel()
+	}
+	if a.evictionEv != nil {
+		a.evictionEv.Cancel()
+	}
+	if a.hourEv != nil {
+		a.hourEv.Cancel()
 	}
 }
 
@@ -536,22 +650,47 @@ func allocKind(a *Allocation) string {
 }
 
 // observeGrant records a granted allocation and opens its lifecycle span.
-func (m *Market) observeGrant(a *Allocation) {
-	m.obsv.Reg().Counter("proteus_market_grants_total", "allocations granted",
-		obs.L("kind", allocKind(a)), obs.L("type", a.Type.Name)).Inc()
+func (m *Market) observeGrant(ts *typeState, a *Allocation) {
+	hc := &ts.grantsSpot
+	if a.OnDemand {
+		hc = &ts.grantsOnDemand
+	}
+	if !hc.done {
+		hc.c = m.obsv.Reg().Counter("proteus_market_grants_total", "allocations granted",
+			obs.L("kind", allocKind(a)), obs.L("type", a.Type.Name))
+		hc.done = true
+	}
+	hc.c.Inc()
 	m.updateActiveGauges()
-	a.span = m.obsv.Trace().Start("market", "allocation").
-		Detailf("alloc %d: %dx %s %s bid=%.4f", a.ID, a.Count, a.Type.Name, allocKind(a), a.Bid)
+	// Guard span construction so a run with tracing off skips the
+	// Detailf formatting (and its argument boxing) entirely.
+	if tr := m.obsv.Trace(); tr != nil {
+		a.span = tr.Start("market", "allocation").
+			Detailf("alloc %d: %dx %s %s bid=%.4f", a.ID, a.Count, a.Type.Name, allocKind(a), a.Bid)
+	}
 }
 
 // observeEnd records an allocation leaving the market (outcome is
 // "evicted" or "terminated") and closes its lifecycle span.
 func (m *Market) observeEnd(a *Allocation, outcome string) {
-	m.obsv.Reg().Counter("proteus_market_allocations_ended_total", "allocations ended",
-		obs.L("outcome", outcome), obs.L("type", a.Type.Name)).Inc()
-	m.obsv.Reg().Histogram("proteus_market_allocation_lifetime_hours",
-		"allocation lifetime from grant to end",
-		[]float64{0.25, 0.5, 1, 2, 4, 8, 24, 72}).Observe((a.endedAt - a.StartedAt).Hours())
+	ts := m.catalog[a.Type.Name]
+	hc := &ts.endedTerm
+	if outcome == "evicted" {
+		hc = &ts.endedEvicted
+	}
+	if !hc.done {
+		hc.c = m.obsv.Reg().Counter("proteus_market_allocations_ended_total", "allocations ended",
+			obs.L("outcome", outcome), obs.L("type", a.Type.Name))
+		hc.done = true
+	}
+	hc.c.Inc()
+	if !m.lifetime.done {
+		m.lifetime.h = m.obsv.Reg().Histogram("proteus_market_allocation_lifetime_hours",
+			"allocation lifetime from grant to end",
+			[]float64{0.25, 0.5, 1, 2, 4, 8, 24, 72})
+		m.lifetime.done = true
+	}
+	m.lifetime.h.Observe((a.endedAt - a.StartedAt).Hours())
 	m.updateActiveGauges()
 	if a.span != nil {
 		a.span.Detailf("alloc %d: %dx %s %s %s after %v",
@@ -562,17 +701,23 @@ func (m *Market) observeEnd(a *Allocation, outcome string) {
 
 // updateActiveGauges refreshes the running allocation and instance counts.
 func (m *Market) updateActiveGauges() {
-	reg := m.obsv.Reg()
-	if reg == nil {
+	if m.obsv.Reg() == nil {
 		return
 	}
-	allocs, instances := 0, 0
-	for _, a := range m.allocs {
-		if a.state == Active || a.state == Warned {
-			allocs++
-			instances += a.Count
-		}
+	instances := 0
+	for _, a := range m.active {
+		instances += a.Count
 	}
-	reg.Gauge("proteus_market_active_allocations", "allocations currently running").Set(float64(allocs))
-	reg.Gauge("proteus_market_active_instances", "instances currently running").Set(float64(instances))
+	if !m.activeAllocs.done {
+		m.activeAllocs.g = m.obsv.Reg().Gauge("proteus_market_active_allocations",
+			"allocations currently running")
+		m.activeAllocs.done = true
+	}
+	m.activeAllocs.g.Set(float64(len(m.active)))
+	if !m.activeInstances.done {
+		m.activeInstances.g = m.obsv.Reg().Gauge("proteus_market_active_instances",
+			"instances currently running")
+		m.activeInstances.done = true
+	}
+	m.activeInstances.g.Set(float64(instances))
 }

@@ -348,7 +348,7 @@ func (s *Scheduler) Submit(job Job) error {
 			j.job.Arrival = now - s.startAt
 		}
 		j.lastAccrue = now
-		s.eng.At(at, "sched.arrival", func() { s.arrive(j) })
+		s.eng.AtTransient(at, "sched.arrival", func() { s.arrive(j) })
 	}
 	s.jobs = append(s.jobs, j)
 	s.byID[job.ID] = j
@@ -410,7 +410,7 @@ func (s *Scheduler) startJobsLocked() error {
 	for _, j := range s.jobs {
 		j.lastAccrue = s.startAt
 		jr := j
-		s.eng.At(s.startAt+jr.job.Arrival, "sched.arrival", func() { s.arrive(jr) })
+		s.eng.AtTransient(s.startAt+jr.job.Arrival, "sched.arrival", func() { s.arrive(jr) })
 	}
 	return nil
 }
@@ -948,7 +948,7 @@ func (s *Scheduler) scheduleHourEnd(ba *brokerAlloc) {
 	if at <= now {
 		at = ba.alloc.HourEnd(now) + trace.BillingHour - preHourLead
 	}
-	s.eng.At(at, "sched.hourEnd", func() {
+	s.eng.AtTransient(at, "sched.hourEnd", func() {
 		cur, ok := s.allocs[ba.alloc.ID]
 		if !ok || cur != ba {
 			return

@@ -23,7 +23,10 @@ type Event struct {
 	name string
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
-	index    int
+	// transient events were scheduled with AtTransient: no caller holds a
+	// handle, so the engine recycles the struct after the event fires.
+	transient bool
+	index     int
 }
 
 // At reports the virtual time this event fires at.
@@ -78,6 +81,43 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	// slab is the tail of the current event chunk: events are carved out
+	// of 256-struct arrays so a multi-month run costs one heap allocation
+	// per 256 events instead of one each. Handed-out structs are never
+	// recycled into new events unless they were transient (no handle
+	// exists that could observe the reuse).
+	slab []Event
+	// free holds fired transient events ready for reuse.
+	free []*Event
+}
+
+// slabSize is the event chunk size; large enough to amortize allocation,
+// small enough that a short run wastes little.
+const slabSize = 256
+
+// alloc returns a zeroed Event, preferring the transient free list, then
+// the current slab chunk.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{}
+		return ev
+	}
+	if len(e.slab) == 0 {
+		e.slab = make([]Event, slabSize)
+	}
+	ev := &e.slab[0]
+	e.slab = e.slab[1:]
+	return ev
+}
+
+// recycle returns a fired transient event to the free list, dropping its
+// callback so the engine does not pin the closure's captures.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -102,10 +142,25 @@ func (e *Engine) At(t time.Duration, name string, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, name: name}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn, ev.name = t, e.seq, fn, name
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// AtTransient schedules fn like At but returns no handle: the engine
+// recycles the event's storage after it fires. Use for fire-and-forget
+// callbacks that are never canceled — the arrival pumps and decision
+// points a long run schedules by the hundreds of thousands.
+func (e *Engine) AtTransient(t time.Duration, name string, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, t, e.now))
+	}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn, ev.name, ev.transient = t, e.seq, fn, name, true
+	e.seq++
+	heap.Push(&e.events, ev)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -123,6 +178,17 @@ func (e *Engine) Every(period time.Duration, name string, fn func()) *Ticker {
 		panic(fmt.Sprintf("sim: non-positive period %v for %q", period, name))
 	}
 	t := &Ticker{engine: e, period: period, name: name, fn: fn}
+	// One wrapper closure for the ticker's whole life; schedule() re-arms
+	// the same Event struct, so a steady tick allocates nothing.
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	}
 	t.schedule()
 	return t
 }
@@ -154,7 +220,13 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		if ev.transient {
+			// Recycle before running fn: no handle exists, and fn itself
+			// may schedule the event's successor into the freed struct.
+			e.recycle(ev)
+		}
+		fn()
 		return true
 	}
 	return false
@@ -192,20 +264,26 @@ type Ticker struct {
 	period  time.Duration
 	name    string
 	fn      func()
+	tick    func() // wrapper installed by Every; shared by every tick
 	ev      *Event
 	stopped bool
 }
 
+// schedule arms the next tick. The first call allocates the ticker's
+// Event; later calls re-push the just-fired struct with a fresh sequence
+// number — drawn at exactly the point the old allocate-per-tick code
+// drew it (after fn ran), so event ordering is unchanged.
 func (t *Ticker) schedule() {
-	t.ev = t.engine.After(t.period, t.name, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	e := t.engine
+	at := e.now + t.period
+	if t.ev == nil {
+		t.ev = e.At(at, t.name, t.tick)
+		return
+	}
+	ev := t.ev
+	ev.at, ev.seq, ev.canceled = at, e.seq, false
+	e.seq++
+	heap.Push(&e.events, ev)
 }
 
 // Stop cancels future ticks. It is safe to call from inside the tick

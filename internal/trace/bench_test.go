@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// benchTrace is a 30-day history at the default generator settings —
+// the same shape NewEnv trains β on.
+func benchTrace(b *testing.B) *Trace {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return Generate("c4.2xlarge", "bench", 30*24*time.Hour, DefaultGenConfig(0.419), rng)
+}
+
+// BenchmarkBuildBetaTable times the β-table training kernel (§4.1): the
+// full default delta grid at the default per-delta sample count, serial.
+// This is the single most executed kernel of a RunSchemes cell — every
+// (scheme, zone, sample) task trains one table per catalog type.
+func BenchmarkBuildBetaTable(b *testing.B) {
+	tr := benchTrace(b)
+	deltas := DefaultDeltas()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bt *BetaTable
+	for i := 0; i < b.N; i++ {
+		bt = BuildBetaTable(tr, deltas, 400, 1)
+	}
+	b.ReportMetric(bt.Stats[0].Beta, "beta-at-min-delta")
+}
+
+// BenchmarkEstimateEviction times one delta's Monte-Carlo estimate.
+func BenchmarkEstimateEviction(b *testing.B) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		EstimateEviction(tr, 0.01, 400, rng)
+	}
+}
+
+// BenchmarkMeanPrice times the time-weighted mean over a 20-day window.
+func BenchmarkMeanPrice(b *testing.B) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = tr.MeanPrice(24*time.Hour, 21*24*time.Hour)
+	}
+	_ = v
+}
+
+// BenchmarkComputeStats times the Fig. 3 trace characterization.
+func BenchmarkComputeStats(b *testing.B) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeStats(tr, 0.419); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

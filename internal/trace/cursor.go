@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Cursor is a stateful reader over one Trace optimized for the access
+// pattern every simulation consumer has: query times that move forward
+// almost always, and occasionally jump back (a re-armed eviction scan, a
+// fresh sample window). It answers the same questions as the Trace
+// methods of the same names — bit-identical results, asserted by
+// TestCursorMatchesSearchPaths — but amortizes the point lookup:
+//
+//   - monotone (non-decreasing) query times advance an index with a
+//     short linear walk, O(1) amortized over a sweep;
+//   - a long forward jump gives up on walking after a few steps and
+//     binary-searches the remaining suffix;
+//   - a backward seek falls back to a binary search of the prefix.
+//
+// The zero Cursor is not usable; obtain cursors with NewCursor. A Cursor
+// holds mutable position state and must not be shared between goroutines;
+// the underlying Trace is read-only and may be shared freely.
+type Cursor struct {
+	tr *Trace
+	i  int // index of the last point with At <= previous query time
+}
+
+// NewCursor returns a cursor positioned at the start of the trace.
+func NewCursor(tr *Trace) *Cursor {
+	return &Cursor{tr: tr}
+}
+
+// seekWalkLimit bounds the linear advance before a forward seek falls
+// back to binary search. Sweeps touch adjacent points, so the walk
+// almost always terminates within a step or two; the limit only matters
+// for long jumps (e.g. a cursor reused across distant sample windows).
+const seekWalkLimit = 16
+
+// seek positions the cursor at the last point with At <= t and returns
+// that index. Times before the first point return index 0.
+func (c *Cursor) seek(t time.Duration) int {
+	pts := c.tr.Points
+	i := c.i
+	if i >= len(pts) {
+		i = len(pts) - 1
+	}
+	if t < pts[i].At {
+		// Backward seek: the answer lies strictly left of i.
+		j := sort.Search(i, func(k int) bool { return pts[k].At > t })
+		if j > 0 {
+			j--
+		}
+		i = j
+	} else {
+		steps := 0
+		for i+1 < len(pts) && pts[i+1].At <= t {
+			i++
+			steps++
+			if steps == seekWalkLimit {
+				// Long forward jump: binary-search the suffix.
+				i += sort.Search(len(pts)-(i+1), func(k int) bool { return pts[i+1+k].At > t })
+				break
+			}
+		}
+	}
+	c.i = i
+	return i
+}
+
+// PriceAt returns the market price in effect at time t, equal to
+// (*Trace).PriceAt for every t.
+func (c *Cursor) PriceAt(t time.Duration) float64 {
+	return c.tr.Points[c.seek(t)].Price
+}
+
+// NextChange returns the time of the first price change strictly after
+// t, and false if none remains — equal to (*Trace).NextChange.
+func (c *Cursor) NextChange(t time.Duration) (time.Duration, bool) {
+	pts := c.tr.Points
+	i := c.seek(t)
+	if t < pts[0].At {
+		return pts[0].At, true
+	}
+	if i+1 >= len(pts) {
+		return 0, false
+	}
+	return pts[i+1].At, true
+}
+
+// FirstCrossingAbove returns the earliest time in (from, horizon] at
+// which the price strictly exceeds threshold, and false if it never does
+// — equal to (*Trace).FirstCrossingAbove. The scan walks points with a
+// local index, so the cursor itself stays positioned at `from`: a
+// subsequent query at a time >= from (the common monotone case) still
+// advances in O(1) amortized instead of re-seeking past the scan window.
+func (c *Cursor) FirstCrossingAbove(threshold float64, from, horizon time.Duration) (time.Duration, bool) {
+	pts := c.tr.Points
+	i := c.seek(from)
+	if pts[i].Price > threshold {
+		return from, true
+	}
+	for j := i + 1; j < len(pts); j++ {
+		if pts[j].At > horizon {
+			return 0, false
+		}
+		if pts[j].Price > threshold {
+			return pts[j].At, true
+		}
+	}
+	return 0, false
+}
+
+// MeanPrice returns the time-weighted mean price over [from, to], equal
+// to (*Trace).MeanPrice (both delegate to the prefix-sum integral).
+func (c *Cursor) MeanPrice(from, to time.Duration) float64 {
+	return c.tr.MeanPrice(from, to)
+}

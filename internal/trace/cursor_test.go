@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCursorMatchesSearchPaths is the cursor's equivalence contract: for
+// monotone, repeated, and backward query sequences, every Cursor answer
+// must equal the binary-search Trace method it replaces — same bits,
+// including the found/ok flags. The query streams deliberately exercise
+// the cursor's three seek regimes (short walk, long forward jump past
+// the walk limit, backward binary search).
+func TestCursorMatchesSearchPaths(t *testing.T) {
+	onDemand := 0.419
+	tr := Generate("c4.2xlarge", "z", 10*24*time.Hour, DefaultGenConfig(onDemand), rand.New(rand.NewSource(11)))
+	dur := tr.Duration()
+
+	checkOn := func(t *testing.T, tr *Trace, cur *Cursor, q time.Duration) {
+		t.Helper()
+		if got, want := cur.PriceAt(q), tr.PriceAt(q); got != want {
+			t.Fatalf("PriceAt(%v) = %v, want %v", q, got, want)
+		}
+		gotAt, gotOK := cur.NextChange(q)
+		wantAt, wantOK := tr.NextChange(q)
+		if gotAt != wantAt || gotOK != wantOK {
+			t.Fatalf("NextChange(%v) = %v,%v want %v,%v", q, gotAt, gotOK, wantAt, wantOK)
+		}
+		for _, thr := range []float64{0.05, onDemand * 0.5, onDemand, onDemand * 2} {
+			horizon := q + BillingHour
+			gotAt, gotOK := cur.FirstCrossingAbove(thr, q, horizon)
+			wantAt, wantOK := tr.FirstCrossingAbove(thr, q, horizon)
+			if gotAt != wantAt || gotOK != wantOK {
+				t.Fatalf("FirstCrossingAbove(%v, %v) = %v,%v want %v,%v",
+					thr, q, gotAt, gotOK, wantAt, wantOK)
+			}
+		}
+	}
+	check := func(t *testing.T, cur *Cursor, q time.Duration) {
+		t.Helper()
+		checkOn(t, tr, cur, q)
+	}
+
+	t.Run("monotone", func(t *testing.T) {
+		// Fine steps (walk regime) and coarse jumps (binary-search
+		// fallback past the walk limit), interleaved.
+		cur := NewCursor(tr)
+		for q := time.Duration(0); q <= dur; q += 7 * time.Minute {
+			check(t, cur, q)
+		}
+		cur = NewCursor(tr)
+		for q := time.Duration(0); q <= dur; q += 9 * time.Hour {
+			check(t, cur, q)
+		}
+	})
+
+	t.Run("repeated", func(t *testing.T) {
+		cur := NewCursor(tr)
+		for q := time.Duration(0); q <= dur; q += 3 * time.Hour {
+			check(t, cur, q)
+			check(t, cur, q) // identical query twice: zero-step walk
+			check(t, cur, q)
+		}
+	})
+
+	t.Run("backward", func(t *testing.T) {
+		// Random jumps in both directions, including exact point times
+		// and times before the first point.
+		cur := NewCursor(tr)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 4000; i++ {
+			q := time.Duration(rng.Int63n(int64(dur) + 1))
+			if i%17 == 0 {
+				q = tr.Points[rng.Intn(len(tr.Points))].At
+			}
+			check(t, cur, q)
+		}
+		// Sweep strictly backward from the end.
+		cur = NewCursor(tr)
+		for q := dur; q >= 0; q -= 11 * time.Minute {
+			check(t, cur, q)
+		}
+	})
+
+	t.Run("before-first-point", func(t *testing.T) {
+		// Synthetic trace whose history starts after t=0: queries before
+		// the first point exercise the clamp in both implementations.
+		late := &Trace{
+			InstanceType: "x",
+			Zone:         "z",
+			Points: []Point{
+				{At: time.Hour, Price: 0.10},
+				{At: 2 * time.Hour, Price: 0.30},
+				{At: 3 * time.Hour, Price: 0.05},
+			},
+		}
+		cur := NewCursor(late)
+		for _, q := range []time.Duration{0, time.Minute, time.Hour - 1, time.Hour,
+			90 * time.Minute, 3 * time.Hour, 4 * time.Hour, time.Minute} {
+			checkOn(t, late, cur, q)
+		}
+	})
+}
+
+// TestCursorMeanPriceMatchesTrace pins the cursor's MeanPrice delegation.
+func TestCursorMeanPriceMatchesTrace(t *testing.T) {
+	tr := Generate("c4.xlarge", "z", 3*24*time.Hour, DefaultGenConfig(0.209), rand.New(rand.NewSource(3)))
+	cur := NewCursor(tr)
+	for from := time.Duration(0); from < tr.Duration(); from += 5 * time.Hour {
+		to := from + 7*time.Hour
+		if got, want := cur.MeanPrice(from, to), tr.MeanPrice(from, to); got != want {
+			t.Fatalf("MeanPrice(%v,%v) = %v, want %v", from, to, got, want)
+		}
+	}
+}

@@ -32,6 +32,15 @@ const BillingHour = time.Hour
 // times it bids PriceAt(start)+delta and records whether the price crosses
 // above the bid within the billing hour, and when. The rng makes sampling
 // deterministic per seed.
+//
+// The kernel draws every start first (the identical rng stream the old
+// per-sample loop consumed — one Int63n per sample, nothing else), sorts
+// the starts, and sweeps one Cursor over the trace in start order. That
+// replaces two binary searches per price-change step per sample with an
+// amortized-O(1) cursor advance plus a bounded linear walk over the
+// sample's billing-hour window. β is a count and the median is taken
+// after sorting the times-to-eviction, so processing samples in sorted
+// rather than drawn order changes no output bit.
 func EstimateEviction(tr *Trace, delta float64, sampleCount int, rng *rand.Rand) EvictionStats {
 	if sampleCount <= 0 {
 		panic("trace: sampleCount must be positive")
@@ -42,11 +51,18 @@ func EstimateEviction(tr *Trace, delta float64, sampleCount int, rng *rand.Rand)
 		horizonMax = 1
 	}
 	stats := EvictionStats{BidDelta: delta, Samples: sampleCount}
-	var ttes []float64
-	for i := 0; i < sampleCount; i++ {
-		start := time.Duration(rng.Int63n(int64(horizonMax)))
-		bid := tr.PriceAt(start) + delta
-		cross, evicted := tr.FirstCrossingAbove(bid, start, start+BillingHour)
+	starts := make([]int64, sampleCount)
+	for i := range starts {
+		starts[i] = rng.Int63n(int64(horizonMax))
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	cur := NewCursor(tr)
+	ttes := make([]float64, 0, sampleCount)
+	for _, s := range starts {
+		start := time.Duration(s)
+		bid := cur.PriceAt(start) + delta
+		cross, evicted := cur.FirstCrossingAbove(bid, start, start+BillingHour)
 		if evicted {
 			stats.EvictedSamples++
 			ttes = append(ttes, float64(cross-start))

@@ -45,7 +45,6 @@ func ComputeStats(tr *Trace, onDemand float64) (Stats, error) {
 		MinPrice:     tr.Points[0].Price,
 		MaxPrice:     tr.Points[0].Price,
 	}
-	var weighted float64
 	var aboveTime time.Duration
 	var spikeStart time.Duration
 	inSpike := false
@@ -61,7 +60,6 @@ func ComputeStats(tr *Trace, onDemand float64) (Stats, error) {
 			end = tr.Points[i+1].At
 		}
 		span := end - p.At
-		weighted += p.Price * float64(span)
 		above := p.Price > onDemand
 		if above {
 			aboveTime += span
@@ -82,11 +80,14 @@ func ComputeStats(tr *Trace, onDemand float64) (Stats, error) {
 	if s.Spikes > 0 {
 		s.MeanSpikeDuration /= time.Duration(s.Spikes)
 	}
+	// One mean implementation for the whole package: the prefix-sum
+	// integral behind (*Trace).MeanPrice. Its cumulative array is built
+	// in the same left-to-right order as the stepwise sum this replaced,
+	// so the Fig. 3 stats are bit-for-bit unchanged (pinned by
+	// TestComputeStatsGoldenFig3).
+	s.MeanPrice = tr.MeanPrice(0, s.Duration)
 	if s.Duration > 0 {
-		s.MeanPrice = weighted / float64(s.Duration)
 		s.TimeAboveOnDemand = float64(aboveTime) / float64(s.Duration)
-	} else {
-		s.MeanPrice = tr.Points[0].Price
 	}
 	s.MeanDiscount = 1 - s.MeanPrice/onDemand
 	return s, nil

@@ -84,3 +84,45 @@ func TestComputeStatsValidation(t *testing.T) {
 		t.Fatal("zero on-demand accepted")
 	}
 }
+
+// TestComputeStatsGoldenFig3 pins the exact Fig. 3-style trace statistics
+// for one generated history. These are bit-for-bit golden values: the
+// prefix-sum mean that replaced the stepwise accumulation in ComputeStats
+// builds its cumulative sums in the same left-to-right order, so any
+// future change that alters a single bit of these outputs is a behavior
+// change, not an optimization.
+func TestComputeStatsGoldenFig3(t *testing.T) {
+	onDemand := 0.419
+	tr := Generate("c4.2xlarge", "us-east-1a", 6*24*time.Hour, DefaultGenConfig(onDemand), rand.New(rand.NewSource(7)))
+	s, err := ComputeStats(tr, onDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Changes != 929 {
+		t.Errorf("Changes = %d, want 929", s.Changes)
+	}
+	if got := int64(s.Duration); got != 518344646575383 {
+		t.Errorf("Duration = %d, want 518344646575383", got)
+	}
+	if s.MeanPrice != 0.17920823682684367 {
+		t.Errorf("MeanPrice = %.17g, want 0.17920823682684367", s.MeanPrice)
+	}
+	if s.MinPrice != 0.0964 {
+		t.Errorf("MinPrice = %.17g, want 0.0964", s.MinPrice)
+	}
+	if s.MaxPrice != 1.2422 {
+		t.Errorf("MaxPrice = %.17g, want 1.2422", s.MaxPrice)
+	}
+	if s.MeanDiscount != 0.57229537750156645 {
+		t.Errorf("MeanDiscount = %.17g, want 0.57229537750156645", s.MeanDiscount)
+	}
+	if s.TimeAboveOnDemand != 0.099273529053666931 {
+		t.Errorf("TimeAboveOnDemand = %.17g, want 0.099273529053666931", s.TimeAboveOnDemand)
+	}
+	if s.Spikes != 23 {
+		t.Errorf("Spikes = %d, want 23", s.Spikes)
+	}
+	if got := int64(s.MeanSpikeDuration); got != 2237300101374 {
+		t.Errorf("MeanSpikeDuration = %d, want 2237300101374", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -26,10 +27,21 @@ type Point struct {
 }
 
 // Trace is a price history for one instance type in one zone.
+//
+// The Points slice and the lazily-built prefix-sum integral are
+// read-only after construction, so one Trace may be shared across
+// goroutines (each holding its own Cursor).
 type Trace struct {
 	InstanceType string
 	Zone         string
 	Points       []Point
+
+	// integral[i] is ∫ price dt over [Points[0].At, Points[i].At] in
+	// dollar·nanoseconds, accumulated left to right — the identical
+	// summation order the stepwise MeanPrice/ComputeStats loops used, so
+	// whole-trace means are bit-for-bit unchanged. Built on first use.
+	integralOnce sync.Once
+	integral     []float64
 }
 
 // Validate checks the structural invariants: at least one point, the first
@@ -103,22 +115,42 @@ func (tr *Trace) FirstCrossingAbove(threshold float64, from, horizon time.Durati
 	}
 }
 
-// MeanPrice returns the time-weighted mean price over [from, to].
+// prefixIntegral returns the lazily-built cumulative price integral.
+// Safe for concurrent first use (sync.Once).
+func (tr *Trace) prefixIntegral() []float64 {
+	tr.integralOnce.Do(func() {
+		cum := make([]float64, len(tr.Points))
+		var sum float64
+		for i := 0; i+1 < len(tr.Points); i++ {
+			sum += tr.Points[i].Price * float64(tr.Points[i+1].At-tr.Points[i].At)
+			cum[i+1] = sum
+		}
+		tr.integral = cum
+	})
+	return tr.integral
+}
+
+// IntegralTo reports ∫ price dt from the first point's time to t, in
+// dollar·nanoseconds, treating the price before the first point as the
+// first price (times before the first point therefore contribute a
+// negative term). One binary search plus an O(1) correction.
+func (tr *Trace) IntegralTo(t time.Duration) float64 {
+	cum := tr.prefixIntegral()
+	i := sort.Search(len(tr.Points), func(i int) bool { return tr.Points[i].At > t })
+	if i > 0 {
+		i--
+	}
+	return cum[i] + tr.Points[i].Price*float64(t-tr.Points[i].At)
+}
+
+// MeanPrice returns the time-weighted mean price over [from, to] as a
+// difference of two prefix-sum integrals: O(log n) per query instead of
+// a stepwise walk over every price change in the window.
 func (tr *Trace) MeanPrice(from, to time.Duration) float64 {
 	if to <= from {
 		return tr.PriceAt(from)
 	}
-	var weighted float64
-	t := from
-	for t < to {
-		next, ok := tr.NextChange(t)
-		if !ok || next > to {
-			next = to
-		}
-		weighted += tr.PriceAt(t) * float64(next-t)
-		t = next
-	}
-	return weighted / float64(to-from)
+	return (tr.IntegralTo(to) - tr.IntegralTo(from)) / float64(to-from)
 }
 
 // Set bundles traces for several instance types in one zone, as BidBrain
@@ -223,11 +255,30 @@ func Generate(instanceType, zone string, duration time.Duration, cfg GenConfig, 
 	}
 	sort.Slice(spikes, func(i, j int) bool { return spikes[i].start < spikes[j].start })
 
+	// Price queries arrive in non-decreasing time order, so instead of
+	// scanning every spike per query (O(spikes) each — a double-digit
+	// share of a profiled experiment run), sweep an index over the
+	// sorted spikes and keep the currently-open ones in a small active
+	// list. The active list preserves start order, so the first match is
+	// the same spike the full scan would have found, and the rng draw
+	// sequence — one draw per price query — is untouched.
+	var active []spike
+	spikeIdx := 0
 	inSpike := func(t time.Duration) (float64, bool) {
-		for _, sp := range spikes {
-			if t >= sp.start && t < sp.end {
-				return sp.peak, true
+		for spikeIdx < len(spikes) && spikes[spikeIdx].start <= t {
+			active = append(active, spikes[spikeIdx])
+			spikeIdx++
+		}
+		k := 0
+		for _, sp := range active {
+			if t < sp.end {
+				active[k] = sp
+				k++
 			}
+		}
+		active = active[:k]
+		if len(active) > 0 {
+			return active[0].peak, true
 		}
 		return 0, false
 	}
@@ -248,6 +299,20 @@ func Generate(instanceType, zone string, duration time.Duration, cfg GenConfig, 
 		return round4(p)
 	}
 
+	// Merged sorted spike boundaries: the per-step clamp below needs only
+	// the first boundary strictly after t, so a monotone index over this
+	// list replaces the original min-scan over every spike.
+	bounds := make([]time.Duration, 0, 2*len(spikes))
+	for _, sp := range spikes {
+		bounds = append(bounds, sp.start, sp.end)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	boundIdx := 0
+
+	// Expected points: one per mean step interval, plus the forced spike
+	// boundaries. Capacity only; growth still works if the draw runs hot.
+	tr.Points = make([]Point, 0, int(duration/cfg.StepEvery)+len(bounds)+2)
+
 	t := time.Duration(0)
 	tr.Points = append(tr.Points, Point{At: 0, Price: price(0)})
 	for t < duration {
@@ -258,13 +323,11 @@ func Generate(instanceType, zone string, duration time.Duration, cfg GenConfig, 
 			step = time.Minute
 		}
 		next := t + step
-		for _, sp := range spikes {
-			if sp.start > t && sp.start < next {
-				next = sp.start
-			}
-			if sp.end > t && sp.end < next {
-				next = sp.end
-			}
+		for boundIdx < len(bounds) && bounds[boundIdx] <= t {
+			boundIdx++
+		}
+		if boundIdx < len(bounds) && bounds[boundIdx] < next {
+			next = bounds[boundIdx]
 		}
 		if next > duration {
 			break
