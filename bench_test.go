@@ -21,6 +21,7 @@ import (
 	"proteus/internal/experiments"
 	"proteus/internal/market"
 	"proteus/internal/ml/mf"
+	"proteus/internal/obs"
 	"proteus/internal/perfmodel"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
@@ -263,6 +264,46 @@ func BenchmarkLiveFullStack(b *testing.B) {
 	b.ReportMetric(res.Objective, "final-rmse")
 	b.ReportMetric(res.Cost, "$")
 	b.ReportMetric(res.Runtime.Hours(), "virtual-hrs")
+}
+
+// BenchmarkSpanTree times the causal-tracing hot path the control plane
+// adds to every job: emitting one job-shaped trace (lifecycle events,
+// lease subtrees carrying bid/acquire/eviction events) and assembling
+// it into the rooted tree GET /v1/jobs/{id}/trace serves. Gated in CI
+// next to BenchmarkRunSchemesSerial, since every scheduled job pays
+// this cost whether or not anyone reads the trace.
+func BenchmarkSpanTree(b *testing.B) {
+	b.ReportAllocs()
+	var roots []*obs.TraceNode
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTracer(nil)
+		traceID := obs.NewTraceID(1, uint64(i))
+		root := tr.StartTrace(traceID, "sched", "job")
+		root.Eventf("server", "submit", "accepted")
+		root.Eventf("sched", "queued", "position 0")
+		root.Eventf("sched", "admitted", "admitted")
+		root.Eventf("sched", "running", "running")
+		for l := 0; l < 8; l++ {
+			lease := root.Child("sched", "lease")
+			lease.Eventf("bidbrain", "bid", "decision: acquire")
+			lease.Eventf("core", "acquire", "alloc %d", l)
+			for e := 0; e < 16; e++ {
+				lease.Eventf("agileml", "incorporate", "event %d", e)
+			}
+			lease.Eventf("core", "eviction-warning", "draining")
+			lease.Eventf("core", "refund", "refunded")
+			lease.End()
+		}
+		root.Eventf("sched", "done", "complete")
+		root.End()
+		roots = obs.BuildTree(tr.TraceSpans(traceID))
+		if len(roots) != 1 {
+			b.Fatal("tree not rooted")
+		}
+	}
+	if n := len(roots[0].Children); n == 0 {
+		b.Fatal("empty tree")
+	}
 }
 
 // BenchmarkSchedulerMultiTenant times the multi-tenant control plane:

@@ -58,6 +58,11 @@ func main() {
 	jobsFile := flag.String("jobs-file", "", "run the JSON job mix at this path through the multi-tenant scheduler")
 	policy := flag.String("policy", "fair", "multi-tenant placement policy: fair, cost-greedy, deadline")
 	serve := flag.Bool("serve", false, "run the multi-tenant scheduler as a long-running HTTP control plane")
+	slo := flag.Bool("slo", false, "run the control-plane SLO smoke test: serve in-process, submit a burst, assert p99 latency, rooted trace trees, and zero dropped spans")
+	sloJobs := flag.Int("slo-jobs", 12, "with -slo, tenant jobs in the burst")
+	sloP99 := flag.Float64("slo-p99-ms", 250, "with -slo, wall-clock budget for p99 submit latency")
+	sloAdmitP99 := flag.Float64("slo-admit-p99-s", 900, "with -slo, virtual-seconds budget for p99 admission wait")
+	sloFlightOut := flag.String("slo-flight-out", "", "with -slo, write the flight-recorder dump here on failure")
 	addr := flag.String("addr", ":8080", "with -serve, the listen address for the control-plane API")
 	speedup := flag.Float64("speedup", 60, "with -serve, virtual seconds per wall second while jobs run (0 = as fast as possible)")
 	days := flag.Int("days", 0, "market evaluation window in days (0 keeps the default)")
@@ -85,10 +90,27 @@ func main() {
 
 	oo := obsOutputs{metricsOut: *metricsOut, traceOut: *traceOut, metricsAddr: *metricsAddr}
 	var o *obs.Observer
-	if oo.enabled() || *serve {
+	if oo.enabled() || *serve || *slo {
 		o = obs.NewObserver(nil)
 	}
 	cfg.Observer = o
+
+	if *slo {
+		err := runSLO(cfg, o, sloConfig{
+			jobs:       *sloJobs,
+			p99MS:      *sloP99,
+			admitP99S:  *sloAdmitP99,
+			flightOut:  *sloFlightOut,
+			policyName: *policy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := oo.write(o); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *serve {
 		if err := runServe(ctx, cfg, o, *policy, *addr, *speedup); err != nil {

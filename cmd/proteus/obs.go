@@ -74,10 +74,10 @@ func (oo obsOutputs) serve(ctx context.Context, o *obs.Observer) (<-chan error, 
 	if oo.metricsAddr == "" || o == nil {
 		return nil, nil
 	}
-	done, addr, err := serveHTTP(ctx, oo.metricsAddr, o.Reg().Mux())
+	done, addr, err := serveHTTP(ctx, oo.metricsAddr, o.Mux())
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("serving /metrics and /debug/pprof on %s", addr)
+	log.Printf("serving /metrics, /debug/flight, and /debug/pprof on %s", addr)
 	return done, nil
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"proteus/internal/bidbrain"
 	"proteus/internal/experiments"
@@ -56,6 +59,21 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 	}
 	log.Printf("control plane on http://%s — POST /v1/jobs, GET /v1/jobs, /v1/stats, /v1/timeline, /metrics (ctrl-c drains and exits)", lnAddr)
 	log.Printf("market: %d-day horizon, seed %d, policy %s, speedup %.0fx", cfg.EvalDays, cfg.Seed, policy.Name(), speedup)
+
+	// SIGQUIT dumps the flight recorder — the last spans across every
+	// component plus whatever is still open — without stopping the
+	// service, for "what is it doing right now" triage.
+	quitC := make(chan os.Signal, 1)
+	signal.Notify(quitC, syscall.SIGQUIT)
+	defer signal.Stop(quitC)
+	go func() {
+		for range quitC {
+			log.Printf("SIGQUIT: dumping flight recorder to stderr")
+			if err := o.FlightRecorder().WriteJSON(os.Stderr); err != nil {
+				log.Printf("flight dump: %v", err)
+			}
+		}
+	}()
 
 	res, err := sc.Serve(ctx, sched.ServeConfig{Speedup: speedup})
 	stopHTTP()

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/experiments"
+	"proteus/internal/obs"
+	"proteus/internal/sched"
+	"proteus/internal/server"
+)
+
+// sloConfig carries the -slo smoke-test budgets.
+type sloConfig struct {
+	jobs       int     // tenant jobs to submit in one bulk POST
+	p99MS      float64 // wall-clock budget for p99 submit latency
+	admitP99S  float64 // virtual-seconds budget for p99 admission wait
+	flightOut  string  // flight-recorder dump path on failure ("" = skip)
+	policyName string
+}
+
+// runSLO is the control plane's service-level smoke test: it serves the
+// scheduler in-process on a loopback port, submits a burst of jobs over
+// the real HTTP API, drains, and then asserts the run's health from the
+// outside — every job finished with a fully-connected causal trace tree,
+// p99 latencies within budget, and zero dropped spans or events. On
+// failure it writes the flight-recorder dump for offline triage and
+// reports every violated assertion at once.
+//
+// The burst is a single POST issued while the scheduler is idle; virtual
+// time does not advance while idle, so every job arrives at the same
+// virtual instant and the run is deterministic for a given seed.
+func runSLO(cfg experiments.MarketConfig, o *obs.Observer, sc sloConfig) error {
+	policy, err := sched.PolicyByName(sc.policyName)
+	if err != nil {
+		return err
+	}
+	if o == nil {
+		o = obs.NewObserver(nil)
+	}
+	cfg.Observer = o
+	env, err := experiments.NewEnv(cfg, bidbrain.DefaultParams())
+	if err != nil {
+		return err
+	}
+	o.SetClock(env.Engine.Now)
+
+	scfg := experiments.SchedConfig(env.Brain, policy)
+	scfg.Observer = o
+	schd, err := sched.New(env.Engine, env.Market, scfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Scheduler: schd, Observer: o})
+	if err != nil {
+		return err
+	}
+
+	httpCtx, stopHTTP := context.WithCancel(context.Background())
+	defer stopHTTP()
+	httpDone, lnAddr, err := serveHTTP(httpCtx, "127.0.0.1:0", srv)
+	if err != nil {
+		return err
+	}
+	base := "http://" + lnAddr
+
+	serveCtx, drain := context.WithCancel(context.Background())
+	defer drain()
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := schd.Serve(serveCtx, sched.ServeConfig{}) // unpaced: as fast as possible
+		serveDone <- err
+	}()
+
+	log.Printf("slo smoke: %d jobs against %s (policy %s, seed %d)", sc.jobs, base, policy.Name(), cfg.Seed)
+	accepted, err := sloSubmit(base, sc.jobs)
+	if err != nil {
+		drain()
+		<-serveDone
+		return err
+	}
+
+	if err := sloAwaitDone(base, len(accepted), 2*time.Minute); err != nil {
+		drain()
+		<-serveDone
+		return sloFail(o, sc, []string{err.Error()})
+	}
+
+	// Drain and settle so every span (including the per-job roots) is
+	// closed before the trees are judged. The API stays up through this.
+	drain()
+	if err := <-serveDone; err != nil {
+		return err
+	}
+
+	var violations []string
+	for _, id := range accepted {
+		if msgs := sloCheckTrace(base, id); len(msgs) > 0 {
+			violations = append(violations, msgs...)
+		}
+	}
+	violations = append(violations, sloCheckBudgets(base, o, sc)...)
+
+	stopHTTP()
+	if herr := <-httpDone; herr != nil {
+		log.Printf("http server: %v", herr)
+	}
+	if len(violations) > 0 {
+		return sloFail(o, sc, violations)
+	}
+	fmt.Printf("slo smoke passed: %d jobs done, all trace trees rooted, zero dropped spans/events\n", len(accepted))
+	return nil
+}
+
+// sloFail writes the flight dump (if configured) and folds the
+// violations into one error.
+func sloFail(o *obs.Observer, sc sloConfig, violations []string) error {
+	if sc.flightOut != "" {
+		if f, err := os.Create(sc.flightOut); err != nil {
+			log.Printf("flight dump: %v", err)
+		} else {
+			if err := o.FlightRecorder().WriteJSON(f); err != nil {
+				log.Printf("flight dump: %v", err)
+			}
+			f.Close()
+			log.Printf("flight-recorder dump written to %s", sc.flightOut)
+		}
+	}
+	return fmt.Errorf("slo smoke failed:\n  - %s", strings.Join(violations, "\n  - "))
+}
+
+// sloSubmit bulk-POSTs the burst and returns the accepted job IDs.
+func sloSubmit(base string, n int) ([]int, error) {
+	entries := make([]map[string]any, n)
+	for i := range entries {
+		entries[i] = map[string]any{
+			"name":     fmt.Sprintf("slo-%d", i),
+			"hours":    0.5,
+			"priority": i % 3,
+		}
+	}
+	body, err := json.Marshal(entries)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sr server.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("slo: decoding submit response: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted || len(sr.Accepted) != n {
+		return nil, fmt.Errorf("slo: submit returned %d with %d/%d accepted (%s)",
+			resp.StatusCode, len(sr.Accepted), n, sr.Error)
+	}
+	return sr.Accepted, nil
+}
+
+// sloAwaitDone polls /v1/stats until every job reaches a terminal state.
+func sloAwaitDone(base string, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := sloStats(base)
+		if err != nil {
+			return err
+		}
+		if st.Done+st.Expired >= n {
+			if st.Expired > 0 {
+				return fmt.Errorf("slo: %d of %d jobs expired instead of finishing", st.Expired, n)
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("slo: timed out after %v with %d/%d jobs done", timeout, st.Done, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func sloStats(base string) (server.Stats, error) {
+	var st server.Stats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("slo: /v1/stats returned %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// sloCheckTrace fetches one job's causal tree and verifies it is a
+// single rooted tree covering the full lifecycle.
+func sloCheckTrace(base string, id int) []string {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", base, id))
+	if err != nil {
+		return []string{err.Error()}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return []string{fmt.Sprintf("job %d: trace endpoint returned %d: %s", id, resp.StatusCode, b)}
+	}
+	var tr server.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return []string{fmt.Sprintf("job %d: decoding trace: %v", id, err)}
+	}
+
+	var msgs []string
+	if len(tr.Roots) != 1 {
+		msgs = append(msgs, fmt.Sprintf("job %d: trace has %d roots, want exactly 1 (orphaned spans mean a broken parent link)", id, len(tr.Roots)))
+	}
+	if len(tr.Roots) == 0 {
+		return msgs
+	}
+	root := tr.Roots[0]
+	if root.Component != "sched" || root.Name != "job" {
+		msgs = append(msgs, fmt.Sprintf("job %d: root span is %s/%s, want sched/job", id, root.Component, root.Name))
+	}
+	seen := map[string]bool{}
+	open := 0
+	var walk func(s server.TraceSpan)
+	walk = func(s server.TraceSpan) {
+		seen[s.Name] = true
+		if s.Open {
+			open++
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, want := range []string{"submit", "queued", "admitted", "running", "lease", "done"} {
+		if !seen[want] {
+			msgs = append(msgs, fmt.Sprintf("job %d: trace tree is missing a %q span", id, want))
+		}
+	}
+	if open > 0 {
+		msgs = append(msgs, fmt.Sprintf("job %d: %d spans still open after settle", id, open))
+	}
+	return msgs
+}
+
+// sloCheckBudgets asserts the latency SLOs and the zero-loss invariants.
+func sloCheckBudgets(base string, o *obs.Observer, sc sloConfig) []string {
+	var msgs []string
+
+	submitLat := o.Reg().Histogram("proteus_api_request_seconds",
+		"control-plane request latency (wall seconds)", nil, obs.L("route", "submit"))
+	if submitLat.Count() == 0 {
+		msgs = append(msgs, "no samples in proteus_api_request_seconds{route=submit}")
+	} else if p99 := submitLat.Quantile(0.99) * 1000; p99 > sc.p99MS {
+		msgs = append(msgs, fmt.Sprintf("p99 submit latency %.1fms exceeds budget %.1fms", p99, sc.p99MS))
+	}
+
+	admitWait := o.Reg().Histogram("proteus_sched_admission_wait_seconds",
+		"queue wait from arrival to admission, in virtual seconds", nil)
+	if admitWait.Count() == 0 {
+		msgs = append(msgs, "no samples in proteus_sched_admission_wait_seconds")
+	} else if p99 := admitWait.Quantile(0.99); p99 > sc.admitP99S {
+		msgs = append(msgs, fmt.Sprintf("p99 admission wait %.1f virtual seconds exceeds budget %.1f", p99, sc.admitP99S))
+	}
+
+	st, err := sloStats(base)
+	if err != nil {
+		msgs = append(msgs, err.Error())
+		return msgs
+	}
+	if st.SpansDropped != 0 {
+		msgs = append(msgs, fmt.Sprintf("%d trace spans dropped (tracer retention kicked in)", st.SpansDropped))
+	}
+	if st.EventsDropped != 0 {
+		msgs = append(msgs, fmt.Sprintf("%d scheduler events dropped (slow subscriber)", st.EventsDropped))
+	}
+	if d := o.Trace().Dropped(); d != st.SpansDropped {
+		msgs = append(msgs, fmt.Sprintf("tracer reports %d dropped spans but /v1/stats reports %d", d, st.SpansDropped))
+	}
+	return msgs
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// sees the same event stream (and exactly once).
 	Observer *obs.Observer
 
+	// TraceParent, when set, is the owning job's span in Observer's
+	// tracer: elasticity spans (incorporate, drain) open as its children
+	// and controller events record as its instant children, so the whole
+	// run folds into one causal tree. Nil keeps the pre-tree behavior of
+	// flat spans.
+	TraceParent *obs.Span
+
 	// restore carries a reliable-tier checkpoint to start from instead of
 	// the application's initial state; set via RestoreFromCheckpoint.
 	restore *Checkpoint
@@ -143,7 +150,11 @@ type Controller struct {
 // one-to-one. Without a tracer the journal is written directly.
 func (c *Controller) log(kind, detail string, args ...any) {
 	if t := c.cfg.Observer.Trace(); t != nil {
-		t.Event("agileml", kind, detail, args...)
+		if c.cfg.TraceParent != nil {
+			c.cfg.TraceParent.Eventf("agileml", kind, detail, args...)
+		} else {
+			t.Event("agileml", kind, detail, args...)
+		}
 		return
 	}
 	if c.cfg.Journal != nil {
@@ -185,6 +196,11 @@ func New(cfg Config, seed []*cluster.Machine) (*Controller, error) {
 		machines: make(map[cluster.MachineID]*machineState),
 	}
 	c.router.SetMetrics(c.psm)
+	// Hang partition-migration trace events off the job's tree. Guarded on
+	// a live registry so the shared no-op metric set is never mutated.
+	if full.TraceParent != nil && full.Observer.Reg() != nil {
+		c.psm.Trace = full.TraceParent
+	}
 	if full.Network != nil {
 		st, err := newStreamState(full.Network)
 		if err != nil {

@@ -29,7 +29,7 @@ func (c *Controller) AddMachines(ms []*cluster.Machine) error {
 			return fmt.Errorf("agileml: machine %d already registered", m.ID)
 		}
 	}
-	span := c.cfg.Observer.Trace().Start("agileml", "incorporate").
+	span := obs.StartSpan(c.cfg.Observer.Trace(), c.cfg.TraceParent, "agileml", "incorporate").
 		Detailf("%d machines joining (%v)", len(ms), ms[0].Tier)
 	start := time.Now()
 	for _, m := range ms {
@@ -194,7 +194,7 @@ func (c *Controller) flushActivesLocked(endOfLife bool) error {
 func (c *Controller) HandleEvictionWarning(ids []cluster.MachineID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	span := c.cfg.Observer.Trace().Start("agileml", "drain").
+	span := obs.StartSpan(c.cfg.Observer.Trace(), c.cfg.TraceParent, "agileml", "drain").
 		Detailf("%d machines draining", len(ids))
 	start := time.Now()
 	defer func() {

@@ -220,15 +220,69 @@ type Candidate struct {
 	NewCostPerWork float64
 }
 
+// CandidateAudit summarizes the best candidate found for one instance
+// type during a BestAcquisition search — the decision-audit row attached
+// to job trace trees.
+type CandidateAudit struct {
+	Type  string `json:"type"`
+	Count int    `json:"count,omitempty"`
+	// Skipped explains why the type was not searched (e.g. spot priced
+	// at or above on-demand); the other fields are zero then.
+	Skipped             string  `json:"skipped,omitempty"`
+	Bid                 float64 `json:"bid,omitempty"`
+	BidDelta            float64 `json:"bid_delta,omitempty"`
+	EvictionProbability float64 `json:"eviction_probability,omitempty"`
+	ExpectedCostPerWork float64 `json:"expected_cost_per_work,omitempty"`
+	Chosen              bool    `json:"chosen,omitempty"`
+}
+
+// DecisionAudit is the structured "why" behind one acquisition decision:
+// the current footprint's expected cost/work baseline (Eq. 4) and the
+// best candidate per instance type, with the winner marked. Attached to
+// trace spans so a job's causal tree shows not just what was bid but
+// what was considered.
+type DecisionAudit struct {
+	// Result is "acquire", "hold" (best candidate did not beat the
+	// footprint), or "none" (no viable candidate at all).
+	Result string `json:"result"`
+	// Base is the current footprint's evaluation.
+	BaseCost        float64 `json:"base_cost"`
+	BaseWork        float64 `json:"base_work"`
+	BaseCostPerWork float64 `json:"base_cost_per_work"`
+	// Candidates holds one row per instance type, in search order.
+	Candidates []CandidateAudit `json:"candidates,omitempty"`
+}
+
 // BestAcquisition searches (type × bid-delta) candidates of the given
 // size and returns the one minimizing the footprint's expected cost per
 // work, or nil if none improves on the current footprint (§4.2).
 // prices maps type name → current spot price.
 func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64, types []market.InstanceType, count int) (*Candidate, error) {
+	return b.bestAcquisition(current, prices, types, count, nil)
+}
+
+// BestAcquisitionAudited is BestAcquisition plus the decision audit. The
+// audit costs a few allocations per call; the unaudited path stays
+// allocation-free and is the one hot loops use.
+func (b *Brain) BestAcquisitionAudited(current []AllocState, prices map[string]float64, types []market.InstanceType, count int) (*Candidate, *DecisionAudit, error) {
+	audit := &DecisionAudit{}
+	cand, err := b.bestAcquisition(current, prices, types, count, audit)
+	if err != nil {
+		return cand, nil, err
+	}
+	return cand, audit, nil
+}
+
+func (b *Brain) bestAcquisition(current []AllocState, prices map[string]float64, types []market.InstanceType, count int, audit *DecisionAudit) (*Candidate, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("bidbrain: candidate count %d must be positive", count)
 	}
 	base := Evaluate(b.params, current, false)
+	if audit != nil {
+		audit.BaseCost = base.Cost
+		audit.BaseWork = base.Work
+		audit.BaseCostPerWork = base.CostPerWork
+	}
 
 	// One scratch footprint for the whole (type × delta) search: the
 	// current allocations copied once, the trailing slot rewritten per
@@ -250,8 +304,14 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 		if price >= t.OnDemand {
 			// Spot billed above the on-demand price is strictly dominated
 			// by reliable capacity; wait for the spike to pass.
+			if audit != nil {
+				audit.Candidates = append(audit.Candidates, CandidateAudit{
+					Type: t.Name, Skipped: fmt.Sprintf("spot $%.4f >= on-demand $%.4f", price, t.OnDemand)})
+			}
 			continue
 		}
+		var typeBest Candidate
+		typeFound := false
 		for _, delta := range b.deltas {
 			beta := bt.Beta(delta)
 			withCand[len(current)] = AllocState{
@@ -263,20 +323,36 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 				Omega:     expectedOmega(beta, bt.MedianTTE(delta)),
 			}
 			ev := Evaluate(b.params, withCand, true)
-			if !found || ev.CostPerWork < best.NewCostPerWork {
-				found = true
-				best = Candidate{
-					Type:           t,
-					Count:          count,
-					BidDelta:       delta,
-					Bid:            price + delta,
-					Beta:           beta,
-					NewCostPerWork: ev.CostPerWork,
-				}
+			cand := Candidate{
+				Type:           t,
+				Count:          count,
+				BidDelta:       delta,
+				Bid:            price + delta,
+				Beta:           beta,
+				NewCostPerWork: ev.CostPerWork,
 			}
+			if !typeFound || cand.NewCostPerWork < typeBest.NewCostPerWork {
+				typeFound, typeBest = true, cand
+			}
+			if !found || cand.NewCostPerWork < best.NewCostPerWork {
+				found, best = true, cand
+			}
+		}
+		if audit != nil && typeFound {
+			audit.Candidates = append(audit.Candidates, CandidateAudit{
+				Type:                typeBest.Type.Name,
+				Count:               typeBest.Count,
+				Bid:                 typeBest.Bid,
+				BidDelta:            typeBest.BidDelta,
+				EvictionProbability: typeBest.Beta,
+				ExpectedCostPerWork: typeBest.NewCostPerWork,
+			})
 		}
 	}
 	if !found {
+		if audit != nil {
+			audit.Result = "none"
+		}
 		b.observeDecision("none", base, nil)
 		return nil, nil
 	}
@@ -284,7 +360,20 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 	// the current footprint's cost per work. An empty footprint (only
 	// on-demand, producing no work) has infinite cost per work, so
 	// anything improves it.
+	result := "acquire"
 	if base.Work > 0 && best.NewCostPerWork >= base.CostPerWork*(1+b.params.AcquireTolerance) {
+		result = "hold"
+	}
+	if audit != nil {
+		audit.Result = result
+		for i := range audit.Candidates {
+			c := &audit.Candidates[i]
+			if c.Skipped == "" && c.Type == best.Type.Name && c.BidDelta == best.BidDelta {
+				c.Chosen = result == "acquire"
+			}
+		}
+	}
+	if result == "hold" {
 		b.observeDecision("hold", base, &best)
 		return nil, nil
 	}

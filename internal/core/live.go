@@ -47,6 +47,13 @@ type LiveConfig struct {
 	// flow through the tracer alone; bridge the journal with
 	// obs.BridgeJournal so it sees the same stream.
 	Observer *obs.Observer
+	// TraceSeed roots the run's deterministic trace ID
+	// (obs.NewTraceID(TraceSeed, 0)): with a tracer configured, the whole
+	// run — BidBrain audits, elasticity transitions, partition migrations
+	// — folds into one causal tree under a "core"/"job" root span.
+	// Harnesses merging several runs into one observer should give each a
+	// distinct seed; zero is a valid seed.
+	TraceSeed uint64
 }
 
 // Validate rejects unusable configurations.
@@ -103,6 +110,11 @@ type liveJob struct {
 	spotAllocs map[market.AllocationID]*spotAlloc
 	reliable   *market.Allocation
 
+	// span is the run's root trace span (nil when tracing is off); every
+	// causal annotation below hangs off it so one job yields one tree.
+	span    *obs.Span
+	traceID uint64
+
 	startAt   time.Duration
 	startCost float64
 	evictions int
@@ -132,6 +144,11 @@ func RunLive(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain, cfg Liv
 		startAt:    eng.Now(),
 		startCost:  mkt.TotalCost(),
 	}
+	j.traceID = obs.NewTraceID(cfg.TraceSeed, 0)
+	j.span = cfg.Observer.Trace().StartTrace(j.traceID, "core", "job")
+	j.span.Detailf("live run: %d iterations, reliable %dx %s, spot cap %d",
+		cfg.Iterations, cfg.ReliableCount, cfg.ReliableType, cfg.MaxSpotInstances)
+	defer j.span.End()
 
 	// Anchor the reliable tier.
 	rel, err := mkt.RequestOnDemand(cfg.ReliableType, cfg.ReliableCount)
@@ -139,6 +156,7 @@ func RunLive(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain, cfg Liv
 		return LiveResult{}, err
 	}
 	j.reliable = rel
+	j.span.Eventf("core", "acquire", "reliable tier: %dx %s on-demand", rel.Count, rel.Type.Name)
 	relMachines, err := j.clus.Add(cluster.Reliable, rel.Type.VCPUs, rel.Count, allocLabel(rel))
 	if err != nil {
 		return LiveResult{}, err
@@ -155,6 +173,7 @@ func RunLive(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain, cfg Liv
 		Staleness:   cfg.Staleness,
 		Journal:     cfg.Journal,
 		Observer:    cfg.Observer,
+		TraceParent: j.span,
 	}, relMachines)
 	if err != nil {
 		return LiveResult{}, err
@@ -180,6 +199,7 @@ func RunLive(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain, cfg Liv
 	}
 	ticker.Stop()
 	if j.runErr != nil {
+		j.span.Detailf("failed: %v", j.runErr)
 		return LiveResult{}, j.runErr
 	}
 
@@ -209,6 +229,8 @@ func RunLive(eng *sim.Engine, mkt *market.Market, brain *bidbrain.Brain, cfg Liv
 		}
 		cost -= a.HourCharge() * unused.Hours()
 	}
+	j.span.Detailf("complete: %d iterations, objective=%.4f, cost=$%.2f, evictions=%d",
+		j.runner.Iterations(), obj, cost, j.evictions)
 	return LiveResult{
 		Iterations: j.runner.Iterations(),
 		Objective:  obj,
@@ -337,7 +359,19 @@ func (j *liveJob) decide() {
 	if remaining := j.cfg.MaxSpotInstances - spotCount; count > remaining {
 		count = remaining
 	}
-	cand, err := j.brain.BestAcquisition(cur, prices, j.mkt.Types(), count)
+	var cand *bidbrain.Candidate
+	if j.span != nil {
+		// Audited search shares the hot path's exact decision logic; the
+		// audit is attached only when the brain acts, so ticker-driven
+		// holds don't flood the tree.
+		var audit *bidbrain.DecisionAudit
+		cand, audit, err = j.brain.BestAcquisitionAudited(cur, prices, j.mkt.Types(), count)
+		if audit != nil && audit.Result == "acquire" {
+			j.span.EventAttrs("bidbrain", "bid", audit, "decision: %s", audit.Result)
+		}
+	} else {
+		cand, err = j.brain.BestAcquisition(cur, prices, j.mkt.Types(), count)
+	}
 	if err != nil || cand == nil {
 		return
 	}
@@ -347,6 +381,8 @@ func (j *liveJob) decide() {
 	}
 	j.record("bidbrain", "acquire", "%d x %s bid $%.4f (delta %.4f, beta %.2f, E %.5f)",
 		cand.Count, cand.Type.Name, cand.Bid, cand.BidDelta, cand.Beta, cand.NewCostPerWork)
+	j.span.Eventf("core", "acquire", "alloc %d: %dx %s bid=$%.4f (delta $%.4f)",
+		alloc.ID, cand.Count, cand.Type.Name, cand.Bid, cand.BidDelta)
 	j.spotAllocs[alloc.ID] = &spotAlloc{alloc: alloc, bidDelta: cand.BidDelta}
 	machines, err := j.clus.Add(cluster.Transient, alloc.Type.VCPUs, alloc.Count, allocLabel(alloc))
 	if err != nil {
@@ -399,6 +435,8 @@ func (j *liveJob) EvictionWarning(a *market.Allocation, _ time.Duration) {
 	if !ok || j.done {
 		return
 	}
+	j.span.Eventf("core", "eviction-warning", "alloc %d (%dx %s): draining within warning window",
+		a.ID, a.Count, a.Type.Name)
 	if err := j.clus.WarnEviction(ids, 2*time.Minute); err != nil {
 		j.fail(err)
 		return
@@ -420,6 +458,8 @@ func (j *liveJob) Evicted(a *market.Allocation) {
 	delete(j.spotAllocs, a.ID)
 	j.evictions++
 	j.record("market", "evicted", "allocation %d (%d x %s) refunded", a.ID, a.Count, a.Type.Name)
+	j.span.Eventf("core", "refund", "alloc %d evicted: $%.4f refunded for the in-progress hour",
+		a.ID, a.HourCharge())
 	if err := j.clus.Evict(ids); err != nil {
 		j.fail(err)
 		return

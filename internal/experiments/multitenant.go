@@ -104,6 +104,9 @@ func RunMultiTenant(cfg MarketConfig, jobs []sched.Job, policy sched.Policy) (*M
 		scfg := SchedConfig(env.Brain, policy)
 		scfg.MaxConcurrent = arm // 0 = unbounded concurrency, 1 = serial
 		scfg.Observer = envCfg.Observer
+		// Distinct per-arm trace seeds keep trace IDs collision-free after
+		// the arms' span streams merge into the shared observer.
+		scfg.TraceSeed = uint64(arm + 1)
 		s, err := sched.New(env.Engine, env.Market, scfg)
 		if err != nil {
 			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	for _, v := range []float64{0.5, 1.5, 3, 3} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %g, want 2", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("p100 = %g, want 4", got)
+	}
+	// A sample above every bound caps the estimate at the highest finite
+	// bound, like histogram_quantile().
+	h.Observe(100)
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("p99 with +Inf mass = %g, want the highest finite bound 4", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+}
+
+func TestObserveExExemplarPlacementAndExport(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "latency", []float64{1, 10})
+	h.ObserveEx(0.5, 0xabc) // lowest bucket
+	h.ObserveEx(5, 0xdef)   // middle bucket
+	h.ObserveEx(50, 0x123)  // +Inf overflow slot
+	h.Observe(0.2)          // untraced: must not clobber the exemplar
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		fmt.Sprintf(`req_seconds_bucket{le="1"} 2 # {trace_id="%016x"} 0.5`, 0xabc),
+		fmt.Sprintf(`req_seconds_bucket{le="10"} 3 # {trace_id="%016x"} 5`, 0xdef),
+		fmt.Sprintf(`req_seconds_bucket{le="+Inf"} 4 # {trace_id="%016x"} 50`, 0x123),
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Exemplars must survive the snapshot → import → merge path the
+// parallel experiment engine uses, with last-absorbed-wins per slot.
+func TestExemplarsSurviveMerge(t *testing.T) {
+	child := NewRegistry()
+	child.Histogram("req_seconds", "latency", []float64{1, 10}).ObserveEx(0.5, 0xaa)
+
+	parent := NewRegistry()
+	parent.Histogram("req_seconds", "latency", []float64{1, 10}).ObserveEx(0.7, 0xbb)
+	parent.Merge(child)
+
+	var sb strings.Builder
+	if err := parent.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, fmt.Sprintf(`req_seconds_bucket{le="1"} 2 # {trace_id="%016x"} 0.5`, 0xaa)) {
+		t.Fatalf("merge did not adopt the child's exemplar:\n%s", out)
+	}
+
+	// A child without a traced sample leaves the parent's exemplar alone.
+	quiet := NewRegistry()
+	quiet.Histogram("req_seconds", "latency", []float64{1, 10}).Observe(0.1)
+	parent.Merge(quiet)
+	sb.Reset()
+	if err := parent.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), fmt.Sprintf(`# {trace_id="%016x"} 0.5`, 0xaa)) {
+		t.Fatalf("empty-slot merge clobbered the exemplar:\n%s", sb.String())
+	}
+}

@@ -41,12 +41,14 @@ func writeSeries(w io.Writer, fam FamilySnapshot, s SeriesSnapshot) error {
 	case KindHistogram:
 		for i, ub := range fam.Buckets {
 			le := append(append([]Label(nil), s.Labels...), L("le", formatValue(ub)))
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, formatLabels(le), s.BucketCounts[i]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, formatLabels(le),
+				s.BucketCounts[i], formatExemplar(s.Exemplars, i)); err != nil {
 				return err
 			}
 		}
 		inf := append(append([]Label(nil), s.Labels...), L("le", "+Inf"))
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.Name, formatLabels(inf), s.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.Name, formatLabels(inf),
+			s.Count, formatExemplar(s.Exemplars, len(fam.Buckets))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.Name, formatLabels(s.Labels), formatValue(s.Sum)); err != nil {
@@ -56,6 +58,17 @@ func writeSeries(w io.Writer, fam FamilySnapshot, s SeriesSnapshot) error {
 		return err
 	}
 	return fmt.Errorf("obs: unknown metric kind %v", fam.Kind)
+}
+
+// formatExemplar renders the OpenMetrics exemplar suffix for one bucket
+// line (` # {trace_id="<16 hex>"} <value>`) or the empty string when the
+// slot is empty or absent.
+func formatExemplar(exemplars []Exemplar, slot int) string {
+	if slot >= len(exemplars) || exemplars[slot].TraceID == 0 {
+		return ""
+	}
+	e := exemplars[slot]
+	return fmt.Sprintf(` # {trace_id="%s"} %s`, IDString(e.TraceID), formatValue(e.Value))
 }
 
 // formatLabels renders {k="v",...} or the empty string with no labels.

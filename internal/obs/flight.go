@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultFlightSize is the flight recorder's default ring capacity.
+const DefaultFlightSize = 4096
+
+// FlightRecorder keeps a bounded ring of the most recent finished spans
+// so a wedged or misbehaving service can be asked "what just happened"
+// — via GET /debug/flight on the obs mux, or SIGQUIT in `proteus
+// -serve` — without retaining the full trace history. It subscribes to
+// a Tracer and is safe for concurrent use; all methods on a nil
+// recorder are no-ops.
+type FlightRecorder struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	ring  []SpanData
+	next  int
+	total uint64
+}
+
+// NewFlightRecorder attaches a recorder of the given capacity to t
+// (capacity <= 0 uses DefaultFlightSize). Returns nil for a nil tracer.
+func NewFlightRecorder(t *Tracer, capacity int) *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultFlightSize
+	}
+	f := &FlightRecorder{
+		tracer: t,
+		ring:   make([]SpanData, 0, capacity),
+	}
+	t.Subscribe(f.record)
+	return f
+}
+
+func (f *FlightRecorder) record(sp SpanData) {
+	f.mu.Lock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, sp)
+	} else {
+		f.ring[f.next] = sp
+	}
+	f.next = (f.next + 1) % cap(f.ring)
+	f.total++
+	f.mu.Unlock()
+}
+
+// Recent returns the ring's spans, oldest first.
+func (f *FlightRecorder) Recent() []SpanData {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SpanData, 0, len(f.ring))
+	if len(f.ring) == cap(f.ring) {
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	} else {
+		out = append(out, f.ring...)
+	}
+	return out
+}
+
+// FlightDump is the wire form of one flight-recorder snapshot. Times on
+// spans are virtual; TakenAt is the only wall-clock stamp (snapshots may
+// be taken from any goroutine, so they never read the virtual clock).
+type FlightDump struct {
+	TakenAt       time.Time  `json:"taken_at"`
+	Capacity      int        `json:"capacity"`
+	TotalRecorded uint64     `json:"total_recorded"`
+	DroppedSpans  uint64     `json:"dropped_spans"` // tracer retention discards
+	Recent        []spanJSON `json:"recent"`        // oldest first
+	Open          []spanJSON `json:"open"`          // in-flight at snapshot time
+}
+
+// Snapshot captures the recorder's state: the recent-span ring (oldest
+// first), the tracer's still-open spans, and the tracer's drop counter.
+func (f *FlightRecorder) Snapshot() FlightDump {
+	if f == nil {
+		return FlightDump{TakenAt: time.Now()}
+	}
+	dump := FlightDump{
+		TakenAt:      time.Now(),
+		Capacity:     cap(f.ring),
+		DroppedSpans: f.tracer.Dropped(),
+		Recent:       []spanJSON{},
+		Open:         []spanJSON{},
+	}
+	for _, sp := range f.Recent() {
+		dump.Recent = append(dump.Recent, spanWire(sp))
+	}
+	for _, sp := range f.tracer.OpenSpans() {
+		dump.Open = append(dump.Open, spanWire(sp))
+	}
+	f.mu.Lock()
+	dump.TotalRecorded = f.total
+	f.mu.Unlock()
+	return dump
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Snapshot())
+}

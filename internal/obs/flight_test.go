@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	tr := NewTracer(nil)
+	f := NewFlightRecorder(tr, 4)
+	for i := 0; i < 10; i++ {
+		tr.Event("c", "k", "%d", i)
+	}
+	recent := f.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(recent))
+	}
+	for i, sp := range recent {
+		if want := fmt.Sprintf("%d", 6+i); sp.Detail != want {
+			t.Fatalf("recent[%d] = %q, want %q (oldest first)", i, sp.Detail, want)
+		}
+	}
+	dump := f.Snapshot()
+	if dump.TotalRecorded != 10 || dump.Capacity != 4 {
+		t.Fatalf("dump totals %+v", dump)
+	}
+}
+
+func TestFlightDumpCarriesOpenAndDropped(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetLimit(2)
+	f := NewFlightRecorder(tr, 8)
+	sp := tr.StartTrace(NewTraceID(1, 1), "sched", "job")
+	for i := 0; i < 5; i++ {
+		tr.Event("c", "k", "%d", i)
+	}
+	dump := f.Snapshot()
+	if dump.DroppedSpans != 3 {
+		t.Fatalf("dropped = %d, want 3", dump.DroppedSpans)
+	}
+	if len(dump.Open) != 1 || dump.Open[0].Name != "job" {
+		t.Fatalf("open = %+v, want the in-flight root", dump.Open)
+	}
+	if len(dump.Recent) != 5 {
+		t.Fatalf("recent = %d, want all 5 (retention must not gate the ring)", len(dump.Recent))
+	}
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+}
+
+func TestNilFlightRecorderNoOps(t *testing.T) {
+	var f *FlightRecorder
+	if f.Recent() != nil {
+		t.Fatal("nil recorder Recent must be nil")
+	}
+	if err := f.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if NewFlightRecorder(nil, 4) != nil {
+		t.Fatal("recorder on a nil tracer must be nil")
+	}
+}
+
+// Missing observability components must answer 503, never an empty 200
+// a scraper would read as "healthy but idle".
+func TestHandlersReturn503WhenDisabled(t *testing.T) {
+	for name, h := range map[string]http.Handler{
+		"metrics": (*Registry)(nil).Handler(),
+		"flight":  (*FlightRecorder)(nil).FlightHandler(),
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s handler on nil component returned %d, want 503", name, rec.Code)
+		}
+	}
+
+	// A full observer mux serves both endpoints for real.
+	o := NewObserver(nil)
+	o.Reg().Counter("x_total", "x").Inc()
+	o.Trace().Event("c", "k", "hello")
+	srv := httptest.NewServer(o.Mux())
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/flight"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -7,24 +7,61 @@ import (
 
 // Handler serves the registry in Prometheus text exposition format —
 // byte-identical to WritePrometheus at the same instant, so the live
-// /metrics endpoint and the file exporter can never disagree.
+// /metrics endpoint and the file exporter can never disagree. A nil
+// registry answers 503 rather than an empty 200, so scrapers see
+// "telemetry off" instead of silently-empty metrics.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if r == nil {
+			http.Error(w, "metrics registry not configured", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
 }
 
-// Mux returns an http.ServeMux exposing the registry at /metrics and the
-// standard net/http/pprof profiles under /debug/pprof/ — the live-mode
-// observability endpoint.
-func (r *Registry) Mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
+// FlightHandler serves the flight recorder's snapshot as JSON. A nil
+// recorder answers 503.
+func (f *FlightRecorder) FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if f == nil {
+			http.Error(w, "flight recorder not configured", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = f.WriteJSON(w)
+	})
+}
+
+// mountDebug adds the standard net/http/pprof profiles under
+// /debug/pprof/.
+func mountDebug(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Mux returns an http.ServeMux exposing the registry at /metrics and
+// pprof under /debug/pprof/. Prefer Observer.Mux, which also mounts the
+// flight recorder.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mountDebug(mux)
+	return mux
+}
+
+// Mux returns the observability endpoint for a live service: /metrics
+// (Prometheus text), /debug/flight (recent-span ring + open spans as
+// JSON), and /debug/pprof/. Nil components answer 503 on their routes
+// rather than empty 200s. Safe on a nil observer.
+func (o *Observer) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", o.Reg().Handler())
+	mux.Handle("/debug/flight", o.FlightRecorder().FlightHandler())
+	mountDebug(mux)
 	return mux
 }

@@ -28,20 +28,39 @@ type Label struct {
 // L is shorthand for building a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// Observer bundles the registry and tracer handed through the stack.
-// A nil *Observer (or nil fields) disables the corresponding layer.
+// Observer bundles the registry, tracer, and flight recorder handed
+// through the stack. A nil *Observer (or nil fields) disables the
+// corresponding layer.
 type Observer struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	Flight  *FlightRecorder
 }
 
-// NewObserver returns an observer with a fresh registry and a tracer
-// stamped by the given clock (typically sim.Engine.Now). A nil clock
-// stamps everything at zero.
+// NewObserver returns an observer with a fresh registry, a tracer
+// stamped by the given clock (typically sim.Engine.Now), and a flight
+// recorder over the tracer's span stream. A nil clock stamps everything
+// at zero. Tracer retention drops are exported eagerly as
+// proteus_obs_spans_dropped_total, so the family is present (at zero)
+// even on loss-free runs — "no drops" is then an assertion, not an
+// absence.
 func NewObserver(now func() time.Duration) *Observer {
 	reg := NewRegistry()
 	reg.SetClock(now)
-	return &Observer{Metrics: reg, Tracer: NewTracer(now)}
+	tr := NewTracer(now)
+	dropped := reg.Counter("proteus_obs_spans_dropped_total",
+		"Trace spans discarded by tracer retention (SetLimit).")
+	dropped.Add(0)
+	tr.OnDrop(func(n int) { dropped.Add(float64(n)) })
+	return &Observer{Metrics: reg, Tracer: tr, Flight: NewFlightRecorder(tr, 0)}
+}
+
+// FlightRecorder returns the bundled flight recorder, nil-safely.
+func (o *Observer) FlightRecorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
 }
 
 // Registry returns the bundled metrics registry, nil-safely.

@@ -264,24 +264,45 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Exemplar ties one observed value to the trace that produced it, in
+// the OpenMetrics sense: each histogram bucket remembers the last
+// traced sample that landed in it, so a spike in a latency bucket links
+// straight to a causal trace tree. A zero TraceID means "no exemplar".
+type Exemplar struct {
+	Value   float64
+	TraceID uint64
+}
+
 // Histogram is a fixed-bucket distribution. Nil histograms no-op.
 type Histogram struct {
 	mu      sync.Mutex
 	buckets []float64 // upper bounds, ascending
 	counts  []uint64  // one per bucket
-	sum     float64
-	count   uint64
+	// exemplars has one slot per bucket plus a final +Inf overflow slot;
+	// each holds the last traced observation that fell in that bucket
+	// (non-cumulative, unlike counts).
+	exemplars []Exemplar
+	sum       float64
+	count     uint64
 }
 
 func newHistogram(buckets []float64) *Histogram {
 	bs := make([]float64, len(buckets))
 	copy(bs, buckets)
 	sort.Float64s(bs)
-	return &Histogram{buckets: bs, counts: make([]uint64, len(bs))}
+	return &Histogram{buckets: bs, counts: make([]uint64, len(bs)),
+		exemplars: make([]Exemplar, len(bs)+1)}
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveEx(v, 0)
+}
+
+// ObserveEx records one sample attributed to a trace; a zero traceID is
+// a plain Observe. The exemplar replaces the previous one in the bucket
+// the sample falls into (the +Inf slot for samples above every bound).
+func (h *Histogram) ObserveEx(v float64, traceID uint64) {
 	if h == nil {
 		return
 	}
@@ -289,11 +310,56 @@ func (h *Histogram) Observe(v float64) {
 	defer h.mu.Unlock()
 	h.sum += v
 	h.count++
-	for i, ub := range h.buckets {
-		if v <= ub {
+	slot := len(h.buckets)
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		if v <= h.buckets[i] {
 			h.counts[i]++
+			slot = i
+		} else {
+			break
 		}
 	}
+	if traceID != 0 {
+		h.exemplars[slot] = Exemplar{Value: v, TraceID: traceID}
+	}
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the bucket that contains it — the same estimate a
+// histogram_quantile() PromQL query would give. Returns 0 with no
+// observations; the highest finite bound when the quantile lands in the
+// +Inf bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || len(h.buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	prevCount, prevBound := uint64(0), 0.0
+	for i, ub := range h.buckets {
+		if float64(h.counts[i]) >= rank {
+			inBucket := h.counts[i] - prevCount
+			if inBucket == 0 {
+				return ub
+			}
+			lower := prevBound
+			if i == 0 {
+				lower = 0
+			}
+			return lower + (ub-lower)*(rank-float64(prevCount))/float64(inBucket)
+		}
+		prevCount, prevBound = h.counts[i], ub
+	}
+	return h.buckets[len(h.buckets)-1]
 }
 
 // Count reports the number of observations.
@@ -318,7 +384,10 @@ func (h *Histogram) Sum() float64 {
 
 // absorb folds an exported histogram state into this one. Bucket
 // layouts must match; the caller (ImportSnapshot) verifies that.
-func (h *Histogram) absorb(count uint64, sum float64, bucketCounts []uint64) {
+// Incoming exemplars overwrite local ones slot-by-slot (absorbing
+// per-task snapshots in task order thus leaves the same "last traced
+// sample" a serial run would have).
+func (h *Histogram) absorb(count uint64, sum float64, bucketCounts []uint64, exemplars []Exemplar) {
 	if h == nil {
 		return
 	}
@@ -328,6 +397,11 @@ func (h *Histogram) absorb(count uint64, sum float64, bucketCounts []uint64) {
 	h.count += count
 	for i := range bucketCounts {
 		h.counts[i] += bucketCounts[i]
+	}
+	for i := range exemplars {
+		if i < len(h.exemplars) && exemplars[i].TraceID != 0 {
+			h.exemplars[i] = exemplars[i]
+		}
 	}
 }
 
@@ -366,7 +440,7 @@ func (r *Registry) ImportSnapshot(fams []FamilySnapshot) {
 			case KindGauge:
 				c.gauge.Set(s.Value)
 			case KindHistogram:
-				c.hist.absorb(s.Count, s.Sum, s.BucketCounts)
+				c.hist.absorb(s.Count, s.Sum, s.BucketCounts, s.Exemplars)
 			}
 		}
 	}
@@ -381,6 +455,9 @@ type SeriesSnapshot struct {
 	Count        uint64
 	Sum          float64
 	BucketCounts []uint64
+	// Exemplars has one slot per bucket plus a trailing +Inf slot; a
+	// zero TraceID marks an empty slot.
+	Exemplars []Exemplar
 }
 
 // FamilySnapshot is one metric family at snapshot time.
@@ -430,6 +507,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 				ss.Count = c.hist.count
 				ss.Sum = c.hist.sum
 				ss.BucketCounts = append([]uint64(nil), c.hist.counts...)
+				ss.Exemplars = append([]Exemplar(nil), c.hist.exemplars...)
 				c.hist.mu.Unlock()
 			}
 			fs.Series = append(fs.Series, ss)

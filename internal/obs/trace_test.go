@@ -139,6 +139,60 @@ func TestNilTracerNoOps(t *testing.T) {
 	}
 }
 
+// TestBridgeJournalAbsorbConcurrent drives the merge path under load:
+// spans finishing natively, batches absorbed from per-task tracers, and
+// subscribers (the journal bridge among them) attaching mid-stream. Run
+// with -race; the invariant is that every span reaches every subscriber
+// attached before its emission, with no lost or double deliveries for
+// the from-the-start bridge.
+func TestBridgeJournalAbsorbConcurrent(t *testing.T) {
+	tr := NewTracer(nil)
+	sink := &recordSink{}
+	BridgeJournal(tr, sink)
+
+	const workers, perWorker, batches, perBatch = 4, 200, 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Start("native", "op").Detailf("w%d-%d", w, i).End()
+			}
+		}(w)
+	}
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			child := NewTracer(nil)
+			for i := 0; i < perBatch; i++ {
+				child.Event("task", "op", "b%d-%d", b, i)
+			}
+			tr.Absorb(child.Spans())
+		}(b)
+	}
+	// Late subscribers churn the subscriber list while spans finish.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Subscribe(func(SpanData) {})
+		}()
+	}
+	wg.Wait()
+
+	total := workers*perWorker + batches*perBatch
+	if tr.Len() != total {
+		t.Fatalf("tracer holds %d spans, want %d", tr.Len(), total)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.lines) != total {
+		t.Fatalf("bridged journal saw %d records, want %d", len(sink.lines), total)
+	}
+}
+
 // TestConcurrentTracing exercises parallel span emission with a bounded
 // buffer and an active subscriber (run with -race).
 func TestConcurrentTracing(t *testing.T) {

@@ -1,0 +1,79 @@
+package obs
+
+import "sort"
+
+// TraceNode is one span with its causal children — the assembled form
+// of a trace's flat span stream.
+type TraceNode struct {
+	SpanData
+	Children []*TraceNode `json:",omitempty"`
+}
+
+// BuildTree assembles a flat span slice (any order) into causal trees.
+// A span is a root when its ParentID is zero or does not resolve to
+// another span in the slice (a parent evicted by tracer retention, for
+// example — the orphaned subtree is still returned rather than lost).
+// Children are ordered deterministically by (Start, End, Component,
+// Name, SpanID), never by completion order, so serial and parallel runs
+// of the same seed produce bit-identical trees.
+func BuildTree(spans []SpanData) []*TraceNode {
+	nodes := make([]*TraceNode, len(spans))
+	byID := make(map[uint64]*TraceNode, len(spans))
+	for i, sp := range spans {
+		n := &TraceNode{SpanData: sp}
+		nodes[i] = n
+		if sp.SpanID != 0 {
+			byID[sp.SpanID] = n
+		}
+	}
+	var roots []*TraceNode
+	for _, n := range nodes {
+		if parent, ok := byID[n.ParentID]; ok && n.ParentID != 0 && parent != n {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	order := func(a, b *TraceNode) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.SpanID < b.SpanID
+	}
+	var sortKids func(n *TraceNode)
+	sortKids = func(n *TraceNode) {
+		sort.Slice(n.Children, func(i, j int) bool { return order(n.Children[i], n.Children[j]) })
+		for _, c := range n.Children {
+			sortKids(c)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return order(roots[i], roots[j]) })
+	for _, r := range roots {
+		sortKids(r)
+	}
+	return roots
+}
+
+// WalkTree visits every node of each tree depth-first, parents before
+// children.
+func WalkTree(roots []*TraceNode, visit func(n *TraceNode, depth int)) {
+	var walk func(n *TraceNode, depth int)
+	walk = func(n *TraceNode, depth int) {
+		visit(n, depth)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

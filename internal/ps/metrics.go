@@ -29,6 +29,21 @@ type Metrics struct {
 	// SSP progress gate.
 	SSPWaits       *obs.Counter
 	SSPWaitSeconds *obs.Histogram
+
+	// Trace, when set, is the owning job's trace span: partition
+	// snapshot/install events are recorded as its instant children. Those
+	// fire only on controller-driven migration paths (stage transitions,
+	// eviction drains, recovery), never from worker goroutines, so the
+	// resulting tree stays deterministic.
+	Trace *obs.Span
+}
+
+// traceEvent records a migration event under the owning span, if any.
+func (m *Metrics) traceEvent(kind, detail string, args ...any) {
+	if m == nil {
+		return
+	}
+	m.Trace.Eventf("ps", kind, detail, args...)
 }
 
 // nopMetrics records nothing; the default sink everywhere so call sites

@@ -304,6 +304,7 @@ func (s *Server) SnapshotPartition(id PartitionID) (*Snapshot, error) {
 	snap := p.Snapshot()
 	s.bytesOut.Add(int64(snap.Bytes()))
 	s.metrics.SnapshotBytes.Add(float64(snap.Bytes()))
+	s.metrics.traceEvent("snapshot", "%s: partition %d snapshotted (%d bytes)", s.name, id, snap.Bytes())
 	return snap, nil
 }
 
@@ -315,6 +316,7 @@ func (s *Server) InstallSnapshot(snap *Snapshot) {
 	s.partitions[snap.ID] = FromSnapshot(snap)
 	s.bytesIn.Add(int64(snap.Bytes()))
 	s.metrics.InstallBytes.Add(float64(snap.Bytes()))
+	s.metrics.traceEvent("install", "%s: partition %d installed (%d bytes)", s.name, snap.ID, snap.Bytes())
 }
 
 // MinFlushedClock reports the smallest flushed clock across hosted

@@ -36,6 +36,12 @@ type Event struct {
 	State  JobState
 	Detail string
 	Util   *UtilPoint // timeline events only
+	// TraceID is the job's causal trace and SpanID the span recorded for
+	// this very transition within it — the bridge from the event stream
+	// into GET /v1/jobs/{id}/trace. Zero for timeline events and when
+	// tracing is disabled (SpanID only).
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Subscription is one consumer of the scheduler's event stream. Events
@@ -103,13 +109,19 @@ func (s *Scheduler) emit(ev Event) {
 		case sub.ch <- ev:
 		default:
 			sub.dropped++
+			s.eventsDropped++
 			s.obs().Reg().Counter("proteus_sched_events_dropped_total",
 				"scheduler events lost to a slow subscriber").Inc()
 		}
 	}
 }
 
+// emitJob records a job lifecycle transition twice from one call: as an
+// instant child span in the job's causal trace, and as an Event on the
+// subscription stream annotated with that span's identity — so an SSE
+// consumer can jump from any event straight to the span that recorded it.
 func (s *Scheduler) emitJob(kind string, j *jobRun, detail string) {
+	ref := j.span.Eventf("sched", kind, "%s", detail)
 	s.emit(Event{
 		Kind:    kind,
 		At:      s.eng.Now() - s.startAt,
@@ -117,6 +129,8 @@ func (s *Scheduler) emitJob(kind string, j *jobRun, detail string) {
 		JobName: j.job.Name,
 		State:   j.state,
 		Detail:  detail,
+		TraceID: j.traceID,
+		SpanID:  ref.SpanID,
 	})
 }
 
@@ -137,6 +151,8 @@ type JobStatus struct {
 	QueuedAt    time.Duration
 	StartedAt   time.Duration
 	FinishedAt  time.Duration
+	// TraceID identifies the job's causal trace (obs.Tracer.TraceSpans).
+	TraceID uint64
 }
 
 // statusLocked builds the live view of one job. Callers hold mu.
@@ -147,6 +163,7 @@ func (s *Scheduler) statusLocked(j *jobRun) JobStatus {
 		Work:        s.liveWork(j),
 		LeasedCores: j.leasedCores,
 		Evictions:   j.evictions,
+		TraceID:     j.traceID,
 	}
 	if j.state != Pending {
 		st.QueuedAt = j.queuedAt - s.startAt
@@ -233,6 +250,13 @@ type Stats struct {
 
 	Draining    bool
 	Subscribers int
+
+	// EventsDropped counts scheduler events lost to slow subscribers
+	// (cumulative, including closed subscriptions); SpansDropped counts
+	// trace spans discarded by tracer retention. Both zero on a healthy
+	// service — the SLO gate asserts exactly that.
+	EventsDropped int
+	SpansDropped  uint64
 }
 
 // Stats summarizes the scheduler's current state. Safe to call from any
@@ -241,11 +265,13 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Horizon:     s.horizon,
-		Jobs:        len(s.jobs),
-		Rebalances:  s.rebalances,
-		Draining:    s.closing || s.draining,
-		Subscribers: len(s.subs),
+		Horizon:       s.horizon,
+		Jobs:          len(s.jobs),
+		Rebalances:    s.rebalances,
+		Draining:      s.closing || s.draining,
+		Subscribers:   len(s.subs),
+		EventsDropped: s.eventsDropped,
+		SpansDropped:  s.obs().Trace().Dropped(),
 	}
 	if s.started {
 		st.Now = s.eng.Now() - s.startAt

@@ -179,6 +179,12 @@ type Config struct {
 	// Observer instruments the scheduler (sched_* families, per-job
 	// spans). Nil disables instrumentation.
 	Observer *obs.Observer
+	// TraceSeed roots the deterministic per-job trace IDs
+	// (obs.NewTraceID(TraceSeed, jobID)): the same seed and job IDs
+	// yield the same trace trees on any worker count. Harnesses running
+	// several schedulers into one merged observer give each a distinct
+	// seed so trace IDs cannot collide. Zero is a valid seed.
+	TraceSeed uint64
 	// Hooks, when set, builds the per-job elasticity adapter at
 	// admission time.
 	Hooks func(Job) ElasticHooks
@@ -223,7 +229,11 @@ type jobRun struct {
 	evictions   int
 
 	completion *sim.Event
-	span       *obs.Span
+	// traceID and span root the job's causal trace: every lifecycle
+	// transition, lease, bid decision, and refund hangs off span as a
+	// child span/event carrying traceID.
+	traceID uint64
+	span    *obs.Span
 }
 
 // brokerAlloc is one market allocation owned by the footprint broker and
@@ -236,6 +246,8 @@ type brokerAlloc struct {
 	holder     *jobRun
 	lastHolder *jobRun
 	leaseStart time.Duration
+	// leaseSpan is the holder's open "lease" child span, grant → release.
+	leaseSpan *obs.Span
 }
 
 func (b *brokerAlloc) cores() int { return b.alloc.Count * b.alloc.Type.VCPUs }
@@ -271,14 +283,15 @@ type Scheduler struct {
 	startCost  float64
 	startUsage market.Usage
 
-	started    bool
-	closing    bool // draining for shutdown: no new submissions
-	finished   bool // settle completed; the scheduler is spent
-	draining   bool
-	ticker     *sim.Ticker
-	rebalances int
-	timeline   []UtilPoint
-	runErr     error
+	started       bool
+	closing       bool // draining for shutdown: no new submissions
+	finished      bool // settle completed; the scheduler is spent
+	draining      bool
+	ticker        *sim.Ticker
+	rebalances    int
+	eventsDropped int // cumulative across all subscriptions, incl. closed
+	timeline      []UtilPoint
+	runErr        error
 }
 
 // New builds a scheduler over the engine and market. Jobs are added with
@@ -337,7 +350,7 @@ func (s *Scheduler) Submit(job Job) error {
 	if _, dup := s.byID[job.ID]; dup {
 		return fmt.Errorf("sched: duplicate job ID %d", job.ID)
 	}
-	j := &jobRun{job: job, state: Pending}
+	j := &jobRun{job: job, state: Pending, traceID: obs.NewTraceID(s.cfg.TraceSeed, uint64(job.ID))}
 	if s.started {
 		now := s.eng.Now()
 		at := s.startAt + job.Arrival
@@ -350,6 +363,13 @@ func (s *Scheduler) Submit(job Job) error {
 		j.lastAccrue = now
 		s.eng.AtTransient(at, "sched.arrival", func() { s.arrive(j) })
 	}
+	// The root of the job's causal trace opens at submission; the
+	// validate/enqueue step is its first child. Safe here: mu serializes
+	// Submit against engine stepping, so the clock read cannot race.
+	j.span = s.obs().Trace().StartTrace(j.traceID, "sched", "job").
+		Detailf("job %d (%s) prio=%d deadline=%v", j.job.ID, j.job.Name, j.job.Priority, j.job.Deadline)
+	j.span.Eventf("sched", "submit", "spec validated; target=%.1f core-hours, arrival=+%v",
+		j.job.Spec.TargetWork, j.job.Arrival)
 	s.jobs = append(s.jobs, j)
 	s.byID[job.ID] = j
 	if s.started {
@@ -404,7 +424,7 @@ func (s *Scheduler) startJobsLocked() error {
 		if s.draining || s.allTerminal() {
 			return
 		}
-		s.decide()
+		s.decide(nil)
 		s.rebalance("tick")
 	})
 	for _, j := range s.jobs {
@@ -489,6 +509,12 @@ func (s *Scheduler) settleLocked() (*Result, error) {
 	harvested, err := s.shutdown()
 	if err != nil {
 		return nil, err
+	}
+	// Jobs still short of terminal state at settle (horizon exhausted,
+	// service drained) close their trace roots here so no span is left
+	// open forever.
+	for _, j := range s.jobs {
+		s.endJobSpan(j, "settled "+j.state.String())
 	}
 
 	out := &Result{
@@ -614,19 +640,25 @@ func (s *Scheduler) arrive(j *jobRun) {
 	if j.job.Deadline > 0 && now >= s.startAt+j.job.Deadline {
 		j.state = Expired
 		s.jobCounter("expired").Inc()
-		s.obs().Trace().Event("sched", "expired",
-			"job %d (%s) arrived at %v, after its deadline %v", j.job.ID, j.job.Name, now-s.startAt, j.job.Deadline)
 		s.emitJob(EventExpired, j, fmt.Sprintf("arrived after deadline %v", j.job.Deadline))
+		s.endJobSpan(j, "expired")
 		return
 	}
 	j.state = Queued
 	s.jobCounter("queued").Inc()
 	s.emitJob(EventQueued, j, fmt.Sprintf("priority=%d deadline=%v", j.job.Priority, j.job.Deadline))
-	j.span = s.obs().Trace().Start("sched", "job").
-		Detailf("job %d (%s) prio=%d deadline=%v", j.job.ID, j.job.Name, j.job.Priority, j.job.Deadline)
 	s.admit()
-	s.decide()
+	s.decide(j.span)
 	s.rebalance("arrival")
+}
+
+// endJobSpan closes the job's root trace span with a final-state detail.
+func (s *Scheduler) endJobSpan(j *jobRun, why string) {
+	if j.span == nil {
+		return
+	}
+	j.span.Detailf("job %d (%s) %s: work=%.1f evictions=%d", j.job.ID, j.job.Name, why, j.work, j.evictions).End()
+	j.span = nil
 }
 
 // admit moves queued jobs to running while concurrency slots are free.
@@ -657,7 +689,15 @@ func (s *Scheduler) admit() {
 			next.hooks = s.cfg.Hooks(next.job)
 		}
 		s.jobCounter("running").Inc()
-		s.emitJob(EventAdmitted, next, fmt.Sprintf("waited %v", next.startedAt-next.queuedAt))
+		wait := next.startedAt - next.queuedAt
+		// The admission-wait histogram carries the job's trace ID as its
+		// bucket exemplar: a slow-admission spike on a dashboard links
+		// straight to a causal tree explaining the wait.
+		s.obs().Reg().Histogram("proteus_sched_admission_wait_seconds",
+			"queue wait from arrival to admission, in virtual seconds",
+			[]float64{0.001, 1, 5, 15, 60, 300, 900, 3600, 14400}).
+			ObserveEx(wait.Seconds(), next.traceID)
+		s.emitJob(EventAdmitted, next, fmt.Sprintf("waited %v", wait))
 	}
 }
 
@@ -699,7 +739,7 @@ func (s *Scheduler) onJobDone(j *jobRun) {
 	s.jobCounter("done").Inc()
 	s.emitJob(EventDone, j, fmt.Sprintf("work=%.1f evictions=%d", j.work, j.evictions))
 	if j.span != nil {
-		j.span.Detailf("job %d (%s) done: work=%.1f evictions=%d wait=%v runtime=%v",
+		j.span.Detailf("job %d (%s) complete: work=%.1f evictions=%d wait=%v runtime=%v",
 			j.job.ID, j.job.Name, j.work, j.evictions, j.startedAt-j.queuedAt, j.finished-j.startedAt).End()
 		j.span = nil
 	}
@@ -850,7 +890,14 @@ func (s *Scheduler) footprint(exclude market.AllocationID) ([]bidbrain.AllocStat
 // running job's deadline is in jeopardy the deadline machinery picks the
 // candidate (cheapest that restores feasibility); otherwise the standard
 // cost-per-work objective does.
-func (s *Scheduler) decide() {
+//
+// parent, when non-nil, is the trace span of the job whose arrival (or
+// eviction) triggered this decision: the BidBrain search then runs in
+// audited mode and attaches its full decision audit — per-type candidate
+// bids, eviction probabilities, expected cost per work, the winner — as
+// a structured "bid" event in that job's causal tree. Ticker-driven
+// decisions pass nil and keep the allocation-free search.
+func (s *Scheduler) decide(parent *obs.Span) {
 	if s.draining {
 		return
 	}
@@ -891,10 +938,21 @@ func (s *Scheduler) decide() {
 		}
 	}
 	if cand == nil {
-		cand, err = s.cfg.Brain.BestAcquisition(cur, prices, types, count)
+		var audit *bidbrain.DecisionAudit
+		if parent != nil {
+			cand, audit, err = s.cfg.Brain.BestAcquisitionAudited(cur, prices, types, count)
+		} else {
+			cand, err = s.cfg.Brain.BestAcquisition(cur, prices, types, count)
+		}
+		if audit != nil {
+			parent.EventAttrs("bidbrain", "bid", audit, "decision: %s", audit.Result)
+		}
 		if err != nil || cand == nil {
 			return
 		}
+	} else if parent != nil {
+		parent.Eventf("bidbrain", "bid", "deadline acquisition: %dx %s bid=$%.4f (beta %.3f)",
+			cand.Count, cand.Type.Name, cand.Bid, cand.Beta)
 	}
 	maxCount := (demand - have) / cand.Type.VCPUs
 	n := cand.Count
@@ -907,6 +965,10 @@ func (s *Scheduler) decide() {
 	alloc, err := s.mkt.RequestSpot(cand.Type.Name, n, cand.Bid)
 	if err != nil {
 		return
+	}
+	if parent != nil {
+		parent.Eventf("sched", "acquire", "alloc %d: %dx %s bid=$%.4f (delta $%.4f)",
+			alloc.ID, n, cand.Type.Name, cand.Bid, cand.BidDelta)
 	}
 	ba := &brokerAlloc{alloc: alloc, bidDelta: cand.BidDelta}
 	s.allocs[alloc.ID] = ba
@@ -1007,7 +1069,11 @@ func (s *Scheduler) release(ba *brokerAlloc) {
 	held := now - ba.leaseStart
 	s.obs().Reg().Histogram("proteus_sched_lease_seconds",
 		"duration of one allocation lease to one job",
-		[]float64{60, 300, 900, 1800, 3600, 7200, 14400, 43200}).Observe(held.Seconds())
+		[]float64{60, 300, 900, 1800, 3600, 7200, 14400, 43200}).ObserveEx(held.Seconds(), j.traceID)
+	if ba.leaseSpan != nil {
+		ba.leaseSpan.Detailf("alloc %d: %d cores held %v", ba.alloc.ID, ba.cores(), held).End()
+		ba.leaseSpan = nil
+	}
 	j.coreSeconds += held.Seconds() * float64(ba.cores())
 	j.leasedCores -= ba.cores()
 	ba.lastHolder = j
@@ -1025,6 +1091,8 @@ func (s *Scheduler) release(ba *brokerAlloc) {
 func (s *Scheduler) grant(ba *brokerAlloc, j *jobRun) {
 	ba.holder = j
 	ba.leaseStart = s.eng.Now()
+	ba.leaseSpan = j.span.Child("sched", "lease").
+		Detailf("alloc %d: %dx %s = %d cores", ba.alloc.ID, ba.alloc.Count, ba.alloc.Type.Name, ba.cores())
 	j.leasedCores += ba.cores()
 	if !j.everRan && j.state == Running {
 		j.everRan = true
@@ -1164,6 +1232,10 @@ func (s *Scheduler) EvictionWarning(a *market.Allocation, _ time.Duration) {
 		return
 	}
 	ba.warned = true
+	if j := ba.holder; j != nil && j.span != nil {
+		j.span.Eventf("sched", "eviction-warning",
+			"alloc %d (%d cores): lease reclaimed, draining within warning window", a.ID, ba.cores())
+	}
 	s.release(ba)
 	if !s.draining {
 		s.rebalance("warning")
@@ -1179,12 +1251,22 @@ func (s *Scheduler) Evicted(a *market.Allocation) {
 	}
 	s.release(ba) // zero-warning markets evict without a prior warning
 	delete(s.allocs, a.ID)
-	if j := ba.lastHolder; j != nil && j.state == Running {
-		j.evictions++
-		s.pauseJob(j, j.job.Spec.Params.Lambda)
+	var parent *obs.Span
+	if j := ba.lastHolder; j != nil {
+		// The in-progress hour's charge comes back on eviction (§2.2 "free
+		// compute"); record it in the causal tree of the job that paid it.
+		if j.span != nil {
+			j.span.Eventf("sched", "refund",
+				"alloc %d evicted: $%.4f refunded for the in-progress hour", a.ID, a.HourCharge())
+		}
+		if j.state == Running {
+			j.evictions++
+			s.pauseJob(j, j.job.Spec.Params.Lambda)
+			parent = j.span
+		}
 	}
 	if !s.draining {
-		s.decide()
+		s.decide(parent)
 		s.rebalance("eviction")
 	}
 }

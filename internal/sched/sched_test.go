@@ -299,6 +299,85 @@ func TestSchedulerSurvivesMassEviction(t *testing.T) {
 	}
 }
 
+// TestJobTraceTreeCoverage: a stormy run yields, for every job, exactly
+// one rooted causal tree whose parent links all resolve and whose events
+// cover the full lifecycle — submit through lease, eviction warning,
+// refund, and completion.
+func TestJobTraceTreeCoverage(t *testing.T) {
+	eng, mkt := stormMarket(t, 100*time.Minute, 4*time.Minute)
+	brain := testBrain(t, 1)
+	o := obs.NewObserver(eng.Now)
+	cfg := testConfig(brain)
+	cfg.Observer = o
+	cfg.TraceSeed = 42
+	s, err := New(eng, mkt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec()
+	spec.TargetWork *= 2 // span several storm cycles
+	for i := 0; i < 3; i++ {
+		if err := s.Submit(Job{ID: i, Name: "storm", Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	evictions := 0
+	for i := 0; i < 3; i++ {
+		st, ok := s.Status(i)
+		if !ok {
+			t.Fatalf("job %d missing", i)
+		}
+		if st.TraceID != obs.NewTraceID(42, uint64(i)) {
+			t.Fatalf("job %d trace ID %x not derived from the config seed", i, st.TraceID)
+		}
+		spans := o.Trace().TraceSpans(st.TraceID)
+		roots := obs.BuildTree(spans)
+		if len(roots) != 1 {
+			t.Fatalf("job %d: %d roots, want 1 — a parent link is broken", i, len(roots))
+		}
+		root := roots[0]
+		if root.Component != "sched" || root.Name != "job" {
+			t.Fatalf("job %d root = %s/%s", i, root.Component, root.Name)
+		}
+		visited := 0
+		names := map[string]int{}
+		obs.WalkTree(roots, func(n *obs.TraceNode, depth int) {
+			visited++
+			names[n.Name]++
+			if n.Open {
+				t.Fatalf("job %d: span %s/%s still open after settle", i, n.Component, n.Name)
+			}
+		})
+		if visited != len(spans) {
+			t.Fatalf("job %d: tree covers %d of %d spans", i, visited, len(spans))
+		}
+		for _, want := range []string{"submit", "queued", "admitted", "running", "lease", "bid", "done"} {
+			if names[want] == 0 {
+				t.Fatalf("job %d: no %q span in tree (have %v)", i, want, names)
+			}
+		}
+		if st.Evictions > 0 {
+			for _, want := range []string{"eviction-warning", "refund"} {
+				if names[want] == 0 {
+					t.Fatalf("job %d evicted %d times but tree lacks %q spans (have %v)",
+						i, st.Evictions, want, names)
+				}
+			}
+		}
+		evictions += st.Evictions
+	}
+	if evictions == 0 {
+		t.Fatal("storm produced no evictions; the eviction branches went untested")
+	}
+	if o.Trace().Dropped() != 0 {
+		t.Fatalf("%d spans dropped during the run", o.Trace().Dropped())
+	}
+}
+
 // TestSchedulerLateArrivalExpires: a deadline job arriving after its
 // deadline is rejected without running and costs nothing.
 func TestSchedulerLateArrivalExpires(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"proteus/internal/jobspec"
+	"proteus/internal/obs"
 	"proteus/internal/sched"
 )
 
@@ -30,6 +31,9 @@ type JobStatus struct {
 	QueuedAtMinutes   *float64 `json:"queued_at_minutes,omitempty"`
 	StartedAtMinutes  *float64 `json:"started_at_minutes,omitempty"`
 	FinishedAtMinutes *float64 `json:"finished_at_minutes,omitempty"`
+	// TraceID names the job's causal trace (GET /v1/jobs/{id}/trace), as
+	// 16 hex digits; empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func minutes(d time.Duration) float64 { return d.Minutes() }
@@ -51,6 +55,7 @@ func jobStatusWire(st sched.JobStatus) JobStatus {
 		TargetWork:     st.Job.Spec.TargetWork,
 		LeasedCores:    st.LeasedCores,
 		Evictions:      st.Evictions,
+		TraceID:        obs.IDString(st.TraceID),
 	}
 	if st.State != sched.Pending {
 		out.QueuedAtMinutes = minutesp(st.QueuedAt)
@@ -85,6 +90,11 @@ type Stats struct {
 	Draining    bool `json:"draining"`
 	Subscribers int  `json:"subscribers"`
 
+	// Telemetry loss counters; both stay zero on a healthy service and
+	// the SLO smoke gate asserts exactly that.
+	EventsDropped int    `json:"events_dropped"`
+	SpansDropped  uint64 `json:"spans_dropped"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -104,6 +114,8 @@ func statsWire(st sched.Stats, uptime time.Duration) Stats {
 		CostSoFar:      st.CostSoFar,
 		Draining:       st.Draining,
 		Subscribers:    st.Subscribers,
+		EventsDropped:  st.EventsDropped,
+		SpansDropped:   st.SpansDropped,
 		UptimeSeconds:  uptime.Seconds(),
 	}
 }
@@ -137,6 +149,10 @@ type Event struct {
 	State     string     `json:"state,omitempty"`
 	Detail    string     `json:"detail,omitempty"`
 	Util      *UtilPoint `json:"util,omitempty"`
+	// TraceID/SpanID (16 hex digits) locate this very transition inside
+	// the job's causal tree; absent for timeline events and untraced runs.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 func eventWire(ev sched.Event) Event {
@@ -144,6 +160,8 @@ func eventWire(ev sched.Event) Event {
 		Kind:      ev.Kind,
 		AtMinutes: minutes(ev.At),
 		Detail:    ev.Detail,
+		TraceID:   obs.IDString(ev.TraceID),
+		SpanID:    obs.IDString(ev.SpanID),
 	}
 	if ev.Kind == sched.EventTimeline {
 		if ev.Util != nil {
@@ -171,4 +189,63 @@ type SubmitResponse struct {
 type ErrorResponse struct {
 	Error  string               `json:"error"`
 	Fields []jobspec.FieldError `json:"fields,omitempty"`
+}
+
+// TraceSpan is one node of a job's causal tree
+// (GET /v1/jobs/{id}/trace). IDs are 16 hex digits. Times are virtual
+// seconds from simulation start; wall-clock cost is deliberately
+// excluded so the same seeded run serializes byte-identically at any
+// worker count or pacing.
+type TraceSpan struct {
+	SpanID       string      `json:"span_id"`
+	ParentID     string      `json:"parent_id,omitempty"`
+	Component    string      `json:"component"`
+	Name         string      `json:"name"`
+	Detail       string      `json:"detail,omitempty"`
+	StartSeconds float64     `json:"start_seconds"`
+	EndSeconds   float64     `json:"end_seconds"`
+	Open         bool        `json:"open,omitempty"`
+	Attrs        any         `json:"attrs,omitempty"`
+	Children     []TraceSpan `json:"children,omitempty"`
+}
+
+// TraceResponse is the body of GET /v1/jobs/{id}/trace. Roots normally
+// holds exactly the job's root span; orphaned subtrees (parents lost to
+// tracer retention) surface as extra roots rather than disappearing.
+type TraceResponse struct {
+	JobID   int         `json:"job_id"`
+	TraceID string      `json:"trace_id"`
+	Spans   int         `json:"spans"`
+	Roots   []TraceSpan `json:"roots"`
+}
+
+func traceSpanWire(n *obs.TraceNode) TraceSpan {
+	out := TraceSpan{
+		SpanID:       obs.IDString(n.SpanID),
+		ParentID:     obs.IDString(n.ParentID),
+		Component:    n.Component,
+		Name:         n.Name,
+		Detail:       n.Detail,
+		StartSeconds: n.Start.Seconds(),
+		EndSeconds:   n.End.Seconds(),
+		Open:         n.Open,
+		Attrs:        n.Attrs,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, traceSpanWire(c))
+	}
+	return out
+}
+
+func traceResponseWire(jobID int, traceID uint64, spans []obs.SpanData) TraceResponse {
+	resp := TraceResponse{
+		JobID:   jobID,
+		TraceID: obs.IDString(traceID),
+		Spans:   len(spans),
+		Roots:   []TraceSpan{},
+	}
+	for _, root := range obs.BuildTree(spans) {
+		resp.Roots = append(resp.Roots, traceSpanWire(root))
+	}
+	return resp
 }

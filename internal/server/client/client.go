@@ -135,6 +135,15 @@ func (c *Client) Job(ctx context.Context, id int) (server.JobStatus, error) {
 	return out, err
 }
 
+// JobTrace fetches one job's assembled causal span tree. A missing job
+// returns an APIError satisfying IsNotFound; a server without tracing
+// returns a 503 APIError.
+func (c *Client) JobTrace(ctx context.Context, id int) (server.TraceResponse, error) {
+	var out server.TraceResponse
+	err := c.getJSON(ctx, fmt.Sprintf("/v1/jobs/%d/trace", id), &out)
+	return out, err
+}
+
 // Stats reads the scheduler/queue summary.
 func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
 	var out server.Stats

@@ -33,12 +33,14 @@ type Config struct {
 	// Scheduler is the control plane's backend; required. The caller owns
 	// driving it (Scheduler.Serve) — the Server only submits and observes.
 	Scheduler *sched.Scheduler
-	// Observer supplies the api_* request metrics and, when Mux is nil,
-	// the /metrics + pprof mux to mount on. Nil disables instrumentation.
+	// Observer supplies the api_* request metrics, the trace tree behind
+	// GET /v1/jobs/{id}/trace, and, when Mux is nil, the
+	// /metrics + /debug/flight + pprof mux to mount on. Nil disables
+	// instrumentation.
 	Observer *obs.Observer
 	// Mux is the base mux to mount the v1 routes on. Nil uses
-	// Observer.Reg().Mux() (the /metrics + pprof mux) or, with no
-	// Observer either, a fresh mux.
+	// Observer.Mux() (the /metrics + /debug/flight + pprof mux) or, with
+	// no Observer either, a fresh mux.
 	Mux *http.ServeMux
 	// EventBuffer is the per-SSE-connection event buffer handed to
 	// Scheduler.Subscribe; zero picks the subscription default.
@@ -68,7 +70,7 @@ func New(cfg Config) (*Server, error) {
 	mux := cfg.Mux
 	if mux == nil {
 		if cfg.Observer != nil {
-			mux = cfg.Observer.Reg().Mux()
+			mux = cfg.Observer.Mux()
 		} else {
 			mux = http.NewServeMux()
 		}
@@ -94,6 +96,7 @@ func (s *Server) routes() {
 	s.handle("POST /v1/jobs", "submit", s.handleSubmit)
 	s.handle("GET /v1/jobs", "jobs", s.handleJobs)
 	s.handle("GET /v1/jobs/{id}", "job", s.handleJob)
+	s.handle("GET /v1/jobs/{id}/trace", "job_trace", s.handleJobTrace)
 	s.handle("GET /v1/jobs/{id}/events", "job_events", s.handleJobEvents)
 	s.handle("GET /v1/timeline", "timeline", s.handleTimeline)
 	s.handle("GET /v1/stats", "stats", s.handleStats)
@@ -111,10 +114,13 @@ func (s *Server) reg() *obs.Registry {
 }
 
 // statusRecorder captures the response code for request metrics while
-// passing Flush through so SSE handlers still stream.
+// passing Flush through so SSE handlers still stream. Handlers that know
+// which trace their request served set exemplar so the latency histogram
+// links the observation to that trace.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code     int
+	exemplar uint64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -151,7 +157,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 				obs.L("code", strconv.Itoa(rec.code))).Inc()
 			reg.Histogram("proteus_api_request_seconds",
 				"control-plane request latency (wall seconds)", nil,
-				obs.L("route", route)).Observe(elapsed)
+				obs.L("route", route)).ObserveEx(elapsed, rec.exemplar)
 		}()
 		h(rec, r)
 	})
@@ -215,7 +221,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.nextID = j.ID + 1
 		}
 	}
+	// Exemplar the submit latency with the first accepted job's trace, so
+	// the histogram's buckets link to concrete causal trees.
+	if rec, ok := w.(*statusRecorder); ok && len(accepted) > 0 {
+		if st, found := s.sched.Status(accepted[0]); found {
+			rec.exemplar = st.TraceID
+		}
+	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{Accepted: accepted})
+}
+
+// handleJobTrace returns the job's assembled causal trace tree: every
+// recorded span of the trace — finished ones plus snapshots of any still
+// open — rooted at the job span. 404 for unknown jobs, 503 when the
+// server runs without a tracer.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok := s.sched.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return
+	}
+	tr := s.o.Trace()
+	if tr == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("tracing disabled"))
+		return
+	}
+	spans := tr.TraceSpans(st.TraceID)
+	writeJSON(w, http.StatusOK, traceResponseWire(id, st.TraceID, spans))
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

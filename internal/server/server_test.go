@@ -343,3 +343,116 @@ func TestAPIErrors(t *testing.T) {
 		t.Fatalf("pre-start state %q", all[0].State)
 	}
 }
+
+// TestTraceEndpoint is the e2e acceptance check for causal tracing over
+// HTTP: each job's GET /v1/jobs/{id}/trace returns exactly one rooted
+// tree whose parent links all resolve, covering the full lifecycle
+// (submit through done), fully closed once the scheduler drains, with
+// zero drop counters in /v1/stats.
+func TestTraceEndpoint(t *testing.T) {
+	eng, mkt, brain := testHarness(t, 733)
+	o := obs.NewObserver(eng.Now)
+	sc, err := sched.New(eng, mkt, testConfig(brain, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Scheduler: sc, Observer: o, EventBuffer: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resCh := make(chan *sched.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := sc.Serve(ctx, sched.ServeConfig{}) // unpaced
+		resCh <- res
+		errCh <- err
+	}()
+
+	c := client.New(ts.URL, nil)
+	ids, err := c.Submit(context.Background(), testEntries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer waitCancel()
+	statuses := make(map[int]server.JobStatus, len(ids))
+	for _, id := range ids {
+		st, err := c.WaitJob(waitCtx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("job %d state %q", id, st.State)
+		}
+		statuses[id] = st
+	}
+
+	// Drain before reading trees so every root span has closed; the
+	// httptest server outlives the scheduler loop.
+	cancel()
+	<-resCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range ids {
+		tr, err := c.JobTrace(context.Background(), id)
+		if err != nil {
+			t.Fatalf("trace %d: %v", id, err)
+		}
+		if tr.JobID != id {
+			t.Fatalf("trace job_id %d, want %d", tr.JobID, id)
+		}
+		if tr.TraceID == "" || tr.TraceID != statuses[id].TraceID {
+			t.Fatalf("trace_id %q does not match job status %q", tr.TraceID, statuses[id].TraceID)
+		}
+		if len(tr.Roots) != 1 {
+			t.Fatalf("job %d has %d roots, want 1 (orphaned subtrees mean broken parent links)", id, len(tr.Roots))
+		}
+		root := tr.Roots[0]
+		if root.Component != "sched" || root.Name != "job" || root.ParentID != "" {
+			t.Fatalf("job %d root = %s/%s parent %q", id, root.Component, root.Name, root.ParentID)
+		}
+		walked := 0
+		names := map[string]bool{}
+		var walk func(sp server.TraceSpan, parentID string)
+		walk = func(sp server.TraceSpan, parentID string) {
+			walked++
+			names[sp.Name] = true
+			if sp.Open {
+				t.Fatalf("job %d span %s/%s still open after drain", id, sp.Component, sp.Name)
+			}
+			if sp.ParentID != parentID {
+				t.Fatalf("job %d span %s parent_id %q, want %q", id, sp.SpanID, sp.ParentID, parentID)
+			}
+			for _, ch := range sp.Children {
+				walk(ch, sp.SpanID)
+			}
+		}
+		walk(root, "")
+		if walked != tr.Spans {
+			t.Fatalf("job %d tree visits %d spans, response says %d", id, walked, tr.Spans)
+		}
+		for _, want := range []string{"submit", "queued", "admitted", "running", "lease", "done"} {
+			if !names[want] {
+				t.Fatalf("job %d tree lacks %q span (has %v)", id, want, names)
+			}
+		}
+	}
+
+	if _, err := c.JobTrace(context.Background(), 99); !client.IsNotFound(err) {
+		t.Fatalf("missing job trace: %v, want 404", err)
+	}
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EventsDropped != 0 || stats.SpansDropped != 0 {
+		t.Fatalf("drop counters events=%d spans=%d, want 0", stats.EventsDropped, stats.SpansDropped)
+	}
+}
