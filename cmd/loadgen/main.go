@@ -1,0 +1,330 @@
+// Command loadgen is the control-plane load harness: it drives a
+// running `proteus -serve` (typically with -wal-dir, -max-queue, and
+// -max-concurrent) with up to millions of synthetic job submissions
+// over HTTP, measures client-observed submit latency and virtual
+// admission latency, exercises the backpressure path (429/503 with
+// Retry-After, absorbed by the client's jittered-backoff retry), and
+// emits a JSON report that CI gates on.
+//
+// Usage:
+//
+//	proteus -serve -addr :8080 -wal-dir /tmp/wal -max-queue 4096 -max-concurrent 64 &
+//	loadgen -target http://127.0.0.1:8080 -jobs 20000 -workers 32 -batch 20 \
+//	        -wait-terminal -gate-submit-p99-ms 500 -report report.json
+//
+// The gates fail the process (exit 1) so a CI step is just the loadgen
+// invocation itself; the report carries the evidence either way.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/jobspec"
+	"proteus/internal/server"
+	"proteus/internal/server/client"
+)
+
+// Quantiles summarizes one latency distribution.
+type Quantiles struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	sort.Float64s(xs)
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(xs)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return xs[i]
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return Quantiles{
+		Count: len(xs),
+		Mean:  sum / float64(len(xs)),
+		P50:   q(0.50),
+		P90:   q(0.90),
+		P99:   q(0.99),
+		Max:   xs[len(xs)-1],
+	}
+}
+
+// Report is the JSON artifact CI consumes.
+type Report struct {
+	Target  string `json:"target"`
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+	Batch   int    `json:"batch"`
+
+	Accepted    int `json:"accepted"`
+	FailedPosts int `json:"failed_posts"`
+	Retries429  int `json:"retries_429"`
+	Retries503  int `json:"retries_503"`
+
+	// SubmitMS is client-observed POST /v1/jobs wall latency in
+	// milliseconds, retries and backoff waits included — what a tenant
+	// actually experiences under backpressure.
+	SubmitMS Quantiles `json:"submit_ms"`
+	// AdmitVirtualMinutes is queue-to-admission wait on the virtual
+	// clock, from a sample of accepted jobs that reached admission.
+	AdmitVirtualMinutes Quantiles `json:"admit_virtual_minutes"`
+
+	// Sampled is how many accepted jobs were probed after the run;
+	// Lost counts probes the server no longer knows (404) — accepted-
+	// then-lost must be zero, that is the durability promise.
+	Sampled int `json:"sampled"`
+	Lost    int `json:"lost"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	SubmitsPerSec  float64 `json:"submits_per_sec"`
+
+	// ServerStats is the final GET /v1/stats, WAL counters included.
+	ServerStats server.Stats `json:"server_stats"`
+
+	GateFailures []string `json:"gate_failures,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	target := flag.String("target", "http://127.0.0.1:8080", "control-plane base URL")
+	jobs := flag.Int("jobs", 20000, "total jobs to submit")
+	workers := flag.Int("workers", 32, "concurrent submitters")
+	batch := flag.Int("batch", 20, "jobs per POST (bulk submission)")
+	hours := flag.Float64("hours", 0.02, "job size: hours of work at the 256-core base scale")
+	prioSpread := flag.Int("prio-spread", 3, "cycle priorities 0..spread-1 across jobs")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall run budget (submission + wait + probes)")
+	retries := flag.Int("retries", 8, "max attempts per POST under backpressure (429/503)")
+	sample := flag.Int("sample", 512, "accepted jobs probed for admission latency and loss")
+	waitTerminal := flag.Bool("wait-terminal", false, "after submitting, wait until every job is done or expired")
+	reportPath := flag.String("report", "", "write the JSON report here (default stdout)")
+	gateSubmitP99 := flag.Float64("gate-submit-p99-ms", 0, "fail if submit p99 exceeds this (0 = no gate)")
+	gateAdmitP99 := flag.Float64("gate-admit-p99-min", 0, "fail if virtual admission p99 exceeds this many minutes (0 = no gate)")
+	flag.Parse()
+	if *jobs <= 0 || *workers <= 0 || *batch <= 0 {
+		log.Fatal("-jobs, -workers, and -batch must be positive")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var retry429, retry503 atomic.Int64
+	policy := client.DefaultRetryPolicy()
+	policy.MaxAttempts = *retries
+	policy.OnRetry = func(status int, _ time.Duration) {
+		if status == http.StatusTooManyRequests {
+			retry429.Add(1)
+		} else {
+			retry503.Add(1)
+		}
+	}
+	// One transport shared by all workers, with enough idle connections
+	// that the pool does not thrash at high worker counts.
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *workers * 2,
+		MaxIdleConnsPerHost: *workers * 2,
+	}}
+	c := client.New(*target, hc).WithRetry(policy)
+
+	if _, err := c.Stats(ctx); err != nil {
+		log.Fatalf("target %s not reachable: %v", *target, err)
+	}
+
+	log.Printf("submitting %d jobs (%d workers × batches of %d) to %s", *jobs, *workers, *batch, *target)
+	start := time.Now()
+	var next atomic.Int64 // jobs handed out to workers so far
+	var failed atomic.Int64
+	latencies := make([][]float64, *workers)
+	acceptedIDs := make([][]int, *workers)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				base := next.Add(int64(*batch)) - int64(*batch)
+				if base >= int64(*jobs) {
+					return
+				}
+				n := *batch
+				if rem := int(int64(*jobs) - base); rem < n {
+					n = rem
+				}
+				entries := make([]jobspec.Entry, n)
+				for i := range entries {
+					entries[i] = jobspec.Entry{
+						Name:     fmt.Sprintf("load-%d", base+int64(i)),
+						Hours:    *hours,
+						Priority: int(base+int64(i)) % *prioSpread,
+					}
+				}
+				t0 := time.Now()
+				ids, err := c.Submit(ctx, entries...)
+				latencies[w] = append(latencies[w], float64(time.Since(t0).Microseconds())/1e3)
+				if err != nil {
+					failed.Add(1)
+					if ctx.Err() != nil {
+						return
+					}
+					continue
+				}
+				acceptedIDs[w] = append(acceptedIDs[w], ids...)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var allLat []float64
+	var accepted []int
+	for w := 0; w < *workers; w++ {
+		allLat = append(allLat, latencies[w]...)
+		accepted = append(accepted, acceptedIDs[w]...)
+	}
+	sort.Ints(accepted)
+	log.Printf("submitted: %d accepted, %d failed POSTs, %d/%d retries (429/503), %.1fs",
+		len(accepted), failed.Load(), retry429.Load(), retry503.Load(), elapsed.Seconds())
+
+	if *waitTerminal {
+		if err := waitAllTerminal(ctx, c, len(accepted)); err != nil {
+			log.Fatalf("waiting for terminal states: %v", err)
+		}
+	}
+
+	// Probe a spread of accepted jobs: admission latency on the virtual
+	// clock, and the loss check — every accepted ID must still be known.
+	probed, lost, admitMin := probe(ctx, c, accepted, *sample)
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatalf("final stats: %v", err)
+	}
+
+	rep := Report{
+		Target:              *target,
+		Jobs:                *jobs,
+		Workers:             *workers,
+		Batch:               *batch,
+		Accepted:            len(accepted),
+		FailedPosts:         int(failed.Load()),
+		Retries429:          int(retry429.Load()),
+		Retries503:          int(retry503.Load()),
+		SubmitMS:            summarize(allLat),
+		AdmitVirtualMinutes: summarize(admitMin),
+		Sampled:             probed,
+		Lost:                lost,
+		ElapsedSeconds:      elapsed.Seconds(),
+		SubmitsPerSec:       float64(len(accepted)) / elapsed.Seconds(),
+		ServerStats:         stats,
+	}
+
+	gate := func(cond bool, format string, args ...any) {
+		if cond {
+			rep.GateFailures = append(rep.GateFailures, fmt.Sprintf(format, args...))
+		}
+	}
+	gate(rep.Lost > 0, "%d accepted jobs lost (of %d sampled) — durability broken", rep.Lost, rep.Sampled)
+	gate(rep.Accepted == 0, "no job was accepted")
+	gate(*gateSubmitP99 > 0 && rep.SubmitMS.P99 > *gateSubmitP99,
+		"submit p99 %.1fms exceeds gate %.1fms", rep.SubmitMS.P99, *gateSubmitP99)
+	gate(*gateAdmitP99 > 0 && rep.AdmitVirtualMinutes.P99 > *gateAdmitP99,
+		"admission p99 %.1f virtual minutes exceeds gate %.1f", rep.AdmitVirtualMinutes.P99, *gateAdmitP99)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = append(out, '\n')
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *reportPath)
+	} else {
+		os.Stdout.Write(out)
+	}
+	log.Printf("submit p50 %.1fms p99 %.1fms | admission p99 %.1f virt-min (n=%d) | lost %d/%d",
+		rep.SubmitMS.P50, rep.SubmitMS.P99, rep.AdmitVirtualMinutes.P99,
+		rep.AdmitVirtualMinutes.Count, rep.Lost, rep.Sampled)
+	if len(rep.GateFailures) > 0 {
+		for _, g := range rep.GateFailures {
+			log.Printf("GATE FAILED: %s", g)
+		}
+		os.Exit(1)
+	}
+}
+
+// waitAllTerminal polls /v1/stats until done+expired reaches the
+// accepted count (recovered jobs from a prior life, if any, are counted
+// by the server too, so compare against its own jobs total).
+func waitAllTerminal(ctx context.Context, c *client.Client, accepted int) error {
+	if accepted == 0 {
+		return nil
+	}
+	for {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if st.Done+st.Expired >= st.Jobs && st.Jobs >= accepted {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w (last: %d/%d terminal)", ctx.Err(), st.Done+st.Expired, st.Jobs)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// probe samples up to max accepted IDs evenly and reads each one's
+// status: a 404 is an accepted-then-lost job (gate-fatal); jobs that
+// reached admission contribute queue→start virtual wait.
+func probe(ctx context.Context, c *client.Client, accepted []int, max int) (probed, lost int, admitMin []float64) {
+	if len(accepted) == 0 || max <= 0 {
+		return 0, 0, nil
+	}
+	stride := len(accepted) / max
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(accepted); i += stride {
+		st, err := c.Job(ctx, accepted[i])
+		if err != nil {
+			if client.IsNotFound(err) {
+				lost++
+				probed++
+				continue
+			}
+			log.Printf("probe job %d: %v", accepted[i], err)
+			continue
+		}
+		probed++
+		if st.QueuedAtMinutes != nil && st.StartedAtMinutes != nil {
+			admitMin = append(admitMin, *st.StartedAtMinutes-*st.QueuedAtMinutes)
+		}
+	}
+	return probed, lost, admitMin
+}

@@ -65,6 +65,11 @@ func main() {
 	sloFlightOut := flag.String("slo-flight-out", "", "with -slo, write the flight-recorder dump here on failure")
 	addr := flag.String("addr", ":8080", "with -serve, the listen address for the control-plane API")
 	speedup := flag.Float64("speedup", 60, "with -serve, virtual seconds per wall second while jobs run (0 = as fast as possible)")
+	walDir := flag.String("wal-dir", "", "with -serve, append every submission and state transition to a write-ahead log in this directory; a directory already holding a log is recovered (crash restart) instead of started fresh")
+	walSegMB := flag.Int("wal-segment-mb", 4, "with -wal-dir, segment size in MiB before snapshot+compaction")
+	maxQueue := flag.Int("max-queue", 0, "with -serve, cap on jobs waiting for admission; submissions beyond it get 429 + Retry-After (0 = unbounded)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "with -serve, cap on simultaneously running jobs (0 = unbounded)")
+	traceLimit := flag.Int("trace-limit", 0, "with -serve, cap on retained trace spans; oldest finished spans are evicted past it (0 = keep all)")
 	days := flag.Int("days", 0, "market evaluation window in days (0 keeps the default)")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file at exit")
 	traceOut := flag.String("trace-out", "", "write the JSONL span trace to this file at exit")
@@ -113,7 +118,16 @@ func main() {
 	}
 
 	if *serve {
-		if err := runServe(ctx, cfg, o, *policy, *addr, *speedup); err != nil {
+		so := serveOptions{
+			addr:          *addr,
+			speedup:       *speedup,
+			walDir:        *walDir,
+			walSegmentMB:  *walSegMB,
+			maxQueue:      *maxQueue,
+			maxConcurrent: *maxConcurrent,
+			traceLimit:    *traceLimit,
+		}
+		if err := runServe(ctx, cfg, o, *policy, so); err != nil {
 			log.Fatal(err)
 		}
 		if err := oo.write(o); err != nil {

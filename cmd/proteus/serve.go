@@ -13,7 +13,41 @@ import (
 	"proteus/internal/obs"
 	"proteus/internal/sched"
 	"proteus/internal/server"
+	"proteus/internal/wal"
 )
+
+// serveOptions are the service-only knobs from the command line.
+type serveOptions struct {
+	addr    string
+	speedup float64
+	// walDir enables the durable control plane: every submission and
+	// state transition appends to a write-ahead log there, and a
+	// directory already holding a log is recovered instead of started
+	// fresh (the logged environment wins over the flags).
+	walDir string
+	// walSegmentMB sizes log segments before snapshot+compaction.
+	walSegmentMB int
+	// maxQueue caps the admission backlog (429 beyond it); 0 unbounded.
+	maxQueue int
+	// maxConcurrent caps simultaneously running jobs; 0 unbounded.
+	maxConcurrent int
+	// traceLimit bounds retained spans (oldest finished spans evicted);
+	// 0 keeps everything.
+	traceLimit int
+}
+
+// openWAL creates or recovers the service's write-ahead log. On
+// recovery the returned replay carries the crashed run's inputs and the
+// logged Meta, which the caller must use in place of its own flags —
+// bit-identical replay needs the original environment.
+func openWAL(o serveOptions, meta wal.Meta) (*wal.Log, *wal.Replay, error) {
+	opts := wal.Options{SegmentBytes: o.walSegmentMB << 20}
+	if wal.Exists(o.walDir) {
+		return wal.Open(o.walDir, opts)
+	}
+	l, err := wal.Create(o.walDir, meta, opts)
+	return l, nil, err
+}
 
 // runServe runs the multi-tenant scheduler as a long-running HTTP
 // service: the control-plane API (job submission, status, SSE streams,
@@ -21,9 +55,15 @@ import (
 // over POST /v1/jobs run over the shared footprint as they arrive,
 // paced against the wall clock by -speedup. Canceling ctx (ctrl-c)
 // drains: submissions are refused, in-flight jobs fast-forward to
-// completion, and the consolidated bill prints before exit.
+// completion, the WAL tail is flushed and fsynced, and the consolidated
+// bill prints before exit.
+//
+// With -wal-dir, the scheduler's full input stream is durable: killing
+// the process (even SIGKILL) and restarting with the same -wal-dir
+// replays the log into a scheduler whose bills, traces, and stats match
+// the uninterrupted run.
 func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer,
-	policyName, addr string, speedup float64) error {
+	policyName string, so serveOptions) error {
 	policy, err := sched.PolicyByName(policyName)
 	if err != nil {
 		return err
@@ -31,7 +71,45 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 	if o == nil {
 		o = obs.NewObserver(nil)
 	}
+
+	var wlog *wal.Log
+	var replay *wal.Replay
+	if so.walDir != "" {
+		wlog, replay, err = openWAL(so, wal.Meta{
+			Seed:          cfg.Seed,
+			EvalDays:      cfg.EvalDays,
+			TrainDays:     cfg.TrainDays,
+			BetaSamples:   cfg.BetaSamples,
+			Zones:         cfg.Zones,
+			Policy:        policy.Name(),
+			MaxConcurrent: so.maxConcurrent,
+		})
+		if err != nil {
+			return err
+		}
+		defer wlog.Close()
+		if replay != nil {
+			// The log's environment overrides the flags: replay is only
+			// bit-identical against the original market and policy.
+			cfg.Seed = replay.Meta.Seed
+			cfg.EvalDays = replay.Meta.EvalDays
+			cfg.TrainDays = replay.Meta.TrainDays
+			cfg.BetaSamples = replay.Meta.BetaSamples
+			cfg.Zones = replay.Meta.Zones
+			so.maxConcurrent = replay.Meta.MaxConcurrent
+			if policy, err = sched.PolicyByName(replay.Meta.Policy); err != nil {
+				return fmt.Errorf("recovering %s: %w", so.walDir, err)
+			}
+			log.Printf("recovering %s: %d records (%d submissions) across %d segment(s), virtual clock at %s",
+				so.walDir, replay.Records, len(replay.Jobs), replay.Segments, replay.LastVirtual)
+			if replay.TornDropped {
+				log.Printf("recovery: dropped one torn record at the log tail (mid-crash write)")
+			}
+		}
+	}
+
 	cfg.Observer = o
+	o.Trace().SetLimit(so.traceLimit)
 	env, err := experiments.NewEnv(cfg, bidbrain.DefaultParams())
 	if err != nil {
 		return err
@@ -40,11 +118,18 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 
 	scfg := experiments.SchedConfig(env.Brain, policy)
 	scfg.Observer = o
-	sc, err := sched.New(env.Engine, env.Market, scfg)
+	scfg.MaxConcurrent = so.maxConcurrent
+	var sc *sched.Scheduler
+	if replay != nil {
+		sc, err = sched.Recover(env.Engine, env.Market, scfg, replay, wlog)
+	} else {
+		scfg.WAL = wlog
+		sc, err = sched.New(env.Engine, env.Market, scfg)
+	}
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{Scheduler: sc, Observer: o})
+	srv, err := server.New(server.Config{Scheduler: sc, Observer: o, MaxQueue: so.maxQueue})
 	if err != nil {
 		return err
 	}
@@ -53,12 +138,15 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 	// its context closes only after the scheduler has settled.
 	httpCtx, stopHTTP := context.WithCancel(context.Background())
 	defer stopHTTP()
-	httpDone, lnAddr, err := serveHTTP(httpCtx, addr, srv)
+	httpDone, lnAddr, err := serveHTTP(httpCtx, so.addr, srv)
 	if err != nil {
 		return err
 	}
 	log.Printf("control plane on http://%s — POST /v1/jobs, GET /v1/jobs, /v1/stats, /v1/timeline, /metrics (ctrl-c drains and exits)", lnAddr)
-	log.Printf("market: %d-day horizon, seed %d, policy %s, speedup %.0fx", cfg.EvalDays, cfg.Seed, policy.Name(), speedup)
+	log.Printf("market: %d-day horizon, seed %d, policy %s, speedup %.0fx", cfg.EvalDays, cfg.Seed, policy.Name(), so.speedup)
+	if wlog != nil {
+		log.Printf("write-ahead log: %s (fsync on submit; crash recovery replays to an identical run)", so.walDir)
+	}
 
 	// SIGQUIT dumps the flight recorder — the last spans across every
 	// component plus whatever is still open — without stopping the
@@ -75,10 +163,22 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 		}
 	}()
 
-	res, err := sc.Serve(ctx, sched.ServeConfig{Speedup: speedup})
+	res, err := sc.Serve(ctx, sched.ServeConfig{Speedup: so.speedup})
 	stopHTTP()
 	if herr := <-httpDone; herr != nil {
 		log.Printf("http server: %v", herr)
+	}
+	if wlog != nil {
+		// Drain barrier: every record the settle just appended (drain
+		// accounting included) reaches disk before the bill prints. The
+		// deferred Close then finds a clean log.
+		if werr := wlog.Sync(); werr != nil {
+			log.Printf("wal: %v", werr)
+		} else {
+			st := wlog.Stats()
+			log.Printf("wal: %d records durable (%d submissions, %d syncs, %d snapshots)",
+				st.LastSeq, st.Submits, st.Syncs, st.Snapshots)
+		}
 	}
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@
 package journal
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -155,18 +156,77 @@ type eventJSON struct {
 // WriteJSONL writes the retained events, one JSON object per line, in
 // the obs span-trace format (type "span", start_seconds == end_seconds).
 func (j *Journal) WriteJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
 	for _, e := range j.Events() {
-		if err := enc.Encode(eventJSON{
+		line, err := MarshalLine(eventJSON{
 			Type:         "span",
 			Component:    e.Component,
 			Name:         e.Kind,
 			Detail:       e.Detail,
 			StartSeconds: e.At.Seconds(),
 			EndSeconds:   e.At.Seconds(),
-		}); err != nil {
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ReadJSONL decodes a stream previously produced by WriteJSONL back into
+// events. Unknown fields on a line are ignored (forward compatibility:
+// a newer writer may annotate lines with fields an older reader has
+// never heard of) and blank lines are skipped, so a journal dump can be
+// concatenated, grepped, or hand-edited and still round-trip.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := DecodeLines(r, func(line []byte) error {
+		var e eventJSON
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("journal: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, Event{
+			At:        time.Duration(e.StartSeconds * float64(time.Second)),
+			Component: e.Component,
+			Kind:      e.Name,
+			Detail:    e.Detail,
+		})
+		return nil
+	})
+	return out, err
+}
+
+// maxLineBytes bounds one JSONL line; a record is a few hundred bytes,
+// so 1 MiB tolerates even pathological detail strings.
+const maxLineBytes = 1 << 20
+
+// MarshalLine renders v as one canonical JSONL line (no trailing
+// newline). It is the record codec shared by the journal's span dump and
+// the scheduler WAL: one self-contained JSON object per line, safe to
+// split on '\n' because encoding/json never emits raw newlines inside an
+// object.
+func MarshalLine(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// DecodeLines calls fn for every non-empty line of r, stripping the
+// trailing newline. It stops at the first fn error. The final line may
+// lack a newline (a torn tail from a crashed writer); it is still
+// delivered, and callers that frame lines with checksums (the WAL)
+// decide whether to keep it.
+func DecodeLines(r io.Reader, fn func(line []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
 }

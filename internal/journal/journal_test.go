@@ -162,6 +162,108 @@ func TestWriteJSONL(t *testing.T) {
 	}
 }
 
+func TestJSONLRoundTrip(t *testing.T) {
+	now := time.Duration(0)
+	j := New(func() time.Duration { return now })
+	j.Record("bidbrain", "acquire", "32 x c4.2xlarge at $0.102")
+	now = 90 * time.Second
+	j.Record("market", "evicted", "allocation 3")
+	now = 2 * time.Minute
+	j.Record("agileml", "stage-transition", "")
+
+	var sb strings.Builder
+	if err := j.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := j.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip events = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLForwardCompat(t *testing.T) {
+	// A newer writer may add fields and blank separator lines; an older
+	// reader must ignore both rather than fail.
+	in := `{"type":"span","component":"market","name":"evicted","detail":"allocation 3","start_seconds":90,"end_seconds":90,"future_field":{"nested":true},"another":[1,2,3]}
+
+{"type":"span","component":"agileml","name":"drain","start_seconds":120,"end_seconds":120}
+`
+	evs, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Component != "market" || evs[0].At != 90*time.Second {
+		t.Fatalf("events[0] = %+v", evs[0])
+	}
+	if evs[1].Kind != "drain" || evs[1].Detail != "" {
+		t.Fatalf("events[1] = %+v", evs[1])
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"type\":\"span\"}\nnot json\n")); err == nil {
+		t.Fatal("garbage line should fail")
+	}
+}
+
+func TestDecodeLinesTornTail(t *testing.T) {
+	// A crashed writer leaves a final line without its newline; the
+	// decoder must still deliver it (framing layers above decide whether
+	// to keep it).
+	var lines []string
+	err := DecodeLines(strings.NewReader("one\ntwo\nhalf-writ"), func(b []byte) error {
+		lines = append(lines, string(b))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 || lines[2] != "half-writ" {
+		t.Fatalf("lines = %q", lines)
+	}
+}
+
+func TestDecodeLinesStopsOnError(t *testing.T) {
+	calls := 0
+	err := DecodeLines(strings.NewReader("a\nb\nc\n"), func(b []byte) error {
+		calls++
+		if string(b) == "b" {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestMarshalLineSingleLine(t *testing.T) {
+	// The WAL frames one record per line, so the codec must never emit a
+	// raw newline even when the payload contains one.
+	line, err := MarshalLine(map[string]string{"detail": "line1\nline2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsRune(string(line), '\n') {
+		t.Fatalf("MarshalLine emitted a raw newline: %q", line)
+	}
+}
+
 func TestConcurrentBoundedRecord(t *testing.T) {
 	j := NewBounded(nil, 50)
 	var wg sync.WaitGroup

@@ -257,6 +257,15 @@ type Stats struct {
 	// service — the SLO gate asserts exactly that.
 	EventsDropped int
 	SpansDropped  uint64
+
+	// Recovered reports the scheduler was built by Recover from a WAL;
+	// RecoveredJobs is how many submissions the replay restored.
+	// CatchingUp is true while a recovered Serve loop is still
+	// fast-forwarding the virtual clock to where the crashed run left
+	// off (new submissions are accepted throughout).
+	Recovered     bool
+	RecoveredJobs int
+	CatchingUp    bool
 }
 
 // Stats summarizes the scheduler's current state. Safe to call from any
@@ -267,29 +276,23 @@ func (s *Scheduler) Stats() Stats {
 	st := Stats{
 		Horizon:       s.horizon,
 		Jobs:          len(s.jobs),
+		Pending:       s.stateCount[Pending],
+		Queued:        s.stateCount[Queued],
+		Running:       s.stateCount[Running],
+		Done:          s.stateCount[Done],
+		Expired:       s.stateCount[Expired],
 		Rebalances:    s.rebalances,
 		Draining:      s.closing || s.draining,
 		Subscribers:   len(s.subs),
 		EventsDropped: s.eventsDropped,
 		SpansDropped:  s.obs().Trace().Dropped(),
+		Recovered:     s.recovered,
+		RecoveredJobs: s.recoveredJobs,
+		CatchingUp:    s.recovered && s.started && s.eng.Now() < s.resumeTo,
 	}
 	if s.started {
 		st.Now = s.eng.Now() - s.startAt
 		st.CostSoFar = s.mkt.TotalCost() - s.startCost
-	}
-	for _, j := range s.jobs {
-		switch j.state {
-		case Pending:
-			st.Pending++
-		case Queued:
-			st.Queued++
-		case Running:
-			st.Running++
-		case Done:
-			st.Done++
-		case Expired:
-			st.Expired++
-		}
 	}
 	for _, ba := range s.allocs {
 		if ba.warned {

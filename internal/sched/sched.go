@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"proteus/internal/obs"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
+	"proteus/internal/wal"
 )
 
 // decisionPeriod matches the single-job driver: the broker reconsiders
@@ -188,6 +190,10 @@ type Config struct {
 	// Hooks, when set, builds the per-job elasticity adapter at
 	// admission time.
 	Hooks func(Job) ElasticHooks
+	// WAL, when set, receives every accepted submission and state
+	// transition as a durable record. Submissions are logged before
+	// they mutate scheduler state; a failed append rejects the Submit.
+	WAL *wal.Log
 }
 
 // Validate rejects unusable configurations.
@@ -234,6 +240,14 @@ type jobRun struct {
 	// child span/event carrying traceID.
 	traceID uint64
 	span    *obs.Span
+	// slot is the job's index in s.jobs (assigned when the run starts,
+	// or at append for live submissions); the running set keeps s.jobs
+	// slot order so rebalance tie-breaks are independent of how the set
+	// is maintained.
+	slot int
+	// queueIdx is the job's position in the admission heap, -1 when not
+	// queued.
+	queueIdx int
 }
 
 // brokerAlloc is one market allocation owned by the footprint broker and
@@ -292,6 +306,26 @@ type Scheduler struct {
 	eventsDropped int // cumulative across all subscriptions, incl. closed
 	timeline      []UtilPoint
 	runErr        error
+
+	// O(1) indexes over s.jobs, so a service ingesting ~1M jobs never
+	// scans the whole population per event: per-state counts, the
+	// highest submitted ID, the admission queue as a heap ordered by
+	// admitBefore, and the running set in s.jobs slot order.
+	stateCount [5]int
+	maxID      int // -1 until the first submission
+	queue      admitHeap
+	running    []*jobRun
+
+	// wal durability: transitions append to wal while the virtual clock
+	// is at or past walMuteUntil (catch-up replay of recovered history
+	// re-executes transitions whose records already exist); resumeTo is
+	// the virtual instant a recovered Serve loop fast-forwards to before
+	// pacing.
+	wal           *wal.Log
+	walMuteUntil  time.Duration
+	resumeTo      time.Duration
+	recovered     bool
+	recoveredJobs int
 }
 
 // New builds a scheduler over the engine and market. Jobs are added with
@@ -314,6 +348,8 @@ func New(eng *sim.Engine, mkt *market.Market, cfg Config) (*Scheduler, error) {
 		subs:   make(map[*Subscription]struct{}),
 		byID:   make(map[int]*jobRun),
 		allocs: make(map[market.AllocationID]*brokerAlloc),
+		maxID:  -1,
+		wal:    cfg.WAL,
 	}
 	// The market horizon bounds the run: when the price traces end, no
 	// further market events fire and unfinished jobs are reported as
@@ -350,18 +386,30 @@ func (s *Scheduler) Submit(job Job) error {
 	if _, dup := s.byID[job.ID]; dup {
 		return fmt.Errorf("sched: duplicate job ID %d", job.ID)
 	}
-	j := &jobRun{job: job, state: Pending, traceID: obs.NewTraceID(s.cfg.TraceSeed, uint64(job.ID))}
+	j := &jobRun{job: job, state: Pending, queueIdx: -1, traceID: obs.NewTraceID(s.cfg.TraceSeed, uint64(job.ID))}
+	var arriveAt time.Duration
 	if s.started {
 		now := s.eng.Now()
-		at := s.startAt + job.Arrival
-		if at < now {
+		arriveAt = s.startAt + job.Arrival
+		if arriveAt < now {
 			// The requested offset is already in the virtual past; the job
 			// arrives now and its record reflects the effective arrival.
-			at = now
+			arriveAt = now
 			j.job.Arrival = now - s.startAt
 		}
 		j.lastAccrue = now
-		s.eng.AtTransient(at, "sched.arrival", func() { s.arrive(j) })
+	}
+	// Log-before-mutate: the submission (with its effective, post-clamp
+	// arrival) must be durable-loggable before any scheduler state
+	// changes, so a crash never knows a job the log does not.
+	if err := s.walSubmit(j); err != nil {
+		return fmt.Errorf("sched: job %d: %w", job.ID, err)
+	}
+	if s.started {
+		s.eng.AtTransient(arriveAt, "sched.arrival", func() { s.arrive(j) })
+		// Live submissions take the next slot directly; batch submissions
+		// are re-slotted by the startJobsLocked sort.
+		j.slot = len(s.jobs)
 	}
 	// The root of the job's causal trace opens at submission; the
 	// validate/enqueue step is its first child. Safe here: mu serializes
@@ -372,6 +420,10 @@ func (s *Scheduler) Submit(job Job) error {
 		j.job.Spec.TargetWork, j.job.Arrival)
 	s.jobs = append(s.jobs, j)
 	s.byID[job.ID] = j
+	s.stateCount[Pending]++
+	if job.ID > s.maxID {
+		s.maxID = job.ID
+	}
 	if s.started {
 		// Nudge a Serve loop sleeping on an idle timeline.
 		select {
@@ -388,13 +440,7 @@ func (s *Scheduler) Submit(job Job) error {
 func (s *Scheduler) NextJobID() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	next := 0
-	for id := range s.byID {
-		if id >= next {
-			next = id + 1
-		}
-	}
-	return next
+	return s.maxID + 1
 }
 
 // startJobsLocked begins the run: anchors the reliable tier, installs
@@ -408,6 +454,9 @@ func (s *Scheduler) NextJobID() int {
 func (s *Scheduler) startJobsLocked() error {
 	s.started = true
 	sort.Slice(s.jobs, func(i, j int) bool { return s.jobs[i].job.ID < s.jobs[j].job.ID })
+	for i, j := range s.jobs {
+		j.slot = i
+	}
 
 	s.startAt = s.eng.Now()
 	s.startCost = s.mkt.TotalCost()
@@ -424,6 +473,7 @@ func (s *Scheduler) startJobsLocked() error {
 		if s.draining || s.allTerminal() {
 			return
 		}
+		s.walTransition(wal.Record{Kind: wal.KindTick, JobID: -1})
 		s.decide(nil)
 		s.rebalance("tick")
 	})
@@ -621,12 +671,15 @@ func (s *Scheduler) fail(err error) {
 }
 
 func (s *Scheduler) allTerminal() bool {
-	for _, j := range s.jobs {
-		if j.state != Done && j.state != Expired {
-			return false
-		}
-	}
-	return true
+	return s.stateCount[Pending]+s.stateCount[Queued]+s.stateCount[Running] == 0
+}
+
+// setState moves a job between lifecycle states, keeping the per-state
+// counts (the O(1) backing of allTerminal, countState, and Stats).
+func (s *Scheduler) setState(j *jobRun, st JobState) {
+	s.stateCount[j.state]--
+	j.state = st
+	s.stateCount[st]++
 }
 
 // --- job lifecycle -------------------------------------------------
@@ -638,13 +691,15 @@ func (s *Scheduler) arrive(j *jobRun) {
 	now := s.eng.Now()
 	j.queuedAt = now
 	if j.job.Deadline > 0 && now >= s.startAt+j.job.Deadline {
-		j.state = Expired
+		s.setState(j, Expired)
+		s.walTransition(wal.Record{Kind: wal.KindExpire, JobID: j.job.ID})
 		s.jobCounter("expired").Inc()
 		s.emitJob(EventExpired, j, fmt.Sprintf("arrived after deadline %v", j.job.Deadline))
 		s.endJobSpan(j, "expired")
 		return
 	}
-	j.state = Queued
+	s.setState(j, Queued)
+	heap.Push(&s.queue, j)
 	s.jobCounter("queued").Inc()
 	s.emitJob(EventQueued, j, fmt.Sprintf("priority=%d deadline=%v", j.job.Priority, j.job.Deadline))
 	s.admit()
@@ -664,25 +719,21 @@ func (s *Scheduler) endJobSpan(j *jobRun, why string) {
 // admit moves queued jobs to running while concurrency slots are free.
 // Admission order is priority-first, then earliest deadline, then
 // arrival, then ID — the deadline-aware queue ordering; core *shares*
-// among admitted jobs are the pluggable policy's business.
+// among admitted jobs are the pluggable policy's business. The queue is
+// a heap over that (total) order, so admission picks the same job a
+// full scan would, in O(log n).
 func (s *Scheduler) admit() {
 	for {
-		if s.cfg.MaxConcurrent > 0 && s.countState(Running) >= s.cfg.MaxConcurrent {
+		if s.cfg.MaxConcurrent > 0 && s.stateCount[Running] >= s.cfg.MaxConcurrent {
 			return
 		}
-		var next *jobRun
-		for _, j := range s.jobs {
-			if j.state != Queued {
-				continue
-			}
-			if next == nil || admitBefore(j, next) {
-				next = j
-			}
-		}
-		if next == nil {
+		if len(s.queue) == 0 {
 			return
 		}
-		next.state = Running
+		next := heap.Pop(&s.queue).(*jobRun)
+		s.setState(next, Running)
+		s.insertRunning(next)
+		s.walTransition(wal.Record{Kind: wal.KindAdmit, JobID: next.job.ID})
 		next.startedAt = s.eng.Now()
 		next.lastAccrue = s.eng.Now()
 		if s.cfg.Hooks != nil {
@@ -719,14 +770,63 @@ func admitBefore(a, b *jobRun) bool {
 	return a.job.ID < b.job.ID
 }
 
-func (s *Scheduler) countState(st JobState) int {
-	n := 0
-	for _, j := range s.jobs {
-		if j.state == st {
-			n++
+// admitHeap is the admission queue: a heap over admitBefore. Since the
+// order is total (ties broken by ID), popping yields exactly the job a
+// linear min-scan would pick.
+type admitHeap []*jobRun
+
+func (h admitHeap) Len() int            { return len(h) }
+func (h admitHeap) Less(i, j int) bool  { return admitBefore(h[i], h[j]) }
+func (h admitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].queueIdx = i; h[j].queueIdx = j }
+func (h *admitHeap) Push(x interface{}) { j := x.(*jobRun); j.queueIdx = len(*h); *h = append(*h, j) }
+func (h *admitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.queueIdx = -1
+	*h = old[:n-1]
+	return j
+}
+
+// insertRunning adds the job to the running set, kept in s.jobs slot
+// order so rebalance iterates runnable jobs exactly as a scan of s.jobs
+// would (pass-2 grant ties break on that order).
+func (s *Scheduler) insertRunning(j *jobRun) {
+	lo, hi := 0, len(s.running)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.running[mid].slot < j.slot {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return n
+	s.running = append(s.running, nil)
+	copy(s.running[lo+1:], s.running[lo:])
+	s.running[lo] = j
+}
+
+// removeRunning drops the job from the running set.
+func (s *Scheduler) removeRunning(j *jobRun) {
+	lo, hi := 0, len(s.running)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.running[mid].slot < j.slot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.running) && s.running[lo] == j {
+		copy(s.running[lo:], s.running[lo+1:])
+		s.running[len(s.running)-1] = nil
+		s.running = s.running[:len(s.running)-1]
+	}
+}
+
+func (s *Scheduler) countState(st JobState) int {
+	return s.stateCount[st]
 }
 
 func (s *Scheduler) onJobDone(j *jobRun) {
@@ -734,8 +834,10 @@ func (s *Scheduler) onJobDone(j *jobRun) {
 		return
 	}
 	s.accrueJob(j)
-	j.state = Done
+	s.setState(j, Done)
+	s.removeRunning(j)
 	j.finished = s.eng.Now()
+	s.walTransition(wal.Record{Kind: wal.KindDone, JobID: j.job.ID, Amount: j.work})
 	s.jobCounter("done").Inc()
 	s.emitJob(EventDone, j, fmt.Sprintf("work=%.1f evictions=%d", j.work, j.evictions))
 	if j.span != nil {
@@ -836,10 +938,8 @@ func (s *Scheduler) spotCores() int {
 // bounded by the global cap.
 func (s *Scheduler) totalDemand() int {
 	demand := 0
-	for _, j := range s.jobs {
-		if j.state == Running {
-			demand += j.job.Spec.MaxSpotCores
-		}
+	for _, j := range s.running {
+		demand += j.job.Spec.MaxSpotCores
 	}
 	if demand > s.cfg.MaxSpotCores {
 		demand = s.cfg.MaxSpotCores
@@ -972,6 +1072,8 @@ func (s *Scheduler) decide(parent *obs.Span) {
 	}
 	ba := &brokerAlloc{alloc: alloc, bidDelta: cand.BidDelta}
 	s.allocs[alloc.ID] = ba
+	s.walTransition(wal.Record{Kind: wal.KindAcquire, JobID: -1, Alloc: int(alloc.ID),
+		Cores: ba.cores(), Amount: cand.Bid, Detail: cand.Type.Name})
 	s.scheduleHourEnd(ba)
 	s.rebalance("acquire")
 }
@@ -980,8 +1082,8 @@ func (s *Scheduler) decide(parent *obs.Span) {
 // phrases it as a bidbrain goal.
 func (s *Scheduler) urgentDeadline() (bidbrain.DeadlineGoal, bool) {
 	var best *jobRun
-	for _, j := range s.jobs {
-		if j.state != Running || j.job.Deadline == 0 {
+	for _, j := range s.running {
+		if j.job.Deadline == 0 {
 			continue
 		}
 		if best == nil || j.job.Deadline < best.job.Deadline {
@@ -1078,6 +1180,7 @@ func (s *Scheduler) release(ba *brokerAlloc) {
 	j.leasedCores -= ba.cores()
 	ba.lastHolder = j
 	ba.holder = nil
+	s.walTransition(wal.Record{Kind: wal.KindRelease, JobID: j.job.ID, Alloc: int(ba.alloc.ID), Cores: ba.cores()})
 	s.recomputeRate(j)
 	if j.hooks != nil {
 		if err := j.hooks.Shrink(ba.cores()); err != nil {
@@ -1091,6 +1194,7 @@ func (s *Scheduler) release(ba *brokerAlloc) {
 func (s *Scheduler) grant(ba *brokerAlloc, j *jobRun) {
 	ba.holder = j
 	ba.leaseStart = s.eng.Now()
+	s.walTransition(wal.Record{Kind: wal.KindLease, JobID: j.job.ID, Alloc: int(ba.alloc.ID), Cores: ba.cores()})
 	ba.leaseSpan = j.span.Child("sched", "lease").
 		Detailf("alloc %d: %dx %s = %d cores", ba.alloc.ID, ba.alloc.Count, ba.alloc.Type.Name, ba.cores())
 	j.leasedCores += ba.cores()
@@ -1118,12 +1222,11 @@ func (s *Scheduler) rebalance(cause string) {
 	if s.draining {
 		return
 	}
-	var runnable []*jobRun
-	for _, j := range s.jobs {
-		if j.state == Running {
-			runnable = append(runnable, j)
-		}
-	}
+	// Snapshot the running set: a grant can complete a job inline
+	// (recomputeRate → onJobDone), mutating s.running mid-iteration.
+	// The set is kept in s.jobs slot order, so the snapshot matches the
+	// scan of s.jobs this replaced, tie-breaks included.
+	runnable := append([]*jobRun(nil), s.running...)
 	changed := false
 	if len(runnable) == 0 {
 		for _, id := range s.sortedAllocIDs() {
@@ -1232,10 +1335,15 @@ func (s *Scheduler) EvictionWarning(a *market.Allocation, _ time.Duration) {
 		return
 	}
 	ba.warned = true
-	if j := ba.holder; j != nil && j.span != nil {
-		j.span.Eventf("sched", "eviction-warning",
-			"alloc %d (%d cores): lease reclaimed, draining within warning window", a.ID, ba.cores())
+	holderID := -1
+	if j := ba.holder; j != nil {
+		holderID = j.job.ID
+		if j.span != nil {
+			j.span.Eventf("sched", "eviction-warning",
+				"alloc %d (%d cores): lease reclaimed, draining within warning window", a.ID, ba.cores())
+		}
 	}
+	s.walTransition(wal.Record{Kind: wal.KindWarning, JobID: holderID, Alloc: int(a.ID), Cores: ba.cores()})
 	s.release(ba)
 	if !s.draining {
 		s.rebalance("warning")
@@ -1251,10 +1359,12 @@ func (s *Scheduler) Evicted(a *market.Allocation) {
 	}
 	s.release(ba) // zero-warning markets evict without a prior warning
 	delete(s.allocs, a.ID)
+	s.walTransition(wal.Record{Kind: wal.KindEvict, JobID: -1, Alloc: int(a.ID), Cores: ba.cores()})
 	var parent *obs.Span
 	if j := ba.lastHolder; j != nil {
 		// The in-progress hour's charge comes back on eviction (§2.2 "free
 		// compute"); record it in the causal tree of the job that paid it.
+		s.walTransition(wal.Record{Kind: wal.KindRefund, JobID: j.job.ID, Alloc: int(a.ID), Amount: a.HourCharge()})
 		if j.span != nil {
 			j.span.Eventf("sched", "refund",
 				"alloc %d evicted: $%.4f refunded for the in-progress hour", a.ID, a.HourCharge())
@@ -1294,8 +1404,8 @@ func (s *Scheduler) observeState(changed bool) {
 			idle += ba.cores()
 		}
 	}
-	queued := s.countState(Queued)
-	running := s.countState(Running)
+	queued := s.stateCount[Queued]
+	running := s.stateCount[Running]
 	reg := s.obs().Reg()
 	reg.Gauge("proteus_sched_queue_depth", "jobs arrived and awaiting admission").Set(float64(queued))
 	reg.Gauge("proteus_sched_running_jobs", "jobs currently holding or competing for leases").Set(float64(running))

@@ -40,6 +40,14 @@ func (s *Scheduler) Serve(ctx context.Context, sc ServeConfig) (*Result, error) 
 		return nil, err
 	}
 	vtarget := s.eng.Now() // virtual budget the pace has released
+	if s.resumeTo > vtarget {
+		// Recovered scheduler: the crashed run had already reached
+		// resumeTo on the virtual clock. Pre-releasing that budget makes
+		// the loop replay the recovered history unpaced (every next event
+		// is within vtarget) and resume wall-clock pacing exactly where
+		// the crash happened.
+		vtarget = s.resumeTo
+	}
 	s.mu.Unlock()
 
 	lastWall := time.Now()

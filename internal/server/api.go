@@ -6,6 +6,7 @@ import (
 	"proteus/internal/jobspec"
 	"proteus/internal/obs"
 	"proteus/internal/sched"
+	"proteus/internal/wal"
 )
 
 // Wire types for the v1 control-plane API. Durations cross the wire in
@@ -95,6 +96,18 @@ type Stats struct {
 	EventsDropped int    `json:"events_dropped"`
 	SpansDropped  uint64 `json:"spans_dropped"`
 
+	// Recovery provenance: set when the scheduler was rebuilt from a
+	// write-ahead log. CatchingUp is true while the serve loop is still
+	// fast-forwarding through the recovered history (submissions are
+	// accepted throughout).
+	Recovered     bool `json:"recovered,omitempty"`
+	RecoveredJobs int  `json:"recovered_jobs,omitempty"`
+	CatchingUp    bool `json:"catching_up,omitempty"`
+
+	// WAL reports the attached write-ahead log's counters; absent when
+	// the service runs without durability.
+	WAL *wal.Stats `json:"wal,omitempty"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
@@ -116,6 +129,9 @@ func statsWire(st sched.Stats, uptime time.Duration) Stats {
 		Subscribers:    st.Subscribers,
 		EventsDropped:  st.EventsDropped,
 		SpansDropped:   st.SpansDropped,
+		Recovered:      st.Recovered,
+		RecoveredJobs:  st.RecoveredJobs,
+		CatchingUp:     st.CatchingUp,
 		UptimeSeconds:  uptime.Seconds(),
 	}
 }

@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,20 +20,91 @@ import (
 	"proteus/internal/server"
 )
 
+// RetryPolicy bounds the client's automatic retry of backpressure
+// refusals — 429 (queue full) and 503 (draining) replies. Waits grow
+// exponentially from BaseDelay, capped at MaxDelay, with a random
+// jitter fraction so a fleet of refused submitters does not retry in
+// lockstep; a server Retry-After hint raises the wait when it asks for
+// more than the backoff would give.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Zero or one disables retry.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each further retry
+	// doubles it. Zero picks 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero picks 2s.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each wait that is randomized (0..1): a
+	// wait d becomes d * (1 - Jitter/2 + Jitter*U[0,1)). Negative or
+	// zero means no jitter.
+	Jitter float64
+	// OnRetry, when set, observes every retry before its wait: the
+	// refusal's HTTP status and the chosen delay. Must be safe for
+	// concurrent use — one policy may serve many goroutines.
+	OnRetry func(status int, wait time.Duration)
+}
+
+// DefaultRetryPolicy suits a load generator hammering one server: a few
+// quick retries under half-jitter, bounded well under a virtual
+// decision period.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.5}
+}
+
+// delay computes the wait before retry attempt i (1-based).
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 { // <=0: shift overflow
+		d = max
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j/2 + j*rand.Float64()))
+	}
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
 // Client talks to one control-plane server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New builds a client for the server at base (e.g. "http://127.0.0.1:9090").
 // A nil hc uses a fresh http.Client with no timeout — SSE streams are
-// long-lived, so callers bound requests with contexts instead.
+// long-lived, so callers bound requests with contexts instead. The
+// client does not retry; see WithRetry.
 func New(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = &http.Client{}
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// WithRetry returns a copy of the client that retries backpressure
+// refusals (429/503) on Submit and the JSON reads under the policy.
+// SSE streams never retry — reconnecting silently would replay or lose
+// frames, which the caller must decide about.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = p
+	return &cc
 }
 
 // APIError is a non-2xx reply, carrying the server's message and any
@@ -40,6 +113,14 @@ type APIError struct {
 	Status int
 	Msg    string
 	Fields []jobspec.FieldError
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+// Temporary reports whether the reply invites a retry: 429 (queue
+// full) or 503 (draining/overloaded).
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
 // Error implements error.
@@ -60,6 +141,11 @@ func apiError(resp *http.Response) error {
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	e := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	var er server.ErrorResponse
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
 		e.Msg, e.Fields = er.Error, er.Fields
@@ -74,24 +160,61 @@ func apiError(resp *http.Response) error {
 	return e
 }
 
+// do issues the request built by mk, retrying temporary refusals
+// (429/503) under the client's policy. mk runs once per attempt —
+// request bodies cannot be replayed. The returned response has status
+// wantCode; any other reply comes back as an error with the body
+// drained and closed.
+func (c *Client) do(ctx context.Context, mk func() (*http.Request, error), wantCode int) (*http.Response, error) {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == wantCode {
+			return resp, nil
+		}
+		err = apiError(resp)
+		ae, ok := err.(*APIError)
+		if attempt >= attempts || !ok || !ae.Temporary() {
+			return nil, err
+		}
+		wait := c.retry.delay(attempt, ae.RetryAfter)
+		if c.retry.OnRetry != nil {
+			c.retry.OnRetry(ae.Status, wait)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	}, http.StatusOK)
 	if err != nil {
 		return err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
 	}
 	defer resp.Body.Close()
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Submit posts the entries (bulk shape) and returns the accepted job
-// IDs, in submission order.
+// IDs, in submission order. With a retry policy, backpressure refusals
+// are retried under jittered backoff: a 429 is refused before any entry
+// is admitted (so the replay cannot double-submit) and a 503 means the
+// service is draining and will keep refusing.
 func (c *Client) Submit(ctx context.Context, entries ...jobspec.Entry) ([]int, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("api: no entries to submit")
@@ -100,17 +223,16 @@ func (c *Client) Submit(ctx context.Context, entries ...jobspec.Entry) ([]int, e
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, http.StatusAccepted)
 	if err != nil {
 		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return nil, apiError(resp)
 	}
 	defer resp.Body.Close()
 	var sr server.SubmitResponse

@@ -1,0 +1,239 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"proteus/internal/jobspec"
+	"proteus/internal/obs"
+	"proteus/internal/sched"
+	"proteus/internal/server"
+	"proteus/internal/server/client"
+	"proteus/internal/wal"
+)
+
+// TestSubmitBackpressure fills the admission backlog past MaxQueue and
+// checks the refusal contract: 429, a Retry-After hint, and a retrying
+// client that backs off and eventually reports the refusal.
+func TestSubmitBackpressure(t *testing.T) {
+	eng, mkt, brain := testHarness(t, 611)
+	o := obs.NewObserver(eng.Now)
+	sc, err := sched.New(eng, mkt, testConfig(brain, o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scheduler is never driven: submissions pile up as Pending, so
+	// the backlog cannot drain and the refusals are deterministic.
+	srv, err := server.New(server.Config{Scheduler: sc, Observer: o, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	ctx := context.Background()
+	if _, err := c.Submit(ctx, testEntries()[:2]...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw refusal: status and header.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"hours": 0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Typed refusal: APIError with the hint parsed.
+	_, err = c.Submit(ctx, jobspec.Entry{Hours: 0.5})
+	ae, ok := err.(*client.APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("Submit error %v, want 429 APIError", err)
+	}
+	if !ae.Temporary() || ae.RetryAfter <= 0 {
+		t.Fatalf("refusal not marked retryable: %+v", ae)
+	}
+
+	// Retrying client: the backlog never drains, so every attempt is
+	// refused; the policy must observe each backoff and give up.
+	var retries atomic.Int32
+	rc := c.WithRetry(client.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		OnRetry:     func(status int, _ time.Duration) { retries.Add(1) },
+	})
+	if _, err := rc.Submit(ctx, jobspec.Entry{Hours: 0.5}); err == nil {
+		t.Fatal("retrying Submit succeeded against a full queue")
+	}
+	if got := retries.Load(); got != 2 {
+		t.Fatalf("%d retries observed, want 2 (3 attempts)", got)
+	}
+}
+
+// TestClientRetryEventuallySucceeds drives the retry loop against a
+// stub that refuses twice (with a Retry-After it must honor) and then
+// accepts.
+func TestClientRetryEventuallySucceeds(t *testing.T) {
+	var calls atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"hold on"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"accepted":[7]}`))
+	}))
+	defer stub.Close()
+
+	var waits atomic.Int32
+	c := client.New(stub.URL, nil).WithRetry(client.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Jitter:      0.5,
+		OnRetry:     func(status int, _ time.Duration) { waits.Add(1) },
+	})
+	ids, err := c.Submit(context.Background(), jobspec.Entry{Hours: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 7 {
+		t.Fatalf("accepted %v, want [7]", ids)
+	}
+	if calls.Load() != 3 || waits.Load() != 2 {
+		t.Fatalf("%d calls, %d retries; want 3 and 2", calls.Load(), waits.Load())
+	}
+}
+
+// TestSubmitDurabilityBarrier: once POST /v1/jobs returns 202, the
+// submission must be recoverable from the WAL directory — even if the
+// process is SIGKILLed before any graceful close. Recovering the live
+// directory (no Close) stands in for the crash.
+func TestSubmitDurabilityBarrier(t *testing.T) {
+	dir := t.TempDir()
+	wlog, err := wal.Create(dir, wal.Meta{Seed: 612}, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wlog.Close()
+
+	eng, mkt, brain := testHarness(t, 612)
+	o := obs.NewObserver(eng.Now)
+	cfg := testConfig(brain, o)
+	cfg.WAL = wlog
+	sc, err := sched.New(eng, mkt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Scheduler: sc, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := client.New(ts.URL, nil)
+	ids, err := c.Submit(context.Background(), testEntries()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replay, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatalf("recovering the live directory: %v", err)
+	}
+	if len(replay.Jobs) != len(ids) {
+		t.Fatalf("recovered %d submissions, want %d", len(replay.Jobs), len(ids))
+	}
+	for i, jr := range replay.Jobs {
+		if jr.ID != ids[i] {
+			t.Fatalf("recovered job %d has ID %d, want %d", i, jr.ID, ids[i])
+		}
+	}
+
+	// The stats surface reports the log's progress.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WAL == nil || st.WAL.LastSeq < uint64(len(ids))+1 || st.WAL.Submits != len(ids) {
+		t.Fatalf("stats WAL %+v, want last_seq >= %d and %d submits", st.WAL, len(ids)+1, len(ids))
+	}
+	if st.Recovered || st.CatchingUp {
+		t.Fatalf("fresh service claims recovery: %+v", st)
+	}
+}
+
+// TestStatsReportRecovery: a service built by Recover advertises its
+// provenance on /v1/stats.
+func TestStatsReportRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wlog, err := wal.Create(dir, wal.Meta{Seed: 613}, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, mkt, brain := testHarness(t, 613)
+	cfg := testConfig(brain, nil)
+	cfg.WAL = wlog
+	sc, err := sched.New(eng, mkt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := jobspec.Jobs(testEntries(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := sc.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, replay, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	eng2, mkt2, brain2 := testHarness(t, 613)
+	rs, err := sched.Recover(eng2, mkt2, testConfig(brain2, nil), replay, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Scheduler: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	st, err := client.New(ts.URL, nil).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Recovered || st.RecoveredJobs != len(jobs) {
+		t.Fatalf("stats %+v, want recovered with %d jobs", st, len(jobs))
+	}
+	if st.Jobs != len(jobs) {
+		t.Fatalf("stats report %d jobs, want %d", st.Jobs, len(jobs))
+	}
+	if st.WAL == nil || st.WAL.LastSeq == 0 {
+		t.Fatalf("stats WAL %+v, want the reopened log's counters", st.WAL)
+	}
+}

@@ -45,16 +45,22 @@ type Config struct {
 	// EventBuffer is the per-SSE-connection event buffer handed to
 	// Scheduler.Subscribe; zero picks the subscription default.
 	EventBuffer int
+	// MaxQueue caps jobs waiting for admission (pending + queued). A
+	// submission that would push the backlog past the cap is refused
+	// with 429 and a Retry-After hint instead of growing the queue
+	// without bound. Zero means unbounded.
+	MaxQueue int
 }
 
 // Server is the HTTP control plane. It is an http.Handler; wrap it in an
 // http.Server to listen.
 type Server struct {
-	sched   *sched.Scheduler
-	o       *obs.Observer
-	mux     *http.ServeMux
-	evBuf   int
-	started time.Time
+	sched    *sched.Scheduler
+	o        *obs.Observer
+	mux      *http.ServeMux
+	evBuf    int
+	maxQueue int
+	started  time.Time
 
 	// mu serializes ID assignment across concurrent submissions; nextID
 	// tracks the high-water mark beyond what the scheduler has seen.
@@ -76,12 +82,13 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		sched:   cfg.Scheduler,
-		o:       cfg.Observer,
-		mux:     mux,
-		evBuf:   cfg.EventBuffer,
-		started: time.Now(),
-		nextID:  cfg.Scheduler.NextJobID(),
+		sched:    cfg.Scheduler,
+		o:        cfg.Observer,
+		mux:      mux,
+		evBuf:    cfg.EventBuffer,
+		maxQueue: cfg.MaxQueue,
+		started:  time.Now(),
+		nextID:   cfg.Scheduler.NextJobID(),
 	}
 	s.routes()
 	return s, nil
@@ -180,46 +187,84 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, resp)
 }
 
+// retryAfterSeconds is the hint sent with backpressure refusals (429
+// queue-full, 503 draining): long enough to let the scheduler drain a
+// decision cycle, short enough that a loadgen ramp recovers quickly.
+const retryAfterSeconds = 1
+
+// refuse writes a backpressure reply: the Retry-After hint plus a
+// counter so operators can see refusals per cause on /metrics.
+func (s *Server) refuse(w http.ResponseWriter, code int, cause string, accepted []int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	s.reg().Counter("proteus_api_backpressure_total",
+		"submissions refused to protect the service",
+		obs.L("cause", cause)).Inc()
+	writeJSON(w, code, SubmitResponse{Accepted: accepted, Error: err.Error()})
+}
+
 // handleSubmit accepts one entry or an array in the jobspec shape.
-// Responses: 202 with the accepted IDs, 400 with field-level errors on a
-// bad submission, 409 on a duplicate job ID, 503 while draining.
+// Responses: 202 with the accepted IDs — written only after the WAL (if
+// any) has made the submissions durable — 400 with field-level errors
+// on a bad submission, 409 on a duplicate job ID, 429 when the
+// admission backlog is full, 503 while draining. 429 and 503 carry a
+// Retry-After hint.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	entries, err := jobspec.Decode(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.maxQueue > 0 {
+		st := s.sched.Stats()
+		if backlog := st.Pending + st.Queued; backlog+len(entries) > s.maxQueue {
+			s.refuse(w, http.StatusTooManyRequests, "queue_full", []int{},
+				fmt.Errorf("admission backlog full (%d waiting, cap %d)", backlog, s.maxQueue))
+			return
+		}
+	}
 	// Serialize ID assignment: concurrent submissions must not hand the
-	// same auto-ID to two jobs between scheduler Submit calls.
+	// same auto-ID to two jobs between scheduler Submit calls. The lock
+	// is released before the WAL sync so concurrent submitters keep
+	// appending while this batch commits (group commit).
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	next := s.sched.NextJobID()
 	if s.nextID > next {
 		next = s.nextID
 	}
 	jobs, err := jobspec.Jobs(entries, next)
 	if err != nil {
+		s.mu.Unlock()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	accepted := make([]int, 0, len(jobs))
 	for _, j := range jobs {
 		if err := s.sched.Submit(j); err != nil {
-			code := http.StatusBadRequest
+			s.mu.Unlock()
 			msg := err.Error()
 			switch {
 			case strings.Contains(msg, "duplicate job ID"):
-				code = http.StatusConflict
+				writeJSON(w, http.StatusConflict, SubmitResponse{Accepted: accepted, Error: msg})
 			case strings.Contains(msg, "draining") || strings.Contains(msg, "finished"):
-				code = http.StatusServiceUnavailable
+				s.refuse(w, http.StatusServiceUnavailable, "draining", accepted, err)
+			default:
+				writeJSON(w, http.StatusBadRequest, SubmitResponse{Accepted: accepted, Error: msg})
 			}
-			writeJSON(w, code, SubmitResponse{Accepted: accepted, Error: msg})
 			return
 		}
 		accepted = append(accepted, j.ID)
 		if j.ID >= s.nextID {
 			s.nextID = j.ID + 1
 		}
+	}
+	s.mu.Unlock()
+	// Durability barrier: the 202 is a promise that a crash right after
+	// this response cannot lose the submission. One fsync here covers
+	// every record appended so far, so N concurrent submitters share a
+	// handful of syncs rather than paying one each.
+	if err := s.sched.SyncWAL(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
 	// Exemplar the submit latency with the first accepted job's trace, so
 	// the histogram's buckets link to concrete causal trees.
@@ -287,7 +332,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsWire(s.sched.Stats(), time.Since(s.started)))
+	out := statsWire(s.sched.Stats(), time.Since(s.started))
+	if ws, ok := s.sched.WALStats(); ok {
+		out.WAL = &ws
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // sseWriter frames SSE messages over a flushing response writer.

@@ -1,0 +1,702 @@
+// Package wal is the scheduler's durability subsystem: a segmented,
+// checksummed write-ahead log plus snapshot/compaction, so a crashed
+// `-serve` control plane can recover to bit-identical state.
+//
+// The design leans on the repository's core property: the whole control
+// plane is a deterministic simulator. A run is fully determined by its
+// *inputs* — the market/Brain environment (seed, windows, policy) and
+// the stream of accepted submissions with their effective arrival
+// offsets — so the log does not need to capture simulator state at all.
+// Recovery rebuilds the same environment, re-submits the logged jobs,
+// and replays virtual time from zero; bills, trace trees, and /v1/stats
+// land on the same bits as an uninterrupted run (PR 3 established
+// serve ≡ batch on the same inputs; recovery is just another batch).
+// Transition records (admit/lease/evict/refund/done/tick) are an audit
+// trail riding in the same log: they mark durable progress, give every
+// crash point a record boundary, and let an operator reconstruct what
+// the scheduler did without re-running it.
+//
+// On-disk layout (one directory):
+//
+//	wal-<firstseq>.log   segments: one record per line, CRC32-framed JSONL
+//	snapshot.json        replay inputs covering records with seq ≤ last_seq
+//
+// Each segment line is "crc32(payload) in %08x, one space, payload,
+// newline", with the payload a journal.MarshalLine JSON object. Only the
+// final line of the final segment may fail its checksum (a torn write
+// from a crash mid-append); it is dropped on recovery. A bad record with
+// valid data after it is real corruption and aborts recovery.
+//
+// Appends are buffered (no syscall on the hot path); Sync flushes and
+// fsyncs — group commit falls out of a single mutex: the first waiter's
+// fsync covers every record appended before it, and later waiters see a
+// clean log and return without a syscall. Rotation (by segment size)
+// writes a fresh snapshot and deletes the segments it covers, bounding
+// both disk and recovery time.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"proteus/internal/core"
+	"proteus/internal/journal"
+)
+
+// Record kinds. Submit records are replay inputs; everything else is a
+// durable audit trail of scheduler transitions.
+const (
+	// KindMeta is the first record of a log: the environment inputs.
+	KindMeta = "meta"
+	// KindSubmit is one accepted job with its effective (post-clamp)
+	// arrival offset — the replay inputs.
+	KindSubmit = "submit"
+	// KindAdmit marks a job winning a concurrency slot.
+	KindAdmit = "admit"
+	// KindLease marks an allocation leased to a job.
+	KindLease = "lease"
+	// KindRelease marks a lease reclaimed from a job.
+	KindRelease = "release"
+	// KindWarning marks an eviction warning reclaiming a lease.
+	KindWarning = "evict-warning"
+	// KindEvict marks an allocation's machines vanishing.
+	KindEvict = "evict"
+	// KindRefund marks an eviction refunding the in-progress hour.
+	KindRefund = "refund"
+	// KindAcquire marks a spot acquisition joining the footprint.
+	KindAcquire = "acquire"
+	// KindDone marks a job reaching its target work.
+	KindDone = "done"
+	// KindExpire marks a job arriving at or after its deadline.
+	KindExpire = "expire"
+	// KindTick marks a decision-ticker firing that ran the broker.
+	KindTick = "tick"
+)
+
+// Meta pins the inputs that determine a run besides its submissions:
+// the market environment and the scheduler's policy knobs. Recovery
+// rebuilds the environment from these instead of trusting flags, so a
+// restart with different flags still replays the original run.
+type Meta struct {
+	Seed        int64  `json:"seed"`
+	EvalDays    int    `json:"eval_days"`
+	TrainDays   int    `json:"train_days"`
+	BetaSamples int    `json:"beta_samples"`
+	Zones       int    `json:"zones"`
+	Policy      string `json:"policy"`
+	TraceSeed   uint64 `json:"trace_seed"`
+	// MaxConcurrent mirrors the scheduler's concurrency cap (0 =
+	// unbounded); it changes admission order, so replay must match it.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Note is free-form provenance (binary version, operator comment).
+	Note string `json:"note,omitempty"`
+}
+
+// JobRecord is one accepted submission in replayable form. Durations are
+// integer nanoseconds so replay is exact; the spec marshals through
+// encoding/json, whose float encoding round-trips bit-exactly.
+type JobRecord struct {
+	ID         int          `json:"id"`
+	Name       string       `json:"name,omitempty"`
+	ArrivalNs  int64        `json:"arrival_ns"`
+	Priority   int          `json:"priority,omitempty"`
+	DeadlineNs int64        `json:"deadline_ns,omitempty"`
+	Spec       core.JobSpec `json:"spec"`
+}
+
+// Record is one WAL entry. Seq is assigned by Append; JobID is -1 when
+// the record concerns no job (meta, tick).
+type Record struct {
+	Seq    uint64     `json:"seq"`
+	Kind   string     `json:"kind"`
+	AtNs   int64      `json:"at_ns,omitempty"` // virtual time of the transition
+	JobID  int        `json:"job_id"`
+	Alloc  int        `json:"alloc,omitempty"`
+	Cores  int        `json:"cores,omitempty"`
+	Amount float64    `json:"amount,omitempty"`
+	Detail string     `json:"detail,omitempty"`
+	Job    *JobRecord `json:"job,omitempty"`
+	Meta   *Meta      `json:"meta,omitempty"`
+}
+
+// Snapshot is the compaction artifact: the replay inputs for every
+// record with seq ≤ LastSeq, letting those segments be deleted.
+type Snapshot struct {
+	Meta          Meta        `json:"meta"`
+	LastSeq       uint64      `json:"last_seq"`
+	LastVirtualNs int64       `json:"last_virtual_ns"`
+	Jobs          []JobRecord `json:"jobs"`
+}
+
+// Replay is what Recover reads back: everything needed to rebuild the
+// scheduler plus bookkeeping about the log itself.
+type Replay struct {
+	Meta Meta
+	// Jobs are the accepted submissions in log order (snapshot first).
+	Jobs []JobRecord
+	// LastSeq is the sequence number of the last durable record.
+	LastSeq uint64
+	// LastVirtual is the latest virtual instant any record carries — the
+	// catch-up target for a recovered Serve loop.
+	LastVirtual time.Duration
+	// Records and Transitions count segment records replayed beyond the
+	// snapshot (Transitions excludes meta and submit records).
+	Records     int
+	Transitions int
+	// Segments is how many segment files were scanned.
+	Segments int
+	// FromSnapshot reports whether a snapshot seeded the replay.
+	FromSnapshot bool
+	// TornDropped reports that a partially-written final record failed
+	// its checksum and was dropped (a crash mid-append, not corruption).
+	TornDropped bool
+}
+
+// Options tunes a Log. The zero value is production-ready.
+type Options struct {
+	// SegmentBytes rotates (and compacts) the log when the active
+	// segment exceeds this size. Zero picks 4 MiB.
+	SegmentBytes int
+	// NoSync skips every fsync — for tests and benchmarks that exercise
+	// the logic without paying the disk.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time summary of the log, surfaced in /v1/stats.
+type Stats struct {
+	Dir       string `json:"dir"`
+	LastSeq   uint64 `json:"last_seq"`
+	Appends   uint64 `json:"appends"`
+	Syncs     uint64 `json:"syncs"`
+	Rotations uint64 `json:"rotations"`
+	Snapshots uint64 `json:"snapshots"`
+	Submits   int    `json:"submits"`
+	// SegmentFill is bytes written to the active segment so far.
+	SegmentFill int    `json:"segment_fill"`
+	Err         string `json:"error,omitempty"`
+}
+
+// Log is an open write-ahead log. Safe for concurrent use. I/O errors
+// are sticky: once an append or sync fails, every later call returns the
+// same error — the log can no longer promise durability.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	f          *os.File
+	w          *bufio.Writer
+	meta       Meta
+	nextSeq    uint64
+	segStart   uint64 // first seq of the active segment
+	segFill    int
+	dirty      bool
+	closed     bool
+	err        error
+	submits    []JobRecord
+	lastVirtNs int64
+
+	appends   uint64
+	syncs     uint64
+	rotations uint64
+	snapshots uint64
+}
+
+const (
+	snapshotName = "snapshot.json"
+	segPrefix    = "wal-"
+	segSuffix    = ".log"
+)
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segSuffix)
+}
+
+// listSegments returns the directory's segment files sorted by first
+// sequence number.
+func listSegments(dir string) ([]string, []uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	var firsts []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		first, err := strconv.ParseUint(mid, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: bad segment name %q", name)
+		}
+		names = append(names, name)
+		firsts = append(firsts, first)
+	}
+	sort.Sort(&segSort{names, firsts})
+	return names, firsts, nil
+}
+
+type segSort struct {
+	names  []string
+	firsts []uint64
+}
+
+func (s *segSort) Len() int           { return len(s.names) }
+func (s *segSort) Less(i, j int) bool { return s.firsts[i] < s.firsts[j] }
+func (s *segSort) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.firsts[i], s.firsts[j] = s.firsts[j], s.firsts[i]
+}
+
+// Exists reports whether dir holds a prior WAL (segments or a
+// snapshot) — the Open-vs-Create decision for a service boot.
+func Exists(dir string) bool {
+	if names, _, err := listSegments(dir); err == nil && len(names) > 0 {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(dir, snapshotName))
+	return err == nil
+}
+
+// Create initializes a fresh log in dir (created if missing, must hold
+// no prior WAL files) and writes the meta record as seq 1.
+func Create(dir string, meta Meta, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, _, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) > 0 {
+		return nil, fmt.Errorf("wal: %s already holds a log (use Open to recover it)", dir)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err == nil {
+		return nil, fmt.Errorf("wal: %s already holds a snapshot (use Open to recover it)", dir)
+	}
+	l := &Log{dir: dir, opts: opts.withDefaults(), meta: meta, nextSeq: 1}
+	if err := l.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if _, err := l.Append(Record{Kind: KindMeta, JobID: -1, Meta: &meta}); err != nil {
+		return nil, err
+	}
+	if err := l.Sync(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open recovers an existing log and reopens it for appending. The
+// returned Replay carries the inputs to rebuild the scheduler. Appends
+// continue in a fresh segment (never into a possibly-torn old one), and
+// a new snapshot immediately compacts the recovered history.
+func Open(dir string, opts Options) (*Log, *Replay, error) {
+	r, err := Recover(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{
+		dir:        dir,
+		opts:       opts.withDefaults(),
+		meta:       r.Meta,
+		nextSeq:    r.LastSeq + 1,
+		submits:    append([]JobRecord(nil), r.Jobs...),
+		lastVirtNs: int64(r.LastVirtual),
+	}
+	if err := l.openSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.snapshotLocked(); err != nil {
+		return nil, nil, err
+	}
+	if err := l.removeCoveredLocked(); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// Recover reads a log directory without opening it for writes: snapshot
+// (if any), then every segment in order, verifying checksums and
+// sequence continuity. A torn final record is dropped; anything else
+// malformed aborts with an error.
+func Recover(dir string) (*Replay, error) {
+	r := &Replay{}
+	expected := uint64(1)
+	haveMeta := false
+
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		var snap Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return nil, fmt.Errorf("wal: %s: %w", snapshotName, err)
+		}
+		r.Meta = snap.Meta
+		r.Jobs = append(r.Jobs, snap.Jobs...)
+		r.LastSeq = snap.LastSeq
+		r.LastVirtual = time.Duration(snap.LastVirtualNs)
+		r.FromSnapshot = true
+		haveMeta = true
+		expected = snap.LastSeq + 1
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+
+	names, _, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 && !r.FromSnapshot {
+		return nil, fmt.Errorf("wal: %s holds no log", dir)
+	}
+	r.Segments = len(names)
+	snapLast := r.LastSeq
+
+	for i, name := range names {
+		last := i == len(names)-1
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		torn := false
+		scanErr := journal.DecodeLines(f, func(line []byte) error {
+			if torn {
+				return fmt.Errorf("wal: %s: corrupt record followed by more data", name)
+			}
+			rec, ok := decodeFrame(line)
+			if !ok {
+				torn = true
+				return nil
+			}
+			if rec.Seq <= snapLast {
+				return nil // already covered by the snapshot
+			}
+			if rec.Seq != expected {
+				return fmt.Errorf("wal: %s: sequence gap: got %d, want %d", name, rec.Seq, expected)
+			}
+			expected++
+			r.LastSeq = rec.Seq
+			r.Records++
+			if at := time.Duration(rec.AtNs); at > r.LastVirtual {
+				r.LastVirtual = at
+			}
+			switch rec.Kind {
+			case KindMeta:
+				if rec.Meta != nil && !haveMeta {
+					r.Meta = *rec.Meta
+					haveMeta = true
+				}
+			case KindSubmit:
+				if rec.Job == nil {
+					return fmt.Errorf("wal: %s: submit record %d without a job", name, rec.Seq)
+				}
+				r.Jobs = append(r.Jobs, *rec.Job)
+			default:
+				r.Transitions++
+			}
+			return nil
+		})
+		f.Close()
+		if scanErr != nil {
+			return nil, scanErr
+		}
+		if torn {
+			if !last {
+				return nil, fmt.Errorf("wal: %s: corrupt final record in a non-final segment", name)
+			}
+			r.TornDropped = true
+		}
+	}
+	if !haveMeta {
+		return nil, fmt.Errorf("wal: %s holds no meta record", dir)
+	}
+	return r, nil
+}
+
+// decodeFrame parses one "crc payload" line; ok is false for a torn or
+// corrupt record (bad frame, checksum mismatch, or unparsable JSON).
+func decodeFrame(line []byte) (Record, bool) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, false
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return rec, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != uint32(want) {
+		return rec, false
+	}
+	if json.Unmarshal(payload, &rec) != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// Append adds one record (Seq is assigned here) to the buffered tail and
+// returns its sequence number. No syscall unless the append triggers a
+// rotation; call Sync before externalizing anything that depends on the
+// record being durable.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	r.Seq = l.nextSeq
+	line, err := journal.MarshalLine(r)
+	if err != nil {
+		return 0, err // encoding bug, not an I/O failure: not sticky
+	}
+	frame := make([]byte, 0, len(line)+10)
+	frame = fmt.Appendf(frame, "%08x ", crc32.ChecksumIEEE(line))
+	frame = append(frame, line...)
+	frame = append(frame, '\n')
+	if _, err := l.w.Write(frame); err != nil {
+		l.err = err
+		return 0, err
+	}
+	l.nextSeq++
+	l.dirty = true
+	l.appends++
+	l.segFill += len(frame)
+	if r.AtNs > l.lastVirtNs {
+		l.lastVirtNs = r.AtNs
+	}
+	if r.Kind == KindSubmit && r.Job != nil {
+		l.submits = append(l.submits, *r.Job)
+	}
+	if l.segFill >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.err = err
+			return 0, err
+		}
+	}
+	return r.Seq, nil
+}
+
+// Sync makes every appended record durable. Group commit is the mutex:
+// one caller's flush+fsync covers all records appended before it, and
+// callers arriving while it runs find a clean log and return without a
+// syscall of their own.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	l.dirty = false
+	l.syncs++
+	return nil
+}
+
+// rotateLocked seals the active segment, starts the next one, writes a
+// snapshot covering everything sealed, and deletes the segments the
+// snapshot covers.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.f, l.w = nil, nil
+	if err := l.openSegmentLocked(); err != nil {
+		return err
+	}
+	if err := l.snapshotLocked(); err != nil {
+		return err
+	}
+	if err := l.removeCoveredLocked(); err != nil {
+		return err
+	}
+	l.rotations++
+	return nil
+}
+
+// openSegmentLocked creates the segment whose first record will be
+// nextSeq and makes its directory entry durable.
+func (l *Log) openSegmentLocked() error {
+	name := segmentName(l.nextSeq)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 64*1024)
+	l.segStart = l.nextSeq
+	l.segFill = 0
+	return l.syncDir()
+}
+
+// snapshotLocked writes snapshot.json (tmp + rename) covering every
+// record before the active segment's first sequence.
+func (l *Log) snapshotLocked() error {
+	snap := Snapshot{
+		Meta:          l.meta,
+		LastSeq:       l.segStart - 1,
+		LastVirtualNs: l.lastVirtNs,
+		Jobs:          l.submits,
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return err
+	}
+	l.snapshots++
+	return l.syncDir()
+}
+
+// removeCoveredLocked deletes segments fully covered by the snapshot
+// (everything before the active segment).
+func (l *Log) removeCoveredLocked() error {
+	names, firsts, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, name := range names {
+		if firsts[i] >= l.segStart {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+			return err
+		}
+		removed = true
+	}
+	if !removed {
+		return nil
+	}
+	return l.syncDir()
+}
+
+// syncDir makes directory-entry changes (segment create, snapshot
+// rename, segment removal) durable.
+func (l *Log) syncDir() error {
+	if l.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Close flushes and fsyncs the tail, then closes the active segment.
+// The graceful-shutdown path must call this so the last records survive
+// the exit. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	syncErr := l.syncLocked()
+	var closeErr error
+	if l.f != nil {
+		closeErr = l.f.Close()
+		l.f, l.w = nil, nil
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// LastSeq returns the sequence number of the most recently appended
+// record (0 when only nothing or the meta record is pending assignment).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// Meta returns the log's environment record.
+func (l *Log) Meta() Meta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.meta
+}
+
+// Stats summarizes the log for /v1/stats.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Dir:         l.dir,
+		LastSeq:     l.nextSeq - 1,
+		Appends:     l.appends,
+		Syncs:       l.syncs,
+		Rotations:   l.rotations,
+		Snapshots:   l.snapshots,
+		Submits:     len(l.submits),
+		SegmentFill: l.segFill,
+	}
+	if l.err != nil {
+		st.Err = l.err.Error()
+	}
+	return st
+}
