@@ -7,6 +7,7 @@ package proteus_test
 // times the harness and reports the reproduced results.
 
 import (
+	"math/rand"
 	"reflect"
 	"strconv"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"proteus/internal/core"
 	"proteus/internal/dataset"
 	"proteus/internal/experiments"
+	"proteus/internal/forecast"
 	"proteus/internal/market"
 	"proteus/internal/ml/mf"
 	"proteus/internal/obs"
@@ -442,6 +444,50 @@ func BenchmarkSchedulerSubmit(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkForecastUpdate times the online forecaster's per-tick hot
+// path — pending-window maintenance, β-sample closes, spike-detector
+// advance — that a proactive scheduler pays for every observed price on
+// every decision tick. Gated in CI: this must stay cheap enough to run
+// inside the scheduler's lock.
+func BenchmarkForecastUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := trace.Generate("c4.xlarge", "us-east-1a", 30*24*time.Hour,
+		trace.DefaultGenConfig(0.209), rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := forecast.New(forecast.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range tr.Points {
+			f.Update(pt.At, pt.Price)
+		}
+		if f.ClosedSamples() == 0 {
+			b.Fatal("no samples closed")
+		}
+	}
+	b.ReportMetric(float64(len(tr.Points)), "ticks")
+}
+
+// BenchmarkProactiveRun times the reactive-vs-proactive study end to
+// end — two full scheduler runs plus the forecaster — and reports the
+// accuracy and saving headline numbers the experiment prints.
+func BenchmarkProactiveRun(b *testing.B) {
+	var study *experiments.ProactiveStudy
+	for i := 0; i < b.N; i++ {
+		var err error
+		study, err = experiments.RunProactive(benchCfg(), experiments.SyntheticJobs(8, 1), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(study.ReactiveNet, "reactive-$")
+	b.ReportMetric(study.ProactiveNet, "proactive-$")
+	b.ReportMetric(study.Forecast.HitRate()*100, "hit-%")
+	b.ReportMetric(study.Forecast.BrierScore, "brier")
 }
 
 // BenchmarkSchedulerMultiTenant times the multi-tenant control plane:

@@ -24,6 +24,7 @@
 //	proteus -live -iterations 40
 //	proteus -jobs 8 -policy fair -metrics-out metrics.prom
 //	proteus -jobs-file mix.json -policy deadline
+//	proteus -proactive -proactive-gate
 //	proteus -serve -addr :8080 -speedup 60
 package main
 
@@ -55,9 +56,12 @@ func main() {
 	live := flag.Bool("live", false, "run the full functional stack (market -> cluster -> AgileML -> real MF training)")
 	iterations := flag.Int("iterations", 40, "training iterations for -live")
 	jobs := flag.Int("jobs", 0, "run N synthetic tenant jobs through the multi-tenant scheduler instead of one job")
+	proactive := flag.Bool("proactive", false, "run the reactive-vs-proactive eviction study: the tenant mix (-jobs, default 8) once reacting to market warnings only, once with the online forecaster pre-draining ahead of predicted evictions")
+	proactiveGate := flag.Bool("proactive-gate", false, "with -proactive, exit nonzero if the proactive arm bills more than the reactive one")
 	jobsFile := flag.String("jobs-file", "", "run the JSON job mix at this path through the multi-tenant scheduler")
 	policy := flag.String("policy", "fair", "multi-tenant placement policy: fair, cost-greedy, deadline")
 	serve := flag.Bool("serve", false, "run the multi-tenant scheduler as a long-running HTTP control plane")
+	serveForecast := flag.Bool("forecast", false, "with -serve, enable the online eviction forecaster: jobs submitted with \"proactive\": true are pre-drained ahead of predicted evictions, and /v1/stats gains the forecast block")
 	slo := flag.Bool("slo", false, "run the control-plane SLO smoke test: serve in-process, submit a burst, assert p99 latency, rooted trace trees, and zero dropped spans")
 	sloJobs := flag.Int("slo-jobs", 12, "with -slo, tenant jobs in the burst")
 	sloP99 := flag.Float64("slo-p99-ms", 250, "with -slo, wall-clock budget for p99 submit latency")
@@ -126,6 +130,7 @@ func main() {
 			maxQueue:      *maxQueue,
 			maxConcurrent: *maxConcurrent,
 			traceLimit:    *traceLimit,
+			forecast:      *serveForecast,
 		}
 		if err := runServe(ctx, cfg, o, *policy, so); err != nil {
 			log.Fatal(err)
@@ -138,6 +143,27 @@ func main() {
 
 	if *live {
 		if err := runLive(ctx, cfg, *iterations, o, oo); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *proactive {
+		n := *jobs
+		if n <= 0 {
+			n = 8
+		}
+		mix := experiments.SyntheticJobs(n, *seed)
+		if *jobsFile != "" {
+			var err error
+			if mix, err = jobspec.Load(*jobsFile); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := runProactive(cfg, mix, *proactiveGate); err != nil {
+			log.Fatal(err)
+		}
+		if err := oo.write(o); err != nil {
 			log.Fatal(err)
 		}
 		return

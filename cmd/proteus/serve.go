@@ -10,6 +10,7 @@ import (
 
 	"proteus/internal/bidbrain"
 	"proteus/internal/experiments"
+	"proteus/internal/forecast"
 	"proteus/internal/obs"
 	"proteus/internal/sched"
 	"proteus/internal/server"
@@ -34,6 +35,10 @@ type serveOptions struct {
 	// traceLimit bounds retained spans (oldest finished spans evicted);
 	// 0 keeps everything.
 	traceLimit int
+	// forecast enables the online eviction forecaster (default options):
+	// jobs submitted with "proactive": true are pre-drained ahead of
+	// predicted evictions, and /v1/stats gains the "forecast" block.
+	forecast bool
 }
 
 // openWAL creates or recovers the service's write-ahead log. On
@@ -83,6 +88,7 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 			Zones:         cfg.Zones,
 			Policy:        policy.Name(),
 			MaxConcurrent: so.maxConcurrent,
+			Forecast:      so.forecast,
 		})
 		if err != nil {
 			return err
@@ -97,6 +103,7 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 			cfg.BetaSamples = replay.Meta.BetaSamples
 			cfg.Zones = replay.Meta.Zones
 			so.maxConcurrent = replay.Meta.MaxConcurrent
+			so.forecast = replay.Meta.Forecast
 			if policy, err = sched.PolicyByName(replay.Meta.Policy); err != nil {
 				return fmt.Errorf("recovering %s: %w", so.walDir, err)
 			}
@@ -119,6 +126,9 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 	scfg := experiments.SchedConfig(env.Brain, policy)
 	scfg.Observer = o
 	scfg.MaxConcurrent = so.maxConcurrent
+	if so.forecast {
+		scfg.Forecast = forecast.DefaultOptions()
+	}
 	var sc *sched.Scheduler
 	if replay != nil {
 		sc, err = sched.Recover(env.Engine, env.Market, scfg, replay, wlog)

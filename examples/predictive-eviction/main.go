@@ -1,0 +1,61 @@
+// Predictive eviction: the same tenant mix handled reactively (drain
+// inside the market's 2-minute eviction warning, the paper's behavior)
+// versus proactively (an online forecaster watches the price stream,
+// pre-drains parameter-server state off machines whose predicted
+// eviction probability crosses a threshold, and pre-acquires a cheaper
+// replacement before the spike lands).
+//
+// The forecaster never looks ahead: it is a pure function of the prices
+// the market has already revealed — an incrementally-updated β eviction
+// table over sliding windows plus a fast/slow EWMA spike-onset detector.
+// The program prints both bills, the forecaster's accuracy (Brier score,
+// pre-drain hit rate), and what each pre-drain bought.
+//
+//	go run ./examples/predictive-eviction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proteus/internal/experiments"
+	"proteus/internal/forecast"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The synthetic tenant mix from the multi-tenant experiments: eight
+	// jobs, staggered arrivals, mixed priorities, two deadlines.
+	jobs := experiments.SyntheticJobs(8, 1)
+
+	// Tuning knobs, spelled out rather than defaulted so the example
+	// shows what there is to turn. Threshold is the P(evict within Lead)
+	// at which a held allocation is drained; MinSamples keeps a cold β
+	// table from acting before it has seen enough closed windows.
+	opts := forecast.DefaultOptions()
+	fmt.Printf("predictive eviction: drain at P(evict within %v) >= %.2f, window %v, min %d samples\n\n",
+		opts.Lead, opts.Threshold, opts.Config.Window, opts.MinSamples)
+
+	cfg := experiments.MarketConfig{Seed: 1, EvalDays: 14, TrainDays: 20, BetaSamples: 200}
+	study, err := experiments.RunProactive(cfg, jobs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fst := study.Forecast
+	fmt.Printf("forecaster: %d price ticks across all instance types, %d spike onsets\n",
+		fst.Updates, fst.Onsets)
+	fmt.Printf("accuracy:   %d predictions scored, Brier %.3f (0.25 = always guessing 0.5)\n",
+		fst.Predictions, fst.BrierScore)
+	fmt.Printf("actions:    %d pre-drains (%d hit, %d false positive), %d pre-acquires\n\n",
+		fst.PreDrains, fst.PreDrainHits, fst.FalsePositiveDrains, fst.PreAcquires)
+
+	fmt.Printf("%-10s %12s %12s %12s\n", "arm", "net ($)", "makespan(h)", "free hrs")
+	fmt.Printf("%-10s %12.2f %12.2f %12.1f\n", "reactive",
+		study.ReactiveNet, study.ReactiveMakespanH, study.Reactive.Usage.FreeHours)
+	fmt.Printf("%-10s %12.2f %12.2f %12.1f\n", "proactive",
+		study.ProactiveNet, study.ProactiveMakespanH, study.Proactive.Usage.FreeHours)
+	fmt.Printf("\ndraining ahead of predicted evictions saves %.0f%% of the reactive bill\n",
+		study.Saving*100)
+}

@@ -236,6 +236,20 @@ type CandidateAudit struct {
 	Chosen              bool    `json:"chosen,omitempty"`
 }
 
+// ForecastAudit is one instance type's live-forecast inputs to a
+// forecast-aware acquisition search: what the online model predicted at
+// decision time, next to the historical β the candidate rows carry.
+type ForecastAudit struct {
+	Type string `json:"type"`
+	// Price is the last price the forecaster observed for the type.
+	Price float64 `json:"price"`
+	// HorizonProb is P(evict within the billing hour) at the type's best
+	// candidate bid, per the online model.
+	HorizonProb float64 `json:"horizon_prob"`
+	// Onset marks the spike detector flagging the type at decision time.
+	Onset bool `json:"onset,omitempty"`
+}
+
 // DecisionAudit is the structured "why" behind one acquisition decision:
 // the current footprint's expected cost/work baseline (Eq. 4) and the
 // best candidate per instance type, with the winner marked. Attached to
@@ -251,6 +265,22 @@ type DecisionAudit struct {
 	BaseCostPerWork float64 `json:"base_cost_per_work"`
 	// Candidates holds one row per instance type, in search order.
 	Candidates []CandidateAudit `json:"candidates,omitempty"`
+	// Forecast holds the online forecaster's view per searched type, in
+	// search order; empty for forecast-blind searches.
+	Forecast []ForecastAudit `json:"forecast,omitempty"`
+}
+
+// ForecastSource feeds live eviction forecasts into the acquisition
+// search. Implemented by the scheduler's per-type forecaster set
+// (internal/forecast); defined here so bidbrain stays decoupled from the
+// model internals.
+type ForecastSource interface {
+	// Horizon returns P(price crosses above bid within dt) for the type,
+	// and false if the type has no forecast (never observed).
+	Horizon(instanceType string, bid float64, dt time.Duration) (float64, bool)
+	// Onset reports whether a price spike is currently breaking on the
+	// type.
+	Onset(instanceType string) bool
 }
 
 // BestAcquisition searches (type × bid-delta) candidates of the given
@@ -258,7 +288,7 @@ type DecisionAudit struct {
 // work, or nil if none improves on the current footprint (§4.2).
 // prices maps type name → current spot price.
 func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64, types []market.InstanceType, count int) (*Candidate, error) {
-	return b.bestAcquisition(current, prices, types, count, nil)
+	return b.bestAcquisition(current, prices, types, count, nil, nil)
 }
 
 // BestAcquisitionAudited is BestAcquisition plus the decision audit. The
@@ -266,14 +296,34 @@ func (b *Brain) BestAcquisition(current []AllocState, prices map[string]float64,
 // allocation-free and is the one hot loops use.
 func (b *Brain) BestAcquisitionAudited(current []AllocState, prices map[string]float64, types []market.InstanceType, count int) (*Candidate, *DecisionAudit, error) {
 	audit := &DecisionAudit{}
-	cand, err := b.bestAcquisition(current, prices, types, count, audit)
+	cand, err := b.bestAcquisition(current, prices, types, count, audit, nil)
 	if err != nil {
 		return cand, nil, err
 	}
 	return cand, audit, nil
 }
 
-func (b *Brain) bestAcquisition(current []AllocState, prices map[string]float64, types []market.InstanceType, count int, audit *DecisionAudit) (*Candidate, error) {
+// BestAcquisitionForecast is BestAcquisition with a live forecast blended
+// in: each candidate's eviction probability is the max of the historical
+// β and the online model's Horizon at the candidate's bid, so types with
+// a spike breaking price themselves out of the search before the spike
+// lands. A nil fc degrades to the historical-only search.
+func (b *Brain) BestAcquisitionForecast(current []AllocState, prices map[string]float64, types []market.InstanceType, count int, fc ForecastSource) (*Candidate, error) {
+	return b.bestAcquisition(current, prices, types, count, nil, fc)
+}
+
+// BestAcquisitionForecastAudited is BestAcquisitionForecast plus the
+// decision audit, including the per-type forecast inputs.
+func (b *Brain) BestAcquisitionForecastAudited(current []AllocState, prices map[string]float64, types []market.InstanceType, count int, fc ForecastSource) (*Candidate, *DecisionAudit, error) {
+	audit := &DecisionAudit{}
+	cand, err := b.bestAcquisition(current, prices, types, count, audit, fc)
+	if err != nil {
+		return cand, nil, err
+	}
+	return cand, audit, nil
+}
+
+func (b *Brain) bestAcquisition(current []AllocState, prices map[string]float64, types []market.InstanceType, count int, audit *DecisionAudit, fc ForecastSource) (*Candidate, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("bidbrain: candidate count %d must be positive", count)
 	}
@@ -314,6 +364,14 @@ func (b *Brain) bestAcquisition(current []AllocState, prices map[string]float64,
 		typeFound := false
 		for _, delta := range b.deltas {
 			beta := bt.Beta(delta)
+			if fc != nil {
+				// Blend in the live forecast: the historical β describes
+				// the average regime, the online Horizon the one breaking
+				// right now — trust whichever is more pessimistic.
+				if h, ok := fc.Horizon(t.Name, price+delta, trace.BillingHour); ok && h > beta {
+					beta = h
+				}
+			}
 			withCand[len(current)] = AllocState{
 				Type:      t,
 				Count:     count,
@@ -347,6 +405,13 @@ func (b *Brain) bestAcquisition(current []AllocState, prices map[string]float64,
 				EvictionProbability: typeBest.Beta,
 				ExpectedCostPerWork: typeBest.NewCostPerWork,
 			})
+		}
+		if audit != nil && fc != nil && typeFound {
+			fa := ForecastAudit{Type: t.Name, Price: price, Onset: fc.Onset(t.Name)}
+			if h, ok := fc.Horizon(t.Name, typeBest.Bid, trace.BillingHour); ok {
+				fa.HorizonProb = h
+			}
+			audit.Forecast = append(audit.Forecast, fa)
 		}
 	}
 	if !found {

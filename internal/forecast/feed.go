@@ -1,0 +1,101 @@
+package forecast
+
+import (
+	"time"
+
+	"proteus/internal/trace"
+)
+
+// Feed pumps one trace's price changes into a Forecaster without ever
+// looking past "now" — the forecaster only sees prices the market has
+// already revealed, so its predictions carry no look-ahead.
+type Feed struct {
+	cur    *trace.Cursor
+	fc     *Forecaster
+	last   time.Duration
+	primed bool
+}
+
+// NewFeed wires a forecaster to a trace. The forecaster observes nothing
+// until the first Advance.
+func NewFeed(tr *trace.Trace, fc *Forecaster) *Feed {
+	return &Feed{cur: trace.NewCursor(tr), fc: fc}
+}
+
+// Advance feeds every price change in (last, now] to the forecaster, in
+// time order, then observes the price in effect at now itself — even
+// when it did not change — and returns the number of Update calls made.
+// The closing observation matters statistically: β samples open per
+// Update, so sampling at the caller's cadence (the scheduler's decision
+// tick) gives the eviction table window start points spread over time
+// instead of only at price changes, which on a calm trace can be many
+// minutes apart. The cursor walk is amortized O(changes), never a
+// rescan. Calls must use non-decreasing now.
+func (fd *Feed) Advance(now time.Duration) int {
+	n := 0
+	if !fd.primed {
+		fd.fc.Update(now, fd.cur.PriceAt(now))
+		fd.primed = true
+		fd.last = now
+		return 1
+	}
+	t := fd.last
+	last := fd.last
+	for {
+		nt, ok := fd.cur.NextChange(t)
+		if !ok || nt > now {
+			break
+		}
+		t = nt
+		fd.fc.Update(t, fd.cur.PriceAt(t))
+		last = t
+		n++
+	}
+	if now > last {
+		fd.fc.Update(now, fd.cur.PriceAt(now))
+		n++
+	}
+	fd.last = now
+	return n
+}
+
+// Forecaster returns the model this feed updates.
+func (fd *Feed) Forecaster() *Forecaster { return fd.fc }
+
+// Features summarizes one sliding price window — the inputs a
+// feature-based predictor works from, extracted with cursor walks
+// instead of full scans.
+type Features struct {
+	Mean    float64 // time-weighted mean price over the window
+	Min     float64 // lowest price in effect at any instant of the window
+	Max     float64 // highest price in effect at any instant of the window
+	Last    float64 // price in effect at the window's right edge
+	Changes int     // price changes strictly inside (from, to]
+}
+
+// WindowFeatures extracts Features over [from, to] using cursor seeks:
+// amortized O(changes in window) for a monotone sequence of windows.
+// Results match the naive full-scan reference (see the property test)
+// exactly for Min/Max/Last/Changes and to float tolerance for Mean.
+func WindowFeatures(c *trace.Cursor, from, to time.Duration) Features {
+	p := c.PriceAt(from)
+	f := Features{Mean: c.MeanPrice(from, to), Min: p, Max: p, Last: p}
+	t := from
+	for {
+		nt, ok := c.NextChange(t)
+		if !ok || nt > to {
+			break
+		}
+		t = nt
+		p = c.PriceAt(t)
+		if p < f.Min {
+			f.Min = p
+		}
+		if p > f.Max {
+			f.Max = p
+		}
+		f.Last = p
+		f.Changes++
+	}
+	return f
+}

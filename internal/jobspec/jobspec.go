@@ -47,6 +47,11 @@ type Entry struct {
 	// DeadlineHours is the completion target as hours from scheduler
 	// start; zero means no deadline.
 	DeadlineHours float64 `json:"deadline_hours,omitempty"`
+	// Proactive opts the job into forecast-driven handling: on a
+	// scheduler running with a forecaster, its state is pre-drained off
+	// machines whose predicted eviction probability crosses the drain
+	// threshold. Ignored (harmless) on reactive schedulers.
+	Proactive bool `json:"proactive,omitempty"`
 }
 
 // FieldError pins one validation failure to a job index and JSON field.
@@ -169,12 +174,13 @@ func (e Entry) Job(id int) sched.Job {
 		name = fmt.Sprintf("job-%d", id)
 	}
 	return sched.Job{
-		ID:       id,
-		Name:     name,
-		Arrival:  time.Duration(e.ArrivalMinutes * float64(time.Minute)),
-		Priority: e.Priority,
-		Deadline: time.Duration(e.DeadlineHours * float64(time.Hour)),
-		Spec:     e.spec(),
+		ID:        id,
+		Name:      name,
+		Arrival:   time.Duration(e.ArrivalMinutes * float64(time.Minute)),
+		Priority:  e.Priority,
+		Deadline:  time.Duration(e.DeadlineHours * float64(time.Hour)),
+		Proactive: e.Proactive,
+		Spec:      e.spec(),
 	}
 }
 

@@ -266,6 +266,10 @@ type Stats struct {
 	Recovered     bool
 	RecoveredJobs int
 	CatchingUp    bool
+
+	// Forecast carries the online eviction forecaster's accuracy and
+	// proactive-action counters (Enabled=false on reactive schedulers).
+	Forecast ForecastStats
 }
 
 // Stats summarizes the scheduler's current state. Safe to call from any
@@ -294,8 +298,11 @@ func (s *Scheduler) Stats() Stats {
 		st.Now = s.eng.Now() - s.startAt
 		st.CostSoFar = s.mkt.TotalCost() - s.startCost
 	}
+	if s.fc != nil {
+		st.Forecast = s.fc.stats()
+	}
 	for _, ba := range s.allocs {
-		if ba.warned {
+		if ba.outOfPool() {
 			continue
 		}
 		if ba.holder != nil {

@@ -61,6 +61,18 @@ func (h *AgileMLHooks) Grow(cores int) error {
 	return nil
 }
 
+// PreDrain implements ProactiveDrainer: a forecast-initiated drain with
+// the whole prediction lead to work with, not the 2-minute scramble.
+// In-flight parameter updates are flushed to the reliable tier first, so
+// the subsequent eviction walk moves settled state instead of racing
+// active writes.
+func (h *AgileMLHooks) PreDrain(cores int) error {
+	if err := h.Controller.FlushActives(); err != nil {
+		return err
+	}
+	return h.Shrink(cores)
+}
+
 // Shrink implements ElasticHooks.
 func (h *AgileMLHooks) Shrink(cores int) error {
 	n := cores / h.CoresPerMachine

@@ -19,6 +19,7 @@ func JobToRecord(j Job) wal.JobRecord {
 		ArrivalNs:  int64(j.Arrival),
 		Priority:   j.Priority,
 		DeadlineNs: int64(j.Deadline),
+		Proactive:  j.Proactive,
 		Spec:       j.Spec,
 	}
 }
@@ -26,12 +27,13 @@ func JobToRecord(j Job) wal.JobRecord {
 // JobFromRecord is the inverse of JobToRecord.
 func JobFromRecord(r wal.JobRecord) Job {
 	return Job{
-		ID:       r.ID,
-		Name:     r.Name,
-		Spec:     r.Spec,
-		Arrival:  time.Duration(r.ArrivalNs),
-		Priority: r.Priority,
-		Deadline: time.Duration(r.DeadlineNs),
+		ID:        r.ID,
+		Name:      r.Name,
+		Spec:      r.Spec,
+		Arrival:   time.Duration(r.ArrivalNs),
+		Priority:  r.Priority,
+		Deadline:  time.Duration(r.DeadlineNs),
+		Proactive: r.Proactive,
 	}
 }
 

@@ -17,12 +17,15 @@ package sched
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"proteus/internal/bidbrain"
 	"proteus/internal/core"
+	"proteus/internal/forecast"
 	"proteus/internal/market"
 	"proteus/internal/obs"
 	"proteus/internal/sim"
@@ -53,6 +56,13 @@ type Job struct {
 	// the scheduler's start. A job arriving at or after its deadline is
 	// rejected as expired.
 	Deadline time.Duration
+	// Proactive opts the job into forecast-driven elasticity: when the
+	// scheduler runs with Config.Forecast, leases whose predicted
+	// eviction probability crosses the threshold are drained ahead of the
+	// market warning (and replacements pre-acquired). Jobs without the
+	// knob keep the paper's reactive behavior even on a forecasting
+	// scheduler.
+	Proactive bool
 }
 
 // JobState is the lifecycle state of a submitted job.
@@ -194,6 +204,11 @@ type Config struct {
 	// transition as a durable record. Submissions are logged before
 	// they mutate scheduler state; a failed append rejects the Submit.
 	WAL *wal.Log
+	// Forecast, when set, runs a per-type online eviction forecaster over
+	// the observed price stream and enables proactive drain/pre-acquire
+	// for jobs submitted with Proactive=true. Nil keeps the reactive
+	// behavior.
+	Forecast *forecast.Options
 }
 
 // Validate rejects unusable configurations.
@@ -209,6 +224,11 @@ func (c Config) Validate() error {
 	}
 	if c.MaxConcurrent < 0 {
 		return fmt.Errorf("sched: MaxConcurrent must be non-negative")
+	}
+	if c.Forecast != nil {
+		if err := c.Forecast.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -256,12 +276,26 @@ type brokerAlloc struct {
 	alloc      *market.Allocation
 	bidDelta   float64
 	warned     bool
+	warnedAt   time.Duration
 	everLeased bool
 	holder     *jobRun
 	lastHolder *jobRun
 	leaseStart time.Duration
 	// leaseSpan is the holder's open "lease" child span, grant → release.
 	leaseSpan *obs.Span
+	// predrained marks a forecast-initiated proactive drain: the lease
+	// was released ahead of any market warning and the allocation is
+	// parked (out of the footprint, never re-granted) awaiting the
+	// predicted eviction. Cleared if the prediction misses.
+	predrained bool
+	predrainAt time.Duration
+	// predrainResolved guards the hit/false-positive accounting: each
+	// pre-drain settles exactly once (warning → hit; expiry → miss).
+	predrainResolved bool
+	// predrainMissed marks an allocation whose pre-drain resolved as a
+	// false positive; it is never pre-drained again — the bid is fixed,
+	// so a second drain would thrash on the same signal.
+	predrainMissed bool
 }
 
 func (b *brokerAlloc) cores() int { return b.alloc.Count * b.alloc.Type.VCPUs }
@@ -286,9 +320,26 @@ type Scheduler struct {
 	wake chan struct{} // nudges a sleeping Serve loop after Submit
 	subs map[*Subscription]struct{}
 
+	// submitWaiters counts goroutines blocked on mu inside Submit. The
+	// drive loops re-acquire mu immediately after every engine step; Go
+	// mutexes are unfair in that regime, so without an explicit yield a
+	// hot Serve loop starves submitters into the 1-ms starvation regime
+	// (p99 ~1.4s at 32 loadgen workers). The loops check this counter
+	// after unlocking and yield the processor when anyone is waiting.
+	submitWaiters atomic.Int32
+
 	jobs   []*jobRun
 	byID   map[int]*jobRun
 	allocs map[market.AllocationID]*brokerAlloc
+	// allocOrder mirrors s.allocs keys in ascending ID order. Market IDs
+	// are assigned monotonically, so acquisition appends in order and the
+	// broker's many ordered walks stop re-sorting per call.
+	allocOrder []market.AllocationID
+
+	// fc is the online forecasting state (nil without Config.Forecast).
+	fc *schedForecast
+	// priceScratch is decide()'s reusable spot-price map.
+	priceScratch map[string]float64
 
 	reliable *market.Allocation
 	horizon  time.Duration
@@ -359,6 +410,13 @@ func New(eng *sim.Engine, mkt *market.Market, cfg Config) (*Scheduler, error) {
 			s.horizon = tr.Duration()
 		}
 	}
+	if cfg.Forecast != nil {
+		fc, err := newSchedForecast(mkt, *cfg.Forecast)
+		if err != nil {
+			return nil, err
+		}
+		s.fc = fc
+	}
 	return s, nil
 }
 
@@ -369,7 +427,9 @@ func New(eng *sim.Engine, mkt *market.Market, cfg Config) (*Scheduler, error) {
 // the requested offset already passed. Submissions are rejected once
 // the scheduler is draining for shutdown or has finished.
 func (s *Scheduler) Submit(job Job) error {
+	s.submitWaiters.Add(1)
 	s.mu.Lock()
+	s.submitWaiters.Add(-1)
 	defer s.mu.Unlock()
 	if s.finished {
 		return fmt.Errorf("sched: Submit after the run finished")
@@ -474,6 +534,10 @@ func (s *Scheduler) startJobsLocked() error {
 			return
 		}
 		s.walTransition(wal.Record{Kind: wal.KindTick, JobID: -1})
+		// Forecast first: pre-drains must release their leases (and
+		// pre-acquires claim their replacements) before the regular
+		// decision sees the footprint.
+		s.forecastTick()
 		s.decide(nil)
 		s.rebalance("tick")
 	})
@@ -507,8 +571,14 @@ func (s *Scheduler) Run() (*Result, error) {
 	for s.runErr == nil && !s.allTerminal() && s.eng.Now() <= s.horizon {
 		stepped := s.eng.Step()
 		// Yield between steps: a concurrent Submit (the API path) takes
-		// the mutex here and injects into the live timeline.
+		// the mutex here and injects into the live timeline. The unlock
+		// alone is not enough — an immediate re-Lock usually wins the
+		// unfair mutex race — so hand the processor over when submitters
+		// are actually waiting.
 		s.mu.Unlock()
+		if s.submitWaiters.Load() > 0 {
+			runtime.Gosched()
+		}
 		s.mu.Lock()
 		if !stepped {
 			break
@@ -650,7 +720,7 @@ func (s *Scheduler) shutdown() (float64, error) {
 			if err := s.mkt.Terminate(ba.alloc); err != nil {
 				return 0, err
 			}
-			delete(s.allocs, id)
+			s.removeAlloc(id)
 		}
 	}
 	// Remaining allocations die at their armed hour-end decisions or get
@@ -914,20 +984,43 @@ func (s *Scheduler) scheduleCompletion(j *jobRun) {
 
 // --- footprint broker ----------------------------------------------
 
-func (s *Scheduler) sortedAllocIDs() []market.AllocationID {
-	ids := make([]market.AllocationID, 0, len(s.allocs))
-	for id := range s.allocs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+// addAlloc registers a fresh acquisition with the broker. Market IDs are
+// monotonic, so appending keeps allocOrder sorted.
+func (s *Scheduler) addAlloc(ba *brokerAlloc) {
+	s.allocs[ba.alloc.ID] = ba
+	s.allocOrder = append(s.allocOrder, ba.alloc.ID)
 }
 
-// spotCores counts unwarned leased-or-idle transient cores.
+// removeAlloc drops an allocation from the broker's books.
+func (s *Scheduler) removeAlloc(id market.AllocationID) {
+	delete(s.allocs, id)
+	for i, v := range s.allocOrder {
+		if v == id {
+			s.allocOrder = append(s.allocOrder[:i], s.allocOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// sortedAllocIDs returns the broker's allocations in ascending ID order.
+// A copy, because several callers delete allocations mid-walk (and those
+// walks nest: rebalance → grant → recomputeRate → onJobDone starts its
+// own walk).
+func (s *Scheduler) sortedAllocIDs() []market.AllocationID {
+	return append([]market.AllocationID(nil), s.allocOrder...)
+}
+
+// outOfPool reports allocations excluded from the schedulable footprint:
+// warned ones (lease released, alive only for the refund) and
+// pre-drained ones (parked by the forecaster awaiting the predicted
+// eviction).
+func (b *brokerAlloc) outOfPool() bool { return b.warned || b.predrained }
+
+// spotCores counts leased-or-idle transient cores still in the pool.
 func (s *Scheduler) spotCores() int {
 	total := 0
 	for _, ba := range s.allocs {
-		if !ba.warned {
+		if !ba.outOfPool() {
 			total += ba.cores()
 		}
 	}
@@ -949,8 +1042,8 @@ func (s *Scheduler) totalDemand() int {
 
 // footprint translates the broker's live allocations into BidBrain
 // state, excluding one allocation (for its own renewal decision) and all
-// warned allocations (their leases are already released; they exist only
-// to collect refunds).
+// warned or pre-drained allocations (their leases are already released;
+// they exist only to collect refunds).
 func (s *Scheduler) footprint(exclude market.AllocationID) ([]bidbrain.AllocState, error) {
 	now := s.eng.Now()
 	out := []bidbrain.AllocState{{
@@ -962,7 +1055,7 @@ func (s *Scheduler) footprint(exclude market.AllocationID) ([]bidbrain.AllocStat
 	}}
 	for _, id := range s.sortedAllocIDs() {
 		ba := s.allocs[id]
-		if id == exclude || ba.warned {
+		if id == exclude || ba.outOfPool() {
 			continue
 		}
 		beta, err := s.cfg.Brain.Beta(ba.alloc.Type.Name, ba.bidDelta)
@@ -997,24 +1090,33 @@ func (s *Scheduler) footprint(exclude market.AllocationID) ([]bidbrain.AllocStat
 // bids, eviction probabilities, expected cost per work, the winner — as
 // a structured "bid" event in that job's causal tree. Ticker-driven
 // decisions pass nil and keep the allocation-free search.
-func (s *Scheduler) decide(parent *obs.Span) {
+//
+// Returns whether an acquisition was made (the forecast tick counts
+// replacement acquisitions it triggered as pre-acquires).
+func (s *Scheduler) decide(parent *obs.Span) bool {
 	if s.draining {
-		return
+		return false
 	}
 	demand := s.totalDemand()
 	have := s.spotCores()
 	if have >= demand {
-		return
+		return false
 	}
 	cur, err := s.footprint(-1)
 	if err != nil {
-		return
+		return false
 	}
-	prices := make(map[string]float64)
+	if s.priceScratch == nil {
+		s.priceScratch = make(map[string]float64, len(s.mkt.Types()))
+	}
+	prices := s.priceScratch
+	for k := range prices {
+		delete(prices, k)
+	}
 	for _, t := range s.mkt.Types() {
 		p, err := s.mkt.SpotPrice(t.Name)
 		if err != nil {
-			return
+			return false
 		}
 		prices[t.Name] = p
 	}
@@ -1039,16 +1141,21 @@ func (s *Scheduler) decide(parent *obs.Span) {
 	}
 	if cand == nil {
 		var audit *bidbrain.DecisionAudit
-		if parent != nil {
+		switch {
+		case s.fc != nil && parent != nil:
+			cand, audit, err = s.cfg.Brain.BestAcquisitionForecastAudited(cur, prices, types, count, s.fc)
+		case s.fc != nil:
+			cand, err = s.cfg.Brain.BestAcquisitionForecast(cur, prices, types, count, s.fc)
+		case parent != nil:
 			cand, audit, err = s.cfg.Brain.BestAcquisitionAudited(cur, prices, types, count)
-		} else {
+		default:
 			cand, err = s.cfg.Brain.BestAcquisition(cur, prices, types, count)
 		}
 		if audit != nil {
 			parent.EventAttrs("bidbrain", "bid", audit, "decision: %s", audit.Result)
 		}
 		if err != nil || cand == nil {
-			return
+			return false
 		}
 	} else if parent != nil {
 		parent.Eventf("bidbrain", "bid", "deadline acquisition: %dx %s bid=$%.4f (beta %.3f)",
@@ -1060,22 +1167,23 @@ func (s *Scheduler) decide(parent *obs.Span) {
 		n = maxCount
 	}
 	if n <= 0 {
-		return
+		return false
 	}
 	alloc, err := s.mkt.RequestSpot(cand.Type.Name, n, cand.Bid)
 	if err != nil {
-		return
+		return false
 	}
 	if parent != nil {
 		parent.Eventf("sched", "acquire", "alloc %d: %dx %s bid=$%.4f (delta $%.4f)",
 			alloc.ID, n, cand.Type.Name, cand.Bid, cand.BidDelta)
 	}
 	ba := &brokerAlloc{alloc: alloc, bidDelta: cand.BidDelta}
-	s.allocs[alloc.ID] = ba
+	s.addAlloc(ba)
 	s.walTransition(wal.Record{Kind: wal.KindAcquire, JobID: -1, Alloc: int(alloc.ID),
 		Cores: ba.cores(), Amount: cand.Bid, Detail: cand.Type.Name})
 	s.scheduleHourEnd(ba)
 	s.rebalance("acquire")
+	return true
 }
 
 // urgentDeadline finds the running deadline job in most jeopardy and
@@ -1120,6 +1228,13 @@ func (s *Scheduler) scheduleHourEnd(ba *brokerAlloc) {
 		if ba.warned {
 			return
 		}
+		if ba.predrained {
+			// The predicted eviction never arrived before the hour-end
+			// decision: settle the drain as a miss and hand the machines
+			// back to the renewal logic below.
+			s.resolvePredrain(ba, false)
+			ba.predrained = false
+		}
 		if s.draining {
 			s.terminate(ba)
 			return
@@ -1156,7 +1271,7 @@ func (s *Scheduler) scheduleHourEnd(ba *brokerAlloc) {
 
 func (s *Scheduler) terminate(ba *brokerAlloc) {
 	s.release(ba)
-	delete(s.allocs, ba.alloc.ID)
+	s.removeAlloc(ba.alloc.ID)
 	_ = s.mkt.Terminate(ba.alloc)
 }
 
@@ -1183,7 +1298,16 @@ func (s *Scheduler) release(ba *brokerAlloc) {
 	s.walTransition(wal.Record{Kind: wal.KindRelease, JobID: j.job.ID, Alloc: int(ba.alloc.ID), Cores: ba.cores()})
 	s.recomputeRate(j)
 	if j.hooks != nil {
-		if err := j.hooks.Shrink(ba.cores()); err != nil {
+		var err error
+		if pd, ok := j.hooks.(ProactiveDrainer); ok && ba.predrained {
+			// Forecast-initiated drain: flush in-flight state first, then
+			// walk the same §3.3 eviction path a warning would have taken
+			// — with the whole lead time instead of the 2-minute window.
+			err = pd.PreDrain(ba.cores())
+		} else {
+			err = j.hooks.Shrink(ba.cores())
+		}
+		if err != nil {
 			s.fail(fmt.Errorf("sched: job %d shrink hook: %w", j.job.ID, err))
 		}
 	}
@@ -1259,7 +1383,7 @@ func (s *Scheduler) rebalance(cause string) {
 		// Pass 1: keep holders whose share still covers their lease.
 		for _, id := range s.sortedAllocIDs() {
 			ba := s.allocs[id]
-			if ba.warned || ba.holder == nil {
+			if ba.outOfPool() || ba.holder == nil {
 				continue
 			}
 			if ba.holder.state == Running && target[ba.holder.job.ID] >= ba.cores() {
@@ -1272,7 +1396,7 @@ func (s *Scheduler) rebalance(cause string) {
 		// Pass 2: hand idle allocations to the largest remaining share.
 		for _, id := range s.sortedAllocIDs() {
 			ba := s.allocs[id]
-			if ba.warned || ba.holder != nil {
+			if ba.outOfPool() || ba.holder != nil {
 				continue
 			}
 			var pick *jobRun
@@ -1335,6 +1459,12 @@ func (s *Scheduler) EvictionWarning(a *market.Allocation, _ time.Duration) {
 		return
 	}
 	ba.warned = true
+	ba.warnedAt = s.eng.Now()
+	if ba.predrained {
+		// The forecaster called it: state was drained before the warning
+		// even arrived. Record the hit and how much lead it bought.
+		s.resolvePredrain(ba, true)
+	}
 	holderID := -1
 	if j := ba.holder; j != nil {
 		holderID = j.job.ID
@@ -1358,7 +1488,10 @@ func (s *Scheduler) Evicted(a *market.Allocation) {
 		return
 	}
 	s.release(ba) // zero-warning markets evict without a prior warning
-	delete(s.allocs, a.ID)
+	s.removeAlloc(a.ID)
+	if ba.predrained {
+		s.resolvePredrain(ba, true) // eviction with no prior warning still validates the drain
+	}
 	s.walTransition(wal.Record{Kind: wal.KindEvict, JobID: -1, Alloc: int(a.ID), Cores: ba.cores()})
 	var parent *obs.Span
 	if j := ba.lastHolder; j != nil {
@@ -1371,8 +1504,15 @@ func (s *Scheduler) Evicted(a *market.Allocation) {
 		}
 		if j.state == Running {
 			j.evictions++
-			s.pauseJob(j, j.job.Spec.Params.Lambda)
-			parent = j.span
+			if ba.predrained {
+				// The λ disruption is the cost of reacting to the warning;
+				// a pre-drained job already moved its state off these
+				// machines with the whole forecast lead to do it.
+				parent = j.span
+			} else {
+				s.pauseJob(j, j.job.Spec.Params.Lambda)
+				parent = j.span
+			}
 		}
 	}
 	if !s.draining {
@@ -1395,7 +1535,7 @@ func (s *Scheduler) jobCounter(state string) *obs.Counter {
 func (s *Scheduler) observeState(changed bool) {
 	leased, idle := 0, 0
 	for _, ba := range s.allocs {
-		if ba.warned {
+		if ba.outOfPool() {
 			continue
 		}
 		if ba.holder != nil {

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 )
 
@@ -78,6 +79,12 @@ func (s *Scheduler) Serve(ctx context.Context, sc ServeConfig) (*Result, error) 
 			if !paced || next <= vtarget {
 				s.eng.Step()
 				s.mu.Unlock()
+				// Unfair-mutex handoff: an unpaced loop re-locks immediately
+				// and starves Submit callers into multi-second tails; yield
+				// the processor when anyone is waiting for the lock.
+				if s.submitWaiters.Load() > 0 {
+					runtime.Gosched()
+				}
 				continue
 			}
 			// Ahead of the pace: sleep on the wall clock until the next

@@ -108,11 +108,21 @@ type Stats struct {
 	// the service runs without durability.
 	WAL *wal.Stats `json:"wal,omitempty"`
 
+	// Forecast reports the online eviction forecaster's accuracy and
+	// proactive-action counters; absent on reactive schedulers.
+	Forecast *sched.ForecastStats `json:"forecast,omitempty"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func statsWire(st sched.Stats, uptime time.Duration) Stats {
+	var fc *sched.ForecastStats
+	if st.Forecast.Enabled {
+		f := st.Forecast
+		fc = &f
+	}
 	return Stats{
+		Forecast:       fc,
 		VirtualMinutes: minutes(st.Now),
 		HorizonMinutes: minutes(st.Horizon),
 		Jobs:           st.Jobs,

@@ -80,6 +80,11 @@ const (
 	KindExpire = "expire"
 	// KindTick marks a decision-ticker firing that ran the broker.
 	KindTick = "tick"
+	// KindPreDrain marks a forecast-initiated proactive drain of a
+	// still-live allocation (audit-only, like the other transitions: the
+	// forecaster re-derives the same decision from the replayed price
+	// stream).
+	KindPreDrain = "pre-drain"
 )
 
 // Meta pins the inputs that determine a run besides its submissions:
@@ -97,6 +102,10 @@ type Meta struct {
 	// MaxConcurrent mirrors the scheduler's concurrency cap (0 =
 	// unbounded); it changes admission order, so replay must match it.
 	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Forecast records whether the online eviction forecaster was
+	// enabled; proactive pre-drains change lease history, so replay must
+	// run with the same forecaster (default options) to be identical.
+	Forecast bool `json:"forecast,omitempty"`
 	// Note is free-form provenance (binary version, operator comment).
 	Note string `json:"note,omitempty"`
 }
@@ -110,6 +119,7 @@ type JobRecord struct {
 	ArrivalNs  int64        `json:"arrival_ns"`
 	Priority   int          `json:"priority,omitempty"`
 	DeadlineNs int64        `json:"deadline_ns,omitempty"`
+	Proactive  bool         `json:"proactive,omitempty"`
 	Spec       core.JobSpec `json:"spec"`
 }
 
