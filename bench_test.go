@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"proteus/internal/obs"
 	"proteus/internal/perfmodel"
 	"proteus/internal/sched"
+	"proteus/internal/server"
 	"proteus/internal/sim"
 	"proteus/internal/trace"
 	"proteus/internal/wal"
@@ -507,6 +509,37 @@ func BenchmarkSchedulerMultiTenant(b *testing.B) {
 	b.ReportMetric(study.SerialNet, "serial-$")
 	b.ReportMetric(study.Saving*100, "saving-%")
 	b.ReportMetric(study.Concurrent.Makespan.Hours(), "makespan-hrs")
+}
+
+// BenchmarkSSEFanout times the serve-path hot loop: one scheduler event
+// dispatched through the SSE hub to 16 live timeline viewers. The hub
+// encodes the frame once and fans pre-framed bytes out non-blocking, so
+// per-event cost is one encode plus 16 channel sends — not 16 JSON
+// marshals. Gated in CI against the stored baseline.
+func BenchmarkSSEFanout(b *testing.B) {
+	const viewers = 16
+	hub := server.NewHub(nil, nil) // detached: the bench drives Dispatch
+	var wg sync.WaitGroup
+	for i := 0; i < viewers; i++ {
+		conn := hub.Timeline(4096)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range conn.C {
+			}
+		}()
+	}
+	u := sched.UtilPoint{LeasedCores: 512, IdleCores: 32, Running: 8, Queued: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.At = time.Duration(i) * time.Second
+		hub.Dispatch(sched.Event{Kind: sched.EventTimeline, At: u.At, JobID: -1, Util: &u})
+	}
+	b.StopTimer()
+	hub.Close()
+	wg.Wait()
+	b.ReportMetric(viewers, "viewers")
 }
 
 // --- Ablations for the design choices DESIGN.md calls out ---

@@ -100,6 +100,13 @@ type Report struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	SubmitsPerSec  float64 `json:"submits_per_sec"`
 
+	// SSEConsumers is how many live timeline streams rode along with the
+	// submission load; SSEFrames is the total frames they received. The
+	// hub drops frames on slow consumers rather than stalling the stream,
+	// so a healthy run shows frames flowing while submit latency holds.
+	SSEConsumers int   `json:"sse_consumers,omitempty"`
+	SSEFrames    int64 `json:"sse_frames,omitempty"`
+
 	// ServerStats is the final GET /v1/stats, WAL counters included.
 	ServerStats server.Stats `json:"server_stats"`
 
@@ -118,6 +125,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall run budget (submission + wait + probes)")
 	retries := flag.Int("retries", 8, "max attempts per POST under backpressure (429/503)")
 	sample := flag.Int("sample", 512, "accepted jobs probed for admission latency and loss")
+	sseConsumers := flag.Int("sse", 0, "open N live timeline SSE streams for the duration of the run (serve-path load alongside the submissions)")
 	waitTerminal := flag.Bool("wait-terminal", false, "after submitting, wait until every job is done or expired")
 	reportPath := flag.String("report", "", "write the JSON report here (default stdout)")
 	gateSubmitP99 := flag.Float64("gate-submit-p99-ms", 0, "fail if submit p99 exceeds this (0 = no gate)")
@@ -150,6 +158,33 @@ func main() {
 
 	if _, err := c.Stats(ctx); err != nil {
 		log.Fatalf("target %s not reachable: %v", *target, err)
+	}
+
+	// SSE riders attach before the first submission so the streams carry
+	// the whole run; they count frames until the run winds down.
+	var sseFrames atomic.Int64
+	sseCtx, sseCancel := context.WithCancel(ctx)
+	defer sseCancel()
+	var sseWG sync.WaitGroup
+	for i := 0; i < *sseConsumers; i++ {
+		sseWG.Add(1)
+		go func() {
+			defer sseWG.Done()
+			stream, err := c.Timeline(sseCtx, false)
+			if err != nil {
+				if sseCtx.Err() == nil {
+					log.Printf("sse: timeline stream: %v", err)
+				}
+				return
+			}
+			defer stream.Close()
+			for {
+				if _, err := stream.Next(); err != nil {
+					return // canceled or stream ended
+				}
+				sseFrames.Add(1)
+			}
+		}()
 	}
 
 	log.Printf("submitting %d jobs (%d workers × batches of %d) to %s", *jobs, *workers, *batch, *target)
@@ -217,6 +252,12 @@ func main() {
 	// clock, and the loss check — every accepted ID must still be known.
 	probed, lost, admitMin := probe(ctx, c, accepted, *sample)
 
+	sseCancel()
+	sseWG.Wait()
+	if *sseConsumers > 0 {
+		log.Printf("sse: %d timeline consumers received %d frames", *sseConsumers, sseFrames.Load())
+	}
+
 	stats, err := c.Stats(ctx)
 	if err != nil {
 		log.Fatalf("final stats: %v", err)
@@ -237,6 +278,8 @@ func main() {
 		Lost:                lost,
 		ElapsedSeconds:      elapsed.Seconds(),
 		SubmitsPerSec:       float64(len(accepted)) / elapsed.Seconds(),
+		SSEConsumers:        *sseConsumers,
+		SSEFrames:           sseFrames.Load(),
 		ServerStats:         stats,
 	}
 

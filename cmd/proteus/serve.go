@@ -28,6 +28,14 @@ type serveOptions struct {
 	walDir string
 	// walSegmentMB sizes log segments before snapshot+compaction.
 	walSegmentMB int
+	// walShards fans the log out into N per-shard segment streams that
+	// fsync in parallel; recovery merges them by sequence number. 0 or 1
+	// keeps the flat single-stream layout.
+	walShards int
+	// shards partitions the scheduler's admission queue and decision loop;
+	// bills, stats, and traces are bit-identical at every setting. 0 or 1
+	// runs single-shard.
+	shards int
 	// maxQueue caps the admission backlog (429 beyond it); 0 unbounded.
 	maxQueue int
 	// maxConcurrent caps simultaneously running jobs; 0 unbounded.
@@ -45,10 +53,20 @@ type serveOptions struct {
 // recovery the returned replay carries the crashed run's inputs and the
 // logged Meta, which the caller must use in place of its own flags —
 // bit-identical replay needs the original environment.
-func openWAL(o serveOptions, meta wal.Meta) (*wal.Log, *wal.Replay, error) {
+// The directory layout decides the open path — a log created sharded
+// recovers sharded regardless of the current flags — and -wal-shards
+// decides the layout only for a fresh directory.
+func openWAL(o serveOptions, meta wal.Meta) (wal.Writer, *wal.Replay, error) {
 	opts := wal.Options{SegmentBytes: o.walSegmentMB << 20}
+	if wal.IsSharded(o.walDir) {
+		return wal.OpenSharded(o.walDir, opts)
+	}
 	if wal.Exists(o.walDir) {
 		return wal.Open(o.walDir, opts)
+	}
+	if o.walShards > 1 {
+		l, err := wal.CreateSharded(o.walDir, meta, o.walShards, opts)
+		return l, nil, err
 	}
 	l, err := wal.Create(o.walDir, meta, opts)
 	return l, nil, err
@@ -77,7 +95,7 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 		o = obs.NewObserver(nil)
 	}
 
-	var wlog *wal.Log
+	var wlog wal.Writer
 	var replay *wal.Replay
 	if so.walDir != "" {
 		wlog, replay, err = openWAL(so, wal.Meta{
@@ -89,6 +107,8 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 			Policy:        policy.Name(),
 			MaxConcurrent: so.maxConcurrent,
 			Forecast:      so.forecast,
+			Shards:        so.shards,
+			WALShards:     so.walShards,
 		})
 		if err != nil {
 			return err
@@ -126,6 +146,9 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 	scfg := experiments.SchedConfig(env.Brain, policy)
 	scfg.Observer = o
 	scfg.MaxConcurrent = so.maxConcurrent
+	// Decision shards are bit-identical at every count, so recovery does
+	// not need the crashed run's setting — the flag always wins.
+	scfg.Shards = so.shards
 	if so.forecast {
 		scfg.Forecast = forecast.DefaultOptions()
 	}
@@ -174,6 +197,9 @@ func runServe(ctx context.Context, cfg experiments.MarketConfig, o *obs.Observer
 	}()
 
 	res, err := sc.Serve(ctx, sched.ServeConfig{Speedup: so.speedup})
+	// End the SSE streams before asking the HTTP server to drain, so open
+	// event connections close instead of spending the grace period idle.
+	srv.Close()
 	stopHTTP()
 	if herr := <-httpDone; herr != nil {
 		log.Printf("http server: %v", herr)

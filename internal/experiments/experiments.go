@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"proteus/internal/bidbrain"
@@ -103,10 +104,66 @@ type zoneEnv struct {
 	betas   map[string]*trace.BetaTable
 }
 
-// buildZoneEnv generates the zone's traces and trains its β tables.
-// β training fans out over cfg.Parallel workers; the result is
-// bit-identical at every worker count.
+// zoneKey identifies the inputs that determine a zoneEnv bit-for-bit.
+// Parallel is deliberately absent: β training is bit-identical at every
+// worker count, so fan-out width must not fragment the cache.
+type zoneKey struct {
+	seed        int64
+	evalDays    int
+	trainDays   int
+	betaSamples int
+}
+
+// zoneCache memoizes zoneEnv builds process-wide. A zoneEnv is immutable
+// and already serves concurrent cells, so handing the same pointer to
+// every harness that asks for the same market is safe and skips the
+// trace synthesis + β training that dominates environment construction.
+// FIFO-bounded so long-running processes sweeping seeds stay flat.
+var zoneCache = struct {
+	sync.Mutex
+	entries map[zoneKey]*zoneEnv
+	order   []zoneKey
+}{entries: make(map[zoneKey]*zoneEnv)}
+
+const zoneCacheCap = 8
+
+// buildZoneEnv returns the zone's shared environment, building traces
+// and β tables on a cache miss. β training fans out over cfg.Parallel
+// workers; the result is bit-identical at every worker count, so cache
+// hits cannot change any output.
 func buildZoneEnv(cfg MarketConfig) (*zoneEnv, error) {
+	key := zoneKey{seed: cfg.Seed, evalDays: cfg.EvalDays, trainDays: cfg.TrainDays, betaSamples: cfg.BetaSamples}
+	zoneCache.Lock()
+	z, ok := zoneCache.entries[key]
+	zoneCache.Unlock()
+	if ok {
+		return z, nil
+	}
+	z, err := buildZoneEnvUncached(cfg)
+	if err != nil {
+		return nil, err
+	}
+	zoneCache.Lock()
+	if cached, ok := zoneCache.entries[key]; ok {
+		// A concurrent build won the race; keep the first pointer so every
+		// holder shares one copy.
+		z = cached
+	} else {
+		if len(zoneCache.order) >= zoneCacheCap {
+			oldest := zoneCache.order[0]
+			zoneCache.order = zoneCache.order[1:]
+			delete(zoneCache.entries, oldest)
+		}
+		zoneCache.entries[key] = z
+		zoneCache.order = append(zoneCache.order, key)
+	}
+	zoneCache.Unlock()
+	return z, nil
+}
+
+// buildZoneEnvUncached generates the zone's traces and trains its β
+// tables.
+func buildZoneEnvUncached(cfg MarketConfig) (*zoneEnv, error) {
 	catalog := market.DefaultCatalog()
 	prices := market.CatalogPrices(catalog)
 

@@ -80,12 +80,18 @@ func SchedConfig(brain *bidbrain.Brain, policy sched.Policy) sched.Config {
 // instruments both arms; counters aggregate across the two runs.
 //
 // The two arms are independent simulations over the same price history,
-// so they fan out over cfg.Parallel workers, each with a private
-// observer merged back in concurrent-then-serial order; bills and
-// exported metrics are bit-identical at every worker count.
+// so they share one read-only zone environment (traces + β tables built
+// once, the dominant cost) and fan out over cfg.Parallel workers, each
+// with a private engine/market/Brain and a private observer merged back
+// in concurrent-then-serial order; bills and exported metrics are
+// bit-identical at every worker count.
 func RunMultiTenant(cfg MarketConfig, jobs []sched.Job, policy sched.Policy) (*MultiTenantStudy, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("experiments: no jobs to run")
+	}
+	zone, err := buildZoneEnv(cfg)
+	if err != nil {
+		return nil, err
 	}
 	type armOut struct {
 		res *sched.Result
@@ -93,17 +99,17 @@ func RunMultiTenant(cfg MarketConfig, jobs []sched.Job, policy sched.Policy) (*M
 	}
 	armName := [2]string{"concurrent", "serial"}
 	arms, err := par.Map(2, cfg.Parallel, func(arm int) (armOut, error) {
-		envCfg := cfg
+		var armObs *obs.Observer
 		if cfg.Observer != nil {
-			envCfg.Observer = obs.NewObserver(nil)
+			armObs = obs.NewObserver(nil)
 		}
-		env, err := NewEnv(envCfg, bidbrain.DefaultParams())
+		env, err := zone.newEnv(bidbrain.DefaultParams(), armObs)
 		if err != nil {
 			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
 		}
 		scfg := SchedConfig(env.Brain, policy)
 		scfg.MaxConcurrent = arm // 0 = unbounded concurrency, 1 = serial
-		scfg.Observer = envCfg.Observer
+		scfg.Observer = armObs
 		// Distinct per-arm trace seeds keep trace IDs collision-free after
 		// the arms' span streams merge into the shared observer.
 		scfg.TraceSeed = uint64(arm + 1)
@@ -120,7 +126,7 @@ func RunMultiTenant(cfg MarketConfig, jobs []sched.Job, policy sched.Policy) (*M
 		if err != nil {
 			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
 		}
-		return armOut{res: res, obs: envCfg.Observer}, nil
+		return armOut{res: res, obs: armObs}, nil
 	})
 	if err != nil {
 		return nil, err

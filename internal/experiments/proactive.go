@@ -37,17 +37,22 @@ type ProactiveStudy struct {
 // opted into proactive handling — and reports both bills plus the
 // forecaster's accuracy. A nil opts uses forecast.DefaultOptions.
 //
-// The two arms are independent simulations over the same price history
-// and fan out over cfg.Parallel workers, each with a private observer
-// merged back in reactive-then-proactive order; bills, forecaster
-// counters, and exported metrics are bit-identical at every worker
-// count.
+// The two arms are independent simulations over the same price history;
+// they share one read-only zone environment (traces + β tables built
+// once, the dominant cost) and fan out over cfg.Parallel workers, each
+// with a private engine/market/Brain and a private observer merged back
+// in reactive-then-proactive order; bills, forecaster counters, and
+// exported metrics are bit-identical at every worker count.
 func RunProactive(cfg MarketConfig, jobs []sched.Job, opts *forecast.Options) (*ProactiveStudy, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("experiments: no jobs to run")
 	}
 	if opts == nil {
 		opts = forecast.DefaultOptions()
+	}
+	zone, err := buildZoneEnv(cfg)
+	if err != nil {
+		return nil, err
 	}
 	type armOut struct {
 		res *sched.Result
@@ -56,16 +61,16 @@ func RunProactive(cfg MarketConfig, jobs []sched.Job, opts *forecast.Options) (*
 	}
 	armName := [2]string{"reactive", "proactive"}
 	arms, err := par.Map(2, cfg.Parallel, func(arm int) (armOut, error) {
-		envCfg := cfg
+		var armObs *obs.Observer
 		if cfg.Observer != nil {
-			envCfg.Observer = obs.NewObserver(nil)
+			armObs = obs.NewObserver(nil)
 		}
-		env, err := NewEnv(envCfg, bidbrain.DefaultParams())
+		env, err := zone.newEnv(bidbrain.DefaultParams(), armObs)
 		if err != nil {
 			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
 		}
 		scfg := SchedConfig(env.Brain, nil)
-		scfg.Observer = envCfg.Observer
+		scfg.Observer = armObs
 		// Distinct per-arm trace seeds keep trace IDs collision-free after
 		// the arms' span streams merge into the shared observer.
 		scfg.TraceSeed = uint64(arm + 1)
@@ -86,7 +91,7 @@ func RunProactive(cfg MarketConfig, jobs []sched.Job, opts *forecast.Options) (*
 		if err != nil {
 			return armOut{}, fmt.Errorf("experiments: %s arm: %w", armName[arm], err)
 		}
-		return armOut{res: res, fst: s.ForecastStats(), obs: envCfg.Observer}, nil
+		return armOut{res: res, fst: s.ForecastStats(), obs: armObs}, nil
 	})
 	if err != nil {
 		return nil, err

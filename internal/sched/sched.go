@@ -203,7 +203,15 @@ type Config struct {
 	// WAL, when set, receives every accepted submission and state
 	// transition as a durable record. Submissions are logged before
 	// they mutate scheduler state; a failed append rejects the Submit.
-	WAL *wal.Log
+	// Both the flat *wal.Log and the sharded router satisfy Writer.
+	WAL wal.Writer
+	// Shards partitions the admission queue and the decision tick's
+	// footprint evaluation into N shards keyed by wal.ShardFor(jobID).
+	// The tick snapshots state under the lock, evaluates shards in
+	// parallel with the lock released, and commits in fixed shard-merge
+	// order, so bills, stats, and trace trees are bit-identical at every
+	// setting. 0 or 1 means a single shard.
+	Shards int
 	// Forecast, when set, runs a per-type online eviction forecaster over
 	// the observed price stream and enables proactive drain/pre-acquire
 	// for jobs submitted with Proactive=true. Nil keeps the reactive
@@ -224,6 +232,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxConcurrent < 0 {
 		return fmt.Errorf("sched: MaxConcurrent must be non-negative")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("sched: Shards must be non-negative")
 	}
 	if c.Forecast != nil {
 		if err := c.Forecast.Validate(); err != nil {
@@ -360,19 +371,31 @@ type Scheduler struct {
 
 	// O(1) indexes over s.jobs, so a service ingesting ~1M jobs never
 	// scans the whole population per event: per-state counts, the
-	// highest submitted ID, the admission queue as a heap ordered by
-	// admitBefore, and the running set in s.jobs slot order.
+	// highest submitted ID, the admission queue as per-shard heaps
+	// ordered by admitBefore, and the running set in s.jobs slot order.
 	stateCount [5]int
 	maxID      int // -1 until the first submission
-	queue      admitHeap
+	shards     []decShard
 	running    []*jobRun
+
+	// scratch free-lists for the broker's hot walks. Borrow/return, not
+	// single fields: the walks nest (rebalance → grant → recomputeRate →
+	// onJobDone → rebalance("completion")).
+	idFree   [][]market.AllocationID
+	runFree  [][]*jobRun
+	reqFree  [][]ShareRequest
+	tgtFree  []map[int]int
+	footFree [][]bidbrain.AllocState
+	// tickScratch holds the short-hold tick's snapshot/plan buffers
+	// (ticks never nest, so a single reusable pair suffices).
+	tickScratch *tickState
 
 	// wal durability: transitions append to wal while the virtual clock
 	// is at or past walMuteUntil (catch-up replay of recovered history
 	// re-executes transitions whose records already exist); resumeTo is
 	// the virtual instant a recovered Serve loop fast-forwards to before
 	// pacing.
-	wal           *wal.Log
+	wal           wal.Writer
 	walMuteUntil  time.Duration
 	resumeTo      time.Duration
 	recovered     bool
@@ -402,6 +425,11 @@ func New(eng *sim.Engine, mkt *market.Market, cfg Config) (*Scheduler, error) {
 		maxID:  -1,
 		wal:    cfg.WAL,
 	}
+	nsh := cfg.Shards
+	if nsh < 1 {
+		nsh = 1
+	}
+	s.shards = make([]decShard, nsh)
 	// The market horizon bounds the run: when the price traces end, no
 	// further market events fire and unfinished jobs are reported as
 	// incomplete instead of spinning the decision ticker forever.
@@ -538,8 +566,10 @@ func (s *Scheduler) startJobsLocked() error {
 		// pre-acquires claim their replacements) before the regular
 		// decision sees the footprint.
 		s.forecastTick()
-		s.decide(nil)
-		s.rebalance("tick")
+		// The short-hold tick: snapshot under the lock, evaluate the
+		// decision shards with the lock released, revalidate and commit
+		// under a brief critical section (shard.go).
+		s.tickDecide()
 	})
 	for _, j := range s.jobs {
 		j.lastAccrue = s.startAt
@@ -769,7 +799,7 @@ func (s *Scheduler) arrive(j *jobRun) {
 		return
 	}
 	s.setState(j, Queued)
-	heap.Push(&s.queue, j)
+	heap.Push(&s.shards[wal.ShardFor(j.job.ID, len(s.shards))].queue, j)
 	s.jobCounter("queued").Inc()
 	s.emitJob(EventQueued, j, fmt.Sprintf("priority=%d deadline=%v", j.job.Priority, j.job.Deadline))
 	s.admit()
@@ -790,17 +820,18 @@ func (s *Scheduler) endJobSpan(j *jobRun, why string) {
 // Admission order is priority-first, then earliest deadline, then
 // arrival, then ID — the deadline-aware queue ordering; core *shares*
 // among admitted jobs are the pluggable policy's business. The queue is
-// a heap over that (total) order, so admission picks the same job a
-// full scan would, in O(log n).
+// sharded into per-shard heaps over that (total) order; popAdmit takes
+// the minimum across shard heads, so admission picks the same job one
+// big heap (or a full scan) would.
 func (s *Scheduler) admit() {
 	for {
 		if s.cfg.MaxConcurrent > 0 && s.stateCount[Running] >= s.cfg.MaxConcurrent {
 			return
 		}
-		if len(s.queue) == 0 {
+		next := s.popAdmit()
+		if next == nil {
 			return
 		}
-		next := heap.Pop(&s.queue).(*jobRun)
 		s.setState(next, Running)
 		s.insertRunning(next)
 		s.walTransition(wal.Record{Kind: wal.KindAdmit, JobID: next.job.ID})
@@ -917,12 +948,14 @@ func (s *Scheduler) onJobDone(j *jobRun) {
 	}
 	// The finishing job's leases return to the pool as already-paid
 	// capacity; rebalance hands them to whoever can harvest them.
-	for _, id := range s.sortedAllocIDs() {
+	ids := s.borrowAllocIDs()
+	for _, id := range ids {
 		ba := s.allocs[id]
-		if ba.holder == j {
+		if ba != nil && ba.holder == j {
 			s.release(ba)
 		}
 	}
+	s.returnAllocIDs(ids)
 	s.admit()
 	s.rebalance("completion")
 }
@@ -1044,28 +1077,33 @@ func (s *Scheduler) totalDemand() int {
 // state, excluding one allocation (for its own renewal decision) and all
 // warned or pre-drained allocations (their leases are already released;
 // they exist only to collect refunds).
+//
+// The returned slice is pooled: callers hand it back with returnFoot
+// (on the error path too) once the brain is done reading it.
 func (s *Scheduler) footprint(exclude market.AllocationID) ([]bidbrain.AllocState, error) {
 	now := s.eng.Now()
-	out := []bidbrain.AllocState{{
+	out := append(s.borrowFoot(), bidbrain.AllocState{
 		Type:      s.reliable.Type,
 		Count:     s.reliable.Count,
 		Price:     s.reliable.Type.OnDemand,
 		Remaining: s.reliable.HourEnd(now) - now,
 		OnDemand:  true,
-	}}
-	for _, id := range s.sortedAllocIDs() {
+	})
+	// Iterating allocOrder directly is safe here: Beta/Omega lookups are
+	// pure, so this walk never mutates the broker's books.
+	for _, id := range s.allocOrder {
 		ba := s.allocs[id]
 		if id == exclude || ba.outOfPool() {
 			continue
 		}
 		beta, err := s.cfg.Brain.Beta(ba.alloc.Type.Name, ba.bidDelta)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		remaining := ba.alloc.HourEnd(now) - now
 		omega, err := s.cfg.Brain.ExpectedUsefulTime(ba.alloc.Type.Name, ba.bidDelta, remaining)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		out = append(out, bidbrain.AllocState{
 			Type:      ba.alloc.Type,
@@ -1103,6 +1141,7 @@ func (s *Scheduler) decide(parent *obs.Span) bool {
 		return false
 	}
 	cur, err := s.footprint(-1)
+	defer s.returnFoot(cur)
 	if err != nil {
 		return false
 	}
@@ -1245,6 +1284,7 @@ func (s *Scheduler) scheduleHourEnd(ba *brokerAlloc) {
 			return
 		}
 		rest, err := s.footprint(ba.alloc.ID)
+		defer s.returnFoot(rest)
 		if err != nil {
 			return
 		}
@@ -1350,17 +1390,11 @@ func (s *Scheduler) rebalance(cause string) {
 	// (recomputeRate → onJobDone), mutating s.running mid-iteration.
 	// The set is kept in s.jobs slot order, so the snapshot matches the
 	// scan of s.jobs this replaced, tie-breaks included.
-	runnable := append([]*jobRun(nil), s.running...)
-	changed := false
-	if len(runnable) == 0 {
-		for _, id := range s.sortedAllocIDs() {
-			if s.allocs[id].holder != nil {
-				s.release(s.allocs[id])
-				changed = true
-			}
-		}
-	} else {
-		reqs := make([]ShareRequest, 0, len(runnable))
+	runnable := s.borrowRunnable()
+	var reqs []ShareRequest
+	var shares []int
+	if len(runnable) > 0 {
+		reqs = s.borrowReqs()
 		for _, j := range runnable {
 			s.accrueJob(j)
 			reqs = append(reqs, ShareRequest{
@@ -1373,17 +1407,41 @@ func (s *Scheduler) rebalance(cause string) {
 				RemainingWork: j.job.Spec.TargetWork - j.work,
 			})
 		}
-		shares := s.cfg.Policy.Shares(s.eng.Now()-s.startAt, reqs, s.spotCores())
-		target := make(map[int]int, len(reqs))
+		shares = s.cfg.Policy.Shares(s.eng.Now()-s.startAt, reqs, s.spotCores())
+	}
+	s.applyShares(runnable, reqs, shares, cause)
+	if reqs != nil {
+		s.returnReqs(reqs)
+	}
+	s.returnRunnable(runnable)
+}
+
+// applyShares is rebalance's placement half: release/keep/grant leases
+// against the given share targets. Split out so the short-hold tick can
+// commit a target computed outside the lock without re-deriving it.
+func (s *Scheduler) applyShares(runnable []*jobRun, reqs []ShareRequest, shares []int, cause string) {
+	changed := false
+	if len(runnable) == 0 {
+		ids := s.borrowAllocIDs()
+		for _, id := range ids {
+			if s.allocs[id] != nil && s.allocs[id].holder != nil {
+				s.release(s.allocs[id])
+				changed = true
+			}
+		}
+		s.returnAllocIDs(ids)
+	} else {
+		target := s.borrowTarget()
 		for i, r := range reqs {
 			if i < len(shares) {
 				target[r.ID] = shares[i]
 			}
 		}
 		// Pass 1: keep holders whose share still covers their lease.
-		for _, id := range s.sortedAllocIDs() {
+		ids := s.borrowAllocIDs()
+		for _, id := range ids {
 			ba := s.allocs[id]
-			if ba.outOfPool() || ba.holder == nil {
+			if ba == nil || ba.outOfPool() || ba.holder == nil {
 				continue
 			}
 			if ba.holder.state == Running && target[ba.holder.job.ID] >= ba.cores() {
@@ -1393,10 +1451,12 @@ func (s *Scheduler) rebalance(cause string) {
 			s.release(ba)
 			changed = true
 		}
+		s.returnAllocIDs(ids)
 		// Pass 2: hand idle allocations to the largest remaining share.
-		for _, id := range s.sortedAllocIDs() {
+		ids = s.borrowAllocIDs()
+		for _, id := range ids {
 			ba := s.allocs[id]
-			if ba.outOfPool() || ba.holder != nil {
+			if ba == nil || ba.outOfPool() || ba.holder != nil {
 				continue
 			}
 			var pick *jobRun
@@ -1413,6 +1473,8 @@ func (s *Scheduler) rebalance(cause string) {
 			s.grant(ba, pick)
 			changed = true
 		}
+		s.returnAllocIDs(ids)
+		s.returnTarget(target)
 	}
 	if changed {
 		s.rebalances++

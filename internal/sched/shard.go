@@ -1,0 +1,571 @@
+package sched
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"proteus/internal/bidbrain"
+	"proteus/internal/market"
+	"proteus/internal/wal"
+)
+
+// The sharded decision loop.
+//
+// Config.Shards partitions the scheduler's per-tick work into N decision
+// shards keyed by the same wal.ShardFor hash that routes WAL records, so
+// a job's admission queue, share evaluation, and durability stream all
+// live on one shard. The decision tick is a short-hold protocol:
+//
+//  1. snapshot — under the lock, capture everything the decision reads:
+//     accrued work, demand/have, the schedulable pool, spot prices.
+//  2. compute — with the lock RELEASED, each shard evaluates its slice
+//     of the footprint (Beta/Omega per allocation) and its jobs' share
+//     requests into disjoint positions of globally-ordered slices; the
+//     ordering-sensitive float reductions (candidate search, policy
+//     shares) then run single-threaded over the merged slices, in fixed
+//     global order — so the result is bit-identical at any shard count.
+//  3. commit — under the lock again, revalidate the snapshot and apply:
+//     request the planned acquisition and/or move leases to the planned
+//     shares. If anything moved while unlocked, throw the plan away and
+//     recompute inline (the always-correct fallback).
+//
+// Unlocking mid-tick is safe because the engine is quiescent inside a
+// callback: the only concurrent mutator is Submit, which appends a
+// Pending job and schedules its arrival without touching the running
+// set, the footprint, or the market.
+
+// decShard is one decision shard: the slice of the admission queue whose
+// jobs hash to it. (Per-tick evaluation state lives in tickState; the
+// shards' compute phases write disjoint index ranges of shared slices,
+// so the shard itself carries no evaluation fields.)
+type decShard struct {
+	queue admitHeap
+}
+
+// popAdmit pops the admission-order minimum across every shard's queue.
+// admitBefore is a total order, so taking the least of the shard heads
+// is exactly the job one global heap would pop — sharding the queue
+// never changes who is admitted. This is also where idle shards steal
+// work: a shard whose queue is empty contributes nothing and the pop
+// proceeds from whichever shard holds the global head.
+func (s *Scheduler) popAdmit() *jobRun {
+	best := -1
+	for k := range s.shards {
+		h := s.shards[k].queue
+		if len(h) == 0 {
+			continue
+		}
+		if best < 0 || admitBefore(h[0], s.shards[best].queue[0]) {
+			best = k
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return heap.Pop(&s.shards[best].queue).(*jobRun)
+}
+
+// queuedJobs returns every queued job across the shard heaps (heap
+// order within a shard, shard-major). Only for snapshots/tests; the
+// admission path uses popAdmit.
+func (s *Scheduler) queuedJobs() []*jobRun {
+	var out []*jobRun
+	for k := range s.shards {
+		out = append(out, s.shards[k].queue...)
+	}
+	return out
+}
+
+// --- scratch free-lists ---------------------------------------------
+
+// The broker's hot walks (rebalance, footprint, onJobDone) borrow their
+// slices from per-scheduler free-lists instead of allocating. Free-lists
+// rather than single scratch fields because the walks nest: rebalance →
+// grant → recomputeRate → onJobDone → rebalance("completion").
+
+func (s *Scheduler) borrowAllocIDs() []market.AllocationID {
+	var buf []market.AllocationID
+	if n := len(s.idFree); n > 0 {
+		buf = s.idFree[n-1][:0]
+		s.idFree = s.idFree[:n-1]
+	}
+	return append(buf, s.allocOrder...)
+}
+
+func (s *Scheduler) returnAllocIDs(buf []market.AllocationID) {
+	s.idFree = append(s.idFree, buf)
+}
+
+func (s *Scheduler) borrowRunnable() []*jobRun {
+	var buf []*jobRun
+	if n := len(s.runFree); n > 0 {
+		buf = s.runFree[n-1][:0]
+		s.runFree = s.runFree[:n-1]
+	}
+	return append(buf, s.running...)
+}
+
+func (s *Scheduler) returnRunnable(buf []*jobRun) {
+	s.runFree = append(s.runFree, buf)
+}
+
+func (s *Scheduler) borrowReqs() []ShareRequest {
+	if n := len(s.reqFree); n > 0 {
+		buf := s.reqFree[n-1][:0]
+		s.reqFree = s.reqFree[:n-1]
+		return buf
+	}
+	return nil
+}
+
+func (s *Scheduler) returnReqs(buf []ShareRequest) {
+	s.reqFree = append(s.reqFree, buf)
+}
+
+func (s *Scheduler) borrowTarget() map[int]int {
+	if n := len(s.tgtFree); n > 0 {
+		m := s.tgtFree[n-1]
+		s.tgtFree = s.tgtFree[:n-1]
+		for k := range m {
+			delete(m, k)
+		}
+		return m
+	}
+	return make(map[int]int, 8)
+}
+
+func (s *Scheduler) returnTarget(m map[int]int) {
+	s.tgtFree = append(s.tgtFree, m)
+}
+
+func (s *Scheduler) borrowFoot() []bidbrain.AllocState {
+	if n := len(s.footFree); n > 0 {
+		buf := s.footFree[n-1][:0]
+		s.footFree = s.footFree[:n-1]
+		return buf
+	}
+	return nil
+}
+
+func (s *Scheduler) returnFoot(buf []bidbrain.AllocState) {
+	s.footFree = append(s.footFree, buf)
+}
+
+// --- the short-hold tick --------------------------------------------
+
+// allocSnap is one schedulable allocation's decision inputs, captured
+// under the lock.
+type allocSnap struct {
+	id        market.AllocationID
+	typ       market.InstanceType
+	count     int
+	price     float64
+	bidDelta  float64
+	remaining time.Duration
+}
+
+// tickSnap is everything one decision tick reads, captured under the
+// lock so the compute phase can run without it.
+type tickSnap struct {
+	now     time.Duration
+	elapsed time.Duration
+	demand  int
+	have    int
+	// needAcq mirrors decide's have<demand gate: the footprint and
+	// price snapshots below are only taken (and evaluated) when it is
+	// set.
+	needAcq  bool
+	pricesOK bool
+	prices   map[string]float64 // aliases s.priceScratch
+	types    []market.InstanceType
+	reliable bidbrain.AllocState
+	allocs   []allocSnap
+	runnable []*jobRun
+}
+
+// tickPlan is the compute phase's output: disjointly-written per-shard
+// results merged in global order, plus the sequential reductions over
+// them.
+type tickPlan struct {
+	errs []error // per shard; any non-nil cancels the acquisition
+	// foot[0] is the reliable anchor; foot[i+1] is allocs[i], written by
+	// the shard owning index i — the merge in fixed shard order is the
+	// slice's natural order.
+	foot   []bidbrain.AllocState
+	reqs   []ShareRequest // reqs[r] is runnable[r], written by its job's shard
+	shares []int
+	cand   *bidbrain.Candidate
+	candV  bidbrain.Candidate
+	n      int
+}
+
+// tickState is the reusable snapshot+plan pair (ticks never nest).
+type tickState struct {
+	snap tickSnap
+	plan tickPlan
+}
+
+// tickDecide runs one decision tick under the short-hold protocol. It is
+// called from the decision ticker with mu held and returns with mu held,
+// releasing it only across the compute phase.
+func (s *Scheduler) tickDecide() {
+	st := s.tickScratch
+	if st == nil {
+		st = &tickState{}
+		s.tickScratch = st
+	}
+	s.snapshotTick(st)
+	// The engine is quiescent inside a callback and Submit (the only
+	// concurrent mutator) never touches the snapshot's inputs, so the
+	// lock can drop while the shards evaluate.
+	s.mu.Unlock()
+	s.computePlan(st)
+	s.mu.Lock()
+	s.commitTick(st)
+}
+
+// snapshotTick captures the tick's inputs under the lock. It also
+// accrues every running job to now — the old inline tick did the same
+// across decide (the urgent job) and rebalance (everyone), and accrual
+// is idempotent at a fixed instant, so hoisting it here is bit-neutral.
+func (s *Scheduler) snapshotTick(st *tickState) {
+	snap := &st.snap
+	now := s.eng.Now()
+	snap.now = now
+	snap.elapsed = now - s.startAt
+	snap.runnable = snap.runnable[:0]
+	for _, j := range s.running {
+		s.accrueJob(j)
+		snap.runnable = append(snap.runnable, j)
+	}
+	snap.demand = s.totalDemand()
+	snap.have = s.spotCores()
+	snap.needAcq = snap.have < snap.demand
+	snap.allocs = snap.allocs[:0]
+	snap.pricesOK = false
+	if !snap.needAcq {
+		return
+	}
+	snap.reliable = bidbrain.AllocState{
+		Type:      s.reliable.Type,
+		Count:     s.reliable.Count,
+		Price:     s.reliable.Type.OnDemand,
+		Remaining: s.reliable.HourEnd(now) - now,
+		OnDemand:  true,
+	}
+	for _, id := range s.allocOrder {
+		ba := s.allocs[id]
+		if ba.outOfPool() {
+			continue
+		}
+		snap.allocs = append(snap.allocs, allocSnap{
+			id:        id,
+			typ:       ba.alloc.Type,
+			count:     ba.alloc.Count,
+			price:     ba.alloc.HourCharge() / float64(ba.alloc.Count),
+			bidDelta:  ba.bidDelta,
+			remaining: ba.alloc.HourEnd(now) - now,
+		})
+	}
+	if s.priceScratch == nil {
+		s.priceScratch = make(map[string]float64, len(s.mkt.Types()))
+	}
+	snap.prices = s.priceScratch
+	for k := range snap.prices {
+		delete(snap.prices, k)
+	}
+	snap.types = s.mkt.Types()
+	snap.pricesOK = true
+	for _, t := range snap.types {
+		p, err := s.mkt.SpotPrice(t.Name)
+		if err != nil {
+			snap.pricesOK = false
+			break
+		}
+		snap.prices[t.Name] = p
+	}
+}
+
+// computePlan evaluates the snapshot with the lock released. The
+// per-shard phase writes disjoint global indexes; the reductions that
+// are sensitive to float evaluation order (candidate search, policy
+// shares) run single-threaded over the merged, globally-ordered slices,
+// so the plan is bit-identical at any shard count.
+func (s *Scheduler) computePlan(st *tickState) {
+	snap, plan := &st.snap, &st.plan
+	nsh := len(s.shards)
+	plan.cand = nil
+	plan.n = 0
+	plan.shares = plan.shares[:0]
+	if cap(plan.errs) < nsh {
+		plan.errs = make([]error, nsh)
+	}
+	plan.errs = plan.errs[:nsh]
+	for k := range plan.errs {
+		plan.errs[k] = nil
+	}
+	plan.foot = growFoot(plan.foot, len(snap.allocs)+1)
+	plan.reqs = growReqs(plan.reqs, len(snap.runnable))
+	if nsh == 1 || len(snap.allocs)+len(snap.runnable) < 2 {
+		for k := 0; k < nsh; k++ {
+			s.evalShard(st, k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := 0; k < nsh; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				s.evalShard(st, k)
+			}(k)
+		}
+		wg.Wait()
+	}
+	// Sequential reductions over the merged per-shard results.
+	if snap.needAcq && snap.pricesOK {
+		evalErr := false
+		for _, err := range plan.errs {
+			if err != nil {
+				evalErr = true
+				break
+			}
+		}
+		if !evalErr {
+			plan.foot[0] = snap.reliable
+			s.searchCandidate(snap, plan)
+		}
+	}
+	if len(snap.runnable) > 0 {
+		plan.shares = append(plan.shares, s.cfg.Policy.Shares(snap.elapsed, plan.reqs, snap.have)...)
+	}
+}
+
+// evalShard is shard k's compute slice: Beta/Omega for the footprint
+// entries it owns (allocations stripe round-robin over shards — they
+// carry no job identity) and share requests for its jobs (hashed by
+// wal.ShardFor, the same mapping that routes their WAL records).
+func (s *Scheduler) evalShard(st *tickState, k int) {
+	snap, plan := &st.snap, &st.plan
+	nsh := len(s.shards)
+	if snap.needAcq && snap.pricesOK {
+		for i := k; i < len(snap.allocs); i += nsh {
+			a := &snap.allocs[i]
+			beta, err := s.cfg.Brain.Beta(a.typ.Name, a.bidDelta)
+			if err != nil {
+				plan.errs[k] = err
+				break
+			}
+			omega, err := s.cfg.Brain.ExpectedUsefulTime(a.typ.Name, a.bidDelta, a.remaining)
+			if err != nil {
+				plan.errs[k] = err
+				break
+			}
+			plan.foot[i+1] = bidbrain.AllocState{
+				Type:      a.typ,
+				Count:     a.count,
+				Price:     a.price,
+				Beta:      beta,
+				Remaining: a.remaining,
+				Omega:     omega,
+			}
+		}
+	}
+	for r, j := range snap.runnable {
+		if wal.ShardFor(j.job.ID, nsh) != k {
+			continue
+		}
+		plan.reqs[r] = ShareRequest{
+			ID:            j.job.ID,
+			Priority:      j.job.Priority,
+			Arrival:       j.job.Arrival,
+			Deadline:      j.job.Deadline,
+			MaxCores:      j.job.Spec.MaxSpotCores,
+			NeededCores:   neededCoresAt(j, snap.elapsed),
+			RemainingWork: j.job.Spec.TargetWork - j.work,
+		}
+	}
+}
+
+// neededCoresAt is neededCores phrased over the snapshot instant:
+// identical arithmetic ((startAt+Deadline)-now == Deadline-elapsed in
+// exact integer nanoseconds), no engine access.
+func neededCoresAt(j *jobRun, elapsed time.Duration) int {
+	if j.job.Deadline == 0 {
+		return 0
+	}
+	left := (j.job.Deadline - elapsed).Hours()
+	if left <= 0 {
+		return j.job.Spec.MaxSpotCores
+	}
+	p := j.job.Spec.Params
+	perCore := p.Phi * p.NuPerCore
+	if perCore <= 0 {
+		return j.job.Spec.MaxSpotCores
+	}
+	need := int((j.job.Spec.TargetWork-j.work)/(left*perCore)) + 1
+	if need > j.job.Spec.MaxSpotCores {
+		need = j.job.Spec.MaxSpotCores
+	}
+	if need < 0 {
+		need = 0
+	}
+	return need
+}
+
+// searchCandidate mirrors decide's acquisition search over the merged
+// footprint (tick decisions pass no parent span, so the unaudited
+// variants apply).
+func (s *Scheduler) searchCandidate(snap *tickSnap, plan *tickPlan) {
+	types := snap.types
+	smallest := types[0]
+	for _, t := range types {
+		if t.VCPUs < smallest.VCPUs {
+			smallest = t
+		}
+	}
+	count := s.cfg.ChunkCores / smallest.VCPUs
+	if count <= 0 {
+		count = 1
+	}
+	var cand *bidbrain.Candidate
+	if goal, ok := urgentDeadlineAt(snap); ok {
+		dc, err := s.cfg.Brain.DeadlineAcquisition(plan.foot, goal, snap.prices, types, count)
+		if err == nil && dc != nil {
+			cand = &dc.Candidate
+		}
+	}
+	if cand == nil {
+		var err error
+		if s.fc != nil {
+			cand, err = s.cfg.Brain.BestAcquisitionForecast(plan.foot, snap.prices, types, count, s.fc)
+		} else {
+			cand, err = s.cfg.Brain.BestAcquisition(plan.foot, snap.prices, types, count)
+		}
+		if err != nil || cand == nil {
+			return
+		}
+	}
+	maxCount := (snap.demand - snap.have) / cand.Type.VCPUs
+	n := cand.Count
+	if n > maxCount {
+		n = maxCount
+	}
+	if n <= 0 {
+		return
+	}
+	plan.candV = *cand
+	plan.cand = &plan.candV
+	plan.n = n
+}
+
+// urgentDeadlineAt is urgentDeadline over the snapshot: same selection
+// (earliest deadline among running deadline jobs, first wins ties in
+// running-set order) and same arithmetic, with work already accrued to
+// the snapshot instant.
+func urgentDeadlineAt(snap *tickSnap) (bidbrain.DeadlineGoal, bool) {
+	var best *jobRun
+	for _, j := range snap.runnable {
+		if j.job.Deadline == 0 {
+			continue
+		}
+		if best == nil || j.job.Deadline < best.job.Deadline {
+			best = j
+		}
+	}
+	if best == nil {
+		return bidbrain.DeadlineGoal{}, false
+	}
+	remaining := best.job.Spec.TargetWork - best.work
+	left := best.job.Deadline - snap.elapsed
+	if remaining <= 0 || left <= 0 {
+		return bidbrain.DeadlineGoal{}, false
+	}
+	return bidbrain.DeadlineGoal{RemainingWork: remaining, Deadline: left}, true
+}
+
+// commitTick revalidates the snapshot and applies the plan under the
+// re-acquired lock. Today nothing that runs during the unlocked window
+// can move the snapshot's inputs (Submit only appends pending jobs);
+// the revalidation keeps the commit honest if that ever changes — on
+// any drift the plan is discarded and the decision recomputes inline,
+// which is always correct.
+func (s *Scheduler) commitTick(st *tickState) {
+	snap, plan := &st.snap, &st.plan
+	if s.draining {
+		return
+	}
+	if !s.tickStillValid(snap) {
+		s.decide(nil)
+		s.rebalance("tick")
+		return
+	}
+	if plan.cand != nil && s.commitAcquire(plan) {
+		// Mirror the inline path: decide's acquisition rebalanced with
+		// cause "acquire" (inside commitAcquire); the tick's own
+		// rebalance then re-divides over the grown footprint.
+		s.rebalance("tick")
+		return
+	}
+	s.applyShares(snap.runnable, plan.reqs, plan.shares, "tick")
+}
+
+// tickStillValid reports whether the snapshot still describes the
+// scheduler: same demand and schedulable cores, same running set, and —
+// when an acquisition was planned — the same footprint pool.
+func (s *Scheduler) tickStillValid(snap *tickSnap) bool {
+	if s.totalDemand() != snap.demand || s.spotCores() != snap.have || len(s.running) != len(snap.runnable) {
+		return false
+	}
+	for i, j := range s.running {
+		if snap.runnable[i] != j {
+			return false
+		}
+	}
+	if snap.needAcq {
+		i := 0
+		for _, id := range s.allocOrder {
+			if s.allocs[id].outOfPool() {
+				continue
+			}
+			if i >= len(snap.allocs) || snap.allocs[i].id != id {
+				return false
+			}
+			i++
+		}
+		if i != len(snap.allocs) {
+			return false
+		}
+	}
+	return true
+}
+
+// commitAcquire executes the planned acquisition — decide's tail path.
+func (s *Scheduler) commitAcquire(plan *tickPlan) bool {
+	cand := plan.cand
+	alloc, err := s.mkt.RequestSpot(cand.Type.Name, plan.n, cand.Bid)
+	if err != nil {
+		return false
+	}
+	ba := &brokerAlloc{alloc: alloc, bidDelta: cand.BidDelta}
+	s.addAlloc(ba)
+	s.walTransition(wal.Record{Kind: wal.KindAcquire, JobID: -1, Alloc: int(alloc.ID),
+		Cores: ba.cores(), Amount: cand.Bid, Detail: cand.Type.Name})
+	s.scheduleHourEnd(ba)
+	s.rebalance("acquire")
+	return true
+}
+
+func growFoot(buf []bidbrain.AllocState, n int) []bidbrain.AllocState {
+	if cap(buf) < n {
+		return make([]bidbrain.AllocState, n)
+	}
+	return buf[:n]
+}
+
+func growReqs(buf []ShareRequest, n int) []ShareRequest {
+	if cap(buf) < n {
+		return make([]ShareRequest, n)
+	}
+	return buf[:n]
+}

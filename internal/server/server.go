@@ -10,6 +10,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,6 +59,7 @@ type Server struct {
 	sched    *sched.Scheduler
 	o        *obs.Observer
 	mux      *http.ServeMux
+	hub      *Hub
 	evBuf    int
 	maxQueue int
 	started  time.Time
@@ -90,8 +92,34 @@ func New(cfg Config) (*Server, error) {
 		started:  time.Now(),
 		nextID:   cfg.Scheduler.NextJobID(),
 	}
+	// One scheduler subscription feeds every SSE connection through the
+	// hub: each event is encoded once and fanned out, instead of each
+	// connection paying its own subscription and json.Marshal. The hub
+	// buffer is sized up from the per-connection buffer — it absorbs the
+	// full event stream, not one viewer's slice of it.
+	hubBuf := cfg.EventBuffer
+	if hubBuf < hubSubBuffer {
+		hubBuf = hubSubBuffer
+	}
+	var reg *obs.Registry
+	if cfg.Observer != nil {
+		reg = cfg.Observer.Reg()
+	}
+	s.hub = NewHub(cfg.Scheduler.Subscribe(hubBuf), reg)
 	s.routes()
 	return s, nil
+}
+
+// hubSubBuffer is the floor for the hub's scheduler subscription: deep
+// enough that the encode-and-fan-out pump riding one GC pause does not
+// cost the whole service events.
+const hubSubBuffer = 4096
+
+// Close detaches the server from the scheduler's event stream and ends
+// every open SSE connection. The server stops streaming but keeps
+// answering request/response routes; call it on shutdown.
+func (s *Server) Close() {
+	s.hub.Close()
 }
 
 // ServeHTTP implements http.Handler.
@@ -170,12 +198,34 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	})
 }
 
+// jsonScratch pairs a reusable buffer with an encoder bound to it, so a
+// pooled writeJSON call allocates neither. Encoding to the buffer before
+// touching the ResponseWriter also means an encode error can still
+// produce a clean 500 instead of a half-written body.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	s.enc.SetIndent("", "  ")
+	return s
+}}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	js := jsonPool.Get().(*jsonScratch)
+	js.buf.Reset()
+	if err := js.enc.Encode(v); err != nil {
+		jsonPool.Put(js)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(js.buf.Bytes())
+	jsonPool.Put(js)
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
@@ -339,10 +389,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// sseWriter frames SSE messages over a flushing response writer.
+// sseWriter frames SSE messages over a flushing response writer. The
+// frame buffer and its encoder live for the connection, so a stream
+// writes thousands of frames on one allocation of scratch.
 type sseWriter struct {
-	w http.ResponseWriter
-	f http.Flusher
+	w   http.ResponseWriter
+	f   http.Flusher
+	buf bytes.Buffer
+	enc *json.Encoder
 }
 
 func newSSE(w http.ResponseWriter) (*sseWriter, bool) {
@@ -355,15 +409,30 @@ func newSSE(w http.ResponseWriter) (*sseWriter, bool) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	return &sseWriter{w: w, f: f}, true
+	s := &sseWriter{w: w, f: f}
+	s.enc = json.NewEncoder(&s.buf)
+	return s, true
 }
 
+// event encodes v into a complete SSE frame in the connection's scratch
+// buffer and writes it in one call. Hub-driven frames skip this and go
+// through writeFrame with bytes encoded once for all connections.
 func (s *sseWriter) event(name string, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
+	s.buf.Reset()
+	s.buf.WriteString("event: ")
+	s.buf.WriteString(name)
+	s.buf.WriteString("\ndata: ")
+	if err := s.enc.Encode(v); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+	// Encode appended the JSON's newline; one more closes the frame.
+	s.buf.WriteByte('\n')
+	return s.writeFrame(s.buf.Bytes())
+}
+
+// writeFrame writes pre-framed SSE bytes and flushes.
+func (s *sseWriter) writeFrame(frame []byte) error {
+	if _, err := s.w.Write(frame); err != nil {
 		return err
 	}
 	s.f.Flush()
@@ -371,11 +440,11 @@ func (s *sseWriter) event(name string, v any) error {
 }
 
 func (s *sseWriter) comment(text string) error {
-	if _, err := fmt.Fprintf(s.w, ": %s\n\n", text); err != nil {
-		return err
-	}
-	s.f.Flush()
-	return nil
+	s.buf.Reset()
+	s.buf.WriteString(": ")
+	s.buf.WriteString(text)
+	s.buf.WriteString("\n\n")
+	return s.writeFrame(s.buf.Bytes())
 }
 
 // heartbeatEvery keeps idle SSE connections from being reaped by
@@ -394,9 +463,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Subscribe before snapshotting so no transition falls in between.
-	sub := s.sched.Subscribe(s.evBuf)
-	defer sub.Close()
+	// Attach to the hub before snapshotting so no transition falls in
+	// between; frames arrive pre-encoded, filtered to this job.
+	conn := s.hub.Job(id, s.evBuf)
+	if conn == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event stream shut down"))
+		return
+	}
+	defer s.hub.Detach(conn)
 	sse, ok := newSSE(w)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
@@ -416,17 +490,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case ev, open := <-sub.C:
+		case fr, open := <-conn.C:
 			if !open {
 				return
 			}
-			if ev.Kind == sched.EventTimeline || ev.JobID != id {
-				continue
-			}
-			if sse.event(ev.Kind, eventWire(ev)) != nil {
+			if sse.writeFrame(fr.Data) != nil {
 				return
 			}
-			if ev.Kind == sched.EventDone || ev.Kind == sched.EventExpired {
+			if fr.Terminal {
 				return
 			}
 		case <-heartbeat.C:
@@ -442,15 +513,20 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 // history; ?replay=0 starts from live only.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	replay := r.URL.Query().Get("replay") != "0"
-	sub := s.sched.Subscribe(s.evBuf)
-	defer sub.Close()
+	// Attach before replaying so no live sample falls in the gap.
+	conn := s.hub.Timeline(s.evBuf)
+	if conn == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event stream shut down"))
+		return
+	}
+	defer s.hub.Detach(conn)
 	sse, ok := newSSE(w)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
 		return
 	}
-	// Replayed points and the live channel can overlap: the subscription
-	// opened first (no gap), so live events at or before the last
+	// Replayed points and the live frames can overlap: the connection
+	// attached first (no gap), so live frames at or before the last
 	// replayed sample are duplicates and get skipped. Two samples at the
 	// same virtual instant are indistinguishable, so one of an
 	// exact-tie pair may be dropped — harmless for a utilization feed.
@@ -469,14 +545,14 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case ev, open := <-sub.C:
+		case fr, open := <-conn.C:
 			if !open {
 				return
 			}
-			if ev.Kind != sched.EventTimeline || ev.Util == nil || ev.Util.At <= lastReplayed {
+			if fr.At <= lastReplayed {
 				continue
 			}
-			if sse.event(sched.EventTimeline, utilWire(*ev.Util)) != nil {
+			if sse.writeFrame(fr.Data) != nil {
 				return
 			}
 		case <-heartbeat.C:

@@ -1,0 +1,262 @@
+// This file is the SSE fan-out hub: one goroutine drains the
+// scheduler's event stream, encodes each event into its SSE wire frame
+// exactly once, and hands the pre-framed bytes to every interested
+// connection without blocking — a slow consumer drops frames (counted
+// on /metrics) instead of backing up the stream, the other viewers, or
+// the scheduler's decision tick. The per-connection json.Marshal the
+// handlers used to pay is gone: N watchers of one busy stream cost one
+// encode per event, not N.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"proteus/internal/obs"
+	"proteus/internal/sched"
+)
+
+// Frame is one pre-encoded SSE message: Data is the complete
+// "event: …\ndata: …\n\n" byte frame, shared read-only between every
+// connection that receives it.
+type Frame struct {
+	// Data is the wire bytes; connections must not mutate them.
+	Data []byte
+	// At is the event's virtual instant (timeline replay dedup).
+	At time.Duration
+	// Terminal marks a job lifecycle stream's final event (done or
+	// expired); the connection closes after writing it.
+	Terminal bool
+}
+
+// HubConn is one connection's subscription to the hub. Frames arrive on
+// C in dispatch order; when the buffer is full the hub drops the frame
+// for this connection only. C closes when the hub shuts down.
+type HubConn struct {
+	C <-chan Frame
+
+	ch      chan Frame
+	jobID   int  // job lifecycle filter; timeline conns use wantTL
+	wantTL  bool // timeline filter
+	dropped atomic.Int64
+}
+
+// hubConnBuffer is the default per-connection frame buffer: deep enough
+// to ride out a flushing stall, small enough that an abandoned
+// connection holds a few KB of pointers, not the event history.
+const hubConnBuffer = 256
+
+// Hub fans the scheduler event stream out to SSE connections. Built
+// attached (NewHub with a subscription: a pump goroutine drains it) or
+// detached (nil subscription: the caller drives Dispatch directly —
+// tests and benchmarks).
+type Hub struct {
+	reg *obs.Registry
+	sub *sched.Subscription
+
+	mu     sync.Mutex
+	conns  map[*HubConn]struct{}
+	closed bool
+	done   chan struct{}
+
+	// Encoding scratch, used only by the dispatch goroutine: one buffer
+	// and encoder for the hub's lifetime, and a wire struct whose
+	// pointer fields target hub-owned storage so a dispatch allocates
+	// the owned frame copy and nothing else.
+	buf   bytes.Buffer
+	enc   *json.Encoder
+	wire  Event
+	jobID int
+	util  UtilPoint
+}
+
+// NewHub builds a hub. sub, when non-nil, is drained by a pump goroutine
+// until it closes (the hub owns it from here; Close closes it). reg,
+// when non-nil, receives the proteus_api_sse_* fan-out metrics.
+func NewHub(sub *sched.Subscription, reg *obs.Registry) *Hub {
+	h := &Hub{
+		reg:   reg,
+		sub:   sub,
+		conns: make(map[*HubConn]struct{}),
+		done:  make(chan struct{}),
+	}
+	h.enc = json.NewEncoder(&h.buf)
+	if sub != nil {
+		go h.pump()
+	} else {
+		close(h.done)
+	}
+	return h
+}
+
+func (h *Hub) pump() {
+	defer close(h.done)
+	for ev := range h.sub.C {
+		h.Dispatch(ev)
+	}
+	// Subscription closed under the scheduler: shut the connections down
+	// so their streams end instead of idling on heartbeats.
+	h.closeConns()
+}
+
+// Close shuts the hub down: the scheduler subscription closes, the pump
+// drains, and every connection's channel closes. Idempotent.
+func (h *Hub) Close() {
+	if h.sub != nil {
+		h.sub.Close()
+		<-h.done
+	}
+	h.closeConns()
+}
+
+func (h *Hub) closeConns() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for c := range h.conns {
+		close(c.ch)
+		delete(h.conns, c)
+	}
+}
+
+// Job attaches a connection interested in one job's lifecycle events.
+// buffer <= 0 selects the default. Returns nil when the hub is closed.
+func (h *Hub) Job(id, buffer int) *HubConn {
+	return h.attach(&HubConn{jobID: id}, buffer)
+}
+
+// Timeline attaches a connection interested in utilization samples.
+func (h *Hub) Timeline(buffer int) *HubConn {
+	return h.attach(&HubConn{wantTL: true, jobID: -1}, buffer)
+}
+
+func (h *Hub) attach(c *HubConn, buffer int) *HubConn {
+	if buffer <= 0 {
+		buffer = hubConnBuffer
+	}
+	c.ch = make(chan Frame, buffer)
+	c.C = c.ch
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.conns[c] = struct{}{}
+	return c
+}
+
+// Detach removes the connection; its channel closes. Safe on nil conns
+// and after Close.
+func (h *Hub) Detach(c *HubConn) {
+	if c == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.conns[c]; !ok {
+		return
+	}
+	delete(h.conns, c)
+	close(c.ch)
+}
+
+// Dropped reports frames this connection lost to a full buffer.
+func (c *HubConn) Dropped() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.dropped.Load())
+}
+
+// Dispatch encodes the event once and fans the frame out to every
+// interested connection, never blocking: a full connection buffer
+// increments the drop counters and moves on, so one stalled viewer
+// cannot delay the stream, the other viewers, or — transitively — the
+// scheduler's decision loop. Called from the pump goroutine (or the
+// owner of a detached hub); not safe for concurrent Dispatch calls.
+func (h *Hub) Dispatch(ev sched.Event) {
+	timeline := ev.Kind == sched.EventTimeline
+	if timeline && ev.Util == nil {
+		return // nothing to plot; the old per-conn loop skipped these too
+	}
+	h.mu.Lock()
+	interested := 0
+	for c := range h.conns {
+		if (timeline && c.wantTL) || (!timeline && !c.wantTL && c.jobID == ev.JobID) {
+			interested++
+		}
+	}
+	if interested == 0 {
+		h.mu.Unlock()
+		return
+	}
+	fr := Frame{At: ev.At, Data: h.encodeFrame(ev)}
+	if timeline {
+		// Dedup against replayed history keys on the sample's instant.
+		fr.At = ev.Util.At
+	} else {
+		fr.Terminal = ev.Kind == sched.EventDone || ev.Kind == sched.EventExpired
+	}
+	dropped := 0
+	for c := range h.conns {
+		if (timeline && c.wantTL) || (!timeline && !c.wantTL && c.jobID == ev.JobID) {
+			select {
+			case c.ch <- fr:
+			default:
+				c.dropped.Add(1)
+				dropped++
+			}
+		}
+	}
+	h.mu.Unlock()
+	if dropped > 0 {
+		h.reg.Counter("proteus_api_sse_dropped_total",
+			"SSE frames dropped on slow consumers").Add(float64(dropped))
+	}
+}
+
+// encodeFrame renders the event's complete SSE frame into the hub
+// scratch buffer and returns an owned copy (the scratch is reused on the
+// next dispatch; the copy is shared read-only by every receiver).
+func (h *Hub) encodeFrame(ev sched.Event) []byte {
+	h.buf.Reset()
+	h.buf.WriteString("event: ")
+	h.buf.WriteString(ev.Kind)
+	h.buf.WriteString("\ndata: ")
+	var err error
+	if ev.Kind == sched.EventTimeline {
+		// Timeline frames carry the bare utilization point — the same wire
+		// shape the handler's replay path writes, so a viewer decodes
+		// history and live frames identically.
+		h.util = utilWire(*ev.Util)
+		err = h.enc.Encode(&h.util)
+	} else {
+		h.jobID = ev.JobID
+		h.wire = Event{
+			Kind:      ev.Kind,
+			AtMinutes: minutes(ev.At),
+			JobID:     &h.jobID,
+			JobName:   ev.JobName,
+			State:     ev.State.String(),
+			Detail:    ev.Detail,
+			TraceID:   obs.IDString(ev.TraceID),
+			SpanID:    obs.IDString(ev.SpanID),
+		}
+		err = h.enc.Encode(&h.wire)
+	}
+	// Encode appends a newline after the JSON; one more closes the frame.
+	if err != nil {
+		// The wire types cannot fail to marshal; keep the frame shape
+		// even if they somehow do.
+		h.buf.WriteString("{}\n")
+	}
+	h.buf.WriteByte('\n')
+	return append([]byte(nil), h.buf.Bytes()...)
+}

@@ -1,0 +1,103 @@
+package server_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"proteus/internal/sched"
+	"proteus/internal/server"
+)
+
+// TestHubSlowConsumerDrops is the backpressure acceptance test for the
+// SSE hub: a stalled subscriber (full buffer, never drained) loses its
+// own frames and only its own — every dispatch still completes without
+// blocking, the healthy subscriber receives the complete stream, and the
+// stall shows up on the stalled connection's drop counter. Because
+// Dispatch is what the scheduler-facing pump runs, "Dispatch never
+// blocks" is exactly "a slow viewer never delays the decision tick".
+func TestHubSlowConsumerDrops(t *testing.T) {
+	h := server.NewHub(nil, nil) // detached: the test drives Dispatch
+	defer h.Close()
+
+	stalled := h.Timeline(2)
+	fast := h.Timeline(256)
+	job := h.Job(7, 8)
+
+	const n = 100
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			u := sched.UtilPoint{At: time.Duration(i) * time.Minute, LeasedCores: i + 1}
+			h.Dispatch(sched.Event{Kind: sched.EventTimeline, At: u.At, JobID: -1, Util: &u})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Dispatch blocked on a stalled consumer")
+	}
+
+	// The healthy connection got every frame, in order, fully framed.
+	for i := 0; i < n; i++ {
+		select {
+		case fr := <-fast.C:
+			if fr.At != time.Duration(i)*time.Minute {
+				t.Fatalf("fast frame %d at %v, want %v", i, fr.At, time.Duration(i)*time.Minute)
+			}
+			if !bytes.HasPrefix(fr.Data, []byte("event: timeline\ndata: ")) ||
+				!bytes.HasSuffix(fr.Data, []byte("\n\n")) {
+				t.Fatalf("fast frame %d malformed: %q", i, fr.Data)
+			}
+			if fr.Terminal {
+				t.Fatalf("timeline frame %d marked terminal", i)
+			}
+		default:
+			t.Fatalf("fast connection missing frame %d of %d", i, n)
+		}
+	}
+
+	// The stalled connection kept its buffered prefix and dropped the
+	// rest; nobody else's counter moved.
+	if got := stalled.Dropped(); got != n-2 {
+		t.Fatalf("stalled dropped %d frames, want %d", got, n-2)
+	}
+	if len(stalled.C) != 2 {
+		t.Fatalf("stalled buffer holds %d frames, want 2", len(stalled.C))
+	}
+	if fast.Dropped() != 0 || job.Dropped() != 0 {
+		t.Fatalf("healthy connections dropped frames: fast=%d job=%d",
+			fast.Dropped(), job.Dropped())
+	}
+
+	// Filtering: the job connection saw none of the timeline traffic and
+	// receives only its own job's lifecycle, terminal on done.
+	if len(job.C) != 0 {
+		t.Fatalf("job connection received %d timeline frames", len(job.C))
+	}
+	h.Dispatch(sched.Event{Kind: sched.EventQueued, JobID: 8, JobName: "other"})
+	h.Dispatch(sched.Event{Kind: sched.EventQueued, JobID: 7, JobName: "mine"})
+	h.Dispatch(sched.Event{Kind: sched.EventDone, JobID: 7, JobName: "mine"})
+	if len(job.C) != 2 {
+		t.Fatalf("job connection holds %d frames, want 2", len(job.C))
+	}
+	first, second := <-job.C, <-job.C
+	if first.Terminal || !second.Terminal {
+		t.Fatalf("terminal flags = %v,%v, want false,true", first.Terminal, second.Terminal)
+	}
+	if !bytes.Contains(first.Data, []byte(`"job_id": 7`)) && !bytes.Contains(first.Data, []byte(`"job_id":7`)) {
+		t.Fatalf("job frame lacks job_id 7: %q", first.Data)
+	}
+
+	// Detach closes the connection's channel; a detached connection stops
+	// counting against dispatches.
+	h.Detach(stalled)
+	if _, open := <-stalled.C; open {
+		// two buffered frames drain first
+		<-stalled.C
+		if _, open := <-stalled.C; open {
+			t.Fatal("stalled channel still open after Detach")
+		}
+	}
+}

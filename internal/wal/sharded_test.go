@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestShardForStableAndBounded(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for id := -2; id < 100; id++ {
+			k := ShardFor(id, n)
+			if k < 0 || k >= n {
+				t.Fatalf("ShardFor(%d, %d) = %d out of range", id, n, k)
+			}
+			if k != ShardFor(id, n) {
+				t.Fatalf("ShardFor(%d, %d) not stable", id, n)
+			}
+		}
+		if ShardFor(-1, n) != 0 {
+			t.Fatalf("job-less records must pin to shard 0 at n=%d", n)
+		}
+	}
+	// The hash must actually spread jobs at n=4 (sequential IDs are the
+	// common case).
+	hit := make(map[int]bool)
+	for id := 0; id < 64; id++ {
+		hit[ShardFor(id, 4)] = true
+	}
+	if len(hit) != 4 {
+		t.Fatalf("sequential IDs landed on only %d of 4 shards", len(hit))
+	}
+}
+
+func TestShardedCreateAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	const shards = 3
+	s, err := CreateSharded(dir, testMeta(), shards, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSharded(dir) {
+		t.Fatal("IsSharded = false after CreateSharded")
+	}
+	// Interleave submits for many jobs with ticks so records spread
+	// across every stream while seqs stay globally ordered.
+	const jobs = 9
+	for id := 0; id < jobs; id++ {
+		j := testJob(id)
+		if _, err := s.Append(Record{Kind: KindSubmit, AtNs: j.ArrivalNs, JobID: id, Job: &j}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append(Record{Kind: KindTick, AtNs: j.ArrivalNs, JobID: -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantLast := uint64(1 + 2*jobs) // meta + (submit, tick) per job
+	if s.LastSeq() != wantLast {
+		t.Fatalf("LastSeq = %d, want %d", s.LastSeq(), wantLast)
+	}
+	st := s.Stats()
+	if st.Shards != shards || st.LastSeq != wantLast || st.Submits != jobs {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep, err := OpenSharded(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep.Meta.Seed != testMeta().Seed || rep.Meta.WALShards != shards {
+		t.Fatalf("meta = %+v", rep.Meta)
+	}
+	if rep.LastSeq != wantLast {
+		t.Fatalf("merged LastSeq = %d, want %d", rep.LastSeq, wantLast)
+	}
+	if len(rep.Jobs) != jobs {
+		t.Fatalf("jobs = %d, want %d", len(rep.Jobs), jobs)
+	}
+	for i, j := range rep.Jobs {
+		if j.ID != i {
+			t.Fatalf("job %d recovered out of submission order: got ID %d", i, j.ID)
+		}
+		if i > 0 && j.Seq <= rep.Jobs[i-1].Seq {
+			t.Fatalf("job seqs not increasing: %d then %d", rep.Jobs[i-1].Seq, j.Seq)
+		}
+	}
+	// Appending continues in the global sequence space.
+	seq, err := s2.Append(Record{Kind: KindTick, JobID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != wantLast+1 {
+		t.Fatalf("post-recovery seq = %d, want %d", seq, wantLast+1)
+	}
+}
+
+func TestShardedRecoveryAcceptsUnsyncedShardSuffix(t *testing.T) {
+	// A crash can lose one shard's buffered tail while another shard's
+	// later records reached disk. Those survivors are genuine history —
+	// nothing past the last Sync was ever acknowledged — so recovery
+	// must accept them rather than treating the global gap as
+	// corruption.
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, testMeta(), 2, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shard1Job int
+	for id := 0; id < 8; id++ {
+		if ShardFor(id, 2) == 1 {
+			shard1Job = id
+			break
+		}
+	}
+	j := testJob(shard1Job)
+	if _, err := s.Append(Record{Kind: KindSubmit, AtNs: 0, JobID: shard1Job, Job: &j}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Kind: KindTick, AtNs: int64(time.Minute), JobID: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn crash: shard 1 (the submit, seq 2) vanishes from
+	// disk, shard 0 keeps the later tick (seq 3).
+	segs, _, err := listSegments(filepath.Join(dir, shardDirName(1)))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("shard 1 segments: %v, %v", segs, err)
+	}
+	if err := os.Truncate(filepath.Join(dir, shardDirName(1), segs[0]), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep, err := OpenSharded(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rep.Jobs) != 0 {
+		t.Fatalf("lost submit resurrected: %+v", rep.Jobs)
+	}
+	if rep.LastSeq != 3 {
+		t.Fatalf("LastSeq = %d, want 3 (the surviving tick)", rep.LastSeq)
+	}
+}
+
+func TestShardedTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, testMeta(), 2, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(Record{Kind: KindTick, AtNs: int64(i) * int64(time.Minute), JobID: -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record of shard 0's only segment mid-write.
+	sdir := filepath.Join(dir, shardDirName(0))
+	segs, _, err := listSegments(sdir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	path := filepath.Join(sdir, segs[0])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep, err := OpenSharded(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !rep.TornDropped {
+		t.Fatal("torn tail not reported")
+	}
+	if rep.LastSeq != 4 { // meta + 4 ticks = 5; the 5th (last on shard 0) tore
+		t.Fatalf("LastSeq = %d, want 4", rep.LastSeq)
+	}
+}
+
+func TestShardedRotationAndSnapshotPerStream(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, testMeta(), 2, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 24
+	for id := 0; id < jobs; id++ {
+		j := testJob(id)
+		if _, err := s.Append(Record{Kind: KindSubmit, AtNs: j.ArrivalNs, JobID: id, Job: &j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Rotations == 0 || st.Snapshots == 0 {
+		t.Fatalf("tiny segments never rotated: %+v", st)
+	}
+	per := s.ShardStats()
+	if len(per) != 2 || per[0].Snapshots == 0 || per[1].Snapshots == 0 {
+		t.Fatalf("per-shard stats = %+v", per)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep, err := OpenSharded(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rep.Jobs) != jobs {
+		t.Fatalf("jobs after rotation+snapshot recovery = %d, want %d", len(rep.Jobs), jobs)
+	}
+	for i, j := range rep.Jobs {
+		if j.ID != i {
+			t.Fatalf("job %d out of order after snapshot merge: ID %d", i, j.ID)
+		}
+	}
+	if !rep.FromSnapshot {
+		t.Fatal("expected snapshot-seeded recovery")
+	}
+}
+
+func TestCreateShardedRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, testMeta(), 2, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := CreateSharded(dir, testMeta(), 2, Options{NoSync: true}); err == nil {
+		t.Fatal("CreateSharded over an existing log succeeded")
+	}
+}

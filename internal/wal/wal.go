@@ -106,6 +106,12 @@ type Meta struct {
 	// enabled; proactive pre-drains change lease history, so replay must
 	// run with the same forecaster (default options) to be identical.
 	Forecast bool `json:"forecast,omitempty"`
+	// Shards records the scheduler's decision-shard count. Provenance
+	// only: the sharded decision loop is bit-identical at every count.
+	Shards int `json:"shards,omitempty"`
+	// WALShards records the log's own segment-stream fan-out, for
+	// operator provenance (the on-disk layout is self-describing).
+	WALShards int `json:"wal_shards,omitempty"`
 	// Note is free-form provenance (binary version, operator comment).
 	Note string `json:"note,omitempty"`
 }
@@ -121,6 +127,10 @@ type JobRecord struct {
 	DeadlineNs int64        `json:"deadline_ns,omitempty"`
 	Proactive  bool         `json:"proactive,omitempty"`
 	Spec       core.JobSpec `json:"spec"`
+	// Seq is the submit record's global sequence number, stamped during
+	// recovery and snapshotting so jobs from different shard streams
+	// merge back into submission order.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Record is one WAL entry. Seq is assigned by Append; JobID is -1 when
@@ -200,6 +210,19 @@ type Stats struct {
 	// SegmentFill is bytes written to the active segment so far.
 	SegmentFill int    `json:"segment_fill"`
 	Err         string `json:"error,omitempty"`
+	// Shards is the segment-stream fan-out (0 for a flat log).
+	Shards int `json:"shards,omitempty"`
+}
+
+// Writer is the append side of a write-ahead log — satisfied by both the
+// flat Log and the Sharded fan-out, so the scheduler is agnostic to the
+// on-disk layout.
+type Writer interface {
+	Append(Record) (uint64, error)
+	Sync() error
+	Close() error
+	Stats() Stats
+	Meta() Meta
 }
 
 // Log is an open write-ahead log. Safe for concurrent use. I/O errors
@@ -289,6 +312,24 @@ func Exists(dir string) bool {
 // Create initializes a fresh log in dir (created if missing, must hold
 // no prior WAL files) and writes the meta record as seq 1.
 func Create(dir string, meta Meta, opts Options) (*Log, error) {
+	l, err := createLog(dir, meta, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.Append(Record{Kind: KindMeta, JobID: -1, Meta: &meta}); err != nil {
+		return nil, err
+	}
+	if err := l.Sync(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// createLog makes the empty on-disk structure for a fresh log without
+// appending the meta record — shard streams of a Sharded log carry the
+// meta only in their snapshots (the meta *record* lives once, at global
+// seq 1 on shard 0).
+func createLog(dir string, meta Meta, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -306,12 +347,6 @@ func Create(dir string, meta Meta, opts Options) (*Log, error) {
 	if err := l.openSegmentLocked(); err != nil {
 		return nil, err
 	}
-	if _, err := l.Append(Record{Kind: KindMeta, JobID: -1, Meta: &meta}); err != nil {
-		return nil, err
-	}
-	if err := l.Sync(); err != nil {
-		return nil, err
-	}
 	return l, nil
 }
 
@@ -324,26 +359,45 @@ func Open(dir string, opts Options) (*Log, *Replay, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	l, err := openFrom(dir, opts, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// openFrom reopens a recovered directory for appending: a fresh segment
+// (never into a possibly-torn old one), then an immediate snapshot that
+// compacts the recovered history. The fresh segment's first sequence is
+// bumped past any existing segment name so a record-less active segment
+// left by a crash never collides.
+func openFrom(dir string, opts Options, r *Replay) (*Log, error) {
+	nextSeq := r.LastSeq + 1
+	if _, firsts, err := listSegments(dir); err != nil {
+		return nil, err
+	} else if n := len(firsts); n > 0 && firsts[n-1] >= nextSeq {
+		nextSeq = firsts[n-1] + 1
+	}
 	l := &Log{
 		dir:        dir,
 		opts:       opts.withDefaults(),
 		meta:       r.Meta,
-		nextSeq:    r.LastSeq + 1,
+		nextSeq:    nextSeq,
 		submits:    append([]JobRecord(nil), r.Jobs...),
 		lastVirtNs: int64(r.LastVirtual),
 	}
 	if err := l.openSegmentLocked(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.snapshotLocked(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := l.removeCoveredLocked(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return l, r, nil
+	return l, nil
 }
 
 // Recover reads a log directory without opening it for writes: snapshot
@@ -351,6 +405,18 @@ func Open(dir string, opts Options) (*Log, *Replay, error) {
 // sequence continuity. A torn final record is dropped; anything else
 // malformed aborts with an error.
 func Recover(dir string) (*Replay, error) {
+	r, _, err := recoverDir(dir, false)
+	return r, err
+}
+
+// recoverDir scans one log directory. In strict mode (a flat log)
+// sequence numbers must be contiguous and a meta record (or snapshot)
+// must be present. In loose mode — one shard stream of a Sharded log,
+// which holds an arbitrary subset of the global sequence space — seqs
+// need only increase, and meta is optional (only shard 0 carries the
+// meta record; the others gain it with their first snapshot). The
+// second return reports whether a meta was found.
+func recoverDir(dir string, loose bool) (*Replay, bool, error) {
 	r := &Replay{}
 	expected := uint64(1)
 	haveMeta := false
@@ -358,7 +424,7 @@ func Recover(dir string) (*Replay, error) {
 	if raw, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
 		var snap Snapshot
 		if err := json.Unmarshal(raw, &snap); err != nil {
-			return nil, fmt.Errorf("wal: %s: %w", snapshotName, err)
+			return nil, false, fmt.Errorf("wal: %s: %w", snapshotName, err)
 		}
 		r.Meta = snap.Meta
 		r.Jobs = append(r.Jobs, snap.Jobs...)
@@ -368,15 +434,15 @@ func Recover(dir string) (*Replay, error) {
 		haveMeta = true
 		expected = snap.LastSeq + 1
 	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("wal: %w", err)
+		return nil, false, fmt.Errorf("wal: %w", err)
 	}
 
 	names, _, err := listSegments(dir)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if len(names) == 0 && !r.FromSnapshot {
-		return nil, fmt.Errorf("wal: %s holds no log", dir)
+		return nil, false, fmt.Errorf("wal: %s holds no log", dir)
 	}
 	r.Segments = len(names)
 	snapLast := r.LastSeq
@@ -385,7 +451,7 @@ func Recover(dir string) (*Replay, error) {
 		last := i == len(names)-1
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
-			return nil, fmt.Errorf("wal: %w", err)
+			return nil, false, fmt.Errorf("wal: %w", err)
 		}
 		torn := false
 		scanErr := journal.DecodeLines(f, func(line []byte) error {
@@ -400,10 +466,14 @@ func Recover(dir string) (*Replay, error) {
 			if rec.Seq <= snapLast {
 				return nil // already covered by the snapshot
 			}
-			if rec.Seq != expected {
+			if loose {
+				if rec.Seq < expected {
+					return fmt.Errorf("wal: %s: sequence went backwards: got %d after %d", name, rec.Seq, expected-1)
+				}
+			} else if rec.Seq != expected {
 				return fmt.Errorf("wal: %s: sequence gap: got %d, want %d", name, rec.Seq, expected)
 			}
-			expected++
+			expected = rec.Seq + 1
 			r.LastSeq = rec.Seq
 			r.Records++
 			if at := time.Duration(rec.AtNs); at > r.LastVirtual {
@@ -419,7 +489,9 @@ func Recover(dir string) (*Replay, error) {
 				if rec.Job == nil {
 					return fmt.Errorf("wal: %s: submit record %d without a job", name, rec.Seq)
 				}
-				r.Jobs = append(r.Jobs, *rec.Job)
+				jr := *rec.Job
+				jr.Seq = rec.Seq
+				r.Jobs = append(r.Jobs, jr)
 			default:
 				r.Transitions++
 			}
@@ -427,19 +499,19 @@ func Recover(dir string) (*Replay, error) {
 		})
 		f.Close()
 		if scanErr != nil {
-			return nil, scanErr
+			return nil, false, scanErr
 		}
 		if torn {
 			if !last {
-				return nil, fmt.Errorf("wal: %s: corrupt final record in a non-final segment", name)
+				return nil, false, fmt.Errorf("wal: %s: corrupt final record in a non-final segment", name)
 			}
 			r.TornDropped = true
 		}
 	}
-	if !haveMeta {
-		return nil, fmt.Errorf("wal: %s holds no meta record", dir)
+	if !haveMeta && !loose {
+		return nil, false, fmt.Errorf("wal: %s holds no meta record", dir)
 	}
-	return r, nil
+	return r, haveMeta, nil
 }
 
 // decodeFrame parses one "crc payload" line; ok is false for a torn or
@@ -477,6 +549,25 @@ func (l *Log) Append(r Record) (uint64, error) {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
 	r.Seq = l.nextSeq
+	return l.appendLocked(r)
+}
+
+// appendAssigned appends a record whose sequence number the caller
+// already assigned — the Sharded router hands out global seqs across
+// its shard streams, so one stream's seqs jump.
+func (l *Log) appendAssigned(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	return l.appendLocked(r)
+}
+
+func (l *Log) appendLocked(r Record) (uint64, error) {
 	line, err := journal.MarshalLine(r)
 	if err != nil {
 		return 0, err // encoding bug, not an I/O failure: not sticky
@@ -489,7 +580,7 @@ func (l *Log) Append(r Record) (uint64, error) {
 		l.err = err
 		return 0, err
 	}
-	l.nextSeq++
+	l.nextSeq = r.Seq + 1
 	l.dirty = true
 	l.appends++
 	l.segFill += len(frame)
@@ -497,7 +588,9 @@ func (l *Log) Append(r Record) (uint64, error) {
 		l.lastVirtNs = r.AtNs
 	}
 	if r.Kind == KindSubmit && r.Job != nil {
-		l.submits = append(l.submits, *r.Job)
+		jr := *r.Job
+		jr.Seq = r.Seq
+		l.submits = append(l.submits, jr)
 	}
 	if l.segFill >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {

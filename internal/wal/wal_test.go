@@ -88,6 +88,7 @@ func TestCreateAppendRecover(t *testing.T) {
 		t.Fatalf("jobs = %d, want 1", len(rep.Jobs))
 	}
 	wantJob := testJob(0)
+	wantJob.Seq = 2 // recovery stamps each job with its submit record's seq
 	got, _ := json.Marshal(rep.Jobs[0])
 	want, _ := json.Marshal(wantJob)
 	if string(got) != string(want) {
