@@ -392,6 +392,103 @@ func BenchmarkRecovery(b *testing.B) {
 	b.ReportMetric(float64(len(replay.Jobs)), "jobs")
 }
 
+// BenchmarkRecoverySharded times wal.RecoverSharded over a 4-shard log
+// with the same record mix as BenchmarkRecovery (256 submissions, ~4k
+// transitions, spread across shards by job). Shards recover
+// concurrently and each shard's frames decode in parallel, so this
+// tracks the restart budget of the sharded control plane — the
+// deployment shape -wal-shards selects.
+func BenchmarkRecoverySharded(b *testing.B) {
+	dir := b.TempDir()
+	const shards = 4
+	s, err := wal.CreateSharded(dir, wal.Meta{Seed: 1, Policy: "fair"}, shards, wal.Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bidbrain.DefaultParams()
+	spec := core.JobSpec{
+		TargetWork:    params.Phi * 256,
+		Params:        params,
+		ReliableType:  "c4.xlarge",
+		ReliableCount: 3,
+		MaxSpotCores:  512,
+		ChunkCores:    128,
+	}
+	for i := 0; i < 256; i++ {
+		_, err := s.Append(wal.Record{
+			Kind:  wal.KindSubmit,
+			JobID: i,
+			Job:   &wal.JobRecord{ID: i, Name: "tenant", ArrivalNs: int64(i) * 1e9, Spec: spec},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		rec := wal.Record{Kind: wal.KindTick, AtNs: int64(i) * 1e8, JobID: -1}
+		if i%2 == 1 {
+			rec = wal.Record{Kind: wal.KindLease, AtNs: int64(i) * 1e8, JobID: i % 256, Alloc: i, Cores: 128}
+		}
+		if _, err := s.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var replay *wal.Replay
+	for i := 0; i < b.N; i++ {
+		replay, err = wal.RecoverSharded(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(replay.Records), "records")
+	b.ReportMetric(float64(len(replay.Jobs)), "jobs")
+}
+
+// BenchmarkMarketPricePoll times one decision tick's price work under
+// the per-type event sharding: a PriceSub sweep that reports only the
+// types whose price moved since the last tick, cached prices serving
+// the rest. This is what replaced the per-type SpotPrice scan in the
+// scheduler's decide loop and forecast tick; gated in CI so the
+// per-tick cost can't quietly grow back to O(catalog).
+func BenchmarkMarketPricePoll(b *testing.B) {
+	const horizon = 14 * 24 * time.Hour
+	const step = time.Minute
+	catalog := market.DefaultCatalog()
+	set := trace.GenerateSet("bench", horizon, market.CatalogPrices(catalog), 1)
+	newSub := func() *market.PriceSub {
+		eng := sim.NewEngine()
+		mkt, err := market.New(eng, market.Config{Catalog: catalog, Traces: set, Warning: 2 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mkt.SubscribePrices()
+	}
+	ps := newSub()
+	ps.Poll(0)
+	now := time.Duration(0)
+	moved := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += step
+		if now >= horizon {
+			b.StopTimer()
+			ps = newSub()
+			ps.Poll(0)
+			now = step
+			b.StartTimer()
+		}
+		moved += len(ps.Poll(now))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(moved)/float64(b.N), "moved/op")
+}
+
 // BenchmarkSchedulerSubmit times Scheduler.Submit with and without a
 // WAL attached. Plain admission is a sub-µs queue insert; the wal
 // variant adds one reflection-encoded JSONL frame (a few µs — the full
@@ -478,6 +575,7 @@ func BenchmarkForecastUpdate(b *testing.B) {
 // end — two full scheduler runs plus the forecaster — and reports the
 // accuracy and saving headline numbers the experiment prints.
 func BenchmarkProactiveRun(b *testing.B) {
+	b.ReportAllocs()
 	var study *experiments.ProactiveStudy
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -497,6 +595,7 @@ func BenchmarkProactiveRun(b *testing.B) {
 // versus serially back-to-back, reporting both net bills and the saving
 // sharing buys.
 func BenchmarkSchedulerMultiTenant(b *testing.B) {
+	b.ReportAllocs()
 	var study *experiments.MultiTenantStudy
 	for i := 0; i < b.N; i++ {
 		var err error

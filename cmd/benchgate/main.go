@@ -1,18 +1,20 @@
 // Command benchgate enforces the benchmark regression gate in CI: it
 // reads a `go test -json -bench` stream, extracts each benchmark's best
-// ns/op, and fails when a benchmark listed in the stored baseline file
-// has regressed beyond the threshold.
+// ns/op and allocs/op, and fails when a benchmark listed in the stored
+// baseline file has regressed beyond the threshold on either axis.
 //
 // Usage:
 //
-//	go test -json -run '^$' -bench 'BenchmarkRunSchemesSerial$' -count 3 . > bench.json
+//	go test -json -run '^$' -bench 'BenchmarkRunSchemesSerial$' -benchmem -count 3 . > bench.json
 //	benchgate -bench-json bench.json -baseline .github/bench_baseline.json
 //	benchgate -bench-json bench.json -baseline .github/bench_baseline.json -update
 //
 // The baseline file maps benchmark name (module-relative, no -N CPU
-// suffix) to ns/op. Only benchmarks present in the baseline are gated;
-// -update rewrites the baseline from the measured values instead of
-// gating, for refreshing after an intentional change.
+// suffix) to {"ns_op": N, "allocs_op": M}; a bare number is accepted as
+// a legacy ns/op-only entry, so old baselines keep gating time without
+// alloc coverage. Only benchmarks present in the baseline are gated;
+// -update rewrites the baseline from the measured values (both axes)
+// instead of gating, for refreshing after an intentional change.
 package main
 
 import (
@@ -30,23 +32,43 @@ import (
 
 // benchLine matches a benchmark result line as emitted by `go test
 // -bench` (possibly wrapped in a -json Output event): name, iteration
-// count, ns/op. The -N GOMAXPROCS suffix is stripped so baselines are
-// stable across machines with different core counts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// count, ns/op, and — when the benchmark reports allocations — a
+// trailing allocs/op. Custom ReportMetric columns may sit between the
+// two, so the allocs field is matched anywhere after ns/op. The -N
+// GOMAXPROCS suffix is stripped so baselines are stable across machines
+// with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) allocs/op)?`)
 
 type testEvent struct {
 	Action string `json:"Action"`
 	Output string `json:"Output"`
 }
 
-// parseBench extracts the minimum ns/op per benchmark name from a
-// `go test -json` stream (or plain -bench text; both are accepted).
-// The -json encoder fragments one benchmark result line across several
-// Output events, so events are concatenated back into a text stream
-// before line matching. Min-of-count is the standard noise filter: a
-// benchmark cannot run faster than the hardware allows, so the minimum
-// is the least noisy estimate of its true cost.
-func parseBench(path string) (map[string]float64, error) {
+// measurement is one benchmark's best observed cost on each axis.
+// AllocsOp is negative until an allocs/op figure has been seen (a
+// benchmark without ReportAllocs or -benchmem never reports one).
+type measurement struct {
+	NsOp     float64
+	AllocsOp float64
+}
+
+// entry is one baseline record. AllocsOp is a pointer so legacy ns-only
+// entries and benchmarks that never report allocations round-trip
+// without inventing a zero-alloc requirement.
+type entry struct {
+	NsOp     float64  `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+}
+
+// parseBench extracts the minimum ns/op and allocs/op per benchmark
+// name from a `go test -json` stream (or plain -bench text; both are
+// accepted). The -json encoder fragments one benchmark result line
+// across several Output events, so events are concatenated back into a
+// text stream before line matching. Min-of-count is the standard noise
+// filter: a benchmark cannot run faster than the hardware allows, so
+// the minimum is the least noisy estimate of its true cost (allocs/op
+// is deterministic per run; min keeps the two axes consistent).
+func parseBench(path string) (map[string]measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -72,7 +94,7 @@ func parseBench(path string) (map[string]float64, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	best := make(map[string]float64)
+	best := make(map[string]measurement)
 	for _, line := range strings.Split(text.String(), "\n") {
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -82,18 +104,60 @@ func parseBench(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		if cur, ok := best[m[1]]; !ok || ns < cur {
-			best[m[1]] = ns
+		allocs := -1.0
+		if m[3] != "" {
+			if a, err := strconv.ParseFloat(m[3], 64); err == nil {
+				allocs = a
+			}
 		}
+		cur, ok := best[m[1]]
+		if !ok {
+			best[m[1]] = measurement{NsOp: ns, AllocsOp: allocs}
+			continue
+		}
+		if ns < cur.NsOp {
+			cur.NsOp = ns
+		}
+		if allocs >= 0 && (cur.AllocsOp < 0 || allocs < cur.AllocsOp) {
+			cur.AllocsOp = allocs
+		}
+		best[m[1]] = cur
 	}
 	return best, nil
+}
+
+// readBaseline parses the baseline file, accepting both the current
+// object schema and the legacy bare-number (ns/op only) form per entry.
+func readBaseline(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var loose map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	baseline := make(map[string]entry, len(loose))
+	for name, msg := range loose {
+		var e entry
+		if err := json.Unmarshal(msg, &e); err == nil {
+			baseline[name] = e
+			continue
+		}
+		var ns float64
+		if err := json.Unmarshal(msg, &ns); err != nil {
+			return nil, fmt.Errorf("parse %s: entry %q is neither an object nor a number", path, name)
+		}
+		baseline[name] = entry{NsOp: ns}
+	}
+	return baseline, nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
 	benchJSON := flag.String("bench-json", "", "go test -json -bench output to check")
-	baselinePath := flag.String("baseline", "", "stored baseline JSON (benchmark name -> ns/op)")
+	baselinePath := flag.String("baseline", "", "stored baseline JSON (benchmark name -> {ns_op, allocs_op})")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression over the baseline")
 	update := flag.Bool("update", false, "rewrite the baseline from the measured values instead of gating")
 	flag.Parse()
@@ -110,24 +174,29 @@ func main() {
 	}
 
 	if *update {
-		out, err := json.MarshalIndent(measured, "", "  ")
+		out := make(map[string]entry, len(measured))
+		for name, m := range measured {
+			e := entry{NsOp: m.NsOp}
+			if m.AllocsOp >= 0 {
+				a := m.AllocsOp
+				e.AllocsOp = &a
+			}
+			out[name] = e
+		}
+		enc, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*baselinePath, append(enc, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("baseline %s updated with %d benchmarks", *baselinePath, len(measured))
+		log.Printf("baseline %s updated with %d benchmarks", *baselinePath, len(out))
 		return
 	}
 
-	raw, err := os.ReadFile(*baselinePath)
+	baseline, err := readBaseline(*baselinePath)
 	if err != nil {
 		log.Fatal(err)
-	}
-	baseline := make(map[string]float64)
-	if err := json.Unmarshal(raw, &baseline); err != nil {
-		log.Fatalf("parse %s: %v", *baselinePath, err)
 	}
 
 	names := make([]string, 0, len(baseline))
@@ -145,14 +214,40 @@ func main() {
 			failed = true
 			continue
 		}
-		ratio := got/base - 1
+		ratio := got.NsOp/base.NsOp - 1
 		status := "ok"
 		if ratio > *threshold {
 			status = "FAIL"
 			failed = true
 		}
 		fmt.Printf("%-4s %s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)\n",
-			status, name, got, base, ratio*100, *threshold*100)
+			status, name, got.NsOp, base.NsOp, ratio*100, *threshold*100)
+		if base.AllocsOp == nil {
+			continue
+		}
+		switch {
+		case got.AllocsOp < 0:
+			log.Printf("FAIL %s: baseline gates allocs/op but the run reported none (missing -benchmem/ReportAllocs?)", name)
+			failed = true
+		case *base.AllocsOp == 0:
+			// No ratio exists over a zero baseline: any allocation at
+			// all is the regression.
+			st := "ok"
+			if got.AllocsOp > 0 {
+				st = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-4s %s: %.0f allocs/op vs baseline 0 (must stay 0)\n", st, name, got.AllocsOp)
+		default:
+			aratio := got.AllocsOp / *base.AllocsOp - 1
+			st := "ok"
+			if aratio > *threshold {
+				st = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%-4s %s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)\n",
+				st, name, got.AllocsOp, *base.AllocsOp, aratio*100, *threshold*100)
+		}
 	}
 	if failed {
 		log.Fatalf("benchmark regression gate failed (threshold %.0f%%)", *threshold*100)

@@ -32,6 +32,10 @@ type serveOptions struct {
 	// fsync in parallel; recovery merges them by sequence number. 0 or 1
 	// keeps the flat single-stream layout.
 	walShards int
+	// walRecoverWorkers caps the parallel frame-decode workers recovery
+	// uses (0 = GOMAXPROCS, 1 = serial). The replay is bit-identical at
+	// every setting; this only trades restart latency against CPU.
+	walRecoverWorkers int
 	// shards partitions the scheduler's admission queue and decision loop;
 	// bills, stats, and traces are bit-identical at every setting. 0 or 1
 	// runs single-shard.
@@ -57,7 +61,7 @@ type serveOptions struct {
 // recovers sharded regardless of the current flags — and -wal-shards
 // decides the layout only for a fresh directory.
 func openWAL(o serveOptions, meta wal.Meta) (wal.Writer, *wal.Replay, error) {
-	opts := wal.Options{SegmentBytes: o.walSegmentMB << 20}
+	opts := wal.Options{SegmentBytes: o.walSegmentMB << 20, RecoverWorkers: o.walRecoverWorkers}
 	if wal.IsSharded(o.walDir) {
 		return wal.OpenSharded(o.walDir, opts)
 	}

@@ -14,6 +14,10 @@ type Feed struct {
 	fc     *Forecaster
 	last   time.Duration
 	primed bool
+	// lastPrice is the price of the most recent Update — what the
+	// closing observation re-reads on a changeless interval, letting
+	// AdvanceSteady skip the cursor entirely.
+	lastPrice float64
 }
 
 // NewFeed wires a forecaster to a trace. The forecaster observes nothing
@@ -34,7 +38,8 @@ func NewFeed(tr *trace.Trace, fc *Forecaster) *Feed {
 func (fd *Feed) Advance(now time.Duration) int {
 	n := 0
 	if !fd.primed {
-		fd.fc.Update(now, fd.cur.PriceAt(now))
+		fd.lastPrice = fd.cur.PriceAt(now)
+		fd.fc.Update(now, fd.lastPrice)
 		fd.primed = true
 		fd.last = now
 		return 1
@@ -47,16 +52,38 @@ func (fd *Feed) Advance(now time.Duration) int {
 			break
 		}
 		t = nt
-		fd.fc.Update(t, fd.cur.PriceAt(t))
+		fd.lastPrice = fd.cur.PriceAt(t)
+		fd.fc.Update(t, fd.lastPrice)
 		last = t
 		n++
 	}
 	if now > last {
-		fd.fc.Update(now, fd.cur.PriceAt(now))
+		fd.lastPrice = fd.cur.PriceAt(now)
+		fd.fc.Update(now, fd.lastPrice)
 		n++
 	}
 	fd.last = now
 	return n
+}
+
+// AdvanceSteady records only the closing observation at now, for a
+// caller that already knows — from the market's price-change
+// subscription — that no change landed in (last, now]. On such an
+// interval it makes exactly the Update sequence Advance would (one
+// observation, at now, at the unchanged price), without walking the
+// cursor: the per-tick closing observation the β tables depend on is
+// preserved, the O(types) cursor sweep is not paid. An unprimed feed
+// falls through to Advance. Calls must use non-decreasing now.
+func (fd *Feed) AdvanceSteady(now time.Duration) int {
+	if !fd.primed {
+		return fd.Advance(now)
+	}
+	if now <= fd.last {
+		return 0
+	}
+	fd.fc.Update(now, fd.lastPrice)
+	fd.last = now
+	return 1
 }
 
 // Forecaster returns the model this feed updates.

@@ -3,6 +3,7 @@ package forecast
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -322,5 +323,56 @@ func TestOptionsValidate(t *testing.T) {
 	bad.Config.Deltas = nil
 	if bad.Validate() == nil {
 		t.Fatal("accepted empty delta grid")
+	}
+}
+
+// TestAdvanceSteadyMatchesAdvance is the feeds property test the
+// scheduler's forecast tick relies on: gating Advance behind a
+// price-change subscription — AdvanceSteady on changeless intervals,
+// Advance only when a change actually landed — must leave the forecaster
+// in the exact same state as calling Advance on every tick. The whole
+// Forecaster is compared (β tables, pending samples, spike detector),
+// across several tick cadences so the changeless/changed interval mix
+// varies.
+func TestAdvanceSteadyMatchesAdvance(t *testing.T) {
+	steady, changed := 0, 0
+	for _, seed := range []int64{1, 9, 42} {
+		tr := genTrace(t, seed, 3)
+		for _, step := range []time.Duration{time.Minute, 7 * time.Minute, time.Hour} {
+			full, err := New(DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gated, _ := New(DefaultConfig())
+			fd := NewFeed(tr, full)
+			gd := NewFeed(tr, gated)
+			// An independent cursor plays the scheduler's market-side
+			// subscription: it decides steady vs changed without touching
+			// the feed's own cursor.
+			sub := trace.NewCursor(tr)
+			last := time.Duration(0)
+			primed := false
+			for now := time.Duration(0); now <= tr.Duration(); now += step {
+				fd.Advance(now)
+				if !primed {
+					gd.Advance(now)
+					primed = true
+				} else if nt, ok := sub.NextChange(last); ok && nt <= now {
+					gd.Advance(now)
+					changed++
+				} else {
+					gd.AdvanceSteady(now)
+					steady++
+				}
+				last = now
+			}
+			if !reflect.DeepEqual(*full, *gated) {
+				t.Fatalf("seed=%d step=%v: gated feed diverged from per-tick Advance\n full: %+v\ngated: %+v",
+					seed, step, full, gated)
+			}
+		}
+	}
+	if steady == 0 || changed == 0 {
+		t.Fatalf("exercised steady=%d changed=%d intervals; need both paths", steady, changed)
 	}
 }

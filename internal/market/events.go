@@ -1,0 +1,106 @@
+package market
+
+import (
+	"time"
+
+	"proteus/internal/obs"
+	"proteus/internal/trace"
+)
+
+// PriceSub is a per-type price-change subscription: instead of every
+// listener re-reading every type's price on every decision tick, a
+// subscriber polls once and learns exactly which types moved since its
+// last poll, with the unmoved types' prices served from the cache. The
+// partition is by instance type — the market's natural event shard —
+// so a tick's work scales with the types that actually changed, not
+// the catalog size.
+//
+// Determinism: Poll reports moved types in Types() order (the market's
+// global sort), and a cached price is definitionally equal to the
+// cursor lookup it elides, so consumers that fold prices in fixed
+// order compute bit-identical results whether they poll or re-read.
+type PriceSub struct {
+	m      *Market
+	states []*typeState
+	// curs are private cursors (one per type, in Types() order): the
+	// subscription's NextChange sweep is its own monotone stream and
+	// must not perturb the amortized seek state of the market's shared
+	// SpotPrice cursor.
+	curs   []*trace.Cursor
+	prices []float64
+	moved  []int
+	last   time.Duration
+	primed bool
+}
+
+// SubscribePrices creates a subscription over the catalog in Types()
+// order. The subscription is single-goroutine like the market itself;
+// create one per consumer stream.
+func (m *Market) SubscribePrices() *PriceSub {
+	ps := &PriceSub{
+		m:      m,
+		states: make([]*typeState, 0, len(m.types)),
+		curs:   make([]*trace.Cursor, 0, len(m.types)),
+		prices: make([]float64, len(m.types)),
+		moved:  make([]int, 0, len(m.types)),
+	}
+	for _, t := range m.types {
+		ts := m.catalog[t.Name]
+		ps.states = append(ps.states, ts)
+		ps.curs = append(ps.curs, trace.NewCursor(ts.tr))
+	}
+	return ps
+}
+
+// Poll advances the subscription to now and returns the indexes —
+// ascending, into Types() order — of the types whose price changed in
+// (last, now]. The first poll reports every type (nothing is cached
+// yet). The returned slice is reused by the next Poll. Each observed
+// price also lands on the type's spot-price gauge, exactly as a
+// SpotPrice read would record it. Calls must use non-decreasing now.
+func (ps *PriceSub) Poll(now time.Duration) []int {
+	ps.moved = ps.moved[:0]
+	if !ps.primed {
+		for i, c := range ps.curs {
+			ps.prices[i] = c.PriceAt(now)
+			ps.states[i].observeSpot(ps.m, ps.prices[i])
+			ps.moved = append(ps.moved, i)
+		}
+		ps.primed = true
+		ps.last = now
+		return ps.moved
+	}
+	if now == ps.last {
+		return ps.moved
+	}
+	for i, c := range ps.curs {
+		if nt, ok := c.NextChange(ps.last); ok && nt <= now {
+			ps.prices[i] = c.PriceAt(now)
+			ps.states[i].observeSpot(ps.m, ps.prices[i])
+			ps.moved = append(ps.moved, i)
+		}
+	}
+	ps.last = now
+	return ps.moved
+}
+
+// Len returns the number of subscribed types (the catalog size).
+func (ps *PriceSub) Len() int { return len(ps.states) }
+
+// Type returns the i-th subscribed type, in Types() order.
+func (ps *PriceSub) Type(i int) InstanceType { return ps.states[i].t }
+
+// Price returns the cached price of the i-th type as of the last Poll.
+func (ps *PriceSub) Price(i int) float64 { return ps.prices[i] }
+
+// observeSpot records a spot-price observation on the type's memoized
+// gauge — the shared instrument path for SpotPrice and PriceSub, so
+// the exported gauge reflects the latest observation either way.
+func (ts *typeState) observeSpot(m *Market, price float64) {
+	if !ts.spotGauge.done {
+		ts.spotGauge.g = m.obsv.Reg().Gauge("proteus_market_spot_price_dollars",
+			"last observed spot price per instance-hour", obs.L("type", ts.t.Name))
+		ts.spotGauge.done = true
+	}
+	ts.spotGauge.g.Set(price)
+}

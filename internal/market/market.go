@@ -352,12 +352,7 @@ func (m *Market) SpotPrice(name string) (float64, error) {
 		return price, nil
 	}
 	price := ts.price.PriceAt(m.Engine.Now())
-	if !ts.spotGauge.done {
-		ts.spotGauge.g = m.obsv.Reg().Gauge("proteus_market_spot_price_dollars",
-			"last observed spot price per instance-hour", obs.L("type", name))
-		ts.spotGauge.done = true
-	}
-	ts.spotGauge.g.Set(price)
+	ts.observeSpot(m, price)
 	return price, nil
 }
 

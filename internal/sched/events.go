@@ -314,7 +314,10 @@ func (s *Scheduler) Stats() Stats {
 	return st
 }
 
-// Timeline returns a copy of the utilization timeline recorded so far.
+// Timeline returns a copy of the utilization timeline recorded so far:
+// the flushed, coalesced points — one per instant that changed state,
+// each emitted to the event stream exactly once — so replayed history
+// and the live SSE feed agree point for point.
 func (s *Scheduler) Timeline() []UtilPoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -38,6 +38,9 @@ type schedForecast struct {
 	types []string
 	byTyp map[string]*forecast.Forecaster
 	feeds []*forecast.Feed // parallel to types
+	// typeIdx maps each feed to its index in market.Types() order, the
+	// index space the price-change subscription reports moves in.
+	typeIdx []int
 	// onsetSeen caches each forecaster's onset count so the tick can emit
 	// only the delta to the spike-onset counter.
 	onsetSeen []int
@@ -59,7 +62,7 @@ func newSchedForecast(mkt *market.Market, opts forecast.Options) (*schedForecast
 		return nil, err
 	}
 	fc := &schedForecast{opts: opts, byTyp: make(map[string]*forecast.Forecaster)}
-	for _, t := range mkt.Types() {
+	for ti, t := range mkt.Types() {
 		tr, ok := mkt.Trace(t.Name)
 		if !ok {
 			continue
@@ -71,6 +74,7 @@ func newSchedForecast(mkt *market.Market, opts forecast.Options) (*schedForecast
 		fc.types = append(fc.types, t.Name)
 		fc.byTyp[t.Name] = f
 		fc.feeds = append(fc.feeds, forecast.NewFeed(tr, f))
+		fc.typeIdx = append(fc.typeIdx, ti)
 		fc.onsetSeen = append(fc.onsetSeen, 0)
 	}
 	if len(fc.types) == 0 {
@@ -162,8 +166,31 @@ func (s *Scheduler) forecastTick() {
 	now := s.eng.Now()
 	reg := s.obs().Reg()
 
+	// One subscription poll decides, per type, whether the feed walks
+	// its cursor (price moved since the last tick) or takes the O(1)
+	// steady path (just the closing observation). Both paths make the
+	// identical Update sequence for their interval — the feeds property
+	// test pins the equivalence — so forecasts are unchanged; the tick
+	// just stops sweeping cursors for types that did not move.
+	if s.fcSub == nil {
+		s.fcSub = s.mkt.SubscribePrices()
+		s.fcMoved = make([]bool, s.fcSub.Len())
+	}
+	for i := range s.fcMoved {
+		s.fcMoved[i] = false
+	}
+	for _, i := range s.fcSub.Poll(now) {
+		s.fcMoved[i] = true
+	}
+
 	for i, name := range s.fc.types {
-		if n := s.fc.feeds[i].Advance(now); n > 0 {
+		n := 0
+		if s.fcMoved[s.fc.typeIdx[i]] {
+			n = s.fc.feeds[i].Advance(now)
+		} else {
+			n = s.fc.feeds[i].AdvanceSteady(now)
+		}
+		if n > 0 {
 			reg.Counter("proteus_forecast_updates_total",
 				"price ticks folded into the online eviction forecaster",
 				obs.L("type", name)).Add(float64(n))

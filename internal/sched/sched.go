@@ -347,10 +347,28 @@ type Scheduler struct {
 	// broker's many ordered walks stop re-sorting per call.
 	allocOrder []market.AllocationID
 
+	// lastUtil is the last utilization tuple a timeline point recorded
+	// (zero at start: a fresh scheduler holds no cores and no jobs), so
+	// observeState can detect changes its caller didn't flag.
+	lastUtil UtilPoint
+	// pendingUtil coalesces same-instant timeline points: the latest
+	// state observed at one virtual instant waits here until time moves
+	// past it (or the run settles), then flushes once.
+	pendingUtil    UtilPoint
+	pendingUtilSet bool
+
 	// fc is the online forecasting state (nil without Config.Forecast).
 	fc *schedForecast
-	// priceScratch is decide()'s reusable spot-price map.
+	// priceScratch is the reusable spot-price map decide() and the tick
+	// snapshot hand to BidBrain; priceSub keeps it fresh by polling the
+	// market's per-type change subscription, so a tick re-reads only the
+	// types that actually moved.
 	priceScratch map[string]float64
+	priceSub     *market.PriceSub
+	// fcSub/fcMoved are the forecaster's own change subscription and its
+	// per-type scratch: feeds of unmoved types take the O(1) steady path.
+	fcSub   *market.PriceSub
+	fcMoved []bool
 
 	reliable *market.Allocation
 	horizon  time.Duration
@@ -666,6 +684,9 @@ func (s *Scheduler) settleLocked() (*Result, error) {
 	for _, j := range s.jobs {
 		s.endJobSpan(j, "settled "+j.state.String())
 	}
+	// The final instant's coalesced point (the shutdown just rewrote it)
+	// must land before the timeline is frozen into the Result.
+	s.flushTimelineLocked()
 
 	out := &Result{
 		TotalCost:        s.mkt.TotalCost() - s.startCost,
@@ -1117,6 +1138,24 @@ func (s *Scheduler) footprint(exclude market.AllocationID) ([]bidbrain.AllocStat
 	return out, nil
 }
 
+// pollPrices refreshes the reusable spot-price map through the market's
+// per-type change subscription: only types whose price moved since the
+// last poll are re-read, and an unmoved type's cached entry equals the
+// lookup it elides by construction — so every BidBrain search sees the
+// exact prices a full SpotPrice sweep would have produced. Catalog
+// types always resolve (the market refuses to build without a trace per
+// type), which is why this path carries no error return.
+func (s *Scheduler) pollPrices() map[string]float64 {
+	if s.priceSub == nil {
+		s.priceSub = s.mkt.SubscribePrices()
+		s.priceScratch = make(map[string]float64, s.priceSub.Len())
+	}
+	for _, i := range s.priceSub.Poll(s.eng.Now()) {
+		s.priceScratch[s.priceSub.Type(i).Name] = s.priceSub.Price(i)
+	}
+	return s.priceScratch
+}
+
 // decide runs one acquisition decision for the shared footprint. When a
 // running job's deadline is in jeopardy the deadline machinery picks the
 // candidate (cheapest that restores feasibility); otherwise the standard
@@ -1145,20 +1184,7 @@ func (s *Scheduler) decide(parent *obs.Span) bool {
 	if err != nil {
 		return false
 	}
-	if s.priceScratch == nil {
-		s.priceScratch = make(map[string]float64, len(s.mkt.Types()))
-	}
-	prices := s.priceScratch
-	for k := range prices {
-		delete(prices, k)
-	}
-	for _, t := range s.mkt.Types() {
-		p, err := s.mkt.SpotPrice(t.Name)
-		if err != nil {
-			return false
-		}
-		prices[t.Name] = p
-	}
+	prices := s.pollPrices()
 	types := s.mkt.Types()
 	smallest := types[0]
 	for _, t := range types {
@@ -1592,8 +1618,13 @@ func (s *Scheduler) jobCounter(state string) *obs.Counter {
 		"job state transitions", obs.L("state", state))
 }
 
-// observeState refreshes the queue/footprint gauges and, when leases
-// moved, appends a utilization timeline point.
+// observeState refreshes the queue/footprint gauges and records a
+// utilization timeline point when the state moved. The caller's changed
+// hint marks lease churn inside a rebalance; state that changed before
+// the rebalance was entered (a finishing job's leases returning to the
+// pool, an eviction removing capacity) is caught by comparing the
+// computed tuple against the last recorded one, so every call site that
+// altered utilization lands a point without having to say so.
 func (s *Scheduler) observeState(changed bool) {
 	leased, idle := 0, 0
 	for _, ba := range s.allocs {
@@ -1613,15 +1644,43 @@ func (s *Scheduler) observeState(changed bool) {
 	reg.Gauge("proteus_sched_running_jobs", "jobs currently holding or competing for leases").Set(float64(running))
 	reg.Gauge("proteus_sched_leased_cores", "transient cores currently leased to jobs").Set(float64(leased))
 	reg.Gauge("proteus_sched_idle_cores", "paid transient cores awaiting a lease").Set(float64(idle))
+	now := s.eng.Now() - s.startAt
+	if s.pendingUtilSet && s.pendingUtil.At < now {
+		s.flushTimelineLocked()
+	}
+	if !changed {
+		changed = leased != s.lastUtil.LeasedCores || idle != s.lastUtil.IdleCores ||
+			running != s.lastUtil.Running || queued != s.lastUtil.Queued
+	}
 	if changed {
-		p := UtilPoint{
-			At:          s.eng.Now() - s.startAt,
+		// Coalesce: a burst of lease moves at one instant (a rebalance
+		// walking many allocations) folds into a single pending point —
+		// the instant's final state — instead of appending and fanning
+		// out every intermediate. The point becomes visible when virtual
+		// time moves past it (the flush above), on the serve loop's idle
+		// transition, or at settle.
+		s.pendingUtil = UtilPoint{
+			At:          now,
 			LeasedCores: leased,
 			IdleCores:   idle,
 			Running:     running,
 			Queued:      queued,
 		}
-		s.timeline = append(s.timeline, p)
-		s.emitTimeline(p)
+		s.pendingUtilSet = true
+		s.lastUtil = s.pendingUtil
 	}
+}
+
+// flushTimelineLocked commits the pending utilization point to the
+// retained timeline and the event stream. Emission happens only here —
+// on the simulation thread, once per instant — so replayed history
+// (Timeline, /v1/timeline) and the live SSE stream agree point for
+// point.
+func (s *Scheduler) flushTimelineLocked() {
+	if !s.pendingUtilSet {
+		return
+	}
+	s.pendingUtilSet = false
+	s.timeline = append(s.timeline, s.pendingUtil)
+	s.emitTimeline(s.pendingUtil)
 }

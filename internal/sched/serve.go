@@ -94,6 +94,14 @@ func (s *Scheduler) Serve(ctx context.Context, sc ServeConfig) (*Result, error) 
 				wait = time.Millisecond
 			}
 		}
+		if !active {
+			// Quiescent: every event at the current instant has run and
+			// the engine will not step again until a submission lands, so
+			// the instant's coalesced utilization point is final. Flushing
+			// here (rather than only at settle) lets a live timeline show
+			// the drop to idle while the service waits for work.
+			s.flushTimelineLocked()
+		}
 		s.mu.Unlock()
 
 		var timer *time.Timer

@@ -164,3 +164,56 @@ func TestServePacedMakesProgress(t *testing.T) {
 		t.Fatalf("paced serve result %+v", res.Jobs)
 	}
 }
+
+// TestServeFlushesIdleTimeline: once every job is terminal the serve
+// loop goes quiescent with the virtual clock parked at the last event,
+// so the final coalesced utilization point can no longer be flushed by
+// time moving past it. The loop must flush it on the idle transition —
+// a live /v1/timeline viewer has to see the drop to idle while the
+// service sits waiting for work, not only after the drain.
+func TestServeFlushesIdleTimeline(t *testing.T) {
+	eng, mkt, brain := testHarness(t, 57)
+	s, err := New(eng, mkt, testConfig(brain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resCh := make(chan *Result, 1)
+	go func() {
+		res, _ := s.Serve(ctx, ServeConfig{}) // unpaced
+		resCh <- res
+	}()
+	if err := s.Submit(Job{ID: 0, Name: "idle-a", Spec: smallSpec()}); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, 0, Done)
+
+	// Before the drain: the retained timeline must already end on the
+	// idle state (no leased cores, nothing running).
+	var last UtilPoint
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if tl := s.Timeline(); len(tl) > 0 {
+			last = tl[len(tl)-1]
+			if last.LeasedCores == 0 && last.Running == 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeline never showed the drop to idle; last point %+v", last)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	res := <-resCh
+	// The idle flush must not have duplicated the point: the settled
+	// timeline carries strictly increasing instants.
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].At <= res.Timeline[i-1].At {
+			t.Fatalf("timeline instants not strictly increasing at %d: %v then %v",
+				i, res.Timeline[i-1].At, res.Timeline[i].At)
+		}
+	}
+}

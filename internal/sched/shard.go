@@ -268,23 +268,9 @@ func (s *Scheduler) snapshotTick(st *tickState) {
 			remaining: ba.alloc.HourEnd(now) - now,
 		})
 	}
-	if s.priceScratch == nil {
-		s.priceScratch = make(map[string]float64, len(s.mkt.Types()))
-	}
-	snap.prices = s.priceScratch
-	for k := range snap.prices {
-		delete(snap.prices, k)
-	}
+	snap.prices = s.pollPrices()
 	snap.types = s.mkt.Types()
 	snap.pricesOK = true
-	for _, t := range snap.types {
-		p, err := s.mkt.SpotPrice(t.Name)
-		if err != nil {
-			snap.pricesOK = false
-			break
-		}
-		snap.prices[t.Name] = p
-	}
 }
 
 // computePlan evaluates the snapshot with the lock released. The

@@ -510,7 +510,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 // handleTimeline streams cluster utilization samples over SSE. By
 // default the recorded timeline replays first so a late viewer gets
-// history; ?replay=0 starts from live only.
+// history; ?replay=0 starts from live only. The scheduler coalesces
+// same-instant samples before they reach either path, so the replayed
+// history serves the same points, in the same order, that live viewers
+// received.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	replay := r.URL.Query().Get("replay") != "0"
 	// Attach before replaying so no live sample falls in the gap.

@@ -93,10 +93,36 @@ func NewHub(sub *sched.Subscription, reg *obs.Registry) *Hub {
 	return h
 }
 
+// maxDispatchBatch caps how many queued events one pump iteration
+// drains: enough to swallow a rebalance burst, small enough that the
+// batch scratch stays cache-resident.
+const maxDispatchBatch = 64
+
 func (h *Hub) pump() {
 	defer close(h.done)
+	batch := make([]sched.Event, 0, maxDispatchBatch)
 	for ev := range h.sub.C {
-		h.Dispatch(ev)
+		// Opportunistic batching: drain whatever the scheduler already
+		// queued so a burst dispatches as one walk over the connections
+		// (and consecutive timeline samples as one pre-framed write)
+		// instead of one per event. An idle stream still dispatches
+		// every event immediately — the drain never waits.
+		batch = append(batch[:0], ev)
+	drain:
+		for len(batch) < maxDispatchBatch {
+			select {
+			case ev2, ok := <-h.sub.C:
+				if !ok {
+					h.DispatchBatch(batch)
+					h.closeConns()
+					return
+				}
+				batch = append(batch, ev2)
+			default:
+				break drain
+			}
+		}
+		h.DispatchBatch(batch)
 	}
 	// Subscription closed under the scheduler: shut the connections down
 	// so their streams end instead of idling on heartbeats.
@@ -173,6 +199,88 @@ func (c *HubConn) Dropped() int {
 		return 0
 	}
 	return int(c.dropped.Load())
+}
+
+// DispatchBatch dispatches a burst of events in order, folding each run
+// of consecutive timeline samples into a single pre-framed write per
+// connection. SSE is a byte stream — a receiver parses N concatenated
+// frames in one chunk exactly as it parses N chunks — so batching
+// changes only the cost: one encode pass, one channel send, and one
+// buffer slot per run instead of per sample.
+func (h *Hub) DispatchBatch(evs []sched.Event) {
+	for i := 0; i < len(evs); {
+		if evs[i].Kind != sched.EventTimeline {
+			h.Dispatch(evs[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(evs) && evs[j].Kind == sched.EventTimeline {
+			j++
+		}
+		h.dispatchTimeline(evs[i:j])
+		i = j
+	}
+}
+
+// dispatchTimeline fans a run of timeline samples out as one frame
+// holding their concatenated wire frames. The frame's At is the last
+// sample's instant: the replay-dedup cursor skips the whole frame only
+// when every sample in it was already replayed (the scheduler emits a
+// point exactly once, so a frame straddling the replay boundary — a
+// harmless duplicate point for that one viewer — needs a race to
+// produce).
+func (h *Hub) dispatchTimeline(evs []sched.Event) {
+	h.mu.Lock()
+	interested := 0
+	for c := range h.conns {
+		if c.wantTL {
+			interested++
+		}
+	}
+	if interested == 0 {
+		h.mu.Unlock()
+		return
+	}
+	h.buf.Reset()
+	n := 0
+	var lastAt time.Duration
+	for i := range evs {
+		if evs[i].Util == nil {
+			continue // nothing to plot; the old per-conn loop skipped these too
+		}
+		h.buf.WriteString("event: ")
+		h.buf.WriteString(sched.EventTimeline)
+		h.buf.WriteString("\ndata: ")
+		h.util = utilWire(*evs[i].Util)
+		if h.enc.Encode(&h.util) != nil {
+			h.buf.WriteString("{}\n")
+		}
+		h.buf.WriteByte('\n')
+		lastAt = evs[i].Util.At
+		n++
+	}
+	if n == 0 {
+		h.mu.Unlock()
+		return
+	}
+	fr := Frame{At: lastAt, Data: append([]byte(nil), h.buf.Bytes()...)}
+	dropped := 0
+	for c := range h.conns {
+		if c.wantTL {
+			select {
+			case c.ch <- fr:
+			default:
+				c.dropped.Add(1)
+				dropped++
+			}
+		}
+	}
+	h.mu.Unlock()
+	if dropped > 0 {
+		h.reg.Counter("proteus_api_sse_dropped_total",
+			"SSE frames dropped on slow consumers").Add(float64(dropped))
+	}
 }
 
 // Dispatch encodes the event once and fans the frame out to every

@@ -1,0 +1,451 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// This file is the recovery fast path: a pooled, zero-copy segment
+// scanner and a hand-rolled decoder for the canonical frame encoding.
+//
+// The determinism contract: recovery's output is defined by the
+// reference decoder (decodeFrame — CRC check plus encoding/json). The
+// fast decoder accepts a line only when it is byte-for-byte in the
+// canonical shape journal.MarshalLine emits for a flat Record (fixed
+// key order, no nested job/meta object, JSON-grammar numbers, escape-
+// free ASCII strings); everything else — submit and meta records,
+// hand-edited logs, foreign writers — falls back to encoding/json on
+// the same payload. A line the fast parser does accept decodes to the
+// identical Record the reference would produce (FuzzDecodeFrame pins
+// this), so recovery at any worker count, over any layout, folds the
+// same record stream in the same order as the serial reference.
+
+// maxRecordBytes mirrors the journal package's per-line bound; the
+// scanner-based reference path fails with bufio.ErrTooLong past it.
+const maxRecordBytes = 1 << 20
+
+// minLinesPerWorker keeps tiny segments on the serial path — goroutine
+// fan-out costs more than decoding a handful of records.
+const minLinesPerWorker = 64
+
+// segScratch holds one segment's read buffer and decode slots, pooled
+// across segments and recoveries so steady-state recovery allocates
+// only what the records themselves need.
+type segScratch struct {
+	data  []byte
+	lines [][]byte
+	recs  []Record
+	oks   []bool
+}
+
+var segPool = sync.Pool{New: func() any { return new(segScratch) }}
+
+// load reads the whole segment into the pooled buffer. Segments are
+// bounded by Options.SegmentBytes, so whole-file reads are cheap and
+// let the decode stage work over stable zero-copy slices.
+func (sb *segScratch) load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	n := int(st.Size())
+	if cap(sb.data) < n {
+		sb.data = make([]byte, n)
+	}
+	sb.data = sb.data[:n]
+	if _, err := io.ReadFull(f, sb.data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// split cuts the buffer into non-empty lines in place, mirroring
+// bufio.ScanLines (trailing '\r' dropped, final unterminated line kept,
+// empty lines skipped). An over-long line stops the split and is
+// surfaced as the scanner's error, after the preceding records have
+// been folded — exactly where the streaming reference would fail.
+func (sb *segScratch) split() error {
+	sb.lines = sb.lines[:0]
+	data := sb.data
+	for len(data) > 0 {
+		var line []byte
+		if j := bytes.IndexByte(data, '\n'); j >= 0 {
+			line, data = data[:j], data[j+1:]
+		} else {
+			line, data = data, nil
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > maxRecordBytes {
+			return bufio.ErrTooLong
+		}
+		if len(line) == 0 {
+			continue
+		}
+		sb.lines = append(sb.lines, line)
+	}
+	return nil
+}
+
+// decode fills recs/oks for every line, fanning out across workers when
+// the segment is big enough to pay for it. Slots are indexed, so the
+// fold that follows consumes them in exact file order regardless of
+// which worker decoded what.
+func (sb *segScratch) decode(workers int) {
+	n := len(sb.lines)
+	if cap(sb.recs) < n {
+		sb.recs = make([]Record, n)
+		sb.oks = make([]bool, n)
+	}
+	sb.recs = sb.recs[:n]
+	sb.oks = sb.oks[:n]
+	if max := n / minLinesPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		for i, line := range sb.lines {
+			sb.recs[i], sb.oks[i] = decodeFrameFast(line)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sb.recs[i], sb.oks[i] = decodeFrameFast(sb.lines[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// release returns the scratch to the pool, dropping record pointers so
+// pooled slots never pin job specs from a prior recovery.
+func (sb *segScratch) release() {
+	for i := range sb.recs {
+		sb.recs[i] = Record{}
+	}
+	sb.data = sb.data[:0]
+	sb.lines = sb.lines[:0]
+	sb.recs = sb.recs[:0]
+	sb.oks = sb.oks[:0]
+	segPool.Put(sb)
+}
+
+// RecoverOptions tunes the decode stage of recovery.
+type RecoverOptions struct {
+	// Workers caps the parallel frame-decode workers. 0 picks
+	// GOMAXPROCS; 1 decodes serially. The replay is bit-identical at
+	// every setting — workers only fill indexed slots that a serial
+	// fold then consumes in file order.
+	Workers int
+}
+
+// RecoverWith is Recover with explicit decode options.
+func RecoverWith(dir string, opts RecoverOptions) (*Replay, error) {
+	r, _, err := recoverDir(dir, false, opts.Workers)
+	return r, err
+}
+
+// decodeFrameFast parses one "crc payload" line like decodeFrame, but
+// checksums the raw slice (no string conversion) and tries the
+// hand-rolled canonical decoder before paying for encoding/json.
+func decodeFrameFast(line []byte) (Record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, false
+	}
+	want, ok := parseHex8(line[:8])
+	if !ok {
+		return Record{}, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return Record{}, false
+	}
+	if rec, handled := decodeRecordFast(payload); handled {
+		return rec, true
+	}
+	var rec Record
+	if json.Unmarshal(payload, &rec) != nil {
+		return rec, false
+	}
+	return rec, true
+}
+
+// parseHex8 decodes exactly eight hex digits, matching
+// strconv.ParseUint(s, 16, 32) on the frame's fixed-width field
+// without allocating the intermediate string.
+func parseHex8(b []byte) (uint32, bool) {
+	var v uint32
+	for _, c := range b {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// decodeRecordFast decodes the dominant record kinds — tick and the
+// lease/transition family — straight from the canonical byte shape
+// journal.MarshalLine produces:
+//
+//	{"seq":N,"kind":"K"[,"at_ns":N],"job_id":N[,"alloc":N][,"cores":N][,"amount":F][,"detail":"S"]}
+//
+// handled is false for anything else (nested job/meta objects, escaped
+// or non-ASCII strings, non-canonical numbers or key order, trailing
+// whitespace), telling the caller to decode with encoding/json instead.
+// Strictness is the correctness argument: a payload this parser accepts
+// is one encoding/json decodes to the identical Record.
+func decodeRecordFast(p []byte) (Record, bool) {
+	var rec Record
+	p, ok := eat(p, `{"seq":`)
+	if !ok {
+		return rec, false
+	}
+	rec.Seq, p, ok = fastUint(p)
+	if !ok {
+		return rec, false
+	}
+	p, ok = eat(p, `,"kind":"`)
+	if !ok {
+		return rec, false
+	}
+	var kind []byte
+	kind, p, ok = fastStringBytes(p)
+	if !ok {
+		return rec, false
+	}
+	rec.Kind = internKind(kind)
+	if rest, have := eat(p, `,"at_ns":`); have {
+		if rec.AtNs, p, ok = fastInt(rest); !ok {
+			return rec, false
+		}
+	}
+	p, ok = eat(p, `,"job_id":`)
+	if !ok {
+		return rec, false
+	}
+	var n int64
+	if n, p, ok = fastInt(p); !ok {
+		return rec, false
+	}
+	rec.JobID = int(n)
+	if rest, have := eat(p, `,"alloc":`); have {
+		if n, p, ok = fastInt(rest); !ok {
+			return rec, false
+		}
+		rec.Alloc = int(n)
+	}
+	if rest, have := eat(p, `,"cores":`); have {
+		if n, p, ok = fastInt(rest); !ok {
+			return rec, false
+		}
+		rec.Cores = int(n)
+	}
+	if rest, have := eat(p, `,"amount":`); have {
+		if rec.Amount, p, ok = fastFloat(rest); !ok {
+			return rec, false
+		}
+	}
+	if rest, have := eat(p, `,"detail":"`); have {
+		var d []byte
+		if d, p, ok = fastStringBytes(rest); !ok {
+			return rec, false
+		}
+		rec.Detail = string(d)
+	}
+	if len(p) != 1 || p[0] != '}' {
+		return rec, false
+	}
+	return rec, true
+}
+
+// eat consumes an exact literal prefix.
+func eat(p []byte, lit string) ([]byte, bool) {
+	if len(p) < len(lit) || string(p[:len(lit)]) != lit {
+		return p, false
+	}
+	return p[len(lit):], true
+}
+
+// fastUint parses a JSON-grammar unsigned integer: digits only, no
+// leading zero, and not the start of a float. At most 19 digits (never
+// overflows uint64); longer or odd-shaped numbers defer to the
+// reference decoder.
+func fastUint(p []byte) (uint64, []byte, bool) {
+	i := 0
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		i++
+	}
+	if i == 0 || i > 19 {
+		return 0, p, false
+	}
+	if p[0] == '0' && i != 1 {
+		return 0, p, false
+	}
+	if i < len(p) && (p[i] == '.' || p[i] == 'e' || p[i] == 'E') {
+		return 0, p, false
+	}
+	var v uint64
+	for _, c := range p[:i] {
+		v = v*10 + uint64(c-'0')
+	}
+	return v, p[i:], true
+}
+
+// fastInt parses a JSON-grammar signed integer. At most 18 digits
+// (never overflows int64); anything longer defers to the reference.
+func fastInt(p []byte) (int64, []byte, bool) {
+	neg := false
+	if len(p) > 0 && p[0] == '-' {
+		neg = true
+		p = p[1:]
+	}
+	u, rest, ok := fastUint(p)
+	if !ok || u > 999999999999999999 {
+		return 0, p, false
+	}
+	v := int64(u)
+	if neg {
+		v = -v
+	}
+	return v, rest, true
+}
+
+// fastFloat validates strict JSON number grammar, then parses with the
+// same strconv.ParseFloat encoding/json uses — grammar validation first
+// so ParseFloat's extensions (hex floats, underscores, Inf) can never
+// accept what JSON would reject.
+func fastFloat(p []byte) (float64, []byte, bool) {
+	i := 0
+	if i < len(p) && p[i] == '-' {
+		i++
+	}
+	start := i
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return 0, p, false
+	}
+	if p[start] == '0' && i-start != 1 {
+		return 0, p, false
+	}
+	if i < len(p) && p[i] == '.' {
+		i++
+		fs := i
+		for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+			i++
+		}
+		if i == fs {
+			return 0, p, false
+		}
+	}
+	if i < len(p) && (p[i] == 'e' || p[i] == 'E') {
+		i++
+		if i < len(p) && (p[i] == '+' || p[i] == '-') {
+			i++
+		}
+		es := i
+		for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+			i++
+		}
+		if i == es {
+			return 0, p, false
+		}
+	}
+	v, err := strconv.ParseFloat(string(p[:i]), 64)
+	if err != nil {
+		return 0, p, false
+	}
+	return v, p[i:], true
+}
+
+// fastStringBytes scans a string body up to the closing quote,
+// accepting only printable ASCII with no escapes — the alphabet the
+// scheduler's kind and detail fields actually use. Anything richer
+// (escapes, UTF-8, control bytes) defers to the reference decoder,
+// which owns JSON's replacement and unescaping rules.
+func fastStringBytes(p []byte) ([]byte, []byte, bool) {
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if c == '"' {
+			return p[:i], p[i+1:], true
+		}
+		if c < 0x20 || c > 0x7e || c == '\\' {
+			return nil, p, false
+		}
+	}
+	return nil, p, false
+}
+
+// internKind returns the package's kind constant for known kinds so
+// decoding a million ticks allocates no strings.
+func internKind(b []byte) string {
+	switch string(b) {
+	case KindMeta:
+		return KindMeta
+	case KindSubmit:
+		return KindSubmit
+	case KindAdmit:
+		return KindAdmit
+	case KindLease:
+		return KindLease
+	case KindRelease:
+		return KindRelease
+	case KindWarning:
+		return KindWarning
+	case KindEvict:
+		return KindEvict
+	case KindRefund:
+		return KindRefund
+	case KindAcquire:
+		return KindAcquire
+	case KindDone:
+		return KindDone
+	case KindExpire:
+		return KindExpire
+	case KindTick:
+		return KindTick
+	case KindPreDrain:
+		return KindPreDrain
+	}
+	return string(b)
+}
+
+// decodeWorkers resolves a worker-count option.
+func decodeWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}

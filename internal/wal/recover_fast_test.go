@@ -1,0 +1,294 @@
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildBusyLog writes a realistic log: meta, a spread of submits, and a
+// long run of transition records — enough lines that the parallel
+// decoder actually splits work across workers.
+func buildBusyLog(t testing.TB, dir string, opts Options, jobs, ticks int) {
+	t.Helper()
+	opts.NoSync = true
+	l, err := Create(dir, testMeta(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < jobs; id++ {
+		j := testJob(id)
+		if _, err := l.Append(Record{Kind: KindSubmit, AtNs: j.ArrivalNs, JobID: id, Job: &j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < ticks; i++ {
+		at := int64(i) * int64(time.Minute)
+		var rec Record
+		switch i % 5 {
+		case 0:
+			rec = Record{Kind: KindTick, AtNs: at, JobID: -1}
+		case 1:
+			rec = Record{Kind: KindAcquire, AtNs: at, JobID: -1, Alloc: i, Cores: 128, Amount: 0.0417 * float64(i%7), Detail: "c4.2xlarge"}
+		case 2:
+			rec = Record{Kind: KindLease, AtNs: at, JobID: i % jobs, Alloc: i, Cores: 128}
+		case 3:
+			rec = Record{Kind: KindRelease, AtNs: at, JobID: i % jobs, Alloc: i, Cores: 128}
+		default:
+			rec = Record{Kind: KindRefund, AtNs: at, JobID: i % jobs, Alloc: i, Amount: 0.1337}
+		}
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// workerCounts spans the serial path (1), a split (2), and more workers
+// than most CI machines have cores (8) — plus 0, the GOMAXPROCS default.
+var workerCounts = []int{0, 1, 2, 8}
+
+// TestRecoverWorkersBitIdentical pins the tentpole contract: RecoverWith
+// returns a deeply equal Replay at every worker count, over a flat
+// single-segment log, a rotated snapshot+segments layout, and a torn
+// tail. Workers only parallelize frame decode into indexed slots; the
+// fold that builds the Replay is always the same serial walk.
+func TestRecoverWorkersBitIdentical(t *testing.T) {
+	layouts := []struct {
+		name  string
+		build func(t *testing.T, dir string)
+	}{
+		{"flat", func(t *testing.T, dir string) {
+			buildBusyLog(t, dir, Options{}, 8, 600)
+		}},
+		{"rotated", func(t *testing.T, dir string) {
+			// Tiny segments force rotation + snapshot compaction.
+			buildBusyLog(t, dir, Options{SegmentBytes: 2048}, 16, 400)
+		}},
+		{"torn", func(t *testing.T, dir string) {
+			buildBusyLog(t, dir, Options{}, 4, 300)
+			names, _, err := listSegments(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(filepath.Join(dir, names[len(names)-1]), os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(`deadbeef {"seq":9999,"kind":"tick","trunc`); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}},
+	}
+	for _, lo := range layouts {
+		t.Run(lo.name, func(t *testing.T) {
+			dir := t.TempDir()
+			lo.build(t, dir)
+			ref, err := RecoverWith(dir, RecoverOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo.name == "torn" && !ref.TornDropped {
+				t.Fatal("torn layout did not report TornDropped")
+			}
+			for _, w := range workerCounts {
+				got, err := RecoverWith(dir, RecoverOptions{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("workers=%d replay diverges from serial:\n got %+v\nwant %+v", w, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverShardedWorkersBitIdentical is the same contract for the
+// sharded layout: concurrent shard recovery plus parallel decode inside
+// each shard must merge to the same Replay as fully serial recovery.
+func TestRecoverShardedWorkersBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, testMeta(), 3, Options{NoSync: true, SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 24
+	for id := 0; id < jobs; id++ {
+		j := testJob(id)
+		if _, err := s.Append(Record{Kind: KindSubmit, AtNs: j.ArrivalNs, JobID: id, Job: &j}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append(Record{Kind: KindTick, AtNs: j.ArrivalNs, JobID: -1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Append(Record{Kind: KindLease, AtNs: j.ArrivalNs, JobID: id, Alloc: id, Cores: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RecoverShardedWith(dir, RecoverOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Jobs) != jobs {
+		t.Fatalf("reference recovered %d jobs, want %d", len(ref.Jobs), jobs)
+	}
+	for _, w := range workerCounts {
+		got, err := RecoverShardedWith(dir, RecoverOptions{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d sharded replay diverges from serial", w)
+		}
+	}
+}
+
+// TestRecoverErrorsIdenticalAcrossWorkers pins failure behavior too:
+// corruption and sequence gaps must produce the same error string at
+// every worker count — the parallel decode may not change which record
+// recovery blames.
+func TestRecoverErrorsIdenticalAcrossWorkers(t *testing.T) {
+	corrupt := func(t *testing.T, dir string, mangle func(lines []string) []string) {
+		t.Helper()
+		names, _, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg := filepath.Join(dir, names[0])
+		raw, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := mangle(strings.SplitAfter(string(raw), "\n"))
+		if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name   string
+		mangle func(lines []string) []string
+	}{
+		{"mid-log-corruption", func(lines []string) []string {
+			lines[40] = lines[40][:12] + "X" + lines[40][13:]
+			return lines
+		}},
+		{"sequence-gap", func(lines []string) []string {
+			return append(lines[:40], lines[41:]...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildBusyLog(t, dir, Options{}, 4, 300)
+			corrupt(t, dir, tc.mangle)
+			_, refErr := RecoverWith(dir, RecoverOptions{Workers: 1})
+			if refErr == nil {
+				t.Fatal("corrupted log recovered cleanly")
+			}
+			for _, w := range workerCounts {
+				_, err := RecoverWith(dir, RecoverOptions{Workers: w})
+				if err == nil || err.Error() != refErr.Error() {
+					t.Fatalf("workers=%d error = %v, want %v", w, err, refErr)
+				}
+			}
+		})
+	}
+}
+
+// FuzzDecodeFrame is the equivalence oracle for the hand-rolled decoder:
+// on every input, decodeFrameFast and the encoding/json-backed
+// decodeFrame must agree — both reject, or both accept with identical
+// Records. The fast path's strictness (canonical key order, plain ASCII
+// strings, no leading zeros, bounded digits) means anything it handles
+// itself is something json would have decoded the same way; everything
+// else falls back to json inside decodeFrameFast, so divergence anywhere
+// is a bug this fuzzer surfaces.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with real frames from the actual writer, covering every kind.
+	dir := f.TempDir()
+	l, err := Create(dir, testMeta(), Options{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range everyKindRecords() {
+		if _, err := l.Append(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	names, _, err := listSegments(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line != "" {
+			f.Add([]byte(line))
+		}
+	}
+	// Corner cases aimed at the fast parser's reject conditions: each is
+	// CRC-valid so the payload decoders are actually exercised.
+	frame := func(payload string) []byte {
+		return []byte(fmt.Sprintf("%08x %s", crc32.ChecksumIEEE([]byte(payload)), payload))
+	}
+	for _, payload := range []string{
+		`{"seq":1,"kind":"tick","job_id":-1}`,
+		`{"seq":01,"kind":"tick","job_id":-1}`,                      // leading zero
+		`{"seq":18446744073709551615,"kind":"tick","job_id":-1}`,    // uint64 max
+		`{"seq":18446744073709551616,"kind":"tick","job_id":-1}`,    // uint64 overflow
+		`{"seq":2,"kind":"tick","at_ns":9223372036854775807,"job_id":-1}`,
+		`{"seq":2,"kind":"tick","at_ns":-9223372036854775808,"job_id":-1}`,
+		`{"seq":2,"kind":"tick","at_ns":9999999999999999999,"job_id":-1}`, // int64 overflow
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":1e3}`,
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":0.1}`,
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":-0.0}`,
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":1.7976931348623157e308}`,
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":0x1p3}`,   // hex float: json rejects
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":.5}`,      // bare fraction: json rejects
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":1.}`,      // trailing dot: json rejects
+		`{"seq":3,"kind":"refund","job_id":4,"alloc":7,"amount":Infinity}`,
+		`{"seq":4,"kind":"acquire","job_id":-1,"detail":"a\u0041b"}`, // escape: fast rejects, json decodes
+		`{"seq":4,"kind":"acquire","job_id":-1,"detail":"naïve"}`,    // non-ASCII
+		`{"seq":4,"kind":"acquire","job_id":-1,"detail":"a\\"}`,      // backslash
+		"{\"seq\":4,\"kind\":\"acquire\",\"job_id\":-1,\"detail\":\"\xff\xfe\"}", // invalid UTF-8
+		`{"seq":5,"kind":"tick","job_id":-1} `, // trailing space
+		`{"job_id":-1,"kind":"tick","seq":5}`,  // reordered keys
+		`{"seq":5,"kind":"tick","job_id":-1,"future":"field"}`, // unknown key
+		`{"seq":5,"kind":"wat","job_id":-1}`,   // unknown kind string
+		`{"seq":5,"kind":"tick","job_id":-1,"meta":{"seed":7}}`,
+	} {
+		f.Add(frame(payload))
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("0000000"))
+	f.Add([]byte("ZZZZZZZZ {}"))
+	f.Add([]byte("00000000 "))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fast, okFast := decodeFrameFast(line)
+		ref, okRef := decodeFrame(line)
+		if okFast != okRef {
+			t.Fatalf("decodeFrameFast ok=%v, decodeFrame ok=%v for %q", okFast, okRef, line)
+		}
+		if okFast && !reflect.DeepEqual(fast, ref) {
+			t.Fatalf("decoders diverge for %q:\nfast %+v\njson %+v", line, fast, ref)
+		}
+	})
+}

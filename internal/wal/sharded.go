@@ -98,23 +98,82 @@ func CreateSharded(dir string, meta Meta, n int, opts Options) (*Sharded, error)
 // merge: jobs re-sort into global submission order by their stamped
 // seq, counters sum, and the clocks take the max across shards.
 func OpenSharded(dir string, opts Options) (*Sharded, *Replay, error) {
-	names, err := shardDirs(dir)
+	merged, replays, names, err := recoverShards(dir, opts.RecoverWorkers)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(names) == 0 {
-		return nil, nil, fmt.Errorf("wal: %s holds no sharded log", dir)
-	}
-	merged := &Replay{}
-	replays := make([]*Replay, len(names))
-	haveMeta := false
+	s := &Sharded{dir: dir, meta: merged.Meta, shards: make([]*Log, len(names)), nextSeq: merged.LastSeq + 1}
 	for k, name := range names {
-		r, hasMeta, err := recoverDir(filepath.Join(dir, name), true)
+		// Every stream snapshots with the shared meta from here on, even
+		// ones that never saw the meta record or a snapshot of their own.
+		replays[k].Meta = merged.Meta
+		l, err := openFrom(filepath.Join(dir, name), opts, replays[k])
 		if err != nil {
 			return nil, nil, err
 		}
-		replays[k] = r
-		if hasMeta && !haveMeta {
+		s.shards[k] = l
+	}
+	return s, merged, nil
+}
+
+// RecoverSharded reads a sharded log directory without opening it for
+// writes, merging the per-shard streams exactly as OpenSharded does.
+func RecoverSharded(dir string) (*Replay, error) {
+	return RecoverShardedWith(dir, RecoverOptions{})
+}
+
+// RecoverShardedWith is RecoverSharded with explicit decode options.
+func RecoverShardedWith(dir string, opts RecoverOptions) (*Replay, error) {
+	merged, _, _, err := recoverShards(dir, opts.Workers)
+	return merged, err
+}
+
+// recoverShards scans every shard stream — concurrently, splitting the
+// worker budget across streams — and merges the per-shard replays into
+// the global view. The merge consumes the indexed results in shard
+// order and errors select the lowest-numbered failing shard, so the
+// outcome is independent of goroutine scheduling.
+func recoverShards(dir string, workers int) (*Replay, []*Replay, []string, error) {
+	names, err := shardDirs(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("wal: %s holds no sharded log", dir)
+	}
+	workers = decodeWorkers(workers)
+	per := workers / len(names)
+	if per < 1 {
+		per = 1
+	}
+	conc := workers
+	if conc > len(names) {
+		conc = len(names)
+	}
+	replays := make([]*Replay, len(names))
+	metas := make([]bool, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for k, name := range names {
+		wg.Add(1)
+		go func(k int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			replays[k], metas[k], errs[k] = recoverDir(filepath.Join(dir, name), true, per)
+		}(k, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	merged := &Replay{}
+	haveMeta := false
+	for k, r := range replays {
+		if metas[k] && !haveMeta {
 			merged.Meta = r.Meta
 			haveMeta = true
 		}
@@ -132,24 +191,12 @@ func OpenSharded(dir string, opts Options) (*Sharded, *Replay, error) {
 		}
 	}
 	if !haveMeta {
-		return nil, nil, fmt.Errorf("wal: %s holds no meta record in any shard", dir)
+		return nil, nil, nil, fmt.Errorf("wal: %s holds no meta record in any shard", dir)
 	}
 	// Global submission order is the seq order; every submit record was
 	// stamped with its global seq on the way in.
 	sort.Slice(merged.Jobs, func(i, j int) bool { return merged.Jobs[i].Seq < merged.Jobs[j].Seq })
-
-	s := &Sharded{dir: dir, meta: merged.Meta, shards: make([]*Log, len(names)), nextSeq: merged.LastSeq + 1}
-	for k, name := range names {
-		// Every stream snapshots with the shared meta from here on, even
-		// ones that never saw the meta record or a snapshot of their own.
-		replays[k].Meta = merged.Meta
-		l, err := openFrom(filepath.Join(dir, name), opts, replays[k])
-		if err != nil {
-			return nil, nil, err
-		}
-		s.shards[k] = l
-	}
-	return s, merged, nil
+	return merged, replays, names, nil
 }
 
 // shardDirs lists dir's shard subdirectories in shard order, verifying

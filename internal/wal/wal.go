@@ -189,6 +189,10 @@ type Options struct {
 	// NoSync skips every fsync — for tests and benchmarks that exercise
 	// the logic without paying the disk.
 	NoSync bool
+	// RecoverWorkers caps the parallel frame-decode workers Open and
+	// OpenSharded use during recovery. 0 picks GOMAXPROCS; 1 decodes
+	// serially. Bit-identical replay at every setting.
+	RecoverWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -355,7 +359,7 @@ func createLog(dir string, meta Meta, opts Options) (*Log, error) {
 // continue in a fresh segment (never into a possibly-torn old one), and
 // a new snapshot immediately compacts the recovered history.
 func Open(dir string, opts Options) (*Log, *Replay, error) {
-	r, err := Recover(dir)
+	r, _, err := recoverDir(dir, false, opts.RecoverWorkers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -403,9 +407,11 @@ func openFrom(dir string, opts Options, r *Replay) (*Log, error) {
 // Recover reads a log directory without opening it for writes: snapshot
 // (if any), then every segment in order, verifying checksums and
 // sequence continuity. A torn final record is dropped; anything else
-// malformed aborts with an error.
+// malformed aborts with an error. Frame decoding runs the fast path
+// (recover_fast.go) across GOMAXPROCS workers; RecoverWith picks the
+// worker count explicitly.
 func Recover(dir string) (*Replay, error) {
-	r, _, err := recoverDir(dir, false)
+	r, _, err := recoverDir(dir, false, 0)
 	return r, err
 }
 
@@ -416,7 +422,15 @@ func Recover(dir string) (*Replay, error) {
 // need only increase, and meta is optional (only shard 0 carries the
 // meta record; the others gain it with their first snapshot). The
 // second return reports whether a meta was found.
-func recoverDir(dir string, loose bool) (*Replay, bool, error) {
+//
+// Decoding is staged per segment — pooled whole-segment read, in-place
+// line split, parallel frame decode into indexed slots — but the fold
+// below consumes the slots serially in file order, so every check
+// (snapshot skip, sequence continuity, torn-tail placement) fires at
+// the same record, with the same error, as the streaming reference at
+// any worker count.
+func recoverDir(dir string, loose bool, workers int) (*Replay, bool, error) {
+	workers = decodeWorkers(workers)
 	r := &Replay{}
 	expected := uint64(1)
 	haveMeta := false
@@ -447,31 +461,36 @@ func recoverDir(dir string, loose bool) (*Replay, bool, error) {
 	r.Segments = len(names)
 	snapLast := r.LastSeq
 
+	sb := segPool.Get().(*segScratch)
+	defer sb.release()
 	for i, name := range names {
 		last := i == len(names)-1
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
+		if err := sb.load(filepath.Join(dir, name)); err != nil {
 			return nil, false, fmt.Errorf("wal: %w", err)
 		}
+		// An over-long line surfaces only after the records before it
+		// fold cleanly, matching where the streaming scanner would fail.
+		splitErr := sb.split()
+		sb.decode(workers)
 		torn := false
-		scanErr := journal.DecodeLines(f, func(line []byte) error {
+		for j := range sb.lines {
 			if torn {
-				return fmt.Errorf("wal: %s: corrupt record followed by more data", name)
+				return nil, false, fmt.Errorf("wal: %s: corrupt record followed by more data", name)
 			}
-			rec, ok := decodeFrame(line)
-			if !ok {
+			if !sb.oks[j] {
 				torn = true
-				return nil
+				continue
 			}
+			rec := &sb.recs[j]
 			if rec.Seq <= snapLast {
-				return nil // already covered by the snapshot
+				continue // already covered by the snapshot
 			}
 			if loose {
 				if rec.Seq < expected {
-					return fmt.Errorf("wal: %s: sequence went backwards: got %d after %d", name, rec.Seq, expected-1)
+					return nil, false, fmt.Errorf("wal: %s: sequence went backwards: got %d after %d", name, rec.Seq, expected-1)
 				}
 			} else if rec.Seq != expected {
-				return fmt.Errorf("wal: %s: sequence gap: got %d, want %d", name, rec.Seq, expected)
+				return nil, false, fmt.Errorf("wal: %s: sequence gap: got %d, want %d", name, rec.Seq, expected)
 			}
 			expected = rec.Seq + 1
 			r.LastSeq = rec.Seq
@@ -487,7 +506,7 @@ func recoverDir(dir string, loose bool) (*Replay, bool, error) {
 				}
 			case KindSubmit:
 				if rec.Job == nil {
-					return fmt.Errorf("wal: %s: submit record %d without a job", name, rec.Seq)
+					return nil, false, fmt.Errorf("wal: %s: submit record %d without a job", name, rec.Seq)
 				}
 				jr := *rec.Job
 				jr.Seq = rec.Seq
@@ -495,11 +514,9 @@ func recoverDir(dir string, loose bool) (*Replay, bool, error) {
 			default:
 				r.Transitions++
 			}
-			return nil
-		})
-		f.Close()
-		if scanErr != nil {
-			return nil, false, scanErr
+		}
+		if splitErr != nil {
+			return nil, false, splitErr
 		}
 		if torn {
 			if !last {
@@ -516,6 +533,10 @@ func recoverDir(dir string, loose bool) (*Replay, bool, error) {
 
 // decodeFrame parses one "crc payload" line; ok is false for a torn or
 // corrupt record (bad frame, checksum mismatch, or unparsable JSON).
+// It is the reference decoder: recovery runs decodeFrameFast
+// (recover_fast.go), whose accept/reject behavior and decoded Record
+// must match this function on every input (FuzzDecodeFrame enforces
+// the equivalence).
 func decodeFrame(line []byte) (Record, bool) {
 	var rec Record
 	if len(line) < 10 || line[8] != ' ' {
